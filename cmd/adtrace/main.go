@@ -1,0 +1,143 @@
+// Command adtrace applies the paper's passive classification methodology to
+// a wire-format trace: it extracts HTTP transactions, reconstructs page
+// metadata, classifies every request with the Adblock Plus engine, and
+// prints traffic statistics plus per-user ad-blocker inference.
+//
+// Usage:
+//
+//	adtrace -i rbn2.trace [-users] [-threshold 300] [-weblog out.log]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/dnssim"
+	"adscape/internal/inference"
+	"adscape/internal/webgen"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adtrace: ")
+	var (
+		in        = flag.String("i", "", "input trace file (required)")
+		seed      = flag.Int64("seed", 2015, "world seed (must match the generator's)")
+		sites     = flag.Int("sites", 1000, "world site catalog size (must match)")
+		users     = flag.Bool("users", false, "print per-user ad-blocker inference")
+		threshold = flag.Int("threshold", 300, "active-user request threshold")
+		weblogOut = flag.String("weblog", "", "optionally dump the HTTP transaction log")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = *sites
+	wopt.Seed = *seed
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		log.Fatalf("building world (filter lists): %v", err)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := wire.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, stats, err := analyzer.AnalyzeTrace(r)
+	if err != nil {
+		log.Fatalf("analyzing: %v", err)
+	}
+	fmt.Printf("packets:            %d\n", stats.Packets)
+	fmt.Printf("http transactions:  %d\n", stats.HTTPTransactions)
+	fmt.Printf("https flows:        %d\n", stats.TLSFlows)
+	fmt.Printf("http wire bytes:    %d\n", stats.HTTPWireBytes)
+
+	pipeline := core.NewPipeline(world.Bundle.ClassifierEngine())
+	results := pipeline.ClassifyAll(col.Transactions)
+	agg := core.Aggregate(results)
+	fmt.Printf("ad requests:        %d (%.2f%%)\n", agg.AdRequests, agg.AdRatio()*100)
+	fmt.Printf("ad bytes:           %d (%.2f%%)\n", agg.AdBytes, 100*float64(agg.AdBytes)/float64(max64(agg.Bytes, 1)))
+	for _, name := range agg.ListNames() {
+		fmt.Printf("  list %-14s %d hits\n", name, agg.PerList[name])
+	}
+	fmt.Printf("whitelisted (non-intrusive): %d, of which blacklisted: %d\n",
+		agg.Whitelisted, agg.WhitelistedAndBlacklisted)
+
+	if *weblogOut != "" {
+		if err := dumpWeblog(*weblogOut, results); err != nil {
+			log.Fatalf("writing weblog: %v", err)
+		}
+	}
+	if *users {
+		printUsers(world, col, results, *threshold)
+	}
+}
+
+func dumpWeblog(path string, results []*core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := weblog.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		// The privacy step (§5): truncate URLs to FQDNs after
+		// classification completes.
+		tx := *r.Ann.Tx
+		tx.Truncate()
+		if err := w.Write(&tx); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func printUsers(world *webgen.World, col *analyzer.Collector, results []*core.Result, threshold int) {
+	usersMap := inference.Aggregate(results)
+	// Discover the Adblock Plus servers the way §3.2 does: union the
+	// answers of multiple DNS resolver vantage points.
+	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
+	inference.MarkListDownloads(usersMap, col.Flows, abpIPs)
+	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: threshold}
+	active := inference.ActiveBrowsers(usersMap, opt)
+	rows := inference.Table3(active, opt)
+	fmt.Printf("\nactive browsers (≥%d requests): %d\n", threshold, len(active))
+	for _, row := range rows {
+		fmt.Printf("  class %s: %5.1f%% (%d instances)\n", row.Class, row.InstanceShare*100, row.Instances)
+	}
+	fmt.Printf("likely Adblock Plus users: %.1f%%\n", inference.ABPShare(active, opt)*100)
+	with, total := inference.HouseholdsWithDownload(usersMap)
+	fmt.Printf("households with ABP list downloads: %d/%d (%.1f%%)\n",
+		with, total, 100*float64(with)/float64(max(total, 1)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+// Command crawlsim runs the paper's active-measurement study (§4): an
+// instrumented browser loads the top-N catalog sites once per blocker
+// profile, capturing each profile's traffic into its own trace file.
+//
+// Usage:
+//
+//	crawlsim -sites 1000 -outdir crawl/
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adscape/internal/browser"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crawlsim: ")
+	var (
+		nSites = flag.Int("sites", 1000, "number of catalog sites to crawl")
+		outdir = flag.String("outdir", "crawl", "output directory for per-profile traces")
+		seed   = flag.Int64("seed", 2015, "world generation seed")
+	)
+	flag.Parse()
+
+	wopt := webgen.DefaultOptions()
+	if *nSites > wopt.NumSites {
+		wopt.NumSites = *nSites
+	}
+	wopt.Seed = *seed
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		log.Fatalf("building world: %v", err)
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, prof := range browser.Profiles {
+		name := strings.ToLower(strings.ReplaceAll(prof.String(), "-", "_"))
+		path := filepath.Join(*outdir, name+".trace")
+		if err := crawlProfile(world, prof, *nSites, path); err != nil {
+			log.Fatalf("profile %s: %v", prof, err)
+		}
+	}
+}
+
+func crawlProfile(world *webgen.World, prof browser.Profile, nSites int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := wire.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for i := 0; i < nSites && i < len(world.Sites); i++ {
+		// A fresh browser per site: empty cache, new connections (§4.1).
+		br := browser.New(browser.Config{
+			World: world, Profile: prof,
+			UserAgent: "CrawlBot/1.0 (Chromium like)",
+			ClientIP:  0x7F000001,
+			Emit:      w.Write,
+			Seed:      int64(i)*131 + int64(prof),
+		})
+		if _, err := br.LoadPage(int64(i+1)*1e9, world.Sites[i], 0); err != nil {
+			return err
+		}
+		loaded++
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	log.Printf("%-12s %4d sites, %7d packets -> %s", prof, loaded, w.Count(), path)
+	return nil
+}

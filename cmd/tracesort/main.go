@@ -1,0 +1,58 @@
+// Command tracesort rewrites a wire-format trace in capture-timestamp order
+// using bounded memory (external merge sort). The simulator emits per-device
+// packet streams; sorting restores the global time order a capture card
+// would have produced.
+//
+// Usage:
+//
+//	tracesort -i rbn2.trace -o rbn2.sorted.trace [-mem 500000]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"adscape/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracesort: ")
+	var (
+		in  = flag.String("i", "", "input trace (required)")
+		out = flag.String("o", "", "output trace (required)")
+		mem = flag.Int("mem", 0, "max packets buffered in memory (0 = default)")
+		tmp = flag.String("tmp", "", "spill directory (default: OS temp)")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fin, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fin.Close()
+	r, err := wire.NewReader(fin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fout, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fout.Close()
+	w, err := wire.NewWriter(fout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wire.SortTrace(r, w, wire.SortOptions{MaxInMemory: *mem, TempDir: *tmp}); err != nil {
+		log.Fatalf("sorting: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d time-ordered records to %s", w.Count(), *out)
+}

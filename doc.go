@@ -1,0 +1,13 @@
+// Package adscape is a from-scratch Go reproduction of "Annoyed Users: Ads
+// and Ad-Block Usage in the Wild" (Pujol, Hohlfeld, Feldmann — IMC 2015):
+// an Adblock Plus compatible filter engine, a Bro-style HTTP analyzer over
+// packet-header traces, the paper's page-metadata reconstruction and
+// ad-blocker-user inference, and the synthetic residential-broadband and
+// active-crawl workloads that regenerate every table and figure of the
+// paper's evaluation.
+//
+// The library lives under internal/; the runnable surfaces are the
+// executables in cmd/ and the examples in examples/. The benchmark harness
+// in bench_test.go regenerates each table and figure (BenchmarkTable1 …
+// BenchmarkFigure7) and runs the design ablations documented in DESIGN.md.
+package adscape

@@ -1,0 +1,94 @@
+// Adcensus: the traffic- and infrastructure-centric characterization of §7
+// and §8 over a synthetic trace — ad share by requests and bytes, the
+// content-type breakdown, and the per-AS attribution of ad traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/infra"
+	"adscape/internal/rbn"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+func main() {
+	world, err := webgen.NewWorld(webgen.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := &analyzer.Collector{}
+	an := analyzer.New(col)
+	opt := rbn.Options{
+		World: world, Name: "census", Households: 40,
+		Start:    time.Date(2015, 4, 11, 12, 0, 0, 0, time.UTC),
+		Duration: 8 * time.Hour,
+		Seed:     17, AnonKey: []byte("census"), PagesPerHour: 5,
+	}
+	if _, err := rbn.Simulate(opt, func(p *wire.Packet) error { an.Add(p); return nil }); err != nil {
+		log.Fatal(err)
+	}
+	an.Finish()
+
+	pipeline := core.NewPipeline(world.Bundle.ClassifierEngine())
+	results := pipeline.ClassifyAll(col.Transactions)
+	stats := core.Aggregate(results)
+	fmt.Printf("requests: %d  (ads %.2f%%)\n", stats.Requests, stats.AdRatio()*100)
+	fmt.Printf("bytes:    %d  (ads %.2f%%)\n", stats.Bytes, 100*float64(stats.AdBytes)/float64(stats.Bytes))
+	fmt.Printf("per-list hits:\n")
+	for _, name := range stats.ListNames() {
+		fmt.Printf("  %-14s %6d\n", name, stats.PerList[name])
+	}
+
+	// Content types of ads vs non-ads.
+	type cell struct{ ad, non int }
+	byType := map[string]*cell{}
+	for _, r := range results {
+		ct := r.Ann.Tx.ContentType
+		if ct == "" {
+			ct = "-"
+		}
+		c := byType[ct]
+		if c == nil {
+			c = &cell{}
+			byType[ct] = c
+		}
+		if r.IsAd() {
+			c.ad++
+		} else {
+			c.non++
+		}
+	}
+	var types []string
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return byType[types[i]].ad > byType[types[j]].ad })
+	fmt.Printf("\ntop ad content types:\n")
+	for i, t := range types {
+		if i >= 8 {
+			break
+		}
+		c := byType[t]
+		fmt.Printf("  %-28s ads=%6d  non-ads=%6d\n", t, c.ad, c.non)
+	}
+
+	// Infrastructure: ad traffic by AS.
+	servers := infra.AggregateServers(results)
+	sum := infra.Summarize(servers)
+	fmt.Printf("\nservers: %d total, %d serve ads, %d dedicated (≥90%% ads)\n",
+		sum.Servers, sum.MixedServers, sum.Dedicated)
+	fmt.Printf("\nad traffic by AS:\n")
+	for i, row := range infra.ByAS(servers, world.ASDB) {
+		if i >= 10 || row.AdRequests == 0 {
+			break
+		}
+		fmt.Printf("  %-12s %5.1f%% of ad reqs, %5.1f%% of ad bytes (own traffic %4.1f%% ads)\n",
+			row.Name, row.AdReqShareOfTrace*100, row.AdByteShareOfTrace*100, row.AdReqShareOfAS*100)
+	}
+}

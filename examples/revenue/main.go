@@ -1,0 +1,75 @@
+// Revenue: the economic-impact extension (§11 future work). Prices the same
+// pages under a non-blocking user, a default Adblock Plus install, and a
+// paranoia install, then shows what the acceptable-ads program recovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adscape/internal/browser"
+	"adscape/internal/economics"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+func main() {
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = 150
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := economics.DefaultModel()
+
+	assess := func(p browser.Profile, blocking bool) *economics.Report {
+		br := browser.New(browser.Config{
+			World: world, Profile: p, UserAgent: "Revenue/1.0",
+			ClientIP: 4, Emit: func(*wire.Packet) error { return nil }, Seed: 11,
+		})
+		var loads []*economics.PageLoad
+		for i, s := range world.Sites[:100] {
+			res, err := br.LoadPage(int64(i+1)*10e9, s, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			loads = append(loads, &economics.PageLoad{
+				Site: s, Issued: res.Issued, Blocked: res.Blocked, Blocking: blocking,
+			})
+		}
+		return assessOrDie(model, loads)
+	}
+
+	vanilla := assess(browser.Vanilla, false)
+	def := assess(browser.AdBPAds, true)
+	par := assess(browser.AdBPParanoia, true)
+
+	base := float64(vanilla.Realized)
+	fmt.Println("per-user publisher revenue over 100 page loads (vanilla = 100.0):")
+	fmt.Printf("  no blocker:    100.0\n")
+	fmt.Printf("  ABP (default): %5.1f   — acceptable ads recover %.1f%% of the loss\n",
+		100*float64(def.Realized)/base, def.RecoveryShare()*100)
+	fmt.Printf("  ABP (paranoia):%5.1f\n", 100*float64(par.Realized)/base)
+
+	fmt.Println("\nloss by publisher category at a 22% ABP-default adoption rate:")
+	vIdx := map[webgen.Category]economics.CategoryImpact{}
+	for _, ci := range vanilla.ByCategory {
+		vIdx[ci.Category] = ci
+	}
+	for _, ci := range def.ByCategory {
+		v := vIdx[ci.Category]
+		if v.Potential == 0 {
+			continue
+		}
+		adopted := 0.78*float64(v.Realized) + 0.22*float64(ci.Realized)
+		fmt.Printf("  %-22s %5.1f%% lost\n", ci.Category, 100*(1-adopted/float64(v.Potential)))
+	}
+}
+
+func assessOrDie(m *economics.Model, loads []*economics.PageLoad) *economics.Report {
+	rep := economics.Assess(m, loads)
+	if rep.Potential == 0 {
+		log.Fatal("no revenue-bearing impressions generated")
+	}
+	return rep
+}

@@ -1,0 +1,3 @@
+module adscape
+
+go 1.22

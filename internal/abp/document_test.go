@@ -1,0 +1,74 @@
+package abp
+
+import (
+	"strings"
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+// TestDocumentExceptionWhitelistsPage covers ABP's $document semantics: a
+// document-typed exception matching the page host disables blocking for
+// every request made from that page.
+func TestDocumentExceptionWhitelistsPage(t *testing.T) {
+	el, err := ParseList("easylist", ListAds, strings.NewReader("/banner/*\n||ads.example^\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := ParseList("acceptableads", ListWhitelist, strings.NewReader("@@||trusted-portal.example^$document\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(el, aa)
+
+	// On a whitelisted page, even blacklisted third-party ads pass.
+	v := e.Classify(&Request{
+		URL: "http://ads.example/banner/top.gif", Class: urlutil.ClassImage,
+		PageHost: "www.trusted-portal.example",
+	})
+	if !v.Matched {
+		t.Fatal("blacklist must still match")
+	}
+	if !v.Whitelisted || v.Blocked() {
+		t.Errorf("page-level $document exception must whitelist: %s", v)
+	}
+	if v.WhitelistedKind != ListWhitelist {
+		t.Errorf("whitelist attribution: %s", v.WhitelistedBy)
+	}
+
+	// On other pages, the same request is blocked.
+	v = e.Classify(&Request{
+		URL: "http://ads.example/banner/top.gif", Class: urlutil.ClassImage,
+		PageHost: "www.other.example",
+	})
+	if !v.Blocked() {
+		t.Errorf("no page whitelist elsewhere: %s", v)
+	}
+
+	// Without page context the page-level rule cannot fire.
+	v = e.Classify(&Request{URL: "http://ads.example/banner/top.gif", Class: urlutil.ClassImage})
+	if !v.Blocked() {
+		t.Errorf("page-less request must stay blocked: %s", v)
+	}
+}
+
+// TestDocumentExceptionRequiresDocumentOnlyType checks that mixed-type
+// exceptions do not act as page-level whitelists.
+func TestDocumentExceptionRequiresDocumentOnlyType(t *testing.T) {
+	el, err := ParseList("easylist", ListAds, strings.NewReader("/banner/*\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := ParseList("acceptableads", ListWhitelist, strings.NewReader("@@||portal.example^$document,image\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(el, aa)
+	v := e.Classify(&Request{
+		URL: "http://far.example/banner/x.js", Class: urlutil.ClassScript,
+		PageHost: "www.portal.example",
+	})
+	if v.Whitelisted {
+		t.Errorf("document+image exception is request-typed, not page-level: %s", v)
+	}
+}

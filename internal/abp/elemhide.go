@@ -1,0 +1,141 @@
+package abp
+
+import (
+	"sort"
+	"strings"
+
+	"adscape/internal/urlutil"
+)
+
+// ElemHideIndex answers "which CSS selectors does Adblock Plus inject on a
+// page of this domain" — the element-hiding mechanism of §2: ads embedded in
+// the main HTML cannot be blocked at the network layer (the document is
+// needed to render the page), so the extension hides them at render time.
+// Passive header traces can never observe this (§3.1, last paragraph); the
+// index exists so the engine implements the complete filter language and so
+// the browser emulator can report how many embedded ads a profile hides.
+type ElemHideIndex struct {
+	// generic selectors apply on every domain (rules with no domain part).
+	generic []*Filter
+	// byDomain maps an include domain to the rules scoped to it.
+	byDomain map[string][]*Filter
+}
+
+// NewElemHideIndex builds the index from element-hiding rules; request
+// filters in the input are ignored.
+func NewElemHideIndex(rules []*Filter) *ElemHideIndex {
+	idx := &ElemHideIndex{byDomain: make(map[string][]*Filter)}
+	for _, f := range rules {
+		if f.Kind != KindElemHide {
+			continue
+		}
+		if len(f.IncludeDomains) == 0 {
+			idx.generic = append(idx.generic, f)
+			continue
+		}
+		for _, d := range f.IncludeDomains {
+			idx.byDomain[d] = append(idx.byDomain[d], f)
+		}
+	}
+	return idx
+}
+
+// Add indexes additional rules.
+func (idx *ElemHideIndex) Add(rules []*Filter) {
+	for _, f := range rules {
+		if f.Kind != KindElemHide {
+			continue
+		}
+		if len(f.IncludeDomains) == 0 {
+			idx.generic = append(idx.generic, f)
+			continue
+		}
+		for _, d := range f.IncludeDomains {
+			idx.byDomain[d] = append(idx.byDomain[d], f)
+		}
+	}
+}
+
+// Len returns the number of indexed rules (domain-scoped rules count once
+// per include domain).
+func (idx *ElemHideIndex) Len() int {
+	n := len(idx.generic)
+	for _, fs := range idx.byDomain {
+		n += len(fs)
+	}
+	return n
+}
+
+// SelectorsFor returns the CSS selectors hidden on a page at host, sorted
+// and de-duplicated: all generic selectors not excluded for the host, plus
+// every selector whose include domains cover the host (or a parent domain).
+func (idx *ElemHideIndex) SelectorsFor(host string) []string {
+	host = strings.ToLower(host)
+	seen := make(map[string]bool)
+	var out []string
+	add := func(f *Filter) {
+		if excludedFor(f, host) || seen[f.Pattern] {
+			return
+		}
+		seen[f.Pattern] = true
+		out = append(out, f.Pattern)
+	}
+	for _, f := range idx.generic {
+		add(f)
+	}
+	// Walk the host and each parent domain.
+	for d := host; d != ""; {
+		for _, f := range idx.byDomain[d] {
+			add(f)
+		}
+		i := strings.IndexByte(d, '.')
+		if i < 0 {
+			break
+		}
+		d = d[i+1:]
+	}
+	sort.Strings(out)
+	return out
+}
+
+func excludedFor(f *Filter, host string) bool {
+	for _, d := range f.ExcludeDomains {
+		if urlutil.IsSubdomainOf(host, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// HidesOn reports whether any selector applies on the host — the browser
+// emulator's cheap check for "this page has hidden embedded ads".
+func (idx *ElemHideIndex) HidesOn(host string) bool {
+	host = strings.ToLower(host)
+	for _, f := range idx.generic {
+		if !excludedFor(f, host) {
+			return true
+		}
+	}
+	for d := host; d != ""; {
+		for _, f := range idx.byDomain[d] {
+			if !excludedFor(f, host) {
+				return true
+			}
+		}
+		i := strings.IndexByte(d, '.')
+		if i < 0 {
+			break
+		}
+		d = d[i+1:]
+	}
+	return false
+}
+
+// ElemHideIndexFor builds the index over every subscribed list of an engine.
+func (e *Engine) ElemHideIndex() *ElemHideIndex {
+	idx := NewElemHideIndex(nil)
+	for _, fl := range e.lists {
+		idx.Add(fl.ElemHide)
+	}
+	return idx
+}

@@ -1,0 +1,112 @@
+package abp
+
+import (
+	"strings"
+	"testing"
+)
+
+func elemRules(t *testing.T, lines ...string) []*Filter {
+	t.Helper()
+	var out []*Filter
+	for _, l := range lines {
+		out = append(out, mustParse(t, l))
+	}
+	return out
+}
+
+func TestElemHideGeneric(t *testing.T) {
+	idx := NewElemHideIndex(elemRules(t,
+		"##.ad-banner",
+		"##.sponsored-box",
+	))
+	sel := idx.SelectorsFor("www.anything.example")
+	if len(sel) != 2 || sel[0] != ".ad-banner" || sel[1] != ".sponsored-box" {
+		t.Errorf("selectors = %v", sel)
+	}
+	if !idx.HidesOn("whatever.example") {
+		t.Error("generic rules hide everywhere")
+	}
+}
+
+func TestElemHideDomainScoping(t *testing.T) {
+	idx := NewElemHideIndex(elemRules(t,
+		"news.example##.textad",
+		"shop.example##.promo",
+	))
+	if sel := idx.SelectorsFor("www.news.example"); len(sel) != 1 || sel[0] != ".textad" {
+		t.Errorf("news selectors = %v (subdomains inherit parent rules)", sel)
+	}
+	if sel := idx.SelectorsFor("news.example"); len(sel) != 1 {
+		t.Errorf("exact domain selectors = %v", sel)
+	}
+	if sel := idx.SelectorsFor("shop.example"); len(sel) != 1 || sel[0] != ".promo" {
+		t.Errorf("shop selectors = %v", sel)
+	}
+	if sel := idx.SelectorsFor("other.example"); len(sel) != 0 {
+		t.Errorf("unrelated domain selectors = %v", sel)
+	}
+	if idx.HidesOn("other.example") {
+		t.Error("no rule covers other.example")
+	}
+}
+
+func TestElemHideExclusion(t *testing.T) {
+	idx := NewElemHideIndex(elemRules(t,
+		"~quiet.example##.ad-banner",
+		"news.example,~sport.news.example##.scoreboard-ad",
+	))
+	if sel := idx.SelectorsFor("loud.example"); len(sel) != 1 {
+		t.Errorf("generic-with-exclusion on other domains = %v", sel)
+	}
+	if sel := idx.SelectorsFor("quiet.example"); len(sel) != 0 {
+		t.Errorf("excluded domain must see nothing, got %v", sel)
+	}
+	if sel := idx.SelectorsFor("www.news.example"); len(sel) != 2 {
+		t.Errorf("news gets both rules: %v", sel)
+	}
+	if sel := idx.SelectorsFor("sport.news.example"); len(sel) != 1 || sel[0] != ".ad-banner" {
+		t.Errorf("sport subdomain excluded from scoreboard rule: %v", sel)
+	}
+}
+
+func TestElemHideDeduplication(t *testing.T) {
+	idx := NewElemHideIndex(elemRules(t,
+		"##.ad",
+		"news.example##.ad",
+	))
+	if sel := idx.SelectorsFor("news.example"); len(sel) != 1 {
+		t.Errorf("duplicate selectors must collapse: %v", sel)
+	}
+}
+
+func TestElemHideFromEngine(t *testing.T) {
+	el, err := ParseList("easylist", ListAds, strings.NewReader(`
+||ads.example^
+##.ad-slot
+news.example##.inline-textad
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(el)
+	idx := e.ElemHideIndex()
+	if idx.Len() != 2 {
+		t.Errorf("Len = %d, want 2", idx.Len())
+	}
+	if sel := idx.SelectorsFor("news.example"); len(sel) != 2 {
+		t.Errorf("engine elemhide selectors = %v", sel)
+	}
+	// Request filters never leak into the element-hiding index.
+	for _, s := range idx.SelectorsFor("ads.example") {
+		if strings.Contains(s, "ads.example") {
+			t.Errorf("request filter leaked into selectors: %q", s)
+		}
+	}
+}
+
+func TestElemHideIgnoresRequestFilters(t *testing.T) {
+	idx := NewElemHideIndex(elemRules(t, "||ads.example^", "##.ad"))
+	if idx.Len() != 1 {
+		t.Errorf("Len = %d, want only the elemhide rule", idx.Len())
+	}
+}

@@ -1,0 +1,194 @@
+package abp
+
+import (
+	"fmt"
+
+	"adscape/internal/urlutil"
+)
+
+// Verdict is the engine's decision for one request, mirroring the result
+// tuple of libadblockplus in the paper's Figure 1:
+// {is a match, which filter list, is whitelisted}.
+type Verdict struct {
+	// Matched is true when any blocking filter of any list matched.
+	Matched bool
+	// ListName names the list whose blocking filter matched first
+	// (priority: ads lists, then privacy lists), empty when !Matched.
+	ListName string
+	// ListKind is the role of that list.
+	ListKind ListKind
+	// Whitelisted is true when an exception filter (from the acceptable-ads
+	// list or any list's @@ rules) overrides the block.
+	Whitelisted bool
+	// WhitelistedBy names the list providing the overriding exception.
+	WhitelistedBy string
+	// WhitelistedKind is the role of that list; ListWhitelist identifies
+	// the non-intrusive-ads list, anything else an in-list @@ exception.
+	WhitelistedKind ListKind
+	// Filter is the matching blocking filter, for diagnostics.
+	Filter *Filter
+	// Exception is the overriding exception filter, when any.
+	Exception *Filter
+}
+
+// Blocked reports whether an ad-blocker with this engine's configuration
+// would prevent the request.
+func (v Verdict) Blocked() bool { return v.Matched && !v.Whitelisted }
+
+// IsAd reports whether the paper's methodology counts the request as an "ad"
+// (§6 footnote 2): any request blacklisted by an ads or privacy list, or
+// whitelisted by the non-intrusive-ads list, regardless of final blocking.
+func (v Verdict) IsAd() bool { return v.Matched || v.Whitelisted }
+
+// Engine evaluates requests against an ordered set of subscribed filter
+// lists, one Matcher per list, so every verdict carries list attribution the
+// way the paper's per-list breakdowns (EL vs EP vs non-intrusive) need.
+type Engine struct {
+	lists    []*FilterList
+	matchers []*Matcher
+}
+
+// NewEngine builds an Engine over the given lists. List order sets match
+// priority for attribution; ABP semantics (any block + no exception) do not
+// depend on it.
+func NewEngine(lists ...*FilterList) *Engine {
+	e := &Engine{}
+	for _, fl := range lists {
+		e.AddList(fl)
+	}
+	return e
+}
+
+// AddList subscribes an additional list.
+func (e *Engine) AddList(fl *FilterList) {
+	m := NewMatcher()
+	m.AddAll(fl.Filters)
+	e.lists = append(e.lists, fl)
+	e.matchers = append(e.matchers, m)
+}
+
+// Lists returns the subscribed lists in priority order.
+func (e *Engine) Lists() []*FilterList { return e.lists }
+
+// HasList reports whether a list with the given name is subscribed.
+func (e *Engine) HasList(name string) bool {
+	for _, fl := range e.lists {
+		if fl.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleTexts concatenates the rule texts of all subscribed lists.
+func (e *Engine) RuleTexts() []string {
+	var out []string
+	for _, fl := range e.lists {
+		out = append(out, fl.RuleTexts()...)
+	}
+	return out
+}
+
+// NumFilters returns the total number of indexed request filters.
+func (e *Engine) NumFilters() int {
+	n := 0
+	for _, m := range e.matchers {
+		n += m.Len()
+	}
+	return n
+}
+
+// Classify evaluates one request. A blocking match in any list is sought
+// first (in list order); then every list's exception filters may override.
+// A whitelist-kind list contributes only exceptions for blocking purposes,
+// but a match of its exception filters marks the request ad-related
+// ("non-intrusive ad") even without a blacklist hit, which the paper's
+// footnote-2 ad definition requires.
+func (e *Engine) Classify(req *Request) Verdict {
+	var v Verdict
+	for i, m := range e.matchers {
+		if e.lists[i].Kind == ListWhitelist {
+			continue
+		}
+		if f := m.MatchBlocking(req); f != nil {
+			v.Matched = true
+			v.ListName = e.lists[i].Name
+			v.ListKind = e.lists[i].Kind
+			v.Filter = f
+			break
+		}
+	}
+	// Exceptions from every list can override; acceptable-ads first so
+	// whitelist attribution prefers it.
+	order := make([]int, 0, len(e.lists))
+	for i, fl := range e.lists {
+		if fl.Kind == ListWhitelist {
+			order = append(order, i)
+		}
+	}
+	for i, fl := range e.lists {
+		if fl.Kind != ListWhitelist {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		if f := e.matchers[i].MatchException(req); f != nil {
+			v.Whitelisted = true
+			v.WhitelistedBy = e.lists[i].Name
+			v.WhitelistedKind = e.lists[i].Kind
+			v.Exception = f
+			break
+		}
+	}
+	// ABP's $document semantics: an exception restricted to the document
+	// type that matches the *page* disables blocking for every request the
+	// page makes. This is how the over-broad acceptable-ads rules of §7.3
+	// whitelist whole properties.
+	if !v.Whitelisted && req.PageHost != "" {
+		pageReq := &Request{URL: "http://" + req.PageHost + "/", Class: urlutil.ClassDocument}
+		for _, i := range order {
+			if f := e.matchers[i].MatchException(pageReq); f != nil && f.Types == TypeDocument {
+				v.Whitelisted = true
+				v.WhitelistedBy = e.lists[i].Name
+				v.WhitelistedKind = e.lists[i].Kind
+				v.Exception = f
+				break
+			}
+		}
+	}
+	if !v.Matched && v.Whitelisted && v.WhitelistedKind != ListWhitelist {
+		// A plain @@ rule firing without any blacklist hit is not an ad
+		// signal; only the acceptable-ads list defines ads by whitelisting.
+		v.Whitelisted = false
+		v.WhitelistedBy = ""
+		v.WhitelistedKind = ListAds
+		v.Exception = nil
+	}
+	return v
+}
+
+// NonIntrusive reports whether the non-intrusive-ads list whitelisted the
+// request — the paper's "acceptable ad" signal, as opposed to an ordinary
+// in-list @@ exception.
+func (v Verdict) NonIntrusive() bool {
+	return v.Whitelisted && v.WhitelistedKind == ListWhitelist
+}
+
+// WouldBlock is a convenience wrapper for browser emulation: it reports
+// whether a browser running this engine configuration blocks the request.
+func (e *Engine) WouldBlock(url string, class urlutil.ContentClass, pageHost string) bool {
+	req := &Request{URL: url, Class: class, PageHost: pageHost}
+	return e.Classify(req).Blocked()
+}
+
+// String implements fmt.Stringer for Verdict, for logs and examples.
+func (v Verdict) String() string {
+	switch {
+	case !v.Matched && !v.Whitelisted:
+		return "no-match"
+	case v.Whitelisted:
+		return fmt.Sprintf("whitelisted by %s (blacklisted by %s)", v.WhitelistedBy, v.ListName)
+	default:
+		return fmt.Sprintf("blocked by %s", v.ListName)
+	}
+}

@@ -1,0 +1,179 @@
+package abp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adscape/internal/urlutil"
+)
+
+func testLists(t *testing.T) (el, ep, aa *FilterList) {
+	t.Helper()
+	var err error
+	el, err = ParseList("easylist", ListAds, strings.NewReader(`
+! Title: EasyList (test)
+! Expires: 4 days
+! Version: 201504110000
+||adserver.example^
+/banner/
+&ad_slot=
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err = ParseList("easyprivacy", ListPrivacy, strings.NewReader(`
+! Expires: 1 days
+||tracker.example^$third-party
+/pixel.gif
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err = ParseList("acceptableads", ListWhitelist, strings.NewReader(`
+! Expires: 1 days
+@@||adserver.example/acceptable/$image
+@@||gstatic.example^$document
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return el, ep, aa
+}
+
+func TestEngineAttribution(t *testing.T) {
+	el, ep, aa := testLists(t)
+	e := NewEngine(el, ep, aa)
+
+	v := e.Classify(&Request{URL: "http://adserver.example/x.gif", Class: urlutil.ClassImage})
+	if !v.Matched || v.ListName != "easylist" || v.Whitelisted {
+		t.Errorf("EL attribution wrong: %+v", v)
+	}
+	if !v.IsAd() || !v.Blocked() {
+		t.Error("EL hit is an ad and blocked")
+	}
+
+	v = e.Classify(&Request{URL: "http://tracker.example/t.js", PageHost: "news.example"})
+	if !v.Matched || v.ListName != "easyprivacy" {
+		t.Errorf("EP attribution wrong: %+v", v)
+	}
+
+	v = e.Classify(&Request{URL: "http://adserver.example/acceptable/a.gif", Class: urlutil.ClassImage})
+	if !v.Matched || !v.Whitelisted || v.WhitelistedBy != "acceptableads" {
+		t.Errorf("whitelist attribution wrong: %+v", v)
+	}
+	if v.Blocked() {
+		t.Error("whitelisted ad must not be blocked")
+	}
+	if !v.IsAd() {
+		t.Error("whitelisted ad still counts as ad (footnote 2)")
+	}
+
+	v = e.Classify(&Request{URL: "http://clean.example/index.html"})
+	if v.IsAd() || v.Matched || v.Whitelisted {
+		t.Errorf("clean request misclassified: %+v", v)
+	}
+}
+
+func TestEngineWhitelistWithoutBlacklistHit(t *testing.T) {
+	el, ep, aa := testLists(t)
+	e := NewEngine(el, ep, aa)
+	// gstatic is whitelisted by the AA list but not blacklisted anywhere:
+	// it still counts as an ad per the paper's footnote-2 definition.
+	v := e.Classify(&Request{URL: "http://fonts.gstatic.example/f.woff"})
+	if v.Matched {
+		t.Error("no blacklist should match gstatic")
+	}
+	if !v.Whitelisted || v.WhitelistedBy != "acceptableads" {
+		t.Errorf("AA whitelist should mark request: %+v", v)
+	}
+	if !v.IsAd() {
+		t.Error("AA-whitelisted request counts as ad")
+	}
+	if v.Blocked() {
+		t.Error("nothing to block")
+	}
+}
+
+func TestEnginePlainExceptionNotAdSignal(t *testing.T) {
+	el, err := ParseList("easylist", ListAds, strings.NewReader("@@||self.example/allow/\n||other.example^\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(el)
+	v := e.Classify(&Request{URL: "http://self.example/allow/x"})
+	if v.IsAd() {
+		t.Errorf("@@ hit from a non-whitelist list without blacklist hit must not count as ad: %+v", v)
+	}
+}
+
+func TestEngineDefaultInstall(t *testing.T) {
+	// Default ABP install = EasyList + acceptable ads (§2). EasyPrivacy hits
+	// must not appear.
+	el, _, aa := testLists(t)
+	e := NewEngine(el, aa)
+	v := e.Classify(&Request{URL: "http://tracker.example/pixel.gif", PageHost: "news.example"})
+	if v.Matched {
+		t.Errorf("tracker must pass a default install: %+v", v)
+	}
+	if e.HasList("easyprivacy") {
+		t.Error("HasList(easyprivacy) should be false")
+	}
+	if !e.HasList("easylist") {
+		t.Error("HasList(easylist) should be true")
+	}
+}
+
+func TestListMetadata(t *testing.T) {
+	el, ep, _ := testLists(t)
+	if el.SoftExpiry != 4*24*time.Hour {
+		t.Errorf("EasyList expiry = %v, want 96h", el.SoftExpiry)
+	}
+	if ep.SoftExpiry != 24*time.Hour {
+		t.Errorf("EasyPrivacy expiry = %v, want 24h", ep.SoftExpiry)
+	}
+	if el.Version != "201504110000" {
+		t.Errorf("version = %q", el.Version)
+	}
+	if len(el.Filters) != 3 {
+		t.Errorf("EasyList filters = %d, want 3", len(el.Filters))
+	}
+}
+
+func TestSubscriptionExpiry(t *testing.T) {
+	el, _, _ := testLists(t)
+	sub := &Subscription{List: el}
+	t0 := time.Date(2015, 4, 11, 0, 0, 0, 0, time.UTC)
+	if !sub.NeedsUpdate(t0) {
+		t.Error("fresh subscription must fetch immediately")
+	}
+	sub.Fetched(t0)
+	if sub.NeedsUpdate(t0.Add(24 * time.Hour)) {
+		t.Error("EasyList must not re-fetch within 4 days")
+	}
+	if !sub.NeedsUpdate(t0.Add(4 * 24 * time.Hour)) {
+		t.Error("EasyList must re-fetch after soft expiry")
+	}
+}
+
+func TestParseListToleratesUnsupported(t *testing.T) {
+	fl, err := ParseList("x", ListAds, strings.NewReader("example.com#@#.ad\n||ok.example^\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Skipped != 1 || len(fl.Filters) != 1 {
+		t.Errorf("skipped=%d filters=%d", fl.Skipped, len(fl.Filters))
+	}
+}
+
+func TestEngineRuleTextsAndCount(t *testing.T) {
+	el, ep, aa := testLists(t)
+	e := NewEngine(el, ep, aa)
+	if n := e.NumFilters(); n != 7 {
+		t.Errorf("NumFilters = %d, want 7", n)
+	}
+	texts := e.RuleTexts()
+	if len(texts) != 7 {
+		t.Errorf("RuleTexts = %d entries, want 7", len(texts))
+	}
+}

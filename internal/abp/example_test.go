@@ -1,0 +1,49 @@
+package abp_test
+
+import (
+	"fmt"
+	"strings"
+
+	"adscape/internal/abp"
+	"adscape/internal/urlutil"
+)
+
+// ExampleEngine_Classify shows the measurement pipeline's core call: a URL
+// plus page context in, a per-list verdict out.
+func ExampleEngine_Classify() {
+	easylist, _ := abp.ParseList("easylist", abp.ListAds, strings.NewReader(
+		"||adserver.example^\n/banner/*\n"))
+	acceptable, _ := abp.ParseList("acceptableads", abp.ListWhitelist, strings.NewReader(
+		"@@||adserver.example/text-ads/*\n"))
+	engine := abp.NewEngine(easylist, acceptable)
+
+	v := engine.Classify(&abp.Request{
+		URL:      "http://adserver.example/text-ads/unit.html",
+		Class:    urlutil.ClassDocument,
+		PageHost: "www.news.example",
+	})
+	fmt.Println(v.Matched, v.ListName, v.NonIntrusive(), v.Blocked())
+	// Output: true easylist true false
+}
+
+// ExampleParse shows filter-rule parsing with options.
+func ExampleParse() {
+	f, _ := abp.Parse("||tracker.example^$third-party,script")
+	fmt.Println(f.Kind == abp.KindBlocking, f.TypeNames(), f.Party == abp.OnlyThird)
+	// Output: true [script] true
+}
+
+// ExampleElemHideIndex shows domain-scoped element hiding.
+func ExampleElemHideIndex() {
+	rules := []*abp.Filter{}
+	for _, line := range []string{"##.ad-banner", "news.example##.textad"} {
+		f, _ := abp.Parse(line)
+		rules = append(rules, f)
+	}
+	idx := abp.NewElemHideIndex(rules)
+	fmt.Println(idx.SelectorsFor("www.news.example"))
+	fmt.Println(idx.SelectorsFor("other.example"))
+	// Output:
+	// [.ad-banner .textad]
+	// [.ad-banner]
+}

@@ -1,0 +1,562 @@
+// Package abp implements an Adblock Plus compatible filter engine: the
+// filter-rule grammar (blocking filters, @@ exception filters, ## element
+// hiding rules, $-options), and a keyword-indexed matcher equivalent to the
+// one inside libadblockplus, which the paper uses to classify ad requests in
+// passive traces (§2, §3.1).
+package abp
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"adscape/internal/urlutil"
+)
+
+// Kind discriminates the three rule families of the ABP filter language.
+type Kind int
+
+// Rule families.
+const (
+	KindBlocking  Kind = iota // plain filters that block requests
+	KindException             // "@@" filters that whitelist requests
+	KindElemHide              // "##" CSS element hiding rules
+)
+
+// TypeMask is a bit set of content classes a filter applies to.
+type TypeMask uint32
+
+// Bits of TypeMask, one per ABP $-type option observable from header traces.
+const (
+	TypeDocument TypeMask = 1 << iota
+	TypeScript
+	TypeStylesheet
+	TypeImage
+	TypeMedia
+	TypeObject
+	TypeXHR
+	TypeOther
+	typeCount = iota
+)
+
+// TypeAll matches every content class; it is the default for filters without
+// type options.
+const TypeAll = TypeMask(1<<typeCount) - 1
+
+var classBits = map[urlutil.ContentClass]TypeMask{
+	urlutil.ClassDocument:   TypeDocument,
+	urlutil.ClassScript:     TypeScript,
+	urlutil.ClassStylesheet: TypeStylesheet,
+	urlutil.ClassImage:      TypeImage,
+	urlutil.ClassMedia:      TypeMedia,
+	urlutil.ClassObject:     TypeObject,
+	urlutil.ClassXHR:        TypeXHR,
+	urlutil.ClassOther:      TypeOther,
+}
+
+var bitNames = map[TypeMask]string{
+	TypeDocument: "document", TypeScript: "script", TypeStylesheet: "stylesheet",
+	TypeImage: "image", TypeMedia: "media", TypeObject: "object",
+	TypeXHR: "xmlhttprequest", TypeOther: "other",
+}
+
+// BitForClass returns the TypeMask bit for a content class. An unknown class
+// matches everything, mirroring ABP's behaviour for untyped requests.
+func BitForClass(c urlutil.ContentClass) TypeMask {
+	if b, ok := classBits[c]; ok {
+		return b
+	}
+	return TypeAll
+}
+
+// ThirdParty restricts a filter to requests crossing (or not crossing) a
+// registered-domain boundary relative to the referring page.
+type ThirdParty int
+
+// Third-party restriction values.
+const (
+	AnyParty  ThirdParty = iota // no restriction
+	OnlyThird                   // $third-party
+	OnlyFirst                   // $~third-party
+)
+
+// Filter is one parsed ABP rule.
+type Filter struct {
+	// Text is the original rule line, preserved for round-tripping and for
+	// the query-string normalizer.
+	Text string
+	// Kind selects blocking / exception / element hiding.
+	Kind Kind
+	// Pattern is the URL pattern with the @@ prefix and $-options stripped.
+	// For element hiding rules it is the CSS selector.
+	Pattern string
+	// Types is the content-class mask the filter applies to.
+	Types TypeMask
+	// Party is the third-party restriction.
+	Party ThirdParty
+	// IncludeDomains restricts matching to pages on these domains (from
+	// $domain=a.com|b.com). Empty means no restriction.
+	IncludeDomains []string
+	// ExcludeDomains disables matching on pages on these domains (from
+	// $domain=~a.com). For element hiding rules these come from the
+	// "domain1,~domain2##selector" prefix.
+	ExcludeDomains []string
+	// MatchCase marks $match-case filters.
+	MatchCase bool
+
+	// compiled matching machinery, built by compile().
+	isRegex   bool
+	re        *regexp.Regexp
+	tokens    []patToken
+	anchStart bool // leading "|"
+	anchEnd   bool // trailing "|"
+	anchHost  bool // leading "||"
+}
+
+// patToken is a literal run or a metacharacter in a compiled pattern.
+type patToken struct {
+	lit string // literal text; empty for metacharacters
+	sep bool   // "^" separator placeholder
+	any bool   // "*" wildcard
+}
+
+// ErrUnsupported is returned for rule lines the engine cannot represent
+// (comments, CSS property rules, snippet filters).
+var ErrUnsupported = errors.New("abp: unsupported rule")
+
+// ErrEmpty is returned for blank lines and list headers.
+var ErrEmpty = errors.New("abp: empty rule")
+
+// Parse parses one line of an ABP filter list. Comment lines (starting with
+// "!" or "[") yield ErrEmpty; exotic rule forms yield ErrUnsupported.
+func Parse(line string) (*Filter, error) {
+	text := strings.TrimSpace(line)
+	if text == "" || strings.HasPrefix(text, "!") || strings.HasPrefix(text, "[") {
+		return nil, ErrEmpty
+	}
+	// Element hiding: "domains##selector" or "domains#@#selector" (exception
+	// element hiding, treated as unsupported: the paper's pipeline cannot see
+	// the DOM anyway and only counts element-hiding rules).
+	if i := strings.Index(text, "#@#"); i >= 0 {
+		return nil, ErrUnsupported
+	}
+	if i := strings.Index(text, "##"); i >= 0 {
+		f := &Filter{Text: text, Kind: KindElemHide, Pattern: text[i+2:], Types: TypeAll}
+		if f.Pattern == "" {
+			return nil, fmt.Errorf("abp: element hiding rule without selector: %q", text)
+		}
+		for _, d := range strings.Split(text[:i], ",") {
+			d = strings.ToLower(strings.TrimSpace(d))
+			if d == "" {
+				continue
+			}
+			if strings.HasPrefix(d, "~") {
+				f.ExcludeDomains = append(f.ExcludeDomains, d[1:])
+			} else {
+				f.IncludeDomains = append(f.IncludeDomains, d)
+			}
+		}
+		return f, nil
+	}
+
+	f := &Filter{Text: text, Kind: KindBlocking, Types: 0, Party: AnyParty}
+	body := text
+	if strings.HasPrefix(body, "@@") {
+		f.Kind = KindException
+		body = body[2:]
+	}
+	// Split off options at the last "$" that is followed by an option-looking
+	// tail. A "$" inside a regex body (/.../) is part of the pattern.
+	if !strings.HasPrefix(body, "/") || !strings.HasSuffix(body, "/") {
+		if i := strings.LastIndexByte(body, '$'); i >= 0 && looksLikeOptions(body[i+1:]) {
+			if err := f.parseOptions(body[i+1:]); err != nil {
+				return nil, err
+			}
+			body = body[:i]
+		}
+	}
+	if f.Types == 0 {
+		f.Types = TypeAll
+	}
+	if body == "" {
+		return nil, fmt.Errorf("abp: filter without pattern: %q", text)
+	}
+	f.Pattern = body
+	if err := f.compile(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// looksLikeOptions reports whether s is plausibly a comma-separated option
+// list rather than pattern text containing '$'.
+func looksLikeOptions(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, opt := range strings.Split(s, ",") {
+		opt = strings.TrimPrefix(strings.TrimSpace(opt), "~")
+		if i := strings.IndexByte(opt, '='); i >= 0 {
+			opt = opt[:i]
+		}
+		switch opt {
+		case "script", "image", "stylesheet", "object", "xmlhttprequest",
+			"media", "document", "subdocument", "other", "third-party",
+			"match-case", "domain", "popup", "elemhide", "generichide",
+			"genericblock", "websocket", "ping", "font":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Filter) parseOptions(opts string) error {
+	for _, opt := range strings.Split(opts, ",") {
+		opt = strings.TrimSpace(opt)
+		neg := strings.HasPrefix(opt, "~")
+		if neg {
+			opt = opt[1:]
+		}
+		key, val := opt, ""
+		if i := strings.IndexByte(opt, '='); i >= 0 {
+			key, val = opt[:i], opt[i+1:]
+		}
+		switch key {
+		case "script":
+			f.addTypeOption(TypeScript, neg)
+		case "image":
+			f.addTypeOption(TypeImage, neg)
+		case "stylesheet":
+			f.addTypeOption(TypeStylesheet, neg)
+		case "object":
+			f.addTypeOption(TypeObject, neg)
+		case "xmlhttprequest":
+			f.addTypeOption(TypeXHR, neg)
+		case "media":
+			f.addTypeOption(TypeMedia, neg)
+		case "document", "subdocument":
+			f.addTypeOption(TypeDocument, neg)
+		case "other", "ping", "websocket", "font":
+			f.addTypeOption(TypeOther, neg)
+		case "popup", "elemhide", "generichide", "genericblock":
+			// Rendering-time options: no effect on request classification.
+		case "third-party":
+			if neg {
+				f.Party = OnlyFirst
+			} else {
+				f.Party = OnlyThird
+			}
+		case "match-case":
+			f.MatchCase = !neg
+		case "domain":
+			for _, d := range strings.Split(val, "|") {
+				d = strings.ToLower(strings.TrimSpace(d))
+				if d == "" {
+					continue
+				}
+				if strings.HasPrefix(d, "~") {
+					f.ExcludeDomains = append(f.ExcludeDomains, d[1:])
+				} else {
+					f.IncludeDomains = append(f.IncludeDomains, d)
+				}
+			}
+		default:
+			return fmt.Errorf("abp: unknown option %q in %q", key, f.Text)
+		}
+	}
+	return nil
+}
+
+// addTypeOption accumulates inclusive type options; a negated option flips to
+// "everything except", matching ABP semantics.
+func (f *Filter) addTypeOption(bit TypeMask, neg bool) {
+	if neg {
+		if f.Types == 0 {
+			f.Types = TypeAll
+		}
+		f.Types &^= bit
+		return
+	}
+	f.Types |= bit
+}
+
+// compile translates Pattern into the token program or regexp used by Match.
+func (f *Filter) compile() error {
+	p := f.Pattern
+	if len(p) > 2 && strings.HasPrefix(p, "/") && strings.HasSuffix(p, "/") {
+		expr := p[1 : len(p)-1]
+		if !f.MatchCase {
+			expr = "(?i)" + expr
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			return fmt.Errorf("abp: bad regex filter %q: %w", f.Text, err)
+		}
+		f.isRegex = true
+		f.re = re
+		return nil
+	}
+	if strings.HasPrefix(p, "||") {
+		f.anchHost = true
+		p = p[2:]
+	} else if strings.HasPrefix(p, "|") {
+		f.anchStart = true
+		p = p[1:]
+	}
+	if strings.HasSuffix(p, "|") {
+		f.anchEnd = true
+		p = p[:len(p)-1]
+	}
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			f.tokens = append(f.tokens, patToken{lit: lit.String()})
+			lit.Reset()
+		}
+	}
+	for i := 0; i < len(p); i++ {
+		switch p[i] {
+		case '*':
+			flush()
+			// Collapse runs of '*'.
+			if n := len(f.tokens); n == 0 || !f.tokens[n-1].any {
+				f.tokens = append(f.tokens, patToken{any: true})
+			}
+		case '^':
+			flush()
+			f.tokens = append(f.tokens, patToken{sep: true})
+		default:
+			lit.WriteByte(p[i])
+		}
+	}
+	flush()
+	return nil
+}
+
+// String returns the canonical rule text; Parse(f.String()) reproduces f.
+func (f *Filter) String() string { return f.Text }
+
+// TypeNames returns the names of the set type bits, sorted, for diagnostics.
+func (f *Filter) TypeNames() []string {
+	if f.Types == TypeAll {
+		return []string{"*"}
+	}
+	var names []string
+	for bit, name := range bitNames {
+		if f.Types&bit != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// isSeparator implements the "^" placeholder: anything that is not a letter,
+// digit, or one of "_-.%", plus end-of-URL.
+func isSeparator(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return false
+	case c == '_', c == '-', c == '.', c == '%':
+		return false
+	}
+	return true
+}
+
+// Request carries the per-request context the matcher needs: the URL, the
+// content class inferred for it, and the host of the page that originated it.
+type Request struct {
+	// URL is the full request URL (scheme optional).
+	URL string
+	// Class is the inferred content class; ClassUnknown matches any type bit.
+	Class urlutil.ContentClass
+	// PageHost is the host of the page (top-level document) that triggered
+	// the request; empty when unknown.
+	PageHost string
+}
+
+// host returns the lower-cased request host.
+func (r *Request) host() string { return urlutil.Host(r.URL) }
+
+// thirdParty reports whether the request crosses a registered-domain
+// boundary. Unknown page hosts count as third-party, the conservative choice
+// for passive traces.
+func (r *Request) thirdParty() bool {
+	if r.PageHost == "" {
+		return true
+	}
+	return !urlutil.SameRegisteredDomain(r.host(), r.PageHost)
+}
+
+// Match reports whether the filter matches the request. Element hiding rules
+// never match requests (they act on the DOM, not the network).
+func (f *Filter) Match(req *Request) bool {
+	if f.Kind == KindElemHide {
+		return false
+	}
+	if f.Types != TypeAll {
+		bit := BitForClass(req.Class)
+		if bit != TypeAll && f.Types&bit == 0 {
+			return false
+		}
+	}
+	switch f.Party {
+	case OnlyThird:
+		if !req.thirdParty() {
+			return false
+		}
+	case OnlyFirst:
+		if req.thirdParty() {
+			return false
+		}
+	}
+	if !f.domainAllowed(req.PageHost) {
+		return false
+	}
+	return f.matchURL(req.URL)
+}
+
+// domainAllowed applies $domain= restrictions against the page host.
+func (f *Filter) domainAllowed(pageHost string) bool {
+	for _, d := range f.ExcludeDomains {
+		if urlutil.IsSubdomainOf(pageHost, d) {
+			return false
+		}
+	}
+	if len(f.IncludeDomains) == 0 {
+		return true
+	}
+	if pageHost == "" {
+		// Domain-restricted rules cannot fire without page context.
+		return false
+	}
+	for _, d := range f.IncludeDomains {
+		if urlutil.IsSubdomainOf(pageHost, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchURL runs the compiled pattern against the URL string.
+func (f *Filter) matchURL(url string) bool {
+	if f.isRegex {
+		return f.re.MatchString(url)
+	}
+	hay := url
+	if !f.MatchCase {
+		hay = strings.ToLower(url)
+	}
+	if f.anchHost {
+		return f.matchHostAnchored(hay)
+	}
+	if f.anchStart {
+		return f.matchTokens(hay, 0, 0)
+	}
+	// Unanchored: try every start offset; the first token's literal guides
+	// the scan to keep this linear in practice.
+	return f.matchFloating(hay, 0)
+}
+
+// matchHostAnchored implements "||": the pattern must start at the beginning
+// of the hostname or at a "."-separated label boundary within it.
+func (f *Filter) matchHostAnchored(url string) bool {
+	// Find the host region.
+	start := 0
+	if i := strings.Index(url, "://"); i >= 0 {
+		start = i + 3
+	}
+	hostEnd := len(url)
+	if i := strings.IndexAny(url[start:], "/?"); i >= 0 {
+		hostEnd = start + i
+	}
+	for pos := start; pos <= hostEnd; pos++ {
+		if pos == start || url[pos-1] == '.' {
+			if f.matchTokens(url, pos, 0) {
+				return true
+			}
+		}
+		// advance to next label
+		j := strings.IndexByte(url[pos:hostEnd], '.')
+		if j < 0 {
+			break
+		}
+		pos += j // loop increment moves past the dot
+	}
+	return false
+}
+
+// matchFloating tries the token program at every viable offset ≥ from.
+func (f *Filter) matchFloating(hay string, from int) bool {
+	if len(f.tokens) == 0 {
+		return true
+	}
+	first := f.tokens[0]
+	if first.lit != "" {
+		lit := first.lit
+		if !f.MatchCase {
+			lit = strings.ToLower(lit)
+		}
+		for i := from; ; {
+			j := strings.Index(hay[i:], lit)
+			if j < 0 {
+				return false
+			}
+			if f.matchTokens(hay, i+j, 0) {
+				return true
+			}
+			i += j + 1
+		}
+	}
+	for i := from; i <= len(hay); i++ {
+		if f.matchTokens(hay, i, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchTokens is the backtracking core over the compiled tokens.
+func (f *Filter) matchTokens(hay string, pos, ti int) bool {
+	for ; ti < len(f.tokens); ti++ {
+		t := f.tokens[ti]
+		switch {
+		case t.lit != "":
+			lit := t.lit
+			if !f.MatchCase {
+				lit = strings.ToLower(lit)
+			}
+			if !strings.HasPrefix(hay[pos:], lit) {
+				return false
+			}
+			pos += len(lit)
+		case t.sep:
+			// "^" matches one separator char, or end-of-string when last.
+			if pos == len(hay) {
+				return ti == len(f.tokens)-1
+			}
+			if !isSeparator(hay[pos]) {
+				return false
+			}
+			pos++
+		case t.any:
+			if ti == len(f.tokens)-1 {
+				return true // a trailing "*" absorbs the rest of the URL
+			}
+			// Try all splits for the remainder.
+			for p := pos; p <= len(hay); p++ {
+				if f.matchTokens(hay, p, ti+1) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if f.anchEnd {
+		return pos == len(hay)
+	}
+	return true
+}

@@ -1,0 +1,278 @@
+package abp
+
+import (
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+func mustParse(t *testing.T, line string) *Filter {
+	t.Helper()
+	f, err := Parse(line)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	return f
+}
+
+func req(url string) *Request { return &Request{URL: url} }
+
+func TestParseKinds(t *testing.T) {
+	if f := mustParse(t, "||ads.example.com^"); f.Kind != KindBlocking {
+		t.Errorf("kind = %v, want blocking", f.Kind)
+	}
+	if f := mustParse(t, "@@||good.example.com^$document"); f.Kind != KindException {
+		t.Errorf("kind = %v, want exception", f.Kind)
+	}
+	if f := mustParse(t, "example.com##.ad-banner"); f.Kind != KindElemHide {
+		t.Errorf("kind = %v, want elemhide", f.Kind)
+	}
+	if _, err := Parse("! comment"); err != ErrEmpty {
+		t.Errorf("comment: err = %v, want ErrEmpty", err)
+	}
+	if _, err := Parse("[Adblock Plus 2.0]"); err != ErrEmpty {
+		t.Errorf("header: err = %v, want ErrEmpty", err)
+	}
+	if _, err := Parse("example.com#@#.ad"); err != ErrUnsupported {
+		t.Errorf("exception elemhide: err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestHostAnchoredMatch(t *testing.T) {
+	f := mustParse(t, "||ads.example.com^")
+	tests := []struct {
+		url  string
+		want bool
+	}{
+		{"http://ads.example.com/banner.gif", true},
+		{"http://sub.ads.example.com/banner.gif", true},
+		{"https://ads.example.com:8080/x", true},
+		{"http://notads.example.com/banner.gif", false},
+		{"http://example.com/ads.example.com/x", false}, // host anchor: path must not match
+		{"http://ads.example.community/x", false},       // ^ must see a separator
+	}
+	for _, tt := range tests {
+		if got := f.Match(req(tt.url)); got != tt.want {
+			t.Errorf("%q.Match(%q) = %v, want %v", f.Text, tt.url, got, tt.want)
+		}
+	}
+}
+
+func TestSeparatorSemantics(t *testing.T) {
+	f := mustParse(t, "||example.com^ad^")
+	if !f.Match(req("http://example.com/ad/")) {
+		t.Error("separator should match '/'")
+	}
+	if f.Match(req("http://example.com/admin/")) {
+		t.Error("'ad' must be bounded by separators")
+	}
+	// '^' at end of pattern matches end of URL.
+	f2 := mustParse(t, "||t.example.com^")
+	if !f2.Match(req("http://t.example.com")) {
+		t.Error("trailing ^ should match end of URL")
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	f := mustParse(t, "/banner/*/ad_")
+	if !f.Match(req("http://x.example/banner/2015/ad_top.gif")) {
+		t.Error("wildcard should bridge path segments")
+	}
+	if f.Match(req("http://x.example/banner-2015/ad_top.gif")) {
+		t.Error("literal '/banner/' must match exactly")
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	start := mustParse(t, "|http://baddomain.example/")
+	if !start.Match(req("http://baddomain.example/x")) {
+		t.Error("start anchor should match URL beginning")
+	}
+	if start.Match(req("http://proxy.example/?u=http://baddomain.example/")) {
+		t.Error("start anchor must not match mid-URL")
+	}
+	end := mustParse(t, "swf|")
+	if !end.Match(req("http://example.com/annoyingflash.swf")) {
+		t.Error("end anchor should match URL end")
+	}
+	if end.Match(req("http://example.com/swf/index.html")) {
+		t.Error("end anchor must not match mid-URL")
+	}
+}
+
+func TestRegexFilter(t *testing.T) {
+	f := mustParse(t, `/banner[0-9]+\.gif/`)
+	if !f.Match(req("http://x.example/banner123.gif")) {
+		t.Error("regex should match")
+	}
+	if f.Match(req("http://x.example/banner.gif")) {
+		t.Error("regex should require digits")
+	}
+	if _, err := Parse("/unclosed[/"); err == nil {
+		t.Error("bad regex should fail to parse")
+	}
+}
+
+func TestTypeOptions(t *testing.T) {
+	f := mustParse(t, "||ads.example.com^$script,image")
+	r := &Request{URL: "http://ads.example.com/a.js", Class: urlutil.ClassScript}
+	if !f.Match(r) {
+		t.Error("script should match $script,image")
+	}
+	r.Class = urlutil.ClassStylesheet
+	if f.Match(r) {
+		t.Error("stylesheet must not match $script,image")
+	}
+	r.Class = urlutil.ClassUnknown
+	if !f.Match(r) {
+		t.Error("unknown class should match any type restriction")
+	}
+	neg := mustParse(t, "||ads.example.com^$~image")
+	r.Class = urlutil.ClassImage
+	if neg.Match(r) {
+		t.Error("image must not match $~image")
+	}
+	r.Class = urlutil.ClassScript
+	if !neg.Match(r) {
+		t.Error("script should match $~image")
+	}
+}
+
+func TestThirdPartyOption(t *testing.T) {
+	f := mustParse(t, "||tracker.example^$third-party")
+	r := &Request{URL: "http://tracker.example/t.gif", PageHost: "www.news.example"}
+	if !f.Match(r) {
+		t.Error("cross-domain request should be third-party")
+	}
+	r.PageHost = "www.tracker.example"
+	if f.Match(r) {
+		t.Error("same registered domain is first-party")
+	}
+	r.PageHost = ""
+	if !f.Match(r) {
+		t.Error("unknown page host counts as third-party")
+	}
+	first := mustParse(t, "||cdn.example^$~third-party")
+	r2 := &Request{URL: "http://cdn.example/x.js", PageHost: "www.cdn.example"}
+	if !first.Match(r2) {
+		t.Error("first-party should match $~third-party")
+	}
+	r2.PageHost = "other.example"
+	if first.Match(r2) {
+		t.Error("third-party must not match $~third-party")
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	f := mustParse(t, "/ad.$domain=news.example|blog.example")
+	r := &Request{URL: "http://static.example/ad.gif", PageHost: "www.news.example"}
+	if !f.Match(r) {
+		t.Error("included domain should match")
+	}
+	r.PageHost = "shop.example"
+	if f.Match(r) {
+		t.Error("non-included domain must not match")
+	}
+	r.PageHost = ""
+	if f.Match(r) {
+		t.Error("domain-restricted filter needs page context")
+	}
+	excl := mustParse(t, "/ad.$domain=~news.example")
+	r2 := &Request{URL: "http://static.example/ad.gif", PageHost: "www.news.example"}
+	if excl.Match(r2) {
+		t.Error("excluded domain must not match")
+	}
+	r2.PageHost = "shop.example"
+	if !excl.Match(r2) {
+		t.Error("other domains should match domain-excluded filter")
+	}
+}
+
+func TestMatchCase(t *testing.T) {
+	f := mustParse(t, "/AdServer/$match-case")
+	if !f.Match(req("http://x.example/AdServer/a")) {
+		t.Error("exact case should match")
+	}
+	if f.Match(req("http://x.example/adserver/a")) {
+		t.Error("wrong case must not match $match-case")
+	}
+	ci := mustParse(t, "/AdServer/")
+	if !ci.Match(req("http://x.example/adserver/a")) {
+		t.Error("default matching is case-insensitive")
+	}
+}
+
+func TestDollarInRegexBody(t *testing.T) {
+	f := mustParse(t, `/ad\.php$/`)
+	if !f.Match(req("http://x.example/ad.php")) {
+		t.Error("regex with trailing $ should parse as regex and match")
+	}
+	if f.isRegex != true {
+		t.Error("should be compiled as regex")
+	}
+}
+
+func TestElemHideParsing(t *testing.T) {
+	f := mustParse(t, "news.example,~sport.news.example##.ad-box")
+	if f.Pattern != ".ad-box" {
+		t.Errorf("selector = %q", f.Pattern)
+	}
+	if len(f.IncludeDomains) != 1 || f.IncludeDomains[0] != "news.example" {
+		t.Errorf("include = %v", f.IncludeDomains)
+	}
+	if len(f.ExcludeDomains) != 1 || f.ExcludeDomains[0] != "sport.news.example" {
+		t.Errorf("exclude = %v", f.ExcludeDomains)
+	}
+	if f.Match(req("http://news.example/.ad-box")) {
+		t.Error("element hiding rules never match requests")
+	}
+}
+
+func TestWhitelistDocumentFilter(t *testing.T) {
+	// The over-broad acceptable-ads rule pattern from §7.3 of the paper.
+	f := mustParse(t, "@@||gstatic.example^$document")
+	r := &Request{URL: "http://fonts.gstatic.example/font.woff", Class: urlutil.ClassUnknown}
+	if !f.Match(r) {
+		t.Error("untyped request should match $document whitelist")
+	}
+	r.Class = urlutil.ClassDocument
+	if !f.Match(r) {
+		t.Error("document should match")
+	}
+	r.Class = urlutil.ClassImage
+	if f.Match(r) {
+		t.Error("typed non-document must not match $document")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	lines := []string{
+		"||ads.example.com^",
+		"@@||good.example.com/ads/$image,domain=pub.example",
+		"/banner/*/ad_",
+		"&ad_box_",
+		"|http://exact.example/path|",
+		"||t.example^$third-party,script",
+		"example.com##.ad",
+	}
+	for _, line := range lines {
+		f1 := mustParse(t, line)
+		f2 := mustParse(t, f1.String())
+		if f1.Text != f2.Text || f1.Kind != f2.Kind || f1.Pattern != f2.Pattern ||
+			f1.Types != f2.Types || f1.Party != f2.Party {
+			t.Errorf("round trip changed filter %q", line)
+		}
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	f := mustParse(t, "||x.example^$script,image")
+	names := f.TypeNames()
+	if len(names) != 2 || names[0] != "image" || names[1] != "script" {
+		t.Errorf("TypeNames = %v", names)
+	}
+	all := mustParse(t, "||x.example^")
+	if n := all.TypeNames(); len(n) != 1 || n[0] != "*" {
+		t.Errorf("TypeNames for untyped = %v", n)
+	}
+}

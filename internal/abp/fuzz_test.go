@@ -1,0 +1,70 @@
+package abp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the filter parser: arbitrary input must never panic,
+// and any successfully parsed filter must round-trip and match without
+// panicking.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"||ads.example.com^",
+		"@@||good.example.com/ads/$image,domain=pub.example|~sub.pub.example",
+		"/banner/*/ad_",
+		"&ad_box_",
+		"|http://exact.example/path|",
+		"||t.example^$third-party,script,~image",
+		"example.com,~sub.example.com##.ad",
+		`/banner[0-9]+\.gif/`,
+		"$$$$",
+		"@@",
+		"||",
+		"##",
+		"a$domain=",
+		"x$unknownopt",
+		"/unclosed[/",
+		strings.Repeat("*", 100),
+		strings.Repeat("^", 50) + strings.Repeat("a", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		flt, err := Parse(line)
+		if err != nil {
+			return
+		}
+		// Round-trip must also parse.
+		if _, err := Parse(flt.String()); err != nil {
+			t.Fatalf("round-trip of %q failed: %v", line, err)
+		}
+		// Matching arbitrary URLs must not panic.
+		for _, u := range []string{
+			"http://ads.example.com/banner/x.gif?ad_box_=1",
+			"http://exact.example/path",
+			"",
+			"not a url at all",
+			strings.Repeat("a", 300),
+		} {
+			flt.Match(&Request{URL: u, PageHost: "pub.example"})
+		}
+	})
+}
+
+// FuzzParseList hardens the list parser against arbitrary list text.
+func FuzzParseList(f *testing.F) {
+	f.Add("[Adblock Plus 2.0]\n! Expires: 4 days\n||a.example^\n")
+	f.Add("! Version: x\n@@||b.example^$document\n##.ad\n")
+	f.Add("\x00\x01\x02\nnot a rule\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		fl, err := ParseList("fuzz", ListAds, strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		m := NewMatcher()
+		m.AddAll(fl.Filters)
+		m.Match(&Request{URL: "http://a.example/x"})
+	})
+}

@@ -1,0 +1,124 @@
+package abp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+// genFilter builds a random but valid filter line from the grammar.
+func genFilter(rng *rand.Rand) string {
+	var body string
+	switch rng.Intn(5) {
+	case 0: // host anchored
+		body = fmt.Sprintf("||host%d.example%s", rng.Intn(1000), pick(rng, "^", "/path/", "^ad^"))
+	case 1: // plain substring
+		body = fmt.Sprintf("%sseg%d%s", pick(rng, "/", "_", "&"), rng.Intn(1000), pick(rng, "/", "_", "="))
+	case 2: // wildcards
+		body = fmt.Sprintf("/a%d/*/b%d^", rng.Intn(100), rng.Intn(100))
+	case 3: // start anchor
+		body = fmt.Sprintf("|http://exact%d.example/", rng.Intn(1000))
+	case 4: // end anchor
+		body = fmt.Sprintf(".ext%d|", rng.Intn(100))
+	}
+	if rng.Intn(4) == 0 {
+		body = "@@" + body
+	}
+	var opts []string
+	if rng.Intn(3) == 0 {
+		opts = append(opts, pick(rng, "script", "image", "stylesheet", "media", "object", "~image"))
+	}
+	if rng.Intn(4) == 0 {
+		opts = append(opts, pick(rng, "third-party", "~third-party"))
+	}
+	if rng.Intn(5) == 0 {
+		opts = append(opts, fmt.Sprintf("domain=d%d.example|~x%d.example", rng.Intn(50), rng.Intn(50)))
+	}
+	if len(opts) > 0 {
+		body += "$" + join(opts)
+	}
+	return body
+}
+
+func pick(rng *rand.Rand, xs ...string) string { return xs[rng.Intn(len(xs))] }
+
+func join(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ","
+		}
+		out += x
+	}
+	return out
+}
+
+// TestGenerativeRoundTrip: Parse(String(Parse(line))) reproduces the same
+// filter for thousands of grammar-generated rules (the DESIGN.md §6
+// round-trip invariant).
+func TestGenerativeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2015))
+	for i := 0; i < 3000; i++ {
+		line := genFilter(rng)
+		f1, err := Parse(line)
+		if err != nil {
+			t.Fatalf("generated invalid filter %q: %v", line, err)
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q failed: %v", f1.String(), err)
+		}
+		if f1.Kind != f2.Kind || f1.Pattern != f2.Pattern || f1.Types != f2.Types ||
+			f1.Party != f2.Party || f1.MatchCase != f2.MatchCase {
+			t.Fatalf("round trip changed semantics of %q:\n %+v\n %+v", line, f1, f2)
+		}
+		if len(f1.IncludeDomains) != len(f2.IncludeDomains) || len(f1.ExcludeDomains) != len(f2.ExcludeDomains) {
+			t.Fatalf("round trip changed domain options of %q", line)
+		}
+	}
+}
+
+// TestGenerativeMatcherEquivalence: the indexed matcher agrees with the
+// linear reference over a large generated rule set and URL corpus — broader
+// than the fixed-shape corpus test.
+func TestGenerativeMatcherEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	idx, lin := NewMatcher(), NewLinearMatcher()
+	for i := 0; i < 1500; i++ {
+		f, err := Parse(genFilter(rng))
+		if err != nil {
+			continue
+		}
+		idx.Add(f)
+		lin.Add(f)
+	}
+	classes := []urlutil.ContentClass{urlutil.ClassImage, urlutil.ClassScript,
+		urlutil.ClassDocument, urlutil.ClassUnknown}
+	urls := []func() string{
+		func() string { return fmt.Sprintf("http://host%d.example/path/x", rng.Intn(1000)) },
+		func() string { return fmt.Sprintf("http://exact%d.example/", rng.Intn(1000)) },
+		func() string { return fmt.Sprintf("http://w.example/a%d/zz/b%d-", rng.Intn(100), rng.Intn(100)) },
+		func() string { return fmt.Sprintf("http://w.example/page_seg%d_tail", rng.Intn(1000)) },
+		func() string { return fmt.Sprintf("http://clean%d.example/index.html", rng.Intn(1000)) },
+		func() string { return fmt.Sprintf("http://w.example/file.ext%d", rng.Intn(100)) },
+	}
+	divergences := 0
+	for i := 0; i < 5000; i++ {
+		req := &Request{
+			URL:      urls[rng.Intn(len(urls))](),
+			Class:    classes[rng.Intn(len(classes))],
+			PageHost: fmt.Sprintf("d%d.example", rng.Intn(60)),
+		}
+		gotB, gb, _ := idx.Match(req)
+		wantB, wb, _ := lin.Match(req)
+		if gotB != wantB || (gb == nil) != (wb == nil) {
+			divergences++
+			t.Errorf("divergence on %+v: indexed (%v,%v) vs linear (%v,%v)", req, gotB, gb, wantB, wb)
+			if divergences > 5 {
+				t.FailNow()
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package abp
+
+import (
+	"strings"
+)
+
+// Matcher indexes blocking and exception filters by a keyword extracted from
+// each filter's pattern, the same strategy Adblock Plus uses internally: a
+// candidate URL is tokenized, and only filters whose keyword occurs among the
+// URL's tokens are tried. Filters without a usable keyword land in a small
+// catch-all bucket that is always tried.
+type Matcher struct {
+	blockingIdx  map[string][]*Filter
+	exceptionIdx map[string][]*Filter
+	blockingAny  []*Filter // keyword-less blocking filters (regex, "*"-heavy)
+	exceptionAny []*Filter
+	nBlocking    int
+	nException   int
+}
+
+// NewMatcher returns an empty Matcher.
+func NewMatcher() *Matcher {
+	return &Matcher{
+		blockingIdx:  make(map[string][]*Filter),
+		exceptionIdx: make(map[string][]*Filter),
+	}
+}
+
+// Add indexes one filter. Element hiding rules are ignored: they do not act
+// on requests.
+func (m *Matcher) Add(f *Filter) {
+	if f.Kind == KindElemHide {
+		return
+	}
+	kw := filterKeyword(f)
+	switch f.Kind {
+	case KindBlocking:
+		m.nBlocking++
+		if kw == "" {
+			m.blockingAny = append(m.blockingAny, f)
+		} else {
+			m.blockingIdx[kw] = append(m.blockingIdx[kw], f)
+		}
+	case KindException:
+		m.nException++
+		if kw == "" {
+			m.exceptionAny = append(m.exceptionAny, f)
+		} else {
+			m.exceptionIdx[kw] = append(m.exceptionIdx[kw], f)
+		}
+	}
+}
+
+// AddAll indexes a slice of filters.
+func (m *Matcher) AddAll(fs []*Filter) {
+	for _, f := range fs {
+		m.Add(f)
+	}
+}
+
+// Len returns the number of indexed request filters (blocking + exception).
+func (m *Matcher) Len() int { return m.nBlocking + m.nException }
+
+// MatchBlocking returns the first blocking filter matching the request, or
+// nil. Exception filters are not consulted; use Match for full semantics.
+func (m *Matcher) MatchBlocking(req *Request) *Filter {
+	return m.match(req, m.blockingIdx, m.blockingAny)
+}
+
+// MatchException returns the first exception filter matching the request.
+func (m *Matcher) MatchException(req *Request) *Filter {
+	return m.match(req, m.exceptionIdx, m.exceptionAny)
+}
+
+// Match applies full ABP semantics: a request is blocked when some blocking
+// filter matches and no exception filter matches. It returns the deciding
+// filters; block is false whenever exception != nil or blocking == nil.
+func (m *Matcher) Match(req *Request) (block bool, blocking, exception *Filter) {
+	blocking = m.MatchBlocking(req)
+	if blocking == nil {
+		return false, nil, nil
+	}
+	exception = m.MatchException(req)
+	return exception == nil, blocking, exception
+}
+
+func (m *Matcher) match(req *Request, idx map[string][]*Filter, any []*Filter) *Filter {
+	lower := strings.ToLower(req.URL)
+	for _, f := range any {
+		if f.Match(req) {
+			return f
+		}
+	}
+	var found *Filter
+	forEachToken(lower, func(tok string) bool {
+		for _, f := range idx[tok] {
+			if f.Match(req) {
+				found = f
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// forEachToken calls fn for every maximal run of [a-z0-9%] in s, stopping
+// early when fn returns false. Tokens shorter than 2 bytes are skipped: they
+// index too many filters to be selective.
+func forEachToken(s string, fn func(string) bool) {
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		var ok bool
+		if i < len(s) {
+			c := s[i]
+			ok = c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '%'
+		}
+		if ok {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 && i-start >= 2 {
+			if !fn(s[start:i]) {
+				return
+			}
+		}
+		start = -1
+	}
+}
+
+// filterKeyword picks the longest literal token of the filter pattern that
+// is guaranteed to appear as a complete token in any URL the filter matches.
+// Regex filters and patterns without a stable token return "".
+func filterKeyword(f *Filter) string {
+	if f.isRegex || f.MatchCase {
+		// match-case filters cannot use the lower-cased token index.
+		return ""
+	}
+	best := ""
+	for li, t := range f.tokens {
+		if t.lit == "" {
+			continue
+		}
+		lower := strings.ToLower(t.lit)
+		// A token at the literal's left edge is bounded when the pattern
+		// anchors there ("||host" starts after "://" or ".", "|" starts the
+		// URL) or when a "^" separator precedes the literal.
+		leftBound := li > 0 && f.tokens[li-1].sep ||
+			li == 0 && (f.anchHost || f.anchStart)
+		// A token at the right edge is bounded by a following separator or
+		// by the end anchor.
+		rightBound := li < len(f.tokens)-1 && f.tokens[li+1].sep ||
+			li == len(f.tokens)-1 && f.anchEnd
+		end := len(lower)
+		// Walk tokens with positions to evaluate edge boundedness.
+		start := -1
+		for i := 0; i <= end; i++ {
+			var isTok bool
+			if i < end {
+				isTok = isTokenByte(lower[i])
+			}
+			if isTok {
+				if start < 0 {
+					start = i
+				}
+				continue
+			}
+			if start >= 0 && i-start >= 2 {
+				tok := lower[start:i]
+				okLeft := start > 0 || leftBound
+				okRight := i < end || rightBound
+				if okLeft && okRight && len(tok) > len(best) {
+					best = tok
+				}
+			}
+			start = -1
+		}
+	}
+	return best
+}
+
+func isTokenByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '%'
+}
+
+// LinearMatcher is the reference implementation used by property tests and
+// the index-ablation benchmark: it scans every filter in order.
+type LinearMatcher struct {
+	blocking  []*Filter
+	exception []*Filter
+}
+
+// NewLinearMatcher returns an empty LinearMatcher.
+func NewLinearMatcher() *LinearMatcher { return &LinearMatcher{} }
+
+// Add appends a filter.
+func (m *LinearMatcher) Add(f *Filter) {
+	switch f.Kind {
+	case KindBlocking:
+		m.blocking = append(m.blocking, f)
+	case KindException:
+		m.exception = append(m.exception, f)
+	}
+}
+
+// AddAll appends all filters.
+func (m *LinearMatcher) AddAll(fs []*Filter) {
+	for _, f := range fs {
+		m.Add(f)
+	}
+}
+
+// Match mirrors Matcher.Match by exhaustive scan.
+func (m *LinearMatcher) Match(req *Request) (block bool, blocking, exception *Filter) {
+	for _, f := range m.blocking {
+		if f.Match(req) {
+			blocking = f
+			break
+		}
+	}
+	if blocking == nil {
+		return false, nil, nil
+	}
+	for _, f := range m.exception {
+		if f.Match(req) {
+			exception = f
+			break
+		}
+	}
+	return exception == nil, blocking, exception
+}

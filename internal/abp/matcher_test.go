@@ -1,0 +1,167 @@
+package abp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+func TestMatcherBasic(t *testing.T) {
+	m := NewMatcher()
+	m.Add(mustParse(t, "||ads.example.com^"))
+	m.Add(mustParse(t, "@@||ads.example.com/acceptable/"))
+	m.Add(mustParse(t, "/tracker.gif"))
+
+	block, b, e := m.Match(req("http://ads.example.com/banner.gif"))
+	if !block || b == nil || e != nil {
+		t.Errorf("expected plain block, got block=%v b=%v e=%v", block, b, e)
+	}
+	block, b, e = m.Match(req("http://ads.example.com/acceptable/a.gif"))
+	if block || b == nil || e == nil {
+		t.Errorf("expected whitelisted, got block=%v b=%v e=%v", block, b, e)
+	}
+	block, _, _ = m.Match(req("http://cdn.example.com/page/tracker.gif"))
+	if !block {
+		t.Error("substring filter should block")
+	}
+	block, b, _ = m.Match(req("http://clean.example.com/img.png"))
+	if block || b != nil {
+		t.Error("clean URL must not match")
+	}
+}
+
+func TestMatcherExceptionDominates(t *testing.T) {
+	m := NewMatcher()
+	m.Add(mustParse(t, "/ads/"))
+	m.Add(mustParse(t, "@@||trusted.example^"))
+	block, _, e := m.Match(req("http://trusted.example/ads/banner.gif"))
+	if block || e == nil {
+		t.Error("exception filter must always dominate blocking filters")
+	}
+}
+
+func TestMatcherLenAndCatchAll(t *testing.T) {
+	m := NewMatcher()
+	m.Add(mustParse(t, `/banner[0-9]+/`)) // regex → catch-all bucket
+	m.Add(mustParse(t, "||ads.example^"))
+	m.Add(mustParse(t, "example.com##.ad")) // ignored
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+	if blk, _, _ := m.Match(req("http://x.example/banner42/a.gif")); !blk {
+		t.Error("regex in catch-all bucket should still match")
+	}
+}
+
+// corpusFilters builds a deterministic pseudo-random rule corpus covering all
+// rule shapes, and corpusURLs builds URLs that hit and miss them.
+func corpusFilters(t *testing.T, n int, rng *rand.Rand) []*Filter {
+	t.Helper()
+	shapes := []func(i int) string{
+		func(i int) string { return fmt.Sprintf("||ads%d.example.com^", i) },
+		func(i int) string { return fmt.Sprintf("/banner%d/", i) },
+		func(i int) string { return fmt.Sprintf("/track%d/*/pixel^", i) },
+		func(i int) string { return fmt.Sprintf("||srv%d.example^$script,third-party", i) },
+		func(i int) string { return fmt.Sprintf("@@||ok%d.example.com^", i) },
+		func(i int) string { return fmt.Sprintf("@@/banner%d/acceptable/", i) },
+		func(i int) string { return fmt.Sprintf("_ad%d_", i) },
+		func(i int) string { return fmt.Sprintf(`/pix%d[0-9]+\.gif/`, i) },
+		func(i int) string { return fmt.Sprintf("|http://exact%d.example/", i) },
+		func(i int) string { return fmt.Sprintf(".swf%d|", i) },
+	}
+	var fs []*Filter
+	for i := 0; i < n; i++ {
+		line := shapes[rng.Intn(len(shapes))](i % 50)
+		fs = append(fs, mustParse(t, line))
+	}
+	return fs
+}
+
+func corpusURLs(n int, rng *rand.Rand) []*Request {
+	classes := []urlutil.ContentClass{
+		urlutil.ClassImage, urlutil.ClassScript, urlutil.ClassDocument,
+		urlutil.ClassUnknown, urlutil.ClassMedia,
+	}
+	shapes := []func(i int) string{
+		func(i int) string { return fmt.Sprintf("http://ads%d.example.com/banner.gif", i%50) },
+		func(i int) string { return fmt.Sprintf("http://pub.example/banner%d/top.png", i%50) },
+		func(i int) string { return fmt.Sprintf("http://cdn.example/track%d/x/pixel", i%50) },
+		func(i int) string { return fmt.Sprintf("http://srv%d.example/lib.js", i%50) },
+		func(i int) string { return fmt.Sprintf("http://ok%d.example.com/ad.gif", i%50) },
+		func(i int) string { return fmt.Sprintf("http://clean%d.example.org/index.html", i) },
+		func(i int) string { return fmt.Sprintf("http://x.example/page_ad%d_slot", i%50) },
+		func(i int) string { return fmt.Sprintf("http://x.example/pix%d77.gif", i%50) },
+		func(i int) string { return fmt.Sprintf("http://exact%d.example/", i%50) },
+		func(i int) string { return fmt.Sprintf("http://m.example/movie.swf%d", i%50) },
+	}
+	pages := []string{"www.news.example", "pub.example", "srv3.example", ""}
+	var rs []*Request
+	for i := 0; i < n; i++ {
+		rs = append(rs, &Request{
+			URL:      shapes[rng.Intn(len(shapes))](i),
+			Class:    classes[rng.Intn(len(classes))],
+			PageHost: pages[rng.Intn(len(pages))],
+		})
+	}
+	return rs
+}
+
+// TestMatcherEquivalentToLinear is the central matcher invariant: the
+// keyword-indexed matcher must decide exactly like the exhaustive scan.
+func TestMatcherEquivalentToLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fs := corpusFilters(t, 400, rng)
+	idx, lin := NewMatcher(), NewLinearMatcher()
+	idx.AddAll(fs)
+	lin.AddAll(fs)
+	hits := 0
+	for _, r := range corpusURLs(3000, rng) {
+		gotBlock, gotB, _ := idx.Match(r)
+		wantBlock, wantB, _ := lin.Match(r)
+		if gotBlock != wantBlock {
+			t.Fatalf("divergence on %+v: indexed=%v linear=%v (idx filter %v, lin filter %v)",
+				r, gotBlock, wantBlock, gotB, wantB)
+		}
+		if (gotB != nil) != (wantB != nil) {
+			t.Fatalf("blacklist-hit divergence on %+v: indexed=%v linear=%v", r, gotB, wantB)
+		}
+		if gotBlock {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("corpus produced no blocking decisions; test is vacuous")
+	}
+}
+
+func TestForEachToken(t *testing.T) {
+	var toks []string
+	forEachToken("http://ads.example.com/a1?x=2", func(s string) bool {
+		toks = append(toks, s)
+		return true
+	})
+	want := []string{"http", "ads", "example", "com", "a1"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", toks, want)
+		}
+	}
+}
+
+func TestFilterKeywordSelectivity(t *testing.T) {
+	f := mustParse(t, "||ads.doubleclick.example^")
+	kw := filterKeyword(f)
+	if kw != "doubleclick" {
+		t.Errorf("keyword = %q, want doubleclick (longest interior token)", kw)
+	}
+	// match-case filters cannot be indexed case-insensitively.
+	mc := mustParse(t, "/AdServer/img/$match-case")
+	if filterKeyword(mc) != "" {
+		t.Error("match-case filters must not be keyword-indexed")
+	}
+}

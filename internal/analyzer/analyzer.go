@@ -1,0 +1,316 @@
+// Package analyzer extracts HTTP transactions from packet-header traces,
+// filling the role of the paper's (extended) Bro HTTP analyzer (§3.1): it
+// reassembles TCP flows, parses request and response headers, pairs them per
+// connection, and emits weblog records carrying Host, URI, Referer,
+// Content-Type, Content-Length, Location, User-Agent and both handshake
+// timestamps. Port-443 flows are summarized as opaque TLS flows (§5).
+package analyzer
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// Sink receives the analyzer's outputs as the trace streams through.
+type Sink interface {
+	// HTTP delivers one completed (or half-observed) transaction.
+	HTTP(t *weblog.Transaction)
+	// TLS delivers one HTTPS flow summary at flow close.
+	TLS(f *weblog.TLSFlow)
+}
+
+// Stats counts analyzer-level aggregates, matching Table 2's per-trace rows.
+type Stats struct {
+	// Packets is the number of packets processed.
+	Packets int
+	// HTTPTransactions counts emitted HTTP transactions.
+	HTTPTransactions int
+	// TLSFlows counts summarized HTTPS flows.
+	TLSFlows int
+	// HTTPWireBytes sums wire payload volume on port-80 flows (Table 2's
+	// "HTTPbytes").
+	HTTPWireBytes uint64
+	// ParseErrors counts request/response blocks that failed to parse.
+	ParseErrors int
+}
+
+// Analyzer is the streaming HTTP/TLS extractor.
+type Analyzer struct {
+	sink  Sink
+	table *wire.FlowTable
+	stats Stats
+	conns map[*wire.Flow]*connState
+}
+
+// connState is the per-flow HTTP parser state.
+type connState struct {
+	buf     [2]bytes.Buffer
+	reqTime [2]int64 // time of first buffered byte per direction
+	// pending holds requests awaiting their response, FIFO (HTTP/1.1
+	// pipelining and persistent connections).
+	pending []*weblog.Transaction
+	tls     bool
+}
+
+// New creates an Analyzer feeding sink.
+func New(sink Sink) *Analyzer {
+	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState)}
+	a.table = wire.NewFlowTable(a)
+	return a
+}
+
+// Stats returns the running aggregates.
+func (a *Analyzer) Stats() Stats { return a.stats }
+
+// Add processes one packet.
+func (a *Analyzer) Add(p *wire.Packet) {
+	a.stats.Packets++
+	a.table.Add(p)
+}
+
+// Finish flushes open flows; call once at end of trace.
+func (a *Analyzer) Finish() { a.table.Flush() }
+
+// FlowEstablished implements wire.FlowHandler.
+func (a *Analyzer) FlowEstablished(f *wire.Flow) {
+	a.conns[f] = &connState{tls: f.ServerPort == 443}
+}
+
+// Data implements wire.FlowHandler.
+func (a *Analyzer) Data(f *wire.Flow, dir wire.Dir, t int64, payload []byte, gap bool) {
+	cs := a.conns[f]
+	if cs == nil || cs.tls {
+		return // TLS payload is opaque; flow summary happens at close
+	}
+	b := &cs.buf[dir]
+	if gap {
+		// Bytes were lost: drop the partial block and resync at the next
+		// start line.
+		b.Reset()
+		cs.reqTime[dir] = 0
+	}
+	if b.Len() == 0 {
+		cs.reqTime[dir] = t
+	}
+	b.Write(payload)
+	a.drain(f, cs, dir)
+}
+
+// drain parses as many complete header blocks as the buffer holds.
+func (a *Analyzer) drain(f *wire.Flow, cs *connState, dir wire.Dir) {
+	b := &cs.buf[dir]
+	for {
+		raw := b.Bytes()
+		// Resynchronize: the block must start at a plausible start line.
+		if dir == wire.ClientToServer && !startsWithRequestLine(raw) ||
+			dir == wire.ServerToClient && !startsWithStatusLine(raw) {
+			if i := bytes.Index(raw, []byte("\r\n")); i >= 0 {
+				if len(raw) > i+2 {
+					b.Next(i + 2)
+					continue
+				}
+			}
+			if len(raw) > wire.SnapLen*4 {
+				b.Reset() // runaway garbage
+			}
+			return
+		}
+		end := bytes.Index(raw, []byte("\r\n\r\n"))
+		if end < 0 {
+			return
+		}
+		block := string(raw[:end])
+		b.Next(end + 4)
+		blockTime := cs.reqTime[dir]
+		if b.Len() == 0 {
+			cs.reqTime[dir] = 0
+		}
+		if dir == wire.ClientToServer {
+			a.onRequest(f, cs, block, blockTime)
+		} else {
+			a.onResponse(f, cs, block, blockTime)
+		}
+	}
+}
+
+func startsWithRequestLine(raw []byte) bool {
+	for _, m := range [...]string{"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "CONNECT "} {
+		if bytes.HasPrefix(raw, []byte(m)) {
+			return true
+		}
+	}
+	// Not yet enough bytes to decide? Wait for more only if the content so
+	// far is a prefix of some method.
+	if len(raw) < 8 {
+		for _, m := range [...]string{"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "CONNECT "} {
+			if bytes.HasPrefix([]byte(m), raw) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func startsWithStatusLine(raw []byte) bool {
+	if bytes.HasPrefix(raw, []byte("HTTP/1.")) {
+		return true
+	}
+	return len(raw) < 7 && bytes.HasPrefix([]byte("HTTP/1."), raw)
+}
+
+func (a *Analyzer) onRequest(f *wire.Flow, cs *connState, block string, t int64) {
+	lines := strings.Split(block, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		a.stats.ParseErrors++
+		return
+	}
+	tx := &weblog.Transaction{
+		ReqTime:       t,
+		ClientIP:      f.ClientIP,
+		ServerIP:      f.ServerIP,
+		ServerPort:    f.ServerPort,
+		Method:        parts[0],
+		URI:           parts[1],
+		ContentLength: -1,
+		TCPRTT:        -1,
+	}
+	if rtt, ok := f.HandshakeRTT(); ok {
+		tx.TCPRTT = rtt
+	}
+	for _, ln := range lines[1:] {
+		key, val, ok := splitHeader(ln)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "host":
+			tx.Host = val
+		case "referer":
+			tx.Referer = val
+		case "user-agent":
+			tx.UserAgent = val
+		}
+	}
+	cs.pending = append(cs.pending, tx)
+}
+
+func (a *Analyzer) onResponse(f *wire.Flow, cs *connState, block string, t int64) {
+	lines := strings.Split(block, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 {
+		a.stats.ParseErrors++
+		return
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		a.stats.ParseErrors++
+		return
+	}
+	var tx *weblog.Transaction
+	if len(cs.pending) > 0 {
+		tx = cs.pending[0]
+		cs.pending = cs.pending[1:]
+	} else {
+		// Response without an observed request (loss or mid-stream flow).
+		tx = &weblog.Transaction{
+			ClientIP:      f.ClientIP,
+			ServerIP:      f.ServerIP,
+			ServerPort:    f.ServerPort,
+			ContentLength: -1,
+			TCPRTT:        -1,
+		}
+	}
+	tx.RespTime = t
+	tx.Status = status
+	for _, ln := range lines[1:] {
+		key, val, ok := splitHeader(ln)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "content-type":
+			tx.ContentType = val
+		case "content-length":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				tx.ContentLength = n
+			}
+		case "location":
+			tx.Location = val
+		}
+	}
+	a.stats.HTTPTransactions++
+	a.sink.HTTP(tx)
+}
+
+func splitHeader(line string) (key, val string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	return strings.ToLower(strings.TrimSpace(line[:i])), strings.TrimSpace(line[i+1:]), true
+}
+
+// FlowClosed implements wire.FlowHandler.
+func (a *Analyzer) FlowClosed(f *wire.Flow) {
+	cs := a.conns[f]
+	delete(a.conns, f)
+	if cs == nil {
+		return
+	}
+	if cs.tls {
+		tf := &weblog.TLSFlow{
+			Time:       f.FirstTime,
+			ClientIP:   f.ClientIP,
+			ServerIP:   f.ServerIP,
+			ServerPort: f.ServerPort,
+			Bytes:      f.WireBytes[0] + f.WireBytes[1],
+			TCPRTT:     -1,
+		}
+		if rtt, ok := f.HandshakeRTT(); ok {
+			tf.TCPRTT = rtt
+		}
+		a.stats.TLSFlows++
+		a.sink.TLS(tf)
+		return
+	}
+	if f.ServerPort == 80 {
+		a.stats.HTTPWireBytes += f.WireBytes[0] + f.WireBytes[1]
+	}
+	// Requests that never saw a response are still transactions the
+	// measurement counts (the request reached the wire).
+	for _, tx := range cs.pending {
+		a.stats.HTTPTransactions++
+		a.sink.HTTP(tx)
+	}
+}
+
+// Collector is a Sink that retains everything in memory, convenient for
+// tests and moderate traces.
+type Collector struct {
+	Transactions []*weblog.Transaction
+	Flows        []*weblog.TLSFlow
+}
+
+// HTTP implements Sink.
+func (c *Collector) HTTP(t *weblog.Transaction) { c.Transactions = append(c.Transactions, t) }
+
+// TLS implements Sink.
+func (c *Collector) TLS(f *weblog.TLSFlow) { c.Flows = append(c.Flows, f) }
+
+// AnalyzeTrace runs a whole trace reader through a fresh Analyzer and
+// returns the collected results.
+func AnalyzeTrace(r *wire.Reader) (*Collector, Stats, error) {
+	col := &Collector{}
+	a := New(col)
+	err := r.ForEach(func(p *wire.Packet) error {
+		a.Add(p)
+		return nil
+	})
+	a.Finish()
+	return col, a.Stats(), err
+}

@@ -1,0 +1,297 @@
+package analyzer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// httpReq renders a request header block.
+func httpReq(method, host, uri, referer, ua string) []byte {
+	s := fmt.Sprintf("%s %s HTTP/1.1\r\nHost: %s\r\n", method, uri, host)
+	if referer != "" {
+		s += "Referer: " + referer + "\r\n"
+	}
+	if ua != "" {
+		s += "User-Agent: " + ua + "\r\n"
+	}
+	return []byte(s + "\r\n")
+}
+
+// httpResp renders a response header block.
+func httpResp(status int, ctype string, clen int64, location string) []byte {
+	s := fmt.Sprintf("HTTP/1.1 %d X\r\n", status)
+	if ctype != "" {
+		s += "Content-Type: " + ctype + "\r\n"
+	}
+	if clen >= 0 {
+		s += fmt.Sprintf("Content-Length: %d\r\n", clen)
+	}
+	if location != "" {
+		s += "Location: " + location + "\r\n"
+	}
+	return []byte(s + "\r\n")
+}
+
+func TestAnalyzerSingleTransaction(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5000, 202, 80, 30e6, 1000)
+	est, err := c.Open(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Request(est, httpReq("GET", "www.example.com", "/index.html?a=1", "", "UA/1.0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Response(est+50e6, httpResp(200, "text/html", 5120, ""), 5120); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(est + 100e6); err != nil {
+		t.Fatal(err)
+	}
+	a.Finish()
+
+	if len(col.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(col.Transactions))
+	}
+	tx := col.Transactions[0]
+	if tx.Method != "GET" || tx.Host != "www.example.com" || tx.URI != "/index.html?a=1" {
+		t.Errorf("request fields: %+v", tx)
+	}
+	if tx.Status != 200 || tx.ContentType != "text/html" || tx.ContentLength != 5120 {
+		t.Errorf("response fields: %+v", tx)
+	}
+	if tx.UserAgent != "UA/1.0" {
+		t.Errorf("user agent: %q", tx.UserAgent)
+	}
+	if tx.URL() != "http://www.example.com/index.html?a=1" {
+		t.Errorf("URL() = %q", tx.URL())
+	}
+	if tx.TCPRTT != 30e6 {
+		t.Errorf("TCP RTT = %d, want 30ms", tx.TCPRTT)
+	}
+	hh, ok := tx.HTTPHandshake()
+	if !ok || hh != 50e6 {
+		t.Errorf("HTTP handshake = %d ok=%v, want 50ms", hh, ok)
+	}
+	if a.Stats().ParseErrors != 0 {
+		t.Errorf("parse errors: %d", a.Stats().ParseErrors)
+	}
+}
+
+func TestAnalyzerPersistentConnectionPipeline(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5001, 202, 80, 10e6, 500)
+	est, _ := c.Open(1e9)
+	// Three transactions on one connection, bodies truncated away.
+	for i := 0; i < 3; i++ {
+		t0 := est + int64(i)*100e6
+		if err := c.Request(t0, httpReq("GET", "cdn.example", fmt.Sprintf("/obj%d.js", i), "http://www.example.com/", "UA")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Response(t0+20e6, httpResp(200, "application/javascript", int64(1000*(i+1)), ""), int64(1000*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close(est + 400e6)
+	a.Finish()
+
+	if len(col.Transactions) != 3 {
+		t.Fatalf("transactions = %d, want 3", len(col.Transactions))
+	}
+	for i, tx := range col.Transactions {
+		if tx.URI != fmt.Sprintf("/obj%d.js", i) {
+			t.Errorf("tx %d URI = %q (pairing broken)", i, tx.URI)
+		}
+		if tx.ContentLength != int64(1000*(i+1)) {
+			t.Errorf("tx %d content length = %d", i, tx.ContentLength)
+		}
+		if tx.Referer != "http://www.example.com/" {
+			t.Errorf("tx %d referer = %q", i, tx.Referer)
+		}
+		// Persistent connection: all transactions share the flow's RTT.
+		if tx.TCPRTT != 10e6 {
+			t.Errorf("tx %d RTT = %d", i, tx.TCPRTT)
+		}
+	}
+}
+
+func TestAnalyzerRedirectLocation(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5002, 203, 80, 5e6, 1)
+	est, _ := c.Open(1e9)
+	c.Request(est, httpReq("GET", "redir.example", "/r?to=x", "http://pub.example/", "UA"))
+	c.Response(est+8e6, httpResp(302, "text/html", 0, "http://ads.example/banner.gif"), 0)
+	c.Close(est + 20e6)
+	a.Finish()
+	if len(col.Transactions) != 1 {
+		t.Fatalf("transactions = %d", len(col.Transactions))
+	}
+	if col.Transactions[0].Location != "http://ads.example/banner.gif" {
+		t.Errorf("location = %q", col.Transactions[0].Location)
+	}
+	if col.Transactions[0].Status != 302 {
+		t.Errorf("status = %d", col.Transactions[0].Status)
+	}
+}
+
+func TestAnalyzerTLSFlowSummary(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5003, 204, 443, 40e6, 77)
+	est, _ := c.Open(1e9)
+	if err := c.OpaquePayload(est, 2000, 50000); err != nil {
+		t.Fatal(err)
+	}
+	c.Close(est + 1e9)
+	a.Finish()
+	if len(col.Flows) != 1 {
+		t.Fatalf("TLS flows = %d, want 1", len(col.Flows))
+	}
+	f := col.Flows[0]
+	if f.ServerPort != 443 || f.ServerIP != 204 {
+		t.Errorf("flow endpoints: %+v", f)
+	}
+	if f.Bytes != 52000 {
+		t.Errorf("flow bytes = %d, want 52000", f.Bytes)
+	}
+	if f.TCPRTT != 40e6 {
+		t.Errorf("flow RTT = %d", f.TCPRTT)
+	}
+	if len(col.Transactions) != 0 {
+		t.Error("TLS flows must not produce HTTP transactions")
+	}
+}
+
+func TestAnalyzerInterleavedConnections(t *testing.T) {
+	// Packets of many connections interleaved arbitrarily must pair
+	// correctly per flow.
+	col := &Collector{}
+	a := New(col)
+	var pkts []*wire.Packet
+	capture := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	for i := 0; i < 10; i++ {
+		c := wire.NewConnEmitter(capture, uint32(300+i), uint16(6000+i), 400, 80, 15e6, uint32(i*1000))
+		est, _ := c.Open(1e9 + int64(i)*1e6)
+		c.Request(est, httpReq("GET", fmt.Sprintf("h%d.example", i), fmt.Sprintf("/p%d", i), "", "UA"))
+		c.Response(est+30e6, httpResp(200, "image/gif", 43, ""), 43)
+		c.Close(est + 60e6)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Shuffle within a window to simulate multiplexed capture order while
+	// keeping per-flow causality (stable because windows are small).
+	clientOf := func(p *wire.Packet) uint32 {
+		if p.SrcIP != 400 {
+			return p.SrcIP
+		}
+		return p.DstIP
+	}
+	for w := 0; w+4 < len(pkts); w += 4 {
+		rng.Shuffle(4, func(i, j int) {
+			// Only swap packets of different flows to preserve per-flow order.
+			if clientOf(pkts[w+i]) != clientOf(pkts[w+j]) {
+				pkts[w+i], pkts[w+j] = pkts[w+j], pkts[w+i]
+			}
+		})
+	}
+	for _, p := range pkts {
+		a.Add(p)
+	}
+	a.Finish()
+	if len(col.Transactions) != 10 {
+		t.Fatalf("transactions = %d, want 10", len(col.Transactions))
+	}
+	seen := map[string]bool{}
+	for _, tx := range col.Transactions {
+		seen[tx.Host+tx.URI] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("distinct transactions = %d, want 10", len(seen))
+	}
+}
+
+func TestAnalyzerRequestWithoutResponse(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5005, 205, 80, 5e6, 1)
+	est, _ := c.Open(1e9)
+	c.Request(est, httpReq("GET", "dead.example", "/hang", "", "UA"))
+	// No response; trace ends.
+	a.Finish()
+	if len(col.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1 (request-only)", len(col.Transactions))
+	}
+	tx := col.Transactions[0]
+	if tx.Status != 0 || tx.RespTime != 0 {
+		t.Errorf("unanswered request should have zero response fields: %+v", tx)
+	}
+	if _, ok := tx.HTTPHandshake(); ok {
+		t.Error("HTTP handshake must be unavailable without response")
+	}
+}
+
+func TestAnalyzerLargeHeaderSplitAcrossSegments(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5006, 206, 80, 5e6, 1)
+	est, _ := c.Open(1e9)
+	longRef := "http://pub.example/" + string(make([]byte, 0, 2000))
+	for i := 0; i < 2000; i++ {
+		longRef += "a"
+	}
+	c.Request(est, httpReq("GET", "big.example", "/x", longRef, "UA"))
+	c.Response(est+10e6, httpResp(200, "text/html", 100, ""), 100)
+	c.Close(est + 20e6)
+	a.Finish()
+	if len(col.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(col.Transactions))
+	}
+	if len(col.Transactions[0].Referer) != len(longRef) {
+		t.Errorf("referer truncated: %d vs %d", len(col.Transactions[0].Referer), len(longRef))
+	}
+}
+
+func TestStatsHTTPWireBytes(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5007, 207, 80, 5e6, 1)
+	est, _ := c.Open(1e9)
+	req := httpReq("GET", "x.example", "/", "", "UA")
+	resp := httpResp(200, "text/html", 10000, "")
+	c.Request(est, req)
+	c.Response(est+10e6, resp, 10000)
+	c.Close(est + 30e6)
+	a.Finish()
+	want := uint64(len(req) + len(resp) + 10000)
+	if got := a.Stats().HTTPWireBytes; got != want {
+		t.Errorf("HTTPWireBytes = %d, want %d", got, want)
+	}
+}
+
+func TestTransactionTruncatePrivacy(t *testing.T) {
+	tx := &weblog.Transaction{
+		Host:    "www.example.com",
+		URI:     "/secret/path?user=alice",
+		Referer: "http://pub.example/private/page?session=1",
+	}
+	tx.Truncate()
+	if tx.URI != "/" {
+		t.Errorf("URI not truncated: %q", tx.URI)
+	}
+	if tx.Referer != "http://pub.example/" {
+		t.Errorf("Referer not truncated: %q", tx.Referer)
+	}
+}

@@ -1,0 +1,141 @@
+package analyzer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adscape/internal/wire"
+)
+
+// buildWorkload emits nConns connections with nTx transactions each and
+// returns the packet stream.
+func buildWorkload(t *testing.T, nConns, nTx int) []*wire.Packet {
+	t.Helper()
+	var pkts []*wire.Packet
+	capture := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	for c := 0; c < nConns; c++ {
+		em := wire.NewConnEmitter(capture, uint32(5000+c), uint16(40000+c), 600, 80, 15e6, uint32(c*7))
+		est, err := em.Open(int64(c+1) * 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < nTx; i++ {
+			t0 := est + int64(i)*80e6
+			req := httpReq("GET", fmt.Sprintf("h%03d.example", c), fmt.Sprintf("/o/%d", i), "", "UA")
+			if err := em.Request(t0, req); err != nil {
+				t.Fatal(err)
+			}
+			if err := em.Response(t0+25e6, httpResp(200, "image/gif", 4096, ""), 4096); err != nil {
+				t.Fatal(err)
+			}
+		}
+		em.Close(est + int64(nTx)*80e6 + 1e9)
+	}
+	return pkts
+}
+
+// TestAnalyzerSurvivesPacketLoss injects random packet loss: the analyzer
+// must not crash, must not fabricate transactions, and must still recover
+// the bulk of the traffic — passive monitors always see imperfect captures.
+func TestAnalyzerSurvivesPacketLoss(t *testing.T) {
+	pkts := buildWorkload(t, 40, 8)
+	want := 40 * 8
+	for _, lossRate := range []float64{0.001, 0.01, 0.05} {
+		rng := rand.New(rand.NewSource(int64(lossRate * 1e6)))
+		col := &Collector{}
+		a := New(col)
+		dropped := 0
+		for _, p := range pkts {
+			if rng.Float64() < lossRate {
+				dropped++
+				continue
+			}
+			a.Add(p)
+		}
+		a.Finish()
+		got := len(col.Transactions)
+		if got > want {
+			t.Errorf("loss %.3f: fabricated transactions: %d > %d", lossRate, got, want)
+		}
+		// Losing one packet can kill at most a handful of transactions on
+		// its connection; demand a sane floor.
+		minOK := int(float64(want) * (1 - 12*lossRate))
+		if got < minOK {
+			t.Errorf("loss %.3f (dropped %d packets): recovered %d/%d transactions, floor %d",
+				lossRate, dropped, got, want, minOK)
+		}
+		for _, tx := range col.Transactions {
+			if tx.Host == "" && tx.Status == 0 {
+				t.Errorf("loss %.3f: empty transaction emitted", lossRate)
+			}
+		}
+	}
+}
+
+// TestAnalyzerSurvivesDuplication doubles random packets; duplicates must
+// not double-count transactions.
+func TestAnalyzerSurvivesDuplication(t *testing.T) {
+	pkts := buildWorkload(t, 20, 5)
+	rng := rand.New(rand.NewSource(4))
+	col := &Collector{}
+	a := New(col)
+	for _, p := range pkts {
+		a.Add(p)
+		if rng.Float64() < 0.2 {
+			a.Add(p)
+		}
+	}
+	a.Finish()
+	if got, want := len(col.Transactions), 20*5; got != want {
+		t.Errorf("duplication changed transaction count: %d != %d", got, want)
+	}
+}
+
+// TestAnalyzerGarbagePayload feeds non-HTTP payloads on port 80; the parser
+// must skip them without emitting bogus transactions.
+func TestAnalyzerGarbagePayload(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	em := wire.NewConnEmitter(emit, 1, 40000, 2, 80, 10e6, 1)
+	est, _ := em.Open(1e9)
+	garbage := []byte("\x16\x03\x01\x02\x00random bytes that are not HTTP at all\r\nstill not a request\r\n\r\n")
+	if err := em.Request(est, garbage); err != nil {
+		t.Fatal(err)
+	}
+	// A valid exchange afterwards must still parse (resynchronization).
+	if err := em.Request(est+50e6, httpReq("GET", "ok.example", "/fine", "", "UA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Response(est+80e6, httpResp(200, "text/html", 10, ""), 10); err != nil {
+		t.Fatal(err)
+	}
+	em.Close(est + 200e6)
+	a.Finish()
+	if len(col.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want exactly the valid one", len(col.Transactions))
+	}
+	if col.Transactions[0].Host != "ok.example" {
+		t.Errorf("recovered wrong transaction: %+v", col.Transactions[0])
+	}
+}
+
+// TestAnalyzerTruncatedTrace stops mid-flow; pending requests must still be
+// flushed as request-only transactions without panics.
+func TestAnalyzerTruncatedTrace(t *testing.T) {
+	pkts := buildWorkload(t, 10, 4)
+	for _, cut := range []int{1, len(pkts) / 3, len(pkts) - 1} {
+		col := &Collector{}
+		a := New(col)
+		for _, p := range pkts[:cut] {
+			a.Add(p)
+		}
+		a.Finish()
+		for _, tx := range col.Transactions {
+			if tx.Method != "" && tx.Host == "" {
+				t.Errorf("cut %d: transaction with method but no host", cut)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package analyzer
+
+import (
+	"adscape/internal/weblog"
+)
+
+// LogSink streams analyzer output straight into weblog writers, so huge
+// traces never accumulate in memory — the production path of the pipeline
+// (the Collector exists for tests and in-memory analysis).
+type LogSink struct {
+	// HTTPLog receives transactions; nil drops them.
+	HTTPLog *weblog.Writer
+	// TLSLog receives HTTPS flow summaries; nil drops them.
+	TLSLog *weblog.TLSWriter
+	// Truncate applies the §5 privacy step (URL → FQDN) before writing.
+	Truncate bool
+	// Err holds the first write error; once set, writing stops.
+	Err error
+	// HTTPCount / TLSCount count written records.
+	HTTPCount, TLSCount int
+}
+
+// HTTP implements Sink.
+func (s *LogSink) HTTP(t *weblog.Transaction) {
+	if s.Err != nil || s.HTTPLog == nil {
+		return
+	}
+	if s.Truncate {
+		cp := *t
+		cp.Truncate()
+		t = &cp
+	}
+	if err := s.HTTPLog.Write(t); err != nil {
+		s.Err = err
+		return
+	}
+	s.HTTPCount++
+}
+
+// TLS implements Sink.
+func (s *LogSink) TLS(f *weblog.TLSFlow) {
+	if s.Err != nil || s.TLSLog == nil {
+		return
+	}
+	if err := s.TLSLog.Write(f); err != nil {
+		s.Err = err
+		return
+	}
+	s.TLSCount++
+}
+
+// Flush flushes both logs and returns the first error encountered.
+func (s *LogSink) Flush() error {
+	if s.HTTPLog != nil {
+		if err := s.HTTPLog.Flush(); err != nil && s.Err == nil {
+			s.Err = err
+		}
+	}
+	if s.TLSLog != nil {
+		if err := s.TLSLog.Flush(); err != nil && s.Err == nil {
+			s.Err = err
+		}
+	}
+	return s.Err
+}

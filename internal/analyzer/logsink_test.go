@@ -1,0 +1,73 @@
+package analyzer
+
+import (
+	"bytes"
+	"testing"
+
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+func TestLogSinkStreams(t *testing.T) {
+	var httpBuf, tlsBuf bytes.Buffer
+	hw, err := weblog.NewWriter(&httpBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := weblog.NewTLSWriter(&tlsBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &LogSink{HTTPLog: hw, TLSLog: tw, Truncate: true}
+	a := New(sink)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+
+	c := wire.NewConnEmitter(emit, 11, 41000, 22, 80, 10e6, 1)
+	est, _ := c.Open(1e9)
+	c.Request(est, httpReq("GET", "www.x.example", "/secret/page?u=1", "http://ref.example/private", "UA"))
+	c.Response(est+20e6, httpResp(200, "text/html", 100, ""), 100)
+	c.Close(est + 100e6)
+
+	s := wire.NewConnEmitter(emit, 11, 41001, 33, 443, 10e6, 2)
+	est2, _ := s.Open(2e9)
+	s.OpaquePayload(est2, 1000, 30000)
+	s.Close(est2 + 1e9)
+	a.Finish()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.HTTPCount != 1 || sink.TLSCount != 1 {
+		t.Fatalf("counts: http=%d tls=%d", sink.HTTPCount, sink.TLSCount)
+	}
+
+	// The HTTP log round-trips and is privacy-truncated.
+	txs, err := weblog.NewReader(&httpBuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d", len(txs))
+	}
+	if txs[0].URI != "/" {
+		t.Errorf("URI not truncated: %q", txs[0].URI)
+	}
+	if txs[0].Referer != "http://ref.example/" {
+		t.Errorf("referer not truncated: %q", txs[0].Referer)
+	}
+
+	// The TLS log round-trips.
+	flows, err := weblog.NewTLSReader(&tlsBuf).ReadAllTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].ServerIP != 33 || flows[0].Bytes != 31000 {
+		t.Fatalf("flows: %+v", flows)
+	}
+}
+
+func TestTLSLogRejectsMalformed(t *testing.T) {
+	r := weblog.NewTLSReader(bytes.NewReader([]byte("1\t2\t3\n")))
+	if _, err := r.Read(); err == nil {
+		t.Error("malformed TLS line must error")
+	}
+}

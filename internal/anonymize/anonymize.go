@@ -1,0 +1,72 @@
+// Package anonymize implements keyed, prefix-preserving IPv4 anonymization in
+// the style of Crypto-PAn. The paper's capture infrastructure anonymizes
+// client addresses before anything reaches disk (§5); the RBN simulator runs
+// the same transformation so downstream analyses never see raw client IPs
+// while subnet structure (households behind one aggregation network) remains
+// analyzable.
+//
+// The construction follows Xu et al.: bit i of the output is bit i of the
+// input XORed with a pseudo-random function of the input's first i bits.
+// Two addresses sharing a k-bit prefix therefore share exactly a k-bit
+// prefix after anonymization, and the mapping is a bijection per key.
+package anonymize
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Anonymizer holds the keyed PRF state.
+type Anonymizer struct {
+	key []byte
+}
+
+// New creates an Anonymizer from a secret key. The same key reproduces the
+// same mapping; distinct keys produce unrelated mappings.
+func New(key []byte) *Anonymizer {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Anonymizer{key: k}
+}
+
+// Anonymize maps an IPv4 address (host byte order) prefix-preservingly.
+func (a *Anonymizer) Anonymize(ip uint32) uint32 {
+	var out uint32
+	for i := 0; i < 32; i++ {
+		// prefix = the i most significant bits of ip, left-aligned.
+		var prefix uint32
+		if i > 0 {
+			prefix = ip &^ (^uint32(0) >> i)
+		}
+		flip := a.prfBit(prefix, i)
+		bit := (ip >> (31 - i)) & 1
+		out = out<<1 | (bit ^ flip)
+	}
+	return out
+}
+
+// prfBit derives one pseudo-random bit from (prefix, length).
+func (a *Anonymizer) prfBit(prefix uint32, length int) uint32 {
+	mac := hmac.New(sha256.New, a.key)
+	var buf [5]byte
+	binary.BigEndian.PutUint32(buf[:4], prefix)
+	buf[4] = byte(length)
+	mac.Write(buf[:])
+	return uint32(mac.Sum(nil)[0] & 1)
+}
+
+// SharedPrefixLen returns the number of leading bits two addresses share,
+// the quantity the prefix-preservation property speaks about.
+func SharedPrefixLen(a, b uint32) int {
+	x := a ^ b
+	if x == 0 {
+		return 32
+	}
+	n := 0
+	for x&0x80000000 == 0 {
+		n++
+		x <<= 1
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+package anonymize
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicPerKey(t *testing.T) {
+	a1 := New([]byte("key-one"))
+	a2 := New([]byte("key-one"))
+	b := New([]byte("key-two"))
+	ip := uint32(0xC0A80101) // 192.168.1.1
+	if a1.Anonymize(ip) != a2.Anonymize(ip) {
+		t.Error("same key must give same mapping")
+	}
+	if a1.Anonymize(ip) == b.Anonymize(ip) {
+		t.Error("distinct keys should give different mappings (2^-32 collision chance)")
+	}
+}
+
+func TestPrefixPreservation(t *testing.T) {
+	a := New([]byte("trace-key"))
+	f := func(x, y uint32) bool {
+		want := SharedPrefixLen(x, y)
+		got := SharedPrefixLen(a.Anonymize(x), a.Anonymize(y))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInjective(t *testing.T) {
+	a := New([]byte("trace-key"))
+	seen := make(map[uint32]uint32)
+	// A dense subnet plus scattered addresses.
+	var ips []uint32
+	for i := uint32(0); i < 4096; i++ {
+		ips = append(ips, 0x0A000000|i)
+	}
+	for i := uint32(0); i < 4096; i++ {
+		ips = append(ips, i*1048573) // spread over the whole space
+	}
+	for _, ip := range ips {
+		out := a.Anonymize(ip)
+		if prev, dup := seen[out]; dup && prev != ip {
+			t.Fatalf("collision: %08x and %08x both map to %08x", prev, ip, out)
+		}
+		seen[out] = ip
+	}
+}
+
+func TestSharedPrefixLen(t *testing.T) {
+	tests := []struct {
+		a, b uint32
+		want int
+	}{
+		{0, 0, 32},
+		{0x80000000, 0x00000000, 0},
+		{0xC0A80101, 0xC0A80102, 30},
+		{0xC0A80101, 0xC0A80101, 32},
+		{0xFFFF0000, 0xFFFF8000, 16},
+	}
+	for _, tt := range tests {
+		if got := SharedPrefixLen(tt.a, tt.b); got != tt.want {
+			t.Errorf("SharedPrefixLen(%08x,%08x) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMappingActuallyChangesAddresses(t *testing.T) {
+	a := New([]byte("trace-key"))
+	changed := 0
+	for i := uint32(0); i < 256; i++ {
+		ip := 0xC0A80000 | i
+		if a.Anonymize(ip) != ip {
+			changed++
+		}
+	}
+	if changed < 200 {
+		t.Errorf("only %d/256 addresses changed; anonymization too weak", changed)
+	}
+}

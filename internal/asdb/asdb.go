@@ -1,0 +1,183 @@
+// Package asdb provides the IP→AS attribution the paper's Table 5 needs:
+// an autonomous-system registry with address-space allocation, and a
+// longest-prefix-match routing trie. The registry is synthetic but carries
+// the paper's top-10 AS names so reproduced tables read like the original.
+package asdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+)
+
+// AS describes one autonomous system.
+type AS struct {
+	// Number is the AS number.
+	Number int
+	// Name is the display name (Table 5 uses short names like "Am.-EC2").
+	Name string
+	// prefixes allocated to this AS.
+	prefixes []Prefix
+}
+
+// Prefix is an IPv4 CIDR block.
+type Prefix struct {
+	// Addr is the network address in host byte order.
+	Addr uint32
+	// Bits is the prefix length.
+	Bits int
+}
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", IPString(p.Addr), p.Bits)
+}
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip uint32) bool {
+	if p.Bits == 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - p.Bits)
+	return ip&mask == p.Addr&mask
+}
+
+// IPString formats a host-order IPv4 address.
+func IPString(ip uint32) string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], ip)
+	return net.IP(b[:]).String()
+}
+
+// ParseIP converts a dotted-quad string to host order, reporting success.
+func ParseIP(s string) (uint32, bool) {
+	ip := net.ParseIP(s)
+	if ip == nil {
+		return 0, false
+	}
+	v4 := ip.To4()
+	if v4 == nil {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(v4), true
+}
+
+// DB is the AS registry plus routing table.
+type DB struct {
+	byNumber map[int]*AS
+	trie     *trieNode
+	// next allocation cursor per AS, so AllocIP hands out distinct hosts.
+	cursor map[int]uint32
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	asn   int // 0 = no route terminates here
+}
+
+// New returns an empty DB.
+func New() *DB {
+	return &DB{
+		byNumber: make(map[int]*AS),
+		trie:     &trieNode{},
+		cursor:   make(map[int]uint32),
+	}
+}
+
+// AddAS registers an AS; calling it twice for the same number is an error.
+func (db *DB) AddAS(number int, name string) error {
+	if _, dup := db.byNumber[number]; dup {
+		return fmt.Errorf("asdb: AS%d already registered", number)
+	}
+	db.byNumber[number] = &AS{Number: number, Name: name}
+	return nil
+}
+
+// Announce assigns a prefix to an AS and installs the route.
+func (db *DB) Announce(number int, cidr string) error {
+	as, ok := db.byNumber[number]
+	if !ok {
+		return fmt.Errorf("asdb: AS%d not registered", number)
+	}
+	_, ipnet, err := net.ParseCIDR(cidr)
+	if err != nil {
+		return fmt.Errorf("asdb: bad prefix %q: %w", cidr, err)
+	}
+	bits, _ := ipnet.Mask.Size()
+	addr := binary.BigEndian.Uint32(ipnet.IP.To4())
+	p := Prefix{Addr: addr, Bits: bits}
+	as.prefixes = append(as.prefixes, p)
+	n := db.trie
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &trieNode{}
+		}
+		n = n.child[b]
+	}
+	n.asn = number
+	return nil
+}
+
+// Lookup returns the AS owning ip via longest-prefix match, or nil.
+func (db *DB) Lookup(ip uint32) *AS {
+	n := db.trie
+	best := 0
+	for i := 0; i < 32 && n != nil; i++ {
+		if n.asn != 0 {
+			best = n.asn
+		}
+		n = n.child[(ip>>(31-i))&1]
+	}
+	if n != nil && n.asn != 0 {
+		best = n.asn
+	}
+	if best == 0 {
+		return nil
+	}
+	return db.byNumber[best]
+}
+
+// LookupName returns the owning AS name, or "unknown".
+func (db *DB) LookupName(ip uint32) string {
+	if as := db.Lookup(ip); as != nil {
+		return as.Name
+	}
+	return "unknown"
+}
+
+// AllocIP hands out the next unused host address inside the AS's first
+// prefix, for deterministic server-address assignment in the simulator.
+func (db *DB) AllocIP(number int) (uint32, error) {
+	as, ok := db.byNumber[number]
+	if !ok || len(as.prefixes) == 0 {
+		return 0, fmt.Errorf("asdb: AS%d has no prefix", number)
+	}
+	p := as.prefixes[0]
+	span := uint32(1) << (32 - p.Bits)
+	cur := db.cursor[number] + 1 // skip network address
+	if cur >= span-1 {
+		return 0, fmt.Errorf("asdb: AS%d prefix %s exhausted", number, p)
+	}
+	db.cursor[number] = cur
+	return p.Addr&(^uint32(0)<<(32-p.Bits)) + cur, nil
+}
+
+// ASes returns all registered ASes sorted by number.
+func (db *DB) ASes() []*AS {
+	out := make([]*AS, 0, len(db.byNumber))
+	for _, as := range db.byNumber {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// Prefixes returns the prefixes announced by an AS.
+func (db *DB) Prefixes(number int) []Prefix {
+	if as, ok := db.byNumber[number]; ok {
+		return as.prefixes
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package asdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	for _, as := range []struct {
+		n    int
+		name string
+		cidr string
+	}{
+		{15169, "Google", "10.1.0.0/16"},
+		{20940, "Akamai", "10.2.0.0/16"},
+		{44788, "Criteo", "10.3.1.0/24"},
+		{3320, "Eyeball", "192.168.0.0/16"},
+	} {
+		if err := db.AddAS(as.n, as.name); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Announce(as.n, as.cidr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestLookup(t *testing.T) {
+	db := testDB(t)
+	tests := []struct {
+		ip   string
+		want string
+	}{
+		{"10.1.2.3", "Google"},
+		{"10.2.255.1", "Akamai"},
+		{"10.3.1.77", "Criteo"},
+		{"10.3.2.77", "unknown"},
+		{"192.168.5.5", "Eyeball"},
+		{"8.8.8.8", "unknown"},
+	}
+	for _, tt := range tests {
+		ip, ok := ParseIP(tt.ip)
+		if !ok {
+			t.Fatalf("bad test ip %q", tt.ip)
+		}
+		if got := db.LookupName(ip); got != tt.want {
+			t.Errorf("LookupName(%s) = %q, want %q", tt.ip, got, tt.want)
+		}
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	db := testDB(t)
+	// Carve a /24 out of Google's /16 for Akamai (CDN cache inside).
+	if err := db.Announce(20940, "10.1.9.0/24"); err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := ParseIP("10.1.9.50")
+	if got := db.LookupName(ip); got != "Akamai" {
+		t.Errorf("more-specific should win: got %q", got)
+	}
+	ip2, _ := ParseIP("10.1.8.50")
+	if got := db.LookupName(ip2); got != "Google" {
+		t.Errorf("covering prefix should still match elsewhere: got %q", got)
+	}
+}
+
+func TestAllocIPDistinctAndInside(t *testing.T) {
+	db := testDB(t)
+	seen := map[uint32]bool{}
+	for i := 0; i < 200; i++ {
+		ip, err := db.AllocIP(44788)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ip] {
+			t.Fatalf("duplicate alloc %s", IPString(ip))
+		}
+		seen[ip] = true
+		if db.LookupName(ip) != "Criteo" {
+			t.Fatalf("allocated %s outside Criteo space", IPString(ip))
+		}
+	}
+	// /24 has 254 usable hosts (.1–.254); exhaust the remaining 54.
+	for i := 0; i < 54; i++ {
+		if _, err := db.AllocIP(44788); err != nil {
+			t.Fatalf("alloc %d of remaining hosts failed: %v", i, err)
+		}
+	}
+	if _, err := db.AllocIP(44788); err == nil {
+		t.Error("expected exhaustion error")
+	}
+}
+
+func TestDuplicateAS(t *testing.T) {
+	db := New()
+	if err := db.AddAS(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAS(1, "b"); err == nil {
+		t.Error("duplicate AS must error")
+	}
+	if err := db.Announce(99, "10.0.0.0/8"); err == nil {
+		t.Error("unregistered AS must error")
+	}
+	if err := db.Announce(1, "bogus"); err == nil {
+		t.Error("bad CIDR must error")
+	}
+}
+
+func TestPrefixContainsProperty(t *testing.T) {
+	db := testDB(t)
+	f := func(hostBits uint16) bool {
+		ip := uint32(10)<<24 | uint32(1)<<16 | uint32(hostBits)
+		return db.LookupName(ip) == "Google"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPStringParseRoundTrip(t *testing.T) {
+	f := func(ip uint32) bool {
+		back, ok := ParseIP(IPString(ip))
+		return ok && back == ip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASesSorted(t *testing.T) {
+	db := testDB(t)
+	ases := db.ASes()
+	if len(ases) != 4 {
+		t.Fatalf("ASes = %d, want 4", len(ases))
+	}
+	for i := 1; i < len(ases); i++ {
+		if ases[i-1].Number >= ases[i].Number {
+			t.Fatal("ASes must be sorted by number")
+		}
+	}
+}
+
+func TestPrefixContainsAndString(t *testing.T) {
+	ip, _ := ParseIP("10.1.0.0")
+	p := Prefix{Addr: ip, Bits: 16}
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("String = %q", p.String())
+	}
+	inside, _ := ParseIP("10.1.255.255")
+	outside, _ := ParseIP("10.2.0.0")
+	if !p.Contains(inside) || p.Contains(outside) {
+		t.Error("Contains boundary wrong")
+	}
+	all := Prefix{Addr: 0, Bits: 0}
+	if !all.Contains(outside) {
+		t.Error("/0 contains everything")
+	}
+}
+
+func TestParseIPRejects(t *testing.T) {
+	for _, bad := range []string{"", "not-an-ip", "10.0.0", "::1", "300.1.1.1"} {
+		if _, ok := ParseIP(bad); ok {
+			t.Errorf("ParseIP(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPrefixesAccessor(t *testing.T) {
+	db := testDB(t)
+	ps := db.Prefixes(15169)
+	if len(ps) != 1 || ps[0].Bits != 16 {
+		t.Errorf("Prefixes = %v", ps)
+	}
+	if db.Prefixes(404) != nil {
+		t.Error("unknown AS has no prefixes")
+	}
+}

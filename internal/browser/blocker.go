@@ -1,0 +1,158 @@
+// Package browser emulates Web browsers loading pages from the synthetic
+// web, with and without ad-blocking extensions — the role of the
+// Selenium-instrumented Chromium in §4. A browser applies its blocker with
+// full in-DOM context (true content classes, true page origin), fetches the
+// surviving objects, and emits the packet-header records a capture monitor
+// would record. The passive pipeline then re-derives everything from those
+// headers, which is exactly the validation loop of the paper.
+package browser
+
+import (
+	"strings"
+
+	"adscape/internal/abp"
+	"adscape/internal/filterlists"
+	"adscape/internal/urlutil"
+	"adscape/internal/webgen"
+)
+
+// Profile is a browser configuration of Table 1.
+type Profile int
+
+// The seven crawl profiles.
+const (
+	Vanilla      Profile = iota
+	AdBPAds              // Adblock Plus: EasyList + acceptable ads (default)
+	AdBPPrivacy          // Adblock Plus: EasyPrivacy only
+	AdBPParanoia         // Adblock Plus: EasyList + EasyPrivacy, AA opted out
+	GhosteryAds
+	GhosteryPrivacy
+	GhosteryParanoia
+)
+
+// Profiles lists all crawl profiles in Table 1's order.
+var Profiles = []Profile{Vanilla, AdBPAds, AdBPPrivacy, AdBPParanoia, GhosteryAds, GhosteryPrivacy, GhosteryParanoia}
+
+func (p Profile) String() string {
+	switch p {
+	case Vanilla:
+		return "Vanilla"
+	case AdBPAds:
+		return "AdBP-Ad"
+	case AdBPPrivacy:
+		return "AdBP-Pr"
+	case AdBPParanoia:
+		return "AdBP-Pa"
+	case GhosteryAds:
+		return "Ghostery-Ad"
+	case GhosteryPrivacy:
+		return "Ghostery-Pr"
+	case GhosteryParanoia:
+		return "Ghostery-Pa"
+	}
+	return "unknown"
+}
+
+// IsAdblockPlus reports whether the profile runs the Adblock Plus extension
+// (and therefore downloads filter lists from the ABP servers).
+func (p Profile) IsAdblockPlus() bool {
+	return p == AdBPAds || p == AdBPPrivacy || p == AdBPParanoia
+}
+
+// Blocker decides, with browser-side context, whether a request is issued.
+type Blocker interface {
+	// Name identifies the blocker for diagnostics.
+	Name() string
+	// Blocks reports whether the object's request is suppressed on a page
+	// hosted at pageHost.
+	Blocks(o *webgen.Object, pageHost string) bool
+}
+
+// noopBlocker never blocks (Vanilla).
+type noopBlocker struct{}
+
+func (noopBlocker) Name() string                       { return "none" }
+func (noopBlocker) Blocks(*webgen.Object, string) bool { return false }
+
+// abpBlocker wraps the real filter engine with in-browser context.
+type abpBlocker struct {
+	name   string
+	engine *abp.Engine
+}
+
+func (b *abpBlocker) Name() string { return b.name }
+
+func (b *abpBlocker) Blocks(o *webgen.Object, pageHost string) bool {
+	req := &abp.Request{URL: o.URL, Class: o.Class, PageHost: pageHost}
+	return b.engine.Classify(req).Blocked()
+}
+
+// ghosteryBlocker blocks by company domain, the way Ghostery's category
+// toggles work. Coverage is imperfect on the long tail, which is why
+// Table 1 still counts EasyList hits under Ghostery profiles.
+type ghosteryBlocker struct {
+	name    string
+	domains map[string]bool
+}
+
+func (b *ghosteryBlocker) Name() string { return b.name }
+
+func (b *ghosteryBlocker) Blocks(o *webgen.Object, pageHost string) bool {
+	host := urlutil.Host(o.URL)
+	dom := urlutil.RegisteredDomain(host)
+	return b.domains[dom]
+}
+
+// NewBlocker builds the blocker for a profile over the world's filter lists
+// and company vocabulary.
+func NewBlocker(p Profile, w *webgen.World) Blocker {
+	bn := w.Bundle
+	switch p {
+	case Vanilla:
+		return noopBlocker{}
+	case AdBPAds:
+		return &abpBlocker{name: "abp-ads", engine: bn.DefaultInstallEngine()}
+	case AdBPPrivacy:
+		return &abpBlocker{name: "abp-privacy", engine: bn.PrivacyEngine()}
+	case AdBPParanoia:
+		return &abpBlocker{name: "abp-paranoia", engine: bn.ParanoiaEngine()}
+	case GhosteryAds:
+		return &ghosteryBlocker{name: "ghostery-ads", domains: ghosteryDomains(w, false, true)}
+	case GhosteryPrivacy:
+		return &ghosteryBlocker{name: "ghostery-privacy", domains: ghosteryDomains(w, true, false)}
+	case GhosteryParanoia:
+		return &ghosteryBlocker{name: "ghostery-paranoia", domains: ghosteryDomains(w, true, true)}
+	}
+	return noopBlocker{}
+}
+
+// ghosteryDomains builds Ghostery's per-category blocklist. Ghostery's
+// database covers the well-known companies fully but misses part of the
+// long tail (numbered tail companies with high indices).
+func ghosteryDomains(w *webgen.World, trackers, ads bool) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range w.Companies {
+		isTracker := c.Role == filterlists.RoleTracker
+		if isTracker && !trackers || !isTracker && !ads {
+			continue
+		}
+		if missedByGhostery(c) {
+			continue
+		}
+		for _, d := range c.Domains {
+			out[urlutil.RegisteredDomain(d)] = true
+		}
+	}
+	return out
+}
+
+// missedByGhostery marks tail companies absent from Ghostery's database.
+func missedByGhostery(c *filterlists.Company) bool {
+	// Every third numbered tail company is unknown to Ghostery.
+	if strings.HasPrefix(c.Name, "adnet") || strings.HasPrefix(c.Name, "trk") {
+		n := c.Name[len(c.Name)-2:]
+		return (int(n[0]-'0')*10+int(n[1]-'0'))%3 == 2
+	}
+	// Ghostery does not block CDNs or hybrid portals wholesale.
+	return c.Role == filterlists.RoleCDN || c.Role == filterlists.RoleHybrid
+}

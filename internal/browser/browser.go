@@ -1,0 +1,395 @@
+package browser
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/urlutil"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+// Browser is one emulated browser instance: a client IP, a User-Agent, a
+// blocker profile, and an output for the packets its traffic produces.
+type Browser struct {
+	World   *webgen.World
+	Profile Profile
+	// UserAgent is the UA string sent on every request.
+	UserAgent string
+	// ClientIP is the source address (pre-anonymization).
+	ClientIP uint32
+
+	blocker       Blocker
+	siteWhitelist map[string]bool
+	emit          func(*wire.Packet) error
+	rng           *rand.Rand
+	nextPort      uint16
+	// conns holds open persistent connections per (host, scheme) key.
+	conns map[string]*conn
+	// subs models the Adblock Plus list subscriptions for update traffic.
+	subs []*abp.Subscription
+	// lastContact is the last time (ns) the extension reached the Adblock
+	// Plus servers; zero means never (fresh install).
+	lastContact int64
+	// elemHide is the element-hiding index of the subscribed lists; nil
+	// for profiles without an ABP engine.
+	elemHide *abp.ElemHideIndex
+}
+
+// contactInterval is how often Adblock Plus phones home even when no list
+// has soft-expired — §3.2: "typically upon browser bootstrap or once per
+// day" (update/notification polls).
+const contactInterval = 20 * time.Hour
+
+type conn struct {
+	em   *wire.ConnEmitter
+	txs  int
+	busy int64 // time the connection frees up
+}
+
+// Config creates browsers.
+type Config struct {
+	World     *webgen.World
+	Profile   Profile
+	UserAgent string
+	ClientIP  uint32
+	// Emit receives every packet (e.g. a wire.Writer's Write).
+	Emit func(*wire.Packet) error
+	// Seed drives the browser's private randomness.
+	Seed int64
+	// FirstPort is the first ephemeral source port.
+	FirstPort uint16
+	// CustomLists, when non-empty, overrides the profile's blocker with an
+	// Adblock Plus engine over exactly these lists, and subscribes to them
+	// for update traffic. This is how the RBN simulator expresses the
+	// configuration space of §6.3 (EL only, EL+AA, EL+EP+AA, ...).
+	CustomLists []*abp.FilterList
+	// SiteWhitelist lists page hosts the user exempted from blocking
+	// ("please disable your ad-blocker on this site") — the custom
+	// configurations §10 lists among the ad-ratio indicator's biases.
+	SiteWhitelist []string
+}
+
+// New creates a Browser.
+func New(cfg Config) *Browser {
+	if cfg.FirstPort == 0 {
+		cfg.FirstPort = 32768
+	}
+	b := &Browser{
+		World:     cfg.World,
+		Profile:   cfg.Profile,
+		UserAgent: cfg.UserAgent,
+		ClientIP:  cfg.ClientIP,
+		blocker:   NewBlocker(cfg.Profile, cfg.World),
+		emit:      cfg.Emit,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nextPort:  cfg.FirstPort,
+		conns:     make(map[string]*conn),
+	}
+	if len(cfg.SiteWhitelist) > 0 {
+		b.siteWhitelist = make(map[string]bool, len(cfg.SiteWhitelist))
+		for _, h := range cfg.SiteWhitelist {
+			b.siteWhitelist[h] = true
+		}
+	}
+	if len(cfg.CustomLists) > 0 {
+		engine := abp.NewEngine(cfg.CustomLists...)
+		b.blocker = &abpBlocker{name: "abp-custom", engine: engine}
+		b.elemHide = engine.ElemHideIndex()
+		for _, fl := range cfg.CustomLists {
+			b.subs = append(b.subs, &abp.Subscription{List: fl})
+		}
+		return b
+	}
+	if ab, ok := b.blocker.(*abpBlocker); ok {
+		b.elemHide = ab.engine.ElemHideIndex()
+	}
+	if cfg.Profile.IsAdblockPlus() {
+		bn := cfg.World.Bundle
+		b.subs = append(b.subs, &abp.Subscription{List: bn.EasyList})
+		switch cfg.Profile {
+		case AdBPAds:
+			b.subs = append(b.subs, &abp.Subscription{List: bn.Acceptable})
+		case AdBPPrivacy:
+			b.subs = []*abp.Subscription{{List: bn.EasyPrivacy}}
+		case AdBPParanoia:
+			b.subs = append(b.subs, &abp.Subscription{List: bn.EasyPrivacy})
+		}
+	}
+	return b
+}
+
+// PageLoadResult summarizes one page load.
+type PageLoadResult struct {
+	// Page is the generated page.
+	Page *webgen.Page
+	// Issued lists the objects actually requested (not blocked).
+	Issued []*webgen.Object
+	// Blocked lists the objects the blocker suppressed.
+	Blocked []*webgen.Object
+	// HiddenSelectors counts the element-hiding CSS selectors the extension
+	// injects on this page. Hiding happens at render time and never changes
+	// the network traffic (§2) — ads embedded in the main HTML are fetched
+	// regardless and only disappear from the display.
+	HiddenSelectors int
+	// End is the time (ns) the last response completed.
+	End int64
+}
+
+// LoadPage fetches one page starting at time t0 (ns), honoring the blocker,
+// skipping the descendants of blocked chain members, and emitting packets.
+func (b *Browser) LoadPage(t0 int64, site *webgen.Site, pageIdx int) (*PageLoadResult, error) {
+	pg := b.World.GenPage(site, pageIdx)
+	res := &PageLoadResult{Page: pg, End: t0}
+	pageHost := urlutil.Host(pg.URL)
+	if b.elemHide != nil {
+		res.HiddenSelectors = len(b.elemHide.SelectorsFor(pageHost))
+	}
+	suppressed := make(map[string]bool)
+
+	t := t0
+	for i, o := range pg.Objects {
+		// Chain suppression: a blocked ancestor kills the descendants.
+		if o.Referer != "" && suppressed[o.Referer] || o.RedirectFrom != "" && suppressed[o.RedirectFrom] {
+			suppressed[o.URL] = true
+			res.Blocked = append(res.Blocked, o)
+			continue
+		}
+		// The main document is never blocked (element hiding handles
+		// embedded ads without suppressing the request, §2), and pages the
+		// user whitelisted load everything.
+		if i > 0 && !b.siteWhitelist[pageHost] && b.blocker.Blocks(o, pageHost) {
+			suppressed[o.URL] = true
+			res.Blocked = append(res.Blocked, o)
+			continue
+		}
+		end, err := b.fetch(t, o)
+		if err != nil {
+			return nil, fmt.Errorf("browser: fetching %s: %w", o.URL, err)
+		}
+		res.Issued = append(res.Issued, o)
+		if end > res.End {
+			res.End = end
+		}
+		// Browsers fetch in parallel; stagger request starts a little.
+		if i == 0 {
+			t = end // subresources start after the document arrives
+		} else {
+			t += int64(2e6 + b.rng.Int63n(10e6))
+		}
+	}
+	// Close idle connections at page end (browser teardown in the crawl).
+	b.CloseConnections(res.End + 50e6)
+	return res, nil
+}
+
+// fetch issues one object request and returns the time its response (header)
+// arrives.
+func (b *Browser) fetch(t int64, o *webgen.Object) (int64, error) {
+	host := urlutil.Host(o.URL)
+	// Front-end selection is per (client, URL): DNS-based load balancing
+	// hands different clients different front-ends of the same pool, so
+	// shared infrastructure mixes ad and content traffic per IP (§8.1).
+	hint := fmt.Sprintf("%08x|%s", b.ClientIP, o.URL)
+	serverIP, ok := b.World.ServerFor(host, hint)
+	if !ok {
+		return 0, fmt.Errorf("no server for %s", host)
+	}
+	scheme, port := "http", uint16(80)
+	if o.HTTPS {
+		scheme, port = "https", 443
+	}
+	key := scheme + "//" + host
+	c := b.conns[key]
+	rtt := b.World.RTTFor(serverIP)
+	if c == nil || c.txs >= 8 {
+		if c != nil {
+			c.em.Close(c.busy)
+		}
+		em := wire.NewConnEmitter(b.emit, b.ClientIP, b.allocPort(), serverIP, port, rtt, uint32(b.rng.Int63()))
+		est, err := em.Open(t)
+		if err != nil {
+			return 0, err
+		}
+		c = &conn{em: em, busy: est}
+		b.conns[key] = c
+		t = est
+	}
+	if t < c.busy {
+		t = c.busy
+	}
+	c.txs++
+
+	if o.HTTPS {
+		// Opaque exchange: handshake-ish upstream, object-sized downstream.
+		if err := c.em.OpaquePayload(t, 800+b.rng.Int63n(1500), o.Size+2000); err != nil {
+			return 0, err
+		}
+		end := t + rtt + o.ThinkTime
+		c.busy = end
+		return end, nil
+	}
+
+	reqHdr := b.requestHeader(o)
+	if err := c.em.Request(t, reqHdr); err != nil {
+		return 0, err
+	}
+	respAt := t + rtt + o.ThinkTime
+	respHdr, bodyLen := b.responseHeader(o)
+	if err := c.em.Response(respAt, respHdr, bodyLen); err != nil {
+		return 0, err
+	}
+	end := respAt + transferTime(bodyLen)
+	c.busy = end
+	return end, nil
+}
+
+// requestHeader renders the HTTP request block for an object.
+func (b *Browser) requestHeader(o *webgen.Object) []byte {
+	_, host, _, path, query := urlutil.Split(o.URL)
+	uri := path
+	if query != "" {
+		uri += "?" + query
+	}
+	s := "GET " + uri + " HTTP/1.1\r\nHost: " + host + "\r\n"
+	if o.Referer != "" {
+		s += "Referer: " + o.Referer + "\r\n"
+	}
+	s += "User-Agent: " + b.UserAgent + "\r\nAccept: */*\r\n\r\n"
+	return []byte(s)
+}
+
+// responseHeader renders the response block and returns the body length that
+// follows on the wire (uncaptured).
+func (b *Browser) responseHeader(o *webgen.Object) ([]byte, int64) {
+	if o.RedirectLocation != "" {
+		s := "HTTP/1.1 302 Found\r\nLocation: " + o.RedirectLocation + "\r\nContent-Length: 0\r\n\r\n"
+		return []byte(s), 0
+	}
+	s := "HTTP/1.1 200 OK\r\n"
+	if o.MIME != "" {
+		s += "Content-Type: " + o.MIME + "\r\n"
+	}
+	s += fmt.Sprintf("Content-Length: %d\r\nServer: synth/1.0\r\n\r\n", o.Size)
+	return []byte(s), o.Size
+}
+
+// transferTime models body download duration (~16 Mbps downstream).
+func transferTime(bytes int64) int64 {
+	return bytes * 8 / 16e6 * 1e9 / 1 // ns
+}
+
+// allocPort hands out ephemeral source ports.
+func (b *Browser) allocPort() uint16 {
+	p := b.nextPort
+	b.nextPort++
+	if b.nextPort < 32768 {
+		b.nextPort = 32768
+	}
+	return p
+}
+
+// CloseConnections closes all open connections at time t, in deterministic
+// (key-sorted) order so identical runs emit identical traces.
+func (b *Browser) CloseConnections(t int64) {
+	keys := make([]string, 0, len(b.conns))
+	for k := range b.conns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := b.conns[k]
+		end := c.busy
+		if t > end {
+			end = t
+		}
+		c.em.Close(end)
+		delete(b.conns, k)
+	}
+}
+
+// MaybeUpdateLists emits the Adblock Plus update traffic due at time now:
+// soft-expired filter lists are re-downloaded, and even without an expired
+// list the extension polls its servers on bootstrap and roughly daily
+// (§3.2) — these HTTPS flows are the paper's second indicator. It returns
+// the number of lists fetched.
+func (b *Browser) MaybeUpdateLists(now int64) (int, error) {
+	if len(b.subs) == 0 {
+		return 0, nil
+	}
+	fetched := 0
+	for i, sub := range b.subs {
+		if !sub.NeedsUpdate(time.Unix(0, now)) {
+			continue
+		}
+		// A filter list download is a few hundred KB over TLS.
+		listBytes := int64(150_000 + b.rng.Int63n(250_000))
+		if err := b.abpFlow(now, i, listBytes); err != nil {
+			return fetched, err
+		}
+		sub.Fetched(time.Unix(0, now))
+		b.lastContact = now
+		fetched++
+	}
+	if fetched == 0 && (b.lastContact == 0 || now-b.lastContact >= contactInterval.Nanoseconds()) {
+		// Poll-only contact: small update/notification check.
+		if err := b.abpFlow(now, 0, 6_000+b.rng.Int63n(20_000)); err != nil {
+			return fetched, err
+		}
+		b.lastContact = now
+	}
+	return fetched, nil
+}
+
+// abpFlow emits one HTTPS exchange with an Adblock Plus server.
+func (b *Browser) abpFlow(now int64, salt int, downBytes int64) error {
+	ip := b.World.AdblockServerIPs[(int(b.ClientIP)+salt)%len(b.World.AdblockServerIPs)]
+	em := wire.NewConnEmitter(b.emit, b.ClientIP, b.allocPort(), ip, 443, b.World.RTTFor(ip), uint32(b.rng.Int63()))
+	est, err := em.Open(now)
+	if err != nil {
+		return err
+	}
+	if err := em.OpaquePayload(est, 1200, downBytes); err != nil {
+		return err
+	}
+	return em.Close(est + 2e9)
+}
+
+// FetchObject issues one standalone object request at time t (non-browser
+// HTTP clients: app chatter, update downloads). It returns the response
+// arrival time.
+func (b *Browser) FetchObject(t int64, o *webgen.Object) (int64, error) {
+	return b.fetch(t, o)
+}
+
+// BackdateSubscriptions ages the list subscriptions as if the extension had
+// been installed long ago: each subscription's last fetch lands uniformly
+// inside its own expiry window before start, and the daily contact clock is
+// likewise mid-cycle. u ∈ [0,1) seeds the placement.
+func (b *Browser) BackdateSubscriptions(start time.Time, u float64) {
+	const golden = 0.6180339887498949
+	for i, sub := range b.subs {
+		frac := u + float64(i+1)*golden
+		frac -= float64(int64(frac)) // mod 1
+		age := time.Duration(frac * float64(sub.List.SoftExpiry))
+		sub.LastFetch = start.Add(-age)
+	}
+	if len(b.subs) > 0 {
+		frac := u + golden/2
+		frac -= float64(int64(frac))
+		b.lastContact = start.Add(-time.Duration(frac * float64(contactInterval))).UnixNano()
+	}
+}
+
+// HasSubscription reports whether the browser subscribes to a list.
+func (b *Browser) HasSubscription(name string) bool {
+	for _, s := range b.subs {
+		if s.List.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package browser
+
+import (
+	"testing"
+
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+// TestSiteWhitelistDisablesBlocking covers the user-level site whitelist of
+// §10: on an exempted page the blocker stays silent; elsewhere it works.
+func TestSiteWhitelistDisablesBlocking(t *testing.T) {
+	w := testWorld(t)
+	var adSite *webgen.Site
+	for _, s := range w.Sites {
+		if !s.NoAds {
+			adSite = s
+			break
+		}
+	}
+	if adSite == nil {
+		t.Fatal("no ad-carrying site")
+	}
+	mk := func(whitelist []string) *Browser {
+		return New(Config{
+			World: w, Profile: AdBPParanoia, UserAgent: "WL/1.0",
+			ClientIP: 77, Emit: func(*wire.Packet) error { return nil },
+			Seed: 3, SiteWhitelist: whitelist,
+		})
+	}
+	blocked := func(b *Browser) int {
+		res, err := b.LoadPage(1e9, adSite, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.Blocked)
+	}
+	normal := blocked(mk(nil))
+	if normal == 0 {
+		t.Fatal("paranoia must block on an ad-carrying site")
+	}
+	exempt := blocked(mk([]string{adSite.Host()}))
+	if exempt != 0 {
+		t.Errorf("whitelisted site must load everything, %d blocked", exempt)
+	}
+	// Other sites remain blocked for the same browser.
+	b := mk([]string{adSite.Host()})
+	var other *webgen.Site
+	for _, s := range w.Sites {
+		if !s.NoAds && s != adSite {
+			other = s
+			break
+		}
+	}
+	res, err := b.LoadPage(50e9, other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocked) == 0 {
+		t.Error("non-whitelisted sites must still be blocked")
+	}
+}

@@ -1,0 +1,195 @@
+// Package core wires the paper's classification pipeline together
+// (Figure 1): HTTP transactions from the analyzer are split per user
+// (client IP + User-Agent pair), each user's stream is run through the
+// page-metadata reconstruction (referrer map, content-type inference,
+// base-URL normalization), and every request is classified by the Adblock
+// Plus engine into {match?, which list, whitelisted?}.
+package core
+
+import (
+	"sort"
+
+	"adscape/internal/abp"
+	"adscape/internal/pagemodel"
+	"adscape/internal/urlutil"
+	"adscape/internal/weblog"
+)
+
+// UserKey identifies one end device: the paper's (IP, User-Agent) pair (§5).
+type UserKey struct {
+	IP        uint32
+	UserAgent string
+}
+
+// Result is the pipeline's output for one request.
+type Result struct {
+	// User is the device the request belongs to.
+	User UserKey
+	// Ann carries the reconstructed page metadata.
+	Ann *pagemodel.Annotated
+	// Verdict is the filter engine's decision.
+	Verdict abp.Verdict
+}
+
+// IsAd applies the paper's ad definition (footnote 2): blacklisted by any
+// ads/privacy list, or whitelisted by the non-intrusive-ads list.
+func (r *Result) IsAd() bool { return r.Verdict.IsAd() }
+
+// Bytes returns the response size used for byte accounting: Content-Length
+// when present, otherwise 0 (header-only traces carry no other size signal).
+func (r *Result) Bytes() int64 {
+	if r.Ann.Tx.ContentLength > 0 {
+		return r.Ann.Tx.ContentLength
+	}
+	return 0
+}
+
+// Pipeline is a reusable classifier over an engine and its rule set.
+type Pipeline struct {
+	engine *abp.Engine
+	opt    pagemodel.Options
+}
+
+// Option mutates pipeline construction.
+type Option func(*Pipeline)
+
+// WithPageOptions overrides the page-reconstruction options (ablations).
+func WithPageOptions(opt pagemodel.Options) Option {
+	return func(p *Pipeline) { p.opt = opt }
+}
+
+// NewPipeline builds the pipeline. By default the base-URL normalizer is
+// derived from the engine's rule texts, as §3.1 requires: query values that
+// appear in filter rules survive normalization.
+func NewPipeline(engine *abp.Engine, opts ...Option) *Pipeline {
+	p := &Pipeline{
+		engine: engine,
+		opt:    pagemodel.DefaultOptions(urlutil.NewNormalizer(engine.RuleTexts())),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Engine returns the underlying filter engine.
+func (p *Pipeline) Engine() *abp.Engine { return p.engine }
+
+// ClassifyAll runs the full pipeline over a transaction log. Transactions
+// are grouped per user; page reconstruction runs per user in arrival order;
+// results come back in the input's order.
+func (p *Pipeline) ClassifyAll(txs []*weblog.Transaction) []*Result {
+	type userStream struct {
+		builder *pagemodel.Builder
+		indices []int
+	}
+	streams := make(map[UserKey]*userStream)
+	order := make([]UserKey, 0)
+	for i, tx := range txs {
+		key := UserKey{IP: tx.ClientIP, UserAgent: tx.UserAgent}
+		s, ok := streams[key]
+		if !ok {
+			s = &userStream{builder: pagemodel.NewBuilder(p.opt)}
+			streams[key] = s
+			order = append(order, key)
+		}
+		s.builder.Add(tx)
+		s.indices = append(s.indices, i)
+	}
+	out := make([]*Result, len(txs))
+	for _, key := range order {
+		s := streams[key]
+		for j, ann := range s.builder.Resolve() {
+			req := &abp.Request{URL: ann.URL, Class: ann.Class, PageHost: ann.PageHost}
+			out[s.indices[j]] = &Result{User: key, Ann: ann, Verdict: p.engine.Classify(req)}
+		}
+	}
+	return out
+}
+
+// ClassifyUser runs the pipeline for a single user's transaction stream.
+func (p *Pipeline) ClassifyUser(key UserKey, txs []*weblog.Transaction) []*Result {
+	b := pagemodel.NewBuilder(p.opt)
+	for _, tx := range txs {
+		b.Add(tx)
+	}
+	anns := b.Resolve()
+	out := make([]*Result, len(anns))
+	for i, ann := range anns {
+		req := &abp.Request{URL: ann.URL, Class: ann.Class, PageHost: ann.PageHost}
+		out[i] = &Result{User: key, Ann: ann, Verdict: p.engine.Classify(req)}
+	}
+	return out
+}
+
+// Stats aggregates classification results the way §7.1 reports them.
+type Stats struct {
+	// Requests and Bytes count all transactions.
+	Requests int
+	Bytes    int64
+	// AdRequests and AdBytes count requests matching the ad definition.
+	AdRequests int
+	AdBytes    int64
+	// PerList counts blacklist hits by list name; whitelist-only hits are
+	// under the whitelist's name.
+	PerList map[string]int
+	// Whitelisted counts requests the acceptable-ads list whitelists.
+	Whitelisted int
+	// WhitelistedAndBlacklisted counts whitelisted requests that some
+	// blacklist also matched ("match the blacklist", §7.3).
+	WhitelistedAndBlacklisted int
+}
+
+// Aggregate folds results into Stats.
+func Aggregate(results []*Result) *Stats {
+	s := &Stats{PerList: make(map[string]int)}
+	for _, r := range results {
+		s.Requests++
+		s.Bytes += r.Bytes()
+		if !r.IsAd() {
+			continue
+		}
+		s.AdRequests++
+		s.AdBytes += r.Bytes()
+		switch {
+		case r.Verdict.Matched:
+			s.PerList[r.Verdict.ListName]++
+		case r.Verdict.Whitelisted:
+			s.PerList[r.Verdict.WhitelistedBy]++
+		}
+		if r.Verdict.NonIntrusive() {
+			s.Whitelisted++
+			if r.Verdict.Matched {
+				s.WhitelistedAndBlacklisted++
+			}
+		}
+	}
+	return s
+}
+
+// AdRatio returns the fraction of requests that are ads, 0 for empty input.
+func (s *Stats) AdRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.AdRequests) / float64(s.Requests)
+}
+
+// ListNames returns the per-list keys sorted for stable output.
+func (s *Stats) ListNames() []string {
+	out := make([]string, 0, len(s.PerList))
+	for n := range s.PerList {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupByUser partitions results per user key.
+func GroupByUser(results []*Result) map[UserKey][]*Result {
+	out := make(map[UserKey][]*Result)
+	for _, r := range results {
+		out[r.User] = append(out[r.User], r)
+	}
+	return out
+}

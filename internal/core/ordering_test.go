@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"adscape/internal/weblog"
+)
+
+// TestClassifyAllPreservesInputOrder: results come back aligned with the
+// input transaction slice even when users interleave arbitrarily.
+func TestClassifyAllPreservesInputOrder(t *testing.T) {
+	p := NewPipeline(testEngine(t))
+	rng := rand.New(rand.NewSource(9))
+	var txs []*weblog.Transaction
+	for i := 0; i < 200; i++ {
+		user := uint32(1 + rng.Intn(5))
+		txs = append(txs, tx(int64(i+1)*1e9, user, "UA", "www.x.example",
+			"/p", "", "text/html", int64(i)))
+	}
+	res := p.ClassifyAll(txs)
+	if len(res) != len(txs) {
+		t.Fatalf("len = %d, want %d", len(res), len(txs))
+	}
+	for i := range res {
+		if res[i] == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		if res[i].Ann.Tx != txs[i] {
+			t.Fatalf("result %d is not aligned with its transaction", i)
+		}
+		if res[i].User.IP != txs[i].ClientIP {
+			t.Fatalf("result %d user mismatch", i)
+		}
+	}
+}
+
+// TestClassifyAllEmpty handles the degenerate inputs.
+func TestClassifyAllEmpty(t *testing.T) {
+	p := NewPipeline(testEngine(t))
+	if res := p.ClassifyAll(nil); len(res) != 0 {
+		t.Errorf("nil input must yield empty results, got %d", len(res))
+	}
+	stats := Aggregate(nil)
+	if stats.Requests != 0 || stats.AdRatio() != 0 {
+		t.Errorf("empty aggregate: %+v", stats)
+	}
+	if names := stats.ListNames(); len(names) != 0 {
+		t.Errorf("empty list names: %v", names)
+	}
+}

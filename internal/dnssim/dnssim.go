@@ -1,0 +1,127 @@
+// Package dnssim models the DNS view the paper's methodology needs: §3.2
+// identifies Adblock Plus servers "relying on multiple DNS resolvers to
+// obtain an up-to-date list of Adblock Plus server IPs". Authoritative data
+// lives in a Zone; Resolvers expose the partial, rotated views real
+// load-balanced DNS hands out, so a single resolver misses addresses and
+// the union over several resolvers (and over time) converges to the full
+// set — exactly the measurement procedure the paper describes.
+package dnssim
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Zone is an authoritative name → A-record set.
+type Zone struct {
+	mu      sync.RWMutex
+	records map[string][]uint32
+}
+
+// NewZone creates an empty zone.
+func NewZone() *Zone {
+	return &Zone{records: make(map[string][]uint32)}
+}
+
+// Add appends A records for a host (lower-cased). Duplicate IPs collapse.
+func (z *Zone) Add(host string, ips ...uint32) {
+	host = strings.ToLower(host)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	have := make(map[uint32]bool, len(z.records[host]))
+	for _, ip := range z.records[host] {
+		have[ip] = true
+	}
+	for _, ip := range ips {
+		if !have[ip] {
+			z.records[host] = append(z.records[host], ip)
+			have[ip] = true
+		}
+	}
+}
+
+// Lookup returns the authoritative record set (copy), nil when absent.
+func (z *Zone) Lookup(host string) []uint32 {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	rs := z.records[strings.ToLower(host)]
+	if rs == nil {
+		return nil
+	}
+	out := make([]uint32, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// Hosts returns all names in the zone, sorted.
+func (z *Zone) Hosts() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make([]string, 0, len(z.records))
+	for h := range z.records {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolver is one recursive resolver's view of the zone: load-balanced
+// authorities rotate their answers and typically return at most maxAnswers
+// records per query, so different resolvers (and repeated queries) see
+// different subsets.
+type Resolver struct {
+	zone *Zone
+	// id differentiates resolver vantage points.
+	id int
+	// maxAnswers caps the records per response (0 = all).
+	maxAnswers int
+
+	mu      sync.Mutex
+	queries map[string]int
+}
+
+// NewResolver creates a resolver view over a zone.
+func NewResolver(zone *Zone, id, maxAnswers int) *Resolver {
+	return &Resolver{zone: zone, id: id, maxAnswers: maxAnswers, queries: make(map[string]int)}
+}
+
+// Resolve returns this resolver's current answer for host: the record set
+// rotated by vantage point and query count, truncated to maxAnswers.
+func (r *Resolver) Resolve(host string) []uint32 {
+	rs := r.zone.Lookup(host)
+	if len(rs) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	q := r.queries[host]
+	r.queries[host] = q + 1
+	r.mu.Unlock()
+	rot := (r.id*31 + q) % len(rs)
+	rotated := append(append([]uint32(nil), rs[rot:]...), rs[:rot]...)
+	if r.maxAnswers > 0 && len(rotated) > r.maxAnswers {
+		rotated = rotated[:r.maxAnswers]
+	}
+	return rotated
+}
+
+// DiscoverAll unions the answers of n resolver vantage points, each queried
+// `rounds` times — the paper's multi-resolver measurement (§3.2). The result
+// is sorted and de-duplicated.
+func DiscoverAll(zone *Zone, host string, n, rounds int) []uint32 {
+	seen := make(map[uint32]bool)
+	for i := 0; i < n; i++ {
+		res := NewResolver(zone, i, 2)
+		for q := 0; q < rounds; q++ {
+			for _, ip := range res.Resolve(host) {
+				seen[ip] = true
+			}
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for ip := range seen {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,95 @@
+package dnssim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZoneAddLookup(t *testing.T) {
+	z := NewZone()
+	z.Add("Easylist-Downloads.AdblockPlus.example", 1, 2, 3)
+	z.Add("easylist-downloads.adblockplus.example", 3, 4) // dedup + case fold
+	got := z.Lookup("EASYLIST-DOWNLOADS.adblockplus.example")
+	if len(got) != 4 {
+		t.Fatalf("records = %v", got)
+	}
+	if z.Lookup("absent.example") != nil {
+		t.Error("absent host must return nil")
+	}
+	hosts := z.Hosts()
+	if len(hosts) != 1 || hosts[0] != "easylist-downloads.adblockplus.example" {
+		t.Errorf("hosts = %v", hosts)
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	z := NewZone()
+	z.Add("h.example", 10, 20)
+	rs := z.Lookup("h.example")
+	rs[0] = 999
+	if z.Lookup("h.example")[0] != 10 {
+		t.Error("Lookup must return a copy")
+	}
+}
+
+func TestResolverRotationAndTruncation(t *testing.T) {
+	z := NewZone()
+	z.Add("lb.example", 1, 2, 3, 4)
+	r := NewResolver(z, 0, 2)
+	first := r.Resolve("lb.example")
+	if len(first) != 2 {
+		t.Fatalf("answer size = %d, want 2", len(first))
+	}
+	second := r.Resolve("lb.example")
+	if first[0] == second[0] {
+		t.Error("repeated queries should rotate the answer")
+	}
+	// Different vantage points see different slices.
+	other := NewResolver(z, 1, 2)
+	if o := other.Resolve("lb.example"); o[0] == first[0] {
+		t.Error("distinct resolvers should start at different rotations")
+	}
+	if NewResolver(z, 0, 0).Resolve("missing.example") != nil {
+		t.Error("missing host resolves to nil")
+	}
+}
+
+func TestDiscoverAllConverges(t *testing.T) {
+	z := NewZone()
+	z.Add("abp.example", 11, 22, 33, 44, 55)
+	// One resolver, one query: partial view.
+	partial := DiscoverAll(z, "abp.example", 1, 1)
+	if len(partial) >= 5 {
+		t.Fatalf("single query should be partial, got %v", partial)
+	}
+	// Several resolvers × rounds: the full set (the paper's procedure).
+	full := DiscoverAll(z, "abp.example", 3, 4)
+	if len(full) != 5 {
+		t.Fatalf("multi-resolver discovery incomplete: %v", full)
+	}
+	for i := 1; i < len(full); i++ {
+		if full[i-1] >= full[i] {
+			t.Fatal("result must be sorted unique")
+		}
+	}
+}
+
+func TestDiscoverAllSubsetProperty(t *testing.T) {
+	z := NewZone()
+	z.Add("x.example", 7, 8, 9)
+	f := func(n, rounds uint8) bool {
+		got := DiscoverAll(z, "x.example", int(n%5)+1, int(rounds%5)+1)
+		if len(got) == 0 || len(got) > 3 {
+			return false
+		}
+		for _, ip := range got {
+			if ip != 7 && ip != 8 && ip != 9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package economics implements the extension the paper's conclusion
+// announces as future work: "explore the economic impact and implications
+// that ad-blocking tech has for the 'free' Web". It attaches a simple
+// impression-revenue model (CPM by creative type, category multipliers) to
+// the simulator's ground truth, and quantifies (a) publisher revenue lost to
+// ad-blocking, (b) the share recovered through acceptable-ads placements,
+// and (c) how losses distribute over publisher categories.
+package economics
+
+import (
+	"sort"
+
+	"adscape/internal/urlutil"
+	"adscape/internal/webgen"
+)
+
+// CPM is revenue per thousand displayed impressions, in milli-currency
+// units to stay integral.
+type CPM int64
+
+// Model prices impressions.
+type Model struct {
+	// ByClass prices an impression by creative class.
+	ByClass map[urlutil.ContentClass]CPM
+	// CategoryFactor scales revenue per publisher category (premium news
+	// inventory vs remnant adult traffic); 1000 = ×1.0.
+	CategoryFactor map[webgen.Category]int64
+	// AcceptableDiscount is the relative value of an acceptable-ads
+	// placement (they are text units, priced below rich media); 1000 = ×1.0.
+	AcceptableDiscount int64
+}
+
+// DefaultModel returns 2015-era display-advertising prices: rich media and
+// video far above banners, text units cheapest, premium categories scaled
+// up. Absolute values are illustrative; every reported quantity is a ratio.
+func DefaultModel() *Model {
+	return &Model{
+		ByClass: map[urlutil.ContentClass]CPM{
+			urlutil.ClassImage:    2500,  // display banners ≈ $2.5 CPM
+			urlutil.ClassDocument: 1200,  // HTML/text frames
+			urlutil.ClassXHR:      800,   // dynamic units
+			urlutil.ClassObject:   4000,  // rich media
+			urlutil.ClassMedia:    15000, // video pre-rolls
+			urlutil.ClassOther:    500,
+		},
+		CategoryFactor: map[webgen.Category]int64{
+			webgen.CatNews:        1400,
+			webgen.CatTech:        1300,
+			webgen.CatShopping:    1200,
+			webgen.CatSearch:      1600,
+			webgen.CatSocial:      1000,
+			webgen.CatVideo:       1100,
+			webgen.CatAudio:       900,
+			webgen.CatDating:      900,
+			webgen.CatTranslation: 800,
+			webgen.CatMixed:       900,
+			webgen.CatAdult:       400, // remnant inventory
+			webgen.CatFileSharing: 300,
+		},
+		AcceptableDiscount: 600, // acceptable text units monetize at ×0.6
+	}
+}
+
+// impressionValue prices one displayed creative in milli-units per single
+// impression (CPM / 1000), scaled by category.
+func (m *Model) impressionValue(o *webgen.Object, cat webgen.Category) int64 {
+	cpm, ok := m.ByClass[o.Class]
+	if !ok {
+		cpm = m.ByClass[urlutil.ClassOther]
+	}
+	factor := m.CategoryFactor[cat]
+	if factor == 0 {
+		factor = 1000
+	}
+	v := int64(cpm) * factor / 1000 // per-mille impressions
+	if o.Kind == webgen.KindAcceptableAd {
+		v = v * m.AcceptableDiscount / 1000
+	}
+	return v
+}
+
+// isImpression reports whether the object is a revenue-bearing creative:
+// the displayed ad unit, not the serving scripts, auction hops or trackers.
+func isImpression(o *webgen.Object) bool {
+	switch o.Kind {
+	case webgen.KindAcceptableAd:
+		return true
+	case webgen.KindAd:
+		// Creatives carry a displayable class; loader scripts and 302 hops
+		// do not produce an impression on their own.
+		switch o.Class {
+		case urlutil.ClassImage, urlutil.ClassMedia, urlutil.ClassObject:
+			return true
+		case urlutil.ClassDocument:
+			return o.RedirectLocation == "" // frames yes, auction hops no
+		case urlutil.ClassXHR:
+			return true // text/dynamic units
+		}
+	}
+	return false
+}
+
+// CategoryImpact is the revenue outcome for one publisher category.
+type CategoryImpact struct {
+	Category webgen.Category
+	// Potential is the revenue with no blocking at all.
+	Potential int64
+	// Realized is the revenue from impressions actually delivered.
+	Realized int64
+	// AcceptableRecovered is the part of Realized coming from acceptable
+	// placements shown to ad-block users.
+	AcceptableRecovered int64
+}
+
+// LossShare is the fraction of potential revenue lost.
+func (c CategoryImpact) LossShare() float64 {
+	if c.Potential == 0 {
+		return 0
+	}
+	return 1 - float64(c.Realized)/float64(c.Potential)
+}
+
+// Report is the trace-level economic assessment.
+type Report struct {
+	// Potential / Realized are trace-wide revenue sums (milli-units).
+	Potential, Realized int64
+	// AcceptableRecovered is revenue from acceptable placements delivered
+	// to users who block everything else.
+	AcceptableRecovered int64
+	// ByCategory breaks the impact down per publisher category, sorted by
+	// potential revenue.
+	ByCategory []CategoryImpact
+}
+
+// OverallLoss is the trace-wide revenue loss share.
+func (r *Report) OverallLoss() float64 {
+	if r.Potential == 0 {
+		return 0
+	}
+	return 1 - float64(r.Realized)/float64(r.Potential)
+}
+
+// RecoveryShare is the fraction of blocked-user revenue the acceptable-ads
+// program recovers, relative to the total loss before recovery.
+func (r *Report) RecoveryShare() float64 {
+	lost := r.Potential - r.Realized + r.AcceptableRecovered
+	if lost == 0 {
+		return 0
+	}
+	return float64(r.AcceptableRecovered) / float64(lost)
+}
+
+// PageLoad is one observed page retrieval with its blocking outcome: which
+// objects the user's browser actually fetched and which were suppressed.
+type PageLoad struct {
+	Site *webgen.Site
+	// Issued and Blocked partition the page's objects.
+	Issued, Blocked []*webgen.Object
+	// Blocking marks the user as running an ad-blocker (ground truth).
+	Blocking bool
+}
+
+// Assess prices a set of page loads under the model.
+func Assess(m *Model, loads []*PageLoad) *Report {
+	acc := make(map[webgen.Category]*CategoryImpact)
+	get := func(c webgen.Category) *CategoryImpact {
+		ci, ok := acc[c]
+		if !ok {
+			ci = &CategoryImpact{Category: c}
+			acc[c] = ci
+		}
+		return ci
+	}
+	rep := &Report{}
+	for _, pl := range loads {
+		ci := get(pl.Site.Category)
+		for _, o := range pl.Issued {
+			if !isImpression(o) {
+				continue
+			}
+			v := m.impressionValue(o, pl.Site.Category)
+			ci.Potential += v
+			ci.Realized += v
+			rep.Potential += v
+			rep.Realized += v
+			if pl.Blocking && o.Kind == webgen.KindAcceptableAd {
+				ci.AcceptableRecovered += v
+				rep.AcceptableRecovered += v
+			}
+		}
+		for _, o := range pl.Blocked {
+			if !isImpression(o) {
+				continue
+			}
+			v := m.impressionValue(o, pl.Site.Category)
+			ci.Potential += v
+			rep.Potential += v
+		}
+	}
+	for _, ci := range acc {
+		rep.ByCategory = append(rep.ByCategory, *ci)
+	}
+	sort.Slice(rep.ByCategory, func(i, j int) bool {
+		return rep.ByCategory[i].Potential > rep.ByCategory[j].Potential
+	})
+	return rep
+}

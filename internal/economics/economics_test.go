@@ -1,0 +1,163 @@
+package economics
+
+import (
+	"testing"
+
+	"adscape/internal/browser"
+	"adscape/internal/urlutil"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+func obj(kind webgen.ObjectKind, class urlutil.ContentClass) *webgen.Object {
+	return &webgen.Object{Kind: kind, Class: class}
+}
+
+func site(cat webgen.Category) *webgen.Site {
+	return &webgen.Site{Domain: "x.example", Category: cat}
+}
+
+func TestImpressionSelection(t *testing.T) {
+	tests := []struct {
+		o    *webgen.Object
+		want bool
+	}{
+		{obj(webgen.KindAd, urlutil.ClassImage), true},
+		{obj(webgen.KindAd, urlutil.ClassMedia), true},
+		{obj(webgen.KindAd, urlutil.ClassScript), false}, // loader script
+		{obj(webgen.KindAcceptableAd, urlutil.ClassDocument), true},
+		{obj(webgen.KindTracker, urlutil.ClassImage), false},
+		{obj(webgen.KindContent, urlutil.ClassImage), false},
+	}
+	for i, tt := range tests {
+		if got := isImpression(tt.o); got != tt.want {
+			t.Errorf("case %d: isImpression = %v, want %v", i, got, tt.want)
+		}
+	}
+	hop := obj(webgen.KindAd, urlutil.ClassDocument)
+	hop.RedirectLocation = "http://x/creative"
+	if isImpression(hop) {
+		t.Error("auction 302 hops are not impressions")
+	}
+}
+
+func TestAssessBasics(t *testing.T) {
+	m := DefaultModel()
+	news := site(webgen.CatNews)
+	banner := obj(webgen.KindAd, urlutil.ClassImage)
+	video := obj(webgen.KindAd, urlutil.ClassMedia)
+	acceptable := obj(webgen.KindAcceptableAd, urlutil.ClassDocument)
+
+	loads := []*PageLoad{
+		// Non-blocking user sees everything.
+		{Site: news, Issued: []*webgen.Object{banner, video, acceptable}},
+		// Blocking user: banner and video suppressed, acceptable delivered.
+		{Site: news, Issued: []*webgen.Object{acceptable}, Blocked: []*webgen.Object{banner, video}, Blocking: true},
+	}
+	rep := Assess(m, loads)
+	if rep.Potential <= rep.Realized {
+		t.Fatalf("blocking must lose revenue: potential %d realized %d", rep.Potential, rep.Realized)
+	}
+	if rep.AcceptableRecovered == 0 {
+		t.Fatal("acceptable placement shown to a blocking user must count as recovered")
+	}
+	loss := rep.OverallLoss()
+	if loss <= 0 || loss >= 1 {
+		t.Errorf("loss = %v", loss)
+	}
+	if rs := rep.RecoveryShare(); rs <= 0 || rs >= 1 {
+		t.Errorf("recovery share = %v", rs)
+	}
+	if len(rep.ByCategory) != 1 || rep.ByCategory[0].Category != webgen.CatNews {
+		t.Errorf("categories: %+v", rep.ByCategory)
+	}
+}
+
+func TestVideoOutValuesBanner(t *testing.T) {
+	m := DefaultModel()
+	news := site(webgen.CatNews)
+	vOnly := Assess(m, []*PageLoad{{Site: news, Issued: []*webgen.Object{obj(webgen.KindAd, urlutil.ClassMedia)}}})
+	bOnly := Assess(m, []*PageLoad{{Site: news, Issued: []*webgen.Object{obj(webgen.KindAd, urlutil.ClassImage)}}})
+	if vOnly.Potential <= bOnly.Potential {
+		t.Error("a video impression must out-value a banner")
+	}
+}
+
+func TestCategoryFactors(t *testing.T) {
+	m := DefaultModel()
+	banner := obj(webgen.KindAd, urlutil.ClassImage)
+	newsRep := Assess(m, []*PageLoad{{Site: site(webgen.CatNews), Issued: []*webgen.Object{banner}}})
+	adultRep := Assess(m, []*PageLoad{{Site: site(webgen.CatAdult), Issued: []*webgen.Object{banner}}})
+	if newsRep.Potential <= adultRep.Potential {
+		t.Error("premium news inventory must out-value adult remnant")
+	}
+}
+
+// TestEndToEndWithBrowser prices real page loads from the emulator: the
+// paranoia profile must lose most ad revenue while the default ABP install
+// retains the acceptable-ads slice.
+func TestEndToEndWithBrowser(t *testing.T) {
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = 80
+	wopt.ListOptions.ExtraGenericRules = 20
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultModel()
+	run := func(p browser.Profile, blocking bool) *Report {
+		br := browser.New(browser.Config{
+			World: world, Profile: p, UserAgent: "Econ/1.0",
+			ClientIP: 9, Emit: func(*wire.Packet) error { return nil }, Seed: 5,
+		})
+		var loads []*PageLoad
+		for i, s := range world.Sites[:40] {
+			res, err := br.LoadPage(int64(i+1)*10e9, s, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loads = append(loads, &PageLoad{Site: s, Issued: res.Issued, Blocked: res.Blocked, Blocking: blocking})
+		}
+		return Assess(m, loads)
+	}
+	vanilla := run(browser.Vanilla, false)
+	defaultABP := run(browser.AdBPAds, true)
+	paranoia := run(browser.AdBPParanoia, true)
+
+	if vanilla.OverallLoss() != 0 {
+		t.Errorf("vanilla loses nothing, got %.3f", vanilla.OverallLoss())
+	}
+	if paranoia.OverallLoss() < 0.5 {
+		t.Errorf("paranoia must destroy most ad revenue, lost only %.3f", paranoia.OverallLoss())
+	}
+	if defaultABP.OverallLoss() >= paranoia.OverallLoss() {
+		t.Errorf("acceptable ads must soften the loss (%.3f vs %.3f)",
+			defaultABP.OverallLoss(), paranoia.OverallLoss())
+	}
+	if defaultABP.AcceptableRecovered == 0 {
+		t.Error("default install must recover revenue through acceptable placements")
+	}
+}
+
+func TestAssessEmpty(t *testing.T) {
+	rep := Assess(DefaultModel(), nil)
+	if rep.Potential != 0 || rep.Realized != 0 {
+		t.Errorf("empty assessment: %+v", rep)
+	}
+	if rep.OverallLoss() != 0 || rep.RecoveryShare() != 0 {
+		t.Error("empty report ratios must be zero, not NaN")
+	}
+	if len(rep.ByCategory) != 0 {
+		t.Errorf("no categories expected: %v", rep.ByCategory)
+	}
+}
+
+func TestCategoryImpactLossShare(t *testing.T) {
+	ci := CategoryImpact{Potential: 1000, Realized: 600}
+	if ls := ci.LossShare(); ls != 0.4 {
+		t.Errorf("loss share = %v", ls)
+	}
+	if (CategoryImpact{}).LossShare() != 0 {
+		t.Error("zero potential must not divide by zero")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationFullMethodAgreement(t *testing.T) {
+	e := env(t)
+	res, err := e.AblationClassify(AblationPageOptions(e, true, true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("ablation crawl classified nothing")
+	}
+	if res.Agreement < 0.95 {
+		t.Errorf("full methodology agreement = %.3f (fp=%d fn=%d of %d), want ≥0.95",
+			res.Agreement, res.FalsePositives, res.FalseNegatives, res.Requests)
+	}
+	if res.AdsFound == 0 {
+		t.Error("no ads found in vanilla crawl")
+	}
+}
+
+func TestAblationVariantsDegrade(t *testing.T) {
+	e := env(t)
+	full, err := e.AblationClassify(AblationPageOptions(e, true, true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRepair, err := e.AblationClassify(AblationPageOptions(e, false, true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerOnly, err := e.AblationClassify(AblationPageOptions(e, true, true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("agreement: full=%.4f noRepair=%.4f headerOnly=%.4f | attributed: full=%.4f noRepair=%.4f",
+		full.Agreement, noRepair.Agreement, headerOnly.Agreement, full.Attributed, noRepair.Attributed)
+	// Each ablation must not *improve* on the paper's methodology, and the
+	// header-only content-type variant must be measurably worse (the paper
+	// names MIME mislabels as its main error source, §4.2).
+	if noRepair.Agreement > full.Agreement+1e-9 {
+		t.Errorf("disabling referrer repair improved agreement (%.4f > %.4f)",
+			noRepair.Agreement, full.Agreement)
+	}
+	if headerOnly.Agreement >= full.Agreement {
+		t.Errorf("header-only content types should degrade agreement (%.4f >= %.4f)",
+			headerOnly.Agreement, full.Agreement)
+	}
+	// Referrer repair's contribution is page-attribution coverage: redirect
+	// targets and embedded URLs get re-attached to their pages (§3.1).
+	if noRepair.Attributed >= full.Attributed {
+		t.Errorf("repair should raise page attribution (%.4f >= %.4f)",
+			noRepair.Attributed, full.Attributed)
+	}
+}
+
+func TestAblationQueryNormPreventsFalsePositives(t *testing.T) {
+	e := env(t)
+	withNorm, err := e.AblationClassify(AblationPageOptions(e, true, true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noNorm, err := e.AblationClassify(AblationPageOptions(e, true, false, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("false positives: norm=%d nonorm=%d", withNorm.FalsePositives, noNorm.FalsePositives)
+	if noNorm.FalsePositives < withNorm.FalsePositives {
+		t.Errorf("query normalization should not add false positives (%d < %d)",
+			noNorm.FalsePositives, withNorm.FalsePositives)
+	}
+}
+
+func TestThresholdSweepStability(t *testing.T) {
+	e := env(t)
+	shares, err := e.ThresholdSweep([]float64{0.03, 0.05, 0.07})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := shares[0.05]
+	if base <= 0 {
+		t.Fatal("no type-C users at the 5% threshold")
+	}
+	for th, s := range shares {
+		if diff := s - base; diff > 0.10 || diff < -0.10 {
+			t.Errorf("threshold %.2f share %.3f deviates from 5%%-threshold share %.3f by >10pp (§4.3 stability claim)",
+				th, s, base)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "fmt"
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID  string
+	Run func(*Env) (*Report, error)
+}
+
+// All lists every reproduced table and figure in paper order.
+func All() []Runner {
+	return []Runner{
+		{"table1", (*Env).Table1},
+		{"figure2", (*Env).Figure2},
+		{"table2", (*Env).Table2},
+		{"figure3", (*Env).Figure3},
+		{"figure4", (*Env).Figure4},
+		{"table3", (*Env).Table3},
+		{"section63", (*Env).Section63},
+		{"figure5", (*Env).Figure5},
+		{"table4", (*Env).Table4},
+		{"figure6", (*Env).Figure6},
+		{"section73", (*Env).Section73},
+		{"section81", (*Env).Section81},
+		{"table5", (*Env).Table5},
+		{"figure7", (*Env).Figure7},
+		{"extension-econ", (*Env).ExtensionEconomics},
+		{"ablations", (*Env).Ablations},
+	}
+}
+
+// RunByID runs one experiment by identifier.
+func (e *Env) RunByID(id string) (*Report, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r.Run(e)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

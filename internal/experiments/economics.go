@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adscape/internal/browser"
+	"adscape/internal/economics"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+// ExtensionEconomics runs the study the paper's conclusion leaves as future
+// work: the economic impact of ad-blocking on publishers. It prices the
+// crawl catalog's pages under three user types (no blocker, default ABP
+// install, paranoia install), then sweeps the ad-blocker adoption rate to
+// show how publisher revenue and the acceptable-ads recovery scale.
+func (e *Env) ExtensionEconomics() (*Report, error) {
+	r := &Report{ID: "extension-econ", Title: "Extension: publisher revenue impact of ad-blocking (future work, §11)"}
+	model := economics.DefaultModel()
+	nSites := min(e.CrawlSites, len(e.World.Sites))
+
+	loadsFor := func(prof browser.Profile, blocking bool) ([]*economics.PageLoad, error) {
+		br := browser.New(browser.Config{
+			World: e.World, Profile: prof, UserAgent: "Econ/1.0",
+			ClientIP: 0x7F000003, Emit: func(*wire.Packet) error { return nil },
+			Seed: 77,
+		})
+		var loads []*economics.PageLoad
+		for i := 0; i < nSites; i++ {
+			s := e.World.Sites[i]
+			res, err := br.LoadPage(int64(i+1)*10e9, s, 0)
+			if err != nil {
+				return nil, fmt.Errorf("economics crawl site %d: %w", i, err)
+			}
+			loads = append(loads, &economics.PageLoad{
+				Site: s, Issued: res.Issued, Blocked: res.Blocked, Blocking: blocking,
+			})
+		}
+		return loads, nil
+	}
+
+	vanilla, err := loadsFor(browser.Vanilla, false)
+	if err != nil {
+		return nil, err
+	}
+	defaultABP, err := loadsFor(browser.AdBPAds, true)
+	if err != nil {
+		return nil, err
+	}
+	paranoia, err := loadsFor(browser.AdBPParanoia, true)
+	if err != nil {
+		return nil, err
+	}
+	repVanilla := economics.Assess(model, vanilla)
+	repDefault := economics.Assess(model, defaultABP)
+	repParanoia := economics.Assess(model, paranoia)
+
+	r.Printf("per-user revenue index (vanilla = 100):")
+	base := float64(repVanilla.Realized)
+	r.Printf("  vanilla:      100.0")
+	r.Printf("  ABP default:  %5.1f  (acceptable-ads recovery %s of the loss)",
+		100*float64(repDefault.Realized)/base, pct(repDefault.RecoveryShare()))
+	r.Printf("  ABP paranoia: %5.1f", 100*float64(repParanoia.Realized)/base)
+
+	// Adoption sweep: population-level revenue at x% default-install ABP
+	// users (the dominant configuration, §6.3).
+	rows := [][]string{{"ABP adoption", "revenue index", "loss", "recovered by acceptable ads"}}
+	for _, adoption := range []float64{0, 0.10, 0.22, 0.30, 0.50} {
+		realized := (1-adoption)*float64(repVanilla.Realized) + adoption*float64(repDefault.Realized)
+		recovered := adoption * float64(repDefault.AcceptableRecovered)
+		loss := 1 - realized/base
+		rows = append(rows, []string{
+			pct(adoption), fmt.Sprintf("%.1f", 100*realized/base), pct(loss),
+			fmt.Sprintf("%.1f%% of loss", 100*recovered/(base-realized+recovered)),
+		})
+	}
+	r.Lines = append(r.Lines, table(rows)...)
+
+	// Category view at the paper's 22% adoption.
+	catRows := [][]string{{"category", "potential", "loss@22%", "AA share of loss"}}
+	vIdx := map[webgen.Category]economics.CategoryImpact{}
+	for _, ci := range repVanilla.ByCategory {
+		vIdx[ci.Category] = ci
+	}
+	for _, ci := range repDefault.ByCategory {
+		v := vIdx[ci.Category]
+		if v.Potential == 0 {
+			continue
+		}
+		adopted := 0.78*float64(v.Realized) + 0.22*float64(ci.Realized)
+		loss := 1 - adopted/float64(v.Potential)
+		rec := 0.22 * float64(ci.AcceptableRecovered)
+		recShare := 0.0
+		if lost := float64(v.Potential) - adopted + rec; lost > 0 {
+			recShare = rec / lost
+		}
+		catRows = append(catRows, []string{
+			string(ci.Category), fmt.Sprintf("%d", v.Potential), pct(loss), pct(recShare),
+		})
+	}
+	r.Lines = append(r.Lines, "")
+	r.Lines = append(r.Lines, table(catRows)...)
+
+	// Headline extension metrics (no paper values exist; reference points
+	// encode the qualitative expectations).
+	r.Metric("paranoia per-user revenue loss", 0.9, repParanoia.OverallLoss(), "")
+	r.Metric("default-install per-user revenue loss", 0.6, repDefault.OverallLoss(), "")
+	r.Metric("acceptable-ads recovery share (default install)", 0.2, repDefault.RecoveryShare(), "")
+	if repDefault.OverallLoss() >= repParanoia.OverallLoss() {
+		r.Printf("WARNING: acceptable ads should soften the default install's loss")
+	}
+	return r, nil
+}

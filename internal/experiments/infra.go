@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adscape/internal/infra"
+)
+
+// Section81 reproduces the server-side infrastructure analysis of §8.1:
+// how many servers serve ads, how dedicated they are, and the shape of the
+// per-server ad-request distribution.
+func (e *Env) Section81() (*Report, error) {
+	td, err := e.Trace("rbn1")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "section81", Title: "Server-side ad infrastructure (RBN-1)"}
+	servers := infra.AggregateServers(td.Results)
+	sum := infra.Summarize(servers)
+	r.Printf("servers: %d total, %d EasyList, %d EasyPrivacy, %d both",
+		sum.Servers, sum.ELServers, sum.EPServers, sum.BothServers)
+	r.Printf("servers serving ≥1 ad: %d (%s); they deliver %s of non-ad objects",
+		sum.MixedServers, pct(ratio(sum.MixedServers, sum.Servers)), pct(sum.NonAdShareOfMixed))
+	r.Printf("dedicated ad servers (≥90%% ads): %d delivering %s of ads",
+		sum.Dedicated, pct(sum.DedicatedAdShare))
+	r.Printf("tracking servers: %d delivering %s of EasyPrivacy objects",
+		sum.TrackingServers, pct(sum.TrackingShare))
+	r.Printf("per-server EasyList objects: %s mean=%.1f p90=%.0f p95=%.0f p99=%.0f busiest=%d",
+		sum.PerServerAds.String(), sum.MeanAds, sum.P90, sum.P95, sum.P99, sum.BusiestServer)
+
+	// Scale-invariant comparisons.
+	r.Metric("share of servers serving ≥1 ad", 0.211, ratio(sum.MixedServers, sum.Servers), "")
+	r.Metric("non-ad objects served by ad-serving servers", 0.543, sum.NonAdShareOfMixed, "")
+	r.Metric("ads delivered by dedicated ad servers", 0.327, sum.DedicatedAdShare, "")
+	r.Metric("EP objects from tracking-only servers", 0.188, sum.TrackingShare, "")
+	// Distribution shape: heavy tail (mean >> median).
+	if sum.PerServerAds.Median > 0 {
+		r.Metric("per-server ads mean/median (heavy tail >>1)", 438.0/7.0, sum.MeanAds/sum.PerServerAds.Median, "x")
+	}
+	return r, nil
+}
+
+// Table5 reproduces the top-10 AS ranking of ad traffic.
+func (e *Env) Table5() (*Report, error) {
+	td, err := e.Trace("rbn1")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "table5", Title: "RBN-1: ad traffic by AS (top 10)"}
+	servers := infra.AggregateServers(td.Results)
+	rows := infra.ByAS(servers, e.World.ASDB)
+	body := [][]string{{"AS", "%ads reqs(trace)", "%ads bytes(trace)", "%ads reqs(AS)", "%ads bytes(AS)"}}
+	lim := 10
+	if len(rows) < lim {
+		lim = len(rows)
+	}
+	top10 := 0.0
+	for _, row := range rows[:lim] {
+		body = append(body, []string{
+			row.Name, pct(row.AdReqShareOfTrace), pct(row.AdByteShareOfTrace),
+			pct(row.AdReqShareOfAS), pct(row.AdByteShareOfAS),
+		})
+		top10 += row.AdReqShareOfTrace
+	}
+	r.Lines = table(body)
+	r.Metric("top-10 ASes' share of ad objects", 0.568, top10, "")
+	byName := map[string]infra.ASStats{}
+	for _, row := range rows {
+		byName[row.Name] = row
+	}
+	if g, ok := byName["Google"]; ok {
+		r.Metric("Google share of ad requests", 0.21, g.AdReqShareOfTrace, "")
+		r.Metric("Google share of ad bytes", 0.339, g.AdByteShareOfTrace, "")
+		r.Metric("ad share of Google's own requests", 0.507, g.AdReqShareOfAS, "")
+	}
+	if c, ok := byName["Criteo"]; ok {
+		r.Metric("ad share of Criteo's own requests", 0.781, c.AdReqShareOfAS, "")
+		r.Metric("ad share of Criteo's own bytes", 0.882, c.AdByteShareOfAS, "")
+	}
+	if a, ok := byName["AppNexus"]; ok {
+		r.Metric("ad share of AppNexus's own bytes", 0.502, a.AdByteShareOfAS, "")
+	}
+	if rows[0].Name != "Google" {
+		r.Printf("WARNING: Google is not the top ad AS (got %s)", rows[0].Name)
+	}
+	return r, nil
+}
+
+// Figure7 reproduces the real-time-bidding fingerprint: the density of the
+// difference between HTTP and TCP handshake latencies, split by ad verdict,
+// with modes near 1, 10 and ~120 ms and a heavy >100 ms share for ads.
+func (e *Env) Figure7() (*Report, error) {
+	td, err := e.Trace("rbn2")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "figure7", Title: "HTTP-handshake minus TCP-handshake latency, ads vs rest (RBN-2)"}
+	an := infra.AnalyzeRTB(td.Results)
+	r.Printf("samples: ads=%d rest=%d", an.AdDelta.Total(), an.NonAdDelta.Total())
+	r.Printf("ad modes (ms): %s", fmtModes(an.AdDelta.ModeValues(0.03)))
+	r.Printf("non-ad modes (ms): %s", fmtModes(an.NonAdDelta.ModeValues(0.03)))
+	r.Printf("mass ≥100ms: ads %s vs rest %s", pct(an.AdMassAbove100ms), pct(an.NonAdMassAbove100ms))
+	lim := 8
+	if len(an.SlowAdHosts) < lim {
+		lim = len(an.SlowAdHosts)
+	}
+	rows := [][]string{{"slow ad host (≥90ms)", "requests", "share"}}
+	for _, h := range an.SlowAdHosts[:lim] {
+		rows = append(rows, []string{h.Host, count(h.Count), pct(h.Share)})
+	}
+	r.Lines = append(r.Lines, table(rows)...)
+
+	// Shape claims: ads carry much more >100ms mass than non-ads, and an
+	// RTB exchange (DoubleClick analog) leads the slow-host ranking with
+	// ~15% share.
+	r.Metric("ad handshake-delta mass above 100ms", 0.25, an.AdMassAbove100ms, "")
+	r.Metric("non-ad mass above 100ms (≈0)", 0.02, an.NonAdMassAbove100ms, "")
+	if len(an.SlowAdHosts) > 0 {
+		r.Metric("top RTB host share of slow ads (DoubleClick 14.5%)", 0.145, an.SlowAdHosts[0].Share, "")
+	}
+	if an.AdMassAbove100ms <= an.NonAdMassAbove100ms {
+		r.Printf("WARNING: ads do not show the RTB latency mode")
+	}
+	return r, nil
+}
+
+func fmtModes(ms []float64) string {
+	if len(ms) == 0 {
+		return "(none)"
+	}
+	s := ""
+	for i, m := range ms {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.2g", m)
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation on the synthetic substrate: it generates the active-measurement
+// crawl and the RBN traces, runs the passive classification pipeline over
+// them, and renders paper-style tables together with paper-vs-measured
+// comparison records for EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metric is one paper-vs-measured comparison point.
+type Metric struct {
+	// Name describes the quantity.
+	Name string
+	// Paper is the value the paper reports (NaN-free; use Ref for text).
+	Paper float64
+	// Measured is our reproduction's value.
+	Measured float64
+	// Unit is a display unit ("%", "ms", "x").
+	Unit string
+}
+
+// Report is the output of one experiment runner.
+type Report struct {
+	// ID is the experiment identifier ("table1", "figure7", ...).
+	ID string
+	// Title echoes the paper's caption.
+	Title string
+	// Lines is the rendered body.
+	Lines []string
+	// Metrics carries the headline comparisons.
+	Metrics []Metric
+}
+
+// Printf appends a formatted line to the report body.
+func (r *Report) Printf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Metric records one comparison.
+func (r *Report) Metric(name string, paper, measured float64, unit string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Paper: paper, Measured: measured, Unit: unit})
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, ln := range r.Lines {
+		b.WriteString(ln)
+		b.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("-- paper vs measured --\n")
+		for _, m := range r.Metrics {
+			fmt.Fprintf(&b, "%-58s paper=%9.2f%-3s measured=%9.2f%-3s\n",
+				m.Name, m.Paper, m.Unit, m.Measured, m.Unit)
+		}
+	}
+	return b.String()
+}
+
+// table renders rows of cells with aligned columns.
+func table(rows [][]string) []string {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := make([]string, 0, len(rows))
+	for _, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		out = append(out, strings.TrimRight(b.String(), " "))
+	}
+	return out
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+func count(n int) string   { return fmt.Sprintf("%d", n) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"adscape/internal/core"
+	"adscape/internal/inference"
+	"adscape/internal/metrics"
+	"adscape/internal/rbn"
+	"adscape/internal/useragent"
+)
+
+// Table2 reproduces the data-set overview: capture windows, subscriber
+// counts, HTTP volume and request totals for both traces.
+func (e *Env) Table2() (*Report, error) {
+	r := &Report{ID: "table2", Title: "Passive measurements: data sets"}
+	rows := [][]string{{"Trace", "Start", "Duration", "Subscribers", "HTTPbytes", "HTTPreqs", "Packets"}}
+	type paperRow struct {
+		name  string
+		reqs  float64 // millions
+		bytes float64 // TB
+		subs  float64
+	}
+	paper := map[string]paperRow{
+		"rbn1": {"RBN-1", 131.95e6, 18.8e12, 7500},
+		"rbn2": {"RBN-2", 85.09e6, 11.4e12, 19700},
+	}
+	for _, name := range []string{"rbn1", "rbn2"} {
+		td, err := e.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			paper[name].name,
+			td.Opt.Start.Format("2006-01-02 15:04"),
+			td.Opt.Duration.String(),
+			count(td.Opt.Households),
+			fmt.Sprintf("%.2fG", float64(td.AnalyzerStats.HTTPWireBytes)/1e9),
+			count(td.AnalyzerStats.HTTPTransactions),
+			count(td.AnalyzerStats.Packets),
+		})
+		// Scale-invariant comparison: requests per subscriber-hour.
+		hours := td.Opt.Duration.Hours()
+		measured := float64(td.AnalyzerStats.HTTPTransactions) / float64(td.Opt.Households) / hours
+		p := paper[name]
+		paperRate := p.reqs / p.subs / hours
+		r.Metric(fmt.Sprintf("%s HTTP requests per subscriber-hour", p.name), paperRate, measured, "")
+	}
+	r.Lines = table(rows)
+	return r, nil
+}
+
+// Figure3 reproduces the (IP, User-Agent) heat map of total vs ad requests
+// on log-log axes, plus the trace-wide ad-request share (18.89% in RBN-2).
+func (e *Env) Figure3() (*Report, error) {
+	td, err := e.Trace("rbn2")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "figure3", Title: "RBN-2 heat map: total requests vs ad requests per (IP, User-Agent) pair"}
+	hm := metrics.NewHeatMap2D(0, 5, 25, 0, 5, 25)
+	lowAdHeavy := 0
+	for _, u := range td.Users {
+		hm.Add(float64(u.Requests), float64(u.AdRequests))
+		if u.Requests >= e.activeThreshold() && u.AdRatio() < 0.01 {
+			lowAdHeavy++
+		}
+	}
+	adShare := 0.0
+	ads := 0
+	for _, res := range td.Results {
+		if res.IsAd() {
+			ads++
+		}
+	}
+	if len(td.Results) > 0 {
+		adShare = float64(ads) / float64(len(td.Results))
+	}
+	r.Printf("pairs=%d  max-cell=%d  trace ad-request share=%s", hm.Total(), hm.MaxCell(), pct(adShare))
+	r.Printf("heavy pairs with <1%% ads (lower-right cloud): %d", lowAdHeavy)
+	r.Lines = append(r.Lines, renderHeatMap(hm)...)
+	r.Metric("RBN-2 ad-request share", 0.1889, adShare, "")
+	// Paper: >25 UA strings per household on average (508.7K pairs / 19.7K).
+	pairsPerHH := float64(len(td.Users)) / float64(td.Opt.Households)
+	r.Metric("(IP,UA) pairs per household", 25.8, pairsPerHH, "")
+	if lowAdHeavy == 0 {
+		r.Printf("WARNING: no heavy low-ad pairs; the ad-blocker population is invisible")
+	}
+	return r, nil
+}
+
+// renderHeatMap draws an ASCII shade map, densest cells darkest.
+func renderHeatMap(hm *metrics.HeatMap2D) []string {
+	shades := []byte(" .:-=+*#%@")
+	max := hm.MaxCell()
+	if max == 0 {
+		return []string{"(empty)"}
+	}
+	out := make([]string, 0, len(hm.Counts))
+	for y := len(hm.Counts) - 1; y >= 0; y-- {
+		row := make([]byte, len(hm.Counts[y]))
+		for x, c := range hm.Counts[y] {
+			idx := 0
+			if c > 0 {
+				idx = 1 + int(float64(c)/float64(max+1)*float64(len(shades)-1))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			row[x] = shades[idx]
+		}
+		out = append(out, "|"+string(row)+"|")
+	}
+	return out
+}
+
+// Figure4 reproduces the per-family ECDFs of the ad-request percentage for
+// active browsers: Firefox and Chrome show large low-ratio populations
+// (ad-blocker candidates), Safari and IE far smaller ones.
+func (e *Env) Figure4() (*Report, error) {
+	td, err := e.Trace("rbn2")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "figure4", Title: "ECDF of %ad-requests per active browser, by family"}
+	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: e.activeThreshold()}
+	active := inference.ActiveBrowsers(td.Users, opt)
+	fr := inference.FamilyRatios(active)
+	fams := []useragent.Family{useragent.Firefox, useragent.Chrome, useragent.IE, useragent.Safari, useragent.MobileAny}
+	rows := [][]string{{"family", "n", "P(<1%)", "P(<5%)", "P(<10%)", "median%"}}
+	below1 := map[useragent.Family]float64{}
+	for _, f := range fams {
+		ratios := fr[f]
+		if len(ratios) == 0 {
+			rows = append(rows, []string{string(f), "0", "-", "-", "-", "-"})
+			continue
+		}
+		ecdf := metrics.NewECDF(ratios)
+		below1[f] = ecdf.At(1)
+		rows = append(rows, []string{
+			string(f), count(len(ratios)),
+			pct(ecdf.At(1)), pct(ecdf.At(5)), pct(ecdf.At(10)),
+			f2(metrics.Quantile(ratios, 0.5)),
+		})
+	}
+	r.Lines = table(rows)
+	r.Metric("Firefox browsers below 1% ads", 0.40, below1[useragent.Firefox], "")
+	r.Metric("Chrome browsers below 1% ads", 0.40, below1[useragent.Chrome], "")
+	r.Metric("Safari browsers below threshold", 0.18, below1[useragent.Safari], "")
+	r.Metric("IE browsers below threshold", 0.08, below1[useragent.IE], "")
+	return r, nil
+}
+
+// Table3 reproduces the indicator cross product over the active browsers,
+// plus the inferred Adblock Plus share (paper: 22.2% type-C).
+func (e *Env) Table3() (*Report, error) {
+	td, err := e.Trace("rbn2")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "table3", Title: "Ad-blocker usage: indicator classes over active browsers"}
+	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: e.activeThreshold()}
+	active := inference.ActiveBrowsers(td.Users, opt)
+	rows := inference.Table3(active, opt)
+
+	totalReq, totalAd := 0, 0
+	for _, res := range td.Results {
+		totalReq++
+		if res.IsAd() {
+			totalAd++
+		}
+	}
+	body := [][]string{{"Type", "Ratio", "EasyList", "Instances", "%requests", "%ad reqs."}}
+	marks := [4][2]string{{"x", "x"}, {"x", "ok"}, {"ok", "ok"}, {"ok", "x"}}
+	for i, row := range rows {
+		reqShare, adShare := 0.0, 0.0
+		if totalReq > 0 {
+			reqShare = float64(row.Requests) / float64(totalReq)
+		}
+		if totalAd > 0 {
+			adShare = float64(row.AdRequests) / float64(totalAd)
+		}
+		body = append(body, []string{
+			row.Class.String(), marks[i][0], marks[i][1],
+			pct(row.InstanceShare), pct(reqShare), pct(adShare),
+		})
+	}
+	r.Lines = table(body)
+	r.Printf("active browsers: %d (threshold %d requests)", len(active), opt.ActiveThreshold)
+
+	r.Metric("Type A (no blocker) instance share", 0.468, rows[0].InstanceShare, "")
+	r.Metric("Type B instance share", 0.157, rows[1].InstanceShare, "")
+	r.Metric("Type C (likely ABP) instance share", 0.222, rows[2].InstanceShare, "")
+	r.Metric("Type D instance share", 0.153, rows[3].InstanceShare, "")
+
+	// Validate against simulator ground truth: what share of type-C active
+	// browsers truly run Adblock Plus?
+	gt := groundTruthSetups(td)
+	tp, cTotal := 0, 0
+	abpActive, actualABP := 0, 0
+	for _, u := range active {
+		setup, ok := gt[u.Key]
+		if !ok {
+			continue
+		}
+		if setup.UsesAdblockPlus() {
+			actualABP++
+		}
+		if inference.Classify(u, opt) == inference.ClassC {
+			cTotal++
+			if setup.UsesAdblockPlus() {
+				tp++
+			}
+		}
+	}
+	abpActive = actualABP
+	if cTotal > 0 {
+		r.Printf("ground truth: %d/%d type-C browsers actually run ABP (precision %s)", tp, cTotal, pct(float64(tp)/float64(cTotal)))
+	}
+	if len(active) > 0 {
+		r.Printf("ground truth ABP share among active browsers: %s", pct(float64(abpActive)/float64(len(active))))
+	}
+	// Households with list downloads (paper: 19.7%, Metwalley: 10-18%).
+	with, total := inference.HouseholdsWithDownload(td.Users)
+	share := 0.0
+	if total > 0 {
+		share = float64(with) / float64(total)
+	}
+	r.Metric("households with ABP list downloads", 0.197, share, "")
+	return r, nil
+}
+
+// groundTruthSetups indexes the simulator's device table by user key.
+func groundTruthSetups(td *TraceData) map[core.UserKey]rbn.BlockerSetup {
+	out := make(map[core.UserKey]rbn.BlockerSetup, len(td.Sim.Devices))
+	for _, d := range td.Sim.Devices {
+		out[core.UserKey{IP: d.ClientIP, UserAgent: d.UserAgent}] = d.Setup
+	}
+	return out
+}
+
+// Section63 reproduces the Adblock Plus configuration analysis: most ABP
+// users subscribe to neither EasyPrivacy nor opt out of acceptable ads.
+func (e *Env) Section63() (*Report, error) {
+	td, err := e.Trace("rbn2")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "section63", Title: "Adblock Plus configurations (EasyPrivacy / acceptable ads)"}
+	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: e.activeThreshold()}
+	active := inference.ActiveBrowsers(td.Users, opt)
+	est := inference.EstimateSubscriptions(active, opt, 10)
+
+	r.Printf("type-C users: %d, type-A users: %d", est.ABPUsers, est.NonABPUsers)
+	r.Printf("no EP-matching requests: ABP %s vs non-ABP %s", pct(est.EPZeroABP), pct(est.EPZeroNonABP))
+	r.Printf("under 10 EP-matching requests: ABP %s vs non-ABP %s", pct(est.EPUnderKABP), pct(est.EPUnderKNonABP))
+	r.Printf("no whitelisted requests: ABP %s vs non-ABP %s", pct(est.AAZeroABP), pct(est.AAZeroNonABP))
+	r.Printf("share of all whitelisted requests: ABP %s vs non-ABP %s", pct(est.AAShareABP), pct(est.AAShareNonABP))
+
+	r.Metric("non-ABP users with zero EP requests", 0.001, est.EPZeroNonABP, "")
+	r.Metric("ABP users with zero EP requests", 0.051, est.EPZeroABP, "")
+	r.Metric("ABP users with <10 EP requests", 0.131, est.EPUnderKABP, "")
+	r.Metric("ABP users issuing no whitelisted request", 0.118, est.AAZeroABP, "")
+	r.Metric("non-ABP users issuing no whitelisted request", 0.061, est.AAZeroNonABP, "")
+	r.Metric("whitelisted requests from ABP users", 0.079, est.AAShareABP, "")
+	r.Metric("whitelisted requests from non-ABP users", 0.379, est.AAShareNonABP, "")
+
+	// Type-C ad-hit composition (paper: 82.3% EasyPrivacy, 11.1% whitelist).
+	var epHits, aaHits, allHits int
+	for _, u := range active {
+		if inference.Classify(u, opt) != inference.ClassC {
+			continue
+		}
+		epHits += u.EPHits
+		aaHits += u.AAHits
+		allHits += u.AdRequests
+	}
+	if allHits > 0 {
+		r.Printf("type-C ad hits: %s EasyPrivacy, %s whitelist (of %d)",
+			pct(float64(epHits)/float64(allHits)), pct(float64(aaHits)/float64(allHits)), allHits)
+		r.Metric("type-C positive classifications from EasyPrivacy", 0.823, float64(epHits)/float64(allHits), "")
+		r.Metric("type-C positive classifications whitelisted", 0.111, float64(aaHits)/float64(allHits), "")
+	}
+	return r, nil
+}
+
+// sortedUserKeys is a test helper guaranteeing deterministic iteration.
+func sortedUserKeys(users map[core.UserKey]*inference.UserStats) []core.UserKey {
+	keys := make([]core.UserKey, 0, len(users))
+	for k := range users {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].IP != keys[j].IP {
+			return keys[i].IP < keys[j].IP
+		}
+		return keys[i].UserAgent < keys[j].UserAgent
+	})
+	return keys
+}

@@ -1,0 +1,505 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adscape/internal/abp"
+	"adscape/internal/core"
+	"adscape/internal/metrics"
+	"adscape/internal/urlutil"
+)
+
+// Figure5 reproduces the RBN-1 time series: request volume per class in 1h
+// bins (5a) and the percentage of ad requests/bytes over time (5b). The ad
+// ratio swings diurnally (6–12% in the paper) instead of staying constant.
+func (e *Env) Figure5() (*Report, error) {
+	td, err := e.Trace("rbn1")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "figure5", Title: "Time series of ad vs non-ad traffic (1h bins, RBN-1)"}
+	start := float64(td.Opt.Start.UnixNano()) / 1e9
+	bins := int(td.Opt.Duration.Hours())
+	ts := metrics.NewTimeSeries(start, 3600, bins)
+	for _, res := range td.Results {
+		t := float64(res.Ann.Tx.ReqTime) / 1e9
+		bytes := float64(res.Bytes())
+		switch {
+		case !res.IsAd():
+			ts.Add("nonads", t, 1)
+			ts.Add("nonad-bytes", t, bytes)
+		case res.Verdict.Matched && res.Verdict.ListKind == abp.ListPrivacy:
+			ts.Add("easyprivacy", t, 1)
+			ts.Add("ad-bytes", t, bytes)
+		case res.Verdict.Matched:
+			ts.Add("easylist", t, 1)
+			ts.Add("ad-bytes", t, bytes)
+		default:
+			ts.Add("nonintrusive", t, 1)
+			ts.Add("ad-bytes", t, bytes)
+		}
+	}
+	el, ep, ni, non := ts.Series("easylist"), ts.Series("easyprivacy"), ts.Series("nonintrusive"), ts.Series("nonads")
+	var ratios []float64
+	rows := [][]string{{"hour", "non-ads", "EL", "EP", "non-intr", "%ad-reqs"}}
+	for i := 0; i < bins; i++ {
+		ads := el[i] + ep[i] + ni[i]
+		tot := ads + non[i]
+		ratio := 0.0
+		if tot > 0 {
+			ratio = ads / tot
+		}
+		ratios = append(ratios, ratio)
+		if i%6 == 0 { // print every 6th bin to keep the report readable
+			rows = append(rows, []string{
+				fmt.Sprintf("%dh", i), f2(non[i]), f2(el[i]), f2(ep[i]), f2(ni[i]), pct(ratio),
+			})
+		}
+	}
+	r.Lines = table(rows)
+	r.Lines = append(r.Lines, sparkline("requests/h", sumSeries(el, ep, ni, non)))
+	r.Lines = append(r.Lines, sparkline("%ad-reqs  ", ratios))
+
+	// §7.1 headline numbers.
+	stats := core.Aggregate(td.Results)
+	r.Metric("RBN-1 ad-request share", 0.1725, stats.AdRatio(), "")
+	byteShare := 0.0
+	if stats.Bytes > 0 {
+		byteShare = float64(stats.AdBytes) / float64(stats.Bytes)
+	}
+	r.Metric("RBN-1 ad-byte share", 0.0113, byteShare, "")
+	// Diurnal swing of the ad ratio (paper: ~6% to ~12%).
+	valid := ratios[:0:0]
+	for i, v := range ratios {
+		if el[i]+ep[i]+ni[i]+non[i] > 50 { // skip nearly-empty bins
+			valid = append(valid, v)
+		}
+	}
+	if len(valid) > 4 {
+		r.Metric("ad-ratio diurnal min", 0.06, metrics.Quantile(valid, 0.05), "")
+		r.Metric("ad-ratio diurnal max", 0.12, metrics.Quantile(valid, 0.95), "")
+	}
+	// Per-list split (paper: EL 55.9%, EP 35.1%, rest non-intrusive).
+	elTot, epTot, niTot := total(el), total(ep), total(ni)
+	adTot := elTot + epTot + niTot
+	if adTot > 0 {
+		r.Metric("share of ad hits from EasyList", 0.559, elTot/adTot, "")
+		r.Metric("share of ad hits from EasyPrivacy", 0.351, epTot/adTot, "")
+		r.Metric("share of ad hits from non-intrusive list", 0.09, niTot/adTot, "")
+	}
+	return r, nil
+}
+
+func total(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func sumSeries(series ...[]float64) []float64 {
+	out := make([]float64, len(series[0]))
+	for _, s := range series {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// sparkline renders a series as a compact ASCII bar strip.
+func sparkline(label string, xs []float64) string {
+	if len(xs) == 0 {
+		return label + " (empty)"
+	}
+	marks := []rune("▁▂▃▄▅▆▇█")
+	max := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	var b strings.Builder
+	b.WriteString(label + " ")
+	for _, x := range xs {
+		i := 0
+		if max > 0 {
+			i = int(x / max * float64(len(marks)-1))
+		}
+		b.WriteRune(marks[i])
+	}
+	return b.String()
+}
+
+// mimeKey normalizes a Content-Type for Table 4's rows.
+func mimeKey(ct string) string {
+	ct = strings.ToLower(strings.TrimSpace(ct))
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	if ct == "" {
+		return "-"
+	}
+	ct = strings.Replace(ct, "application/", "app./", 1)
+	if strings.HasPrefix(ct, "app./x-shock") {
+		return "app./x-shock."
+	}
+	return ct
+}
+
+// Table4 reproduces the content-type breakdown of ad vs non-ad traffic in
+// requests and bytes (RBN-1): gif dominates ad requests, text dominates ad
+// bytes, video/jpeg dominate non-ad bytes.
+func (e *Env) Table4() (*Report, error) {
+	td, err := e.Trace("rbn1")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "table4", Title: "RBN-1: traffic by Content-Type, ads vs non-ads"}
+	type acc struct {
+		reqs  [2]int // [ad, non-ad]
+		bytes [2]int64
+	}
+	byType := map[string]*acc{}
+	var totReqs [2]int
+	var totBytes [2]int64
+	for _, res := range td.Results {
+		key := mimeKey(res.Ann.Tx.ContentType)
+		a, ok := byType[key]
+		if !ok {
+			a = &acc{}
+			byType[key] = a
+		}
+		idx := 1
+		if res.IsAd() {
+			idx = 0
+		}
+		a.reqs[idx]++
+		a.bytes[idx] += res.Bytes()
+		totReqs[idx]++
+		totBytes[idx] += res.Bytes()
+	}
+	type row struct {
+		key string
+		a   *acc
+	}
+	var rowsSorted []row
+	for k, a := range byType {
+		rowsSorted = append(rowsSorted, row{k, a})
+	}
+	sort.Slice(rowsSorted, func(i, j int) bool { return rowsSorted[i].a.reqs[0] > rowsSorted[j].a.reqs[0] })
+	body := [][]string{{"Content-type", "Ads.Reqs", "Ads.Bytes", "NonAds.Reqs", "NonAds.Bytes"}}
+	share := func(n, tot int) string {
+		if tot == 0 {
+			return "-"
+		}
+		return pct(float64(n) / float64(tot))
+	}
+	shareB := func(n, tot int64) string {
+		if tot == 0 {
+			return "-"
+		}
+		return pct(float64(n) / float64(tot))
+	}
+	lim := 10
+	if len(rowsSorted) < lim {
+		lim = len(rowsSorted)
+	}
+	measured := map[string][2]float64{}
+	for _, rr := range rowsSorted {
+		if totReqs[0] > 0 && totBytes[0] > 0 {
+			measured[rr.key] = [2]float64{
+				float64(rr.a.reqs[0]) / float64(totReqs[0]),
+				float64(rr.a.bytes[0]) / float64(totBytes[0]),
+			}
+		}
+	}
+	for _, rr := range rowsSorted[:lim] {
+		body = append(body, []string{
+			rr.key,
+			share(rr.a.reqs[0], totReqs[0]), shareB(rr.a.bytes[0], totBytes[0]),
+			share(rr.a.reqs[1], totReqs[1]), shareB(rr.a.bytes[1], totBytes[1]),
+		})
+	}
+	r.Lines = table(body)
+
+	paper := map[string][2]float64{ // ad reqs share, ad bytes share
+		"image/gif":  {0.351, 0.141},
+		"text/plain": {0.287, 0.342},
+		"text/html":  {0.144, 0.118},
+		"-":          {0.118, 0.054},
+	}
+	for _, k := range []string{"image/gif", "text/plain", "text/html", "-"} {
+		m := measured[k]
+		r.Metric(fmt.Sprintf("ad requests of type %s", k), paper[k][0], m[0], "")
+	}
+	if m, ok := measured["video/mp4"]; ok {
+		r.Metric("ad bytes from video/mp4", 0.109, m[1], "")
+	}
+	return r, nil
+}
+
+// Figure6 reproduces the object-size log densities by MIME class for ads
+// and non-ads: tracking pixels make ad images tiny, ad videos are larger
+// than non-ad video chunks, non-ad text is smaller than ad text.
+func (e *Env) Figure6() (*Report, error) {
+	td, err := e.Trace("rbn1")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "figure6", Title: "PDF of object sizes by MIME class, ads vs non-ads (RBN-1)"}
+	classes := []string{"image", "text", "video", "app"}
+	hists := map[string]map[bool]*metrics.LogHistogram{}
+	for _, c := range classes {
+		hists[c] = map[bool]*metrics.LogHistogram{
+			true:  metrics.NewLogHistogram(0, 8, 40),
+			false: metrics.NewLogHistogram(0, 8, 40),
+		}
+	}
+	classOf := func(ct string) string {
+		switch {
+		case strings.HasPrefix(ct, "image/"):
+			return "image"
+		case strings.HasPrefix(ct, "text/"):
+			return "text"
+		case strings.HasPrefix(ct, "video/"):
+			return "video"
+		case strings.HasPrefix(ct, "application/"):
+			return "app"
+		}
+		return ""
+	}
+	for _, res := range td.Results {
+		c := classOf(strings.ToLower(res.Ann.Tx.ContentType))
+		if c == "" || res.Bytes() <= 0 {
+			continue
+		}
+		hists[c][res.IsAd()].Add(float64(res.Bytes()))
+	}
+	rows := [][]string{{"class", "population", "n", "median", "p90"}}
+	med := map[string]map[bool]float64{}
+	for _, c := range classes {
+		med[c] = map[bool]float64{}
+		for _, isAd := range []bool{true, false} {
+			h := hists[c][isAd]
+			name := "non-ad"
+			if isAd {
+				name = "ad"
+			}
+			mv := quantileOfLogHist(h, 0.5)
+			med[c][isAd] = mv
+			rows = append(rows, []string{
+				c, name, count(h.Total()), fmt.Sprintf("%.0fB", mv),
+				fmt.Sprintf("%.0fB", quantileOfLogHist(h, 0.9)),
+			})
+		}
+	}
+	r.Lines = table(rows)
+	// Headline shape claims.
+	r.Metric("ad image median size (tracking pixels ~43B)", 43, med["image"][true], "B")
+	if med["video"][false] > 0 {
+		r.Metric("ad video / non-ad video median ratio (>1)", 4, med["video"][true]/med["video"][false], "x")
+	}
+	if med["text"][true] > 0 {
+		r.Metric("non-ad text / ad text median ratio (<1)", 0.2, med["text"][false]/med["text"][true], "x")
+	}
+	if med["image"][false] < med["image"][true] {
+		r.Printf("WARNING: non-ad images should be larger than ad images")
+	}
+	return r, nil
+}
+
+// quantileOfLogHist extracts an approximate quantile from a log histogram.
+func quantileOfLogHist(h *metrics.LogHistogram, q float64) float64 {
+	d := h.Density()
+	acc := 0.0
+	for i, m := range d {
+		acc += m
+		if acc >= q {
+			return h.BinValue(i)
+		}
+	}
+	return 0
+}
+
+// Section73 reproduces the non-intrusive-ads analysis: how much ad traffic
+// the whitelist lets through, how much of it a blacklist would catch, and
+// which publishers and ad-tech companies benefit.
+func (e *Env) Section73() (*Report, error) {
+	td, err := e.Trace("rbn2")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "section73", Title: "Non-intrusive advertisements (whitelist impact, RBN-2)"}
+
+	var adReqs, whitelisted, whitelistedAndBlack, blackEPOfWhite int
+	var elOrAAReqs, elOrAAWhitelisted int
+	for _, res := range td.Results {
+		if !res.IsAd() {
+			continue
+		}
+		adReqs++
+		v := res.Verdict
+		isEL := v.Matched && v.ListKind == abp.ListAds
+		if v.NonIntrusive() {
+			whitelisted++
+			if v.Matched {
+				whitelistedAndBlack++
+				if v.ListKind == abp.ListPrivacy {
+					blackEPOfWhite++
+				}
+			}
+		}
+		if isEL || v.NonIntrusive() {
+			elOrAAReqs++
+			if v.NonIntrusive() {
+				elOrAAWhitelisted++
+			}
+		}
+	}
+	if adReqs == 0 {
+		return nil, fmt.Errorf("experiments: no ad requests in rbn2")
+	}
+	r.Printf("ad requests: %d; whitelisted: %d", adReqs, whitelisted)
+	r.Metric("ad requests matching the whitelist", 0.092, float64(whitelisted)/float64(adReqs), "")
+	if elOrAAReqs > 0 {
+		r.Metric("whitelist share vs EasyList-only ads", 0.153, float64(elOrAAWhitelisted)/float64(elOrAAReqs), "")
+	}
+	if whitelisted > 0 {
+		r.Metric("whitelisted requests also blacklisted", 0.573, float64(whitelistedAndBlack)/float64(whitelisted), "")
+	}
+	if whitelistedAndBlack > 0 {
+		r.Metric("...of which blacklisted by EasyPrivacy", 0.232, float64(blackEPOfWhite)/float64(whitelistedAndBlack), "")
+	}
+
+	// Publishers: per page-site category, share of blacklisted requests that
+	// the whitelist rescues ("match the blacklist" subset only, as §7.3).
+	type pubAcc struct{ black, rescued int }
+	byCat := map[string]*pubAcc{}
+	bySite := map[string]*pubAcc{}
+	for _, res := range td.Results {
+		v := res.Verdict
+		// The publisher analysis of §7.3 considers requests blacklisted by
+		// EasyList and its language derivatives only.
+		if !v.Matched || v.ListKind != abp.ListAds {
+			continue
+		}
+		site := res.Ann.PageHost
+		if site == "" {
+			continue
+		}
+		cat := siteCategory(e, site)
+		pa, ok := byCat[cat]
+		if !ok {
+			pa = &pubAcc{}
+			byCat[cat] = pa
+		}
+		sa, ok := bySite[site]
+		if !ok {
+			sa = &pubAcc{}
+			bySite[site] = sa
+		}
+		pa.black++
+		sa.black++
+		if v.NonIntrusive() {
+			pa.rescued++
+			sa.rescued++
+		}
+	}
+	rows := [][]string{{"publisher category", "blacklisted", "whitelisted", "share"}}
+	var cats []string
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		a, b := byCat[cats[i]], byCat[cats[j]]
+		return ratio(a.rescued, a.black) > ratio(b.rescued, b.black)
+	})
+	for _, c := range cats {
+		a := byCat[c]
+		rows = append(rows, []string{c, count(a.black), count(a.rescued), pct(ratio(a.rescued, a.black))})
+	}
+	r.Lines = append(r.Lines, table(rows)...)
+	if a, ok := byCat[string("adult")]; ok {
+		r.Metric("adult-category whitelisted share (≈0)", 0.0, ratio(a.rescued, a.black), "")
+	}
+	// News sites with zero whitelisted requests despite popularity.
+	zeroNews := 0
+	for site, a := range bySite {
+		if strings.HasPrefix(site, "www.news") && a.black > 20 && a.rescued == 0 {
+			zeroNews++
+		}
+	}
+	r.Printf("popular news sites with zero whitelisted ad requests: %d", zeroNews)
+
+	// Ad-tech companies: whitelisted share per serving company.
+	type techAcc struct{ black, rescued int }
+	byComp := map[string]*techAcc{}
+	for _, res := range td.Results {
+		v := res.Verdict
+		if !v.Matched && !v.NonIntrusive() {
+			continue
+		}
+		comp := companyOf(e, urlutil.Host(res.Ann.Tx.URL()))
+		if comp == "" {
+			continue
+		}
+		a, ok := byComp[comp]
+		if !ok {
+			a = &techAcc{}
+			byComp[comp] = a
+		}
+		a.black++
+		if v.NonIntrusive() {
+			a.rescued++
+		}
+	}
+	google := &techAcc{}
+	for _, name := range []string{"dblclick", "googlesynd", "ganalytics", "gstatic"} {
+		if a, ok := byComp[name]; ok {
+			google.black += a.black
+			google.rescued += a.rescued
+		}
+	}
+	if google.black > 0 {
+		r.Metric("Google-analog requests whitelisted", 0.479, ratio(google.rescued, google.black), "")
+	}
+	if a, ok := byComp["techportal"]; ok && a.black > 0 {
+		r.Metric("tech portal with own ad platform whitelisted", 0.94, ratio(a.rescued, a.black), "")
+	}
+	return r, nil
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// siteCategory maps a page host back to its catalog category.
+func siteCategory(e *Env, host string) string {
+	dom := urlutil.RegisteredDomain(host)
+	for _, s := range e.World.Sites {
+		if s.Domain == dom {
+			return string(s.Category)
+		}
+	}
+	return "other"
+}
+
+// companyOf maps a host to the owning ad-tech company name.
+func companyOf(e *Env, host string) string {
+	dom := urlutil.RegisteredDomain(host)
+	for _, c := range e.World.Companies {
+		for _, d := range c.Domains {
+			if urlutil.RegisteredDomain(d) == dom {
+				return c.Name
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,159 @@
+package filterlists
+
+import (
+	"testing"
+
+	"adscape/internal/abp"
+	"adscape/internal/urlutil"
+)
+
+func testBundle(t *testing.T) *Bundle {
+	t.Helper()
+	opt := DefaultGenOptions()
+	opt.ExtraGenericRules = 50
+	bn, err := NewBundle(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bn
+}
+
+func TestBundleParses(t *testing.T) {
+	bn := testBundle(t)
+	if len(bn.EasyList.Filters) < 60 {
+		t.Errorf("EasyList too small: %d rules", len(bn.EasyList.Filters))
+	}
+	if len(bn.EasyPrivacy.Filters) < 20 {
+		t.Errorf("EasyPrivacy too small: %d rules", len(bn.EasyPrivacy.Filters))
+	}
+	if len(bn.Acceptable.Filters) < 5 {
+		t.Errorf("Acceptable too small: %d rules", len(bn.Acceptable.Filters))
+	}
+	if len(bn.EasyList.ElemHide) != 40 {
+		t.Errorf("EasyList elemhide = %d, want 40", len(bn.EasyList.ElemHide))
+	}
+	if bn.EasyList.Skipped != 0 {
+		t.Errorf("EasyList skipped %d rules", bn.EasyList.Skipped)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	opt := DefaultGenOptions()
+	opt.ExtraGenericRules = 10
+	a := EasyListText(Companies(opt.Seed), opt)
+	b := EasyListText(Companies(opt.Seed), opt)
+	if a != b {
+		t.Error("EasyListText must be deterministic in seed")
+	}
+	c := Companies(1)
+	d := Companies(2)
+	if c[len(c)-1].ASN == d[len(d)-1].ASN && c[20].ASN == d[20].ASN && c[30].Servers == d[30].Servers {
+		t.Log("different seeds produced same tail; acceptable but suspicious")
+	}
+}
+
+func TestClassifierEngineAttribution(t *testing.T) {
+	bn := testBundle(t)
+	e := bn.ClassifierEngine()
+
+	// Ad network domain → easylist.
+	v := e.Classify(&abp.Request{URL: "http://ad.dblclick.example/pagead/x.gif", Class: urlutil.ClassImage})
+	if !v.Matched || v.ListKind != abp.ListAds {
+		t.Errorf("dblclick: %+v", v)
+	}
+	// Tracker domain → easyprivacy (third-party context required).
+	v = e.Classify(&abp.Request{URL: "http://trk00.example/p.gif", PageHost: "news.example"})
+	if !v.Matched || v.ListName != "easyprivacy" {
+		t.Errorf("tracker: %+v", v)
+	}
+	// Acceptable placement → whitelisted but still an ad.
+	v = e.Classify(&abp.Request{URL: "http://googlesynd.example/acceptable/unit.html"})
+	if !v.Matched || !v.Whitelisted || !v.IsAd() || v.Blocked() {
+		t.Errorf("acceptable placement: %+v", v)
+	}
+	// gstatic-style overbroad whitelist: fonts are whitelisted, no blacklist.
+	v = e.Classify(&abp.Request{URL: "http://gstatic.example/fonts/roboto.woff"})
+	if v.Matched || !v.Whitelisted {
+		t.Errorf("gstatic fonts: %+v", v)
+	}
+	// Clean content.
+	v = e.Classify(&abp.Request{URL: "http://news00.example/story.html", Class: urlutil.ClassDocument})
+	if v.IsAd() {
+		t.Errorf("clean content misclassified: %+v", v)
+	}
+}
+
+func TestDefaultInstallLetsTrackersThrough(t *testing.T) {
+	bn := testBundle(t)
+	def := bn.DefaultInstallEngine()
+	v := def.Classify(&abp.Request{URL: "http://trk05.example/pixel.gif", PageHost: "news.example"})
+	if v.Blocked() {
+		t.Errorf("default install must not block trackers: %+v", v)
+	}
+	par := bn.ParanoiaEngine()
+	v = par.Classify(&abp.Request{URL: "http://trk05.example/pixel.gif", PageHost: "news.example"})
+	if !v.Blocked() {
+		t.Errorf("paranoia install must block trackers: %+v", v)
+	}
+}
+
+func TestAcceptableAdsOptOut(t *testing.T) {
+	bn := testBundle(t)
+	withAA := bn.DefaultInstallEngine()
+	noAA := abp.NewEngine(bn.EasyList)
+	url := "http://googlesynd.example/acceptable/unit.html"
+	if withAA.Classify(&abp.Request{URL: url}).Blocked() {
+		t.Error("acceptable ad must pass with AA list")
+	}
+	if !noAA.Classify(&abp.Request{URL: url}).Blocked() {
+		t.Error("acceptable ad must be blocked after AA opt-out")
+	}
+}
+
+func TestLanguageDerivative(t *testing.T) {
+	bn := testBundle(t)
+	e := bn.ClassifierEngine()
+	v := e.Classify(&abp.Request{URL: "http://werbung03-de.example/banner.gif"})
+	if !v.Matched || v.ListName != "easylist-de" {
+		t.Errorf("derivative attribution: %+v", v)
+	}
+}
+
+func TestExpiryMetadata(t *testing.T) {
+	bn := testBundle(t)
+	if bn.EasyList.SoftExpiry.Hours() != 96 {
+		t.Errorf("EasyList expiry = %v", bn.EasyList.SoftExpiry)
+	}
+	if bn.EasyPrivacy.SoftExpiry.Hours() != 24 {
+		t.Errorf("EasyPrivacy expiry = %v", bn.EasyPrivacy.SoftExpiry)
+	}
+}
+
+func TestCompaniesNamedEntities(t *testing.T) {
+	cs := Companies(2015)
+	for _, name := range []string{"dblclick", "appnexus", "criteo", "liverail", "mopub", "rubicon", "pubmatic", "addthis", "gstatic"} {
+		c := CompanyByName(cs, name)
+		if c == nil {
+			t.Fatalf("company %q missing", name)
+		}
+		if len(c.Domains) == 0 || c.ASN == 0 {
+			t.Errorf("company %q incomplete: %+v", name, c)
+		}
+	}
+	if CompanyByName(cs, "criteo").ASN != ASCriteo {
+		t.Error("criteo must sit in its own AS")
+	}
+	trackers := ByRole(cs, RoleTracker)
+	if len(trackers) < 20 {
+		t.Errorf("tracker tail too small: %d", len(trackers))
+	}
+}
+
+func TestPaddingRulesInert(t *testing.T) {
+	bn := testBundle(t)
+	e := bn.ClassifierEngine()
+	v := e.Classify(&abp.Request{URL: "http://news00.example/padel00001-not-a-host/x"})
+	if v.Matched {
+		t.Errorf("padding rule fired on unrelated URL: %+v", v)
+	}
+}

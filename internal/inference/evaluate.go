@@ -1,0 +1,75 @@
+package inference
+
+import (
+	"fmt"
+
+	"adscape/internal/core"
+)
+
+// Detection is a binary confusion matrix for the ad-blocker-user inference,
+// evaluated against simulator ground truth. The paper could not do this (no
+// ground truth exists for a real ISP trace); the reproduction can, which is
+// the point of building the substrate.
+type Detection struct {
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// Precision is TP/(TP+FP); 0 when nothing was predicted positive.
+func (d Detection) Precision() float64 {
+	if d.TruePositives+d.FalsePositives == 0 {
+		return 0
+	}
+	return float64(d.TruePositives) / float64(d.TruePositives+d.FalsePositives)
+}
+
+// Recall is TP/(TP+FN); 0 when no positives exist.
+func (d Detection) Recall() float64 {
+	if d.TruePositives+d.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(d.TruePositives) / float64(d.TruePositives+d.FalseNegatives)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (d Detection) F1() float64 {
+	p, r := d.Precision(), d.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (d Detection) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d precision=%.2f recall=%.2f f1=%.2f",
+		d.TruePositives, d.FalsePositives, d.TrueNegatives, d.FalseNegatives,
+		d.Precision(), d.Recall(), d.F1())
+}
+
+// EvaluateDetection scores the type-C ("likely Adblock Plus") classification
+// of the active browsers against a ground-truth predicate. Users without
+// ground truth are skipped.
+func EvaluateDetection(active []*UserStats, opt Options, truth func(core.UserKey) (isABP, known bool)) Detection {
+	var d Detection
+	for _, u := range active {
+		isABP, known := truth(u.Key)
+		if !known {
+			continue
+		}
+		predicted := Classify(u, opt) == ClassC
+		switch {
+		case predicted && isABP:
+			d.TruePositives++
+		case predicted && !isABP:
+			d.FalsePositives++
+		case !predicted && isABP:
+			d.FalseNegatives++
+		default:
+			d.TrueNegatives++
+		}
+	}
+	return d
+}

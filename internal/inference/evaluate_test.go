@@ -1,0 +1,64 @@
+package inference
+
+import (
+	"testing"
+
+	"adscape/internal/core"
+)
+
+func TestDetectionMetrics(t *testing.T) {
+	d := Detection{TruePositives: 8, FalsePositives: 2, TrueNegatives: 85, FalseNegatives: 5}
+	if p := d.Precision(); p != 0.8 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := d.Recall(); r < 0.61 || r > 0.62 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := d.F1(); f < 0.69 || f > 0.71 {
+		t.Errorf("f1 = %v", f)
+	}
+	var empty Detection
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty matrix must score zero, not NaN")
+	}
+	if s := d.String(); s == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestEvaluateDetection(t *testing.T) {
+	opt := Options{RatioThreshold: 0.05, ActiveThreshold: 10}
+	mk := func(ip uint32, elHits int, download bool) *UserStats {
+		return &UserStats{
+			Key:      core.UserKey{IP: ip, UserAgent: "UA"},
+			Requests: 100, ELHits: elHits, ListDownload: download,
+		}
+	}
+	active := []*UserStats{
+		mk(1, 0, true),   // predicted C
+		mk(2, 0, true),   // predicted C
+		mk(3, 20, false), // predicted A
+		mk(4, 0, false),  // predicted D
+		mk(5, 20, true),  // predicted B
+	}
+	truthMap := map[uint32]bool{1: true, 2: false, 3: false, 4: true}
+	d := EvaluateDetection(active, opt, func(k core.UserKey) (bool, bool) {
+		isABP, known := truthMap[k.IP]
+		if !known && k.IP != 5 {
+			return false, false
+		}
+		if k.IP == 5 {
+			return false, false // unknown device skipped
+		}
+		return isABP, true
+	})
+	if d.TruePositives != 1 || d.FalsePositives != 1 {
+		t.Errorf("tp/fp: %+v", d)
+	}
+	if d.FalseNegatives != 1 { // user 4 runs a blocker (D class → missed)
+		t.Errorf("fn: %+v", d)
+	}
+	if d.TrueNegatives != 1 {
+		t.Errorf("tn: %+v", d)
+	}
+}

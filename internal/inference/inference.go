@@ -1,0 +1,304 @@
+// Package inference implements §6 of the paper: identifying ad-blocker
+// users in a residential broadband trace from two indicators — a low ratio
+// of ad requests (calibrated at 5% by the active measurements), and HTTPS
+// connections to the Adblock Plus filter-list servers — and the §6.3
+// follow-ups estimating which filter lists Adblock Plus users subscribe to.
+package inference
+
+import (
+	"sort"
+
+	"adscape/internal/abp"
+	"adscape/internal/core"
+	"adscape/internal/useragent"
+	"adscape/internal/weblog"
+)
+
+// UserStats aggregates one (IP, User-Agent) pair's traffic.
+type UserStats struct {
+	// Key identifies the device.
+	Key core.UserKey
+	// Info is the parsed User-Agent.
+	Info useragent.Info
+	// Requests counts all HTTP requests.
+	Requests int
+	// AdRequests counts requests matching the paper's ad definition.
+	AdRequests int
+	// ELHits counts blacklist hits attributed to EasyList or derivatives —
+	// the numerator of the ad-ratio indicator (§6.2 uses EasyList only,
+	// because it is the list installed by default).
+	ELHits int
+	// EPHits counts EasyPrivacy blacklist hits.
+	EPHits int
+	// AAHits counts requests whitelisted by the non-intrusive-ads list.
+	AAHits int
+	// Bytes sums response sizes.
+	Bytes int64
+	// ListDownload marks a household-level EasyList download observation:
+	// HTTPS flows hide the User-Agent, so the indicator applies to every
+	// device behind the household's IP (§6.2).
+	ListDownload bool
+}
+
+// AdRatio is the EasyList-based ad-request ratio of the first indicator.
+func (u *UserStats) AdRatio() float64 {
+	if u.Requests == 0 {
+		return 0
+	}
+	return float64(u.ELHits) / float64(u.Requests)
+}
+
+// Class is the Table 3 cross product of the two indicators.
+type Class int
+
+// Table 3 classes. Ratio✗ means the ad-ratio is above the threshold (no
+// blocking observed); EasyList✓ means a list download was seen.
+const (
+	ClassA Class = iota // ratio ✗, download ✗ — no ad-blocker
+	ClassB              // ratio ✗, download ✓ — mixed household
+	ClassC              // ratio ✓, download ✓ — likely Adblock Plus
+	ClassD              // ratio ✓, download ✗ — other blocker or low-ad sites
+)
+
+func (c Class) String() string { return [...]string{"A", "B", "C", "D"}[c] }
+
+// Options configures the inference.
+type Options struct {
+	// RatioThreshold is the ad-ratio cut (the paper uses 5%).
+	RatioThreshold float64
+	// ActiveThreshold is the minimum request count for the heavy-hitter
+	// ("active user") population; the paper uses 1000.
+	ActiveThreshold int
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{RatioThreshold: 0.05, ActiveThreshold: 1000}
+}
+
+// Aggregate folds classification results into per-user statistics.
+func Aggregate(results []*core.Result) map[core.UserKey]*UserStats {
+	out := make(map[core.UserKey]*UserStats)
+	for _, r := range results {
+		u, ok := out[r.User]
+		if !ok {
+			u = &UserStats{Key: r.User, Info: useragent.Parse(r.User.UserAgent)}
+			out[r.User] = u
+		}
+		u.Requests++
+		u.Bytes += r.Bytes()
+		if r.IsAd() {
+			u.AdRequests++
+		}
+		v := r.Verdict
+		if v.Matched {
+			switch v.ListKind {
+			case abp.ListAds:
+				// The ad-ratio indicator counts what a default install
+				// would block: EasyList hits not rescued by an exception
+				// (whitelisted placements are fetched by everyone and would
+				// otherwise inflate every user's ratio).
+				if !v.Whitelisted {
+					u.ELHits++
+				}
+			case abp.ListPrivacy:
+				// Same rule as ELHits: acceptable-ads-whitelisted tracking
+				// endpoints are fetched even by EasyPrivacy subscribers, so
+				// they carry no signal about the subscription.
+				if !v.Whitelisted {
+					u.EPHits++
+				}
+			}
+		}
+		if v.NonIntrusive() {
+			u.AAHits++
+		}
+	}
+	return out
+}
+
+// MarkListDownloads applies the second indicator: any HTTPS flow to an
+// Adblock Plus server marks every user behind that client IP.
+func MarkListDownloads(users map[core.UserKey]*UserStats, flows []*weblog.TLSFlow, abpServerIPs []uint32) {
+	abpIPs := make(map[uint32]bool, len(abpServerIPs))
+	for _, ip := range abpServerIPs {
+		abpIPs[ip] = true
+	}
+	households := make(map[uint32]bool)
+	for _, f := range flows {
+		if abpIPs[f.ServerIP] {
+			households[f.ClientIP] = true
+		}
+	}
+	for _, u := range users {
+		if households[u.Key.IP] {
+			u.ListDownload = true
+		}
+	}
+}
+
+// HouseholdsWithDownload counts distinct client IPs with ABP downloads and
+// the total distinct client IPs, for §6.2's 19.7%-of-households figure.
+func HouseholdsWithDownload(users map[core.UserKey]*UserStats) (with, total int) {
+	all := map[uint32]bool{}
+	dl := map[uint32]bool{}
+	for _, u := range users {
+		all[u.Key.IP] = true
+		if u.ListDownload {
+			dl[u.Key.IP] = true
+		}
+	}
+	return len(dl), len(all)
+}
+
+// ActiveBrowsers selects the heavy-hitter browser population of §6.1:
+// desktop or mobile browsers with at least ActiveThreshold requests.
+func ActiveBrowsers(users map[core.UserKey]*UserStats, opt Options) []*UserStats {
+	var out []*UserStats
+	for _, u := range users {
+		if !u.Info.IsBrowser() || u.Requests < opt.ActiveThreshold {
+			continue
+		}
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.IP != out[j].Key.IP {
+			return out[i].Key.IP < out[j].Key.IP
+		}
+		return out[i].Key.UserAgent < out[j].Key.UserAgent
+	})
+	return out
+}
+
+// Classify assigns the Table 3 class.
+func Classify(u *UserStats, opt Options) Class {
+	lowRatio := u.AdRatio() <= opt.RatioThreshold
+	switch {
+	case !lowRatio && !u.ListDownload:
+		return ClassA
+	case !lowRatio && u.ListDownload:
+		return ClassB
+	case lowRatio && u.ListDownload:
+		return ClassC
+	default:
+		return ClassD
+	}
+}
+
+// ClassBreakdown is one row of Table 3.
+type ClassBreakdown struct {
+	Class     Class
+	Instances int
+	// InstanceShare is the fraction of active browsers in the class.
+	InstanceShare float64
+	// RequestShare and AdRequestShare are relative to ALL classified
+	// traffic in the trace (Table 3 reports them against the trace total).
+	Requests   int
+	AdRequests int
+}
+
+// Table3 computes the indicator cross product over the active browsers.
+func Table3(active []*UserStats, opt Options) [4]ClassBreakdown {
+	var rows [4]ClassBreakdown
+	for i := range rows {
+		rows[i].Class = Class(i)
+	}
+	for _, u := range active {
+		c := Classify(u, opt)
+		rows[c].Instances++
+		rows[c].Requests += u.Requests
+		rows[c].AdRequests += u.AdRequests
+	}
+	if len(active) > 0 {
+		for i := range rows {
+			rows[i].InstanceShare = float64(rows[i].Instances) / float64(len(active))
+		}
+	}
+	return rows
+}
+
+// ABPShare returns the fraction of active browsers classified as likely
+// Adblock Plus users (type C) — the paper's headline 22.2%.
+func ABPShare(active []*UserStats, opt Options) float64 {
+	if len(active) == 0 {
+		return 0
+	}
+	n := 0
+	for _, u := range active {
+		if Classify(u, opt) == ClassC {
+			n++
+		}
+	}
+	return float64(n) / float64(len(active))
+}
+
+// SubscriptionEstimate is the §6.3 estimation output.
+type SubscriptionEstimate struct {
+	// ABPUsers and NonABPUsers are the type-C and type-A populations.
+	ABPUsers, NonABPUsers int
+	// EPZeroABP / EPZeroNonABP: users with no EasyPrivacy-matching request.
+	EPZeroABP, EPZeroNonABP float64
+	// EPUnderKABP / EPUnderKNonABP: users with < K such requests.
+	EPUnderKABP, EPUnderKNonABP float64
+	// AAZeroABP / AAZeroNonABP: users with no whitelisted request.
+	AAZeroABP, AAZeroNonABP float64
+	// AAShareABP / AAShareNonABP: share of all whitelisted requests issued
+	// by each population.
+	AAShareABP, AAShareNonABP float64
+}
+
+// EstimateSubscriptions reproduces §6.3: compare type-C (likely ABP) and
+// type-A (non-blocking) populations on EasyPrivacy interactions and
+// acceptable-ads whitelist hits. K is the permissive request cut (paper: 10).
+func EstimateSubscriptions(active []*UserStats, opt Options, k int) SubscriptionEstimate {
+	var est SubscriptionEstimate
+	var totalAA, aaABP, aaNonABP int
+	for _, u := range active {
+		totalAA += u.AAHits
+	}
+	var abpUsers, nonUsers []*UserStats
+	for _, u := range active {
+		switch Classify(u, opt) {
+		case ClassC:
+			abpUsers = append(abpUsers, u)
+			aaABP += u.AAHits
+		case ClassA:
+			nonUsers = append(nonUsers, u)
+			aaNonABP += u.AAHits
+		}
+	}
+	est.ABPUsers, est.NonABPUsers = len(abpUsers), len(nonUsers)
+	frac := func(us []*UserStats, pred func(*UserStats) bool) float64 {
+		if len(us) == 0 {
+			return 0
+		}
+		n := 0
+		for _, u := range us {
+			if pred(u) {
+				n++
+			}
+		}
+		return float64(n) / float64(len(us))
+	}
+	est.EPZeroABP = frac(abpUsers, func(u *UserStats) bool { return u.EPHits == 0 })
+	est.EPZeroNonABP = frac(nonUsers, func(u *UserStats) bool { return u.EPHits == 0 })
+	est.EPUnderKABP = frac(abpUsers, func(u *UserStats) bool { return u.EPHits < k })
+	est.EPUnderKNonABP = frac(nonUsers, func(u *UserStats) bool { return u.EPHits < k })
+	est.AAZeroABP = frac(abpUsers, func(u *UserStats) bool { return u.AAHits == 0 })
+	est.AAZeroNonABP = frac(nonUsers, func(u *UserStats) bool { return u.AAHits == 0 })
+	if totalAA > 0 {
+		est.AAShareABP = float64(aaABP) / float64(totalAA)
+		est.AAShareNonABP = float64(aaNonABP) / float64(totalAA)
+	}
+	return est
+}
+
+// FamilyRatios groups active browsers by family for Figure 4's ECDFs.
+func FamilyRatios(active []*UserStats) map[useragent.Family][]float64 {
+	out := make(map[useragent.Family][]float64)
+	for _, u := range active {
+		fam := u.Info.Family
+		out[fam] = append(out[fam], u.AdRatio()*100)
+	}
+	return out
+}

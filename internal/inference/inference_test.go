@@ -1,0 +1,237 @@
+package inference
+
+import (
+	"testing"
+
+	"adscape/internal/abp"
+	"adscape/internal/core"
+	"adscape/internal/pagemodel"
+	"adscape/internal/useragent"
+	"adscape/internal/weblog"
+)
+
+// mkResult fabricates a classification result.
+func mkResult(ip uint32, ua string, isEL, isEP, isAA bool, bytes int64) *core.Result {
+	v := abp.Verdict{}
+	if isEL {
+		v.Matched, v.ListKind, v.ListName = true, abp.ListAds, "easylist"
+	}
+	if isEP {
+		v.Matched, v.ListKind, v.ListName = true, abp.ListPrivacy, "easyprivacy"
+	}
+	if isAA {
+		v.Whitelisted, v.WhitelistedBy, v.WhitelistedKind = true, "acceptableads", abp.ListWhitelist
+	}
+	return &core.Result{
+		User:    core.UserKey{IP: ip, UserAgent: ua},
+		Ann:     &pagemodel.Annotated{Tx: &weblog.Transaction{ContentLength: bytes}},
+		Verdict: v,
+	}
+}
+
+// synthUser emits n results with the given ad mix for one user.
+func synthUser(ip uint32, ua string, n, el, ep, aa int) []*core.Result {
+	var out []*core.Result
+	for i := 0; i < n; i++ {
+		out = append(out, mkResult(ip, ua, i < el, i >= el && i < el+ep, i >= el+ep && i < el+ep+aa, 100))
+	}
+	return out
+}
+
+var (
+	ffUA  = useragent.Synthesize(useragent.Firefox, 1)
+	crUA  = useragent.Synthesize(useragent.Chrome, 2)
+	appUA = useragent.Synthesize(useragent.AppOther, 0)
+)
+
+func TestAggregate(t *testing.T) {
+	results := synthUser(1, ffUA, 100, 10, 5, 3)
+	users := Aggregate(results)
+	u := users[core.UserKey{IP: 1, UserAgent: ffUA}]
+	if u == nil {
+		t.Fatal("user missing")
+	}
+	if u.Requests != 100 || u.ELHits != 10 || u.EPHits != 5 || u.AAHits != 3 {
+		t.Errorf("stats: %+v", u)
+	}
+	if u.AdRequests != 18 {
+		t.Errorf("ad requests = %d, want 18", u.AdRequests)
+	}
+	if r := u.AdRatio(); r != 0.10 {
+		t.Errorf("EL ad ratio = %v, want 0.10", r)
+	}
+	if u.Info.Family != useragent.Firefox {
+		t.Errorf("family = %s", u.Info.Family)
+	}
+}
+
+func TestMarkListDownloads(t *testing.T) {
+	users := Aggregate(append(
+		synthUser(1, ffUA, 10, 1, 0, 0),
+		append(synthUser(1, crUA, 10, 1, 0, 0), synthUser(2, ffUA, 10, 1, 0, 0)...)...))
+	flows := []*weblog.TLSFlow{
+		{ClientIP: 1, ServerIP: 999, ServerPort: 443},
+		{ClientIP: 3, ServerIP: 999, ServerPort: 443},
+	}
+	MarkListDownloads(users, flows, []uint32{999})
+	// Both devices behind IP 1 inherit the household indicator.
+	if !users[core.UserKey{IP: 1, UserAgent: ffUA}].ListDownload {
+		t.Error("device 1/ff must be marked")
+	}
+	if !users[core.UserKey{IP: 1, UserAgent: crUA}].ListDownload {
+		t.Error("device 1/cr must be marked (same household)")
+	}
+	if users[core.UserKey{IP: 2, UserAgent: ffUA}].ListDownload {
+		t.Error("household 2 must not be marked")
+	}
+	with, total := HouseholdsWithDownload(users)
+	if with != 1 || total != 2 {
+		t.Errorf("households = %d/%d", with, total)
+	}
+}
+
+func TestMarkListDownloadsIgnoresOtherServers(t *testing.T) {
+	users := Aggregate(synthUser(1, ffUA, 10, 1, 0, 0))
+	MarkListDownloads(users, []*weblog.TLSFlow{{ClientIP: 1, ServerIP: 555}}, []uint32{999})
+	if users[core.UserKey{IP: 1, UserAgent: ffUA}].ListDownload {
+		t.Error("non-ABP TLS flow must not mark the household")
+	}
+}
+
+func TestActiveBrowsersFilter(t *testing.T) {
+	opt := Options{RatioThreshold: 0.05, ActiveThreshold: 50}
+	results := append(synthUser(1, ffUA, 100, 10, 0, 0), // active browser
+		append(synthUser(2, crUA, 10, 1, 0, 0), // too few requests
+			synthUser(3, appUA, 500, 0, 0, 0)...)...) // non-browser
+	active := ActiveBrowsers(Aggregate(results), opt)
+	if len(active) != 1 {
+		t.Fatalf("active = %d, want 1", len(active))
+	}
+	if active[0].Key.IP != 1 {
+		t.Error("wrong active user")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	opt := DefaultOptions()
+	mk := func(ratioHigh, download bool) *UserStats {
+		u := &UserStats{Requests: 1000, ListDownload: download}
+		if ratioHigh {
+			u.ELHits = 100
+		} else {
+			u.ELHits = 10
+		}
+		return u
+	}
+	if c := Classify(mk(true, false), opt); c != ClassA {
+		t.Errorf("high/no-dl = %s, want A", c)
+	}
+	if c := Classify(mk(true, true), opt); c != ClassB {
+		t.Errorf("high/dl = %s, want B", c)
+	}
+	if c := Classify(mk(false, true), opt); c != ClassC {
+		t.Errorf("low/dl = %s, want C", c)
+	}
+	if c := Classify(mk(false, false), opt); c != ClassD {
+		t.Errorf("low/no-dl = %s, want D", c)
+	}
+}
+
+func TestTable3AndABPShare(t *testing.T) {
+	opt := Options{RatioThreshold: 0.05, ActiveThreshold: 10}
+	var results []*core.Result
+	// 5 non-blocking users (high ratio, no download).
+	for i := 0; i < 5; i++ {
+		results = append(results, synthUser(uint32(10+i), ffUA, 100, 15, 0, 2)...)
+	}
+	// 2 likely-ABP users (low ratio + download).
+	for i := 0; i < 2; i++ {
+		results = append(results, synthUser(uint32(20+i), crUA, 100, 1, 0, 1)...)
+	}
+	// 1 other-blocker user (low ratio, no download).
+	results = append(results, synthUser(30, ffUA, 100, 0, 0, 0)...)
+	users := Aggregate(results)
+	flows := []*weblog.TLSFlow{
+		{ClientIP: 20, ServerIP: 999}, {ClientIP: 21, ServerIP: 999},
+	}
+	MarkListDownloads(users, flows, []uint32{999})
+	active := ActiveBrowsers(users, opt)
+	if len(active) != 8 {
+		t.Fatalf("active = %d", len(active))
+	}
+	rows := Table3(active, opt)
+	if rows[ClassA].Instances != 5 || rows[ClassC].Instances != 2 || rows[ClassD].Instances != 1 {
+		t.Errorf("rows: %+v", rows)
+	}
+	if rows[ClassB].Instances != 0 {
+		t.Errorf("B = %d", rows[ClassB].Instances)
+	}
+	if s := ABPShare(active, opt); s != 0.25 {
+		t.Errorf("ABP share = %v, want 0.25", s)
+	}
+	// Class A dominates ad requests.
+	if rows[ClassA].AdRequests <= rows[ClassC].AdRequests {
+		t.Error("non-blockers must carry more ad requests")
+	}
+}
+
+func TestEstimateSubscriptions(t *testing.T) {
+	opt := Options{RatioThreshold: 0.05, ActiveThreshold: 10}
+	var results []*core.Result
+	// Non-ABP users: everyone touches trackers (EP hits), most see AA ads.
+	for i := 0; i < 10; i++ {
+		aa := 2
+		if i == 9 {
+			aa = 0
+		}
+		results = append(results, synthUser(uint32(100+i), ffUA, 100, 20, 5, aa)...)
+	}
+	// ABP users: 8 without EasyPrivacy (EP hits present: trackers pass), 2
+	// with EasyPrivacy (no EP-matching requests observed).
+	for i := 0; i < 8; i++ {
+		results = append(results, synthUser(uint32(200+i), crUA, 100, 1, 6, 1)...)
+	}
+	for i := 0; i < 2; i++ {
+		results = append(results, synthUser(uint32(220+i), crUA, 100, 1, 0, 0)...)
+	}
+	users := Aggregate(results)
+	var flows []*weblog.TLSFlow
+	for i := 0; i < 8; i++ {
+		flows = append(flows, &weblog.TLSFlow{ClientIP: uint32(200 + i), ServerIP: 999})
+	}
+	flows = append(flows, &weblog.TLSFlow{ClientIP: 220, ServerIP: 999},
+		&weblog.TLSFlow{ClientIP: 221, ServerIP: 999})
+	MarkListDownloads(users, flows, []uint32{999})
+	active := ActiveBrowsers(users, opt)
+	est := EstimateSubscriptions(active, opt, 10)
+	if est.ABPUsers != 10 || est.NonABPUsers != 10 {
+		t.Fatalf("populations: %+v", est)
+	}
+	if est.EPZeroABP != 0.2 {
+		t.Errorf("EPZeroABP = %v, want 0.2", est.EPZeroABP)
+	}
+	if est.EPZeroNonABP != 0 {
+		t.Errorf("EPZeroNonABP = %v, want 0 (everyone meets trackers)", est.EPZeroNonABP)
+	}
+	if est.AAZeroABP != 0.2 {
+		t.Errorf("AAZeroABP = %v", est.AAZeroABP)
+	}
+	if est.AAZeroNonABP != 0.1 {
+		t.Errorf("AAZeroNonABP = %v", est.AAZeroNonABP)
+	}
+	if est.AAShareABP >= est.AAShareNonABP {
+		t.Error("non-blocking users should carry more whitelisted requests")
+	}
+}
+
+func TestFamilyRatios(t *testing.T) {
+	users := Aggregate(append(synthUser(1, ffUA, 100, 10, 0, 0), synthUser(2, crUA, 100, 1, 0, 0)...))
+	active := ActiveBrowsers(users, Options{RatioThreshold: 0.05, ActiveThreshold: 10})
+	fr := FamilyRatios(active)
+	if len(fr[useragent.Firefox]) != 1 || fr[useragent.Firefox][0] != 10 {
+		t.Errorf("firefox ratios = %v", fr[useragent.Firefox])
+	}
+	if len(fr[useragent.Chrome]) != 1 || fr[useragent.Chrome][0] != 1 {
+		t.Errorf("chrome ratios = %v", fr[useragent.Chrome])
+	}
+}

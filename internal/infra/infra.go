@@ -1,0 +1,271 @@
+// Package infra implements the server-side analyses of §8: per-server
+// request accounting and ad-server dedication (§8.1), per-AS attribution of
+// ad traffic (Table 5), and real-time-bidding detection from the difference
+// between the HTTP and TCP handshake latencies (§8.2, Figure 7).
+package infra
+
+import (
+	"sort"
+
+	"adscape/internal/abp"
+	"adscape/internal/asdb"
+	"adscape/internal/core"
+	"adscape/internal/metrics"
+	"adscape/internal/urlutil"
+)
+
+// ServerStats aggregates traffic per server IP.
+type ServerStats struct {
+	IP uint32
+	// Requests / Bytes cover everything the server served.
+	Requests int
+	Bytes    int64
+	// AdRequests / AdBytes cover the ad-classified subset.
+	AdRequests int
+	AdBytes    int64
+	// ELRequests / EPRequests split blacklist hits by list kind.
+	ELRequests int
+	EPRequests int
+}
+
+// AdShare is the fraction of the server's requests classified as ads.
+func (s *ServerStats) AdShare() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.AdRequests) / float64(s.Requests)
+}
+
+// AggregateServers folds classification results per server IP.
+func AggregateServers(results []*core.Result) map[uint32]*ServerStats {
+	out := make(map[uint32]*ServerStats)
+	for _, r := range results {
+		ip := r.Ann.Tx.ServerIP
+		s, ok := out[ip]
+		if !ok {
+			s = &ServerStats{IP: ip}
+			out[ip] = s
+		}
+		s.Requests++
+		s.Bytes += r.Bytes()
+		if r.IsAd() {
+			s.AdRequests++
+			s.AdBytes += r.Bytes()
+		}
+		if r.Verdict.Matched {
+			switch r.Verdict.ListKind {
+			case abp.ListAds:
+				s.ELRequests++
+			case abp.ListPrivacy:
+				s.EPRequests++
+			}
+		}
+	}
+	return out
+}
+
+// Summary holds the §8.1 aggregates.
+type Summary struct {
+	// Servers is the total number of distinct server IPs.
+	Servers int
+	// ELServers / EPServers serve at least one object matching each list.
+	ELServers, EPServers int
+	// BothServers serve objects matching both lists.
+	BothServers int
+	// MixedServers serve at least one ad (any list) — "the same
+	// infrastructure serves ad content as well as regular content".
+	MixedServers int
+	// NonAdShareOfMixed is the share of all non-ad objects served by
+	// servers that also serve ads.
+	NonAdShareOfMixed float64
+	// Dedicated counts servers with ≥ Dedication ad share, and
+	// DedicatedAdShare is the fraction of all ads they deliver.
+	Dedicated        int
+	DedicatedAdShare float64
+	// TrackingServers and TrackingShare mirror the same for EasyPrivacy.
+	TrackingServers int
+	TrackingShare   float64
+	// PerServerAds summarizes the ad-requests-per-server distribution for
+	// servers with ≥1 EasyList hit (median/mean/p90/p95/p99 in the paper).
+	PerServerAds  metrics.BoxPlot
+	MeanAds       float64
+	P90, P95, P99 float64
+	// BusiestServer is the top ad server's request count.
+	BusiestServer int
+}
+
+// Dedication is the ad-share threshold above which a server counts as a
+// dedicated ad server (the paper uses 90%).
+const Dedication = 0.90
+
+// Summarize computes the §8.1 numbers.
+func Summarize(servers map[uint32]*ServerStats) Summary {
+	var sum Summary
+	sum.Servers = len(servers)
+	var elCounts []float64
+	totalAds, dedicatedAds := 0, 0
+	totalEP, trackingEP := 0, 0
+	totalNonAd, mixedNonAd := 0, 0
+	for _, s := range servers {
+		if s.ELRequests > 0 {
+			sum.ELServers++
+			elCounts = append(elCounts, float64(s.ELRequests))
+		}
+		if s.EPRequests > 0 {
+			sum.EPServers++
+		}
+		if s.ELRequests > 0 && s.EPRequests > 0 {
+			sum.BothServers++
+		}
+		totalAds += s.AdRequests
+		totalEP += s.EPRequests
+		nonAd := s.Requests - s.AdRequests
+		totalNonAd += nonAd
+		if s.AdRequests > 0 {
+			sum.MixedServers++
+			mixedNonAd += nonAd
+		}
+		if s.AdShare() >= Dedication && s.AdRequests > 0 {
+			sum.Dedicated++
+			dedicatedAds += s.AdRequests
+		}
+		if s.Requests > 0 && float64(s.EPRequests)/float64(s.Requests) >= Dedication {
+			sum.TrackingServers++
+			trackingEP += s.EPRequests
+		}
+		if s.AdRequests > sum.BusiestServer {
+			sum.BusiestServer = s.AdRequests
+		}
+	}
+	if totalAds > 0 {
+		sum.DedicatedAdShare = float64(dedicatedAds) / float64(totalAds)
+	}
+	if totalEP > 0 {
+		sum.TrackingShare = float64(trackingEP) / float64(totalEP)
+	}
+	if totalNonAd > 0 {
+		sum.NonAdShareOfMixed = float64(mixedNonAd) / float64(totalNonAd)
+	}
+	sum.PerServerAds = metrics.NewBoxPlot(elCounts)
+	sum.MeanAds = metrics.Mean(elCounts)
+	sum.P90 = metrics.Quantile(elCounts, 0.90)
+	sum.P95 = metrics.Quantile(elCounts, 0.95)
+	sum.P99 = metrics.Quantile(elCounts, 0.99)
+	return sum
+}
+
+// ASStats is one row of Table 5.
+type ASStats struct {
+	Name string
+	// AdRequests / AdBytes of this AS.
+	AdRequests int
+	AdBytes    int64
+	// Requests / Bytes of all traffic to this AS.
+	Requests int
+	Bytes    int64
+	// Shares relative to the trace-wide ad traffic.
+	AdReqShareOfTrace  float64
+	AdByteShareOfTrace float64
+	// Shares relative to the AS's own traffic.
+	AdReqShareOfAS  float64
+	AdByteShareOfAS float64
+}
+
+// ByAS attributes traffic to ASes via the routing DB and returns rows sorted
+// by ad-request contribution (Table 5's ordering).
+func ByAS(servers map[uint32]*ServerStats, db *asdb.DB) []ASStats {
+	acc := make(map[string]*ASStats)
+	var totalAdReq int
+	var totalAdBytes int64
+	for _, s := range servers {
+		name := db.LookupName(s.IP)
+		a, ok := acc[name]
+		if !ok {
+			a = &ASStats{Name: name}
+			acc[name] = a
+		}
+		a.AdRequests += s.AdRequests
+		a.AdBytes += s.AdBytes
+		a.Requests += s.Requests
+		a.Bytes += s.Bytes
+		totalAdReq += s.AdRequests
+		totalAdBytes += s.AdBytes
+	}
+	out := make([]ASStats, 0, len(acc))
+	for _, a := range acc {
+		if totalAdReq > 0 {
+			a.AdReqShareOfTrace = float64(a.AdRequests) / float64(totalAdReq)
+		}
+		if totalAdBytes > 0 {
+			a.AdByteShareOfTrace = float64(a.AdBytes) / float64(totalAdBytes)
+		}
+		if a.Requests > 0 {
+			a.AdReqShareOfAS = float64(a.AdRequests) / float64(a.Requests)
+		}
+		if a.Bytes > 0 {
+			a.AdByteShareOfAS = float64(a.AdBytes) / float64(a.Bytes)
+		}
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AdRequests > out[j].AdRequests })
+	return out
+}
+
+// RTBAnalysis carries Figure 7's densities and the §8.2 FQDN ranking.
+type RTBAnalysis struct {
+	// AdDelta and NonAdDelta are log-histograms (ms) of the difference
+	// between HTTP and TCP handshake latencies.
+	AdDelta, NonAdDelta *metrics.LogHistogram
+	// AdMassAbove100ms / NonAdMassAbove100ms quantify the RTB mode.
+	AdMassAbove100ms    float64
+	NonAdMassAbove100ms float64
+	// SlowAdHosts ranks FQDNs by their share of ad requests with deltas
+	// ≥ 90 ms (the paper names DoubleClick, Mopub, Rubicon, Pubmatic,
+	// Criteo, AddThis here).
+	SlowAdHosts []HostShare
+}
+
+// HostShare is one FQDN's share of the slow-ad population.
+type HostShare struct {
+	Host  string
+	Count int
+	Share float64
+}
+
+// AnalyzeRTB computes handshake-delta densities split by ad verdict.
+// Transactions without both handshakes are skipped, as in the paper.
+func AnalyzeRTB(results []*core.Result) *RTBAnalysis {
+	an := &RTBAnalysis{
+		AdDelta:    metrics.NewLogHistogram(-2, 4, 90), // 0.01 ms .. 10 s
+		NonAdDelta: metrics.NewLogHistogram(-2, 4, 90),
+	}
+	slow := make(map[string]int)
+	slowTotal := 0
+	for _, r := range results {
+		tx := r.Ann.Tx
+		hh, ok := tx.HTTPHandshake()
+		if !ok || tx.TCPRTT < 0 {
+			continue
+		}
+		deltaMs := float64(hh-tx.TCPRTT) / 1e6
+		if deltaMs <= 0 {
+			deltaMs = 0.01
+		}
+		if r.IsAd() {
+			an.AdDelta.Add(deltaMs)
+			if deltaMs >= 90 {
+				slow[urlutil.Host(tx.URL())]++
+				slowTotal++
+			}
+		} else {
+			an.NonAdDelta.Add(deltaMs)
+		}
+	}
+	an.AdMassAbove100ms = an.AdDelta.MassAbove(100)
+	an.NonAdMassAbove100ms = an.NonAdDelta.MassAbove(100)
+	for h, c := range slow {
+		an.SlowAdHosts = append(an.SlowAdHosts, HostShare{Host: h, Count: c, Share: float64(c) / float64(slowTotal)})
+	}
+	sort.Slice(an.SlowAdHosts, func(i, j int) bool { return an.SlowAdHosts[i].Count > an.SlowAdHosts[j].Count })
+	return an
+}

@@ -1,0 +1,175 @@
+package infra
+
+import (
+	"testing"
+
+	"adscape/internal/abp"
+	"adscape/internal/asdb"
+	"adscape/internal/core"
+	"adscape/internal/pagemodel"
+	"adscape/internal/weblog"
+)
+
+func mkResult(serverIP uint32, isAd bool, listKind abp.ListKind, bytes int64, tcpRTT, httpHS int64, host string) *core.Result {
+	v := abp.Verdict{}
+	if isAd {
+		v.Matched, v.ListKind, v.ListName = true, listKind, "x"
+	}
+	tx := &weblog.Transaction{
+		ServerIP: serverIP, ContentLength: bytes, Host: host, URI: "/o",
+		TCPRTT: tcpRTT, ReqTime: 1e9, RespTime: 1e9 + httpHS,
+	}
+	return &core.Result{
+		Ann:     &pagemodel.Annotated{Tx: tx, URL: tx.URL()},
+		Verdict: v,
+	}
+}
+
+func TestAggregateAndSummarize(t *testing.T) {
+	var results []*core.Result
+	// Server 1: dedicated ad server (10 ads).
+	for i := 0; i < 10; i++ {
+		results = append(results, mkResult(1, true, abp.ListAds, 100, 10e6, 20e6, "ads.x"))
+	}
+	// Server 2: mixed (2 ads, 8 content).
+	for i := 0; i < 2; i++ {
+		results = append(results, mkResult(2, true, abp.ListAds, 100, 10e6, 20e6, "cdn.x"))
+	}
+	for i := 0; i < 8; i++ {
+		results = append(results, mkResult(2, false, 0, 100, 10e6, 20e6, "cdn.x"))
+	}
+	// Server 3: pure content.
+	for i := 0; i < 5; i++ {
+		results = append(results, mkResult(3, false, 0, 100, 10e6, 20e6, "www.x"))
+	}
+	// Server 4: tracking server (EasyPrivacy only).
+	for i := 0; i < 4; i++ {
+		results = append(results, mkResult(4, true, abp.ListPrivacy, 43, 10e6, 20e6, "trk.x"))
+	}
+
+	servers := AggregateServers(results)
+	if len(servers) != 4 {
+		t.Fatalf("servers = %d", len(servers))
+	}
+	if servers[1].AdShare() != 1.0 || servers[2].AdShare() != 0.2 {
+		t.Errorf("ad shares: %v %v", servers[1].AdShare(), servers[2].AdShare())
+	}
+
+	sum := Summarize(servers)
+	if sum.Servers != 4 || sum.ELServers != 2 || sum.EPServers != 1 {
+		t.Errorf("summary: %+v", sum)
+	}
+	if sum.MixedServers != 3 {
+		t.Errorf("mixed = %d, want 3 (servers 1, 2, 4)", sum.MixedServers)
+	}
+	if sum.Dedicated != 2 { // servers 1 and 4 have ≥90% ad share
+		t.Errorf("dedicated = %d", sum.Dedicated)
+	}
+	wantShare := float64(10+4) / 16.0
+	if sum.DedicatedAdShare != wantShare {
+		t.Errorf("dedicated share = %v, want %v", sum.DedicatedAdShare, wantShare)
+	}
+	if sum.TrackingServers != 1 || sum.TrackingShare != 1.0 {
+		t.Errorf("tracking: %d %v", sum.TrackingServers, sum.TrackingShare)
+	}
+	if sum.BusiestServer != 10 {
+		t.Errorf("busiest = %d", sum.BusiestServer)
+	}
+	// Non-ad share served by ad-serving servers: server 2's 8 of 13.
+	if sum.NonAdShareOfMixed != 8.0/13.0 {
+		t.Errorf("non-ad share of mixed = %v", sum.NonAdShareOfMixed)
+	}
+}
+
+func TestByAS(t *testing.T) {
+	db := asdb.New()
+	db.AddAS(1, "Google")
+	db.AddAS(2, "Criteo")
+	db.Announce(1, "10.1.0.0/16")
+	db.Announce(2, "10.2.0.0/16")
+	googleIP, _ := asdb.ParseIP("10.1.0.5")
+	criteoIP, _ := asdb.ParseIP("10.2.0.7")
+	var results []*core.Result
+	for i := 0; i < 6; i++ {
+		results = append(results, mkResult(googleIP, true, abp.ListAds, 1000, 10e6, 20e6, "g.x"))
+	}
+	for i := 0; i < 6; i++ {
+		results = append(results, mkResult(googleIP, false, 0, 5000, 10e6, 20e6, "g.x"))
+	}
+	for i := 0; i < 4; i++ {
+		results = append(results, mkResult(criteoIP, true, abp.ListAds, 2000, 10e6, 20e6, "c.x"))
+	}
+	rows := ByAS(AggregateServers(results), db)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "Google" {
+		t.Errorf("top AS = %s (sorted by ad requests)", rows[0].Name)
+	}
+	if rows[0].AdReqShareOfTrace != 0.6 {
+		t.Errorf("google trace share = %v", rows[0].AdReqShareOfTrace)
+	}
+	if rows[0].AdReqShareOfAS != 0.5 {
+		t.Errorf("google per-AS share = %v", rows[0].AdReqShareOfAS)
+	}
+	if rows[1].AdReqShareOfAS != 1.0 {
+		t.Errorf("criteo per-AS share = %v", rows[1].AdReqShareOfAS)
+	}
+	if rows[1].AdByteShareOfAS != 1.0 {
+		t.Errorf("criteo byte share = %v", rows[1].AdByteShareOfAS)
+	}
+}
+
+func TestAnalyzeRTB(t *testing.T) {
+	var results []*core.Result
+	// Non-ads: HTTP handshake ≈ TCP handshake + ~1ms.
+	for i := 0; i < 500; i++ {
+		results = append(results, mkResult(1, false, 0, 100, 20e6, 21e6, "www.x"))
+	}
+	// Ads without RTB: +10ms think time.
+	for i := 0; i < 200; i++ {
+		results = append(results, mkResult(2, true, abp.ListAds, 100, 20e6, 30e6, "ads.x"))
+	}
+	// Ads with RTB: +120ms auction.
+	for i := 0; i < 150; i++ {
+		results = append(results, mkResult(3, true, abp.ListAds, 100, 20e6, 140e6, "rtb.dblclick.x"))
+	}
+	an := AnalyzeRTB(results)
+	if an.AdMassAbove100ms < 0.35 || an.AdMassAbove100ms > 0.55 {
+		t.Errorf("ad mass above 100ms = %v, want ~0.43", an.AdMassAbove100ms)
+	}
+	if an.NonAdMassAbove100ms > 0.01 {
+		t.Errorf("non-ad mass above 100ms = %v", an.NonAdMassAbove100ms)
+	}
+	if len(an.SlowAdHosts) != 1 || an.SlowAdHosts[0].Host != "rtb.dblclick.x" {
+		t.Errorf("slow hosts = %+v", an.SlowAdHosts)
+	}
+	if an.SlowAdHosts[0].Share != 1.0 {
+		t.Errorf("slow host share = %v", an.SlowAdHosts[0].Share)
+	}
+	// Modes: non-ad density peaks near 1ms, ad density has a mode >100ms.
+	adModes := an.AdDelta.ModeValues(0.05)
+	foundRTB := false
+	for _, m := range adModes {
+		if m > 80 && m < 200 {
+			foundRTB = true
+		}
+	}
+	if !foundRTB {
+		t.Errorf("ad delta modes %v lack the ~120ms RTB mode", adModes)
+	}
+}
+
+func TestAnalyzeRTBSkipsIncomplete(t *testing.T) {
+	r := mkResult(1, true, abp.ListAds, 100, -1, 50e6, "x")
+	an := AnalyzeRTB([]*core.Result{r})
+	if an.AdDelta.Total() != 0 {
+		t.Error("missing TCP handshake must be skipped")
+	}
+	r2 := mkResult(1, true, abp.ListAds, 100, 10e6, 0, "x")
+	r2.Ann.Tx.RespTime = 0
+	an2 := AnalyzeRTB([]*core.Result{r2})
+	if an2.AdDelta.Total() != 0 {
+		t.Error("missing response must be skipped")
+	}
+}

@@ -1,0 +1,211 @@
+// Package integration exercises the complete reproduction pipeline the way
+// the command-line tools chain it: simulate → trace file on disk → external
+// sort → analyze → classify → infer → evaluate against ground truth. It is
+// the closest automated equivalent of running rbnsim | tracesort | adtrace.
+package integration
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/dnssim"
+	"adscape/internal/inference"
+	"adscape/internal/rbn"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+func TestFullPipelineThroughFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test simulates a trace")
+	}
+	dir := t.TempDir()
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = 120
+	wopt.ListOptions.ExtraGenericRules = 30
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Simulate to a trace file (rbnsim).
+	tracePath := filepath.Join(dir, "rbn.trace")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wire.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := rbn.Options{
+		World: world, Name: "integ", Households: 20,
+		Start:    time.Date(2015, 8, 11, 15, 30, 0, 0, time.UTC),
+		Duration: 3 * time.Hour, Seed: 31,
+		AnonKey: []byte("integ"), PagesPerHour: 5, Parallelism: 4,
+	}
+	sim, err := rbn.Simulate(opt, w.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty trace file")
+	}
+
+	// 2. Sort the trace into capture order (tracesort).
+	sortedPath := filepath.Join(dir, "rbn.sorted.trace")
+	sortTrace(t, tracePath, sortedPath)
+
+	// 3. Analyze the sorted trace (adtrace).
+	fin, err := os.Open(sortedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fin.Close()
+	r, err := wire.NewReader(fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, stats, err := analyzer.AnalyzeTrace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets != sim.Packets {
+		t.Fatalf("packets: analyzed %d, simulated %d", stats.Packets, sim.Packets)
+	}
+	if stats.HTTPTransactions == 0 || stats.TLSFlows == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// Time-ordered input must yield the same transaction count as the
+	// generation-ordered trace (flow reassembly handles the interleaving).
+	col2, stats2 := analyzeFile(t, tracePath)
+	if stats2.HTTPTransactions != stats.HTTPTransactions {
+		t.Errorf("sorting changed transaction count: %d vs %d",
+			stats.HTTPTransactions, stats2.HTTPTransactions)
+	}
+	_ = col2
+
+	// 4. Classify and infer (adtrace -users), discovering the ABP servers
+	// via DNS rather than simulator internals.
+	pipeline := core.NewPipeline(world.Bundle.ClassifierEngine())
+	results := pipeline.ClassifyAll(col.Transactions)
+	agg := core.Aggregate(results)
+	if agg.AdRatio() < 0.05 || agg.AdRatio() > 0.4 {
+		t.Errorf("trace ad ratio = %.3f, implausible", agg.AdRatio())
+	}
+	users := inference.Aggregate(results)
+	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
+	if len(abpIPs) != len(world.AdblockServerIPs) {
+		t.Errorf("DNS discovery found %d ABP servers, world has %d", len(abpIPs), len(world.AdblockServerIPs))
+	}
+	inference.MarkListDownloads(users, col.Flows, abpIPs)
+
+	iopt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: 120}
+	active := inference.ActiveBrowsers(users, iopt)
+	if len(active) == 0 {
+		t.Fatal("no active browsers in 3h window")
+	}
+
+	// 5. Evaluate against ground truth: precision of the type-C call must
+	// be high (the indicators are conservative).
+	truth := map[core.UserKey]rbn.BlockerSetup{}
+	for _, d := range sim.Devices {
+		truth[core.UserKey{IP: d.ClientIP, UserAgent: d.UserAgent}] = d.Setup
+	}
+	det := inference.EvaluateDetection(active, iopt, func(k core.UserKey) (bool, bool) {
+		s, ok := truth[k]
+		return s.UsesAdblockPlus(), ok
+	})
+	t.Logf("detection over %d active browsers: %s", len(active), det)
+	if det.TruePositives+det.FalseNegatives == 0 {
+		t.Skip("no ABP users among actives at this scale")
+	}
+	if det.Precision() < 0.6 {
+		t.Errorf("type-C precision %.2f too low: %s", det.Precision(), det)
+	}
+}
+
+func sortTrace(t *testing.T, in, out string) {
+	t.Helper()
+	fin, err := os.Open(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fin.Close()
+	r, err := wire.NewReader(fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fout, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fout.Close()
+	w, err := wire.NewWriter(fout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.SortTrace(r, w, wire.SortOptions{MaxInMemory: 4096, TempDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify ordering.
+	fchk, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fchk.Close()
+	rr, err := wire.NewReader(fchk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1 << 62)
+	n := 0
+	if err := rr.ForEach(func(p *wire.Packet) error {
+		if p.Time < last {
+			t.Fatal("sorted trace out of order")
+		}
+		last = p.Time
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("sorted trace empty")
+	}
+}
+
+func analyzeFile(t *testing.T, path string) (*analyzer.Collector, analyzer.Stats) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := wire.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, stats, err := analyzer.AnalyzeTrace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, stats
+}

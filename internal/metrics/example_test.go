@@ -1,0 +1,38 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"adscape/internal/metrics"
+)
+
+// ExampleNewECDF shows the Figure-4 primitive: what share of browsers sits
+// below an ad-ratio threshold.
+func ExampleNewECDF() {
+	ratios := []float64{0.2, 0.4, 0.8, 6, 12, 15, 22}
+	ecdf := metrics.NewECDF(ratios)
+	fmt.Printf("below 1%%: %.2f\n", ecdf.At(1))
+	fmt.Printf("below 5%%: %.2f\n", ecdf.At(5))
+	// Output:
+	// below 1%: 0.43
+	// below 5%: 0.43
+}
+
+// ExampleNewBoxPlot shows the Figure-2 five-number summary.
+func ExampleNewBoxPlot() {
+	bp := metrics.NewBoxPlot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	fmt.Printf("median %.0f, IQR [%.0f, %.0f]\n", bp.Median, bp.Q1, bp.Q3)
+	// Output: median 5, IQR [3, 7]
+}
+
+// ExampleLogHistogram shows the Figure-7 density machinery: find the
+// latency modes of a bimodal sample.
+func ExampleLogHistogram() {
+	lh := metrics.NewLogHistogram(-1, 4, 25) // 0.1 ms .. 10 s
+	for i := 0; i < 100; i++ {
+		lh.Add(1.0)   // network noise mode
+		lh.Add(120.0) // RTB auction mode
+	}
+	fmt.Printf("mass at or above 100ms: %.2f\n", lh.MassAbove(100))
+	// Output: mass at or above 100ms: 0.50
+}

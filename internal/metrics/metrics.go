@@ -1,0 +1,371 @@
+// Package metrics provides the statistical machinery behind the paper's
+// figures: empirical CDFs (Fig. 4), box-plot five-number summaries (Fig. 2),
+// log-scale histogram densities (Figs. 6 and 7), 2-D heat-map binning
+// (Fig. 3), and time-series binning (Fig. 5).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It sorts a copy; xs is unchanged.
+// NaN is returned for an empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean, NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// BoxPlot is the five-number summary drawn in the paper's Figure 2.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+	// N is the sample count.
+	N int
+}
+
+// NewBoxPlot computes the summary of xs.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return BoxPlot{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return BoxPlot{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// String renders the summary compactly for experiment output.
+func (b BoxPlot) String() string {
+	return fmt.Sprintf("min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f (n=%d)",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF over xs (a copy is sorted; xs is unchanged).
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns P(X ≤ x), in [0,1]. Empty ECDFs return 0.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// count of values ≤ x
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Points samples the ECDF at each distinct value, for plotting/printing.
+func (e *ECDF) Points() (xs, ps []float64) {
+	for i, v := range e.sorted {
+		if i > 0 && v == e.sorted[i-1] {
+			continue
+		}
+		xs = append(xs, v)
+		ps = append(ps, e.At(v))
+	}
+	return xs, ps
+}
+
+// Histogram is a fixed-bin histogram over a [lo,hi) range; values outside
+// clamp into the edge bins, so mass is conserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo,hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("metrics: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Density returns per-bin probability mass (sums to 1 for non-empty input).
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// ModeBins returns the indices of local maxima in the density whose mass is
+// at least minMass — used to locate the 1/10/120 ms modes of Figure 7.
+func (h *Histogram) ModeBins(minMass float64) []int {
+	d := h.Density()
+	var modes []int
+	for i := range d {
+		if d[i] < minMass {
+			continue
+		}
+		left := i == 0 || d[i-1] <= d[i]
+		right := i == len(d)-1 || d[i+1] < d[i]
+		if left && right {
+			modes = append(modes, i)
+		}
+	}
+	return modes
+}
+
+// LogHistogram bins log10(x), matching the paper's density-of-logarithm
+// plots (Figures 6 and 7). Non-positive values clamp to the lowest bin.
+type LogHistogram struct {
+	h *Histogram
+}
+
+// NewLogHistogram spans [10^loExp, 10^hiExp) with n bins in log space.
+func NewLogHistogram(loExp, hiExp float64, n int) *LogHistogram {
+	return &LogHistogram{h: NewHistogram(loExp, hiExp, n)}
+}
+
+// Add records one observation (x > 0; others clamp to the lowest bin).
+func (lh *LogHistogram) Add(x float64) {
+	if x <= 0 {
+		lh.h.Add(lh.h.Lo)
+		return
+	}
+	lh.h.Add(math.Log10(x))
+}
+
+// Density returns per-bin probability mass.
+func (lh *LogHistogram) Density() []float64 { return lh.h.Density() }
+
+// Total returns the observation count.
+func (lh *LogHistogram) Total() int { return lh.h.Total() }
+
+// BinValue returns the linear-scale value at the center of bin i.
+func (lh *LogHistogram) BinValue(i int) float64 {
+	return math.Pow(10, lh.h.BinCenter(i))
+}
+
+// ModeValues returns the linear-scale centers of density modes ≥ minMass.
+func (lh *LogHistogram) ModeValues(minMass float64) []float64 {
+	var out []float64
+	for _, i := range lh.h.ModeBins(minMass) {
+		out = append(out, lh.BinValue(i))
+	}
+	return out
+}
+
+// MassAbove returns the probability mass at values ≥ x.
+func (lh *LogHistogram) MassAbove(x float64) float64 {
+	if lh.h.total == 0 {
+		return 0
+	}
+	lx := math.Log10(x)
+	mass := 0.0
+	w := (lh.h.Hi - lh.h.Lo) / float64(len(lh.h.Counts))
+	for i, c := range lh.h.Counts {
+		if lh.h.Lo+w*float64(i) >= lx {
+			mass += float64(c)
+		}
+	}
+	return mass / float64(lh.h.total)
+}
+
+// HeatMap2D bins (x, y) pairs on log-log axes, the rendering of Figure 3.
+type HeatMap2D struct {
+	X, Y   *Histogram // axis definitions in log10 space
+	Counts [][]int
+	total  int
+}
+
+// NewHeatMap2D spans [10^xLo,10^xHi) × [10^yLo,10^yHi) with nx×ny cells.
+func NewHeatMap2D(xLo, xHi float64, nx int, yLo, yHi float64, ny int) *HeatMap2D {
+	hm := &HeatMap2D{
+		X: NewHistogram(xLo, xHi, nx),
+		Y: NewHistogram(yLo, yHi, ny),
+	}
+	hm.Counts = make([][]int, ny)
+	for i := range hm.Counts {
+		hm.Counts[i] = make([]int, nx)
+	}
+	return hm
+}
+
+// Add records one (x,y) pair; zero values are placed at the bottom bins
+// (log(0) is drawn on the axis in the paper's heat map).
+func (hm *HeatMap2D) Add(x, y float64) {
+	hm.Counts[hm.bin(hm.Y, y)][hm.bin(hm.X, x)]++
+	hm.total++
+}
+
+func (hm *HeatMap2D) bin(axis *Histogram, v float64) int {
+	n := len(axis.Counts)
+	lv := axis.Lo
+	if v > 0 {
+		lv = math.Log10(v)
+	}
+	i := int(float64(n) * (lv - axis.Lo) / (axis.Hi - axis.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Total returns the number of pairs recorded.
+func (hm *HeatMap2D) Total() int { return hm.total }
+
+// MaxCell returns the largest cell count.
+func (hm *HeatMap2D) MaxCell() int {
+	max := 0
+	for _, row := range hm.Counts {
+		for _, c := range row {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// TimeSeries accumulates per-bin counters over a time axis, as in Figure 5.
+type TimeSeries struct {
+	// BinWidth is the bin duration in seconds (the paper uses 1 h).
+	BinWidth float64
+	// Start is the time origin in seconds.
+	Start float64
+	vals  map[string][]float64
+	nBins int
+}
+
+// NewTimeSeries covers [start, start+n*width) seconds with n bins.
+func NewTimeSeries(start, width float64, n int) *TimeSeries {
+	return &TimeSeries{BinWidth: width, Start: start, nBins: n, vals: map[string][]float64{}}
+}
+
+// Add accumulates v into series name at time t (seconds). Out-of-range
+// samples clamp into the edge bins.
+func (ts *TimeSeries) Add(name string, t, v float64) {
+	s, ok := ts.vals[name]
+	if !ok {
+		s = make([]float64, ts.nBins)
+		ts.vals[name] = s
+	}
+	i := int((t - ts.Start) / ts.BinWidth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= ts.nBins {
+		i = ts.nBins - 1
+	}
+	s[i] += v
+}
+
+// Series returns the accumulated values for a named series (zeros if absent).
+func (ts *TimeSeries) Series(name string) []float64 {
+	if s, ok := ts.vals[name]; ok {
+		return s
+	}
+	return make([]float64, ts.nBins)
+}
+
+// Names returns the series names, sorted.
+func (ts *TimeSeries) Names() []string {
+	var out []string
+	for n := range ts.vals {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bins returns the number of bins.
+func (ts *TimeSeries) Bins() int { return ts.nBins }
+
+// Ratio returns a/(a+b) per bin for two series, NaN-free: empty bins give 0.
+func (ts *TimeSeries) Ratio(a, b string) []float64 {
+	sa, sb := ts.Series(a), ts.Series(b)
+	out := make([]float64, ts.nBins)
+	for i := range out {
+		tot := sa[i] + sb[i]
+		if tot > 0 {
+			out[i] = sa[i] / tot
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %v, want 5", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %v, want 2", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile must be NaN")
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	f := func(a, b float64) bool {
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 100})
+	if b.Min != 1 || b.Max != 100 || b.Median != 3 || b.N != 5 {
+		t.Errorf("BoxPlot = %+v", b)
+	}
+	if b.Q1 > b.Median || b.Median > b.Q3 {
+		t.Error("quartiles must be ordered")
+	}
+	empty := NewBoxPlot(nil)
+	if !math.IsNaN(empty.Median) {
+		t.Error("empty boxplot must be NaN")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 1, 2, 5})
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.5}, {1.5, 0.5}, {2, 0.75}, {5, 1}, {100, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	xs, ps := e.Points()
+	if len(xs) != 3 || ps[len(ps)-1] != 1 {
+		t.Errorf("Points = %v %v", xs, ps)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+	}
+	e := NewECDF(xs)
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := e.At(a), e.At(b)
+		return pa <= pb && pa >= 0 && pb <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMassConservation(t *testing.T) {
+	h := NewHistogram(0, 10, 20)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%14) - 2) // includes out-of-range on both sides
+	}
+	if h.Total() != 1000 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	sum := 0.0
+	for _, d := range h.Density() {
+		if d < 0 {
+			t.Fatal("negative density")
+		}
+		sum += d
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("density sums to %v", sum)
+	}
+}
+
+func TestLogHistogramModes(t *testing.T) {
+	lh := NewLogHistogram(-1, 4, 50) // 0.1 .. 10000
+	// Two clear modes: around 1 and around 120.
+	for i := 0; i < 1000; i++ {
+		lh.Add(1.0 + 0.1*float64(i%5))
+	}
+	for i := 0; i < 600; i++ {
+		lh.Add(120 + float64(i%20))
+	}
+	modes := lh.ModeValues(0.05)
+	if len(modes) < 2 {
+		t.Fatalf("expected ≥2 modes, got %v", modes)
+	}
+	foundLow, foundHigh := false, false
+	for _, m := range modes {
+		if m > 0.5 && m < 3 {
+			foundLow = true
+		}
+		if m > 80 && m < 200 {
+			foundHigh = true
+		}
+	}
+	if !foundLow || !foundHigh {
+		t.Errorf("modes = %v, want one near 1 and one near 120", modes)
+	}
+	if got := lh.MassAbove(100); math.Abs(got-600.0/1600.0) > 0.05 {
+		t.Errorf("MassAbove(100) = %v", got)
+	}
+}
+
+func TestLogHistogramNonPositive(t *testing.T) {
+	lh := NewLogHistogram(0, 6, 10)
+	lh.Add(0)
+	lh.Add(-5)
+	if lh.Total() != 2 {
+		t.Error("non-positive values must still be counted")
+	}
+}
+
+func TestHeatMap2D(t *testing.T) {
+	hm := NewHeatMap2D(0, 5, 10, 0, 5, 10)
+	hm.Add(100, 10)
+	hm.Add(100, 10)
+	hm.Add(1, 0) // zero y clamps to bottom row
+	if hm.Total() != 3 {
+		t.Errorf("Total = %d", hm.Total())
+	}
+	if hm.MaxCell() != 2 {
+		t.Errorf("MaxCell = %d", hm.MaxCell())
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(0, 3600, 4)
+	ts.Add("ads", 0, 10)
+	ts.Add("ads", 3599, 5)
+	ts.Add("ads", 3600, 7)
+	ts.Add("nonads", 0, 85)
+	s := ts.Series("ads")
+	if s[0] != 15 || s[1] != 7 {
+		t.Errorf("series = %v", s)
+	}
+	r := ts.Ratio("ads", "nonads")
+	if math.Abs(r[0]-0.15) > 1e-9 {
+		t.Errorf("ratio[0] = %v", r[0])
+	}
+	if r[2] != 0 {
+		t.Errorf("empty bin ratio should be 0, got %v", r[2])
+	}
+	if got := ts.Series("missing"); len(got) != 4 {
+		t.Error("missing series must return zeroed slice")
+	}
+	names := ts.Names()
+	if len(names) != 2 || names[0] != "ads" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Errorf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean must be NaN")
+	}
+}
+
+func TestModeBinsPlateau(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	// A flat two-bin plateau collapses to a single mode (its right edge:
+	// the left neighbour ties, the right neighbour is strictly lower).
+	for i := 0; i < 50; i++ {
+		h.Add(2.5)
+		h.Add(3.5)
+	}
+	modes := h.ModeBins(0.1)
+	if len(modes) != 1 {
+		t.Fatalf("plateau should yield one mode, got %v", modes)
+	}
+	if c := h.BinCenter(modes[0]); c < 3 || c > 4 {
+		t.Errorf("plateau mode center = %v", c)
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid shape must panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestBinCenterAndLogBinValue(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if c := h.BinCenter(0); c != 0.5 {
+		t.Errorf("BinCenter(0) = %v", c)
+	}
+	lh := NewLogHistogram(0, 4, 4) // decades 1..10^4
+	v := lh.BinValue(1)            // center of [10^1, 10^2) in log space = 10^1.5
+	if v < 30 || v > 33 {
+		t.Errorf("BinValue(1) = %v, want ~31.6", v)
+	}
+}

@@ -1,0 +1,262 @@
+// Package pagemodel approximately reconstructs Web-page metadata from HTTP
+// header transactions, the way §3.1 of the paper does: a referrer map in the
+// style of StreamStructure/ReSurf clusters requests into page retrievals;
+// Location headers and URLs embedded in query strings repair broken referrer
+// chains; file extensions (before Content-Type headers) infer the content
+// class each request carries; and redirected requests inherit the class of
+// their consequent request.
+package pagemodel
+
+import (
+	"time"
+
+	"adscape/internal/urlutil"
+	"adscape/internal/weblog"
+)
+
+// Annotated is one transaction enriched with reconstructed page metadata —
+// exactly the context the filter engine needs (Figure 1's middle boxes).
+type Annotated struct {
+	// Tx is the underlying transaction.
+	Tx *weblog.Transaction
+	// URL is the request URL after query-string normalization.
+	URL string
+	// Class is the inferred content class.
+	Class urlutil.ContentClass
+	// PageURL is the URL of the page retrieval this request belongs to;
+	// empty when attribution failed.
+	PageURL string
+	// PageHost is the host of PageURL.
+	PageHost string
+	// Repaired marks requests attributed via redirect/embedded-URL repair
+	// rather than a direct referer edge.
+	Repaired bool
+}
+
+// Options tunes the reconstruction.
+type Options struct {
+	// NavigationGap is the idle time after which a same-site document
+	// request counts as a new page (click) rather than an embedded frame.
+	NavigationGap time.Duration
+	// Normalizer rewrites dynamic query values; may be nil to disable the
+	// base-URL step.
+	Normalizer *urlutil.Normalizer
+	// DisableRepair turns off the Location/embedded-URL referrer repair —
+	// exists for the ablation experiment, the paper's method keeps it on.
+	DisableRepair bool
+	// ExtensionFirst selects the paper's content-type rule: the URL file
+	// extension wins over the Content-Type header. Off means header-only
+	// (the ablation baseline).
+	ExtensionFirst bool
+}
+
+// DefaultOptions returns the configuration the paper's methodology uses.
+func DefaultOptions(norm *urlutil.Normalizer) Options {
+	return Options{
+		NavigationGap:  time.Second,
+		Normalizer:     norm,
+		ExtensionFirst: true,
+	}
+}
+
+// Builder consumes one user's transactions in time order and reconstructs
+// page attribution. Build one Builder per (client IP, User-Agent) pair; the
+// referrer graph of different users must never mix.
+type Builder struct {
+	opt Options
+	txs []*weblog.Transaction
+
+	// pageOf maps a URL (as requested) to the page URL it belongs to.
+	pageOf map[string]string
+	// pageStart records when each page retrieval began (ns).
+	pageStart map[string]int64
+	// redirectTo maps a Location target to the page of the redirecting
+	// request, repairing the broken chain of §3.1.
+	redirectTarget map[string]string
+	// redirectFrom maps the redirecting URL to its Location target, for the
+	// content-type repair (class of the consequent request).
+	redirectFrom map[string]string
+	// embedded maps URLs found inside other URLs' query strings to the
+	// page of the embedding request.
+	embedded map[string]string
+}
+
+// NewBuilder creates a Builder.
+func NewBuilder(opt Options) *Builder {
+	return &Builder{
+		opt:            opt,
+		pageOf:         make(map[string]string),
+		pageStart:      make(map[string]int64),
+		redirectTarget: make(map[string]string),
+		redirectFrom:   make(map[string]string),
+		embedded:       make(map[string]string),
+	}
+}
+
+// Add appends a transaction; call in capture order.
+func (b *Builder) Add(tx *weblog.Transaction) { b.txs = append(b.txs, tx) }
+
+// Resolve runs the reconstruction and returns one annotation per added
+// transaction, in order.
+func (b *Builder) Resolve() []*Annotated {
+	out := make([]*Annotated, 0, len(b.txs))
+	for _, tx := range b.txs {
+		out = append(out, b.annotate(tx))
+	}
+	b.repairRedirectClasses(out)
+	return out
+}
+
+// annotate performs page attribution for one transaction.
+func (b *Builder) annotate(tx *weblog.Transaction) *Annotated {
+	rawURL := tx.URL()
+	a := &Annotated{Tx: tx, URL: rawURL}
+	if b.opt.Normalizer != nil {
+		a.URL = b.opt.Normalizer.NormalizeURL(rawURL)
+	}
+	a.Class = b.inferClass(tx)
+
+	page := b.attribute(tx, rawURL, a.Class)
+	a.PageURL = page
+	a.PageHost = urlutil.Host(page)
+
+	// Register this URL's page for referrer lookups by later requests.
+	if page != "" {
+		b.pageOf[rawURL] = page
+	}
+	if !b.opt.DisableRepair {
+		// Redirect repair: the request following a Location redirect often
+		// carries no referer; remember where it belongs.
+		if tx.Location != "" && page != "" {
+			b.redirectTarget[tx.Location] = page
+			b.redirectFrom[rawURL] = tx.Location
+		}
+		// Embedded-URL repair.
+		for _, u := range urlutil.ExtractEmbeddedURLs(rawURL) {
+			if page != "" {
+				b.embedded[u] = page
+			}
+		}
+	}
+	return a
+}
+
+// attribute decides which page a request belongs to.
+func (b *Builder) attribute(tx *weblog.Transaction, rawURL string, class urlutil.ContentClass) string {
+	ref := tx.Referer
+	refPage, refKnown := "", false
+	if ref != "" {
+		if p, ok := b.pageOf[ref]; ok {
+			refPage, refKnown = p, true
+		} else {
+			// The referer names a page we never saw loaded (cache hit,
+			// trace start): treat the referer itself as the page.
+			refPage, refKnown = ref, true
+			b.pageOf[ref] = ref
+			if _, ok := b.pageStart[ref]; !ok {
+				b.pageStart[ref] = tx.ReqTime
+			}
+		}
+	}
+
+	if class == urlutil.ClassDocument {
+		if b.isNewPageHead(tx, ref, refPage) {
+			b.pageStart[rawURL] = tx.ReqTime
+			return rawURL
+		}
+		if refKnown {
+			return refPage // embedded document (iframe)
+		}
+	}
+
+	if refKnown {
+		return refPage
+	}
+	if !b.opt.DisableRepair {
+		if p, ok := b.redirectTarget[rawURL]; ok {
+			return p
+		}
+		if p, ok := b.embedded[rawURL]; ok {
+			return p
+		}
+	}
+	if class == urlutil.ClassDocument || class == urlutil.ClassUnknown {
+		// Referer-less document-ish request: its own page.
+		b.pageStart[rawURL] = tx.ReqTime
+		return rawURL
+	}
+	return ""
+}
+
+// isNewPageHead applies the StreamStructure-style heuristics: a document
+// request starts a new page when it has no referer, or when the referring
+// page has been idle longer than the navigation gap (a link click). A fast
+// follow-up document is an embedded frame (ad iframes are documents on a
+// foreign domain, requested while the page is still loading). Redirect
+// responses never head a page — they are hops, not pages.
+func (b *Builder) isNewPageHead(tx *weblog.Transaction, ref, refPage string) bool {
+	if tx.Status >= 300 && tx.Status < 400 {
+		return false
+	}
+	if ref == "" {
+		return true
+	}
+	if start, ok := b.pageStart[refPage]; ok {
+		if tx.ReqTime-start > b.opt.NavigationGap.Nanoseconds() {
+			return true
+		}
+	}
+	return false
+}
+
+// inferClass applies the paper's content-type rule: extension first, header
+// as fallback (§3.1 "Content Type").
+func (b *Builder) inferClass(tx *weblog.Transaction) urlutil.ContentClass {
+	ext := urlutil.ClassFromExtension(urlutil.Path(tx.URL()))
+	mime := urlutil.ClassFromMIME(tx.ContentType)
+	if b.opt.ExtensionFirst {
+		if ext != urlutil.ClassUnknown {
+			return ext
+		}
+		return mime
+	}
+	return mime
+}
+
+// repairRedirectClasses sets the class of 3xx transactions to the class of
+// the consequent request (§3.1: "the referrer map helps us to set the
+// appropriate content type for the URL that is being redirected").
+func (b *Builder) repairRedirectClasses(as []*Annotated) {
+	if b.opt.DisableRepair {
+		return
+	}
+	classOf := make(map[string]urlutil.ContentClass, len(as))
+	for _, a := range as {
+		if _, isRedirSource := b.redirectFrom[a.Tx.URL()]; !isRedirSource {
+			if _, ok := classOf[a.Tx.URL()]; !ok {
+				classOf[a.Tx.URL()] = a.Class
+			}
+		}
+	}
+	for _, a := range as {
+		if a.Tx.Status < 300 || a.Tx.Status >= 400 {
+			continue
+		}
+		target, ok := b.redirectFrom[a.Tx.URL()]
+		if !ok {
+			continue
+		}
+		// Follow redirect chains up to a small depth.
+		for hops := 0; hops < 5; hops++ {
+			if next, ok := b.redirectFrom[target]; ok {
+				target = next
+				continue
+			}
+			break
+		}
+		if c, ok := classOf[target]; ok && c != urlutil.ClassUnknown {
+			a.Class = c
+			a.Repaired = true
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package pagemodel
+
+import (
+	"testing"
+	"time"
+
+	"adscape/internal/urlutil"
+	"adscape/internal/weblog"
+)
+
+func tx(t int64, host, uri, referer, ctype string, status int) *weblog.Transaction {
+	return &weblog.Transaction{
+		ReqTime: t, RespTime: t + 1e6,
+		Host: host, URI: uri, Referer: referer,
+		ContentType: ctype, Status: status, Method: "GET",
+		ContentLength: 100,
+	}
+}
+
+func resolve(t *testing.T, txs ...*weblog.Transaction) []*Annotated {
+	t.Helper()
+	b := NewBuilder(DefaultOptions(nil))
+	for _, x := range txs {
+		b.Add(x)
+	}
+	return b.Resolve()
+}
+
+func TestBasicPageAttribution(t *testing.T) {
+	page := "http://www.news.example/story.html"
+	as := resolve(t,
+		tx(1e9, "www.news.example", "/story.html", "", "text/html", 200),
+		tx(2e9, "www.news.example", "/style.css", page, "text/css", 200),
+		tx(3e9, "static.news.example", "/img/photo.jpg", page, "image/jpeg", 200),
+		tx(4e9, "ads.adnet.example", "/banner/top.gif", page, "image/gif", 200),
+	)
+	if as[0].PageURL != page {
+		t.Errorf("document page = %q, want itself", as[0].PageURL)
+	}
+	for i := 1; i < 4; i++ {
+		if as[i].PageURL != page {
+			t.Errorf("object %d page = %q, want %q", i, as[i].PageURL, page)
+		}
+		if as[i].PageHost != "www.news.example" {
+			t.Errorf("object %d page host = %q", i, as[i].PageHost)
+		}
+	}
+	if as[3].Class != urlutil.ClassImage {
+		t.Errorf("banner class = %q", as[3].Class)
+	}
+}
+
+func TestExtensionBeatsHeader(t *testing.T) {
+	as := resolve(t,
+		tx(1e9, "cdn.example", "/lib/app.js", "", "text/html", 200), // mislabeled header
+	)
+	if as[0].Class != urlutil.ClassScript {
+		t.Errorf("class = %q, want script (extension-first rule)", as[0].Class)
+	}
+	// Header-only ablation keeps the wrong label.
+	b := NewBuilder(Options{Normalizer: nil, NavigationGap: time.Second, ExtensionFirst: false})
+	b.Add(tx(1e9, "cdn.example", "/lib/app.js", "", "text/html", 200))
+	if got := b.Resolve()[0].Class; got != urlutil.ClassDocument {
+		t.Errorf("header-only class = %q, want document", got)
+	}
+}
+
+func TestHeaderFallbackWhenNoExtension(t *testing.T) {
+	as := resolve(t, tx(1e9, "api.example", "/v1/data", "", "application/json", 200))
+	if as[0].Class != urlutil.ClassXHR {
+		t.Errorf("class = %q, want xmlhttprequest", as[0].Class)
+	}
+}
+
+func TestRedirectRepairAttachesPage(t *testing.T) {
+	page := "http://www.pub.example/index.html"
+	redirect := tx(2e9, "redir.adnet.example", "/click?id=1", page, "text/html", 302)
+	redirect.Location = "http://ads.far.example/creative.gif"
+	// The consequent request arrives with NO referer (the broken chain).
+	follow := tx(3e9, "ads.far.example", "/creative.gif", "", "image/gif", 200)
+	as := resolve(t,
+		tx(1e9, "www.pub.example", "/index.html", "", "text/html", 200),
+		redirect,
+		follow,
+	)
+	if as[2].PageURL != page {
+		t.Errorf("redirect target page = %q, want %q", as[2].PageURL, page)
+	}
+}
+
+func TestRedirectRepairDisabled(t *testing.T) {
+	opt := DefaultOptions(nil)
+	opt.DisableRepair = true
+	b := NewBuilder(opt)
+	page := "http://www.pub.example/index.html"
+	redirect := tx(2e9, "redir.adnet.example", "/click?id=1", page, "text/html", 302)
+	redirect.Location = "http://ads.far.example/creative.gif"
+	b.Add(tx(1e9, "www.pub.example", "/index.html", "", "text/html", 200))
+	b.Add(redirect)
+	b.Add(tx(3e9, "ads.far.example", "/creative.gif", "", "image/gif", 200))
+	as := b.Resolve()
+	if as[2].PageURL == page {
+		t.Error("repair disabled: redirect target must not inherit the page")
+	}
+}
+
+func TestRedirectContentTypeRepair(t *testing.T) {
+	// An <img> URL that redirects: to the browser it is an image (from the
+	// tag); header traces see text/html on the 302. The repair assigns the
+	// class of the consequent request (§3.1).
+	page := "http://www.pub.example/index.html"
+	redirect := tx(2e9, "imgredir.example", "/i", page, "text/html", 302)
+	redirect.Location = "http://images.cdn.example/real.png"
+	as := resolve(t,
+		tx(1e9, "www.pub.example", "/index.html", "", "text/html", 200),
+		redirect,
+		tx(3e9, "images.cdn.example", "/real.png", "", "image/png", 200),
+	)
+	if as[1].Class != urlutil.ClassImage {
+		t.Errorf("redirect class = %q, want image (repaired)", as[1].Class)
+	}
+	if !as[1].Repaired {
+		t.Error("Repaired flag must be set")
+	}
+}
+
+func TestEmbeddedURLRepair(t *testing.T) {
+	page := "http://www.pub.example/index.html"
+	as := resolve(t,
+		tx(1e9, "www.pub.example", "/index.html", "", "text/html", 200),
+		tx(2e9, "sync.adnet.example", "/match?redir=http%3A%2F%2Fpartner.example%2Fpx.gif", page, "text/html", 200),
+		// The partner request arrives referer-less.
+		tx(3e9, "partner.example", "/px.gif", "", "image/gif", 200),
+	)
+	if as[2].PageURL != page {
+		t.Errorf("embedded-URL target page = %q, want %q", as[2].PageURL, page)
+	}
+}
+
+func TestCrossSiteNavigationStartsNewPage(t *testing.T) {
+	pageA := "http://www.siteа.example/index.html"
+	as := resolve(t,
+		tx(1e9, "www.siteа.example", "/index.html", "", "text/html", 200),
+		// Click from site A to site B: document with cross-site referer.
+		tx(5e9, "www.siteb.example", "/landing.html", pageA, "text/html", 200),
+		tx(6e9, "www.siteb.example", "/app.js", "http://www.siteb.example/landing.html", "application/javascript", 200),
+	)
+	if as[1].PageURL != "http://www.siteb.example/landing.html" {
+		t.Errorf("cross-site document page = %q, want itself", as[1].PageURL)
+	}
+	if as[2].PageURL != "http://www.siteb.example/landing.html" {
+		t.Errorf("object after navigation page = %q", as[2].PageURL)
+	}
+}
+
+func TestSameSiteIframeVsNavigation(t *testing.T) {
+	page := "http://www.video.example/watch.html"
+	iframe := tx(1e9+500e6, "www.video.example", "/embed.html", page, "text/html", 200)
+	as := resolve(t,
+		tx(1e9, "www.video.example", "/watch.html", "", "text/html", 200),
+		iframe, // 0.5s after page start → embedded frame
+	)
+	if as[1].PageURL != page {
+		t.Errorf("fast same-site document should be an iframe of %q, got %q", page, as[1].PageURL)
+	}
+	// Same transaction 10s later → navigation.
+	later := tx(11e9, "www.video.example", "/other.html", page, "text/html", 200)
+	as2 := resolve(t,
+		tx(1e9, "www.video.example", "/watch.html", "", "text/html", 200),
+		later,
+	)
+	if as2[1].PageURL != "http://www.video.example/other.html" {
+		t.Errorf("slow same-site document should start a new page, got %q", as2[1].PageURL)
+	}
+}
+
+func TestUnseenRefererBecomesPage(t *testing.T) {
+	// Object whose referring page was cached (never requested in-trace).
+	as := resolve(t,
+		tx(1e9, "static.example", "/app.css", "http://cached.example/page.html", "text/css", 200),
+	)
+	if as[0].PageURL != "http://cached.example/page.html" {
+		t.Errorf("page = %q, want the unseen referer", as[0].PageURL)
+	}
+	if as[0].PageHost != "cached.example" {
+		t.Errorf("page host = %q", as[0].PageHost)
+	}
+}
+
+func TestNormalizationApplied(t *testing.T) {
+	norm := urlutil.NewNormalizer([]string{"?adunit="})
+	b := NewBuilder(DefaultOptions(norm))
+	b.Add(tx(1e9, "x.example", "/p?sess=deadbeefcafebabe&adunit=top", "", "text/html", 200))
+	a := b.Resolve()[0]
+	if a.URL == a.Tx.URL() {
+		t.Error("dynamic query value should have been normalized")
+	}
+	if want := "http://x.example/p?sess=" + urlutil.Placeholder + "&adunit=top"; a.URL != want {
+		t.Errorf("URL = %q, want %q", a.URL, want)
+	}
+}
+
+func TestAttributionStableUnderObjectReordering(t *testing.T) {
+	page := "http://www.news.example/index.html"
+	head := tx(1e9, "www.news.example", "/index.html", "", "text/html", 200)
+	objA := tx(2e9, "a.example", "/1.js", page, "application/javascript", 200)
+	objB := tx(3e9, "b.example", "/2.gif", page, "image/gif", 200)
+	first := resolve(t, head, objA, objB)
+	second := resolve(t, head, objB, objA)
+	if first[1].PageURL != second[2].PageURL || first[2].PageURL != second[1].PageURL {
+		t.Error("object order must not change page attribution")
+	}
+}

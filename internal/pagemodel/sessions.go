@@ -1,0 +1,91 @@
+package pagemodel
+
+import (
+	"sort"
+	"time"
+)
+
+// PageRetrieval summarizes one reconstructed page load: the unit the
+// referrer map exists to recover (§3.1) and the quantity behind the paper's
+// "a few page retrievals" framing of the heavy-hitter cut (§6.1).
+type PageRetrieval struct {
+	// URL is the page (main document) URL.
+	URL string
+	// Start is the first request's timestamp (ns).
+	Start int64
+	// End is the last attributed request's timestamp (ns).
+	End int64
+	// Objects counts the requests attributed to the page.
+	Objects int
+	// AdCandidates counts the attributed requests the caller marked
+	// (usually classifier ad verdicts; zero when not provided).
+	AdCandidates int
+}
+
+// Duration is the retrieval's span.
+func (p *PageRetrieval) Duration() time.Duration {
+	return time.Duration(p.End - p.Start)
+}
+
+// Session is a burst of page retrievals separated by idle gaps — the
+// "browsing session" notion passive studies use to segment user activity.
+type Session struct {
+	Start, End int64
+	Pages      []*PageRetrieval
+}
+
+// SummarizePages folds annotated transactions into per-page retrievals,
+// ordered by start time. isAd may be nil; when set, it marks the requests
+// counted in AdCandidates.
+func SummarizePages(anns []*Annotated, isAd func(*Annotated) bool) []*PageRetrieval {
+	byPage := make(map[string]*PageRetrieval)
+	for _, a := range anns {
+		if a.PageURL == "" {
+			continue
+		}
+		p, ok := byPage[a.PageURL]
+		if !ok {
+			p = &PageRetrieval{URL: a.PageURL, Start: a.Tx.ReqTime, End: a.Tx.ReqTime}
+			byPage[a.PageURL] = p
+		}
+		if a.Tx.ReqTime < p.Start {
+			p.Start = a.Tx.ReqTime
+		}
+		if a.Tx.ReqTime > p.End {
+			p.End = a.Tx.ReqTime
+		}
+		p.Objects++
+		if isAd != nil && isAd(a) {
+			p.AdCandidates++
+		}
+	}
+	out := make([]*PageRetrieval, 0, len(byPage))
+	for _, p := range byPage {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].URL < out[j].URL
+	})
+	return out
+}
+
+// Sessionize groups ordered page retrievals into sessions separated by at
+// least gap of idle time.
+func Sessionize(pages []*PageRetrieval, gap time.Duration) []*Session {
+	var out []*Session
+	var cur *Session
+	for _, p := range pages {
+		if cur == nil || p.Start-cur.End > gap.Nanoseconds() {
+			cur = &Session{Start: p.Start, End: p.End}
+			out = append(out, cur)
+		}
+		cur.Pages = append(cur.Pages, p)
+		if p.End > cur.End {
+			cur.End = p.End
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package pagemodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizePages(t *testing.T) {
+	pageA := "http://www.a.example/index.html"
+	pageB := "http://www.b.example/index.html"
+	b := NewBuilder(DefaultOptions(nil))
+	b.Add(tx(1e9, "www.a.example", "/index.html", "", "text/html", 200))
+	b.Add(tx(2e9, "static.a.example", "/x.css", pageA, "text/css", 200))
+	b.Add(tx(3e9, "ads.example", "/banner/top.gif", pageA, "image/gif", 200))
+	b.Add(tx(60e9, "www.b.example", "/index.html", "", "text/html", 200))
+	b.Add(tx(61e9, "static.b.example", "/y.js", pageB, "application/javascript", 200))
+	anns := b.Resolve()
+
+	pages := SummarizePages(anns, func(a *Annotated) bool {
+		return strings.Contains(a.URL, "/banner/")
+	})
+	if len(pages) != 2 {
+		t.Fatalf("pages = %d, want 2", len(pages))
+	}
+	if pages[0].URL != pageA || pages[0].Objects != 3 || pages[0].AdCandidates != 1 {
+		t.Errorf("page A summary: %+v", pages[0])
+	}
+	if pages[0].Duration() != 2*time.Second {
+		t.Errorf("page A duration = %v", pages[0].Duration())
+	}
+	if pages[1].URL != pageB || pages[1].Objects != 2 {
+		t.Errorf("page B summary: %+v", pages[1])
+	}
+}
+
+func TestSessionize(t *testing.T) {
+	mk := func(start, end int64) *PageRetrieval {
+		return &PageRetrieval{URL: "p", Start: start, End: end}
+	}
+	pages := []*PageRetrieval{
+		mk(0, 5e9), mk(10e9, 15e9), // same session (10s gap ≤ 30s)
+		mk(100e9, 110e9), // new session after 85s idle
+	}
+	sessions := Sessionize(pages, 30*time.Second)
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(sessions))
+	}
+	if len(sessions[0].Pages) != 2 || len(sessions[1].Pages) != 1 {
+		t.Errorf("session page counts: %d, %d", len(sessions[0].Pages), len(sessions[1].Pages))
+	}
+	if sessions[0].End != 15e9 {
+		t.Errorf("session end = %d", sessions[0].End)
+	}
+	if got := Sessionize(nil, time.Second); got != nil {
+		t.Error("empty input must yield no sessions")
+	}
+}
+
+func TestSummarizePagesSkipsUnattributed(t *testing.T) {
+	b := NewBuilder(DefaultOptions(nil))
+	// An image with no referer and no page context stays unattributed.
+	b.Add(tx(1e9, "cdn.example", "/lost.gif", "", "image/gif", 200))
+	pages := SummarizePages(b.Resolve(), nil)
+	if len(pages) != 0 {
+		t.Errorf("unattributed requests must not form pages: %+v", pages)
+	}
+}

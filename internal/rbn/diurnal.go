@@ -1,0 +1,42 @@
+// Package rbn simulates a residential broadband network of a European ISP:
+// households behind NAT gateways, a mixed device population (desktop and
+// mobile browsers, consoles, smart TVs, background apps), diurnal activity,
+// an ad-blocker-using sub-population, and Adblock Plus list-update traffic.
+// It emits anonymized packet-header traces in the wire format — the
+// synthetic stand-in for the paper's RBN-1 and RBN-2 captures (§5).
+package rbn
+
+import "time"
+
+// hourCurve is the relative request intensity per local hour of day,
+// shaped after Figure 5: a deep night trough, a visible lunch bump, and the
+// busy hours in the evening right before midnight.
+var hourCurve = [24]float64{
+	0.35, 0.20, 0.12, 0.08, 0.06, 0.08, // 00-05
+	0.15, 0.30, 0.45, 0.55, 0.60, 0.70, // 06-11
+	0.80, 0.72, 0.65, 0.62, 0.68, 0.78, // 12-17 (lunch bump at 12-13)
+	0.88, 0.98, 1.00, 1.00, 0.95, 0.65, // 18-23 (evening peak)
+}
+
+// dayFactor scales weekdays vs weekend: fewer requests on the weekend,
+// Saturday lowest (§7.1).
+func dayFactor(wd time.Weekday) float64 {
+	switch wd {
+	case time.Saturday:
+		return 0.72
+	case time.Sunday:
+		return 0.85
+	default:
+		return 1.0
+	}
+}
+
+// Activity returns the activity multiplier at time t. flatness ∈ [0,1]
+// blends toward a constant rate: the simulator gives ad-blocker users a
+// flatter curve, reproducing the paper's observation that the ratio of
+// active Adblock Plus to non-blocking users is ~1:1 off-peak but 1:2 at
+// peak — which in turn drives Figure 5(b)'s diurnal ad-ratio swing.
+func Activity(t time.Time, flatness float64) float64 {
+	base := hourCurve[t.Hour()] * dayFactor(t.Weekday())
+	return base*(1-flatness) + 0.55*flatness
+}

@@ -1,0 +1,622 @@
+package rbn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/anonymize"
+	"adscape/internal/browser"
+	"adscape/internal/urlutil"
+	"adscape/internal/useragent"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+// BlockerSetup is a device's ground-truth ad-blocking configuration — the
+// space §6.3 reasons about.
+type BlockerSetup int
+
+// Configurations present in the simulated population.
+const (
+	SetupNone        BlockerSetup = iota
+	SetupABPDefault               // EasyList + acceptable ads (the default install)
+	SetupABPNoAA                  // EasyList only (opted out of acceptable ads)
+	SetupABPPrivacy               // EasyList + EasyPrivacy + acceptable ads
+	SetupABPParanoia              // EasyList + EasyPrivacy, no acceptable ads
+	SetupGhostery                 // a non-ABP blocker (no list downloads)
+)
+
+func (s BlockerSetup) String() string {
+	switch s {
+	case SetupNone:
+		return "none"
+	case SetupABPDefault:
+		return "abp-default"
+	case SetupABPNoAA:
+		return "abp-noaa"
+	case SetupABPPrivacy:
+		return "abp-privacy"
+	case SetupABPParanoia:
+		return "abp-paranoia"
+	case SetupGhostery:
+		return "ghostery"
+	}
+	return "unknown"
+}
+
+// UsesAdblockPlus reports whether the setup downloads ABP filter lists.
+func (s BlockerSetup) UsesAdblockPlus() bool {
+	return s >= SetupABPDefault && s <= SetupABPParanoia
+}
+
+// Blocks reports whether the setup blocks ads at all.
+func (s BlockerSetup) Blocks() bool { return s != SetupNone }
+
+// GroundTruth records what a simulated device actually runs, keyed the way
+// the passive analysis sees it: anonymized IP + User-Agent.
+type GroundTruth struct {
+	ClientIP  uint32
+	UserAgent string
+	Family    useragent.Family
+	Setup     BlockerSetup
+	Household int
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// World is the synthetic web to browse.
+	World *webgen.World
+	// Name labels the trace (rbn1/rbn2).
+	Name string
+	// Households is the number of DSL lines.
+	Households int
+	// Start and Duration bound the capture window.
+	Start    time.Time
+	Duration time.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// AnonKey keys the prefix-preserving client-address anonymization.
+	AnonKey []byte
+	// PagesPerHour is the peak page-load rate of an active browser.
+	PagesPerHour float64
+	// Parallelism generates devices concurrently on up to this many
+	// goroutines. Output order and content stay byte-identical to the
+	// sequential run: per-device packet buffers are flushed in device
+	// order. 0 or 1 selects the sequential path.
+	Parallelism int
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Devices is the ground truth for every simulated device.
+	Devices []GroundTruth
+	// Packets counts emitted records.
+	Packets int
+	// Pages counts page loads.
+	Pages int
+}
+
+// Preset returns the options mirroring one of the paper's traces, scaled by
+// scale (1.0 = the paper's population; 0.01 = 1% of the households).
+func Preset(name string, w *webgen.World, scale float64) (Options, error) {
+	switch name {
+	case "rbn1":
+		return Options{
+			World: w, Name: "rbn1",
+			Households: atLeast1(7500, scale),
+			Start:      time.Date(2015, 4, 11, 0, 0, 0, 0, time.UTC), // Sat Apr 11
+			Duration:   4 * 24 * time.Hour,
+			Seed:       411, AnonKey: []byte("rbn1-key"), PagesPerHour: 6,
+		}, nil
+	case "rbn2":
+		return Options{
+			World: w, Name: "rbn2",
+			Households: atLeast1(19700, scale),
+			Start:      time.Date(2015, 8, 11, 15, 30, 0, 0, time.UTC), // Tue Aug 11, 15:30
+			Duration:   15*time.Hour + 30*time.Minute,
+			Seed:       811, AnonKey: []byte("rbn2-key"), PagesPerHour: 6,
+		}, nil
+	}
+	return Options{}, fmt.Errorf("rbn: unknown preset %q", name)
+}
+
+func atLeast1(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// device is one simulated end device.
+type device struct {
+	gt       GroundTruth
+	kind     deviceKind
+	br       *browser.Browser
+	activity float64 // relative device activity
+	flatness float64 // diurnal flattening (ad-block users browse flatter)
+	catBias  webgen.Category
+	// lowAdAffinity devices mostly visit sites without advertising.
+	lowAdAffinity bool
+	// buf accumulates the device's packets until the simulator flushes
+	// them (in device order) to the trace writer.
+	buf []*wire.Packet
+}
+
+// emit returns the device's packet sink.
+func (d *device) emit() func(*wire.Packet) error {
+	return func(p *wire.Packet) error {
+		d.buf = append(d.buf, p)
+		return nil
+	}
+}
+
+type deviceKind int
+
+const (
+	kindDesktop deviceKind = iota
+	kindMobile
+	kindApp
+	kindConsole
+	kindSmartTV
+)
+
+// Simulate runs the model and streams packets through out.
+func Simulate(opt Options, out func(*wire.Packet) error) (*Result, error) {
+	if opt.World == nil {
+		return nil, fmt.Errorf("rbn: World is required")
+	}
+	if opt.PagesPerHour == 0 {
+		opt.PagesPerHour = 6
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	anon := anonymize.New(opt.AnonKey)
+	alloc := opt.World.ClientIPAllocator()
+	res := &Result{}
+
+	// Every device buffers its own packets; buffers are flushed to out in
+	// device order, so the trace is identical however many workers run.
+	var devices []*device
+	for h := 0; h < opt.Households; h++ {
+		rawIP, err := alloc()
+		if err != nil {
+			return nil, fmt.Errorf("rbn: household %d: %w", h, err)
+		}
+		ip := anon.Anonymize(rawIP)
+		for _, d := range makeHousehold(opt, h, ip, rng) {
+			devices = append(devices, d)
+			res.Devices = append(res.Devices, d.gt)
+		}
+	}
+	// Seeds are drawn in device order before any generation, keeping runs
+	// deterministic under parallelism.
+	seeds := make([]int64, len(devices))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	flush := func(d *device, pages int) error {
+		res.Pages += pages
+		for _, p := range d.buf {
+			res.Packets++
+			if err := out(p); err != nil {
+				return err
+			}
+		}
+		d.buf = nil
+		return nil
+	}
+
+	if opt.Parallelism <= 1 {
+		for i, d := range devices {
+			pages, err := runDevice(opt, d, seeds[i])
+			if err != nil {
+				return nil, err
+			}
+			if err := flush(d, pages); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+
+	type outcome struct {
+		pages int
+		err   error
+	}
+	done := make([]chan outcome, len(devices))
+	for i := range done {
+		done[i] = make(chan outcome, 1)
+	}
+	sem := make(chan struct{}, opt.Parallelism)
+	for i := range devices {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pages, err := runDevice(opt, devices[i], seeds[i])
+			done[i] <- outcome{pages: pages, err: err}
+		}(i)
+	}
+	var firstErr error
+	for i, d := range devices {
+		oc := <-done[i]
+		if oc.err != nil && firstErr == nil {
+			firstErr = oc.err
+		}
+		if firstErr != nil {
+			d.buf = nil
+			continue
+		}
+		if err := flush(d, oc.pages); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// makeHousehold builds the device mix of one household.
+func makeHousehold(opt Options, h int, ip uint32, rng *rand.Rand) []*device {
+	var out []*device
+	seed := opt.Seed ^ int64(h)*92821
+
+	nDesktop := 1 + rng.Intn(2)
+	for i := 0; i < nDesktop; i++ {
+		fam := pickDesktopFamily(rng)
+		setup := pickSetup(rng, fam)
+		out = append(out, newBrowserDevice(opt, ip, fam, setup, kindDesktop, seed+int64(i)*13, h, rng))
+	}
+	if rng.Float64() < 0.75 { // mobile devices in most households
+		nMob := 1 + rng.Intn(2)
+		for i := 0; i < nMob; i++ {
+			setup := SetupNone
+			if rng.Float64() < 0.03 {
+				setup = SetupABPDefault
+			}
+			out = append(out, newBrowserDevice(opt, ip, useragent.MobileAny, setup, kindMobile, seed+100+int64(i)*17, h, rng))
+		}
+	}
+	// Non-browser chatter: apps, consoles, smart TVs.
+	nApps := 1 + rng.Intn(4)
+	for i := 0; i < nApps; i++ {
+		out = append(out, newNonBrowserDevice(opt, ip, kindApp, seed+200+int64(i)*19, h, rng))
+	}
+	if rng.Float64() < 0.25 {
+		out = append(out, newNonBrowserDevice(opt, ip, kindConsole, seed+300, h, rng))
+	}
+	if rng.Float64() < 0.30 {
+		out = append(out, newNonBrowserDevice(opt, ip, kindSmartTV, seed+400, h, rng))
+	}
+	return out
+}
+
+// pickDesktopFamily mirrors §6.1's desktop split (FF 3423 : Chrome 2267 :
+// Safari 1324 : IE 654).
+func pickDesktopFamily(rng *rand.Rand) useragent.Family {
+	r := rng.Float64()
+	switch {
+	case r < 0.45:
+		return useragent.Firefox
+	case r < 0.74:
+		return useragent.Chrome
+	case r < 0.91:
+		return useragent.Safari
+	default:
+		return useragent.IE
+	}
+}
+
+// pickSetup draws the ground-truth blocker configuration. Firefox/Chrome run
+// Adblock Plus at ~30% (§6.2); Safari and IE far less (installing there "is
+// a bit more cumbersome"); §6.3: most ABP users skip EasyPrivacy (~85%)
+// and keep acceptable ads on (~80%).
+func pickSetup(rng *rand.Rand, fam useragent.Family) BlockerSetup {
+	var pABP float64
+	switch fam {
+	case useragent.Firefox, useragent.Chrome:
+		pABP = 0.35
+	case useragent.Safari:
+		pABP = 0.12
+	case useragent.IE:
+		pABP = 0.06
+	}
+	r := rng.Float64()
+	if r < pABP {
+		hasEP := rng.Float64() < 0.15
+		optedOutAA := rng.Float64() < 0.18
+		switch {
+		case hasEP && optedOutAA:
+			return SetupABPParanoia
+		case hasEP:
+			return SetupABPPrivacy
+		case optedOutAA:
+			return SetupABPNoAA
+		default:
+			return SetupABPDefault
+		}
+	}
+	if r < pABP+0.02 {
+		return SetupGhostery
+	}
+	return SetupNone
+}
+
+// newBrowserDevice assembles a browsing device.
+func newBrowserDevice(opt Options, ip uint32, fam useragent.Family, setup BlockerSetup, kind deviceKind, seed int64, h int, rng *rand.Rand) *device {
+	ua := useragent.Synthesize(fam, int(seed%97))
+	d := &device{kind: kind}
+	cfg := browser.Config{
+		World: opt.World, UserAgent: ua, ClientIP: ip, Emit: d.emit(),
+		Seed: seed, FirstPort: uint16(20000 + rng.Intn(30000)),
+	}
+	bn := opt.World.Bundle
+	// A slice of ad-block users whitelists a favorite site or two when
+	// asked ("please disable your blocker") — one of the §10 biases the 5%
+	// threshold absorbs.
+	if setup.Blocks() && rng.Float64() < 0.20 {
+		for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+			site := opt.World.Sites[rng.Intn(len(opt.World.Sites))]
+			cfg.SiteWhitelist = append(cfg.SiteWhitelist, site.Host())
+		}
+	}
+	switch setup {
+	case SetupABPDefault:
+		cfg.CustomLists = []*abp.FilterList{bn.EasyList, bn.Acceptable}
+	case SetupABPNoAA:
+		cfg.CustomLists = []*abp.FilterList{bn.EasyList}
+	case SetupABPPrivacy:
+		cfg.CustomLists = []*abp.FilterList{bn.EasyList, bn.EasyPrivacy, bn.Acceptable}
+	case SetupABPParanoia:
+		cfg.CustomLists = []*abp.FilterList{bn.EasyList, bn.EasyPrivacy}
+	case SetupGhostery:
+		cfg.Profile = browser.GhosteryParanoia
+	default:
+		cfg.Profile = browser.Vanilla
+	}
+	br := browser.New(cfg)
+	// Pre-seed subscription ages so list updates spread over the capture
+	// window instead of all firing at the first event.
+	preSeedSubscriptions(br, opt.Start, rng)
+
+	flat := 0.0
+	activity := 0.3 + rng.ExpFloat64()*0.7
+	if setup.Blocks() {
+		flat = 0.55 // ad-block users browse with a flatter diurnal profile
+		// Ad-block adopters skew toward heavy users; without this the
+		// active-user cut under-samples them (blocking already removes
+		// ~20% of their requests).
+		activity *= 1.4
+	}
+	if activity > 4 {
+		activity = 4
+	}
+	d.gt = GroundTruth{ClientIP: ip, UserAgent: ua, Family: fam, Setup: setup, Household: h}
+	d.br = br
+	d.activity = activity
+	d.flatness = flat
+	d.catBias = pickBias(rng, kind)
+	// A slice of the population browses mostly ad-light destinations —
+	// these drive Table 3's type-D class (low ad ratio without any blocker:
+	// "requested content from sites with few advertisements").
+	if setup == SetupNone && rng.Float64() < 0.14 {
+		d.lowAdAffinity = true
+	}
+	return d
+}
+
+// preSeedSubscriptions back-dates list fetches uniformly within each list's
+// expiry window, so a 15.5h trace sees the realistic fraction of updates.
+func preSeedSubscriptions(br *browser.Browser, start time.Time, rng *rand.Rand) {
+	br.BackdateSubscriptions(start, rng.Float64())
+}
+
+func pickBias(rng *rand.Rand, kind deviceKind) webgen.Category {
+	if kind == kindMobile {
+		if rng.Float64() < 0.5 {
+			return webgen.CatSocial
+		}
+	}
+	cats := []webgen.Category{webgen.CatNews, webgen.CatVideo, webgen.CatShopping,
+		webgen.CatSocial, webgen.CatMixed, webgen.CatTech, ""}
+	return cats[rng.Intn(len(cats))]
+}
+
+// newNonBrowserDevice assembles an app/console/TV device.
+func newNonBrowserDevice(opt Options, ip uint32, kind deviceKind, seed int64, h int, rng *rand.Rand) *device {
+	var fam useragent.Family
+	switch kind {
+	case kindConsole:
+		fam = useragent.Console
+	case kindSmartTV:
+		fam = useragent.SmartTV
+	default:
+		fam = useragent.AppOther
+	}
+	ua := useragent.Synthesize(fam, int(seed%89))
+	d := &device{kind: kind}
+	cfg := browser.Config{
+		World: opt.World, Profile: browser.Vanilla, UserAgent: ua, ClientIP: ip,
+		Emit: d.emit(), Seed: seed, FirstPort: uint16(20000 + rng.Intn(30000)),
+	}
+	d.gt = GroundTruth{ClientIP: ip, UserAgent: ua, Family: fam, Setup: SetupNone, Household: h}
+	d.br = browser.New(cfg)
+	d.activity = 0.2 + rng.Float64()*1.2
+	d.flatness = 0.8 // background chatter is nearly diurnal-flat
+	return d
+}
+
+// runDevice schedules and executes the device's events over the window.
+func runDevice(opt Options, d *device, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	events := scheduleEvents(opt, d, rng)
+	pages := 0
+	var lastEnd int64
+	for _, ev := range events {
+		t := ev
+		if t < lastEnd {
+			t = lastEnd + int64(rng.Int63n(2e9))
+		}
+		if d.kind == kindDesktop || d.kind == kindMobile {
+			if _, err := d.br.MaybeUpdateLists(t); err != nil {
+				return pages, err
+			}
+			site := pickSiteFor(opt.World, d, rng)
+			res, err := d.br.LoadPage(t, site, rng.Intn(200))
+			if err != nil {
+				return pages, err
+			}
+			pages++
+			lastEnd = res.End
+		} else {
+			end, err := nonBrowserBurst(opt, d, t, rng)
+			if err != nil {
+				return pages, err
+			}
+			lastEnd = end
+		}
+	}
+	d.br.CloseConnections(lastEnd + 1e9)
+	return pages, nil
+}
+
+// scheduleEvents draws event times from the inhomogeneous Poisson process
+// defined by the diurnal curve.
+func scheduleEvents(opt Options, d *device, rng *rand.Rand) []int64 {
+	var out []int64
+	hours := int(opt.Duration.Hours())
+	if hours == 0 {
+		hours = 1
+	}
+	perHour := opt.PagesPerHour * d.activity
+	if d.kind == kindMobile {
+		perHour *= 0.6
+	}
+	if d.kind == kindApp {
+		perHour *= 0.8
+	}
+	for hb := 0; hb < hours; hb++ {
+		t0 := opt.Start.Add(time.Duration(hb) * time.Hour)
+		lambda := perHour * Activity(t0, d.flatness)
+		n := poisson(rng, lambda)
+		for i := 0; i < n; i++ {
+			out = append(out, t0.UnixNano()+rng.Int63n(int64(time.Hour)))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for p > l {
+		k++
+		p *= rng.Float64()
+	}
+	return k - 1
+}
+
+// pickSiteFor draws a site honoring the device's category bias.
+func pickSiteFor(w *webgen.World, d *device, rng *rand.Rand) *webgen.Site {
+	if d.lowAdAffinity && rng.Float64() < 0.85 {
+		if s := pickNoAdsSite(w, rng); s != nil {
+			return s
+		}
+	}
+	if d.catBias != "" && rng.Float64() < 0.5 {
+		sites := w.SitesByCategory(d.catBias)
+		if len(sites) > 0 {
+			// Prefer the popular end of the category.
+			i := int(float64(len(sites)) * math.Pow(rng.Float64(), 2))
+			if i >= len(sites) {
+				i = len(sites) - 1
+			}
+			return sites[i]
+		}
+	}
+	return w.PickSite(rng)
+}
+
+// pickNoAdsSite draws among the catalog's ad-free sites, nil when none.
+func pickNoAdsSite(w *webgen.World, rng *rand.Rand) *webgen.Site {
+	for tries := 0; tries < 16; tries++ {
+		s := w.PickSite(rng)
+		if s.NoAds {
+			return s
+		}
+	}
+	for _, s := range w.Sites {
+		if s.NoAds {
+			return s
+		}
+	}
+	return nil
+}
+
+// nonBrowserBurst emits the HTTP chatter of a non-browser device: API polls
+// for apps, update downloads for consoles, media chunks for smart TVs.
+func nonBrowserBurst(opt Options, d *device, t int64, rng *rand.Rand) (int64, error) {
+	w := opt.World
+	site := w.Sites[rng.Intn(len(w.Sites))]
+	var objs []*webgen.Object
+	switch d.kind {
+	case kindConsole:
+		objs = append(objs, &webgen.Object{
+			URL:   fmt.Sprintf("http://static.%s/data/pkg%05d", site.Domain, rng.Intn(99999)),
+			Class: urlutil.ClassOther, MIME: "",
+			Size: 1_000_000 + rng.Int63n(20_000_000), Kind: webgen.KindContent,
+			ThinkTime: 2e6,
+		})
+	case kindSmartTV:
+		for i := 0; i < 3+rng.Intn(6); i++ {
+			objs = append(objs, &webgen.Object{
+				URL:   fmt.Sprintf("http://media.%s/chunks/%06x/%03d.mp4", site.Domain, rng.Int31(), i),
+				Class: urlutil.ClassMedia, MIME: "video/mp4",
+				Size: 200_000 + rng.Int63n(800_000), Kind: webgen.KindContent,
+				ThinkTime: 3e6,
+			})
+		}
+	default: // app chatter
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			objs = append(objs, &webgen.Object{
+				URL:   fmt.Sprintf("http://www.%s/api/sync?device=%08x&seq=%d", site.Domain, rng.Int31(), i),
+				Class: urlutil.ClassXHR, MIME: "application/json",
+				Size: 200 + rng.Int63n(4000), Kind: webgen.KindContent,
+				ThinkTime: 8e6,
+			})
+		}
+		// A few apps fetch in-app ads over HTTP; most do not. Mobile in-app
+		// ads are out of the paper's scope but present in the trace mix.
+		if rng.Float64() < 0.10 {
+			comps := w.Companies
+			c := comps[rng.Intn(len(comps))]
+			objs = append(objs, &webgen.Object{
+				URL:   fmt.Sprintf("http://%s/ads/inapp?sdk=%d", c.Domains[0], rng.Intn(9)),
+				Class: urlutil.ClassXHR, MIME: "application/json",
+				Size: 500 + rng.Int63n(5000), Kind: webgen.KindAd, Company: c,
+				ThinkTime: 15e6,
+			})
+		}
+	}
+	end := t
+	for _, o := range objs {
+		e, err := d.br.FetchObject(t, o)
+		if err != nil {
+			return end, err
+		}
+		if e > end {
+			end = e
+		}
+		t += 50e6
+	}
+	return end, nil
+}

@@ -1,0 +1,265 @@
+package rbn
+
+import (
+	"testing"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/analyzer"
+	"adscape/internal/useragent"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+func testWorld(t *testing.T) *webgen.World {
+	t.Helper()
+	opt := webgen.DefaultOptions()
+	opt.NumSites = 100
+	opt.ListOptions.ExtraGenericRules = 30
+	w, err := webgen.NewWorld(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func smallOptions(w *webgen.World, households int, hours int) Options {
+	return Options{
+		World: w, Name: "test",
+		Households: households,
+		Start:      time.Date(2015, 8, 11, 15, 30, 0, 0, time.UTC),
+		Duration:   time.Duration(hours) * time.Hour,
+		Seed:       99, AnonKey: []byte("test-key"), PagesPerHour: 4,
+	}
+}
+
+func TestSimulateSmall(t *testing.T) {
+	w := testWorld(t)
+	col := &analyzer.Collector{}
+	an := analyzer.New(col)
+	res, err := Simulate(smallOptions(w, 8, 3), func(p *wire.Packet) error {
+		an.Add(p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.Finish()
+	if res.Packets == 0 || res.Pages == 0 {
+		t.Fatalf("empty simulation: %+v", res)
+	}
+	if len(col.Transactions) == 0 {
+		t.Fatal("no HTTP transactions recovered")
+	}
+	if len(res.Devices) < 8*2 {
+		t.Errorf("device population too small: %d", len(res.Devices))
+	}
+	// Ground truth keys must appear in the trace.
+	seen := map[string]bool{}
+	for _, tx := range col.Transactions {
+		seen[tx.UserAgent] = true
+	}
+	matched := 0
+	for _, d := range res.Devices {
+		if seen[d.UserAgent] {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Error("no ground-truth device appears in the trace")
+	}
+}
+
+func TestPopulationComposition(t *testing.T) {
+	w := testWorld(t)
+	res, err := Simulate(smallOptions(w, 120, 1), func(*wire.Packet) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	setups := map[BlockerSetup]int{}
+	fams := map[useragent.Family]int{}
+	desktops := 0
+	for _, d := range res.Devices {
+		setups[d.Setup]++
+		fams[d.Family]++
+		if d.Family == useragent.Firefox || d.Family == useragent.Chrome ||
+			d.Family == useragent.IE || d.Family == useragent.Safari {
+			desktops++
+		}
+	}
+	if setups[SetupABPDefault] == 0 {
+		t.Error("population must include default ABP installs")
+	}
+	abp := setups[SetupABPDefault] + setups[SetupABPNoAA] + setups[SetupABPPrivacy] + setups[SetupABPParanoia]
+	share := float64(abp) / float64(desktops)
+	if share < 0.10 || share > 0.45 {
+		t.Errorf("desktop ABP share = %.2f, want ~0.2-0.3", share)
+	}
+	// Most ABP users run the default config (§6.3).
+	if setups[SetupABPDefault] < setups[SetupABPPrivacy] || setups[SetupABPDefault] < setups[SetupABPParanoia] {
+		t.Errorf("default config must dominate: %v", setups)
+	}
+	if fams[useragent.AppOther] == 0 {
+		t.Error("households must run background apps")
+	}
+	if fams[useragent.MobileAny] == 0 {
+		t.Error("households must have mobile devices")
+	}
+}
+
+func TestAnonymizationApplied(t *testing.T) {
+	w := testWorld(t)
+	var clientIPs []uint32
+	res, err := Simulate(smallOptions(w, 5, 1), func(p *wire.Packet) error {
+		if p.SrcPort >= 20000 && p.SrcPort < 50001 && p.DstPort == 80 {
+			clientIPs = append(clientIPs, p.SrcIP)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := map[uint32]bool{}
+	for _, d := range res.Devices {
+		gt[d.ClientIP] = true
+	}
+	for _, ip := range clientIPs {
+		if !gt[ip] {
+			t.Fatal("packet client IP not in ground truth (anonymization mismatch)")
+		}
+	}
+	// The anonymized addresses must NOT be inside the raw eyeball prefix
+	// (172.16/12) with overwhelming probability — check a few high bits
+	// changed for at least one address.
+	changed := false
+	for ip := range gt {
+		if ip>>28 != 0xA || true {
+			// crude: raw eyeball is 172.16/12 = 0xAC1xxxxx
+			if ip>>20 != 0xAC1 {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("anonymization appears to be the identity mapping")
+	}
+}
+
+func TestAdblockersReduceAdRequests(t *testing.T) {
+	w := testWorld(t)
+	col := &analyzer.Collector{}
+	an := analyzer.New(col)
+	res, err := Simulate(smallOptions(w, 25, 2), func(p *wire.Packet) error {
+		an.Add(p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.Finish()
+
+	// Classify with the measurement engine and compare ad ratios of
+	// ground-truth blocker users vs vanilla users.
+	engine := w.Bundle.ClassifierEngine()
+	setupByKey := map[string]BlockerSetup{}
+	famByKey := map[string]useragent.Family{}
+	for _, d := range res.Devices {
+		key := string(rune(d.ClientIP)) + d.UserAgent
+		setupByKey[key] = d.Setup
+		famByKey[key] = d.Family
+	}
+	adReq := map[bool][2]int{} // blocks? -> {ads, total}
+	for _, tx := range col.Transactions {
+		key := string(rune(tx.ClientIP)) + tx.UserAgent
+		fam, ok := famByKey[key]
+		if !ok || !(fam == useragent.Firefox || fam == useragent.Chrome || fam == useragent.Safari || fam == useragent.IE) {
+			continue
+		}
+		blocks := setupByKey[key].Blocks()
+		c := adReq[blocks]
+		v := engine.Classify(&abp.Request{URL: tx.URL()})
+		if v.IsAd() {
+			c[0]++
+		}
+		c[1]++
+		adReq[blocks] = c
+	}
+	b, v := adReq[true], adReq[false]
+	if v[1] == 0 {
+		t.Fatal("no vanilla desktop traffic")
+	}
+	vanillaRatio := float64(v[0]) / float64(v[1])
+	if vanillaRatio < 0.05 {
+		t.Errorf("vanilla ad ratio %.3f implausibly low", vanillaRatio)
+	}
+	if b[1] > 0 {
+		blockerRatio := float64(b[0]) / float64(b[1])
+		if blockerRatio >= vanillaRatio {
+			t.Errorf("blocker users' ad ratio %.3f ≥ vanilla %.3f", blockerRatio, vanillaRatio)
+		}
+	}
+}
+
+func TestListUpdateFlowsPresent(t *testing.T) {
+	w := testWorld(t)
+	col := &analyzer.Collector{}
+	an := analyzer.New(col)
+	opt := smallOptions(w, 60, 6)
+	if _, err := Simulate(opt, func(p *wire.Packet) error { an.Add(p); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	an.Finish()
+	abpIPs := map[uint32]bool{}
+	for _, ip := range w.AdblockServerIPs {
+		abpIPs[ip] = true
+	}
+	updates := 0
+	for _, f := range col.Flows {
+		if abpIPs[f.ServerIP] {
+			updates++
+		}
+	}
+	if updates == 0 {
+		t.Error("a 6h window over 60 households should show some list updates")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	w := testWorld(t)
+	o1, err := Preset("rbn1", w, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Households != 8 || o1.Duration != 96*time.Hour {
+		t.Errorf("rbn1 preset: %+v", o1)
+	}
+	if o1.Start.Weekday() != time.Saturday {
+		t.Error("rbn1 must start on a Saturday (Fig 5 weekday labels)")
+	}
+	o2, err := Preset("rbn2", w, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Households != 20 {
+		t.Errorf("rbn2 households = %d", o2.Households)
+	}
+	if _, err := Preset("nope", w, 1); err == nil {
+		t.Error("unknown preset must error")
+	}
+}
+
+func TestDiurnalCurve(t *testing.T) {
+	peak := Activity(time.Date(2015, 4, 13, 20, 0, 0, 0, time.UTC), 0) // Monday 20:00
+	night := Activity(time.Date(2015, 4, 13, 4, 0, 0, 0, time.UTC), 0)
+	if peak <= night*3 {
+		t.Errorf("peak %.2f vs night %.2f: diurnal swing too small", peak, night)
+	}
+	sat := Activity(time.Date(2015, 4, 11, 20, 0, 0, 0, time.UTC), 0)
+	if sat >= peak {
+		t.Error("Saturday must be quieter than Monday")
+	}
+	flat := Activity(time.Date(2015, 4, 13, 4, 0, 0, 0, time.UTC), 1)
+	if flat < 0.5 {
+		t.Errorf("fully flat profile should be ~0.55, got %.2f", flat)
+	}
+}

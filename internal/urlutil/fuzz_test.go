@@ -1,0 +1,58 @@
+package urlutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSplit: arbitrary dirty header data must never panic and must keep the
+// decomposition self-consistent.
+func FuzzSplit(f *testing.F) {
+	for _, s := range []string{
+		"http://example.com/a/b?x=1",
+		"//cdn.example/x", ":::", "http://", "?", "#", "a:b:c//",
+		"http://[::1]:80/x", "http://h:99999/x",
+		strings.Repeat("/", 200),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		scheme, host, port, path, query := Split(raw)
+		if host != strings.ToLower(host) {
+			t.Fatalf("host not lower-cased: %q", host)
+		}
+		if scheme != strings.ToLower(scheme) {
+			t.Fatalf("scheme not lower-cased: %q", scheme)
+		}
+		if path == "" {
+			t.Fatal("path must never be empty (defaults to /)")
+		}
+		for i := 0; i < len(port); i++ {
+			if port[i] < '0' || port[i] > '9' {
+				t.Fatalf("non-numeric port %q", port)
+			}
+		}
+		_ = query
+		// Derived helpers must not panic either.
+		RegisteredDomain(host)
+		ClassFromExtension(path)
+		ExtractEmbeddedURLs(raw)
+		TruncateToFQDN(raw)
+	})
+}
+
+// FuzzNormalizer: normalization must be panic-free and idempotent for any
+// input, with or without rule-protected pairs.
+func FuzzNormalizer(f *testing.F) {
+	f.Add("a=1&b=deadbeefdeadbeef&c", "@@*jsp?callback=keep*")
+	f.Add("", "")
+	f.Add("x=http%3A%2F%2Fa.example%2Fb", "||x.example^$script")
+	f.Fuzz(func(t *testing.T, query, rule string) {
+		n := NewNormalizer([]string{rule})
+		once := n.NormalizeQuery(query)
+		twice := n.NormalizeQuery(once)
+		if once != twice {
+			t.Fatalf("normalization not idempotent: %q -> %q -> %q", query, once, twice)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package urlutil
+
+import (
+	"sort"
+	"strings"
+)
+
+// Normalizer rewrites dynamic query-string values to a placeholder so that
+// fragments of earlier URLs carried in later query strings do not trigger
+// spurious filter matches (§3.1 "Base URL"). Values whose key=value pairs
+// appear verbatim in any filter rule are preserved, because rules such as
+// "@@*jsp?callback=aslHandleAds*" match on specific values and would stop
+// matching after normalization.
+type Normalizer struct {
+	// preserved holds "key=value" strings that occur in filter rule text and
+	// must survive normalization.
+	preserved map[string]bool
+	// preservedKeys holds keys that occur in rules with a wildcard value.
+	preservedKeys map[string]bool
+}
+
+// Placeholder is the value substituted for dynamic query-string parameters.
+const Placeholder = "X"
+
+// NewNormalizer builds a Normalizer from the raw text of all loaded filter
+// rules. It scans each rule for key=value fragments and records them so that
+// normalization never rewrites a pair a rule could match on.
+func NewNormalizer(ruleTexts []string) *Normalizer {
+	n := &Normalizer{
+		preserved:     make(map[string]bool),
+		preservedKeys: make(map[string]bool),
+	}
+	for _, rule := range ruleTexts {
+		// Strip the options suffix: "$domain=..." option values are not
+		// query-string pairs.
+		body := rule
+		if i := strings.LastIndexByte(body, '$'); i > 0 {
+			body = body[:i]
+		}
+		for _, frag := range splitRuleFragments(body) {
+			eq := strings.IndexByte(frag, '=')
+			if eq <= 0 {
+				continue
+			}
+			key, val := frag[:eq], frag[eq+1:]
+			if val == "" || strings.ContainsAny(key, "/?&") {
+				continue
+			}
+			if strings.ContainsAny(val, "*^|") {
+				n.preservedKeys[key] = true
+			} else {
+				n.preserved[key+"="+val] = true
+			}
+		}
+	}
+	return n
+}
+
+// splitRuleFragments cuts a filter body at wildcard and separator
+// metacharacters, yielding literal fragments.
+func splitRuleFragments(body string) []string {
+	return strings.FieldsFunc(body, func(r rune) bool {
+		switch r {
+		case '*', '^', '|', '?', '&':
+			return true
+		}
+		return false
+	})
+}
+
+// NormalizeQuery rewrites the query string, substituting Placeholder for each
+// value that is (a) not preserved by a filter rule and (b) looks dynamic:
+// long, numeric, hex-like, or containing an embedded URL. Keys are kept, and
+// pair order is preserved.
+func (n *Normalizer) NormalizeQuery(query string) string {
+	if query == "" {
+		return ""
+	}
+	pairs := strings.Split(query, "&")
+	changed := false
+	for i, p := range pairs {
+		eq := strings.IndexByte(p, '=')
+		if eq < 0 {
+			continue
+		}
+		key, val := p[:eq], p[eq+1:]
+		if val == "" || val == Placeholder {
+			continue
+		}
+		if n != nil && (n.preserved[key+"="+val] || n.preservedKeys[key]) {
+			continue
+		}
+		if isDynamicValue(val) {
+			pairs[i] = key + "=" + Placeholder
+			changed = true
+		}
+	}
+	if !changed {
+		return query
+	}
+	return strings.Join(pairs, "&")
+}
+
+// NormalizeURL applies NormalizeQuery to the query component of raw,
+// returning raw unchanged when it has no query string.
+func (n *Normalizer) NormalizeURL(raw string) string {
+	i := strings.IndexByte(raw, '?')
+	if i < 0 {
+		return raw
+	}
+	norm := n.NormalizeQuery(raw[i+1:])
+	if norm == raw[i+1:] {
+		return raw
+	}
+	return raw[:i+1] + norm
+}
+
+// isDynamicValue reports whether a query value looks like session state:
+// embedded URLs, long opaque blobs, timestamps, or hex identifiers.
+func isDynamicValue(val string) bool {
+	if strings.Contains(val, "%2F") || strings.Contains(val, "%2f") ||
+		strings.Contains(val, "://") || strings.Contains(val, "%3A") ||
+		strings.Contains(val, "%3a") {
+		return true
+	}
+	if len(val) >= 16 {
+		return true
+	}
+	if len(val) >= 8 && isHexLike(val) {
+		return true
+	}
+	if isDigits(val) && len(val) >= 6 { // unix timestamps, cache busters
+		return true
+	}
+	return false
+}
+
+func isHexLike(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'f':
+		case c >= 'A' && c <= 'F':
+		case c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// PreservedPairs returns the key=value pairs protected from normalization,
+// sorted for deterministic inspection in tests and diagnostics.
+func (n *Normalizer) PreservedPairs() []string {
+	out := make([]string, 0, len(n.preserved))
+	for p := range n.preserved {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

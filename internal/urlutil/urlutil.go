@@ -1,0 +1,318 @@
+// Package urlutil provides URL decomposition helpers shared by the filter
+// engine, the page-metadata reconstruction, and the trace analyzers.
+//
+// The helpers operate on the URL forms that appear in HTTP header traces:
+// absolute URLs ("http://host/path?query"), scheme-relative URLs
+// ("//host/path"), and host+URI pairs as logged by the HTTP analyzer. They
+// intentionally avoid net/url's strict parsing for the hot paths because
+// header traces contain malformed URLs that a measurement pipeline must
+// tolerate rather than reject.
+package urlutil
+
+import (
+	"strings"
+)
+
+// Split decomposes a raw URL into scheme, host (without port), port, path and
+// query. Missing components are returned empty. Split never fails: malformed
+// input yields a best-effort decomposition, mirroring how passive-measurement
+// toolchains treat dirty header data.
+func Split(raw string) (scheme, host, port, path, query string) {
+	rest := raw
+	if i := strings.Index(rest, "://"); i >= 0 {
+		scheme = strings.ToLower(rest[:i])
+		rest = rest[i+3:]
+	} else if strings.HasPrefix(rest, "//") {
+		rest = rest[2:]
+	}
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = rest[:i]
+	}
+	hostport := rest
+	if i := strings.IndexAny(rest, "/?"); i >= 0 {
+		hostport = rest[:i]
+		if rest[i] == '/' {
+			rest = rest[i:]
+		} else {
+			rest = "/" + rest[i:] // bare "host?query"
+		}
+	} else {
+		rest = "/"
+	}
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		path, query = rest[:i], rest[i+1:]
+	} else {
+		path = rest
+	}
+	host = hostport
+	if i := strings.LastIndexByte(hostport, ':'); i >= 0 && !strings.Contains(hostport, "]") {
+		maybePort := hostport[i+1:]
+		if isDigits(maybePort) {
+			host, port = hostport[:i], maybePort
+		}
+	}
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	return scheme, host, port, path, query
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Host returns the lower-cased host component of a raw URL.
+func Host(raw string) string {
+	_, h, _, _, _ := Split(raw)
+	return h
+}
+
+// Path returns the path component of a raw URL.
+func Path(raw string) string {
+	_, _, _, p, _ := Split(raw)
+	return p
+}
+
+// canonical multi-label public suffixes that matter for 2LD extraction in
+// European ISP traces. A full public-suffix list is unnecessary for the
+// synthetic web: the generator only emits hosts under these suffixes or
+// plain gTLDs.
+var multiLabelSuffixes = map[string]bool{
+	"co.uk": true, "ac.uk": true, "gov.uk": true,
+	"com.au": true, "net.au": true,
+	"co.jp": true, "ne.jp": true,
+	"com.br": true, "com.cn": true,
+}
+
+// RegisteredDomain returns the registrable ("2LD") domain of host: the public
+// suffix plus one label. It returns host unchanged when host has too few
+// labels or is an IP literal.
+func RegisteredDomain(host string) string {
+	if host == "" || isIPLiteral(host) {
+		return host
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	suffix2 := strings.Join(labels[len(labels)-2:], ".")
+	if multiLabelSuffixes[suffix2] {
+		if len(labels) < 3 {
+			return host
+		}
+		return strings.Join(labels[len(labels)-3:], ".")
+	}
+	return suffix2
+}
+
+func isIPLiteral(host string) bool {
+	if strings.HasPrefix(host, "[") {
+		return true
+	}
+	dots := 0
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		switch {
+		case c == '.':
+			dots++
+		case c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return dots == 3
+}
+
+// SameRegisteredDomain reports whether two hosts share a registrable domain.
+// It is the third-party test used by $third-party filter options.
+func SameRegisteredDomain(a, b string) bool {
+	if a == "" || b == "" {
+		return false
+	}
+	return RegisteredDomain(a) == RegisteredDomain(b)
+}
+
+// IsSubdomainOf reports whether host equals domain or ends with "."+domain.
+func IsSubdomainOf(host, domain string) bool {
+	if host == domain {
+		return true
+	}
+	return len(host) > len(domain) && strings.HasSuffix(host, domain) &&
+		host[len(host)-len(domain)-1] == '.'
+}
+
+// ContentClass is the coarse object category that Adblock Plus filters use
+// in $-type options and that the paper's methodology infers per request.
+type ContentClass string
+
+// Content classes understood by the classification pipeline. They mirror the
+// type options of the Adblock Plus filter language that are observable from
+// header traces.
+const (
+	ClassDocument   ContentClass = "document"
+	ClassScript     ContentClass = "script"
+	ClassStylesheet ContentClass = "stylesheet"
+	ClassImage      ContentClass = "image"
+	ClassMedia      ContentClass = "media"
+	ClassObject     ContentClass = "object"
+	ClassXHR        ContentClass = "xmlhttprequest"
+	ClassOther      ContentClass = "other"
+	ClassUnknown    ContentClass = ""
+)
+
+// extType maps URL file extensions to content classes, following §3.1 of the
+// paper: .png/.gif/.jpg/.svg/.ico → image, .css → stylesheet, .js → script,
+// .mp4/.avi → media. We add the equally unambiguous .jpeg, .webm and .swf.
+var extType = map[string]ContentClass{
+	".png": ClassImage, ".gif": ClassImage, ".jpg": ClassImage,
+	".jpeg": ClassImage, ".svg": ClassImage, ".ico": ClassImage,
+	".css": ClassStylesheet,
+	".js":  ClassScript,
+	".mp4": ClassMedia, ".avi": ClassMedia, ".webm": ClassMedia,
+	".flv": ClassMedia,
+	".swf": ClassObject,
+	".htm": ClassDocument, ".html": ClassDocument,
+}
+
+// ClassFromExtension infers a content class from the file extension of the
+// URL path, returning ClassUnknown when the extension is absent or unmapped.
+func ClassFromExtension(path string) ContentClass {
+	i := strings.LastIndexByte(path, '.')
+	if i < 0 || strings.IndexByte(path[i:], '/') >= 0 {
+		return ClassUnknown
+	}
+	return extType[strings.ToLower(path[i:])]
+}
+
+// ClassFromMIME maps a MIME type from a Content-Type header to a content
+// class. Parameters (";charset=...") are ignored. Unknown MIME types map to
+// ClassOther; an empty value maps to ClassUnknown.
+func ClassFromMIME(mime string) ContentClass {
+	mime = strings.ToLower(strings.TrimSpace(mime))
+	if i := strings.IndexByte(mime, ';'); i >= 0 {
+		mime = strings.TrimSpace(mime[:i])
+	}
+	switch {
+	case mime == "":
+		return ClassUnknown
+	case strings.HasPrefix(mime, "image/"):
+		return ClassImage
+	case strings.HasPrefix(mime, "video/") || strings.HasPrefix(mime, "audio/"):
+		return ClassMedia
+	case mime == "text/css":
+		return ClassStylesheet
+	case mime == "text/javascript" || mime == "application/javascript" ||
+		mime == "application/x-javascript" || mime == "text/x-c":
+		return ClassScript
+	case mime == "text/html" || mime == "application/xhtml+xml":
+		return ClassDocument
+	case mime == "application/x-shockwave-flash":
+		return ClassObject
+	case mime == "application/json" || mime == "application/xml" ||
+		mime == "text/xml" || mime == "text/plain":
+		return ClassXHR
+	default:
+		return ClassOther
+	}
+}
+
+// ExtractEmbeddedURLs returns URLs embedded inside the query string or path
+// of raw, e.g. redirect targets in "?url=http%3A%2F%2Fads.example%2Fx".
+// Both percent-encoded and literal forms are recognized. The paper inserts
+// these embedded URLs into the referrer map (§3.1).
+func ExtractEmbeddedURLs(raw string) []string {
+	var out []string
+	s := raw
+	// Skip the URL's own scheme marker so we only find *embedded* ones.
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	for _, marker := range []string{"http%3a%2f%2f", "http%3A%2F%2F", "https%3a%2f%2f", "https%3A%2F%2F"} {
+		rest := s
+		for {
+			i := strings.Index(rest, marker)
+			if i < 0 {
+				break
+			}
+			enc := rest[i:]
+			if j := strings.IndexAny(enc, "&;\"' "); j >= 0 {
+				enc = enc[:j]
+			}
+			if dec, ok := percentDecode(enc); ok {
+				out = append(out, dec)
+			}
+			rest = rest[i+len(marker):]
+		}
+	}
+	for _, marker := range []string{"http://", "https://"} {
+		rest := s
+		for {
+			i := strings.Index(rest, marker)
+			if i < 0 {
+				break
+			}
+			u := rest[i:]
+			if j := strings.IndexAny(u, "&;\"' "); j >= 0 {
+				u = u[:j]
+			}
+			if Host(u) != "" {
+				out = append(out, u)
+			}
+			rest = rest[i+len(marker):]
+		}
+	}
+	return out
+}
+
+func percentDecode(s string) (string, bool) {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' {
+			if i+2 >= len(s) {
+				return "", false
+			}
+			hi, ok1 := hexVal(s[i+1])
+			lo, ok2 := hexVal(s[i+2])
+			if !ok1 || !ok2 {
+				return "", false
+			}
+			b.WriteByte(hi<<4 | lo)
+			i += 2
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// TruncateToFQDN reduces a URL to scheme://host/, the privacy-preserving form
+// the paper stores after classification completes (§5).
+func TruncateToFQDN(raw string) string {
+	scheme, host, _, _, _ := Split(raw)
+	if scheme == "" {
+		scheme = "http"
+	}
+	if host == "" {
+		return ""
+	}
+	return scheme + "://" + host + "/"
+}

@@ -1,0 +1,227 @@
+package urlutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplit(t *testing.T) {
+	tests := []struct {
+		raw                             string
+		scheme, host, port, path, query string
+	}{
+		{"http://example.com/a/b?x=1", "http", "example.com", "", "/a/b", "x=1"},
+		{"https://Ads.Example.COM:8443/p?q=2", "https", "ads.example.com", "8443", "/p", "q=2"},
+		{"//cdn.example.net/lib.js", "", "cdn.example.net", "", "/lib.js", ""},
+		{"example.com", "", "example.com", "", "/", ""},
+		{"http://example.com", "http", "example.com", "", "/", ""},
+		{"http://example.com?x=1", "http", "example.com", "", "/", "x=1"},
+		{"http://example.com/a#frag", "http", "example.com", "", "/a", ""},
+		{"http://example.com./a", "http", "example.com", "", "/a", ""},
+		{"http://10.0.0.1:8080/t.gif", "http", "10.0.0.1", "8080", "/t.gif", ""},
+		{"", "", "", "", "/", ""},
+		{"http://h/p?a=1&b=2#f", "http", "h", "", "/p", "a=1&b=2"},
+	}
+	for _, tt := range tests {
+		scheme, host, port, path, query := Split(tt.raw)
+		if scheme != tt.scheme || host != tt.host || port != tt.port || path != tt.path || query != tt.query {
+			t.Errorf("Split(%q) = (%q,%q,%q,%q,%q), want (%q,%q,%q,%q,%q)",
+				tt.raw, scheme, host, port, path, query,
+				tt.scheme, tt.host, tt.port, tt.path, tt.query)
+		}
+	}
+}
+
+func TestRegisteredDomain(t *testing.T) {
+	tests := []struct{ host, want string }{
+		{"www.example.com", "example.com"},
+		{"example.com", "example.com"},
+		{"a.b.c.example.com", "example.com"},
+		{"news.bbc.co.uk", "bbc.co.uk"},
+		{"bbc.co.uk", "bbc.co.uk"},
+		{"co.uk", "co.uk"},
+		{"10.1.2.3", "10.1.2.3"},
+		{"localhost", "localhost"},
+		{"", ""},
+		{"ads.shop.com.au", "shop.com.au"},
+	}
+	for _, tt := range tests {
+		if got := RegisteredDomain(tt.host); got != tt.want {
+			t.Errorf("RegisteredDomain(%q) = %q, want %q", tt.host, got, tt.want)
+		}
+	}
+}
+
+func TestSameRegisteredDomain(t *testing.T) {
+	if !SameRegisteredDomain("www.example.com", "ads.example.com") {
+		t.Error("www/ads.example.com should share registered domain")
+	}
+	if SameRegisteredDomain("example.com", "example.org") {
+		t.Error("different TLDs must not match")
+	}
+	if SameRegisteredDomain("", "example.com") {
+		t.Error("empty host never matches")
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	tests := []struct {
+		host, domain string
+		want         bool
+	}{
+		{"a.example.com", "example.com", true},
+		{"example.com", "example.com", true},
+		{"badexample.com", "example.com", false},
+		{"example.com", "a.example.com", false},
+		{"x.y.example.com", "example.com", true},
+	}
+	for _, tt := range tests {
+		if got := IsSubdomainOf(tt.host, tt.domain); got != tt.want {
+			t.Errorf("IsSubdomainOf(%q,%q) = %v, want %v", tt.host, tt.domain, got, tt.want)
+		}
+	}
+}
+
+func TestClassFromExtension(t *testing.T) {
+	tests := []struct {
+		path string
+		want ContentClass
+	}{
+		{"/banner.gif", ClassImage},
+		{"/a/b/style.css", ClassStylesheet},
+		{"/ads.js", ClassScript},
+		{"/video/clip.mp4", ClassMedia},
+		{"/flash/ad.swf", ClassObject},
+		{"/index.html", ClassDocument},
+		{"/noext", ClassUnknown},
+		{"/dir.v2/file", ClassUnknown},
+		{"/UPPER.GIF", ClassImage},
+	}
+	for _, tt := range tests {
+		if got := ClassFromExtension(tt.path); got != tt.want {
+			t.Errorf("ClassFromExtension(%q) = %q, want %q", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestClassFromMIME(t *testing.T) {
+	tests := []struct {
+		mime string
+		want ContentClass
+	}{
+		{"image/gif", ClassImage},
+		{"image/png; charset=binary", ClassImage},
+		{"text/html", ClassDocument},
+		{"text/css", ClassStylesheet},
+		{"application/javascript", ClassScript},
+		{"text/x-c", ClassScript},
+		{"video/mp4", ClassMedia},
+		{"application/x-shockwave-flash", ClassObject},
+		{"text/plain", ClassXHR},
+		{"application/octet-stream", ClassOther},
+		{"", ClassUnknown},
+	}
+	for _, tt := range tests {
+		if got := ClassFromMIME(tt.mime); got != tt.want {
+			t.Errorf("ClassFromMIME(%q) = %q, want %q", tt.mime, got, tt.want)
+		}
+	}
+}
+
+func TestExtractEmbeddedURLs(t *testing.T) {
+	raw := "http://pub.example/redir?url=http%3A%2F%2Fads.example%2Fb.gif&x=1"
+	urls := ExtractEmbeddedURLs(raw)
+	if len(urls) != 1 || urls[0] != "http://ads.example/b.gif" {
+		t.Fatalf("ExtractEmbeddedURLs = %v", urls)
+	}
+	raw2 := "http://pub.example/r?to=https://t.example/p"
+	urls2 := ExtractEmbeddedURLs(raw2)
+	if len(urls2) != 1 || urls2[0] != "https://t.example/p" {
+		t.Fatalf("literal embedded URL: got %v", urls2)
+	}
+	if got := ExtractEmbeddedURLs("http://a.example/plain"); len(got) != 0 {
+		t.Fatalf("no embedded URLs expected, got %v", got)
+	}
+}
+
+func TestTruncateToFQDN(t *testing.T) {
+	if got := TruncateToFQDN("http://www.example.com/secret?user=1"); got != "http://www.example.com/" {
+		t.Errorf("TruncateToFQDN = %q", got)
+	}
+	if got := TruncateToFQDN("www.example.com/x"); got != "http://www.example.com/" {
+		t.Errorf("schemeless TruncateToFQDN = %q", got)
+	}
+	if got := TruncateToFQDN("/relative/only"); got != "" {
+		t.Errorf("no-host TruncateToFQDN = %q", got)
+	}
+}
+
+func TestNormalizerPreservesFilterValues(t *testing.T) {
+	n := NewNormalizer([]string{
+		"@@*jsp?callback=aslHandleAds*",
+		"||ads.example.com^$script",
+		"/banner?slot=topbanner123456",
+	})
+	q := "callback=aslHandleAds&sess=deadbeefdeadbeef"
+	got := n.NormalizeQuery(q)
+	if !strings.Contains(got, "callback=aslHandleAds") {
+		t.Errorf("filter-protected pair rewritten: %q", got)
+	}
+	if strings.Contains(got, "deadbeef") {
+		t.Errorf("dynamic hex value not rewritten: %q", got)
+	}
+}
+
+func TestNormalizerRewritesEmbeddedURL(t *testing.T) {
+	n := NewNormalizer(nil)
+	got := n.NormalizeURL("http://x.example/p?u=http%3A%2F%2Fprev.example%2Fad.gif")
+	if strings.Contains(got, "prev.example") {
+		t.Errorf("embedded URL survived normalization: %q", got)
+	}
+	if !strings.HasPrefix(got, "http://x.example/p?u=") {
+		t.Errorf("key structure damaged: %q", got)
+	}
+}
+
+func TestNormalizerIdempotent(t *testing.T) {
+	n := NewNormalizer([]string{"path?id=keepme"})
+	f := func(key, val string) bool {
+		key = sanitizeToken(key)
+		val = sanitizeToken(val)
+		if key == "" {
+			return true
+		}
+		q := key + "=" + val
+		once := n.NormalizeQuery(q)
+		twice := n.NormalizeQuery(once)
+		return once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitizeToken keeps quick-generated strings inside the query-token
+// alphabet so the property exercises the normalizer, not URL syntax errors.
+func sanitizeToken(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 24 {
+		return b.String()[:24]
+	}
+	return b.String()
+}
+
+func TestNormalizeQueryKeepsOrder(t *testing.T) {
+	n := NewNormalizer(nil)
+	got := n.NormalizeQuery("a=1&b=12345678901234567890&c=3")
+	want := "a=1&b=" + Placeholder + "&c=3"
+	if got != want {
+		t.Errorf("NormalizeQuery = %q, want %q", got, want)
+	}
+}

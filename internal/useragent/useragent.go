@@ -1,0 +1,167 @@
+// Package useragent synthesizes and parses HTTP User-Agent strings. The
+// paper separates devices behind NAT gateways by the (IP, User-Agent) pair
+// (§5, citing Maier et al.), and §6.1 manually annotates User-Agent strings
+// into desktop browsers, mobile browsers and non-browser applications. This
+// package provides both directions: the RBN simulator emits realistic UA
+// strings; the inference pipeline classifies them.
+package useragent
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Family is a browser or application family.
+type Family string
+
+// Families distinguished by the paper's Figure 4 and §6.1.
+const (
+	Firefox   Family = "Firefox"
+	Chrome    Family = "Chrome"
+	IE        Family = "IE"
+	Safari    Family = "Safari"
+	MobileAny Family = "Mobile" // any mobile browser (iPhone/Android)
+	AppOther  Family = "App"    // desktop games, update clients, media apps
+	Console   Family = "Console"
+	SmartTV   Family = "SmartTV"
+	Unknown   Family = "Unknown"
+)
+
+// DeviceClass groups families the way §6.1 does.
+type DeviceClass int
+
+// Device classes.
+const (
+	ClassDesktopBrowser DeviceClass = iota
+	ClassMobileBrowser
+	ClassNonBrowser
+)
+
+// Info is the parsed form of a User-Agent string.
+type Info struct {
+	Family  Family
+	Class   DeviceClass
+	OS      string
+	Version string
+}
+
+// IsBrowser reports whether the UA belongs to a Web browser (desktop or
+// mobile); only these enter the paper's ad-blocker analysis.
+func (i Info) IsBrowser() bool { return i.Class != ClassNonBrowser }
+
+// Synthesize renders a realistic UA string for a family. The variant index
+// varies minor version numbers so NAT-separated devices get distinct strings.
+func Synthesize(f Family, variant int) string {
+	switch f {
+	case Firefox:
+		v := 31 + variant%8
+		return fmt.Sprintf("Mozilla/5.0 (Windows NT 6.1; rv:%d.0) Gecko/20100101 Firefox/%d.0", v, v)
+	case Chrome:
+		v := 38 + variant%6
+		return fmt.Sprintf("Mozilla/5.0 (Windows NT 6.3) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%d.0.%d.%d Safari/537.36", v, 2100+variant%300, 80+variant%40)
+	case IE:
+		v := 9 + variant%3
+		return fmt.Sprintf("Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:%d.0) like Gecko", v)
+	case Safari:
+		return fmt.Sprintf("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_%d_%d) AppleWebKit/600.%d.%d (KHTML, like Gecko) Version/8.0.%d Safari/600.1.4", 9+variant%2, variant%6, 1+variant%4, 1+variant%9, variant%5)
+	case MobileAny:
+		if variant%2 == 0 {
+			return fmt.Sprintf("Mozilla/5.0 (iPhone; CPU iPhone OS 8_%d like Mac OS X) AppleWebKit/600.1.4 (KHTML, like Gecko) Version/8.0 Mobile/12A%d Safari/600.1.4", variant%5, 300+variant%90)
+		}
+		return fmt.Sprintf("Mozilla/5.0 (Linux; Android 4.%d; GT-I9%d0 Build/KOT49H) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%d.0.0.0 Mobile Safari/537.36", 1+variant%4, 30+variant%60, 38+variant%4)
+	case AppOther:
+		apps := []string{
+			"Valve/Steam HTTP Client 1.0",
+			"Microsoft-Delivery-Optimization/10.0",
+			"iTunes/12.%d (Windows; Microsoft Windows 7)",
+			"Spotify/1.0.%d Windows/6.1",
+			"UpdateAgent/3.%d (compatible)",
+			"WeatherWidget/2.%d",
+		}
+		a := apps[variant%len(apps)]
+		if strings.Contains(a, "%d") {
+			return fmt.Sprintf(a, variant%9)
+		}
+		return a
+	case Console:
+		if variant%2 == 0 {
+			return fmt.Sprintf("Mozilla/5.0 (PlayStation 4 2.%d) AppleWebKit/536.26", variant%6)
+		}
+		return "Mozilla/5.0 (Windows NT 6.2; ARM; Trident/7.0; Touch; rv:11.0; Xbox; Xbox One) like Gecko"
+	case SmartTV:
+		return fmt.Sprintf("Mozilla/5.0 (SMART-TV; Linux; Tizen 2.%d) AppleWebKit/538.1 (KHTML, like Gecko) TV Safari/538.1", variant%4)
+	default:
+		return "Mozilla/4.0 (compatible)"
+	}
+}
+
+// Parse classifies a User-Agent string into family, device class, and OS.
+// The precedence order matters: many UA strings contain several product
+// tokens ("Chrome ... Safari", "Android ... Chrome Mobile").
+func Parse(ua string) Info {
+	switch {
+	case ua == "":
+		return Info{Family: Unknown, Class: ClassNonBrowser}
+	case contains(ua, "SMART-TV", "SmartTV", "TV Safari"):
+		return Info{Family: SmartTV, Class: ClassNonBrowser, OS: "TV"}
+	case contains(ua, "PlayStation", "Xbox", "Nintendo"):
+		return Info{Family: Console, Class: ClassNonBrowser, OS: "Console"}
+	case contains(ua, "iPhone", "iPad", "Android") && contains(ua, "Mobile"):
+		return Info{Family: MobileAny, Class: ClassMobileBrowser, OS: mobileOS(ua)}
+	case strings.Contains(ua, "Firefox/") && strings.Contains(ua, "Gecko/"):
+		return Info{Family: Firefox, Class: ClassDesktopBrowser, OS: desktopOS(ua), Version: versionAfter(ua, "Firefox/")}
+	case strings.Contains(ua, "Chrome/") && strings.Contains(ua, "Safari/"):
+		return Info{Family: Chrome, Class: ClassDesktopBrowser, OS: desktopOS(ua), Version: versionAfter(ua, "Chrome/")}
+	case contains(ua, "Trident/", "MSIE"):
+		return Info{Family: IE, Class: ClassDesktopBrowser, OS: desktopOS(ua)}
+	case strings.Contains(ua, "Safari/") && strings.Contains(ua, "Version/"):
+		return Info{Family: Safari, Class: ClassDesktopBrowser, OS: desktopOS(ua), Version: versionAfter(ua, "Version/")}
+	case strings.HasPrefix(ua, "Mozilla/"):
+		return Info{Family: Unknown, Class: ClassNonBrowser}
+	default:
+		return Info{Family: AppOther, Class: ClassNonBrowser}
+	}
+}
+
+func contains(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func mobileOS(ua string) string {
+	if strings.Contains(ua, "Android") {
+		return "Android"
+	}
+	return "iOS"
+}
+
+func desktopOS(ua string) string {
+	switch {
+	case strings.Contains(ua, "Windows"):
+		return "Windows"
+	case strings.Contains(ua, "Macintosh"):
+		return "macOS"
+	case strings.Contains(ua, "Linux"):
+		return "Linux"
+	}
+	return "Other"
+}
+
+func versionAfter(ua, marker string) string {
+	i := strings.Index(ua, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := ua[i+len(marker):]
+	if j := strings.IndexAny(rest, " );"); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}
+
+// DesktopFamilies lists the desktop browser families of Figure 4.
+var DesktopFamilies = []Family{Firefox, Chrome, IE, Safari}

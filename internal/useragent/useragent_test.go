@@ -1,0 +1,110 @@
+package useragent
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSynthesizeParseRoundTrip(t *testing.T) {
+	families := []Family{Firefox, Chrome, IE, Safari, MobileAny, AppOther, Console, SmartTV}
+	for _, f := range families {
+		for v := 0; v < 20; v++ {
+			ua := Synthesize(f, v)
+			got := Parse(ua)
+			if got.Family != f {
+				t.Errorf("Parse(Synthesize(%s,%d)=%q).Family = %s", f, v, ua, got.Family)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	families := []Family{Firefox, Chrome, IE, Safari, MobileAny, Console, SmartTV}
+	f := func(fi uint8, variant uint16) bool {
+		fam := families[int(fi)%len(families)]
+		return Parse(Synthesize(fam, int(variant))).Family == fam
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceClasses(t *testing.T) {
+	tests := []struct {
+		fam  Family
+		want DeviceClass
+	}{
+		{Firefox, ClassDesktopBrowser},
+		{Chrome, ClassDesktopBrowser},
+		{IE, ClassDesktopBrowser},
+		{Safari, ClassDesktopBrowser},
+		{MobileAny, ClassMobileBrowser},
+		{AppOther, ClassNonBrowser},
+		{Console, ClassNonBrowser},
+		{SmartTV, ClassNonBrowser},
+	}
+	for _, tt := range tests {
+		info := Parse(Synthesize(tt.fam, 3))
+		if info.Class != tt.want {
+			t.Errorf("%s: class = %v, want %v", tt.fam, info.Class, tt.want)
+		}
+		if tt.want == ClassNonBrowser && info.IsBrowser() {
+			t.Errorf("%s must not be a browser", tt.fam)
+		}
+	}
+}
+
+func TestParseRealWorldStrings(t *testing.T) {
+	tests := []struct {
+		ua  string
+		fam Family
+		cls DeviceClass
+	}{
+		{"Mozilla/5.0 (Windows NT 6.1; rv:31.0) Gecko/20100101 Firefox/31.0", Firefox, ClassDesktopBrowser},
+		{"Mozilla/5.0 (iPhone; CPU iPhone OS 8_1 like Mac OS X) AppleWebKit/600.1.4 (KHTML, like Gecko) Version/8.0 Mobile/12B411 Safari/600.1.4", MobileAny, ClassMobileBrowser},
+		{"Valve/Steam HTTP Client 1.0", AppOther, ClassNonBrowser},
+		{"", Unknown, ClassNonBrowser},
+		{"Mozilla/5.0 (compatible; weirdbot/1.0)", Unknown, ClassNonBrowser},
+		{"Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:11.0) like Gecko", IE, ClassDesktopBrowser},
+	}
+	for _, tt := range tests {
+		got := Parse(tt.ua)
+		if got.Family != tt.fam || got.Class != tt.cls {
+			t.Errorf("Parse(%q) = %+v, want fam=%s cls=%v", tt.ua, got, tt.fam, tt.cls)
+		}
+	}
+}
+
+func TestOSExtraction(t *testing.T) {
+	if os := Parse(Synthesize(Firefox, 0)).OS; os != "Windows" {
+		t.Errorf("Firefox OS = %q", os)
+	}
+	if os := Parse(Synthesize(Safari, 0)).OS; os != "macOS" {
+		t.Errorf("Safari OS = %q", os)
+	}
+	android := Synthesize(MobileAny, 1)
+	if os := Parse(android).OS; os != "Android" {
+		t.Errorf("Android OS = %q (ua %q)", os, android)
+	}
+	iphone := Synthesize(MobileAny, 0)
+	if os := Parse(iphone).OS; os != "iOS" {
+		t.Errorf("iPhone OS = %q", os)
+	}
+}
+
+func TestVersionExtraction(t *testing.T) {
+	info := Parse("Mozilla/5.0 (Windows NT 6.1; rv:34.0) Gecko/20100101 Firefox/34.0")
+	if info.Version != "34.0" {
+		t.Errorf("version = %q, want 34.0", info.Version)
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	seen := map[string]bool{}
+	for v := 0; v < 8; v++ {
+		seen[Synthesize(Firefox, v)] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("variants should yield multiple distinct UA strings, got %d", len(seen))
+	}
+}

@@ -1,0 +1,224 @@
+package webgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"adscape/internal/asdb"
+	"adscape/internal/dnssim"
+	"adscape/internal/filterlists"
+	"adscape/internal/urlutil"
+)
+
+// ABPListHost is the filter-list download hostname; §3.2's methodology
+// discovers the server IPs behind it through multiple DNS resolvers.
+const ABPListHost = "easylist-downloads.adblockplus.example"
+
+// hosting maps hosts to server IPs and IPs to latency characteristics.
+type hosting struct {
+	db *asdb.DB
+	// serversByDomain maps a registered domain to its server IP pool.
+	serversByDomain map[string][]uint32
+	// akamaiPool is the shared CDN pool: both CDN-hosted publisher content
+	// and CDN-delivered ads come from these IPs, reproducing §8.1's "same
+	// infrastructure serves ad content as well as regular content".
+	akamaiPool []uint32
+	// rttBase maps ASN to the base wide-area RTT in ns.
+	rttBase map[int]int64
+}
+
+// asPlan describes the synthetic address plan.
+var asPlan = []struct {
+	asn    int
+	prefix string
+	rttMs  float64 // base RTT from the vantage point
+}{
+	{filterlists.ASGoogle, "10.1.0.0/16", 9},
+	{filterlists.ASAmazonEC2, "10.2.0.0/16", 95},
+	{filterlists.ASAkamai, "10.3.0.0/16", 4},
+	{filterlists.ASAmazonAWS, "10.4.0.0/16", 28},
+	{filterlists.ASHetzner, "10.5.0.0/16", 16},
+	{filterlists.ASAppNexus, "10.6.0.0/20", 100},
+	{filterlists.ASMyLoc, "10.7.0.0/16", 14},
+	{filterlists.ASSoftLayer, "10.8.0.0/16", 105},
+	{filterlists.ASAOL, "10.9.0.0/16", 98},
+	{filterlists.ASCriteo, "10.10.0.0/20", 22},
+	{filterlists.ASTransit, "10.12.0.0/14", 35},
+	{filterlists.ASHoster, "10.16.0.0/14", 24},
+	{filterlists.ASEyeball, "172.16.0.0/12", 8},
+}
+
+// buildHosting allocates server IPs for every company and site.
+func (w *World) buildHosting() error {
+	db := asdb.New()
+	rttBase := make(map[int]int64)
+	for _, p := range asPlan {
+		if err := db.AddAS(p.asn, filterlists.ASNames[p.asn]); err != nil {
+			return err
+		}
+		if err := db.Announce(p.asn, p.prefix); err != nil {
+			return err
+		}
+		rttBase[p.asn] = int64(p.rttMs * 1e6)
+	}
+	h := &hosting{
+		db:              db,
+		serversByDomain: make(map[string][]uint32),
+		rttBase:         rttBase,
+	}
+
+	// Shared Akamai CDN pool.
+	for i := 0; i < 400; i++ {
+		ip, err := db.AllocIP(filterlists.ASAkamai)
+		if err != nil {
+			return err
+		}
+		h.akamaiPool = append(h.akamaiPool, ip)
+	}
+	// Shared Google front-end pool: ads, analytics, fonts and plain content
+	// terminate on the same IPs (§8.1's mixed infrastructure).
+	var googlePool []uint32
+	for i := 0; i < 240; i++ {
+		ip, err := db.AllocIP(filterlists.ASGoogle)
+		if err != nil {
+			return err
+		}
+		googlePool = append(googlePool, ip)
+	}
+	googleFamily := make(map[string]bool)
+	for _, n := range filterlists.GoogleFamily {
+		googleFamily[n] = true
+	}
+
+	// Ad-tech companies: dedicated pools in their AS (Akamai-hosted
+	// companies draw from the shared CDN pool, the Google family from the
+	// shared front-end pool).
+	for _, c := range w.Companies {
+		if googleFamily[c.Name] {
+			for _, d := range c.Domains {
+				h.serversByDomain[urlutil.RegisteredDomain(d)] = googlePool
+			}
+			continue
+		}
+		if c.ASN == filterlists.ASAkamai {
+			for _, d := range c.Domains {
+				h.serversByDomain[d] = h.akamaiPool
+			}
+			continue
+		}
+		pool := make([]uint32, 0, c.Servers)
+		for i := 0; i < c.Servers; i++ {
+			ip, err := db.AllocIP(c.ASN)
+			if err != nil {
+				return fmt.Errorf("webgen: alloc for %s: %w", c.Name, err)
+			}
+			pool = append(pool, ip)
+		}
+		for _, d := range c.Domains {
+			h.serversByDomain[urlutil.RegisteredDomain(d)] = pool
+		}
+	}
+
+	// Publisher sites.
+	rng := rand.New(rand.NewSource(w.seed * 17))
+	for _, s := range w.Sites {
+		if s.CDNHosted {
+			h.serversByDomain[s.Domain] = h.akamaiPool
+			continue
+		}
+		asn := filterlists.ASHoster
+		if rng.Float64() < 0.3 {
+			asn = filterlists.ASTransit
+		} else if rng.Float64() < 0.1 {
+			asn = filterlists.ASHetzner
+		}
+		n := 2 + rng.Intn(7)
+		pool := make([]uint32, 0, n)
+		for i := 0; i < n; i++ {
+			ip, err := db.AllocIP(asn)
+			if err != nil {
+				return fmt.Errorf("webgen: alloc for site %s: %w", s.Domain, err)
+			}
+			pool = append(pool, ip)
+		}
+		h.serversByDomain[s.Domain] = pool
+	}
+
+	// Adblock Plus filter-list servers (Hetzner, like the real ones).
+	for i := 0; i < 4; i++ {
+		ip, err := db.AllocIP(filterlists.ASHetzner)
+		if err != nil {
+			return err
+		}
+		w.AdblockServerIPs = append(w.AdblockServerIPs, ip)
+	}
+
+	w.hosting = h
+	w.ASDB = db
+	return nil
+}
+
+// ServerFor resolves a URL's host to the serving IP. Distinct paths on a
+// company's infrastructure spread over its pool (front-end load balancing);
+// resolution is deterministic per (host, pathHint).
+func (w *World) ServerFor(host, pathHint string) (uint32, bool) {
+	dom := urlutil.RegisteredDomain(host)
+	pool, ok := w.hosting.serversByDomain[dom]
+	if !ok || len(pool) == 0 {
+		return 0, false
+	}
+	hh := fnv.New32a()
+	hh.Write([]byte(host))
+	hh.Write([]byte(pathHint))
+	// FNV-1a is multiplicative, so inputs sharing a suffix land at near-
+	// constant offsets modulo small pool sizes; a murmur-style finalizer
+	// restores avalanche before the modulo.
+	x := hh.Sum32()
+	x ^= x >> 16
+	x *= 0x45d9f3b
+	x ^= x >> 16
+	return pool[x%uint32(len(pool))], true
+}
+
+// RTTFor returns the wide-area RTT (ns) to a server IP, with deterministic
+// per-IP dispersion around the AS base latency.
+func (w *World) RTTFor(ip uint32) int64 {
+	as := w.hosting.db.Lookup(ip)
+	base := int64(30e6)
+	if as != nil {
+		if b, ok := w.hosting.rttBase[as.Number]; ok {
+			base = b
+		}
+	}
+	hh := fnv.New32a()
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip)
+	hh.Write(b[:])
+	// ±30% deterministic jitter.
+	frac := float64(hh.Sum32()%1000)/1000*0.6 - 0.3
+	return base + int64(float64(base)*frac)
+}
+
+// ClientIPAllocator hands out client addresses inside the eyeball ISP.
+func (w *World) ClientIPAllocator() func() (uint32, error) {
+	return func() (uint32, error) {
+		return w.hosting.db.AllocIP(filterlists.ASEyeball)
+	}
+}
+
+// NumAkamaiPool exposes the shared pool size for tests.
+func (w *World) NumAkamaiPool() int { return len(w.hosting.akamaiPool) }
+
+// DNSZone builds the authoritative DNS view of the world: every registered
+// domain maps to its server pool, and the Adblock Plus list host maps to
+// the list servers. The measurement side resolves this zone instead of
+// peeking at simulator state.
+func (w *World) DNSZone() *dnssim.Zone {
+	z := dnssim.NewZone()
+	z.Add(ABPListHost, w.AdblockServerIPs...)
+	for dom, pool := range w.hosting.serversByDomain {
+		z.Add(dom, pool...)
+	}
+	return z
+}

@@ -1,0 +1,114 @@
+package webgen
+
+import (
+	"fmt"
+	"testing"
+
+	"adscape/internal/abp"
+)
+
+// TestGoogleFrontEndPoolMixing asserts the §8.1 mixing construction: ad
+// properties and plain-content properties of the Google family resolve into
+// one shared server pool.
+func TestGoogleFrontEndPoolMixing(t *testing.T) {
+	w := testWorld(t)
+	pools := map[string]map[uint32]bool{}
+	for _, host := range []string{"ad.dblclick.example", "gapis.example", "gstatic.example"} {
+		seen := map[uint32]bool{}
+		for i := 0; i < 200; i++ {
+			ip, ok := w.ServerFor(host, fmt.Sprintf("client%d|/p%d", i, i))
+			if !ok {
+				t.Fatalf("no server for %s", host)
+			}
+			seen[ip] = true
+			if w.ASDB.LookupName(ip) != "Google" {
+				t.Fatalf("%s served outside Google AS", host)
+			}
+		}
+		pools[host] = seen
+	}
+	// The ad domain and the content domain must overlap in server IPs.
+	overlap := 0
+	for ip := range pools["ad.dblclick.example"] {
+		if pools["gapis.example"][ip] {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		t.Error("dblclick and gapis must share front-end IPs (mixed infrastructure)")
+	}
+}
+
+// TestMicroTierPresence asserts the long-tail micro ad networks exist, carry
+// a small share of placements, and have tiny server pools.
+func TestMicroTierPresence(t *testing.T) {
+	w := testWorld(t)
+	micro := 0
+	for _, c := range w.Companies {
+		if len(c.Name) > 5 && c.Name[:5] == "micro" {
+			micro++
+			if c.Servers != 1 {
+				t.Errorf("micro company %s has %d servers, want 1", c.Name, c.Servers)
+			}
+		}
+	}
+	if micro != 300 {
+		t.Fatalf("micro companies = %d, want 300", micro)
+	}
+	// Micro companies appear in pages, but rarely.
+	microAds, totalAds := 0, 0
+	for _, site := range w.Sites[:80] {
+		pg := w.GenPage(site, 6)
+		for _, o := range pg.Objects {
+			if o.Kind != KindAd || o.Company == nil {
+				continue
+			}
+			totalAds++
+			if len(o.Company.Name) > 5 && o.Company.Name[:5] == "micro" {
+				microAds++
+			}
+		}
+	}
+	if totalAds == 0 {
+		t.Fatal("no ads in corpus")
+	}
+	share := float64(microAds) / float64(totalAds)
+	if share <= 0 || share > 0.10 {
+		t.Errorf("micro tier share = %.3f, want small but present", share)
+	}
+	// Micro rules exist in EasyList so the tier is classifiable.
+	e := w.Bundle.ClassifierEngine()
+	v := classify(e, abpRequest("http://micro042.example/banner/x.gif"))
+	if !v.Matched {
+		t.Error("micro domains must be EasyList-blacklisted")
+	}
+}
+
+// TestThirdPartyContentClassification: CDN libraries and widgets are content
+// to the classifier (no blacklist hit), while gstatic fonts are whitelisted
+// without being blacklisted (the §7.3 over-broad rule).
+func TestThirdPartyContentClassification(t *testing.T) {
+	w := testWorld(t)
+	e := w.Bundle.ClassifierEngine()
+	lib := classify(e, abpRequest("http://akamaiads.example/libs/lib03.js"))
+	if lib.Matched {
+		t.Errorf("CDN library must not be blacklisted: %s", lib)
+	}
+	widget := classify(e, abpRequest("http://addthis.example/widgets/share1.js"))
+	if widget.Matched {
+		t.Errorf("widget must not match path-scoped EP rules: %s", widget)
+	}
+	font := classify(e, abpRequest("http://gstatic.example/fonts/font03.woff"))
+	if font.Matched || !font.NonIntrusive() {
+		t.Errorf("font must be whitelisted-not-blacklisted: %s", font)
+	}
+	collect := classify(e, abpRequest("http://ganalytics.example/collect/?v=1&cid=x"))
+	if !collect.Matched || !collect.NonIntrusive() {
+		t.Errorf("collect beacon must be EP-blacklisted and AA-whitelisted: %s", collect)
+	}
+}
+
+// abpRequest builds a page-context-free request for direct classification.
+func abpRequest(url string) abp.Request { return abp.Request{URL: url} }
+
+func classify(e *abp.Engine, r abp.Request) abp.Verdict { return e.Classify(&r) }

@@ -1,0 +1,572 @@
+package webgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"adscape/internal/filterlists"
+	"adscape/internal/urlutil"
+)
+
+// ObjectKind is the ground-truth role of an object — what the instrumented
+// browser of §4 knows and the passive pipeline must recover.
+type ObjectKind int
+
+// Ground-truth object kinds.
+const (
+	KindContent ObjectKind = iota
+	KindAd                 // served by an ad network/exchange, EasyList scope
+	KindTracker            // beacon/analytics, EasyPrivacy scope
+	KindAcceptableAd
+	KindListUpdate // Adblock Plus filter-list download (HTTPS)
+)
+
+func (k ObjectKind) String() string {
+	switch k {
+	case KindContent:
+		return "content"
+	case KindAd:
+		return "ad"
+	case KindTracker:
+		return "tracker"
+	case KindAcceptableAd:
+		return "acceptable-ad"
+	case KindListUpdate:
+		return "list-update"
+	}
+	return "unknown"
+}
+
+// Object is one fetchable Web object in a page.
+type Object struct {
+	// URL is the object URL.
+	URL string
+	// Referer is the URL the browser sends as Referer; empty for page heads
+	// and for requests following redirects (the broken chain of §3.1).
+	Referer string
+	// Class is the true content class (what the DOM tag implies).
+	Class urlutil.ContentClass
+	// MIME is the Content-Type header the server will send — possibly
+	// mismatched, per the header noise of §4.2.
+	MIME string
+	// Size is the response body size in bytes.
+	Size int64
+	// Kind is the ground truth role.
+	Kind ObjectKind
+	// Company is the ad-tech company serving it; nil for content.
+	Company *filterlists.Company
+	// RedirectFrom marks this object as the target of a 302 from that URL.
+	RedirectFrom string
+	// RedirectLocation, when set, makes this object a 302 whose Location
+	// points at the next object in the page's list.
+	RedirectLocation string
+	// RTB marks responses delayed by a real-time-bidding auction.
+	RTB bool
+	// HTTPS marks objects fetched over TLS (opaque to the trace).
+	HTTPS bool
+	// ThinkTime is the server-side processing delay in ns before the
+	// response (on top of network RTT); RTB auctions inflate it (§8.2).
+	ThinkTime int64
+}
+
+// Page is one page retrieval: the main document plus its object tree, in
+// fetch order.
+type Page struct {
+	// URL is the main document URL.
+	URL string
+	// Site is the publisher.
+	Site *Site
+	// Objects lists every fetch the page triggers, main document first.
+	Objects []*Object
+}
+
+// NumAds counts ground-truth ad-scope objects (ads + trackers +
+// acceptable ads), the numerator of the paper's ad-ratio.
+func (p *Page) NumAds() int {
+	n := 0
+	for _, o := range p.Objects {
+		if o.Kind != KindContent {
+			n++
+		}
+	}
+	return n
+}
+
+// GenPage composes the page object tree for (site, pageIdx). The tree is a
+// deterministic function of world seed, site and page index, so repeated
+// visits to the same page produce identical requests (enabling the crawl
+// validation to compare browser configurations on equal footing, §4.1).
+func (w *World) GenPage(site *Site, pageIdx int) *Page {
+	rng := rand.New(rand.NewSource(w.seed ^ int64(site.Rank)*1_000_003 ^ int64(pageIdx)*7919))
+	pg := &Page{URL: site.PageURL(pageIdx), Site: site}
+	prof := site.prof
+
+	// Main document.
+	pg.Objects = append(pg.Objects, &Object{
+		URL:       pg.URL,
+		Class:     urlutil.ClassDocument,
+		MIME:      "text/html",
+		Size:      10_000 + rng.Int63n(90_000),
+		Kind:      KindContent,
+		ThinkTime: thinkDynamic(rng),
+	})
+
+	// Regular content objects.
+	nObj := prof.objMin + rng.Intn(prof.objMax-prof.objMin+1)
+	for i := 0; i < nObj; i++ {
+		pg.Objects = append(pg.Objects, w.contentObject(site, pg.URL, i, rng))
+	}
+	// Streaming chunks.
+	for i := 0; i < prof.videoChunks; i++ {
+		pg.Objects = append(pg.Objects, &Object{
+			URL:       fmt.Sprintf("http://media.%s/chunks/%06x/%03d.mp4", site.Domain, rng.Int31(), i),
+			Referer:   pg.URL,
+			Class:     urlutil.ClassMedia,
+			MIME:      "video/mp4",
+			Size:      lognorm(rng, 300_000, 0.8), // chunked: smaller than ad videos
+			Kind:      KindContent,
+			ThinkTime: thinkStatic(rng),
+		})
+	}
+
+	if site.NoAds {
+		return pg
+	}
+	// Ad slots.
+	nSlots := prof.adSlotsMin + rng.Intn(prof.adSlotsMax-prof.adSlotsMin+1)
+	for i := 0; i < nSlots; i++ {
+		w.appendAdChain(pg, i, rng)
+	}
+	// Trackers.
+	nTrk := prof.trackersMin + rng.Intn(prof.trackersMax-prof.trackersMin+1)
+	for i := 0; i < nTrk; i++ {
+		pg.Objects = append(pg.Objects, w.trackerObject(pg.URL, rng))
+	}
+	return pg
+}
+
+// contentObject builds one regular (non-ad) object. A slice of the content
+// comes from ad-tech-owned infrastructure (CDN-hosted libraries, fonts from
+// the gstatic analog, social widgets from tracker companies) — the mixing
+// that makes §8.1's "same infrastructure serves ad and regular content"
+// observation, and the over-broad whitelist effects of §7.3.
+func (w *World) contentObject(site *Site, pageURL string, i int, rng *rand.Rand) *Object {
+	if tp := w.thirdPartyContent(pageURL, i, rng); tp != nil {
+		return tp
+	}
+	host := site.StaticHost()
+	o := &Object{Referer: pageURL, Kind: KindContent, ThinkTime: thinkStatic(rng)}
+	switch r := rng.Float64(); {
+	case r < 0.45: // images, mostly jpeg (Table 4 non-ads: jpeg 19.8%)
+		if rng.Float64() < 0.2 {
+			o.URL = fmt.Sprintf("http://%s/img/%05d.png", host, i)
+			o.MIME = "image/png"
+		} else {
+			o.URL = fmt.Sprintf("http://%s/img/%05d.jpg", host, i)
+			o.MIME = "image/jpeg"
+		}
+		o.Class = urlutil.ClassImage
+		o.Size = lognorm(rng, 60_000, 1.0)
+	case r < 0.60:
+		o.URL = fmt.Sprintf("http://%s/js/app%02d.js", host, i)
+		o.Class = urlutil.ClassScript
+		o.MIME = "application/javascript"
+		o.Size = lognorm(rng, 30_000, 0.8)
+	case r < 0.70:
+		o.URL = fmt.Sprintf("http://%s/css/style%02d.css", host, i)
+		o.Class = urlutil.ClassStylesheet
+		o.MIME = "text/css"
+		o.Size = lognorm(rng, 15_000, 0.6)
+	case r < 0.80: // interactive XHR, small text (Fig. 6: non-ad text small)
+		o.URL = fmt.Sprintf("http://%s/api/suggest?q=term%d", site.Host(), i)
+		o.Class = urlutil.ClassXHR
+		o.MIME = "text/plain"
+		o.Size = 100 + rng.Int63n(2000)
+	case r < 0.82: // first-party logging that embeds a previous ad URL in
+		// its query string — the misclassification §3.1's base-URL
+		// normalization exists to prevent.
+		o.URL = fmt.Sprintf("http://%s/log?ref=http://dblclick.example/banner/prev_%06x.gif&t=%d",
+			site.Host(), rng.Int31(), rng.Int63n(1e9))
+		o.Class = urlutil.ClassXHR
+		o.MIME = "text/plain"
+		o.Size = 80 + rng.Int63n(400)
+	case r < 0.92: // sub-documents
+		o.URL = fmt.Sprintf("http://%s/frame/%02d.html", site.Host(), i)
+		o.Class = urlutil.ClassDocument
+		o.MIME = "text/html"
+		o.Size = lognorm(rng, 8_000, 0.7)
+	default: // objects without Content-Type ("-" row of Table 4)
+		o.URL = fmt.Sprintf("http://%s/data/blob%03d", host, i)
+		o.Class = urlutil.ClassOther
+		o.MIME = ""
+		o.Size = lognorm(rng, 200_000, 1.4)
+	}
+	o.HTTPS = rng.Float64() < site.prof.httpsShare
+	w.addMIMENoise(o, rng)
+	return o
+}
+
+// thirdPartyContent occasionally serves a regular object from ad-tech-owned
+// infrastructure: a JS library off the CDN's ad-serving pool, a font from
+// the gstatic analog (whitelisted wholesale by the overly-broad $document
+// rule, §7.3), or a sharing widget from a tracker company's servers (not
+// covered by its path-scoped EasyPrivacy rules).
+func (w *World) thirdPartyContent(pageURL string, i int, rng *rand.Rand) *Object {
+	r := rng.Float64()
+	switch {
+	case r < 0.012:
+		return &Object{
+			URL:     fmt.Sprintf("http://gstatic.example/fonts/font%02d.woff", i%20),
+			Referer: pageURL, Class: urlutil.ClassOther, MIME: "",
+			Size: lognorm(rng, 25_000, 0.4), Kind: KindContent,
+			Company:   CompanyByNameIn(w.Companies, "gstatic"),
+			ThinkTime: thinkStatic(rng),
+		}
+	case r < 0.026:
+		return &Object{
+			URL:     fmt.Sprintf("http://akamaiads.example/libs/lib%02d.js", i%30),
+			Referer: pageURL, Class: urlutil.ClassScript, MIME: "application/javascript",
+			Size: lognorm(rng, 40_000, 0.6), Kind: KindContent,
+			Company:   CompanyByNameIn(w.Companies, "akamaiads"),
+			ThinkTime: thinkStatic(rng),
+		}
+	case r < 0.05:
+		return &Object{
+			URL:     fmt.Sprintf("http://addthis.example/widgets/share%d.js", i%5),
+			Referer: pageURL, Class: urlutil.ClassScript, MIME: "application/javascript",
+			Size: lognorm(rng, 30_000, 0.5), Kind: KindContent,
+			Company:   CompanyByNameIn(w.Companies, "addthis"),
+			ThinkTime: thinkStatic(rng),
+		}
+	case r < 0.11:
+		// Plain Google-front-end content: map tiles, suggest APIs. Served
+		// from the same IPs as the ad properties, never whitelisted.
+		if rng.Float64() < 0.5 {
+			return &Object{
+				URL:     fmt.Sprintf("http://gapis.example/maps/tile_%03d_%03d.png", i%64, (i*7)%64),
+				Referer: pageURL, Class: urlutil.ClassImage, MIME: "image/png",
+				Size: lognorm(rng, 18_000, 0.5), Kind: KindContent,
+				Company:   CompanyByNameIn(w.Companies, "gapis"),
+				ThinkTime: thinkStatic(rng),
+			}
+		}
+		return &Object{
+			URL:     fmt.Sprintf("http://gapis.example/api/suggest?q=term%d", i),
+			Referer: pageURL, Class: urlutil.ClassXHR, MIME: "text/plain",
+			Size: 150 + rng.Int63n(1800), Kind: KindContent,
+			Company:   CompanyByNameIn(w.Companies, "gapis"),
+			ThinkTime: thinkDynamic(rng),
+		}
+	}
+	return nil
+}
+
+// CompanyByNameIn is a re-export of filterlists.CompanyByName for package-
+// internal call sites that already hold the slice.
+func CompanyByNameIn(cs []*filterlists.Company, name string) *filterlists.Company {
+	return filterlists.CompanyByName(cs, name)
+}
+
+// appendAdChain emits the requests one ad slot triggers: the ad-network
+// script, optionally an RTB exchange hop with a 302 to the creative, and
+// the creative itself. Acceptable placements go through /acceptable/ paths.
+func (w *World) appendAdChain(pg *Page, slot int, rng *rand.Rand) {
+	site := pg.Site
+	acceptable := site.UsesAcceptableAds && rng.Float64() < 0.35
+	comp := w.pickAdCompany(rng, acceptable, adultish(site))
+	domain := comp.Domains[rng.Intn(len(comp.Domains))]
+	if comp.Role == filterlists.RoleHybrid {
+		// Hybrid portals run their own ad platform on a dedicated ad
+		// subdomain (the paper's technology/Internet site whose platform
+		// the whitelist covers almost entirely, §7.3).
+		domain = comp.Domains[len(comp.Domains)-1]
+	}
+
+	if acceptable && comp.Acceptable {
+		// Non-intrusive placement: single small text unit on a whitelisted
+		// path (or anywhere on a $document-whitelisted domain).
+		path := "acceptable"
+		if rng.Float64() < 0.4 {
+			path = "text-ads"
+		}
+		pg.Objects = append(pg.Objects, &Object{
+			URL:       fmt.Sprintf("http://%s/%s/unit%02d.html", comp.AcceptableDomain(), path, slot),
+			Referer:   pg.URL,
+			Class:     urlutil.ClassDocument,
+			MIME:      "text/html",
+			Size:      lognorm(rng, 6_000, 0.5),
+			Kind:      KindAcceptableAd,
+			Company:   comp,
+			ThinkTime: thinkDynamic(rng),
+		})
+		return
+	}
+
+	// 1. The ad-serving script. A share of them use extension-less loader
+	// URLs covered by typed "@@...$script" exception rules — the setup
+	// behind the paper's §4.2 false positives: the browser knows they are
+	// scripts from the DOM; header traces must trust the (noisy) MIME type.
+	scriptURL := fmt.Sprintf("http://%s/adserver/show_ads%02d.js?adunit=slot%d", domain, slot, slot)
+	if rng.Float64() < 0.30 {
+		scriptURL = fmt.Sprintf("http://%s/adserver/load?adunit=slot%d&cb=%d", domain, slot, rng.Int63n(1e9))
+	}
+	script := &Object{
+		URL:       scriptURL,
+		Referer:   pg.URL,
+		Class:     urlutil.ClassScript,
+		MIME:      adScriptMIME(rng),
+		Size:      lognorm(rng, 12_000, 0.7),
+		Kind:      KindAd,
+		Company:   comp,
+		ThinkTime: thinkDynamic(rng),
+		HTTPS:     rng.Float64() < site.prof.httpsShare*0.6,
+	}
+	pg.Objects = append(pg.Objects, script)
+
+	// 2. Optional RTB exchange hop: 302 from the exchange to the creative.
+	creativeComp := comp
+	redirectFrom := ""
+	if comp.RTB && rng.Float64() < 0.6 {
+		creativeComp = w.pickAdCompany(rng, false, adultish(pg.Site))
+		redirURL := fmt.Sprintf("http://%s/adview/auction?id=%08x&winner=%s",
+			domain, rng.Int31(), creativeComp.Name)
+		pg.Objects = append(pg.Objects, &Object{
+			URL:              redirURL,
+			Referer:          script.URL,
+			Class:            urlutil.ClassDocument,
+			MIME:             "text/html",
+			Size:             0,
+			Kind:             KindAd,
+			Company:          comp,
+			RTB:              true,
+			ThinkTime:        thinkRTB(rng),
+			RedirectLocation: "", // filled below, once the creative URL exists
+		})
+		redirectFrom = redirURL
+	}
+
+	// 3. The creative.
+	creative := w.creativeObject(creativeComp, pg.URL, slot, rng)
+	if redirectFrom != "" {
+		creative.RedirectFrom = redirectFrom
+		creative.Referer = "" // the broken chain after a redirect (§3.1)
+		pg.Objects[len(pg.Objects)-1].RedirectLocation = creative.URL
+	}
+	pg.Objects = append(pg.Objects, creative)
+}
+
+// creativeObject draws the creative's type from the Table 4 ad mix.
+func (w *World) creativeObject(comp *filterlists.Company, pageURL string, slot int, rng *rand.Rand) *Object {
+	domain := comp.Domains[0]
+	o := &Object{Referer: pageURL, Kind: KindAd, Company: comp, ThinkTime: thinkDynamic(rng)}
+	switch r := rng.Float64(); {
+	case r < 0.36: // gif banners and pixels dominate ad requests
+		o.URL = fmt.Sprintf("http://%s/banner/creative_%06x.gif", domain, rng.Int31())
+		o.Class = urlutil.ClassImage
+		o.MIME = "image/gif"
+		if rng.Float64() < 0.5 {
+			o.Size = 43 // the classic tracking pixel size (§7.2)
+		} else {
+			o.Size = lognorm(rng, 8_000, 0.9)
+		}
+	case r < 0.70: // text/plain payloads (bidding/config blobs)
+		o.URL = fmt.Sprintf("http://%s/ads/payload?adunit=slot%d&cb=%d", domain, slot, rng.Int63n(1e9))
+		o.Class = urlutil.ClassXHR
+		o.MIME = "text/plain"
+		o.Size = lognorm(rng, 25_000, 1.0)
+	case r < 0.85: // HTML ad frames
+		o.URL = fmt.Sprintf("http://%s/adframe/frame%02d.html", domain, slot)
+		o.Class = urlutil.ClassDocument
+		o.MIME = "text/html"
+		o.Size = lognorm(rng, 15_000, 0.8)
+	case r < 0.925: // no Content-Type
+		o.URL = fmt.Sprintf("http://%s/advert/beacon%06x", domain, rng.Int31())
+		o.Class = urlutil.ClassOther
+		o.MIME = ""
+		o.Size = lognorm(rng, 9_000, 1.2)
+	case r < 0.955:
+		o.URL = fmt.Sprintf("http://%s/adview/vast%02d.xml", domain, slot)
+		o.Class = urlutil.ClassXHR
+		o.MIME = "application/xml"
+		o.Size = lognorm(rng, 10_000, 0.6)
+	case r < 0.97:
+		o.URL = fmt.Sprintf("http://%s/banner/still_%06x.png", domain, rng.Int31())
+		o.Class = urlutil.ClassImage
+		o.MIME = "image/png"
+		o.Size = lognorm(rng, 18_000, 0.8)
+	case r < 0.985:
+		o.URL = fmt.Sprintf("http://%s/banner/photo_%06x.jpg", domain, rng.Int31())
+		o.Class = urlutil.ClassImage
+		o.MIME = "image/jpeg"
+		o.Size = lognorm(rng, 60_000, 0.9)
+	case r < 0.995:
+		o.URL = fmt.Sprintf("http://%s/adframe/rich%02d.swf", domain, slot)
+		o.Class = urlutil.ClassObject
+		o.MIME = "application/x-shockwave-flash"
+		o.Size = lognorm(rng, 120_000, 0.9)
+	default: // video ads: rare in requests, heavy in bytes, unchunked
+		o.URL = fmt.Sprintf("http://%s/advert/spot%02d.mp4", domain, slot)
+		o.Class = urlutil.ClassMedia
+		o.MIME = "video/mp4"
+		o.Size = lognorm(rng, 1_800_000, 0.5)
+	}
+	if comp.RTB && rng.Float64() < 0.65 {
+		o.RTB = true
+		o.ThinkTime = thinkRTB(rng)
+	}
+	w.addMIMENoise(o, rng)
+	return o
+}
+
+// trackerObject builds one analytics/beacon request. The pick is strongly
+// biased toward the analytics giant (ganalytics, served from the mixed
+// Google front-end pool), with a long tail of small dedicated trackers —
+// the volume split behind §8.1's tracking-server numbers.
+func (w *World) trackerObject(pageURL string, rng *rand.Rand) *Object {
+	trackers := filterlists.ByRole(w.Companies, filterlists.RoleTracker)
+	idx := int(float64(len(trackers)) * math.Pow(rng.Float64(), 4.0))
+	if idx >= len(trackers) {
+		idx = len(trackers) - 1
+	}
+	comp := trackers[idx]
+	domain := comp.Domains[0]
+	o := &Object{Referer: pageURL, Kind: KindTracker, Company: comp}
+	if r := rng.Float64(); r < 0.55 {
+		o.URL = fmt.Sprintf("http://%s/pixel.gif?event=pageview&uid=%016x", domain, rng.Uint64())
+		o.Class = urlutil.ClassImage
+		o.MIME = "image/gif"
+		o.Size = 43
+		o.ThinkTime = thinkStatic(rng)
+	} else if r < 0.72 && comp.Servers >= 20 {
+		// Measurement-protocol beacons of the big analytics provider; the
+		// acceptable-ads list whitelists these endpoints (the whitelisted-
+		// but-EasyPrivacy-blacklisted population of §7.3).
+		o.URL = fmt.Sprintf("http://%s/collect/?v=1&cid=%016x", domain, rng.Uint64())
+		o.Class = urlutil.ClassXHR
+		o.MIME = "text/plain"
+		o.Size = 35 + rng.Int63n(300)
+		o.ThinkTime = thinkDynamic(rng)
+	} else {
+		o.URL = fmt.Sprintf("http://%s/analytics.js", domain)
+		o.Class = urlutil.ClassScript
+		o.MIME = "application/javascript"
+		if rng.Float64() < 0.10 {
+			// Analytics endpoints are notorious for mislabeling their
+			// script payloads — the §4.2 misclassification source the
+			// extension-first content-type rule compensates for.
+			o.MIME = "text/html"
+		}
+		o.Size = lognorm(rng, 28_000, 0.4)
+		o.ThinkTime = thinkStatic(rng)
+	}
+	if comp.RTB {
+		o.RTB = true
+		o.ThinkTime = thinkRTB(rng)
+	}
+	w.addMIMENoise(o, rng)
+	return o
+}
+
+// adultish reports whether AA-enrolled advertisers avoid the site's
+// inventory — §7.3 finds adult and file-sharing properties entirely outside
+// the whitelist.
+func adultish(site *Site) bool {
+	return site.Category == CatAdult || site.Category == CatFileSharing
+}
+
+// pickAdCompany draws an ad company, biased toward the big named players.
+// When acceptable is set, enrolled companies are preferred; when
+// noAcceptable is set, enrolled companies are excluded (brand-safety).
+func (w *World) pickAdCompany(rng *rand.Rand, acceptable, noAcceptable bool) *filterlists.Company {
+	var pool, micro []*filterlists.Company
+	for _, c := range w.Companies {
+		if c.Role == filterlists.RoleTracker || c.Name == "gapis" {
+			continue
+		}
+		if acceptable && (!c.Acceptable || c.Role == filterlists.RoleCDN) {
+			// CDNs are whitelisted for the traffic they carry, but they do
+			// not sell ad units themselves; acceptable placements come from
+			// enrolled ad networks/exchanges (and the hybrid portal).
+			continue
+		}
+		if noAcceptable && c.Acceptable {
+			continue
+		}
+		if strings.HasPrefix(c.Name, "micro") {
+			micro = append(micro, c)
+			continue
+		}
+		pool = append(pool, c)
+	}
+	// The micro tier collectively carries ~3% of placements: hundreds of
+	// ad hosts each seen a handful of times.
+	if !acceptable && len(micro) > 0 && rng.Float64() < 0.03 {
+		return micro[rng.Intn(len(micro))]
+	}
+	// Weight: named companies (small index) are much more popular. Google
+	// properties lead (Table 5: Google carries 21% of ad requests).
+	idx := int(math.Floor(float64(len(pool)) * math.Pow(rng.Float64(), 2.0)))
+	if idx >= len(pool) {
+		idx = len(pool) - 1
+	}
+	return pool[idx]
+}
+
+// addMIMENoise injects the Content-Type inconsistencies of §4.2: scripts
+// labeled text/html (the paper's main source of misclassification), the odd
+// text/x-c, and format-level image mismatches that preserve the category.
+func (w *World) addMIMENoise(o *Object, rng *rand.Rand) {
+	switch o.Class {
+	case urlutil.ClassScript:
+		r := rng.Float64()
+		if r < 0.05 {
+			o.MIME = "text/html"
+		} else if r < 0.06 {
+			o.MIME = "text/x-c"
+		}
+	case urlutil.ClassImage:
+		if rng.Float64() < 0.05 {
+			if o.MIME == "image/png" {
+				o.MIME = "image/jpeg"
+			} else if o.MIME == "image/jpeg" {
+				o.MIME = "image/png"
+			}
+		}
+	case urlutil.ClassXHR:
+		if rng.Float64() < 0.03 {
+			o.MIME = ""
+		}
+	}
+}
+
+// adScriptMIME draws the Content-Type of an ad-serving script. Ad servers
+// label their dynamic script payloads text/plain remarkably often (Table 4:
+// text/plain is 28.7% of ad requests), besides the outright mislabels §4.2
+// blames for misclassifications.
+func adScriptMIME(rng *rand.Rand) string {
+	r := rng.Float64()
+	switch {
+	case r < 0.35:
+		return "application/javascript"
+	case r < 0.44:
+		return "text/javascript"
+	default:
+		return "text/plain"
+	}
+}
+
+// lognorm draws a log-normal size with the given median and sigma (of ln).
+func lognorm(rng *rand.Rand, median float64, sigma float64) int64 {
+	v := math.Exp(math.Log(median) + sigma*rng.NormFloat64())
+	if v < 20 {
+		v = 20
+	}
+	return int64(v)
+}
+
+// Server think times (ns) — the three Figure 7 modes.
+func thinkStatic(rng *rand.Rand) int64  { return int64(5e5 + rng.ExpFloat64()*7e5) }      // ~1 ms
+func thinkDynamic(rng *rand.Rand) int64 { return int64(6e6 + rng.ExpFloat64()*5e6) }      // ~10 ms
+func thinkRTB(rng *rand.Rand) int64     { return int64(1.05e8 + rng.ExpFloat64()*2.5e7) } // ~120 ms

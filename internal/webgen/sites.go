@@ -1,0 +1,265 @@
+// Package webgen builds the synthetic Web the simulators browse: a ranked
+// site catalog with content categories, per-page object trees with ad slots,
+// tracker beacons, acceptable-ads placements, redirect chains and RTB
+// back-ends, plus the hosting map (host → server IPs → AS) that the
+// infrastructure analyses of §8 and Table 5 consume.
+package webgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adscape/internal/asdb"
+	"adscape/internal/filterlists"
+)
+
+// Category is a site content category (§7.3 uses bluecoat-style categories).
+type Category string
+
+// Site categories the paper mentions.
+const (
+	CatNews        Category = "news"
+	CatVideo       Category = "video-streaming"
+	CatShopping    Category = "shopping"
+	CatAdult       Category = "adult"
+	CatFileSharing Category = "file-sharing"
+	CatDating      Category = "dating"
+	CatTranslation Category = "translation"
+	CatAudio       Category = "audio-streaming"
+	CatSocial      Category = "social"
+	CatTech        Category = "technology/internet"
+	CatSearch      Category = "search"
+	CatMixed       Category = "mixed"
+)
+
+// profile describes how a category composes pages.
+type profile struct {
+	objMin, objMax  int // non-ad objects per page
+	adSlotsMin      int // ad slots per page
+	adSlotsMax      int
+	trackersMin     int
+	trackersMax     int
+	acceptableShare float64 // fraction of sites using acceptable-ads placements
+	videoChunks     int     // video chunks per page (streaming)
+	httpsShare      float64 // fraction of objects served over HTTPS
+	weight          float64 // share of catalog
+}
+
+var profiles = map[Category]profile{
+	CatNews:        {objMin: 40, objMax: 90, adSlotsMin: 3, adSlotsMax: 7, trackersMin: 3, trackersMax: 7, acceptableShare: 0.5, httpsShare: 0.05, weight: 0.18},
+	CatVideo:       {objMin: 10, objMax: 25, adSlotsMin: 1, adSlotsMax: 3, trackersMin: 1, trackersMax: 4, acceptableShare: 0.5, videoChunks: 16, httpsShare: 0.08, weight: 0.12},
+	CatShopping:    {objMin: 30, objMax: 70, adSlotsMin: 2, adSlotsMax: 5, trackersMin: 2, trackersMax: 6, acceptableShare: 0.6, httpsShare: 0.25, weight: 0.12},
+	CatAdult:       {objMin: 20, objMax: 50, adSlotsMin: 2, adSlotsMax: 6, trackersMin: 1, trackersMax: 3, acceptableShare: 0.0, httpsShare: 0.02, weight: 0.08},
+	CatFileSharing: {objMin: 10, objMax: 30, adSlotsMin: 2, adSlotsMax: 6, trackersMin: 1, trackersMax: 3, acceptableShare: 0.0, videoChunks: 4, httpsShare: 0.02, weight: 0.05},
+	CatDating:      {objMin: 20, objMax: 40, adSlotsMin: 2, adSlotsMax: 5, trackersMin: 2, trackersMax: 5, acceptableShare: 0.7, httpsShare: 0.10, weight: 0.04},
+	CatTranslation: {objMin: 8, objMax: 20, adSlotsMin: 1, adSlotsMax: 3, trackersMin: 1, trackersMax: 2, acceptableShare: 0.8, httpsShare: 0.15, weight: 0.03},
+	CatAudio:       {objMin: 10, objMax: 25, adSlotsMin: 1, adSlotsMax: 3, trackersMin: 1, trackersMax: 3, acceptableShare: 0.7, videoChunks: 8, httpsShare: 0.05, weight: 0.04},
+	CatSocial:      {objMin: 30, objMax: 80, adSlotsMin: 2, adSlotsMax: 5, trackersMin: 2, trackersMax: 6, acceptableShare: 0.4, httpsShare: 0.40, weight: 0.10},
+	CatTech:        {objMin: 25, objMax: 60, adSlotsMin: 2, adSlotsMax: 6, trackersMin: 2, trackersMax: 6, acceptableShare: 0.6, httpsShare: 0.15, weight: 0.08},
+	CatSearch:      {objMin: 6, objMax: 15, adSlotsMin: 1, adSlotsMax: 3, trackersMin: 1, trackersMax: 2, acceptableShare: 0.9, httpsShare: 0.55, weight: 0.06},
+	CatMixed:       {objMin: 15, objMax: 50, adSlotsMin: 1, adSlotsMax: 6, trackersMin: 1, trackersMax: 5, acceptableShare: 0.4, httpsShare: 0.10, weight: 0.10},
+}
+
+// Site is one synthetic Web site.
+type Site struct {
+	// Rank is the popularity rank (1 = most popular).
+	Rank int
+	// Domain is the registered domain ("news042.example").
+	Domain string
+	// Category labels the content.
+	Category Category
+	// UsesAcceptableAds marks sites whose ad slots include placements the
+	// non-intrusive-ads list whitelists.
+	UsesAcceptableAds bool
+	// NoAds marks the few sites that carry no advertising at all.
+	NoAds bool
+	// PopularNewsNotWhitelisted reproduces §7.3's observation: popular news
+	// sites none of whose ad requests are whitelisted.
+	PopularNewsNotWhitelisted bool
+	// CDNHosted marks sites served from the CDN AS rather than generic
+	// hosting.
+	CDNHosted bool
+
+	prof profile
+}
+
+// Host returns the site's www host.
+func (s *Site) Host() string { return "www." + s.Domain }
+
+// StaticHost returns the site's static-asset host.
+func (s *Site) StaticHost() string { return "static." + s.Domain }
+
+// PageURL returns the URL of the site's idx-th page.
+func (s *Site) PageURL(idx int) string {
+	return fmt.Sprintf("http://%s/p/%04d/index.html", s.Host(), idx)
+}
+
+// World is the complete synthetic ecosystem.
+type World struct {
+	// Companies is the shared ad-tech population.
+	Companies []*filterlists.Company
+	// Bundle carries the filter lists generated over the same vocabulary.
+	Bundle *filterlists.Bundle
+	// Sites is the catalog ordered by rank (Sites[0] is rank 1).
+	Sites []*Site
+	// ASDB resolves server IPs to ASes.
+	ASDB *asdb.DB
+	// AdblockServerIPs are the IPs of the Adblock Plus filter-list servers
+	// (the EasyList-download indicator watches HTTPS flows to these).
+	AdblockServerIPs []uint32
+
+	hosting *hosting
+	seed    int64
+	zipfS   float64
+}
+
+// Options configures world generation.
+type Options struct {
+	// Seed drives all randomness; identical seeds yield identical worlds.
+	Seed int64
+	// NumSites is the catalog size (the paper crawls the top 1000).
+	NumSites int
+	// ListOptions configures the synthetic filter lists.
+	ListOptions filterlists.GenOptions
+	// ZipfS is the popularity skew of site visits.
+	ZipfS float64
+}
+
+// DefaultOptions returns laptop-scale defaults.
+func DefaultOptions() Options {
+	lo := filterlists.DefaultGenOptions()
+	return Options{Seed: 2015, NumSites: 1000, ListOptions: lo, ZipfS: 1.05}
+}
+
+// NewWorld generates the ecosystem.
+func NewWorld(opt Options) (*World, error) {
+	if opt.NumSites <= 0 {
+		return nil, fmt.Errorf("webgen: NumSites must be positive")
+	}
+	if opt.ZipfS <= 1 {
+		opt.ZipfS = 1.05
+	}
+	bundle, err := filterlists.NewBundle(opt.ListOptions)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Companies: bundle.Companies,
+		Bundle:    bundle,
+		seed:      opt.Seed,
+		zipfS:     opt.ZipfS,
+	}
+	w.generateSites(opt.NumSites)
+	if err := w.buildHosting(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// generateSites fills the catalog deterministically.
+func (w *World) generateSites(n int) {
+	rng := rand.New(rand.NewSource(w.seed * 31))
+	cats := make([]Category, 0, len(profiles))
+	weights := make([]float64, 0, len(profiles))
+	for c, p := range profiles {
+		cats = append(cats, c)
+		weights = append(weights, p.weight)
+	}
+	// Deterministic order: map iteration is random, sort by name.
+	for i := 1; i < len(cats); i++ {
+		for j := i; j > 0 && cats[j-1] > cats[j]; j-- {
+			cats[j-1], cats[j] = cats[j], cats[j-1]
+			weights[j-1], weights[j] = weights[j], weights[j-1]
+		}
+	}
+	pick := func() Category {
+		r := rng.Float64()
+		acc := 0.0
+		for i, c := range cats {
+			acc += weights[i]
+			if r < acc {
+				return c
+			}
+		}
+		return cats[len(cats)-1]
+	}
+	newsSeen := 0
+	for i := 0; i < n; i++ {
+		cat := pick()
+		prof := profiles[cat]
+		s := &Site{
+			Rank:     i + 1,
+			Domain:   fmt.Sprintf("%s%03d.example", shortName(cat), i),
+			Category: cat,
+			prof:     prof,
+		}
+		s.UsesAcceptableAds = rng.Float64() < prof.acceptableShare
+		s.NoAds = rng.Float64() < 0.06
+		s.CDNHosted = rng.Float64() < 0.25
+		if cat == CatNews {
+			newsSeen++
+			// A few popular news sites whitelist nothing (§7.3).
+			if newsSeen%7 == 3 && i < 400 {
+				s.PopularNewsNotWhitelisted = true
+				s.UsesAcceptableAds = false
+			}
+		}
+		w.Sites = append(w.Sites, s)
+	}
+}
+
+func shortName(c Category) string {
+	switch c {
+	case CatNews:
+		return "news"
+	case CatVideo:
+		return "video"
+	case CatShopping:
+		return "shop"
+	case CatAdult:
+		return "adult"
+	case CatFileSharing:
+		return "share"
+	case CatDating:
+		return "date"
+	case CatTranslation:
+		return "xlate"
+	case CatAudio:
+		return "audio"
+	case CatSocial:
+		return "social"
+	case CatTech:
+		return "tech"
+	case CatSearch:
+		return "search"
+	default:
+		return "mixed"
+	}
+}
+
+// PickSite draws a site with Zipf-distributed popularity.
+func (w *World) PickSite(rng *rand.Rand) *Site {
+	// Inverse-CDF Zipf over ranks, cheap approximation: rank ∝ u^(-1/(s-1))
+	// truncated to the catalog. Good enough for workload skew.
+	u := rng.Float64()
+	r := int(math.Pow(float64(len(w.Sites)), u) * math.Pow(u, 0.15))
+	if r < 0 {
+		r = 0
+	}
+	if r >= len(w.Sites) {
+		r = len(w.Sites) - 1
+	}
+	return w.Sites[r]
+}
+
+// SitesByCategory returns the catalog subset in a category.
+func (w *World) SitesByCategory(c Category) []*Site {
+	var out []*Site
+	for _, s := range w.Sites {
+		if s.Category == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}

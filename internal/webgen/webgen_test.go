@@ -1,0 +1,326 @@
+package webgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"adscape/internal/abp"
+	"adscape/internal/filterlists"
+	"adscape/internal/urlutil"
+)
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.NumSites = 120
+	opt.ListOptions.ExtraGenericRules = 50
+	w, err := NewWorld(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	opt := DefaultOptions()
+	opt.NumSites = 40
+	opt.ListOptions.ExtraGenericRules = 10
+	w1, err := NewWorld(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWorld(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1.Sites {
+		if w1.Sites[i].Domain != w2.Sites[i].Domain || w1.Sites[i].Category != w2.Sites[i].Category {
+			t.Fatalf("site %d differs between identical seeds", i)
+		}
+	}
+	p1 := w1.GenPage(w1.Sites[3], 7)
+	p2 := w2.GenPage(w2.Sites[3], 7)
+	if len(p1.Objects) != len(p2.Objects) {
+		t.Fatalf("page object counts differ: %d vs %d", len(p1.Objects), len(p2.Objects))
+	}
+	for i := range p1.Objects {
+		if p1.Objects[i].URL != p2.Objects[i].URL {
+			t.Fatalf("object %d URL differs", i)
+		}
+	}
+}
+
+func TestPageStructure(t *testing.T) {
+	w := testWorld(t)
+	var sawAd, sawTracker, sawRedirect, sawAcceptable bool
+	for _, site := range w.Sites[:60] {
+		pg := w.GenPage(site, 0)
+		if pg.Objects[0].Class != urlutil.ClassDocument {
+			t.Fatalf("first object must be the main document, got %s", pg.Objects[0].Class)
+		}
+		if pg.Objects[0].URL != pg.URL {
+			t.Fatal("main document URL mismatch")
+		}
+		for _, o := range pg.Objects[1:] {
+			if o.Referer == "" && o.RedirectFrom == "" {
+				t.Errorf("object %q has neither referer nor redirect origin", o.URL)
+			}
+			switch o.Kind {
+			case KindAd:
+				sawAd = true
+				if o.Company == nil {
+					t.Errorf("ad object %q lacks company", o.URL)
+				}
+			case KindTracker:
+				sawTracker = true
+			case KindAcceptableAd:
+				sawAcceptable = true
+			}
+			if o.RedirectLocation != "" {
+				sawRedirect = true
+			}
+			if o.Size < 0 {
+				t.Errorf("negative size for %q", o.URL)
+			}
+		}
+		if site.NoAds && pg.NumAds() != 0 {
+			t.Errorf("NoAds site %s has %d ad objects", site.Domain, pg.NumAds())
+		}
+	}
+	if !sawAd || !sawTracker || !sawRedirect || !sawAcceptable {
+		t.Errorf("page corpus missing structures: ad=%v tracker=%v redirect=%v acceptable=%v",
+			sawAd, sawTracker, sawRedirect, sawAcceptable)
+	}
+}
+
+// TestGroundTruthMatchesFilterLists is the linchpin: the classifier engine
+// over the synthetic lists must agree with the generator's ground truth for
+// the overwhelming majority of objects (the residual disagreement is the
+// engineered MIME noise the paper's validation quantifies).
+func TestGroundTruthMatchesFilterLists(t *testing.T) {
+	w := testWorld(t)
+	engine := w.Bundle.ClassifierEngine()
+	agree, total := 0, 0
+	var misses []string
+	for _, site := range w.Sites[:80] {
+		pg := w.GenPage(site, 1)
+		for _, o := range pg.Objects {
+			if o.HTTPS {
+				continue
+			}
+			req := &abp.Request{URL: o.URL, Class: o.Class, PageHost: urlutil.Host(pg.URL)}
+			v := engine.Classify(req)
+			wantAd := o.Kind != KindContent
+			total++
+			if v.IsAd() == wantAd {
+				agree++
+			} else if len(misses) < 10 {
+				misses = append(misses, o.URL+" kind="+o.Kind.String()+" verdict="+v.String())
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no objects generated")
+	}
+	if ratio := float64(agree) / float64(total); ratio < 0.97 {
+		t.Errorf("ground truth agreement %.3f < 0.97; examples: %v", ratio, misses)
+	}
+}
+
+func TestAcceptableAdsAreWhitelisted(t *testing.T) {
+	w := testWorld(t)
+	engine := w.Bundle.ClassifierEngine()
+	checked := 0
+	for _, site := range w.Sites {
+		pg := w.GenPage(site, 2)
+		for _, o := range pg.Objects {
+			if o.Kind != KindAcceptableAd || o.HTTPS {
+				continue
+			}
+			v := engine.Classify(&abp.Request{URL: o.URL, Class: o.Class, PageHost: urlutil.Host(pg.URL)})
+			if !v.Whitelisted {
+				t.Errorf("acceptable ad not whitelisted: %s (%s)", o.URL, v)
+			}
+			if v.Blocked() {
+				t.Errorf("acceptable ad blocked: %s", o.URL)
+			}
+			checked++
+		}
+		if checked > 50 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no acceptable ads found in corpus")
+	}
+}
+
+func TestTrackersHitEasyPrivacyNotEasyList(t *testing.T) {
+	w := testWorld(t)
+	engine := w.Bundle.ClassifierEngine()
+	checked := 0
+	for _, site := range w.Sites {
+		pg := w.GenPage(site, 3)
+		for _, o := range pg.Objects {
+			if o.Kind != KindTracker || o.HTTPS {
+				continue
+			}
+			v := engine.Classify(&abp.Request{URL: o.URL, Class: o.Class, PageHost: urlutil.Host(pg.URL)})
+			if !v.Matched {
+				t.Errorf("tracker unmatched: %s", o.URL)
+				continue
+			}
+			if v.ListKind != abp.ListPrivacy {
+				t.Errorf("tracker %s attributed to %s, want privacy list", o.URL, v.ListName)
+			}
+			checked++
+		}
+		if checked > 50 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no trackers found")
+	}
+}
+
+func TestHostingResolution(t *testing.T) {
+	w := testWorld(t)
+	// Every object's host must resolve to a server IP, and company servers
+	// must sit in the company's AS.
+	for _, site := range w.Sites[:40] {
+		pg := w.GenPage(site, 0)
+		for _, o := range pg.Objects {
+			host := urlutil.Host(o.URL)
+			ip, ok := w.ServerFor(host, urlutil.Path(o.URL))
+			if !ok {
+				t.Fatalf("no server for host %q", host)
+			}
+			if o.Company != nil && o.Company.ASN != filterlists.ASAkamai {
+				as := w.ASDB.Lookup(ip)
+				if as == nil || as.Number != o.Company.ASN {
+					t.Errorf("company %s object served from wrong AS: ip=%s as=%v",
+						o.Company.Name, asdbIP(ip), as)
+				}
+			}
+			if rtt := w.RTTFor(ip); rtt <= 0 || rtt > 200e6 {
+				t.Errorf("implausible RTT %d for %s", rtt, host)
+			}
+		}
+	}
+}
+
+func TestServerForDeterministic(t *testing.T) {
+	w := testWorld(t)
+	ip1, ok1 := w.ServerFor("cas.criteo.example", "/x")
+	ip2, ok2 := w.ServerFor("cas.criteo.example", "/x")
+	if !ok1 || !ok2 || ip1 != ip2 {
+		t.Error("ServerFor must be deterministic")
+	}
+	if _, ok := w.ServerFor("unknown.invalid", "/"); ok {
+		t.Error("unknown host must not resolve")
+	}
+}
+
+func TestSharedCDNInfrastructure(t *testing.T) {
+	w := testWorld(t)
+	// A CDN-hosted site and the Akamai ad company must share the IP pool.
+	var cdnSite *Site
+	for _, s := range w.Sites {
+		if s.CDNHosted {
+			cdnSite = s
+			break
+		}
+	}
+	if cdnSite == nil {
+		t.Skip("no CDN-hosted site in small catalog")
+	}
+	siteIP, _ := w.ServerFor(cdnSite.Host(), "/a")
+	adIP, _ := w.ServerFor("akamaiads.example", "/b")
+	if w.ASDB.LookupName(siteIP) != "Akamai" || w.ASDB.LookupName(adIP) != "Akamai" {
+		t.Error("both pools must be in the Akamai AS")
+	}
+}
+
+func TestAdblockServerIPs(t *testing.T) {
+	w := testWorld(t)
+	if len(w.AdblockServerIPs) != 4 {
+		t.Fatalf("ABP servers = %d", len(w.AdblockServerIPs))
+	}
+	for _, ip := range w.AdblockServerIPs {
+		if w.ASDB.LookupName(ip) != "Hetzner" {
+			t.Errorf("ABP server in %s, want Hetzner", w.ASDB.LookupName(ip))
+		}
+	}
+}
+
+func TestZipfPopularity(t *testing.T) {
+	w := testWorld(t)
+	rng := rand.New(rand.NewSource(5))
+	counts := make(map[int]int)
+	for i := 0; i < 20000; i++ {
+		counts[w.PickSite(rng).Rank]++
+	}
+	top10 := 0
+	for r := 1; r <= 10; r++ {
+		top10 += counts[r]
+	}
+	if float64(top10)/20000 < 0.10 {
+		t.Errorf("top-10 sites draw only %.1f%% of visits; popularity not skewed", float64(top10)/200)
+	}
+	if len(counts) < 60 {
+		t.Errorf("only %d distinct sites visited; tail missing", len(counts))
+	}
+}
+
+func TestRTBThinkTimes(t *testing.T) {
+	w := testWorld(t)
+	var rtb, static []int64
+	for _, site := range w.Sites[:60] {
+		pg := w.GenPage(site, 4)
+		for _, o := range pg.Objects {
+			if o.RTB {
+				rtb = append(rtb, o.ThinkTime)
+			} else if o.Kind == KindContent && o.Class == urlutil.ClassImage {
+				static = append(static, o.ThinkTime)
+			}
+		}
+	}
+	if len(rtb) == 0 || len(static) == 0 {
+		t.Fatalf("missing samples: rtb=%d static=%d", len(rtb), len(static))
+	}
+	for _, v := range rtb {
+		if v < 90e6 {
+			t.Errorf("RTB think time %dms < 90ms", v/1e6)
+		}
+	}
+	for _, v := range static {
+		if v > 30e6 {
+			t.Errorf("static think time %dms suspiciously high", v/1e6)
+		}
+	}
+}
+
+func TestClientIPAllocator(t *testing.T) {
+	w := testWorld(t)
+	alloc := w.ClientIPAllocator()
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		ip, err := alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ip] {
+			t.Fatal("duplicate client IP")
+		}
+		seen[ip] = true
+		if w.ASDB.LookupName(ip) != "Eyeball-ISP" {
+			t.Errorf("client IP outside eyeball AS: %s", w.ASDB.LookupName(ip))
+		}
+	}
+}
+
+// asdbIP formats an IP for error messages without importing asdb broadly.
+func asdbIP(ip uint32) string {
+	return string(rune('0' + (ip>>24)&0xff)) // coarse; only used in failures
+}

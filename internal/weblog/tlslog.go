@@ -1,0 +1,105 @@
+package weblog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TLSWriter emits TLS flow summaries in a tab-separated log, the HTTPS
+// counterpart of the HTTP transaction log (§5: port-443 traffic is opaque
+// but its endpoints and volumes remain analyzable).
+type TLSWriter struct {
+	w *bufio.Writer
+}
+
+// NewTLSWriter writes the header line and returns a writer.
+func NewTLSWriter(w io.Writer) (*TLSWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("#fields\tts\tclient\tserver\tport\tbytes\ttcp_rtt\n"); err != nil {
+		return nil, err
+	}
+	return &TLSWriter{w: bw}, nil
+}
+
+// Write appends one flow record.
+func (tw *TLSWriter) Write(f *TLSFlow) error {
+	_, err := fmt.Fprintf(tw.w, "%d\t%d\t%d\t%d\t%d\t%d\n",
+		f.Time, f.ClientIP, f.ServerIP, f.ServerPort, f.Bytes, f.TCPRTT)
+	return err
+}
+
+// Flush flushes buffered records.
+func (tw *TLSWriter) Flush() error { return tw.w.Flush() }
+
+// TLSReader parses a log produced by TLSWriter.
+type TLSReader struct {
+	sc *bufio.Scanner
+}
+
+// NewTLSReader wraps r.
+func NewTLSReader(r io.Reader) *TLSReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &TLSReader{sc: sc}
+}
+
+// Read returns the next flow or io.EOF.
+func (tr *TLSReader) Read() (*TLSFlow, error) {
+	for tr.sc.Scan() {
+		line := tr.sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 6 {
+			return nil, fmt.Errorf("weblog: malformed tls line with %d fields", len(f))
+		}
+		var out TLSFlow
+		var err error
+		if out.Time, err = strconv.ParseInt(f[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("weblog: tls ts: %w", err)
+		}
+		cip, err := strconv.ParseUint(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("weblog: tls client: %w", err)
+		}
+		sip, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("weblog: tls server: %w", err)
+		}
+		port, err := strconv.ParseUint(f[3], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("weblog: tls port: %w", err)
+		}
+		if out.Bytes, err = strconv.ParseUint(f[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("weblog: tls bytes: %w", err)
+		}
+		if out.TCPRTT, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("weblog: tls rtt: %w", err)
+		}
+		out.ClientIP, out.ServerIP, out.ServerPort = uint32(cip), uint32(sip), uint16(port)
+		return &out, nil
+	}
+	if err := tr.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// ReadAllTLS drains the log.
+func (tr *TLSReader) ReadAllTLS() ([]*TLSFlow, error) {
+	var out []*TLSFlow
+	for {
+		f, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+	}
+}

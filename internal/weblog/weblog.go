@@ -1,0 +1,216 @@
+// Package weblog defines the HTTP transaction records the analyzer extracts
+// from traces — the role Bro's http.log plays in the paper (§3.1), extended
+// with the Location response header and the TCP/HTTP handshake timings that
+// §8.2's real-time-bidding analysis needs.
+package weblog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"adscape/internal/urlutil"
+)
+
+// Transaction is one HTTP request/response pair observed on the wire.
+type Transaction struct {
+	// ReqTime and RespTime are the timestamps (ns) of the first packet of
+	// the request and of the response; RespTime is 0 when no response was
+	// observed.
+	ReqTime, RespTime int64
+	// ClientIP is the (anonymized) client address, ServerIP the server.
+	ClientIP, ServerIP uint32
+	// ServerPort is the server TCP port (80 for the HTTP traces).
+	ServerPort uint16
+	// Method is the HTTP request method.
+	Method string
+	// Host is the request Host header value.
+	Host string
+	// URI is the request target as sent on the wire.
+	URI string
+	// Referer is the request Referer header value, if any.
+	Referer string
+	// UserAgent is the request User-Agent header value, if any.
+	UserAgent string
+	// Status is the HTTP response status code, 0 when unobserved.
+	Status int
+	// ContentType is the response Content-Type header value.
+	ContentType string
+	// ContentLength is the response Content-Length, -1 when absent.
+	ContentLength int64
+	// Location is the response Location header (redirects), if any.
+	Location string
+	// TCPRTT is the TCP handshake latency of the carrying flow in ns,
+	// -1 when the handshake was not observed.
+	TCPRTT int64
+}
+
+// URL reconstructs the absolute request URL.
+func (t *Transaction) URL() string {
+	uri := t.URI
+	if uri == "" {
+		uri = "/"
+	}
+	if strings.HasPrefix(uri, "http://") || strings.HasPrefix(uri, "https://") {
+		return uri // absolute-form request target
+	}
+	return "http://" + t.Host + uri
+}
+
+// HTTPHandshake returns the HTTP "handshake" latency of §8.2 — time from
+// first request packet to first response packet — and whether both ends
+// were observed.
+func (t *Transaction) HTTPHandshake() (ns int64, ok bool) {
+	if t.ReqTime == 0 || t.RespTime == 0 || t.RespTime < t.ReqTime {
+		return 0, false
+	}
+	return t.RespTime - t.ReqTime, true
+}
+
+// Truncate strips the transaction to privacy-preserving form: URL reduced to
+// the FQDN, referrer reduced to its FQDN (§5, last paragraph).
+func (t *Transaction) Truncate() {
+	t.URI = "/"
+	if t.Referer != "" {
+		t.Referer = urlutil.TruncateToFQDN(t.Referer)
+	}
+	t.Location = ""
+}
+
+// TLSFlow summarizes one HTTPS connection; payload is opaque, so only
+// endpoints, timing and volume are known. The paper uses these to count
+// HTTPS requests (Table 1) and to spot Adblock Plus list downloads (§3.2).
+type TLSFlow struct {
+	// Time is the flow start (first packet) in ns.
+	Time int64
+	// ClientIP and ServerIP identify the endpoints.
+	ClientIP, ServerIP uint32
+	// ServerPort is the server port (443).
+	ServerPort uint16
+	// Bytes is the total wire payload volume in both directions.
+	Bytes uint64
+	// TCPRTT is the handshake latency in ns, -1 when unobserved.
+	TCPRTT int64
+}
+
+// Writer emits transactions in a tab-separated Bro-style log.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter creates a log writer and emits the header line.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("#fields\treq_ts\tresp_ts\tclient\tserver\tport\tmethod\thost\turi\treferer\tuser_agent\tstatus\tcontent_type\tcontent_length\tlocation\ttcp_rtt\n"); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one transaction.
+func (lw *Writer) Write(t *Transaction) error {
+	_, err := fmt.Fprintf(lw.w, "%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%d\t%s\t%d\t%s\t%d\n",
+		t.ReqTime, t.RespTime, t.ClientIP, t.ServerIP, t.ServerPort,
+		esc(t.Method), esc(t.Host), esc(t.URI), esc(t.Referer), esc(t.UserAgent),
+		t.Status, esc(t.ContentType), t.ContentLength, esc(t.Location), t.TCPRTT)
+	return err
+}
+
+// Flush flushes the underlying buffer.
+func (lw *Writer) Flush() error { return lw.w.Flush() }
+
+func esc(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return strings.NewReplacer("\t", "%09", "\n", "%0A").Replace(s)
+}
+
+func unesc(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return strings.NewReplacer("%09", "\t", "%0A", "\n").Replace(s)
+}
+
+// Reader parses a log produced by Writer.
+type Reader struct {
+	sc *bufio.Scanner
+}
+
+// NewReader wraps r; the header line is skipped when present.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next transaction or io.EOF.
+func (lr *Reader) Read() (*Transaction, error) {
+	for lr.sc.Scan() {
+		line := lr.sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 15 {
+			return nil, fmt.Errorf("weblog: malformed line with %d fields", len(f))
+		}
+		t := &Transaction{}
+		var err error
+		if t.ReqTime, err = strconv.ParseInt(f[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("weblog: req_ts: %w", err)
+		}
+		if t.RespTime, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("weblog: resp_ts: %w", err)
+		}
+		cip, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("weblog: client: %w", err)
+		}
+		sip, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("weblog: server: %w", err)
+		}
+		port, err := strconv.ParseUint(f[4], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("weblog: port: %w", err)
+		}
+		t.ClientIP, t.ServerIP, t.ServerPort = uint32(cip), uint32(sip), uint16(port)
+		t.Method, t.Host, t.URI = unesc(f[5]), unesc(f[6]), unesc(f[7])
+		t.Referer, t.UserAgent = unesc(f[8]), unesc(f[9])
+		if t.Status, err = strconv.Atoi(f[10]); err != nil {
+			return nil, fmt.Errorf("weblog: status: %w", err)
+		}
+		t.ContentType = unesc(f[11])
+		if t.ContentLength, err = strconv.ParseInt(f[12], 10, 64); err != nil {
+			return nil, fmt.Errorf("weblog: content_length: %w", err)
+		}
+		t.Location = unesc(f[13])
+		if t.TCPRTT, err = strconv.ParseInt(f[14], 10, 64); err != nil {
+			return nil, fmt.Errorf("weblog: tcp_rtt: %w", err)
+		}
+		return t, nil
+	}
+	if err := lr.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// ReadAll drains the log.
+func (lr *Reader) ReadAll() ([]*Transaction, error) {
+	var out []*Transaction
+	for {
+		t, err := lr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}

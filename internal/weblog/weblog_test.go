@@ -1,0 +1,123 @@
+package weblog
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Transaction {
+	return &Transaction{
+		ReqTime: 12345, RespTime: 23456,
+		ClientIP: 0x0A000001, ServerIP: 0x0A000002, ServerPort: 80,
+		Method: "GET", Host: "www.example.com", URI: "/a/b?x=1",
+		Referer: "http://pub.example/", UserAgent: "UA/1.0 (weird\ttab)",
+		Status: 200, ContentType: "image/gif", ContentLength: 43,
+		Location: "", TCPRTT: 15000000,
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if err := w.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Transaction{ContentLength: -1, TCPRTT: -1}
+	if err := w.Write(empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	got, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	got2, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got2 != *empty {
+		t.Errorf("empty transaction mismatch: %+v", got2)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(host, uri, ref string, status uint16, clen int64) bool {
+		tx := &Transaction{
+			Method: "GET", Host: host, URI: uri, Referer: ref,
+			Status: int(status), ContentLength: clen, TCPRTT: -1,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if err := w.Write(tx); err != nil {
+			return false
+		}
+		w.Flush()
+		got, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return *got == *tx
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestURLForms(t *testing.T) {
+	tx := &Transaction{Host: "h.example", URI: "/p"}
+	if tx.URL() != "http://h.example/p" {
+		t.Errorf("URL = %q", tx.URL())
+	}
+	abs := &Transaction{Host: "proxy", URI: "http://origin.example/x"}
+	if abs.URL() != "http://origin.example/x" {
+		t.Errorf("absolute-form URL = %q", abs.URL())
+	}
+	noURI := &Transaction{Host: "h.example"}
+	if noURI.URL() != "http://h.example/" {
+		t.Errorf("empty URI URL = %q", noURI.URL())
+	}
+}
+
+func TestHTTPHandshake(t *testing.T) {
+	tx := &Transaction{ReqTime: 100, RespTime: 250}
+	d, ok := tx.HTTPHandshake()
+	if !ok || d != 150 {
+		t.Errorf("handshake = %d ok=%v", d, ok)
+	}
+	for _, bad := range []*Transaction{
+		{ReqTime: 0, RespTime: 250},
+		{ReqTime: 100, RespTime: 0},
+		{ReqTime: 300, RespTime: 250},
+	} {
+		if _, ok := bad.HTTPHandshake(); ok {
+			t.Errorf("handshake should be unavailable for %+v", bad)
+		}
+	}
+}
+
+func TestReaderRejectsMalformed(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("only\tthree\tfields\n")))
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("malformed line must error, got %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// ConnEmitter synthesizes the packet-header records of one TCP connection:
+// handshake, request/response exchanges with snaplen-truncated bodies, and
+// teardown. The RBN and crawl simulators drive it; tests use it to build
+// well-formed traces.
+type ConnEmitter struct {
+	out func(*Packet) error
+
+	clientIP, serverIP     uint32
+	clientPort, serverPort uint16
+	// rtt is the network round-trip time in ns, applied to the handshake.
+	rtt int64
+
+	cSeq, sSeq uint32
+	opened     bool
+	closed     bool
+}
+
+// NewConnEmitter creates an emitter writing packets through out.
+func NewConnEmitter(out func(*Packet) error, clientIP uint32, clientPort uint16, serverIP uint32, serverPort uint16, rtt int64, isn uint32) *ConnEmitter {
+	return &ConnEmitter{
+		out:      out,
+		clientIP: clientIP, clientPort: clientPort,
+		serverIP: serverIP, serverPort: serverPort,
+		rtt:  rtt,
+		cSeq: isn, sSeq: isn + 7919,
+	}
+}
+
+// RTT returns the connection's configured round-trip time in ns.
+func (c *ConnEmitter) RTT() int64 { return c.rtt }
+
+func (c *ConnEmitter) client(t int64, flags uint8, payload []byte, wireLen uint32) error {
+	p := &Packet{Time: t, SrcIP: c.clientIP, DstIP: c.serverIP,
+		SrcPort: c.clientPort, DstPort: c.serverPort,
+		Flags: flags, Seq: c.cSeq, WireLen: wireLen, Payload: payload}
+	c.cSeq += wireLen
+	if flags&(FlagSYN|FlagFIN) != 0 {
+		c.cSeq++
+	}
+	return c.out(p)
+}
+
+func (c *ConnEmitter) server(t int64, flags uint8, payload []byte, wireLen uint32) error {
+	p := &Packet{Time: t, SrcIP: c.serverIP, DstIP: c.clientIP,
+		SrcPort: c.serverPort, DstPort: c.clientPort,
+		Flags: flags, Seq: c.sSeq, WireLen: wireLen, Payload: payload}
+	c.sSeq += wireLen
+	if flags&(FlagSYN|FlagFIN) != 0 {
+		c.sSeq++
+	}
+	return c.out(p)
+}
+
+// Open emits the three-way handshake starting at time t (ns) and returns the
+// time at which the connection is usable (t + one RTT). The capture monitor
+// sits in the client's aggregation network (§5), so the SYN→SYN-ACK gap it
+// observes is the full wide-area round trip.
+func (c *ConnEmitter) Open(t int64) (established int64, err error) {
+	if c.opened {
+		return 0, fmt.Errorf("wire: connection already open")
+	}
+	c.opened = true
+	if err := c.client(t, FlagSYN, nil, 0); err != nil {
+		return 0, err
+	}
+	if err := c.server(t+c.rtt, FlagSYN|FlagACK, nil, 0); err != nil {
+		return 0, err
+	}
+	if err := c.client(t+c.rtt+1e4, FlagACK, nil, 0); err != nil {
+		return 0, err
+	}
+	return t + c.rtt + 1e4, nil
+}
+
+// Request emits the client's request header block at time t. Header bytes
+// are fully captured (they fit the snaplen by construction).
+func (c *ConnEmitter) Request(t int64, header []byte) error {
+	if err := c.ensureOpen(t); err != nil {
+		return err
+	}
+	return c.segmented(t, true, header, 0)
+}
+
+// Response emits the server's response header block at time t, followed by
+// bodyLen body bytes that advance sequence numbers but are not captured —
+// the snaplen truncation of a header-only trace.
+func (c *ConnEmitter) Response(t int64, header []byte, bodyLen int64) error {
+	if err := c.ensureOpen(t); err != nil {
+		return err
+	}
+	return c.segmented(t, false, header, bodyLen)
+}
+
+// OpaquePayload emits uncaptured payload in both directions, modelling a TLS
+// exchange of roughly totalBytes volume.
+func (c *ConnEmitter) OpaquePayload(t int64, upBytes, downBytes int64) error {
+	if err := c.ensureOpen(t); err != nil {
+		return err
+	}
+	for upBytes > 0 {
+		n := min64(upBytes, 1460)
+		if err := c.client(t, FlagACK, nil, uint32(n)); err != nil {
+			return err
+		}
+		upBytes -= n
+		t += 1e5
+	}
+	for downBytes > 0 {
+		n := min64(downBytes, 1460)
+		if err := c.server(t, FlagACK, nil, uint32(n)); err != nil {
+			return err
+		}
+		downBytes -= n
+		t += 1e5
+	}
+	return nil
+}
+
+// segmented writes a header block split at snaplen-sized segments, then
+// uncaptured body bytes.
+func (c *ConnEmitter) segmented(t int64, fromClient bool, header []byte, bodyLen int64) error {
+	emit := c.server
+	if fromClient {
+		emit = c.client
+	}
+	for off := 0; off < len(header); {
+		n := len(header) - off
+		if n > SnapLen {
+			n = SnapLen
+		}
+		flags := FlagACK
+		if off+n == len(header) && bodyLen == 0 {
+			flags |= FlagPSH
+		}
+		if err := emit(t, flags, header[off:off+n], uint32(n)); err != nil {
+			return err
+		}
+		off += n
+		t += 2e5 // 0.2ms between segments
+	}
+	for bodyLen > 0 {
+		n := min64(bodyLen, 1460)
+		if err := emit(t, FlagACK, nil, uint32(n)); err != nil {
+			return err
+		}
+		bodyLen -= n
+		t += 2e5
+	}
+	return nil
+}
+
+// Close emits the FIN exchange at time t.
+func (c *ConnEmitter) Close(t int64) error {
+	if !c.opened || c.closed {
+		return nil
+	}
+	c.closed = true
+	if err := c.client(t, FlagFIN|FlagACK, nil, 0); err != nil {
+		return err
+	}
+	return c.server(t+c.rtt/2, FlagFIN|FlagACK, nil, 0)
+}
+
+func (c *ConnEmitter) ensureOpen(t int64) error {
+	if c.closed {
+		return fmt.Errorf("wire: connection closed")
+	}
+	if !c.opened {
+		_, err := c.Open(t - c.rtt)
+		return err
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestConnEmitterLifecycleErrors(t *testing.T) {
+	var pkts []*Packet
+	sink := func(p *Packet) error { pkts = append(pkts, p); return nil }
+	c := NewConnEmitter(sink, 1, 1000, 2, 80, 10e6, 5)
+	if _, err := c.Open(1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open(2e9); err == nil {
+		t.Error("double Open must fail")
+	}
+	if err := c.Close(3e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Request(4e9, []byte("GET / HTTP/1.1\r\n\r\n")); err == nil {
+		t.Error("Request after Close must fail")
+	}
+	if err := c.Close(5e9); err != nil {
+		t.Error("double Close is a no-op, not an error")
+	}
+}
+
+func TestConnEmitterImplicitOpen(t *testing.T) {
+	var pkts []*Packet
+	sink := func(p *Packet) error { pkts = append(pkts, p); return nil }
+	c := NewConnEmitter(sink, 1, 1001, 2, 80, 10e6, 5)
+	// Request without Open: the handshake is emitted implicitly.
+	if err := c.Request(1e9, []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 4 {
+		t.Fatalf("expected handshake + request, got %d packets", len(pkts))
+	}
+	if !pkts[0].HasFlag(FlagSYN) {
+		t.Error("first packet must be the SYN")
+	}
+}
+
+func TestConnEmitterSequenceContinuity(t *testing.T) {
+	var pkts []*Packet
+	sink := func(p *Packet) error { pkts = append(pkts, p); return nil }
+	c := NewConnEmitter(sink, 1, 1002, 2, 80, 10e6, 100)
+	est, _ := c.Open(1e9)
+	hdr := []byte("HTTP/1.1 200 OK\r\nContent-Length: 3000\r\n\r\n")
+	if err := c.Response(est, hdr, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Response(est+10e6, hdr, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Server-side sequence numbers must be continuous over header + body.
+	var seqs []uint32
+	var lens []uint32
+	for _, p := range pkts {
+		if p.SrcPort == 80 && p.WireLen > 0 {
+			seqs = append(seqs, p.Seq)
+			lens = append(lens, p.WireLen)
+		}
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+lens[i-1] {
+			t.Fatalf("sequence gap at packet %d: %d != %d+%d", i, seqs[i], seqs[i-1], lens[i-1])
+		}
+	}
+}

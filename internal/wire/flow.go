@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"sort"
+)
+
+// Dir is the direction of a segment within a flow.
+type Dir int
+
+// Directions relative to the connection initiator.
+const (
+	ClientToServer Dir = iota
+	ServerToClient
+)
+
+// Flow is the per-connection state the flow table maintains: handshake
+// timestamps, byte accounting, and in-order payload delivery per direction.
+type Flow struct {
+	// Client/Server identify the endpoints; the client sent the SYN.
+	ClientIP, ServerIP     uint32
+	ClientPort, ServerPort uint16
+	// SYNTime and SYNACKTime are the TCP handshake timestamps (ns); zero
+	// when the handshake was not observed (trace started mid-flow).
+	SYNTime, SYNACKTime int64
+	// FirstTime/LastTime span the packets seen on the flow.
+	FirstTime, LastTime int64
+	// WireBytes counts original payload bytes per direction.
+	WireBytes [2]uint64
+	// Packets counts packets per direction.
+	Packets [2]int
+
+	reasm [2]*reassembler
+}
+
+// HandshakeRTT returns the TCP handshake latency in nanoseconds (SYN-ACK −
+// SYN), the paper's proxy for network RTT (§8.2). ok is false when either
+// timestamp is missing.
+func (f *Flow) HandshakeRTT() (ns int64, ok bool) {
+	if f.SYNTime == 0 || f.SYNACKTime == 0 || f.SYNACKTime < f.SYNTime {
+		return 0, false
+	}
+	return f.SYNACKTime - f.SYNTime, true
+}
+
+// reassembler delivers captured payload in sequence order, dropping
+// duplicates and tolerating reordering. Gaps (bytes never captured, e.g.
+// snaplen-truncated bodies) are reported so the consumer can resynchronize.
+type reassembler struct {
+	next    uint32 // next expected sequence number
+	started bool
+	pending []segment
+}
+
+type segment struct {
+	seq     uint32
+	time    int64
+	payload []byte
+	wireLen uint32
+}
+
+// seqLess handles 32-bit sequence wraparound.
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// push adds a segment and returns the deliverable chunks in order. A chunk
+// with gap=true signals missing bytes before it.
+type chunk struct {
+	time    int64
+	payload []byte
+	gap     bool
+}
+
+func (r *reassembler) push(seq uint32, t int64, payload []byte, wireLen uint32) []chunk {
+	if wireLen == 0 {
+		return nil
+	}
+	if !r.started {
+		r.started = true
+		r.next = seq
+	}
+	if seqLess(seq, r.next) {
+		// Retransmission of already-delivered data; drop (possibly partial
+		// overlap — the generator never emits partial overlaps).
+		if !seqLess(r.next, seq+wireLen) {
+			return nil
+		}
+		// Trim the delivered prefix.
+		skip := r.next - seq
+		if uint32(len(payload)) > skip {
+			payload = payload[skip:]
+		} else {
+			payload = nil
+		}
+		seq = r.next
+		wireLen -= skip
+	}
+	r.pending = append(r.pending, segment{seq: seq, time: t, payload: payload, wireLen: wireLen})
+	sort.Slice(r.pending, func(i, j int) bool { return seqLess(r.pending[i].seq, r.pending[j].seq) })
+
+	var out []chunk
+	out = r.drain(out)
+	// If pending segments remain and exceed a reordering window, declare a
+	// gap and resynchronize at the earliest pending segment. The window is
+	// generous: 64 segments.
+	for len(r.pending) > 64 {
+		s := r.pending[0]
+		out = append(out, chunk{time: s.time, payload: s.payload, gap: true})
+		r.next = s.seq + s.wireLen
+		r.pending = r.pending[1:]
+		out = r.drain(out)
+	}
+	return out
+}
+
+// drain delivers every pending segment that now chains at r.next, dropping
+// stale duplicates.
+func (r *reassembler) drain(out []chunk) []chunk {
+	progress := true
+	for progress {
+		progress = false
+		for i, s := range r.pending {
+			if s.seq == r.next {
+				out = append(out, chunk{time: s.time, payload: s.payload})
+				r.next = s.seq + s.wireLen
+				r.pending = append(r.pending[:i], r.pending[i+1:]...)
+				progress = true
+				break
+			}
+			if seqLess(s.seq, r.next) {
+				r.pending = append(r.pending[:i], r.pending[i+1:]...)
+				progress = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FlowHandler receives flow-table events.
+type FlowHandler interface {
+	// FlowEstablished fires when the three-way handshake completes (or on
+	// the first data packet of a flow whose handshake predates the trace).
+	FlowEstablished(f *Flow)
+	// Data delivers reassembled payload for one direction in order. gap
+	// marks a sequence discontinuity before this chunk (uncaptured bytes).
+	Data(f *Flow, dir Dir, time int64, payload []byte, gap bool)
+	// FlowClosed fires on FIN/RST or table flush.
+	FlowClosed(f *Flow)
+}
+
+// FlowTable demultiplexes packets into flows.
+type FlowTable struct {
+	flows   map[FourTuple]*Flow
+	handler FlowHandler
+	// Established tracks whether FlowEstablished fired.
+	established map[*Flow]bool
+}
+
+// NewFlowTable creates a table delivering events to handler.
+func NewFlowTable(handler FlowHandler) *FlowTable {
+	return &FlowTable{
+		flows:       make(map[FourTuple]*Flow),
+		handler:     handler,
+		established: make(map[*Flow]bool),
+	}
+}
+
+// NumActive returns the number of live flows.
+func (ft *FlowTable) NumActive() int { return len(ft.flows) }
+
+// Add processes one packet.
+func (ft *FlowTable) Add(p *Packet) {
+	key := p.Tuple()
+	f, dir := ft.lookup(key)
+	if f == nil {
+		// New flow. The SYN sender is the client; a mid-stream packet makes
+		// the lower port the server (heuristic for truncated traces).
+		f = &Flow{FirstTime: p.Time}
+		if p.HasFlag(FlagSYN) && !p.HasFlag(FlagACK) {
+			f.ClientIP, f.ClientPort = p.SrcIP, p.SrcPort
+			f.ServerIP, f.ServerPort = p.DstIP, p.DstPort
+			f.SYNTime = p.Time
+		} else if p.DstPort < p.SrcPort {
+			f.ClientIP, f.ClientPort = p.SrcIP, p.SrcPort
+			f.ServerIP, f.ServerPort = p.DstIP, p.DstPort
+		} else {
+			f.ClientIP, f.ClientPort = p.DstIP, p.DstPort
+			f.ServerIP, f.ServerPort = p.SrcIP, p.SrcPort
+		}
+		f.reasm[0] = &reassembler{}
+		f.reasm[1] = &reassembler{}
+		ft.flows[key] = f
+		ft.flows[key.Reverse()] = f
+		dir = ft.dirOf(f, p)
+	}
+	f.LastTime = p.Time
+	if p.HasFlag(FlagSYN) && p.HasFlag(FlagACK) && f.SYNACKTime == 0 {
+		f.SYNACKTime = p.Time
+	}
+	if !ft.established[f] {
+		handshakeDone := f.SYNTime != 0 && f.SYNACKTime != 0
+		midStream := f.SYNTime == 0 && p.WireLen > 0
+		if handshakeDone || midStream {
+			ft.established[f] = true
+			ft.handler.FlowEstablished(f)
+		}
+	}
+	if p.WireLen > 0 {
+		f.WireBytes[dir] += uint64(p.WireLen)
+		f.Packets[dir]++
+		for _, c := range f.reasm[dir].push(p.Seq, p.Time, p.Payload, p.WireLen) {
+			if len(c.payload) > 0 || c.gap {
+				ft.handler.Data(f, dir, c.time, c.payload, c.gap)
+			}
+		}
+	} else {
+		f.Packets[dir]++
+	}
+	if p.HasFlag(FlagFIN) || p.HasFlag(FlagRST) {
+		ft.close(key, f)
+	}
+}
+
+func (ft *FlowTable) lookup(key FourTuple) (*Flow, Dir) {
+	f, ok := ft.flows[key]
+	if !ok {
+		return nil, 0
+	}
+	if f.ClientIP == key.SrcIP && f.ClientPort == key.SrcPort {
+		return f, ClientToServer
+	}
+	return f, ServerToClient
+}
+
+func (ft *FlowTable) dirOf(f *Flow, p *Packet) Dir {
+	if f.ClientIP == p.SrcIP && f.ClientPort == p.SrcPort {
+		return ClientToServer
+	}
+	return ServerToClient
+}
+
+func (ft *FlowTable) close(key FourTuple, f *Flow) {
+	delete(ft.flows, key)
+	delete(ft.flows, key.Reverse())
+	delete(ft.established, f)
+	ft.handler.FlowClosed(f)
+}
+
+// Flush closes all remaining flows (end of trace).
+func (ft *FlowTable) Flush() {
+	seen := make(map[*Flow]bool)
+	for key, f := range ft.flows {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		delete(ft.flows, key)
+		delete(ft.flows, key.Reverse())
+		delete(ft.established, f)
+		ft.handler.FlowClosed(f)
+	}
+}

@@ -1,0 +1,79 @@
+// Package wire defines the packet-header trace format the reproduction's
+// capture pipeline works on, plus the TCP flow table that reassembles
+// payload streams and extracts handshake timings.
+//
+// The format models what the paper's Endace DAG monitors deliver (§5): for
+// every TCP packet the capture keeps the IP/TCP header fields and at most
+// SnapLen bytes of payload — enough for HTTP headers, never full bodies.
+// Client addresses are anonymized before records are written.
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// TCP flag bits carried per packet.
+const (
+	FlagSYN uint8 = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+	FlagPSH
+)
+
+// SnapLen is the maximum captured payload per packet. 1460 covers any HTTP
+// header our generator emits while guaranteeing bodies are truncated away.
+const SnapLen = 1460
+
+// Packet is one captured TCP packet header record.
+type Packet struct {
+	// Time is the capture timestamp in nanoseconds since the Unix epoch.
+	Time int64
+	// SrcIP and DstIP are IPv4 addresses in host byte order.
+	SrcIP, DstIP uint32
+	// SrcPort and DstPort are TCP ports.
+	SrcPort, DstPort uint16
+	// Flags holds the TCP flag bits.
+	Flags uint8
+	// Seq is the TCP sequence number of the first payload byte.
+	Seq uint32
+	// WireLen is the original TCP payload length on the wire; the captured
+	// Payload may be shorter (snaplen truncation).
+	WireLen uint32
+	// Payload is the captured payload prefix, at most SnapLen bytes.
+	Payload []byte
+}
+
+// Timestamp returns the capture time as a time.Time.
+func (p *Packet) Timestamp() time.Time { return time.Unix(0, p.Time) }
+
+// HasFlag reports whether flag bit f is set.
+func (p *Packet) HasFlag(f uint8) bool { return p.Flags&f != 0 }
+
+// Validate checks structural invariants of a record.
+func (p *Packet) Validate() error {
+	if len(p.Payload) > SnapLen {
+		return fmt.Errorf("wire: payload %d exceeds snaplen %d", len(p.Payload), SnapLen)
+	}
+	if uint32(len(p.Payload)) > p.WireLen {
+		return fmt.Errorf("wire: captured %d exceeds wire length %d", len(p.Payload), p.WireLen)
+	}
+	return nil
+}
+
+// FourTuple identifies a TCP connection directionally.
+type FourTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (t FourTuple) Reverse() FourTuple {
+	return FourTuple{SrcIP: t.DstIP, DstIP: t.SrcIP, SrcPort: t.DstPort, DstPort: t.SrcPort}
+}
+
+// Tuple returns the packet's directional four-tuple.
+func (p *Packet) Tuple() FourTuple {
+	return FourTuple{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort}
+}

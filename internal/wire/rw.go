@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file layout: an 8-byte header ("ADTRACE" + version byte), then one
+// record per packet:
+//
+//	time      int64
+//	srcIP     uint32
+//	dstIP     uint32
+//	srcPort   uint16
+//	dstPort   uint16
+//	flags     uint8
+//	seq       uint32
+//	wireLen   uint32
+//	capLen    uint16
+//	payload   capLen bytes
+//
+// All integers are big-endian.
+
+var magic = [8]byte{'A', 'D', 'T', 'R', 'A', 'C', 'E', 1}
+
+const recordFixed = 8 + 4 + 4 + 2 + 2 + 1 + 4 + 4 + 2
+
+// Writer streams packets to a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter writes the trace header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("wire: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one packet record.
+func (tw *Writer) Write(p *Packet) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	var buf [recordFixed]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(p.Time))
+	binary.BigEndian.PutUint32(buf[8:], p.SrcIP)
+	binary.BigEndian.PutUint32(buf[12:], p.DstIP)
+	binary.BigEndian.PutUint16(buf[16:], p.SrcPort)
+	binary.BigEndian.PutUint16(buf[18:], p.DstPort)
+	buf[20] = p.Flags
+	binary.BigEndian.PutUint32(buf[21:], p.Seq)
+	binary.BigEndian.PutUint32(buf[25:], p.WireLen)
+	binary.BigEndian.PutUint16(buf[29:], uint16(len(p.Payload)))
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		tw.err = err
+		return err
+	}
+	if _, err := tw.w.Write(p.Payload); err != nil {
+		tw.err = err
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() int { return tw.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Reader streams packets from a trace file.
+type Reader struct {
+	r *bufio.Reader
+	n int
+}
+
+// NewReader validates the trace header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, errors.New("wire: not an ADTRACE file")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next packet, or io.EOF at end of trace.
+func (tr *Reader) Read() (*Packet, error) {
+	var buf [recordFixed]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: record %d: %w", tr.n, err)
+	}
+	p := &Packet{
+		Time:    int64(binary.BigEndian.Uint64(buf[0:])),
+		SrcIP:   binary.BigEndian.Uint32(buf[8:]),
+		DstIP:   binary.BigEndian.Uint32(buf[12:]),
+		SrcPort: binary.BigEndian.Uint16(buf[16:]),
+		DstPort: binary.BigEndian.Uint16(buf[18:]),
+		Flags:   buf[20],
+		Seq:     binary.BigEndian.Uint32(buf[21:]),
+		WireLen: binary.BigEndian.Uint32(buf[25:]),
+	}
+	capLen := binary.BigEndian.Uint16(buf[29:])
+	if capLen > 0 {
+		p.Payload = make([]byte, capLen)
+		if _, err := io.ReadFull(tr.r, p.Payload); err != nil {
+			return nil, fmt.Errorf("wire: record %d payload: %w", tr.n, err)
+		}
+	}
+	tr.n++
+	return p, nil
+}
+
+// ForEach reads the whole trace, invoking fn per packet. It stops early when
+// fn returns a non-nil error and propagates it (io.EOF is not an error).
+func (tr *Reader) ForEach(fn func(*Packet) error) error {
+	for {
+		p, err := tr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SortOptions tunes SortTrace.
+type SortOptions struct {
+	// MaxInMemory is the number of packets buffered before a sorted run is
+	// spilled to disk. Zero selects a default sized for ~100 MB of packets.
+	MaxInMemory int
+	// TempDir receives the spill files; empty uses the OS default.
+	TempDir string
+}
+
+const defaultRunSize = 1 << 19 // ~512K packets per run
+
+// SortTrace copies the trace from r to w with records ordered by capture
+// timestamp. The simulator emits per-device packet streams whose global
+// interleaving is not time-ordered; a capture card's output is. SortTrace
+// restores capture order with bounded memory: sorted runs are spilled to
+// temporary files and k-way merged. Ties keep a stable order.
+func SortTrace(r *Reader, w *Writer, opt SortOptions) error {
+	if opt.MaxInMemory <= 0 {
+		opt.MaxInMemory = defaultRunSize
+	}
+	var runs []string
+	defer func() {
+		for _, path := range runs {
+			os.Remove(path)
+		}
+	}()
+
+	buf := make([]*Packet, 0, opt.MaxInMemory)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return buf[i].Time < buf[j].Time })
+		f, err := os.CreateTemp(opt.TempDir, "adtrace-run-*.trace")
+		if err != nil {
+			return fmt.Errorf("wire: creating spill run: %w", err)
+		}
+		runs = append(runs, f.Name())
+		rw, err := NewWriter(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		for _, p := range buf {
+			if err := rw.Write(p); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := rw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		buf = buf[:0]
+		return nil
+	}
+
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf = append(buf, p)
+		if len(buf) >= opt.MaxInMemory {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(runs) == 0 {
+		// Everything fit in memory: write directly.
+		sort.SliceStable(buf, func(i, j int) bool { return buf[i].Time < buf[j].Time })
+		for _, p := range buf {
+			if err := w.Write(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return mergeRuns(runs, w)
+}
+
+// mergeRuns k-way merges sorted run files into w.
+type mergeEntry struct {
+	pkt *Packet
+	src int
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].pkt.Time != h[j].pkt.Time {
+		return h[i].pkt.Time < h[j].pkt.Time
+	}
+	return h[i].src < h[j].src // stability across runs
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func mergeRuns(runs []string, w *Writer) error {
+	readers := make([]*Reader, len(runs))
+	files := make([]*os.File, len(runs))
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	h := &mergeHeap{}
+	for i, path := range runs {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("wire: opening run %d: %w", i, err)
+		}
+		files[i] = f
+		rr, err := NewReader(f)
+		if err != nil {
+			return err
+		}
+		readers[i] = rr
+		p, err := rr.Read()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		heap.Push(h, mergeEntry{pkt: p, src: i})
+	}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(mergeEntry)
+		if err := w.Write(e.pkt); err != nil {
+			return err
+		}
+		p, err := readers[e.src].Read()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		heap.Push(h, mergeEntry{pkt: p, src: e.src})
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func randomTrace(t *testing.T, n int, seed int64) *bytes.Buffer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		p := &Packet{
+			Time:  rng.Int63n(1e12),
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+			Flags: uint8(rng.Intn(32)), Seq: rng.Uint32(),
+			WireLen: uint32(len(payload)), Payload: payload,
+		}
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func sortAndCheck(t *testing.T, in *bytes.Buffer, opt SortOptions, n int) {
+	t.Helper()
+	orig := append([]byte(nil), in.Bytes()...)
+
+	r, err := NewReader(bytes.NewReader(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	w, err := NewWriter(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SortTrace(r, w, opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Output must be time-ordered and a permutation of the input.
+	countTimes := func(raw []byte) (int, map[int64]int) {
+		rr, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := map[int64]int{}
+		total := 0
+		for {
+			p, err := rr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[p.Time]++
+			total++
+		}
+		return total, times
+	}
+	totalIn, timesIn := countTimes(orig)
+	totalOut, timesOut := countTimes(out.Bytes())
+	if totalIn != n || totalOut != n {
+		t.Fatalf("packet counts: in=%d out=%d want=%d", totalIn, totalOut, n)
+	}
+	for ts, c := range timesIn {
+		if timesOut[ts] != c {
+			t.Fatalf("timestamp %d count changed: %d -> %d", ts, c, timesOut[ts])
+		}
+	}
+	rr, _ := NewReader(bytes.NewReader(out.Bytes()))
+	last := int64(-1)
+	for {
+		p, err := rr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Time < last {
+			t.Fatalf("output not time-ordered: %d after %d", p.Time, last)
+		}
+		last = p.Time
+	}
+}
+
+func TestSortTraceInMemory(t *testing.T) {
+	const n = 500
+	sortAndCheck(t, randomTrace(t, n, 1), SortOptions{MaxInMemory: 10000, TempDir: t.TempDir()}, n)
+}
+
+func TestSortTraceExternalMerge(t *testing.T) {
+	const n = 2000
+	// A tiny run size forces many spill files and the k-way merge path.
+	sortAndCheck(t, randomTrace(t, n, 2), SortOptions{MaxInMemory: 64, TempDir: t.TempDir()}, n)
+}
+
+func TestSortTraceEmpty(t *testing.T) {
+	sortAndCheck(t, randomTrace(t, 0, 3), SortOptions{TempDir: t.TempDir()}, 0)
+}
+
+func TestSortTraceStability(t *testing.T) {
+	// Packets with equal timestamps keep their input order (stable sort and
+	// source-indexed merge tie-break).
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.Write(&Packet{Time: 42, Seq: uint32(i)})
+	}
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	var out bytes.Buffer
+	ow, _ := NewWriter(&out)
+	if err := SortTrace(r, ow, SortOptions{MaxInMemory: 16, TempDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	ow.Flush()
+	rr, _ := NewReader(bytes.NewReader(out.Bytes()))
+	for i := 0; i < 100; i++ {
+		p, err := rr.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Seq != uint32(i) {
+			t.Fatalf("stability violated at %d: seq %d", i, p.Seq)
+		}
+	}
+}

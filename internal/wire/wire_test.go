@@ -1,0 +1,289 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketValidate(t *testing.T) {
+	ok := &Packet{WireLen: 100, Payload: make([]byte, 100)}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+	tooBig := &Packet{WireLen: 5000, Payload: make([]byte, SnapLen+1)}
+	if err := tooBig.Validate(); err == nil {
+		t.Error("snaplen violation must fail")
+	}
+	inconsistent := &Packet{WireLen: 10, Payload: make([]byte, 20)}
+	if err := inconsistent.Validate(); err == nil {
+		t.Error("capLen > wireLen must fail")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*Packet{
+		{Time: 1000, SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 5000, DstPort: 80,
+			Flags: FlagSYN, Seq: 100, WireLen: 0},
+		{Time: 2000, SrcIP: 0x0A000002, DstIP: 0x0A000001, SrcPort: 80, DstPort: 5000,
+			Flags: FlagSYN | FlagACK, Seq: 900, WireLen: 0},
+		{Time: 3000, SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 5000, DstPort: 80,
+			Flags: FlagACK | FlagPSH, Seq: 101, WireLen: 30,
+			Payload: []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")},
+		{Time: 4000, SrcIP: 0x0A000002, DstIP: 0x0A000001, SrcPort: 80, DstPort: 5000,
+			Flags: FlagACK, Seq: 901, WireLen: 1000, Payload: []byte("HTTP/1.1 200 OK\r\n\r\n")},
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(pkts) {
+		t.Errorf("Count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pkts {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Time != want.Time || got.SrcIP != want.SrcIP || got.DstIP != want.DstIP ||
+			got.SrcPort != want.SrcPort || got.DstPort != want.DstPort ||
+			got.Flags != want.Flags || got.Seq != want.Seq || got.WireLen != want.WireLen ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("garbage header must fail")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(time int64, src, dst uint32, sp, dp uint16, flags uint8, seq uint32, pay []byte) bool {
+		if len(pay) > SnapLen {
+			pay = pay[:SnapLen]
+		}
+		p := &Packet{Time: time, SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp,
+			Flags: flags, Seq: seq, WireLen: uint32(len(pay)), Payload: pay}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		if err := w.Write(p); err != nil {
+			return false
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Read()
+		if err != nil {
+			return false
+		}
+		return got.Time == p.Time && got.Seq == p.Seq && bytes.Equal(got.Payload, p.Payload) &&
+			got.WireLen == p.WireLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// collectingHandler records flow events for assertions.
+type collectingHandler struct {
+	established int
+	closed      int
+	data        map[Dir][]byte
+	gaps        int
+}
+
+func newCollectingHandler() *collectingHandler {
+	return &collectingHandler{data: map[Dir][]byte{}}
+}
+
+func (h *collectingHandler) FlowEstablished(f *Flow) { h.established++ }
+func (h *collectingHandler) FlowClosed(f *Flow)      { h.closed++ }
+func (h *collectingHandler) Data(f *Flow, dir Dir, t int64, payload []byte, gap bool) {
+	if gap {
+		h.gaps++
+	}
+	h.data[dir] = append(h.data[dir], payload...)
+}
+
+// mkConn builds the packet sequence of a simple HTTP exchange.
+func mkConn(base int64) []*Packet {
+	req := []byte("GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n")
+	resp := []byte("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n")
+	return []*Packet{
+		{Time: base, SrcIP: 1, DstIP: 2, SrcPort: 5000, DstPort: 80, Flags: FlagSYN, Seq: 99},
+		{Time: base + 20e6, SrcIP: 2, DstIP: 1, SrcPort: 80, DstPort: 5000, Flags: FlagSYN | FlagACK, Seq: 999},
+		{Time: base + 40e6, SrcIP: 1, DstIP: 2, SrcPort: 5000, DstPort: 80, Flags: FlagACK, Seq: 100},
+		{Time: base + 41e6, SrcIP: 1, DstIP: 2, SrcPort: 5000, DstPort: 80, Flags: FlagACK | FlagPSH,
+			Seq: 100, WireLen: uint32(len(req)), Payload: req},
+		{Time: base + 60e6, SrcIP: 2, DstIP: 1, SrcPort: 80, DstPort: 5000, Flags: FlagACK | FlagPSH,
+			Seq: 1000, WireLen: uint32(len(resp)), Payload: resp},
+		// Body: on the wire but not captured.
+		{Time: base + 61e6, SrcIP: 2, DstIP: 1, SrcPort: 80, DstPort: 5000, Flags: FlagACK,
+			Seq: 1000 + uint32(len(resp)), WireLen: 10},
+		{Time: base + 80e6, SrcIP: 1, DstIP: 2, SrcPort: 5000, DstPort: 80, Flags: FlagFIN, Seq: 100 + uint32(len(req))},
+	}
+}
+
+func TestFlowTableBasicExchange(t *testing.T) {
+	h := newCollectingHandler()
+	ft := NewFlowTable(h)
+	var flow *Flow
+	for _, p := range mkConn(1e9) {
+		ft.Add(p)
+		if flow == nil {
+			flow, _ = ft.lookup(p.Tuple())
+		}
+	}
+	if h.established != 1 || h.closed != 1 {
+		t.Errorf("established=%d closed=%d", h.established, h.closed)
+	}
+	if !bytes.Contains(h.data[ClientToServer], []byte("GET /index.html")) {
+		t.Error("request payload not delivered")
+	}
+	if !bytes.Contains(h.data[ServerToClient], []byte("200 OK")) {
+		t.Error("response payload not delivered")
+	}
+	rtt, ok := flow.HandshakeRTT()
+	if !ok || rtt != 20e6 {
+		t.Errorf("handshake RTT = %d ok=%v, want 20ms", rtt, ok)
+	}
+	if flow.WireBytes[ServerToClient] != uint64(len("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n"))+10 {
+		t.Errorf("server bytes = %d", flow.WireBytes[ServerToClient])
+	}
+	if ft.NumActive() != 0 {
+		t.Errorf("NumActive = %d after close", ft.NumActive())
+	}
+}
+
+func TestFlowTableReorderingAndDuplication(t *testing.T) {
+	h := newCollectingHandler()
+	ft := NewFlowTable(h)
+	pkts := mkConn(1e9)
+	// Swap request and response-header packets; duplicate the request.
+	reordered := []*Packet{pkts[0], pkts[1], pkts[2], pkts[4], pkts[3], pkts[3], pkts[5], pkts[6]}
+	for _, p := range reordered {
+		ft.Add(p)
+	}
+	ft.Flush()
+	if got := bytes.Count(h.data[ClientToServer], []byte("GET /index.html")); got != 1 {
+		t.Errorf("request delivered %d times, want exactly once", got)
+	}
+	if !bytes.Contains(h.data[ServerToClient], []byte("200 OK")) {
+		t.Error("response payload lost under reordering")
+	}
+	if h.gaps != 0 {
+		t.Errorf("unexpected gaps: %d", h.gaps)
+	}
+}
+
+func TestReassemblerRandomizedOrderProperty(t *testing.T) {
+	// Random permutations of a segmented stream must always reassemble to
+	// the original bytes.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		msg := make([]byte, 900+rng.Intn(600))
+		for i := range msg {
+			msg[i] = byte(rng.Intn(256))
+		}
+		var segs []segment
+		seq := uint32(rng.Uint32())
+		for off := 0; off < len(msg); {
+			n := 1 + rng.Intn(200)
+			if off+n > len(msg) {
+				n = len(msg) - off
+			}
+			segs = append(segs, segment{seq: seq + uint32(off), payload: msg[off : off+n], wireLen: uint32(n)})
+			off += n
+		}
+		first := segs[0] // keep first segment first so the stream start is known
+		rest := segs[1:]
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		r := &reassembler{}
+		var got []byte
+		push := func(s segment) {
+			for _, c := range r.push(s.seq, 0, s.payload, s.wireLen) {
+				if c.gap {
+					t.Fatal("gap in gapless stream")
+				}
+				got = append(got, c.payload...)
+			}
+		}
+		push(first)
+		for _, s := range rest {
+			push(s)
+			if rng.Intn(4) == 0 { // sprinkle duplicates
+				push(s)
+			}
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("trial %d: reassembly mismatch (%d vs %d bytes)", trial, len(got), len(msg))
+		}
+	}
+}
+
+func TestFlowTableMidStreamFlow(t *testing.T) {
+	// A flow whose handshake predates the trace must still deliver data and
+	// classify the lower port as the server.
+	h := newCollectingHandler()
+	ft := NewFlowTable(h)
+	data := []byte("HTTP/1.1 200 OK\r\n\r\n")
+	ft.Add(&Packet{Time: 1, SrcIP: 2, DstIP: 1, SrcPort: 80, DstPort: 5000,
+		Flags: FlagACK, Seq: 1, WireLen: uint32(len(data)), Payload: data})
+	if h.established != 1 {
+		t.Fatal("mid-stream flow must establish on first data")
+	}
+	ft.Flush()
+	if !bytes.Contains(h.data[ServerToClient], []byte("200 OK")) {
+		t.Error("mid-stream direction misclassified")
+	}
+	if _, ok := (&Flow{}).HandshakeRTT(); ok {
+		t.Error("missing handshake must report !ok")
+	}
+}
+
+func TestFlowTableConcurrentFlows(t *testing.T) {
+	h := newCollectingHandler()
+	ft := NewFlowTable(h)
+	var pkts []*Packet
+	for c := 0; c < 20; c++ {
+		conn := mkConn(int64(c+1) * 1e9)
+		for _, p := range conn {
+			p.SrcIP += uint32(c) * 10
+			p.DstIP += uint32(c) * 10
+			pkts = append(pkts, p)
+		}
+	}
+	// Interleave round-robin.
+	for i := 0; i < len(mkConn(0)); i++ {
+		for c := 0; c < 20; c++ {
+			ft.Add(pkts[c*len(mkConn(0))+i])
+		}
+	}
+	if h.established != 20 || h.closed != 20 {
+		t.Errorf("established=%d closed=%d, want 20/20", h.established, h.closed)
+	}
+}
