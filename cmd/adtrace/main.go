@@ -6,6 +6,13 @@
 // Usage:
 //
 //	adtrace -i rbn2.trace [-users] [-threshold 300] [-weblog out.log]
+//	        [-strict] [-max-flows N] [-idle-timeout 10m] [-max-pending N]
+//
+// By default the trace is read leniently: corrupt records are skipped by
+// resynchronizing on the next plausible record boundary, and the flow table
+// is memory-bounded (idle eviction plus a live-flow cap). Everything skipped
+// or evicted is reported in the degradation section of the summary. -strict
+// restores fail-fast reading and unbounded state for trusted traces.
 package main
 
 import (
@@ -27,12 +34,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adtrace: ")
 	var (
-		in        = flag.String("i", "", "input trace file (required)")
-		seed      = flag.Int64("seed", 2015, "world seed (must match the generator's)")
-		sites     = flag.Int("sites", 1000, "world site catalog size (must match)")
-		users     = flag.Bool("users", false, "print per-user ad-blocker inference")
-		threshold = flag.Int("threshold", 300, "active-user request threshold")
-		weblogOut = flag.String("weblog", "", "optionally dump the HTTP transaction log")
+		in          = flag.String("i", "", "input trace file (required)")
+		seed        = flag.Int64("seed", 2015, "world seed (must match the generator's)")
+		sites       = flag.Int("sites", 1000, "world site catalog size (must match)")
+		users       = flag.Bool("users", false, "print per-user ad-blocker inference")
+		threshold   = flag.Int("threshold", 300, "active-user request threshold")
+		weblogOut   = flag.String("weblog", "", "optionally dump the HTTP transaction log")
+		strict      = flag.Bool("strict", false, "fail fast on corrupt records and disable memory bounds")
+		maxFlows    = flag.Int("max-flows", wire.DefaultLimits().MaxFlows, "live-flow cap, oldest evicted first (0 = unlimited)")
+		idleTimeout = flag.Duration("idle-timeout", wire.DefaultLimits().IdleTimeout, "evict flows idle this long on the packet clock (0 = never)")
+		maxPending  = flag.Int("max-pending", analyzer.DefaultLimits().MaxPending, "per-connection unanswered-request cap (0 = unlimited)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -53,18 +64,34 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	r, err := wire.NewReader(f)
+	r, err := wire.NewReaderOptions(f, wire.ReaderOptions{Lenient: !*strict})
 	if err != nil {
 		log.Fatal(err)
 	}
-	col, stats, err := analyzer.AnalyzeTrace(r)
-	if err != nil {
+	lim := analyzer.Limits{}
+	if !*strict {
+		lim = analyzer.Limits{
+			Table: wire.Limits{
+				MaxFlows:            *maxFlows,
+				IdleTimeout:         *idleTimeout,
+				MaxBufferedSegments: wire.DefaultLimits().MaxBufferedSegments,
+				MaxBufferedBytes:    wire.DefaultLimits().MaxBufferedBytes,
+			},
+			MaxPending: *maxPending,
+		}
+	}
+	col := &analyzer.Collector{}
+	a := analyzer.NewWithLimits(col, lim)
+	if err := r.ForEach(func(p *wire.Packet) error { a.Add(p); return nil }); err != nil {
 		log.Fatalf("analyzing: %v", err)
 	}
+	a.Finish()
+	stats := a.Stats()
 	fmt.Printf("packets:            %d\n", stats.Packets)
 	fmt.Printf("http transactions:  %d\n", stats.HTTPTransactions)
 	fmt.Printf("https flows:        %d\n", stats.TLSFlows)
 	fmt.Printf("http wire bytes:    %d\n", stats.HTTPWireBytes)
+	printDegradation(r.Stats(), stats, a.TableStats())
 
 	pipeline := core.NewPipeline(world.Bundle.ClassifierEngine())
 	results := pipeline.ClassifyAll(col.Transactions)
@@ -85,6 +112,19 @@ func main() {
 	if *users {
 		printUsers(world, col, results, *threshold)
 	}
+}
+
+// printDegradation reports every piece of work the bounded ingest path shed:
+// nothing is silently dropped, so downstream aggregates can be qualified
+// against these counters (Table-2-style numbers degrade proportionally).
+func printDegradation(rs wire.ReaderStats, as analyzer.Stats, ts wire.TableStats) {
+	fmt.Printf("degradation:\n")
+	fmt.Printf("  reader resyncs:    %d (%d bytes skipped, truncated tail: %v)\n",
+		rs.Resyncs, rs.SkippedBytes, rs.TruncatedTail)
+	fmt.Printf("  evicted flows:     %d idle, %d over cap\n", ts.EvictedIdle, ts.EvictedCap)
+	fmt.Printf("  reassembly:        %d gaps, %d trimmed retransmissions\n", ts.Gaps, ts.TrimmedSegments)
+	fmt.Printf("  parse errors:      %d\n", as.ParseErrors)
+	fmt.Printf("  pending evicted:   %d\n", as.PendingEvicted)
 }
 
 func dumpWeblog(path string, results []*core.Result) error {

@@ -23,7 +23,8 @@ type Sink interface {
 	TLS(f *weblog.TLSFlow)
 }
 
-// Stats counts analyzer-level aggregates, matching Table 2's per-trace rows.
+// Stats counts analyzer-level aggregates, matching Table 2's per-trace rows,
+// plus the degradation counters of a bounded run.
 type Stats struct {
 	// Packets is the number of packets processed.
 	Packets int
@@ -36,14 +37,38 @@ type Stats struct {
 	HTTPWireBytes uint64
 	// ParseErrors counts request/response blocks that failed to parse.
 	ParseErrors int
+	// PendingEvicted counts requests force-flushed (emitted without their
+	// response) because a connection exceeded Limits.MaxPending unanswered
+	// requests. They still count as transactions — the request reached the
+	// wire — but their response fields are empty.
+	PendingEvicted int
+}
+
+// Limits bounds the analyzer's memory. The zero value imposes no bounds
+// (legacy behavior); DefaultLimits is the production configuration.
+type Limits struct {
+	// Table bounds the underlying TCP flow table.
+	Table wire.Limits
+	// MaxPending caps the unanswered pipelined requests buffered per
+	// connection; the oldest is force-flushed past the cap. 0 = unlimited.
+	MaxPending int
+}
+
+// DefaultLimits returns production defaults for the analyzer: the flow-table
+// defaults plus a generous pipelining cap (browsers pipeline a handful of
+// requests; hundreds of unanswered requests mean the responses are not
+// coming).
+func DefaultLimits() Limits {
+	return Limits{Table: wire.DefaultLimits(), MaxPending: 256}
 }
 
 // Analyzer is the streaming HTTP/TLS extractor.
 type Analyzer struct {
-	sink  Sink
-	table *wire.FlowTable
-	stats Stats
-	conns map[*wire.Flow]*connState
+	sink   Sink
+	table  *wire.FlowTable
+	stats  Stats
+	conns  map[*wire.Flow]*connState
+	limits Limits
 }
 
 // connState is the per-flow HTTP parser state.
@@ -56,15 +81,28 @@ type connState struct {
 	tls     bool
 }
 
-// New creates an Analyzer feeding sink.
+// New creates an unbounded Analyzer feeding sink (legacy behavior,
+// equivalent to NewWithLimits with a zero Limits).
 func New(sink Sink) *Analyzer {
-	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState)}
-	a.table = wire.NewFlowTable(a)
+	return NewWithLimits(sink, Limits{})
+}
+
+// NewWithLimits creates an Analyzer bounded by lim.
+func NewWithLimits(sink Sink, lim Limits) *Analyzer {
+	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState), limits: lim}
+	a.table = wire.NewFlowTableLimits(a, lim.Table)
 	return a
 }
 
 // Stats returns the running aggregates.
 func (a *Analyzer) Stats() Stats { return a.stats }
+
+// TableStats returns the flow table's degradation counters.
+func (a *Analyzer) TableStats() wire.TableStats { return a.table.Stats() }
+
+// NumActive returns the number of flows currently tracked, which never
+// exceeds Limits.Table.MaxFlows when that cap is set.
+func (a *Analyzer) NumActive() int { return a.table.NumActive() }
 
 // Add processes one packet.
 func (a *Analyzer) Add(p *wire.Packet) {
@@ -137,16 +175,23 @@ func (a *Analyzer) drain(f *wire.Flow, cs *connState, dir wire.Dir) {
 	}
 }
 
+// httpMethods are the request-line prefixes the resynchronizer accepts; the
+// trailing space keeps e.g. "GETTY" from matching. maxMethodLen is the length
+// of the longest entry, bounding the wait-for-more-bytes window below.
+var httpMethods = [...]string{"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "CONNECT ", "PATCH ", "TRACE "}
+
+const maxMethodLen = 8 // len("OPTIONS ") == len("CONNECT ")
+
 func startsWithRequestLine(raw []byte) bool {
-	for _, m := range [...]string{"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "CONNECT "} {
+	for _, m := range httpMethods {
 		if bytes.HasPrefix(raw, []byte(m)) {
 			return true
 		}
 	}
 	// Not yet enough bytes to decide? Wait for more only if the content so
 	// far is a prefix of some method.
-	if len(raw) < 8 {
-		for _, m := range [...]string{"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "CONNECT "} {
+	if len(raw) < maxMethodLen {
+		for _, m := range httpMethods {
 			if bytes.HasPrefix([]byte(m), raw) {
 				return true
 			}
@@ -197,6 +242,16 @@ func (a *Analyzer) onRequest(f *wire.Flow, cs *connState, block string, t int64)
 		}
 	}
 	cs.pending = append(cs.pending, tx)
+	// Bounded pipelining: past the cap the oldest request's response is not
+	// coming (loss, one-sided capture). Flush it request-only so the work is
+	// counted, not silently held forever.
+	if a.limits.MaxPending > 0 && len(cs.pending) > a.limits.MaxPending {
+		old := cs.pending[0]
+		cs.pending = cs.pending[1:]
+		a.stats.PendingEvicted++
+		a.stats.HTTPTransactions++
+		a.sink.HTTP(old)
+	}
 }
 
 func (a *Analyzer) onResponse(f *wire.Flow, cs *connState, block string, t int64) {
@@ -302,11 +357,17 @@ func (c *Collector) HTTP(t *weblog.Transaction) { c.Transactions = append(c.Tran
 // TLS implements Sink.
 func (c *Collector) TLS(f *weblog.TLSFlow) { c.Flows = append(c.Flows, f) }
 
-// AnalyzeTrace runs a whole trace reader through a fresh Analyzer and
-// returns the collected results.
+// AnalyzeTrace runs a whole trace reader through a fresh unbounded Analyzer
+// and returns the collected results.
 func AnalyzeTrace(r *wire.Reader) (*Collector, Stats, error) {
+	return AnalyzeTraceLimits(r, Limits{})
+}
+
+// AnalyzeTraceLimits runs a whole trace reader through a fresh Analyzer
+// bounded by lim and returns the collected results.
+func AnalyzeTraceLimits(r *wire.Reader, lim Limits) (*Collector, Stats, error) {
 	col := &Collector{}
-	a := New(col)
+	a := NewWithLimits(col, lim)
 	err := r.ForEach(func(p *wire.Packet) error {
 		a.Add(p)
 		return nil

@@ -1,0 +1,240 @@
+package analyzer
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"adscape/internal/wire"
+)
+
+// serializeTrace writes packets in wire format and returns the encoded trace.
+func serializeTrace(t *testing.T, pkts []*wire.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := wire.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runFaulted streams a trace through a FaultReader into a bounded analyzer,
+// asserting the flow-table cap after every packet.
+func runFaulted(t *testing.T, trace []byte, fopt wire.FaultOptions, lim Limits) (*Collector, *Analyzer) {
+	t.Helper()
+	r, err := wire.NewReader(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := wire.NewFaultReader(r, fopt)
+	col := &Collector{}
+	a := NewWithLimits(col, lim)
+	for {
+		p, err := fr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Add(p)
+		if cap := lim.Table.MaxFlows; cap > 0 && a.NumActive() > cap {
+			t.Fatalf("NumActive %d exceeds cap %d", a.NumActive(), cap)
+		}
+	}
+	a.Finish()
+	if a.NumActive() != 0 {
+		t.Errorf("NumActive = %d after Finish", a.NumActive())
+	}
+	return col, a
+}
+
+// TestPipelineUnderInjectedFaults runs the full reader→flow-table→HTTP
+// pipeline under seeded fault profiles. Invariants: no panic, the live-flow
+// cap holds at every step, duplicates fabricate nothing, and Table-2-style
+// transaction counts degrade proportionally to the injected fault rate.
+func TestPipelineUnderInjectedFaults(t *testing.T) {
+	trace := serializeTrace(t, buildWorkload(t, 40, 8))
+	const want = 40 * 8
+	lim := Limits{
+		Table: wire.Limits{
+			MaxFlows:            16,
+			IdleTimeout:         30 * time.Second,
+			MaxBufferedSegments: 64,
+			MaxBufferedBytes:    1 << 16,
+		},
+		MaxPending: 16,
+	}
+
+	// ceil allows a bounded inflation for reordering profiles: a data packet
+	// displaced past its flow's FIN splits one transaction into a
+	// request-only plus a response-only record. Both are backed by real wire
+	// bytes — the split is a degradation, not fabrication — but it must stay
+	// proportional to the reorder rate.
+	cases := []struct {
+		name        string
+		opt         wire.FaultOptions
+		floor, ceil int // bounds on recovered transactions
+	}{
+		{"drop-1pct", wire.FaultOptions{Seed: 1, DropRate: 0.01}, want * 85 / 100, want},
+		{"dup-10pct", wire.FaultOptions{Seed: 2, DupRate: 0.10}, want, want},
+		{"reorder-10pct", wire.FaultOptions{Seed: 3, ReorderRate: 0.10}, want * 95 / 100, want * 110 / 100},
+		{"corrupt-1pct", wire.FaultOptions{Seed: 4, CorruptRate: 0.01}, want * 90 / 100, want},
+		{"truncate-1pct", wire.FaultOptions{Seed: 5, TruncateRate: 0.01}, want * 90 / 100, want},
+		{"mid-stream", wire.FaultOptions{Seed: 6, SkipFirst: 200}, 0, want},
+		{"everything", wire.FaultOptions{Seed: 7, DropRate: 0.01, DupRate: 0.05,
+			ReorderRate: 0.05, CorruptRate: 0.005, TruncateRate: 0.005}, want * 75 / 100, want * 105 / 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			col, a := runFaulted(t, trace, tc.opt, lim)
+			got := len(col.Transactions)
+			if got > tc.ceil {
+				t.Errorf("fabricated transactions: %d > %d", got, tc.ceil)
+			}
+			if got < tc.floor {
+				t.Errorf("recovered %d/%d transactions, floor %d (faults %+v)",
+					got, want, tc.floor, a.Stats())
+			}
+			for _, tx := range col.Transactions {
+				if tx.Host == "" && tx.Status == 0 {
+					t.Error("empty transaction emitted")
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineCapEvictionAccounted drops every FIN so flows leak, then
+// checks the cap holds and the evictions show up in the counters instead of
+// disappearing.
+func TestPipelineCapEvictionAccounted(t *testing.T) {
+	pkts := buildWorkload(t, 30, 2)
+	var noFIN []*wire.Packet
+	for _, p := range pkts {
+		if p.HasFlag(wire.FlagFIN) {
+			continue
+		}
+		noFIN = append(noFIN, p)
+	}
+	trace := serializeTrace(t, noFIN)
+	lim := Limits{Table: wire.Limits{MaxFlows: 5}, MaxPending: 8}
+	col, a := runFaulted(t, trace, wire.FaultOptions{Seed: 1}, lim)
+	ts := a.TableStats()
+	if ts.EvictedCap == 0 {
+		t.Errorf("30 leaked flows under a cap of 5, but EvictedCap = 0")
+	}
+	if got, want := len(col.Transactions), 30*2; got != want {
+		t.Errorf("transactions = %d, want %d (evicted flows must flush their work)", got, want)
+	}
+}
+
+// TestPipelineIdleEvictionAccounted leaks flows the slow way: no FINs, long
+// gaps between connections, and only the idle timeout to reclaim them.
+func TestPipelineIdleEvictionAccounted(t *testing.T) {
+	pkts := buildWorkload(t, 10, 2)
+	var noFIN []*wire.Packet
+	for _, p := range pkts {
+		if p.HasFlag(wire.FlagFIN) {
+			continue
+		}
+		noFIN = append(noFIN, p)
+	}
+	trace := serializeTrace(t, noFIN)
+	// Connections start 1 s apart; a 2 s idle timeout reclaims each flow a
+	// couple of connections after it goes quiet.
+	lim := Limits{Table: wire.Limits{IdleTimeout: 2 * time.Second}}
+	col, a := runFaulted(t, trace, wire.FaultOptions{Seed: 1}, lim)
+	if a.TableStats().EvictedIdle == 0 {
+		t.Error("no idle evictions on a trace of abandoned flows")
+	}
+	if got, want := len(col.Transactions), 10*2; got != want {
+		t.Errorf("transactions = %d, want %d", got, want)
+	}
+}
+
+// TestPendingCapForceFlushes floods one connection with requests that never
+// get responses: the per-connection pending buffer must stay bounded and the
+// overflow must be flushed as counted, request-only transactions.
+func TestPendingCapForceFlushes(t *testing.T) {
+	var pkts []*wire.Packet
+	capture := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	em := wire.NewConnEmitter(capture, 1, 40000, 2, 80, 10e6, 1)
+	est, err := em.Open(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := em.Request(est+int64(i)*1e6, httpReq("GET", "one-sided.example", "/r", "", "UA")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := serializeTrace(t, pkts)
+	lim := Limits{MaxPending: 8}
+	col, a := runFaulted(t, trace, wire.FaultOptions{}, lim)
+	st := a.Stats()
+	if st.PendingEvicted != n-8 {
+		t.Errorf("PendingEvicted = %d, want %d", st.PendingEvicted, n-8)
+	}
+	if len(col.Transactions) != n {
+		t.Errorf("transactions = %d, want all %d requests counted", len(col.Transactions), n)
+	}
+}
+
+// TestRequestLineMethods pins the resynchronizer's method list: PATCH and
+// TRACE requests are real transactions, not garbage to be resynced away.
+func TestRequestLineMethods(t *testing.T) {
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	em := wire.NewConnEmitter(emit, 1, 40000, 2, 80, 10e6, 1)
+	est, err := em.Open(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []string{"GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH", "TRACE"}
+	for i, m := range methods {
+		t0 := est + int64(i)*50e6
+		if err := em.Request(t0, httpReq(m, "api.example", "/ep", "", "UA")); err != nil {
+			t.Fatal(err)
+		}
+		if err := em.Response(t0+10e6, httpResp(200, "text/plain", 2, ""), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	em.Close(est + 1e9)
+	a.Finish()
+	if len(col.Transactions) != len(methods) {
+		t.Fatalf("transactions = %d, want %d", len(col.Transactions), len(methods))
+	}
+	for i, tx := range col.Transactions {
+		if tx.Method != methods[i] {
+			t.Errorf("transaction %d method = %q, want %q", i, tx.Method, methods[i])
+		}
+		if tx.Status != 200 {
+			t.Errorf("method %s lost its response pairing", methods[i])
+		}
+	}
+	// The prefix-wait logic must hold for a PATCH split mid-method across
+	// segments: "PAT" alone is a plausible prefix, not garbage.
+	if !startsWithRequestLine([]byte("PAT")) {
+		t.Error("partial PATCH prefix rejected instead of awaiting more bytes")
+	}
+	if !startsWithRequestLine([]byte("TRACE ")) || !startsWithRequestLine([]byte("PATCH /x HTTP/1.1")) {
+		t.Error("full PATCH/TRACE request lines rejected")
+	}
+	if startsWithRequestLine([]byte("TRACEROUTE output:")) {
+		t.Error("non-method prefix accepted")
+	}
+}

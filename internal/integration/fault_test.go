@@ -1,0 +1,207 @@
+// Fault-injection integration tests: the complete ingest path (reader →
+// flow table → HTTP extraction) against a realistic RBN trace that has been
+// damaged the way live vantage points damage data — corrupt bytes on disk,
+// and loss/duplication/reordering on the wire. The pipeline must never
+// panic, must respect its memory bounds, and must degrade proportionally
+// with every shed piece of work visible in the degradation counters.
+package integration
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/rbn"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+// buildFaultTrace simulates a small RBN vantage point and returns the
+// encoded trace in capture (time) order plus per-record start offsets.
+func buildFaultTrace(t *testing.T) (data []byte, offsets []int) {
+	t.Helper()
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = 100
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []*wire.Packet
+	opt := rbn.Options{
+		World: world, Name: "fault", Households: 12,
+		Start:    time.Date(2015, 8, 11, 16, 0, 0, 0, time.UTC),
+		Duration: 90 * time.Minute, Seed: 77,
+		AnonKey: []byte("fault"), PagesPerHour: 5, Parallelism: 4,
+	}
+	if _, err := rbn.Simulate(opt, func(p *wire.Packet) error {
+		pkts = append(pkts, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Generation order is device-by-device; a capture monitor sees time
+	// order, which is also what the eviction clock assumes.
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+
+	var buf bytes.Buffer
+	w, err := wire.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, buf.Len())
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), offsets
+}
+
+// analyzeBounded streams src through a bounded analyzer, enforcing the
+// flow cap at every packet.
+func analyzeBounded(t *testing.T, src wire.PacketSource, lim analyzer.Limits) (*analyzer.Collector, *analyzer.Analyzer) {
+	t.Helper()
+	col := &analyzer.Collector{}
+	a := analyzer.NewWithLimits(col, lim)
+	for {
+		p, err := src.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("reading: %v", err)
+		}
+		a.Add(p)
+		if cap := lim.Table.MaxFlows; cap > 0 && a.NumActive() > cap {
+			t.Fatalf("NumActive %d exceeds configured cap %d", a.NumActive(), cap)
+		}
+	}
+	a.Finish()
+	return col, a
+}
+
+func TestIngestSurvivesDamagedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test simulates a trace")
+	}
+	data, offsets := buildFaultTrace(t)
+	nRecords := len(offsets)
+
+	// Clean baseline, strict mode.
+	r, err := wire.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanCol, cleanStats, err := analyzer.AnalyzeTrace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := len(cleanCol.Transactions)
+	if clean == 0 || cleanStats.TLSFlows == 0 {
+		t.Fatalf("baseline implausible: %+v", cleanStats)
+	}
+	t.Logf("baseline: %d records, %d transactions, %d TLS flows", nRecords, clean, cleanStats.TLSFlows)
+
+	lim := analyzer.Limits{
+		Table: wire.Limits{
+			MaxFlows:            512,
+			IdleTimeout:         10 * time.Minute,
+			MaxBufferedSegments: 64,
+			MaxBufferedBytes:    1 << 18,
+		},
+		MaxPending: 64,
+	}
+
+	t.Run("byte-corruption-lenient", func(t *testing.T) {
+		// Damage ~0.5% of records: half with framing-destroying smashes
+		// (the capture length field), half with random single-byte flips
+		// that can land anywhere, payload included.
+		corrupted := append([]byte(nil), data...)
+		rng := rand.New(rand.NewSource(2015))
+		nSmash := nRecords / 400
+		for i := 0; i < nSmash; i++ {
+			off := offsets[rng.Intn(nRecords)]
+			corrupted[off+29] = 0xFF
+			corrupted[off+30] = 0xFF
+		}
+		nFlip := nRecords / 400
+		for i := 0; i < nFlip; i++ {
+			pos := 8 + rng.Intn(len(corrupted)-8)
+			corrupted[pos] ^= byte(1 + rng.Intn(255))
+		}
+		t.Logf("corrupted %d records (%d smashed, %d flipped bytes)", nSmash+nFlip, nSmash, nFlip)
+
+		lr, err := wire.NewReaderOptions(bytes.NewReader(corrupted),
+			wire.ReaderOptions{Lenient: true, MaxResyncs: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, a := analyzeBounded(t, lr, lim)
+		got := len(col.Transactions)
+		rs := lr.Stats()
+		ts := a.TableStats()
+		t.Logf("lenient: %d/%d transactions, reader %+v, table %+v, analyzer %+v",
+			got, clean, rs, ts, a.Stats())
+		if got < clean*90/100 {
+			t.Errorf("recovered %d/%d transactions (<90%%) at ≤1%% record corruption", got, clean)
+		}
+		if got > clean*105/100 {
+			t.Errorf("fabricated transactions: %d vs clean %d", got, clean)
+		}
+		if rs.Resyncs == 0 {
+			t.Error("framing was smashed but the reader reports no resyncs")
+		}
+		if got < clean && rs.SkippedBytes == 0 && ts.Gaps == 0 && a.Stats().ParseErrors == 0 {
+			t.Error("transactions were lost but no degradation counter accounts for them")
+		}
+
+		// Strict mode must refuse the same bytes rather than mis-read them.
+		sr, err := wire.NewReader(bytes.NewReader(corrupted))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var strictErr error
+		for strictErr == nil {
+			_, strictErr = sr.Read()
+		}
+		if strictErr == io.EOF {
+			t.Error("strict reader absorbed corrupted framing silently")
+		}
+	})
+
+	t.Run("packet-faults-bounded", func(t *testing.T) {
+		r, err := wire.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := wire.NewFaultReader(r, wire.FaultOptions{
+			Seed: 42, DropRate: 0.01, DupRate: 0.03, ReorderRate: 0.03, CorruptRate: 0.005,
+		})
+		col, a := analyzeBounded(t, fr, lim)
+		if a.NumActive() != 0 {
+			t.Errorf("NumActive = %d after Finish", a.NumActive())
+		}
+		got := len(col.Transactions)
+		fs := fr.Stats()
+		t.Logf("faulted: %d/%d transactions, faults %+v, table %+v", got, clean, fs, a.TableStats())
+		if fs.Dropped == 0 || fs.Duplicated == 0 || fs.Reordered == 0 {
+			t.Fatalf("fault injector idle: %+v", fs)
+		}
+		if got < clean*80/100 {
+			t.Errorf("recovered %d/%d transactions under 1%%/3%%/3%% drop/dup/reorder", got, clean)
+		}
+		if got > clean*110/100 {
+			t.Errorf("transaction inflation out of bounds: %d vs %d", got, clean)
+		}
+	})
+}

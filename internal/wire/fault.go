@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"io"
+	"math/rand"
+)
+
+// PacketSource is anything that yields packets until io.EOF; *Reader and
+// *FaultReader both satisfy it.
+type PacketSource interface {
+	Read() (*Packet, error)
+}
+
+// FaultOptions configures a FaultReader. All rates are probabilities in
+// [0,1] applied independently per packet; the zero value injects nothing.
+type FaultOptions struct {
+	// Seed makes the injected fault sequence deterministic.
+	Seed int64
+	// DropRate silently discards packets (capture loss).
+	DropRate float64
+	// DupRate re-delivers a copy of the packet immediately after it.
+	DupRate float64
+	// ReorderRate holds a packet back and releases it a few packets later.
+	ReorderRate float64
+	// ReorderDepth is the maximum displacement of a held packet; 0 means 8.
+	ReorderDepth int
+	// CorruptRate flips 1–3 random bits in the captured payload
+	// (packets without payload pass through unchanged).
+	CorruptRate float64
+	// TruncateRate cuts the captured payload to a random prefix while
+	// keeping WireLen, modelling harsher snaplen truncation.
+	TruncateRate float64
+	// SkipFirst discards this many packets before delivering anything,
+	// modelling a capture that starts mid-stream.
+	SkipFirst int
+}
+
+// FaultStats counts the faults a FaultReader actually injected.
+type FaultStats struct {
+	Delivered  int
+	Dropped    int
+	Duplicated int
+	Reordered  int
+	Corrupted  int
+	Truncated  int
+	Skipped    int // mid-stream start records discarded
+}
+
+// FaultReader wraps a packet source and deterministically injects capture
+// pathologies — loss, duplication, reordering, payload bit-flips, truncation
+// and mid-stream starts — so ingest robustness can be tested against a known
+// ground truth.
+type FaultReader struct {
+	src   PacketSource
+	opt   FaultOptions
+	rng   *rand.Rand
+	stats FaultStats
+	// queue holds packets due for delivery before the next source read.
+	queue []*Packet
+	// held are reorder-delayed packets; countdown reaches zero -> release.
+	held []heldPacket
+	eof  bool
+}
+
+type heldPacket struct {
+	p         *Packet
+	countdown int
+}
+
+// NewFaultReader wraps src with the given fault model.
+func NewFaultReader(src PacketSource, opt FaultOptions) *FaultReader {
+	if opt.ReorderDepth <= 0 {
+		opt.ReorderDepth = 8
+	}
+	return &FaultReader{src: src, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+}
+
+// Stats returns the faults injected so far.
+func (fr *FaultReader) Stats() FaultStats { return fr.stats }
+
+// Read returns the next (possibly faulted) packet, or io.EOF once the source
+// and all held packets are exhausted.
+func (fr *FaultReader) Read() (*Packet, error) {
+	for {
+		if len(fr.queue) > 0 {
+			p := fr.queue[0]
+			fr.queue = fr.queue[1:]
+			fr.stats.Delivered++
+			return p, nil
+		}
+		if fr.eof {
+			if len(fr.held) > 0 {
+				for _, h := range fr.held {
+					fr.queue = append(fr.queue, h.p)
+				}
+				fr.held = fr.held[:0]
+				continue
+			}
+			return nil, io.EOF
+		}
+		p, err := fr.src.Read()
+		if err == io.EOF {
+			fr.eof = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if fr.stats.Skipped < fr.opt.SkipFirst {
+			fr.stats.Skipped++
+			continue
+		}
+		if fr.roll(fr.opt.DropRate) {
+			fr.stats.Dropped++
+			fr.tick()
+			continue
+		}
+		if fr.roll(fr.opt.CorruptRate) && len(p.Payload) > 0 {
+			p = clonePacket(p)
+			flips := 1 + fr.rng.Intn(3)
+			for i := 0; i < flips; i++ {
+				p.Payload[fr.rng.Intn(len(p.Payload))] ^= 1 << uint(fr.rng.Intn(8))
+			}
+			fr.stats.Corrupted++
+		}
+		if fr.roll(fr.opt.TruncateRate) && len(p.Payload) > 1 {
+			p = clonePacket(p)
+			p.Payload = p.Payload[:fr.rng.Intn(len(p.Payload))]
+			fr.stats.Truncated++
+		}
+		if fr.roll(fr.opt.DupRate) {
+			fr.queue = append(fr.queue, clonePacket(p))
+			fr.stats.Duplicated++
+		}
+		if fr.roll(fr.opt.ReorderRate) {
+			fr.held = append(fr.held, heldPacket{p: p, countdown: 1 + fr.rng.Intn(fr.opt.ReorderDepth)})
+			fr.stats.Reordered++
+			continue
+		}
+		fr.tick()
+		fr.queue = append(fr.queue, p)
+	}
+}
+
+// roll draws one deterministic Bernoulli sample. The rand stream is always
+// advanced so a rate change does not reshuffle every later fault decision.
+func (fr *FaultReader) roll(rate float64) bool {
+	v := fr.rng.Float64()
+	return rate > 0 && v < rate
+}
+
+// tick ages held packets by one delivered position and releases the expired
+// ones into the queue.
+func (fr *FaultReader) tick() {
+	kept := fr.held[:0]
+	for _, h := range fr.held {
+		h.countdown--
+		if h.countdown <= 0 {
+			fr.queue = append(fr.queue, h.p)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	fr.held = kept
+}
+
+func clonePacket(p *Packet) *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}

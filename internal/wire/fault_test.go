@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// sliceSource yields packets from a slice, cloning so injected mutations
+// cannot leak back into the fixture.
+type sliceSource struct {
+	pkts []*Packet
+	i    int
+}
+
+func (s *sliceSource) Read() (*Packet, error) {
+	if s.i >= len(s.pkts) {
+		return nil, io.EOF
+	}
+	p := s.pkts[s.i]
+	s.i++
+	return p, nil
+}
+
+func faultFixture() []*Packet {
+	var pkts []*Packet
+	for c := 0; c < 10; c++ {
+		for _, p := range mkConn(int64(c+1) * 1e9) {
+			q := *p
+			q.SrcIP += uint32(c) * 100
+			q.DstIP += uint32(c) * 100
+			pkts = append(pkts, &q)
+		}
+	}
+	return pkts
+}
+
+func drainFaults(t *testing.T, fr *FaultReader) []*Packet {
+	t.Helper()
+	var out []*Packet
+	for {
+		p, err := fr.Read()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("fault injection produced an invalid packet: %v", err)
+		}
+		out = append(out, p)
+	}
+}
+
+func packetKey(p *Packet) string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d/%x", p.Time, p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Flags, p.Seq, p.Payload)
+}
+
+func TestFaultReaderDeterministic(t *testing.T) {
+	opt := FaultOptions{Seed: 11, DropRate: 0.1, DupRate: 0.1, ReorderRate: 0.2, CorruptRate: 0.1, TruncateRate: 0.05}
+	run := func() []string {
+		fr := NewFaultReader(&sliceSource{pkts: faultFixture()}, opt)
+		var keys []string
+		for _, p := range drainFaults(t, fr) {
+			keys = append(keys, packetKey(p))
+		}
+		return keys
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d packets", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at packet %d", i)
+		}
+	}
+}
+
+func TestFaultReaderRates(t *testing.T) {
+	src := faultFixture()
+
+	t.Run("drop-all", func(t *testing.T) {
+		fr := NewFaultReader(&sliceSource{pkts: src}, FaultOptions{Seed: 1, DropRate: 1})
+		if got := drainFaults(t, fr); len(got) != 0 {
+			t.Errorf("delivered %d packets at 100%% drop", len(got))
+		}
+		if fr.Stats().Dropped != len(src) {
+			t.Errorf("Dropped = %d, want %d", fr.Stats().Dropped, len(src))
+		}
+	})
+
+	t.Run("duplicate-all", func(t *testing.T) {
+		fr := NewFaultReader(&sliceSource{pkts: src}, FaultOptions{Seed: 1, DupRate: 1})
+		if got := drainFaults(t, fr); len(got) != 2*len(src) {
+			t.Errorf("delivered %d packets, want %d", len(got), 2*len(src))
+		}
+	})
+
+	t.Run("reorder-preserves-multiset", func(t *testing.T) {
+		fr := NewFaultReader(&sliceSource{pkts: src}, FaultOptions{Seed: 5, ReorderRate: 0.5, ReorderDepth: 6})
+		got := drainFaults(t, fr)
+		if len(got) != len(src) {
+			t.Fatalf("reordering changed packet count: %d != %d", len(got), len(src))
+		}
+		want := map[string]int{}
+		for _, p := range src {
+			want[packetKey(p)]++
+		}
+		displaced := false
+		for i, p := range got {
+			want[packetKey(p)]--
+			if packetKey(p) != packetKey(src[i]) {
+				displaced = true
+			}
+		}
+		for k, n := range want {
+			if n != 0 {
+				t.Fatalf("packet multiset changed: %s count %d", k, n)
+			}
+		}
+		if !displaced || fr.Stats().Reordered == 0 {
+			t.Error("no packet was actually displaced")
+		}
+	})
+
+	t.Run("corrupt-clones", func(t *testing.T) {
+		orig := faultFixture()
+		var origPayloads [][]byte
+		for _, p := range orig {
+			origPayloads = append(origPayloads, append([]byte(nil), p.Payload...))
+		}
+		fr := NewFaultReader(&sliceSource{pkts: orig}, FaultOptions{Seed: 2, CorruptRate: 1})
+		got := drainFaults(t, fr)
+		if fr.Stats().Corrupted == 0 {
+			t.Fatal("nothing corrupted")
+		}
+		changed := 0
+		for i, p := range got {
+			if !bytes.Equal(p.Payload, origPayloads[i]) {
+				changed++
+			}
+			if !bytes.Equal(orig[i].Payload, origPayloads[i]) {
+				t.Fatal("corruption mutated the source packet")
+			}
+		}
+		if changed != fr.Stats().Corrupted {
+			t.Errorf("changed %d payloads, stats say %d", changed, fr.Stats().Corrupted)
+		}
+	})
+
+	t.Run("mid-stream-start", func(t *testing.T) {
+		fr := NewFaultReader(&sliceSource{pkts: src}, FaultOptions{Seed: 1, SkipFirst: 25})
+		got := drainFaults(t, fr)
+		if len(got) != len(src)-25 {
+			t.Errorf("delivered %d, want %d", len(got), len(src)-25)
+		}
+		if fr.Stats().Skipped != 25 {
+			t.Errorf("Skipped = %d", fr.Stats().Skipped)
+		}
+	})
+}

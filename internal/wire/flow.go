@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"container/list"
 	"sort"
 )
 
@@ -30,6 +31,7 @@ type Flow struct {
 	Packets [2]int
 
 	reasm [2]*reassembler
+	elem  *list.Element // position in the table's recency list
 }
 
 // HandshakeRTT returns the TCP handshake latency in nanoseconds (SYN-ACK −
@@ -42,13 +44,27 @@ func (f *Flow) HandshakeRTT() (ns int64, ok bool) {
 	return f.SYNACKTime - f.SYNTime, true
 }
 
+// tuple reconstructs the client-to-server four-tuple of the flow.
+func (f *Flow) tuple() FourTuple {
+	return FourTuple{SrcIP: f.ClientIP, DstIP: f.ServerIP,
+		SrcPort: f.ClientPort, DstPort: f.ServerPort}
+}
+
 // reassembler delivers captured payload in sequence order, dropping
 // duplicates and tolerating reordering. Gaps (bytes never captured, e.g.
-// snaplen-truncated bodies) are reported so the consumer can resynchronize.
+// snaplen-truncated bodies or losses beyond the reordering window) are
+// reported so the consumer can resynchronize. The pending buffer is bounded:
+// maxSegs caps the reordering window (0 means the 64-segment default) and
+// maxBytes caps buffered captured payload (0 means unlimited); exceeding
+// either forces the earliest pending segment out with a gap marker.
 type reassembler struct {
-	next    uint32 // next expected sequence number
-	started bool
-	pending []segment
+	next         uint32 // next expected sequence number
+	started      bool
+	pending      []segment
+	pendingBytes int // captured payload bytes currently buffered
+	maxSegs      int
+	maxBytes     int
+	stats        *TableStats
 }
 
 type segment struct {
@@ -78,8 +94,8 @@ func (r *reassembler) push(seq uint32, t int64, payload []byte, wireLen uint32) 
 		r.next = seq
 	}
 	if seqLess(seq, r.next) {
-		// Retransmission of already-delivered data; drop (possibly partial
-		// overlap — the generator never emits partial overlaps).
+		// Retransmission overlapping already-delivered data; drop the
+		// delivered part, keep any new suffix.
 		if !seqLess(r.next, seq+wireLen) {
 			return nil
 		}
@@ -92,27 +108,35 @@ func (r *reassembler) push(seq uint32, t int64, payload []byte, wireLen uint32) 
 		}
 		seq = r.next
 		wireLen -= skip
+		if r.stats != nil {
+			r.stats.TrimmedSegments++
+		}
 	}
 	r.pending = append(r.pending, segment{seq: seq, time: t, payload: payload, wireLen: wireLen})
+	r.pendingBytes += len(payload)
 	sort.Slice(r.pending, func(i, j int) bool { return seqLess(r.pending[i].seq, r.pending[j].seq) })
 
 	var out []chunk
 	out = r.drain(out)
-	// If pending segments remain and exceed a reordering window, declare a
-	// gap and resynchronize at the earliest pending segment. The window is
-	// generous: 64 segments.
-	for len(r.pending) > 64 {
+	// If pending segments exceed the reordering window or the buffered-byte
+	// cap, declare a gap and resynchronize at the earliest pending segment.
+	window := r.maxSegs
+	if window == 0 {
+		window = defaultReorderWindow
+	}
+	for len(r.pending) > window || (r.maxBytes > 0 && r.pendingBytes > r.maxBytes) {
 		s := r.pending[0]
 		out = append(out, chunk{time: s.time, payload: s.payload, gap: true})
 		r.next = s.seq + s.wireLen
 		r.pending = r.pending[1:]
+		r.pendingBytes -= len(s.payload)
 		out = r.drain(out)
 	}
 	return out
 }
 
-// drain delivers every pending segment that now chains at r.next, dropping
-// stale duplicates.
+// drain delivers every pending segment that now chains at r.next, trimming
+// partial overlaps and dropping stale duplicates.
 func (r *reassembler) drain(out []chunk) []chunk {
 	progress := true
 	for progress {
@@ -122,10 +146,26 @@ func (r *reassembler) drain(out []chunk) []chunk {
 				out = append(out, chunk{time: s.time, payload: s.payload})
 				r.next = s.seq + s.wireLen
 				r.pending = append(r.pending[:i], r.pending[i+1:]...)
+				r.pendingBytes -= len(s.payload)
 				progress = true
 				break
 			}
 			if seqLess(s.seq, r.next) {
+				r.pendingBytes -= len(s.payload)
+				// A pending segment overlapping delivered data partially:
+				// deliver the undelivered suffix instead of losing it.
+				if seqLess(r.next, s.seq+s.wireLen) {
+					skip := r.next - s.seq
+					var pay []byte
+					if uint32(len(s.payload)) > skip {
+						pay = s.payload[skip:]
+					}
+					out = append(out, chunk{time: s.time, payload: pay})
+					r.next = s.seq + s.wireLen
+					if r.stats != nil {
+						r.stats.TrimmedSegments++
+					}
+				}
 				r.pending = append(r.pending[:i], r.pending[i+1:]...)
 				progress = true
 				break
@@ -143,35 +183,68 @@ type FlowHandler interface {
 	// Data delivers reassembled payload for one direction in order. gap
 	// marks a sequence discontinuity before this chunk (uncaptured bytes).
 	Data(f *Flow, dir Dir, time int64, payload []byte, gap bool)
-	// FlowClosed fires on FIN/RST or table flush.
+	// FlowClosed fires on FIN/RST, eviction, or table flush.
 	FlowClosed(f *Flow)
 }
 
-// FlowTable demultiplexes packets into flows.
+// FlowTable demultiplexes packets into flows. With a non-zero Limits it is
+// bounded-memory: idle flows are evicted on a packet-timestamp clock and the
+// live-flow count never exceeds the configured cap.
 type FlowTable struct {
 	flows   map[FourTuple]*Flow
 	handler FlowHandler
 	// Established tracks whether FlowEstablished fired.
 	established map[*Flow]bool
+	limits      Limits
+	// recency orders live flows by last activity, oldest at the front.
+	recency *list.List
+	stats   TableStats
+	// clock is the high-water packet timestamp, so isolated out-of-order
+	// packets cannot regress the eviction clock. A corrupted timestamp far
+	// in the future would poison it permanently — every later packet would
+	// look idle — so a sustained run of packets all older than the idle
+	// deadline (legit stragglers are isolated, clockResyncRun in a row are
+	// not) resyncs the clock down to the run's maximum.
+	clock     int64
+	staleRun  int
+	staleHigh int64
 }
 
-// NewFlowTable creates a table delivering events to handler.
+// clockResyncRun is the number of consecutive sub-deadline packets that
+// convince the table its clock was poisoned by a corrupt timestamp.
+const clockResyncRun = 64
+
+// NewFlowTable creates an unbounded table delivering events to handler
+// (legacy behavior, equivalent to NewFlowTableLimits with a zero Limits).
 func NewFlowTable(handler FlowHandler) *FlowTable {
+	return NewFlowTableLimits(handler, Limits{})
+}
+
+// NewFlowTableLimits creates a table bounded by lim.
+func NewFlowTableLimits(handler FlowHandler, lim Limits) *FlowTable {
 	return &FlowTable{
 		flows:       make(map[FourTuple]*Flow),
 		handler:     handler,
 		established: make(map[*Flow]bool),
+		limits:      lim,
+		recency:     list.New(),
 	}
 }
 
 // NumActive returns the number of live flows.
-func (ft *FlowTable) NumActive() int { return len(ft.flows) }
+func (ft *FlowTable) NumActive() int { return ft.recency.Len() }
+
+// Stats returns the degradation counters accumulated so far.
+func (ft *FlowTable) Stats() TableStats { return ft.stats }
 
 // Add processes one packet.
 func (ft *FlowTable) Add(p *Packet) {
+	ft.advanceClock(p.Time)
+	ft.evictIdle()
 	key := p.Tuple()
 	f, dir := ft.lookup(key)
 	if f == nil {
+		ft.evictForCap()
 		// New flow. The SYN sender is the client; a mid-stream packet makes
 		// the lower port the server (heuristic for truncated traces).
 		f = &Flow{FirstTime: p.Time}
@@ -186,13 +259,20 @@ func (ft *FlowTable) Add(p *Packet) {
 			f.ClientIP, f.ClientPort = p.DstIP, p.DstPort
 			f.ServerIP, f.ServerPort = p.SrcIP, p.SrcPort
 		}
-		f.reasm[0] = &reassembler{}
-		f.reasm[1] = &reassembler{}
+		f.reasm[0] = ft.newReassembler()
+		f.reasm[1] = ft.newReassembler()
 		ft.flows[key] = f
 		ft.flows[key.Reverse()] = f
+		f.elem = ft.recency.PushBack(f)
 		dir = ft.dirOf(f, p)
+	} else if p.HasFlag(FlagSYN) && !p.HasFlag(FlagACK) && dir == ClientToServer && f.SYNACKTime == 0 {
+		// SYN retransmission before the handshake completed: the SYN-ACK
+		// will answer this SYN, so the RTT clock restarts here. Once the
+		// handshake is done a stray duplicate SYN must not move it.
+		f.SYNTime = p.Time
 	}
 	f.LastTime = p.Time
+	ft.recency.MoveToBack(f.elem)
 	if p.HasFlag(FlagSYN) && p.HasFlag(FlagACK) && f.SYNACKTime == 0 {
 		f.SYNACKTime = p.Time
 	}
@@ -209,6 +289,9 @@ func (ft *FlowTable) Add(p *Packet) {
 		f.Packets[dir]++
 		for _, c := range f.reasm[dir].push(p.Seq, p.Time, p.Payload, p.WireLen) {
 			if len(c.payload) > 0 || c.gap {
+				if c.gap {
+					ft.stats.Gaps++
+				}
 				ft.handler.Data(f, dir, c.time, c.payload, c.gap)
 			}
 		}
@@ -217,6 +300,73 @@ func (ft *FlowTable) Add(p *Packet) {
 	}
 	if p.HasFlag(FlagFIN) || p.HasFlag(FlagRST) {
 		ft.close(key, f)
+	}
+}
+
+func (ft *FlowTable) newReassembler() *reassembler {
+	return &reassembler{
+		maxSegs:  ft.limits.MaxBufferedSegments,
+		maxBytes: ft.limits.MaxBufferedBytes,
+		stats:    &ft.stats,
+	}
+}
+
+// advanceClock moves the eviction clock to the high-water timestamp, with
+// outlier recovery: when clockResyncRun consecutive packets all predate the
+// idle deadline, the clock was poisoned by a corrupt future timestamp and is
+// resynced down to the run's maximum.
+func (ft *FlowTable) advanceClock(t int64) {
+	if t > ft.clock {
+		ft.clock = t
+		ft.staleRun, ft.staleHigh = 0, 0
+		return
+	}
+	if ft.limits.IdleTimeout <= 0 || t >= ft.clock-int64(ft.limits.IdleTimeout) {
+		// Mild reordering is not evidence of a poisoned clock.
+		ft.staleRun, ft.staleHigh = 0, 0
+		return
+	}
+	ft.staleRun++
+	if t > ft.staleHigh {
+		ft.staleHigh = t
+	}
+	if ft.staleRun >= clockResyncRun {
+		ft.clock = ft.staleHigh
+		ft.stats.ClockResyncs++
+		ft.staleRun, ft.staleHigh = 0, 0
+	}
+}
+
+// evictIdle force-closes flows whose last activity predates the idle
+// timeout, oldest first.
+func (ft *FlowTable) evictIdle() {
+	if ft.limits.IdleTimeout <= 0 {
+		return
+	}
+	deadline := ft.clock - int64(ft.limits.IdleTimeout)
+	for e := ft.recency.Front(); e != nil; e = ft.recency.Front() {
+		f := e.Value.(*Flow)
+		if f.LastTime >= deadline {
+			return
+		}
+		ft.stats.EvictedIdle++
+		ft.close(f.tuple(), f)
+	}
+}
+
+// evictForCap makes room for one new flow when the table is at MaxFlows.
+func (ft *FlowTable) evictForCap() {
+	if ft.limits.MaxFlows <= 0 {
+		return
+	}
+	for ft.recency.Len() >= ft.limits.MaxFlows {
+		e := ft.recency.Front()
+		if e == nil {
+			return
+		}
+		f := e.Value.(*Flow)
+		ft.stats.EvictedCap++
+		ft.close(f.tuple(), f)
 	}
 }
 
@@ -242,20 +392,17 @@ func (ft *FlowTable) close(key FourTuple, f *Flow) {
 	delete(ft.flows, key)
 	delete(ft.flows, key.Reverse())
 	delete(ft.established, f)
+	if f.elem != nil {
+		ft.recency.Remove(f.elem)
+		f.elem = nil
+	}
 	ft.handler.FlowClosed(f)
 }
 
 // Flush closes all remaining flows (end of trace).
 func (ft *FlowTable) Flush() {
-	seen := make(map[*Flow]bool)
-	for key, f := range ft.flows {
-		if seen[f] {
-			continue
-		}
-		seen[f] = true
-		delete(ft.flows, key)
-		delete(ft.flows, key.Reverse())
-		delete(ft.established, f)
-		ft.handler.FlowClosed(f)
+	for e := ft.recency.Front(); e != nil; e = ft.recency.Front() {
+		f := e.Value.(*Flow)
+		ft.close(f.tuple(), f)
 	}
 }

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the lenient reader: whatever the
+// input, it must terminate without panicking, never hand out oversized
+// payloads, and never account more skipped bytes than the input held.
+// Seeds cover a valid trace, a truncated one, and bit-flipped variants.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range mkConn(1e9) {
+		if err := w.Write(p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...)) // truncated tail
+	f.Add(append([]byte(nil), valid[:20]...))           // shorter than one record
+	for _, pos := range []int{9, 15, 40, len(valid) - 5} {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0x41
+		f.Add(flipped)
+	}
+	f.Add([]byte("ADTRACE\x01")) // header only
+	f.Add([]byte("not a trace at all, not even closely"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReaderOptions(bytes.NewReader(data),
+			ReaderOptions{Lenient: true, MaxResyncs: 256, MaxSkipBytes: 1 << 20})
+		if err != nil {
+			return // rejected header; nothing to read
+		}
+		records := 0
+		for {
+			p, err := r.Read()
+			if err != nil {
+				break // io.EOF or budget exhaustion both terminate cleanly
+			}
+			records++
+			// Bounded allocation: a lenient reader never accepts a payload
+			// beyond the snap length, and cannot produce more records than
+			// the input could encode.
+			if len(p.Payload) > SnapLen {
+				t.Fatalf("payload %d exceeds snaplen", len(p.Payload))
+			}
+			if records > len(data)/recordFixed+1 {
+				t.Fatalf("decoded %d records from %d input bytes", records, len(data))
+			}
+		}
+		st := r.Stats()
+		if st.SkippedBytes > int64(len(data)) {
+			t.Fatalf("skipped %d bytes from a %d-byte input", st.SkippedBytes, len(data))
+		}
+		if st.Records != records {
+			t.Fatalf("stats records %d != %d", st.Records, records)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// buildTrace serializes n small records with advancing timestamps and
+// returns the encoded bytes plus per-record start offsets (for targeted
+// corruption).
+func buildTrace(t *testing.T, n int) (data []byte, offsets []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		w.Flush()
+		offsets = append(offsets, buf.Len())
+		pay := []byte("GET /object HTTP/1.1\r\nHost: example\r\n\r\n")
+		if i%3 == 0 {
+			pay = nil // header-only records interleaved
+		}
+		p := &Packet{
+			Time:  1e9 + int64(i)*5e6,
+			SrcIP: 10, DstIP: 20, SrcPort: uint16(4000 + i%100), DstPort: 80,
+			Flags: FlagACK | FlagPSH, Seq: uint32(i * 100),
+			WireLen: uint32(len(pay)), Payload: pay,
+		}
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), offsets
+}
+
+func readAllLenient(t *testing.T, data []byte, opt ReaderOptions) (int, ReaderStats, error) {
+	t.Helper()
+	r, err := NewReaderOptions(bytes.NewReader(data), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			return n, r.Stats(), nil
+		}
+		if err != nil {
+			return n, r.Stats(), err
+		}
+		n++
+	}
+}
+
+func TestLenientReaderCleanTrace(t *testing.T) {
+	data, _ := buildTrace(t, 200)
+	n, st, err := readAllLenient(t, data, ReaderOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 || st.Records != 200 {
+		t.Errorf("records = %d / stats %d, want 200", n, st.Records)
+	}
+	if st.Resyncs != 0 || st.SkippedBytes != 0 || st.TruncatedTail {
+		t.Errorf("clean trace reported damage: %+v", st)
+	}
+}
+
+func TestLenientReaderRecoversFromCorruptRecords(t *testing.T) {
+	const n = 500
+	data, offsets := buildTrace(t, n)
+	// Corrupt 1% of records: smash the capLen field to an impossible value
+	// so the record is structurally invalid (the hard case — framing lost).
+	corrupted := append([]byte(nil), data...)
+	rng := rand.New(rand.NewSource(7))
+	nCorrupt := n / 100
+	for i := 0; i < nCorrupt; i++ {
+		off := offsets[rng.Intn(len(offsets))]
+		binary.BigEndian.PutUint16(corrupted[off+29:], 0xFFFF)
+	}
+
+	// Strict mode: the first bad record must abort the run.
+	r, err := NewReader(bytes.NewReader(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictErr := error(nil)
+	for strictErr == nil {
+		_, strictErr = r.Read()
+	}
+	if strictErr == io.EOF {
+		t.Fatal("strict reader silently absorbed corruption")
+	}
+
+	// Lenient mode: resynchronize and recover ≥90% of the records.
+	got, st, err := readAllLenient(t, corrupted, ReaderOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < n*90/100 {
+		t.Errorf("recovered %d/%d records at 1%% corruption, want ≥90%%", got, n)
+	}
+	if got > n {
+		t.Errorf("fabricated records: %d > %d", got, n)
+	}
+	if st.Resyncs == 0 || st.SkippedBytes == 0 {
+		t.Errorf("damage not reported: %+v", st)
+	}
+}
+
+func TestLenientReaderSkipsInsertedGarbage(t *testing.T) {
+	data, offsets := buildTrace(t, 100)
+	// Splice 137 junk bytes between two records (a partial write, a torn
+	// block). The reader must skip them and keep every record.
+	cut := offsets[50]
+	junk := make([]byte, 137)
+	rng := rand.New(rand.NewSource(3))
+	for i := range junk {
+		junk[i] = byte(rng.Intn(256)) | 0x80 // high bit keeps flags implausible
+	}
+	spliced := append(append(append([]byte(nil), data[:cut]...), junk...), data[cut:]...)
+	got, st, err := readAllLenient(t, spliced, ReaderOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("recovered %d/100 records around spliced garbage", got)
+	}
+	if st.Resyncs != 1 {
+		t.Errorf("Resyncs = %d, want 1", st.Resyncs)
+	}
+	if st.SkippedBytes < int64(len(junk)) {
+		t.Errorf("SkippedBytes = %d, want ≥ %d", st.SkippedBytes, len(junk))
+	}
+}
+
+func TestLenientReaderTruncatedTail(t *testing.T) {
+	data, offsets := buildTrace(t, 50)
+	cut := data[:offsets[49]+10] // mid-record EOF
+
+	// Strict: error.
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for lastErr == nil {
+		_, lastErr = r.Read()
+	}
+	if lastErr == io.EOF {
+		t.Error("strict reader must surface a truncated tail as an error")
+	}
+
+	// Lenient: clean EOF with the tail counted.
+	got, st, err := readAllLenient(t, cut, ReaderOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 49 {
+		t.Errorf("records = %d, want 49", got)
+	}
+	if !st.TruncatedTail || st.SkippedBytes != 10 {
+		t.Errorf("tail not reported: %+v", st)
+	}
+}
+
+func TestLenientReaderCorruptionBudget(t *testing.T) {
+	data, offsets := buildTrace(t, 100)
+	corrupted := append([]byte(nil), data...)
+	// Break records 20 and 70.
+	binary.BigEndian.PutUint16(corrupted[offsets[20]+29:], 0xFFFF)
+	binary.BigEndian.PutUint16(corrupted[offsets[70]+29:], 0xFFFF)
+	_, _, err := readAllLenient(t, corrupted, ReaderOptions{Lenient: true, MaxResyncs: 1})
+	if !errors.Is(err, ErrCorruptionBudget) {
+		t.Errorf("err = %v, want ErrCorruptionBudget with a 1-resync budget", err)
+	}
+	// With budget to spare, the same trace reads through.
+	got, st, err := readAllLenient(t, corrupted, ReaderOptions{Lenient: true, MaxResyncs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 95 || st.Resyncs != 2 {
+		t.Errorf("records = %d resyncs = %d", got, st.Resyncs)
+	}
+}

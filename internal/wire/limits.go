@@ -1,0 +1,64 @@
+package wire
+
+import "time"
+
+// Limits bounds the memory a FlowTable may hold. The zero value imposes no
+// bounds (legacy behavior, suitable for short well-formed traces); production
+// ingest against live vantage points should start from DefaultLimits, where
+// long-lived, one-sided, or abandoned flows are evicted instead of
+// accumulating state for the lifetime of the run.
+type Limits struct {
+	// MaxFlows is a hard cap on concurrently tracked flows. When a new flow
+	// would exceed it, the least-recently-active flow is force-closed first.
+	// 0 means unlimited.
+	MaxFlows int
+	// IdleTimeout evicts flows that have seen no packet for this long,
+	// measured against packet timestamps (not wall clock), so replayed
+	// traces behave identically to live capture. 0 disables idle eviction.
+	IdleTimeout time.Duration
+	// MaxBufferedSegments caps the per-direction reassembly reordering
+	// window: once more segments than this are pending, the earliest is
+	// delivered with a gap marker. 0 means the default of 64 segments.
+	MaxBufferedSegments int
+	// MaxBufferedBytes caps the per-direction captured payload bytes held in
+	// the reassembly buffer; exceeding it forces gap delivery like the
+	// segment cap. 0 means unlimited.
+	MaxBufferedBytes int
+}
+
+// defaultReorderWindow is the historical reassembly window, kept as the
+// MaxBufferedSegments default.
+const defaultReorderWindow = 64
+
+// DefaultLimits returns the production defaults used by cmd/adtrace: generous
+// enough that well-formed traces are unaffected, tight enough that a
+// multi-day capture with packet loss cannot grow without bound.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxFlows:            1 << 20,
+		IdleTimeout:         10 * time.Minute,
+		MaxBufferedSegments: defaultReorderWindow,
+		MaxBufferedBytes:    1 << 20,
+	}
+}
+
+// TableStats counts the degradation events of a bounded FlowTable. Every
+// piece of work the table sheds to stay within Limits is counted here rather
+// than silently dropped, so downstream aggregates can be qualified.
+type TableStats struct {
+	// EvictedIdle counts flows force-closed by Limits.IdleTimeout.
+	EvictedIdle int
+	// EvictedCap counts flows force-closed to respect Limits.MaxFlows.
+	EvictedCap int
+	// Gaps counts sequence discontinuities delivered to the handler —
+	// uncaptured bytes, whether from genuine loss beyond the reordering
+	// window or from reassembly buffer caps.
+	Gaps int
+	// TrimmedSegments counts retransmitted segments whose already-delivered
+	// prefix was trimmed before delivery (partial-overlap retransmissions).
+	TrimmedSegments int
+	// ClockResyncs counts recoveries from a poisoned eviction clock: a
+	// corrupt timestamp far in the future briefly made live flows look
+	// idle until a sustained run of older packets corrected the clock.
+	ClockResyncs int
+}

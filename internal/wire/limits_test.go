@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// dataPkt builds a one-sided data packet for a distinct flow id.
+func dataPkt(id uint32, t int64, payload string) *Packet {
+	return &Packet{Time: t, SrcIP: 100 + id, DstIP: 1, SrcPort: 40000, DstPort: 80,
+		Flags: FlagACK, Seq: 1, WireLen: uint32(len(payload)), Payload: []byte(payload)}
+}
+
+func TestFlowTableIdleEviction(t *testing.T) {
+	h := newCollectingHandler()
+	ft := NewFlowTableLimits(h, Limits{IdleTimeout: time.Second})
+	ft.Add(dataPkt(1, 1e9, "x"))
+	ft.Add(dataPkt(2, 1.5e9, "x"))
+	if ft.NumActive() != 2 {
+		t.Fatalf("NumActive = %d, want 2", ft.NumActive())
+	}
+	// Flow 1 last active at 1e9; a packet at 3e9 pushes the clock past its
+	// deadline. Flow 2 (1.5e9) is also stale by then.
+	ft.Add(dataPkt(3, 3e9, "x"))
+	if got := ft.Stats().EvictedIdle; got != 2 {
+		t.Errorf("EvictedIdle = %d, want 2", got)
+	}
+	if ft.NumActive() != 1 {
+		t.Errorf("NumActive = %d, want 1 (only the fresh flow)", ft.NumActive())
+	}
+	if h.closed != 2 {
+		t.Errorf("closed = %d, want 2 (evictions must fire FlowClosed)", h.closed)
+	}
+	// Out-of-order stragglers must not regress the eviction clock.
+	ft.Add(dataPkt(4, 2e9, "x"))
+	if ft.NumActive() != 2 {
+		t.Errorf("NumActive = %d after straggler, want 2", ft.NumActive())
+	}
+}
+
+func TestFlowTableCapEviction(t *testing.T) {
+	h := newCollectingHandler()
+	ft := NewFlowTableLimits(h, Limits{MaxFlows: 4})
+	for i := uint32(0); i < 10; i++ {
+		ft.Add(dataPkt(i, int64(i+1)*1e6, "x"))
+		if ft.NumActive() > 4 {
+			t.Fatalf("NumActive = %d exceeds cap 4", ft.NumActive())
+		}
+	}
+	if got := ft.Stats().EvictedCap; got != 6 {
+		t.Errorf("EvictedCap = %d, want 6", got)
+	}
+	if ft.NumActive() != 4 {
+		t.Errorf("NumActive = %d, want 4", ft.NumActive())
+	}
+	// The survivors must be the most recently active flows (6..9), so a
+	// packet for flow 9 must not create a new flow.
+	before := ft.NumActive()
+	ft.Add(dataPkt(9, 20e6, "y"))
+	if ft.NumActive() != before {
+		t.Errorf("recent flow was evicted instead of the oldest")
+	}
+}
+
+func TestFlowTableEvictionFlushesPending(t *testing.T) {
+	// An evicted flow must go through the normal close path so downstream
+	// consumers (the HTTP pairer) flush their per-flow state.
+	h := newCollectingHandler()
+	ft := NewFlowTableLimits(h, Limits{MaxFlows: 1})
+	ft.Add(dataPkt(1, 1e6, "HELLO"))
+	ft.Add(dataPkt(2, 2e6, "WORLD"))
+	if h.closed != 1 {
+		t.Fatalf("closed = %d, want 1", h.closed)
+	}
+	ft.Flush()
+	if h.closed != 2 {
+		t.Fatalf("closed = %d after flush, want 2", h.closed)
+	}
+	if ft.NumActive() != 0 {
+		t.Errorf("NumActive = %d after flush", ft.NumActive())
+	}
+}
+
+func TestReassemblerByteCapForcesGap(t *testing.T) {
+	h := newCollectingHandler()
+	ft := NewFlowTableLimits(h, Limits{MaxBufferedBytes: 1000})
+	// First segment anchors the stream; then out-of-order segments that
+	// never chain pile up until the byte cap forces gap delivery.
+	ft.Add(&Packet{Time: 1, SrcIP: 9, DstIP: 1, SrcPort: 40000, DstPort: 80,
+		Flags: FlagACK, Seq: 0, WireLen: 10, Payload: make([]byte, 10)})
+	for i := 0; i < 3; i++ {
+		seq := uint32(5000 + i*600) // hole at [10,5000)
+		ft.Add(&Packet{Time: int64(i + 2), SrcIP: 9, DstIP: 1, SrcPort: 40000, DstPort: 80,
+			Flags: FlagACK, Seq: seq, WireLen: 500, Payload: make([]byte, 500)})
+	}
+	if h.gaps == 0 {
+		t.Error("byte cap did not force gap delivery")
+	}
+	if got := ft.Stats().Gaps; got != h.gaps {
+		t.Errorf("Stats().Gaps = %d, handler saw %d", got, h.gaps)
+	}
+	f, _ := ft.lookup(FourTuple{SrcIP: 9, DstIP: 1, SrcPort: 40000, DstPort: 80})
+	if f == nil {
+		t.Fatal("flow missing")
+	}
+	if got := f.reasm[ClientToServer].pendingBytes; got > 1000 {
+		t.Errorf("pendingBytes = %d exceeds cap 1000", got)
+	}
+}
+
+// TestSYNRetransmissionRefreshesHandshake is the regression test for the
+// repeated-SYN fix: a retransmitted SYN restarts the RTT clock while the
+// handshake is incomplete, and a stray duplicate SYN after the SYN-ACK must
+// not move it (that would make SYNACKTime < SYNTime and void the sample).
+func TestSYNRetransmissionRefreshesHandshake(t *testing.T) {
+	h := newCollectingHandler()
+	ft := NewFlowTable(h)
+	syn := func(ts int64) *Packet {
+		return &Packet{Time: ts, SrcIP: 1, DstIP: 2, SrcPort: 5000, DstPort: 80, Flags: FlagSYN, Seq: 99}
+	}
+	synack := func(ts int64) *Packet {
+		return &Packet{Time: ts, SrcIP: 2, DstIP: 1, SrcPort: 80, DstPort: 5000, Flags: FlagSYN | FlagACK, Seq: 999}
+	}
+
+	// SYN lost upstream of the server: client retransmits 3s later, and the
+	// SYN-ACK answers the retransmission.
+	ft.Add(syn(1e9))
+	ft.Add(syn(4e9))
+	ft.Add(synack(4e9 + 20e6))
+	f, _ := ft.lookup(FourTuple{SrcIP: 1, DstIP: 2, SrcPort: 5000, DstPort: 80})
+	rtt, ok := f.HandshakeRTT()
+	if !ok || rtt != 20e6 {
+		t.Errorf("RTT after SYN retransmission = %d ok=%v, want 20ms (measured from the last SYN)", rtt, ok)
+	}
+
+	// Completed handshake: a late duplicate SYN (network reordering) must
+	// not reset SYNTime past SYNACKTime.
+	h2 := newCollectingHandler()
+	ft2 := NewFlowTable(h2)
+	ft2.Add(syn(1e9))
+	ft2.Add(synack(1e9 + 20e6))
+	ft2.Add(syn(1e9 + 30e6))
+	f2, _ := ft2.lookup(FourTuple{SrcIP: 1, DstIP: 2, SrcPort: 5000, DstPort: 80})
+	rtt2, ok2 := f2.HandshakeRTT()
+	if !ok2 || rtt2 != 20e6 {
+		t.Errorf("RTT after duplicate SYN = %d ok=%v, want 20ms preserved", rtt2, ok2)
+	}
+}
+
+func TestFlowTableUnlimitedByDefault(t *testing.T) {
+	// The legacy constructor must impose no bounds: thousands of open flows
+	// spread over a long timespan all stay live.
+	h := newCollectingHandler()
+	ft := NewFlowTable(h)
+	for i := uint32(0); i < 5000; i++ {
+		ft.Add(dataPkt(i, int64(i+1)*60e9, "x")) // one flow per minute
+	}
+	if ft.NumActive() != 5000 {
+		t.Errorf("NumActive = %d, want 5000 (no eviction without limits)", ft.NumActive())
+	}
+	if st := ft.Stats(); st.EvictedIdle+st.EvictedCap != 0 {
+		t.Errorf("unexpected evictions: %+v", st)
+	}
+}
+
+// TestFlowTableClockPoisonRecovery pins the outlier-resistant eviction
+// clock: a single corrupt timestamp far in the future must not permanently
+// convince the table that every later flow is idle. After clockResyncRun
+// consecutive packets older than the idle deadline, the clock resyncs down
+// and normal flows survive again.
+func TestFlowTableClockPoisonRecovery(t *testing.T) {
+	h := newCollectingHandler()
+	ft := NewFlowTableLimits(h, Limits{IdleTimeout: time.Second})
+	ft.Add(dataPkt(1, 1e9, "x"))
+	// Poisoned packet: ~78 hours in the future (a bit-flipped timestamp).
+	ft.Add(dataPkt(2, 1e9+280000e9, "x"))
+	// Real traffic resumes at sane times. During the poisoned window each
+	// packet's flow looks idle and is evicted by the next packet.
+	for i := uint32(0); i < 2*clockResyncRun; i++ {
+		ft.Add(dataPkt(100+i, 1.1e9+int64(i)*1e6, "x"))
+	}
+	st := ft.Stats()
+	if st.ClockResyncs != 1 {
+		t.Fatalf("ClockResyncs = %d, want 1", st.ClockResyncs)
+	}
+	// Every flow after the resync point must have survived.
+	if want := clockResyncRun + 1; ft.NumActive() < want {
+		t.Errorf("NumActive = %d after recovery, want >= %d", ft.NumActive(), want)
+	}
+	// And the meltdown itself stays bounded: at most one eviction per packet
+	// inside the poisoned window, not a permanent everything-is-idle state.
+	if st.EvictedIdle > clockResyncRun+2 {
+		t.Errorf("EvictedIdle = %d, poisoned window was not contained", st.EvictedIdle)
+	}
+}

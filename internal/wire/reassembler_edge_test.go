@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// pushAll feeds one segment and appends the delivered chunks.
+func pushAll(r *reassembler, seq uint32, payload []byte, out *[]chunk) {
+	*out = append(*out, r.push(seq, 0, payload, uint32(len(payload)))...)
+}
+
+func flatten(chunks []chunk) (data []byte, gaps int) {
+	for _, c := range chunks {
+		if c.gap {
+			gaps++
+		}
+		data = append(data, c.payload...)
+	}
+	return data, gaps
+}
+
+// TestReassemblerWraparoundAcrossGap drives the gap-declaration path across
+// the 32-bit sequence wrap: a hole before the wrap point forces the window to
+// overflow while pending sequence numbers straddle 0xFFFFFFFF → 0.
+func TestReassemblerWraparoundAcrossGap(t *testing.T) {
+	r := &reassembler{maxSegs: 8}
+	start := uint32(0xFFFFFF00) // 256 bytes before the wrap
+	seg := 64
+	msg := make([]byte, 16*seg)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	var out []chunk
+	// Anchor the stream, then withhold segment 1 and push 2..15: ten
+	// pending segments overflow the 8-segment window mid-wrap.
+	pushAll(r, start, msg[:seg], &out)
+	for i := 2; i < 16; i++ {
+		pushAll(r, start+uint32(i*seg), msg[i*seg:(i+1)*seg], &out)
+	}
+	data, gaps := flatten(out)
+	if gaps != 1 {
+		t.Fatalf("gaps = %d, want exactly 1 (the withheld segment)", gaps)
+	}
+	// Everything except the withheld segment must arrive, in order.
+	want := append(append([]byte(nil), msg[:seg]...), msg[2*seg:]...)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("delivered %d bytes, want %d; wraparound scrambled the stream", len(data), len(want))
+	}
+	// next must have wrapped cleanly past zero.
+	if wantNext := start + uint32(16*seg); r.next != wantNext {
+		t.Errorf("next = %#x, want %#x", r.next, wantNext)
+	}
+	if seqLess(r.next, start) {
+		// sanity: wrapped next compares as *after* the pre-wrap start
+		t.Errorf("wrapped next %#x compares before start %#x", r.next, start)
+	}
+	// The stream continues seamlessly after the wrap.
+	tail := []byte("post-wrap")
+	pushAll(r, r.next, tail, &out)
+	data, _ = flatten(out)
+	if !bytes.HasSuffix(data, tail) {
+		t.Error("post-wrap segment not delivered in order")
+	}
+}
+
+// TestReassemblerPartialOverlapRetransmission covers both partial-overlap
+// shapes: a retransmission overlapping already-delivered data (trimmed on
+// push) and a pending segment that a larger retransmission partially covers
+// (trimmed on drain). Neither may lose or duplicate bytes.
+func TestReassemblerPartialOverlapRetransmission(t *testing.T) {
+	stream := make([]byte, 300)
+	for i := range stream {
+		stream[i] = byte(i * 7)
+	}
+
+	t.Run("overlaps-delivered", func(t *testing.T) {
+		var stats TableStats
+		r := &reassembler{stats: &stats}
+		var out []chunk
+		pushAll(r, 0, stream[0:200], &out)
+		// Retransmit [150,250): bytes [150,200) were already delivered.
+		pushAll(r, 150, stream[150:250], &out)
+		data, gaps := flatten(out)
+		if gaps != 0 {
+			t.Fatalf("gaps = %d", gaps)
+		}
+		if !bytes.Equal(data, stream[:250]) {
+			t.Fatalf("delivered bytes diverge after trimmed retransmission")
+		}
+		if stats.TrimmedSegments == 0 {
+			t.Error("trim not counted")
+		}
+	})
+
+	t.Run("overlaps-pending", func(t *testing.T) {
+		var stats TableStats
+		r := &reassembler{stats: &stats}
+		var out []chunk
+		pushAll(r, 0, stream[0:100], &out)     // delivered, next=100
+		pushAll(r, 200, stream[200:300], &out) // pending behind a hole
+		// A retransmission [100,250) fills the hole and swallows half of
+		// the pending segment; the pending remainder [250,300) must still
+		// be delivered, not dropped.
+		pushAll(r, 100, stream[100:250], &out)
+		data, gaps := flatten(out)
+		if gaps != 0 {
+			t.Fatalf("gaps = %d", gaps)
+		}
+		if !bytes.Equal(data, stream) {
+			t.Fatalf("delivered %d bytes, want full 300: pending partial overlap lost data", len(data))
+		}
+		if r.pendingBytes != 0 || len(r.pending) != 0 {
+			t.Errorf("pending not drained: %d segs, %d bytes", len(r.pending), r.pendingBytes)
+		}
+		if stats.TrimmedSegments == 0 {
+			t.Error("trim not counted")
+		}
+	})
+}
+
+// TestReassemblerWindowBoundary pins the reordering-window edge: exactly
+// maxSegs pending segments buffer without loss, one more forces a gap.
+func TestReassemblerWindowBoundary(t *testing.T) {
+	r := &reassembler{} // default 64-segment window
+	var out []chunk
+	pushAll(r, 0, []byte{0}, &out) // anchor, next=1
+	// 64 disjoint single-byte segments at even offsets: all pending.
+	for i := 0; i < defaultReorderWindow; i++ {
+		pushAll(r, uint32(2+2*i), []byte{byte(i)}, &out)
+	}
+	if _, gaps := flatten(out); gaps != 0 {
+		t.Fatalf("gap declared with exactly %d pending segments", defaultReorderWindow)
+	}
+	if len(r.pending) != defaultReorderWindow {
+		t.Fatalf("pending = %d, want %d", len(r.pending), defaultReorderWindow)
+	}
+	// The 65th non-chaining segment overflows the window.
+	pushAll(r, uint32(2+2*defaultReorderWindow), []byte{0xFF}, &out)
+	if _, gaps := flatten(out); gaps == 0 {
+		t.Error("window overflow did not declare a gap")
+	}
+	if len(r.pending) > defaultReorderWindow {
+		t.Errorf("pending = %d still above window", len(r.pending))
+	}
+}

@@ -85,14 +85,77 @@ func (tw *Writer) Flush() error {
 	return tw.w.Flush()
 }
 
-// Reader streams packets from a trace file.
-type Reader struct {
-	r *bufio.Reader
-	n int
+// ReaderOptions selects the failure semantics of a Reader.
+//
+// The default (strict) mode fails fast: any malformed record aborts the read
+// with an error, which is the right behavior for traces this pipeline wrote
+// itself. Lenient mode is for captures that survived real-world damage
+// (truncated files, flipped bits, spliced segments): instead of aborting, the
+// reader scans forward for the next plausible record boundary and keeps
+// going, counting what it skipped in ReaderStats.
+type ReaderOptions struct {
+	// Lenient enables corrupt-record recovery.
+	Lenient bool
+	// MaxResyncs bounds how many resynchronization events are tolerated
+	// before the reader gives up with an error. 0 means the default of
+	// 1024; negative means unlimited.
+	MaxResyncs int
+	// MaxSkipBytes bounds the total bytes skipped while resynchronizing.
+	// 0 means the default of 16 MiB; negative means unlimited.
+	MaxSkipBytes int64
 }
 
-// NewReader validates the trace header and returns a Reader.
+const (
+	defaultMaxResyncs   = 1024
+	defaultMaxSkipBytes = 16 << 20
+	// maxPlausibleWireLen bounds WireLen in lenient plausibility checks: a
+	// single TCP segment cannot carry more than 64 KiB of payload.
+	maxPlausibleWireLen = 1 << 16
+	// maxPlausibleTimeSkew bounds the timestamp delta between consecutive
+	// records in lenient mode (~400 days in ns); corrupted high time bytes
+	// jump far beyond any real capture window.
+	maxPlausibleTimeSkew = int64(400) * 24 * 3600 * 1e9
+	// knownFlags are the flag bits a well-formed record may carry.
+	knownFlags = FlagSYN | FlagACK | FlagFIN | FlagRST | FlagPSH
+)
+
+// ReaderStats reports what a Reader skipped or repaired. In strict mode only
+// Records advances.
+type ReaderStats struct {
+	// Records is the number of records successfully decoded.
+	Records int
+	// Resyncs counts corrupt-record recovery events (lenient mode).
+	Resyncs int
+	// SkippedBytes is the total bytes discarded while scanning for the next
+	// plausible record boundary, including a truncated tail.
+	SkippedBytes int64
+	// TruncatedTail reports that the trace ended mid-record.
+	TruncatedTail bool
+}
+
+// ErrCorruptionBudget is returned when a lenient Reader exceeds its
+// configured error budget (MaxResyncs or MaxSkipBytes).
+var ErrCorruptionBudget = errors.New("wire: corruption budget exceeded")
+
+// Reader streams packets from a trace file.
+type Reader struct {
+	r        *bufio.Reader
+	n        int
+	opt      ReaderOptions
+	stats    ReaderStats
+	lastTime int64
+	haveTime bool
+}
+
+// NewReader validates the trace header and returns a strict (fail-fast)
+// Reader, preserving the historical behavior.
 func NewReader(r io.Reader) (*Reader, error) {
+	return NewReaderOptions(r, ReaderOptions{})
+}
+
+// NewReaderOptions validates the trace header and returns a Reader with the
+// given failure semantics.
+func NewReaderOptions(r io.Reader, opt ReaderOptions) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -101,11 +164,29 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if hdr != magic {
 		return nil, errors.New("wire: not an ADTRACE file")
 	}
-	return &Reader{r: br}, nil
+	if opt.MaxResyncs == 0 {
+		opt.MaxResyncs = defaultMaxResyncs
+	}
+	if opt.MaxSkipBytes == 0 {
+		opt.MaxSkipBytes = defaultMaxSkipBytes
+	}
+	return &Reader{r: br, opt: opt}, nil
 }
 
-// Read returns the next packet, or io.EOF at end of trace.
+// Stats returns what the reader decoded and skipped so far.
+func (tr *Reader) Stats() ReaderStats { return tr.stats }
+
+// Read returns the next packet, or io.EOF at end of trace. In lenient mode a
+// malformed record triggers a forward scan to the next plausible record
+// boundary instead of an error, within the configured budget.
 func (tr *Reader) Read() (*Packet, error) {
+	if tr.opt.Lenient {
+		return tr.readLenient()
+	}
+	return tr.readStrict()
+}
+
+func (tr *Reader) readStrict() (*Packet, error) {
 	var buf [recordFixed]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
 		if err == io.EOF {
@@ -113,7 +194,135 @@ func (tr *Reader) Read() (*Packet, error) {
 		}
 		return nil, fmt.Errorf("wire: record %d: %w", tr.n, err)
 	}
-	p := &Packet{
+	p := decodeFixed(buf[:])
+	capLen := binary.BigEndian.Uint16(buf[29:])
+	if capLen > SnapLen {
+		// The writer never emits more than SnapLen captured bytes, so this
+		// record is corrupt; reading its "payload" would silently desync
+		// the stream and mis-decode everything after it.
+		return nil, fmt.Errorf("wire: record %d: capture length %d exceeds snaplen %d", tr.n, capLen, SnapLen)
+	}
+	if capLen > 0 {
+		p.Payload = make([]byte, capLen)
+		if _, err := io.ReadFull(tr.r, p.Payload); err != nil {
+			return nil, fmt.Errorf("wire: record %d payload: %w", tr.n, err)
+		}
+	}
+	tr.n++
+	tr.stats.Records++
+	return p, nil
+}
+
+func (tr *Reader) readLenient() (*Packet, error) {
+	for {
+		hdr, err := tr.r.Peek(recordFixed)
+		if err != nil {
+			return nil, tr.finishTail(len(hdr), err)
+		}
+		if !tr.plausibleRecord(hdr) {
+			if err := tr.resync(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		capLen := int(binary.BigEndian.Uint16(hdr[29:]))
+		full, err := tr.r.Peek(recordFixed + capLen)
+		if err != nil {
+			return nil, tr.finishTail(len(full), err)
+		}
+		p := decodeFixed(full[:recordFixed])
+		if capLen > 0 {
+			p.Payload = make([]byte, capLen)
+			copy(p.Payload, full[recordFixed:])
+		}
+		tr.r.Discard(recordFixed + capLen)
+		tr.n++
+		tr.stats.Records++
+		tr.lastTime, tr.haveTime = p.Time, true
+		return p, nil
+	}
+}
+
+// finishTail handles a read that came up short of a full record: a truncated
+// tail becomes a clean, counted EOF; real I/O errors propagate.
+func (tr *Reader) finishTail(avail int, err error) error {
+	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+		if avail > 0 {
+			tr.stats.SkippedBytes += int64(avail)
+			tr.stats.TruncatedTail = true
+			tr.r.Discard(avail)
+		}
+		return io.EOF
+	}
+	return fmt.Errorf("wire: record %d: %w", tr.n, err)
+}
+
+// resync scans forward one byte at a time until a plausible record boundary
+// is found — a record whose header passes the sanity checks and which is
+// followed by another plausible header (or clean EOF), to keep false
+// boundaries inside payload bytes rare.
+func (tr *Reader) resync() error {
+	tr.stats.Resyncs++
+	if tr.opt.MaxResyncs >= 0 && tr.stats.Resyncs > tr.opt.MaxResyncs {
+		return fmt.Errorf("%w: %d resyncs", ErrCorruptionBudget, tr.stats.Resyncs)
+	}
+	for {
+		if tr.opt.MaxSkipBytes >= 0 && tr.stats.SkippedBytes >= tr.opt.MaxSkipBytes {
+			return fmt.Errorf("%w: %d bytes skipped", ErrCorruptionBudget, tr.stats.SkippedBytes)
+		}
+		if _, err := tr.r.Discard(1); err != nil {
+			return tr.finishTail(0, err)
+		}
+		tr.stats.SkippedBytes++
+		hdr, err := tr.r.Peek(recordFixed)
+		if err != nil {
+			return tr.finishTail(len(hdr), err)
+		}
+		if tr.plausibleRecord(hdr) && tr.nextAlsoPlausible(hdr) {
+			return nil
+		}
+	}
+}
+
+// nextAlsoPlausible peeks past the candidate record and checks that the bytes
+// after it also look like a record header or clean EOF.
+func (tr *Reader) nextAlsoPlausible(hdr []byte) bool {
+	capLen := int(binary.BigEndian.Uint16(hdr[29:]))
+	buf, err := tr.r.Peek(recordFixed + capLen + recordFixed)
+	if err != nil {
+		// Shorter than the candidate record itself: not a believable
+		// boundary. Exactly the candidate record left: clean EOF after it.
+		return len(buf) >= recordFixed+capLen
+	}
+	return tr.plausibleRecord(buf[recordFixed+capLen:])
+}
+
+// plausibleRecord applies structural sanity checks to a fixed record header.
+func (tr *Reader) plausibleRecord(hdr []byte) bool {
+	t := int64(binary.BigEndian.Uint64(hdr[0:]))
+	flags := hdr[20]
+	wireLen := binary.BigEndian.Uint32(hdr[25:])
+	capLen := binary.BigEndian.Uint16(hdr[29:])
+	if t < 0 {
+		return false
+	}
+	if flags&^knownFlags != 0 {
+		return false
+	}
+	if capLen > SnapLen || uint32(capLen) > wireLen || wireLen > maxPlausibleWireLen {
+		return false
+	}
+	if tr.haveTime {
+		d := t - tr.lastTime
+		if d < -maxPlausibleTimeSkew || d > maxPlausibleTimeSkew {
+			return false
+		}
+	}
+	return true
+}
+
+func decodeFixed(buf []byte) *Packet {
+	return &Packet{
 		Time:    int64(binary.BigEndian.Uint64(buf[0:])),
 		SrcIP:   binary.BigEndian.Uint32(buf[8:]),
 		DstIP:   binary.BigEndian.Uint32(buf[12:]),
@@ -123,15 +332,6 @@ func (tr *Reader) Read() (*Packet, error) {
 		Seq:     binary.BigEndian.Uint32(buf[21:]),
 		WireLen: binary.BigEndian.Uint32(buf[25:]),
 	}
-	capLen := binary.BigEndian.Uint16(buf[29:])
-	if capLen > 0 {
-		p.Payload = make([]byte, capLen)
-		if _, err := io.ReadFull(tr.r, p.Payload); err != nil {
-			return nil, fmt.Errorf("wire: record %d payload: %w", tr.n, err)
-		}
-	}
-	tr.n++
-	return p, nil
 }
 
 // ForEach reads the whole trace, invoking fn per packet. It stops early when
