@@ -20,6 +20,8 @@ import (
 	"adscape/internal/core"
 	"adscape/internal/experiments"
 	"adscape/internal/filterlists"
+	"adscape/internal/pipeline"
+	"adscape/internal/rbn"
 	"adscape/internal/urlutil"
 	"adscape/internal/webgen"
 	"adscape/internal/weblog"
@@ -213,6 +215,61 @@ func BenchmarkAnalyzer(b *testing.B) {
 	}
 }
 
+var (
+	benchPktOnce sync.Once
+	benchPkts    []*wire.Packet
+	benchPktErr  error
+)
+
+// benchPackets captures one rbn2-preset packet trace into memory so the
+// pipeline benchmark times analysis alone, not simulation.
+func benchPackets(b *testing.B) []*wire.Packet {
+	b.Helper()
+	env := benchEnv(b)
+	benchPktOnce.Do(func() {
+		opt, err := rbn.Preset("rbn2", env.World, env.Scale)
+		if err != nil {
+			benchPktErr = err
+			return
+		}
+		_, benchPktErr = rbn.Simulate(opt, func(p *wire.Packet) error {
+			benchPkts = append(benchPkts, p)
+			return nil
+		})
+	})
+	if benchPktErr != nil {
+		b.Fatal(benchPktErr)
+	}
+	return benchPkts
+}
+
+// BenchmarkPipeline measures sharded packet→transaction throughput at
+// several worker counts over the same in-memory trace. The interesting
+// number is the 4-worker vs 1-worker ratio on a multi-core machine; on a
+// single-core runner the sub-benchmarks mostly confirm that the fan-out
+// machinery costs little over the sequential analyzer.
+func BenchmarkPipeline(b *testing.B) {
+	pkts := benchPackets(b)
+	var wireBytes int64
+	for _, p := range pkts {
+		wireBytes += int64(len(p.Payload)) + 31
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(wireBytes)
+			var txs int
+			for i := 0; i < b.N; i++ {
+				res, err := pipeline.Analyze(pipeline.NewSliceSource(pkts), pipeline.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				txs = res.Stats.HTTPTransactions
+			}
+			b.ReportMetric(float64(txs), "txs/op")
+		})
+	}
+}
+
 // BenchmarkPipelineClassify measures the full per-request classification
 // pipeline (page reconstruction + engine) over a realistic transaction log.
 func BenchmarkPipelineClassify(b *testing.B) {
@@ -223,10 +280,10 @@ func BenchmarkPipelineClassify(b *testing.B) {
 	}
 	txs := make([]*weblog.Transaction, len(td.Collector.Transactions))
 	copy(txs, td.Collector.Transactions)
-	pipeline := core.NewPipeline(env.World.Bundle.ClassifierEngine())
+	pl := core.NewPipeline(env.World.Bundle.ClassifierEngine())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := pipeline.ClassifyAll(txs)
+		res := pl.ClassifyAll(txs)
 		if len(res) != len(txs) {
 			b.Fatal("length mismatch")
 		}

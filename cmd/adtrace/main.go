@@ -6,13 +6,20 @@
 // Usage:
 //
 //	adtrace -i rbn2.trace [-users] [-threshold 300] [-weblog out.log]
-//	        [-strict] [-max-flows N] [-idle-timeout 10m] [-max-pending N]
+//	        [-workers N] [-strict] [-max-flows N] [-idle-timeout 10m]
+//	        [-max-pending N]
 //
 // By default the trace is read leniently: corrupt records are skipped by
 // resynchronizing on the next plausible record boundary, and the flow table
 // is memory-bounded (idle eviction plus a live-flow cap). Everything skipped
 // or evicted is reported in the degradation section of the summary. -strict
 // restores fail-fast reading and unbounded state for trusted traces.
+//
+// Analysis runs on the sharded multi-core pipeline (internal/pipeline):
+// packets are fanned out by flow hash onto -workers analyzer shards (default
+// GOMAXPROCS) and classification re-shards by user. On capture-time-ordered
+// input (tracesort output, live capture) results are byte-identical at any
+// worker count; see DESIGN.md §8 for the determinism preconditions.
 package main
 
 import (
@@ -20,11 +27,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"adscape/internal/analyzer"
 	"adscape/internal/core"
 	"adscape/internal/dnssim"
 	"adscape/internal/inference"
+	"adscape/internal/pipeline"
 	"adscape/internal/webgen"
 	"adscape/internal/weblog"
 	"adscape/internal/wire"
@@ -40,8 +49,9 @@ func main() {
 		users       = flag.Bool("users", false, "print per-user ad-blocker inference")
 		threshold   = flag.Int("threshold", 300, "active-user request threshold")
 		weblogOut   = flag.String("weblog", "", "optionally dump the HTTP transaction log")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker shards; on time-ordered input results are identical at any value")
 		strict      = flag.Bool("strict", false, "fail fast on corrupt records and disable memory bounds")
-		maxFlows    = flag.Int("max-flows", wire.DefaultLimits().MaxFlows, "live-flow cap, oldest evicted first (0 = unlimited)")
+		maxFlows    = flag.Int("max-flows", wire.DefaultLimits().MaxFlows, "live-flow cap across all shards, oldest evicted first (0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", wire.DefaultLimits().IdleTimeout, "evict flows idle this long on the packet clock (0 = never)")
 		maxPending  = flag.Int("max-pending", analyzer.DefaultLimits().MaxPending, "per-connection unanswered-request cap (0 = unlimited)")
 	)
@@ -80,22 +90,19 @@ func main() {
 			MaxPending: *maxPending,
 		}
 	}
-	col := &analyzer.Collector{}
-	a := analyzer.NewWithLimits(col, lim)
-	if err := r.ForEach(func(p *wire.Packet) error { a.Add(p); return nil }); err != nil {
+	res, err := pipeline.Analyze(r, pipeline.Options{Workers: *workers, Limits: lim})
+	if err != nil {
 		log.Fatalf("analyzing: %v", err)
 	}
-	a.Finish()
-	stats := a.Stats()
+	stats := res.Stats
 	fmt.Printf("packets:            %d\n", stats.Packets)
 	fmt.Printf("http transactions:  %d\n", stats.HTTPTransactions)
 	fmt.Printf("https flows:        %d\n", stats.TLSFlows)
 	fmt.Printf("http wire bytes:    %d\n", stats.HTTPWireBytes)
-	printDegradation(r.Stats(), stats, a.TableStats())
+	printDegradation(r.Stats(), res)
 
-	pipeline := core.NewPipeline(world.Bundle.ClassifierEngine())
-	results := pipeline.ClassifyAll(col.Transactions)
-	agg := core.Aggregate(results)
+	cls := pipeline.Classify(core.NewPipeline(world.Bundle.ClassifierEngine()), res.Transactions, *workers)
+	agg := cls.Stats
 	fmt.Printf("ad requests:        %d (%.2f%%)\n", agg.AdRequests, agg.AdRatio()*100)
 	fmt.Printf("ad bytes:           %d (%.2f%%)\n", agg.AdBytes, 100*float64(agg.AdBytes)/float64(max64(agg.Bytes, 1)))
 	for _, name := range agg.ListNames() {
@@ -105,26 +112,37 @@ func main() {
 		agg.Whitelisted, agg.WhitelistedAndBlacklisted)
 
 	if *weblogOut != "" {
-		if err := dumpWeblog(*weblogOut, results); err != nil {
+		if err := dumpWeblog(*weblogOut, cls.Results); err != nil {
 			log.Fatalf("writing weblog: %v", err)
 		}
 	}
 	if *users {
-		printUsers(world, col, results, *threshold)
+		printUsers(world, res, cls, *threshold)
 	}
 }
 
 // printDegradation reports every piece of work the bounded ingest path shed:
 // nothing is silently dropped, so downstream aggregates can be qualified
 // against these counters (Table-2-style numbers degrade proportionally).
-func printDegradation(rs wire.ReaderStats, as analyzer.Stats, ts wire.TableStats) {
-	fmt.Printf("degradation:\n")
+// The merged counters are the per-shard sums; the per-shard breakdown shows
+// where the pressure landed (a single hot shard means a skewed flow hash or
+// an elephant household, not a trace-wide problem).
+func printDegradation(rs wire.ReaderStats, res *pipeline.Result) {
+	fmt.Printf("degradation (merged over %d shards):\n", res.Workers)
 	fmt.Printf("  reader resyncs:    %d (%d bytes skipped, truncated tail: %v)\n",
 		rs.Resyncs, rs.SkippedBytes, rs.TruncatedTail)
-	fmt.Printf("  evicted flows:     %d idle, %d over cap\n", ts.EvictedIdle, ts.EvictedCap)
-	fmt.Printf("  reassembly:        %d gaps, %d trimmed retransmissions\n", ts.Gaps, ts.TrimmedSegments)
-	fmt.Printf("  parse errors:      %d\n", as.ParseErrors)
-	fmt.Printf("  pending evicted:   %d\n", as.PendingEvicted)
+	fmt.Printf("  evicted flows:     %d idle, %d over cap\n", res.Table.EvictedIdle, res.Table.EvictedCap)
+	fmt.Printf("  reassembly:        %d gaps, %d trimmed retransmissions\n", res.Table.Gaps, res.Table.TrimmedSegments)
+	fmt.Printf("  parse errors:      %d\n", res.Stats.ParseErrors)
+	fmt.Printf("  pending evicted:   %d\n", res.Stats.PendingEvicted)
+	if res.Workers > 1 {
+		for _, s := range res.Shards {
+			fmt.Printf("  shard %2d: packets=%d txs=%d evicted=%d/%d gaps=%d parse-errors=%d pending-evicted=%d\n",
+				s.Shard, s.Packets, s.Stats.HTTPTransactions,
+				s.Table.EvictedIdle, s.Table.EvictedCap, s.Table.Gaps,
+				s.Stats.ParseErrors, s.Stats.PendingEvicted)
+		}
+	}
 }
 
 func dumpWeblog(path string, results []*core.Result) error {
@@ -149,12 +167,12 @@ func dumpWeblog(path string, results []*core.Result) error {
 	return w.Flush()
 }
 
-func printUsers(world *webgen.World, col *analyzer.Collector, results []*core.Result, threshold int) {
-	usersMap := inference.Aggregate(results)
+func printUsers(world *webgen.World, res *pipeline.Result, cls *pipeline.ClassifyResult, threshold int) {
+	usersMap := cls.Users
 	// Discover the Adblock Plus servers the way §3.2 does: union the
 	// answers of multiple DNS resolver vantage points.
 	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
-	inference.MarkListDownloads(usersMap, col.Flows, abpIPs)
+	inference.MarkListDownloads(usersMap, res.TLSFlows, abpIPs)
 	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: threshold}
 	active := inference.ActiveBrowsers(usersMap, opt)
 	rows := inference.Table3(active, opt)

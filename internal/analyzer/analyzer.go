@@ -44,6 +44,18 @@ type Stats struct {
 	PendingEvicted int
 }
 
+// Merge folds another analyzer's counters into s. Every field is a sum over
+// disjoint work, so summing the per-shard stats of a flow-partitioned run
+// reproduces exactly what one analyzer over the whole trace would report.
+func (s *Stats) Merge(o Stats) {
+	s.Packets += o.Packets
+	s.HTTPTransactions += o.HTTPTransactions
+	s.TLSFlows += o.TLSFlows
+	s.HTTPWireBytes += o.HTTPWireBytes
+	s.ParseErrors += o.ParseErrors
+	s.PendingEvicted += o.PendingEvicted
+}
+
 // Limits bounds the analyzer's memory. The zero value imposes no bounds
 // (legacy behavior); DefaultLimits is the production configuration.
 type Limits struct {

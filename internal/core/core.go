@@ -140,29 +140,54 @@ type Stats struct {
 	WhitelistedAndBlacklisted int
 }
 
+// NewStats returns an empty accumulator ready for Observe/Merge.
+func NewStats() *Stats { return &Stats{PerList: make(map[string]int)} }
+
+// Observe folds one classification result into s, streaming-style: a shard
+// can fold results as they are produced and the shards' accumulators merge
+// afterwards.
+func (s *Stats) Observe(r *Result) {
+	s.Requests++
+	s.Bytes += r.Bytes()
+	if !r.IsAd() {
+		return
+	}
+	s.AdRequests++
+	s.AdBytes += r.Bytes()
+	switch {
+	case r.Verdict.Matched:
+		s.PerList[r.Verdict.ListName]++
+	case r.Verdict.Whitelisted:
+		s.PerList[r.Verdict.WhitelistedBy]++
+	}
+	if r.Verdict.NonIntrusive() {
+		s.Whitelisted++
+		if r.Verdict.Matched {
+			s.WhitelistedAndBlacklisted++
+		}
+	}
+}
+
+// Merge folds another accumulator into s. All fields are sums over disjoint
+// result sets, so merging per-shard accumulators reproduces exactly what one
+// accumulator over all results would report, in any merge order.
+func (s *Stats) Merge(o *Stats) {
+	s.Requests += o.Requests
+	s.Bytes += o.Bytes
+	s.AdRequests += o.AdRequests
+	s.AdBytes += o.AdBytes
+	for name, n := range o.PerList {
+		s.PerList[name] += n
+	}
+	s.Whitelisted += o.Whitelisted
+	s.WhitelistedAndBlacklisted += o.WhitelistedAndBlacklisted
+}
+
 // Aggregate folds results into Stats.
 func Aggregate(results []*Result) *Stats {
-	s := &Stats{PerList: make(map[string]int)}
+	s := NewStats()
 	for _, r := range results {
-		s.Requests++
-		s.Bytes += r.Bytes()
-		if !r.IsAd() {
-			continue
-		}
-		s.AdRequests++
-		s.AdBytes += r.Bytes()
-		switch {
-		case r.Verdict.Matched:
-			s.PerList[r.Verdict.ListName]++
-		case r.Verdict.Whitelisted:
-			s.PerList[r.Verdict.WhitelistedBy]++
-		}
-		if r.Verdict.NonIntrusive() {
-			s.Whitelisted++
-			if r.Verdict.Matched {
-				s.WhitelistedAndBlacklisted++
-			}
-		}
+		s.Observe(r)
 	}
 	return s
 }

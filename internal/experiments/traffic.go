@@ -78,8 +78,9 @@ func (e *Env) Figure5() (*Report, error) {
 		}
 	}
 	if len(valid) > 4 {
-		r.Metric("ad-ratio diurnal min", 0.06, metrics.Quantile(valid, 0.05), "")
-		r.Metric("ad-ratio diurnal max", 0.12, metrics.Quantile(valid, 0.95), "")
+		qs := metrics.Quantiles(valid, 0.05, 0.95)
+		r.Metric("ad-ratio diurnal min", 0.06, qs[0], "")
+		r.Metric("ad-ratio diurnal max", 0.12, qs[1], "")
 	}
 	// Per-list split (paper: EL 55.9%, EP 35.1%, rest non-intrusive).
 	elTot, epTot, niTot := total(el), total(ep), total(ni)

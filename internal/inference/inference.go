@@ -76,43 +76,77 @@ func DefaultOptions() Options {
 	return Options{RatioThreshold: 0.05, ActiveThreshold: 1000}
 }
 
+// Accumulate folds one classification result into the per-user map,
+// streaming-style: a shard handling a partition of the users can fold
+// results as they are produced, and the shards' maps merge afterwards
+// (MergeUsers) into exactly what Aggregate over all results would build.
+func Accumulate(out map[core.UserKey]*UserStats, r *core.Result) {
+	u, ok := out[r.User]
+	if !ok {
+		u = &UserStats{Key: r.User, Info: useragent.Parse(r.User.UserAgent)}
+		out[r.User] = u
+	}
+	u.Requests++
+	u.Bytes += r.Bytes()
+	if r.IsAd() {
+		u.AdRequests++
+	}
+	v := r.Verdict
+	if v.Matched {
+		switch v.ListKind {
+		case abp.ListAds:
+			// The ad-ratio indicator counts what a default install
+			// would block: EasyList hits not rescued by an exception
+			// (whitelisted placements are fetched by everyone and would
+			// otherwise inflate every user's ratio).
+			if !v.Whitelisted {
+				u.ELHits++
+			}
+		case abp.ListPrivacy:
+			// Same rule as ELHits: acceptable-ads-whitelisted tracking
+			// endpoints are fetched even by EasyPrivacy subscribers, so
+			// they carry no signal about the subscription.
+			if !v.Whitelisted {
+				u.EPHits++
+			}
+		}
+	}
+	if v.NonIntrusive() {
+		u.AAHits++
+	}
+}
+
+// Merge folds another accumulator for the same (IP, User-Agent) pair into u:
+// counters sum, the household-level download flag ORs.
+func (u *UserStats) Merge(o *UserStats) {
+	u.Requests += o.Requests
+	u.AdRequests += o.AdRequests
+	u.ELHits += o.ELHits
+	u.EPHits += o.EPHits
+	u.AAHits += o.AAHits
+	u.Bytes += o.Bytes
+	u.ListDownload = u.ListDownload || o.ListDownload
+}
+
+// MergeUsers folds src into dst. Entries only in src are adopted by
+// reference (src should be discarded afterwards); entries present in both
+// merge commutatively, so any merge order over disjoint result partitions
+// yields identical statistics.
+func MergeUsers(dst, src map[core.UserKey]*UserStats) {
+	for k, v := range src {
+		if d, ok := dst[k]; ok {
+			d.Merge(v)
+		} else {
+			dst[k] = v
+		}
+	}
+}
+
 // Aggregate folds classification results into per-user statistics.
 func Aggregate(results []*core.Result) map[core.UserKey]*UserStats {
 	out := make(map[core.UserKey]*UserStats)
 	for _, r := range results {
-		u, ok := out[r.User]
-		if !ok {
-			u = &UserStats{Key: r.User, Info: useragent.Parse(r.User.UserAgent)}
-			out[r.User] = u
-		}
-		u.Requests++
-		u.Bytes += r.Bytes()
-		if r.IsAd() {
-			u.AdRequests++
-		}
-		v := r.Verdict
-		if v.Matched {
-			switch v.ListKind {
-			case abp.ListAds:
-				// The ad-ratio indicator counts what a default install
-				// would block: EasyList hits not rescued by an exception
-				// (whitelisted placements are fetched by everyone and would
-				// otherwise inflate every user's ratio).
-				if !v.Whitelisted {
-					u.ELHits++
-				}
-			case abp.ListPrivacy:
-				// Same rule as ELHits: acceptable-ads-whitelisted tracking
-				// endpoints are fetched even by EasyPrivacy subscribers, so
-				// they carry no signal about the subscription.
-				if !v.Whitelisted {
-					u.EPHits++
-				}
-			}
-		}
-		if v.NonIntrusive() {
-			u.AAHits++
-		}
+		Accumulate(out, r)
 	}
 	return out
 }

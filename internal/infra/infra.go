@@ -148,9 +148,8 @@ func Summarize(servers map[uint32]*ServerStats) Summary {
 	}
 	sum.PerServerAds = metrics.NewBoxPlot(elCounts)
 	sum.MeanAds = metrics.Mean(elCounts)
-	sum.P90 = metrics.Quantile(elCounts, 0.90)
-	sum.P95 = metrics.Quantile(elCounts, 0.95)
-	sum.P99 = metrics.Quantile(elCounts, 0.99)
+	tails := metrics.Quantiles(elCounts, 0.90, 0.95, 0.99)
+	sum.P90, sum.P95, sum.P99 = tails[0], tails[1], tails[2]
 	return sum
 }
 

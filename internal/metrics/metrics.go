@@ -22,6 +22,26 @@ func Quantile(xs []float64, q float64) float64 {
 	return quantileSorted(s, q)
 }
 
+// Quantiles returns the q-quantile for each q in qs, sorting one copy of xs
+// once — the callers computing several quantiles of the same sample (tail
+// summaries, five-number rows) were paying one O(n log n) sort per quantile
+// through Quantile. Empty input yields NaN for every quantile.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
 func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]

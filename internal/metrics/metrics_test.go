@@ -32,6 +32,35 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+	}
+	qs := []float64{0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+	got := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Errorf("Quantiles[%v] = %v, want %v (agreement with Quantile)", q, got[i], want)
+		}
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Quantiles(ys, 0.25, 0.75)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Quantiles mutated its input")
+	}
+	for _, v := range Quantiles(nil, 0.1, 0.9) {
+		if !math.IsNaN(v) {
+			t.Error("empty Quantiles must be NaN")
+		}
+	}
+	if n := len(Quantiles(xs)); n != 0 {
+		t.Errorf("no quantiles requested, got %d values", n)
+	}
+}
+
 func TestQuantileMonotoneProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	xs := make([]float64, 200)

@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+
+	"adscape/internal/core"
+	"adscape/internal/inference"
+	"adscape/internal/weblog"
+)
+
+// The classification stage re-shards by user instead of by flow: page
+// reconstruction and the ad-blocker inference group transactions by
+// (client IP, User-Agent), and one user's flows land on different analyzer
+// shards. Hashing the user key keeps each user's whole transaction
+// subsequence — in input order — on one worker, which is exactly the
+// per-user stream core.Pipeline.ClassifyAll processes, so the per-user
+// results are identical to a sequential run at any worker count.
+
+// ClassifyResult is the merged output of a sharded classification run.
+type ClassifyResult struct {
+	// Workers is the shard count actually used.
+	Workers int
+	// Results holds one classification per input transaction, in input
+	// order (independent of the worker count).
+	Results []*core.Result
+	// Stats is the Table-1-style aggregate, merged from the per-shard
+	// streaming accumulators.
+	Stats *core.Stats
+	// Users is the per-(IP, User-Agent) aggregation the §6 inference runs
+	// on, merged from the per-shard streaming accumulators. Each user's
+	// counters come from exactly one shard.
+	Users map[core.UserKey]*inference.UserStats
+}
+
+// userShard hashes a user key onto one of n classify workers (FNV-1a over
+// the client IP and User-Agent).
+func userShard(ip uint32, ua string, n int) int {
+	h := fnv32aByte(fnv32aByte(fnv32aByte(fnv32aByte(2166136261, byte(ip>>24)), byte(ip>>16)), byte(ip>>8)), byte(ip))
+	for i := 0; i < len(ua); i++ {
+		h = fnv32aByte(h, ua[i])
+	}
+	return int(h % uint32(n))
+}
+
+func fnv32aByte(h uint32, b byte) uint32 { return (h ^ uint32(b)) * 16777619 }
+
+// Classify runs the full per-request classification pipeline (page
+// reconstruction + filter engine) over txs with the given worker count
+// (<=0 means GOMAXPROCS). The core.Pipeline is shared: its engine, matcher
+// indices and normalizer are immutable after construction, and all mutable
+// page-reconstruction state lives in per-user builders private to a worker.
+// Each worker folds its results into streaming core.Stats and inference
+// accumulators as they are produced; the merge sums them.
+func Classify(p *core.Pipeline, txs []*weblog.Transaction, workers int) *ClassifyResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type partition struct {
+		indices []int
+		txs     []*weblog.Transaction
+	}
+	parts := make([]partition, workers)
+	for i, tx := range txs {
+		j := userShard(tx.ClientIP, tx.UserAgent, workers)
+		parts[j].indices = append(parts[j].indices, i)
+		parts[j].txs = append(parts[j].txs, tx)
+	}
+
+	out := &ClassifyResult{Workers: workers, Results: make([]*core.Result, len(txs))}
+	shardStats := make([]*core.Stats, workers)
+	shardUsers := make([]map[core.UserKey]*inference.UserStats, workers)
+	var wg sync.WaitGroup
+	for j := range parts {
+		if len(parts[j].txs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			stats := core.NewStats()
+			users := make(map[core.UserKey]*inference.UserStats)
+			for k, r := range p.ClassifyAll(parts[j].txs) {
+				out.Results[parts[j].indices[k]] = r
+				stats.Observe(r)
+				inference.Accumulate(users, r)
+			}
+			shardStats[j] = stats
+			shardUsers[j] = users
+		}(j)
+	}
+	wg.Wait()
+
+	out.Stats = core.NewStats()
+	out.Users = make(map[core.UserKey]*inference.UserStats)
+	for j := range parts {
+		if shardStats[j] == nil {
+			continue
+		}
+		out.Stats.Merge(shardStats[j])
+		inference.MergeUsers(out.Users, shardUsers[j])
+	}
+	return out
+}

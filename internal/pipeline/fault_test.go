@@ -1,0 +1,174 @@
+package pipeline
+
+// Fault injection against the sharded pipeline: damaged bytes on disk
+// (lenient reader resyncs), capture pathologies on the wire (FaultReader),
+// tight memory bounds on every shard, a reader that dies mid-trace, and a
+// shard that panics mid-run. The pipeline must never panic or deadlock, and
+// the merged degradation counters must equal the per-shard sums — nothing
+// shed is lost in the merge.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// encodeTrace serializes packets into the wire format.
+func encodeTrace(t *testing.T, pkts []*wire.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := wire.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// assertMergeConsistent checks that the merged counters are exactly the
+// per-shard sums.
+func assertMergeConsistent(t *testing.T, res *Result) {
+	t.Helper()
+	var stats analyzer.Stats
+	var table wire.TableStats
+	packets := 0
+	for _, s := range res.Shards {
+		stats.Merge(s.Stats)
+		table.Merge(s.Table)
+		packets += s.Packets
+	}
+	if stats != res.Stats {
+		t.Fatalf("merged stats %+v != shard sum %+v", res.Stats, stats)
+	}
+	if table != res.Table {
+		t.Fatalf("merged table stats %+v != shard sum %+v", res.Table, table)
+	}
+	if packets != res.Stats.Packets {
+		t.Fatalf("routed %d packets, stats count %d", packets, res.Stats.Packets)
+	}
+}
+
+func TestPipelineSurvivesFaultyInput(t *testing.T) {
+	pkts := genPackets(t, 300, 7)
+	data := encodeTrace(t, pkts)
+
+	// Flip bytes at deterministic positions away from the header.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		data[64+rng.Intn(len(data)-128)] ^= 0xFF
+	}
+	rd, err := wire.NewReaderOptions(bytes.NewReader(data), wire.ReaderOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := wire.NewFaultReader(rd, wire.FaultOptions{
+		Seed:     3,
+		DropRate: 0.01, DupRate: 0.01, ReorderRate: 0.02,
+		CorruptRate: 0.01, TruncateRate: 0.01,
+	})
+	// Tight bounds so every degradation path fires on every shard.
+	lim := analyzer.Limits{
+		Table: wire.Limits{
+			MaxFlows:            16,
+			IdleTimeout:         30 * time.Second,
+			MaxBufferedSegments: 4,
+			MaxBufferedBytes:    4096,
+		},
+		MaxPending: 2,
+	}
+	res, err := Analyze(fr, Options{Workers: 4, Limits: lim, BatchSize: 16, QueueDepth: 2})
+	if err != nil {
+		t.Fatalf("faulty but within budget input must not fail the run: %v", err)
+	}
+	if res.Stats.Packets != fr.Stats().Delivered {
+		t.Fatalf("processed %d packets, fault reader delivered %d", res.Stats.Packets, fr.Stats().Delivered)
+	}
+	if res.Stats.HTTPTransactions == 0 {
+		t.Fatal("damaged trace yielded no transactions at all")
+	}
+	assertMergeConsistent(t, res)
+}
+
+// TestPipelineEarlyReaderError kills the source mid-trace (corruption budget
+// of one resync) while all four shards are mid-flight: the run must return
+// the error promptly — not deadlock on half-fed channels — and still merge
+// the partial work consistently.
+func TestPipelineEarlyReaderError(t *testing.T) {
+	pkts := genPackets(t, 200, 13)
+	data := encodeTrace(t, pkts)
+	for i := len(data) / 2; i < len(data)/2+200; i++ {
+		data[i] ^= 0xA5 // a solid run of garbage mid-file
+	}
+	rd, err := wire.NewReaderOptions(bytes.NewReader(data), wire.ReaderOptions{
+		Lenient: true, MaxResyncs: 1, MaxSkipBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(rd, Options{Workers: 4, BatchSize: 8, QueueDepth: 1})
+	if !errors.Is(err, wire.ErrCorruptionBudget) {
+		t.Fatalf("err = %v, want corruption budget", err)
+	}
+	if res == nil || res.Stats.Packets == 0 {
+		t.Fatal("partial result must carry the work done before the error")
+	}
+	assertMergeConsistent(t, res)
+}
+
+// panicSink fails one shard mid-run.
+type panicSink struct{ after int }
+
+func (s *panicSink) HTTP(*weblog.Transaction) {
+	if s.after--; s.after < 0 {
+		panic("sink exploded")
+	}
+}
+func (s *panicSink) TLS(*weblog.TLSFlow) {}
+
+// TestPipelineShardPanicNoDeadlock injects a panicking sink into shard 0:
+// the failed shard must keep draining its channel (so the router never
+// blocks against its full queue), the other shards must finish their work,
+// and the failure must surface as an error plus ShardResult.Err.
+func TestPipelineShardPanicNoDeadlock(t *testing.T) {
+	pkts := genPackets(t, 200, 21)
+	collectors := map[int]*analyzer.Collector{}
+	res, err := Analyze(NewSliceSource(pkts), Options{
+		Workers:    2,
+		BatchSize:  4,
+		QueueDepth: 1,
+		NewSink: func(shard int) analyzer.Sink {
+			if shard == 0 {
+				return &panicSink{after: 3}
+			}
+			c := &analyzer.Collector{}
+			collectors[shard] = c
+			return c
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard panic") {
+		t.Fatalf("err = %v, want shard panic", err)
+	}
+	if res.Shards[0].Err == nil {
+		t.Fatal("shard 0 must report its failure")
+	}
+	if res.Shards[1].Err != nil {
+		t.Fatalf("healthy shard failed too: %v", res.Shards[1].Err)
+	}
+	if len(collectors[1].Transactions) == 0 {
+		t.Fatal("healthy shard produced nothing")
+	}
+}

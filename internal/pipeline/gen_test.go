@@ -1,0 +1,164 @@
+package pipeline
+
+// Shared test-trace generator: a deterministic, interleaved capture of many
+// concurrent HTTP and TLS connections across a population of households and
+// devices — small enough to run in every test, rich enough to exercise flow
+// sharding, the HTTP pairer, TLS summaries, and the (IP, User-Agent)
+// inference groups.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"adscape/internal/abp"
+	"adscape/internal/wire"
+)
+
+// Synthetic server addresses. genABPIP models the Adblock Plus list server
+// the §3.2 download indicator looks for in TLS flows.
+const (
+	genAdServerIP  uint32 = 0x0C000001
+	genTrackerIP   uint32 = 0x0C000002
+	genABPIP       uint32 = 0xC0A80101
+	genContentBase uint32 = 0x0B000000
+	genClientBase  uint32 = 0x0A000000
+)
+
+var genUserAgents = []string{
+	"Mozilla/5.0 (Windows NT 6.1; rv:38.0) Gecko/20100101 Firefox/38.0",
+	"Mozilla/5.0 (Windows NT 6.3) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/43.0.2357.81 Safari/537.36",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10_3) AppleWebKit/600.6.3 (KHTML, like Gecko) Version/8.0.6 Safari/600.6.3",
+	"Mozilla/5.0 (iPhone; CPU iPhone OS 8_3 like Mac OS X) AppleWebKit/600.1.4 (KHTML, like Gecko) Mobile/12F70",
+}
+
+// genPackets synthesizes conns connections and returns their packets in
+// capture-time order. Identical (seed, conns) always yields an identical
+// trace.
+func genPackets(tb testing.TB, conns int, seed int64) []*wire.Packet {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pkts []*wire.Packet
+	out := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+
+	for c := 0; c < conns; c++ {
+		clientIP := genClientBase + uint32(rng.Intn(24))
+		// Two devices per household, with a stable User-Agent per device.
+		device := rng.Intn(2)
+		ua := genUserAgents[(int(clientIP)+device)%len(genUserAgents)]
+		clientPort := uint16(10000 + c)
+		rtt := int64(1+rng.Intn(80)) * 1e6
+		start := int64(1+rng.Intn(900)) * 1e9
+		isn := rng.Uint32()
+
+		if rng.Float64() < 0.15 {
+			// TLS flow; a third of them hit the ABP list server.
+			serverIP := genContentBase + uint32(rng.Intn(30))
+			if rng.Intn(3) == 0 {
+				serverIP = genABPIP
+			}
+			em := wire.NewConnEmitter(out, clientIP, clientPort, serverIP, 443, rtt, isn)
+			est, err := em.Open(start)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if err := em.OpaquePayload(est, int64(500+rng.Intn(2000)), int64(5000+rng.Intn(40000))); err != nil {
+				tb.Fatal(err)
+			}
+			if err := em.Close(est + 2e9); err != nil {
+				tb.Fatal(err)
+			}
+			continue
+		}
+
+		// HTTP connection with a handful of request/response exchanges.
+		var host string
+		var serverIP uint32
+		kind := rng.Float64()
+		switch {
+		case kind < 0.6:
+			site := rng.Intn(30)
+			host = fmt.Sprintf("www.site%02d.example", site)
+			serverIP = genContentBase + uint32(site)
+		case kind < 0.85:
+			host = "ads.dblclick.example"
+			serverIP = genAdServerIP
+		default:
+			host = "trk.example"
+			serverIP = genTrackerIP
+		}
+		em := wire.NewConnEmitter(out, clientIP, clientPort, serverIP, 80, rtt, isn)
+		est, err := em.Open(start)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		page := fmt.Sprintf("http://www.site%02d.example/index.html", rng.Intn(30))
+		nReq := 1 + rng.Intn(4)
+		for q := 0; q < nReq; q++ {
+			var uri, ctype string
+			switch {
+			case host == "ads.dblclick.example" && q%3 == 2:
+				uri = fmt.Sprintf("/acceptable/slot%d.gif", rng.Intn(1000))
+				ctype = "image/gif"
+			case host == "ads.dblclick.example":
+				uri = fmt.Sprintf("/banner/creative%d.gif", rng.Intn(1000))
+				ctype = "image/gif"
+			case host == "trk.example":
+				uri = fmt.Sprintf("/px?uid=%d", rng.Intn(1e6))
+				ctype = "image/gif"
+			case q == 0:
+				uri = fmt.Sprintf("/page%d.html", rng.Intn(200))
+				ctype = "text/html"
+			default:
+				uri = fmt.Sprintf("/img/%d.jpg", rng.Intn(500))
+				ctype = "image/jpeg"
+			}
+			reqT := est + int64(q)*50e6
+			hdr := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: %s\r\nReferer: %s\r\n\r\n",
+				uri, host, ua, page)
+			if err := em.Request(reqT, []byte(hdr)); err != nil {
+				tb.Fatal(err)
+			}
+			clen := 100 + rng.Intn(20000)
+			resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n", ctype, clen)
+			if err := em.Response(reqT+20e6, []byte(resp), int64(clen)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if err := em.Close(est + int64(nReq)*50e6 + 1e9); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// Generation order is connection-by-connection; a capture monitor sees
+	// time order, which is also what the eviction clock assumes.
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+	return pkts
+}
+
+// genEngine builds a small filter engine matching the generator's ad and
+// tracker hosts, with an acceptable-ads whitelist carve-out.
+func genEngine(tb testing.TB) *abp.Engine {
+	tb.Helper()
+	el, err := abp.ParseList("easylist", abp.ListAds, strings.NewReader(`
+||ads.dblclick.example^
+/banner/*
+`))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ep, err := abp.ParseList("easyprivacy", abp.ListPrivacy, strings.NewReader(`
+||trk.example^
+`))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	aa, err := abp.ParseList("acceptableads", abp.ListWhitelist, strings.NewReader(`
+@@||ads.dblclick.example/acceptable/*
+`))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return abp.NewEngine(el, ep, aa)
+}

@@ -1,0 +1,249 @@
+// Package pipeline turns the single-goroutine wire→analyzer→classify chain
+// into a multi-core analysis engine. Packets are fanned out by a
+// direction-independent hash of the flow four-tuple onto N worker shards,
+// each owning a private wire.FlowTable and analyzer.Analyzer — no locks on
+// the hot path, because no state is shared. Bounded batch channels between
+// the router and the shards provide explicit backpressure: a slow shard
+// stalls the reader instead of growing an unbounded queue. A merge stage
+// combines the per-shard outputs deterministically — mergeable counters sum,
+// record slices sort into a canonical total order — so any worker count
+// produces byte-identical results on capture-time-ordered input with a
+// non-binding flow cap (the exact preconditions are in DESIGN.md §8: idle
+// eviction on wildly unsorted timestamps, and LRU shedding under cap
+// pressure, legitimately depend on what shares a shard).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// Options configures the sharded analysis stage.
+type Options struct {
+	// Workers is the number of analyzer shards; <=0 means GOMAXPROCS.
+	Workers int
+	// Limits bounds the whole run the way analyzer.Limits bounds a
+	// sequential one: the flow cap is global — each shard gets
+	// MaxFlows/Workers (min 1) so the summed live-flow count never exceeds
+	// the configured cap — while the per-flow and per-connection caps
+	// (reassembly buffers, MaxPending) apply unchanged per shard.
+	Limits analyzer.Limits
+	// BatchSize is the number of packets handed to a shard per channel
+	// send, amortizing synchronization; <=0 means 128.
+	BatchSize int
+	// QueueDepth is the per-shard channel capacity in batches; the router
+	// blocks when a shard falls this far behind (backpressure). <=0 means 8.
+	QueueDepth int
+	// NewSink optionally supplies the per-shard analyzer sink. Nil means
+	// each shard collects into an analyzer.Collector and the merge stage
+	// produces Result.Transactions/TLSFlows; with a custom sink the merged
+	// record slices are empty and the caller owns the per-shard outputs
+	// (ShardResult.Sink).
+	NewSink func(shard int) analyzer.Sink
+}
+
+// DefaultOptions returns the production configuration: one shard per CPU,
+// the analyzer's production limits, and moderate batching.
+func DefaultOptions() Options {
+	return Options{Workers: runtime.GOMAXPROCS(0), Limits: analyzer.DefaultLimits()}
+}
+
+// ShardResult is one shard's contribution to a run.
+type ShardResult struct {
+	// Shard is the shard index in [0, Workers).
+	Shard int
+	// Packets is the number of packets routed to this shard.
+	Packets int
+	// Stats and Table are the shard's own degradation/aggregate counters;
+	// the merged totals are on Result.
+	Stats analyzer.Stats
+	Table wire.TableStats
+	// Sink is the shard's sink (an *analyzer.Collector unless Options.NewSink
+	// overrode it).
+	Sink analyzer.Sink
+	// Err is the shard's failure, if it panicked mid-run; the other shards
+	// and the merge are unaffected.
+	Err error
+}
+
+// Result is the merged output of a sharded analysis run.
+type Result struct {
+	// Workers is the shard count actually used.
+	Workers int
+	// Transactions and TLSFlows are the merged record sets in canonical
+	// order (weblog total order) — identical for any worker count.
+	Transactions []*weblog.Transaction
+	TLSFlows     []*weblog.TLSFlow
+	// Stats and Table are the per-shard counters summed.
+	Stats analyzer.Stats
+	Table wire.TableStats
+	// Shards holds the per-shard breakdown.
+	Shards []ShardResult
+}
+
+// shardLimits derives one shard's bounds from the run-wide bounds: the
+// global flow cap splits across shards (so the summed live-flow count keeps
+// PR 1's bound), everything per-flow or per-connection stays as-is.
+func shardLimits(global analyzer.Limits, workers int) analyzer.Limits {
+	lim := global
+	if lim.Table.MaxFlows > 0 && workers > 1 {
+		lim.Table.MaxFlows /= workers
+		if lim.Table.MaxFlows == 0 {
+			lim.Table.MaxFlows = 1
+		}
+	}
+	return lim
+}
+
+// shard is one worker: a private analyzer fed by a bounded batch channel.
+type shard struct {
+	ch      chan []*wire.Packet
+	an      *analyzer.Analyzer
+	sink    analyzer.Sink
+	packets int
+	err     error
+}
+
+// run consumes batches until the channel closes. After the first panic the
+// shard stops analyzing but keeps draining, so the router never blocks on a
+// dead shard's full channel (no deadlock on early shard error).
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for batch := range s.ch {
+		if s.err != nil {
+			continue
+		}
+		s.process(batch)
+	}
+	if s.err == nil {
+		s.finish()
+	}
+}
+
+func (s *shard) process(batch []*wire.Packet) {
+	defer s.recover()
+	for _, p := range batch {
+		s.an.Add(p)
+		s.packets++
+	}
+}
+
+func (s *shard) finish() {
+	defer s.recover()
+	s.an.Finish()
+}
+
+func (s *shard) recover() {
+	if r := recover(); r != nil {
+		s.err = fmt.Errorf("pipeline: shard panic: %v", r)
+	}
+}
+
+// Analyze runs src through opt.Workers analyzer shards and merges their
+// outputs. The returned error joins the source's read error (if it stopped
+// early) and any shard failures; the Result always carries whatever was
+// merged, so a partial run still reports its degradation counters.
+func Analyze(src wire.PacketSource, opt Options) (*Result, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	batchSize := opt.BatchSize
+	if batchSize <= 0 {
+		batchSize = 128
+	}
+	queueDepth := opt.QueueDepth
+	if queueDepth <= 0 {
+		queueDepth = 8
+	}
+	lim := shardLimits(opt.Limits, workers)
+
+	shards := make([]*shard, workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		var sink analyzer.Sink
+		if opt.NewSink != nil {
+			sink = opt.NewSink(i)
+		} else {
+			sink = &analyzer.Collector{}
+		}
+		shards[i] = &shard{
+			ch:   make(chan []*wire.Packet, queueDepth),
+			an:   analyzer.NewWithLimits(sink, lim),
+			sink: sink,
+		}
+		wg.Add(1)
+		go shards[i].run(&wg)
+	}
+
+	// Route: one reader goroutine (the caller's), per-shard batch buffers.
+	// A full channel blocks the send — that is the backpressure bound: at
+	// most QueueDepth*BatchSize packets are in flight per shard.
+	batches := make([][]*wire.Packet, workers)
+	for i := range batches {
+		batches[i] = make([]*wire.Packet, 0, batchSize)
+	}
+	var readErr error
+	for {
+		p, err := src.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		i := int(p.Tuple().ShardHash() % uint32(workers))
+		batches[i] = append(batches[i], p)
+		if len(batches[i]) >= batchSize {
+			shards[i].ch <- batches[i]
+			batches[i] = make([]*wire.Packet, 0, batchSize)
+		}
+	}
+	for i, b := range batches {
+		if len(b) > 0 {
+			shards[i].ch <- b
+		}
+	}
+	for _, s := range shards {
+		close(s.ch)
+	}
+	wg.Wait()
+
+	// Merge: counters sum (order-independent), record slices concatenate in
+	// shard order and then sort into the canonical total order, making the
+	// output a pure function of the record multiset.
+	res := &Result{Workers: workers}
+	errs := []error{readErr}
+	for i, s := range shards {
+		sr := ShardResult{
+			Shard:   i,
+			Packets: s.packets,
+			Stats:   s.an.Stats(),
+			Table:   s.an.TableStats(),
+			Sink:    s.sink,
+			Err:     s.err,
+		}
+		res.Stats.Merge(sr.Stats)
+		res.Table.Merge(sr.Table)
+		if col, ok := s.sink.(*analyzer.Collector); ok && opt.NewSink == nil {
+			res.Transactions = append(res.Transactions, col.Transactions...)
+			res.TLSFlows = append(res.TLSFlows, col.Flows...)
+		}
+		res.Shards = append(res.Shards, sr)
+		errs = append(errs, s.err)
+	}
+	weblog.SortTransactions(res.Transactions)
+	weblog.SortTLSFlows(res.TLSFlows)
+	return res, errors.Join(errs...)
+}

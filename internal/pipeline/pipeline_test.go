@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// TestAnalyzeMatchesSequential holds the core merge property: the sharded
+// pipeline's merged record sets and counters are exactly what one analyzer
+// over the whole trace produces (after canonical sorting).
+func TestAnalyzeMatchesSequential(t *testing.T) {
+	pkts := genPackets(t, 200, 42)
+
+	col := &analyzer.Collector{}
+	seq := analyzer.New(col)
+	for _, p := range pkts {
+		seq.Add(p)
+	}
+	seq.Finish()
+	wantTx := append(col.Transactions[:0:0], col.Transactions...)
+	wantFl := append(col.Flows[:0:0], col.Flows...)
+	// The pipeline's canonical order, applied to the sequential output.
+	weblog.SortTransactions(wantTx)
+	weblog.SortTLSFlows(wantFl)
+
+	res, err := Analyze(NewSliceSource(pkts), Options{Workers: 3, BatchSize: 16, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 3 || len(res.Shards) != 3 {
+		t.Fatalf("workers = %d, shards = %d", res.Workers, len(res.Shards))
+	}
+	if !reflect.DeepEqual(res.Transactions, wantTx) {
+		t.Fatalf("transactions diverge from sequential run (%d vs %d)", len(res.Transactions), len(wantTx))
+	}
+	if !reflect.DeepEqual(res.TLSFlows, wantFl) {
+		t.Fatalf("TLS flows diverge from sequential run (%d vs %d)", len(res.TLSFlows), len(wantFl))
+	}
+	if res.Stats != seq.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", res.Stats, seq.Stats())
+	}
+	if res.Table != seq.TableStats() {
+		t.Fatalf("table stats diverge: %+v vs %+v", res.Table, seq.TableStats())
+	}
+	routed := 0
+	for _, s := range res.Shards {
+		routed += s.Packets
+	}
+	if routed != len(pkts) {
+		t.Fatalf("routed %d of %d packets", routed, len(pkts))
+	}
+}
+
+// TestDefaultWorkerCount checks the GOMAXPROCS default (-cpu in CI varies it).
+func TestDefaultWorkerCount(t *testing.T) {
+	res, err := Analyze(NewSliceSource(nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); res.Workers != want {
+		t.Fatalf("default workers = %d, want GOMAXPROCS = %d", res.Workers, want)
+	}
+}
+
+// TestFlowCapSplits checks that the run-wide MaxFlows splits across shards:
+// feeding far more concurrent flows than the cap evicts on every shard, and
+// the merged EvictedCap accounts for (at least) the overflow.
+func TestFlowCapSplits(t *testing.T) {
+	var pkts []*wire.Packet
+	out := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	const flows = 64
+	ems := make([]*wire.ConnEmitter, flows)
+	for c := range ems {
+		ems[c] = wire.NewConnEmitter(out, 1000+uint32(c), uint16(5000+c), 2000, 80, 1e6, uint32(c))
+		if _, err := ems[c].Open(int64(c+1) * 1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All flows opened, none closed: nothing exceeds the reassembly path,
+	// the only pressure is the live-flow cap.
+	lim := analyzer.Limits{Table: wire.Limits{MaxFlows: 8}}
+	res, err := Analyze(NewSliceSource(pkts), Options{Workers: 4, Limits: lim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.EvictedCap < flows-8 {
+		t.Fatalf("EvictedCap = %d, want >= %d (global cap split across shards)", res.Table.EvictedCap, flows-8)
+	}
+	for _, s := range res.Shards {
+		if s.Err != nil {
+			t.Fatalf("shard %d: %v", s.Shard, s.Err)
+		}
+	}
+}
+
+// TestBackpressureTinyQueue runs with the smallest possible batching so the
+// router blocks on nearly every packet; the run must still complete and
+// match the merged totals (exercises the backpressure path, not just the
+// fast path).
+func TestBackpressureTinyQueue(t *testing.T) {
+	pkts := genPackets(t, 60, 7)
+	res, err := Analyze(NewSliceSource(pkts), Options{Workers: 4, BatchSize: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Packets != len(pkts) {
+		t.Fatalf("processed %d of %d packets", res.Stats.Packets, len(pkts))
+	}
+}
+
+// TestCustomSink routes analyzer events to caller-owned per-shard sinks; the
+// merged record slices stay empty and the sinks are returned per shard.
+func TestCustomSink(t *testing.T) {
+	pkts := genPackets(t, 50, 9)
+	res, err := Analyze(NewSliceSource(pkts), Options{
+		Workers: 2,
+		NewSink: func(int) analyzer.Sink { return &analyzer.Collector{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transactions) != 0 || len(res.TLSFlows) != 0 {
+		t.Fatalf("merged records should be empty with a custom sink")
+	}
+	total := 0
+	for _, s := range res.Shards {
+		total += len(s.Sink.(*analyzer.Collector).Transactions)
+	}
+	if total != res.Stats.HTTPTransactions || total == 0 {
+		t.Fatalf("sink transactions = %d, stats say %d", total, res.Stats.HTTPTransactions)
+	}
+}
+
+// TestSliceSourceEOF pins the source contract the router relies on.
+func TestSliceSourceEOF(t *testing.T) {
+	s := NewSliceSource([]*wire.Packet{{Time: 1}})
+	if p, err := s.Read(); err != nil || p.Time != 1 {
+		t.Fatalf("first read: %v, %v", p, err)
+	}
+	if _, err := s.Read(); err != io.EOF {
+		t.Fatalf("second read: %v, want io.EOF", err)
+	}
+}

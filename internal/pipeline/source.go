@@ -1,0 +1,29 @@
+package pipeline
+
+import (
+	"io"
+
+	"adscape/internal/wire"
+)
+
+// SliceSource replays an in-memory packet slice as a wire.PacketSource —
+// benchmarks and tests use it to feed the pipeline without decode overhead.
+type SliceSource struct {
+	pkts []*wire.Packet
+	next int
+}
+
+// NewSliceSource wraps pkts; the slice is not copied.
+func NewSliceSource(pkts []*wire.Packet) *SliceSource {
+	return &SliceSource{pkts: pkts}
+}
+
+// Read implements wire.PacketSource.
+func (s *SliceSource) Read() (*wire.Packet, error) {
+	if s.next >= len(s.pkts) {
+		return nil, io.EOF
+	}
+	p := s.pkts[s.next]
+	s.next++
+	return p, nil
+}

@@ -1,0 +1,92 @@
+package weblog
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Deterministic total orders over the log record types. A parallel pipeline
+// that shards a trace across workers collects per-shard record slices whose
+// concatenation order depends on the worker count; sorting with a total
+// order over every field makes the merged sequence a pure function of the
+// record multiset, so any worker count yields byte-identical output.
+
+// Compare orders transactions by every field (a total order up to fully
+// identical records, which are interchangeable).
+func (t *Transaction) Compare(o *Transaction) int {
+	if c := cmp.Compare(t.ReqTime, o.ReqTime); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.RespTime, o.RespTime); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.ClientIP, o.ClientIP); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.ServerIP, o.ServerIP); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.ServerPort, o.ServerPort); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.Method, o.Method); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.Host, o.Host); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.URI, o.URI); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.Referer, o.Referer); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.UserAgent, o.UserAgent); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.Status, o.Status); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.ContentType, o.ContentType); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.ContentLength, o.ContentLength); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(t.Location, o.Location); c != 0 {
+		return c
+	}
+	return cmp.Compare(t.TCPRTT, o.TCPRTT)
+}
+
+// Compare orders TLS flow summaries by every field.
+func (f *TLSFlow) Compare(o *TLSFlow) int {
+	if c := cmp.Compare(f.Time, o.Time); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(f.ClientIP, o.ClientIP); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(f.ServerIP, o.ServerIP); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(f.ServerPort, o.ServerPort); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(f.Bytes, o.Bytes); c != 0 {
+		return c
+	}
+	return cmp.Compare(f.TCPRTT, o.TCPRTT)
+}
+
+// SortTransactions sorts into the canonical merged order. The sort is
+// stable, so records identical in every field (interchangeable for any
+// consumer) keep their input order.
+func SortTransactions(txs []*Transaction) {
+	sort.SliceStable(txs, func(i, j int) bool { return txs[i].Compare(txs[j]) < 0 })
+}
+
+// SortTLSFlows sorts TLS flow summaries into the canonical merged order.
+func SortTLSFlows(fs []*TLSFlow) {
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
+}

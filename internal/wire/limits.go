@@ -62,3 +62,14 @@ type TableStats struct {
 	// idle until a sustained run of older packets corrected the clock.
 	ClockResyncs int
 }
+
+// Merge folds another table's counters into s. Every field is a sum, so
+// merging the per-shard tables of a partitioned run yields the same counters
+// a single table would have reported for the same shed work.
+func (s *TableStats) Merge(o TableStats) {
+	s.EvictedIdle += o.EvictedIdle
+	s.EvictedCap += o.EvictedCap
+	s.Gaps += o.Gaps
+	s.TrimmedSegments += o.TrimmedSegments
+	s.ClockResyncs += o.ClockResyncs
+}

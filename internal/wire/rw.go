@@ -133,6 +133,15 @@ type ReaderStats struct {
 	TruncatedTail bool
 }
 
+// Merge folds another reader's counters into s (sums; TruncatedTail ORs),
+// for aggregating multi-file or partitioned reads.
+func (s *ReaderStats) Merge(o ReaderStats) {
+	s.Records += o.Records
+	s.Resyncs += o.Resyncs
+	s.SkippedBytes += o.SkippedBytes
+	s.TruncatedTail = s.TruncatedTail || o.TruncatedTail
+}
+
 // ErrCorruptionBudget is returned when a lenient Reader exceeds its
 // configured error budget (MaxResyncs or MaxSkipBytes).
 var ErrCorruptionBudget = errors.New("wire: corruption budget exceeded")

@@ -1,0 +1,35 @@
+package wire
+
+// Flow sharding support: a direction-independent hash of the connection
+// four-tuple, so a multi-core pipeline can route every packet of a flow —
+// both directions — to the same worker shard without coordination.
+
+// fnv32Offset/fnv32Prime are the FNV-1a parameters (hash/fnv unrolled to
+// stay allocation-free on the per-packet path).
+const (
+	fnv32Offset uint32 = 2166136261
+	fnv32Prime  uint32 = 16777619
+)
+
+// ShardHash returns a hash of the four-tuple that is identical for both
+// directions of a connection: the endpoints are put in canonical order
+// (lower (IP, port) first) before hashing, so sharding packets by
+// ShardHash()%N keeps every flow — SYNs, data, ACKs, and the reverse
+// direction — on exactly one shard.
+func (t FourTuple) ShardHash() uint32 {
+	aIP, aPort := t.SrcIP, t.SrcPort
+	bIP, bPort := t.DstIP, t.DstPort
+	if bIP < aIP || (bIP == aIP && bPort < aPort) {
+		aIP, aPort, bIP, bPort = bIP, bPort, aIP, aPort
+	}
+	h := fnv32Offset
+	for _, b := range [12]byte{
+		byte(aIP >> 24), byte(aIP >> 16), byte(aIP >> 8), byte(aIP),
+		byte(bIP >> 24), byte(bIP >> 16), byte(bIP >> 8), byte(bIP),
+		byte(aPort >> 8), byte(aPort), byte(bPort >> 8), byte(bPort),
+	} {
+		h ^= uint32(b)
+		h *= fnv32Prime
+	}
+	return h
+}

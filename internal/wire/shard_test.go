@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Both directions of a connection must land on the same shard — the whole
+// point of the canonicalized hash.
+func TestShardHashDirectionIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		tup := FourTuple{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16)),
+		}
+		if tup.ShardHash() != tup.Reverse().ShardHash() {
+			t.Fatalf("hash differs across directions for %+v", tup)
+		}
+	}
+}
+
+// The hash must spread realistic client populations across shards — a
+// degenerate hash would serialize the whole pipeline onto one worker.
+func TestShardHashSpreads(t *testing.T) {
+	const shards = 8
+	counts := make([]int, shards)
+	// One /24-ish client population hitting one server, ephemeral ports.
+	for c := 0; c < 4096; c++ {
+		tup := FourTuple{
+			SrcIP: 0x0A000000 + uint32(c%256), DstIP: 0x0B000001,
+			SrcPort: uint16(10000 + c), DstPort: 80,
+		}
+		counts[tup.ShardHash()%shards]++
+	}
+	for i, n := range counts {
+		if n < 4096/shards/2 || n > 4096/shards*2 {
+			t.Fatalf("shard %d got %d of 4096 flows (counts %v)", i, n, counts)
+		}
+	}
+}
