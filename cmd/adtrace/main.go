@@ -7,7 +7,9 @@
 //
 //	adtrace -i rbn2.trace [-users] [-threshold 300] [-weblog out.log]
 //	        [-workers N] [-strict] [-max-flows N] [-idle-timeout 10m]
-//	        [-max-pending N]
+//	        [-max-pending N] [-checkpoint file [-checkpoint-interval N]]
+//	        [-resume] [-deadline 4h] [-stall-timeout 1m]
+//	        [-restart-budget N] [-fail-degraded F]
 //
 // By default the trace is read leniently: corrupt records are skipped by
 // resynchronizing on the next plausible record boundary, and the flow table
@@ -15,25 +17,51 @@
 // or evicted is reported in the degradation section of the summary. -strict
 // restores fail-fast reading and unbounded state for trusted traces.
 //
-// Analysis runs on the sharded multi-core pipeline (internal/pipeline):
-// packets are fanned out by flow hash onto -workers analyzer shards (default
-// GOMAXPROCS) and classification re-shards by user. On capture-time-ordered
-// input (tracesort output, live capture) results are byte-identical at any
-// worker count; see DESIGN.md §8 for the determinism preconditions.
+// Analysis runs on the supervised sharded engine (internal/runz over
+// internal/pipeline): packets are fanned out by flow hash onto -workers
+// analyzer shards (default GOMAXPROCS) and classification re-shards by user.
+// On capture-time-ordered input results are byte-identical at any worker
+// count; see DESIGN.md §8 for the determinism preconditions.
+//
+// Long runs are durable: -checkpoint periodically snapshots the full
+// analysis state (atomically, every -checkpoint-interval packets), SIGINT or
+// SIGTERM drains in-flight flows and writes a final checkpoint before
+// exiting, and -resume continues from the checkpoint with byte-identical
+// final output on the deterministic path (see DESIGN.md §9). -stall-timeout
+// arms a watchdog that aborts a wedged run naming the stuck stage, -deadline
+// is a hard wall-clock cap, and -restart-budget relaunches panicked shards
+// with fresh state instead of losing the whole run.
+//
+// Exit codes:
+//
+//	0  completed
+//	1  fatal error (bad input, unreadable checkpoint, source failure)
+//	2  usage error
+//	3  completed but degraded beyond the -fail-degraded threshold
+//	4  interrupted by signal; state drained and checkpointed
+//	5  aborted by the stall watchdog or the -deadline cap
+//	6  simulated crash (-crash-after-checkpoints test hook)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"adscape/internal/analyzer"
 	"adscape/internal/core"
 	"adscape/internal/dnssim"
 	"adscape/internal/inference"
 	"adscape/internal/pipeline"
+	"adscape/internal/runz"
 	"adscape/internal/webgen"
 	"adscape/internal/weblog"
 	"adscape/internal/wire"
@@ -54,9 +82,23 @@ func main() {
 		maxFlows    = flag.Int("max-flows", wire.DefaultLimits().MaxFlows, "live-flow cap across all shards, oldest evicted first (0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", wire.DefaultLimits().IdleTimeout, "evict flows idle this long on the packet clock (0 = never)")
 		maxPending  = flag.Int("max-pending", analyzer.DefaultLimits().MaxPending, "per-connection unanswered-request cap (0 = unlimited)")
+
+		ckptPath     = flag.String("checkpoint", "", "checkpoint file: periodically snapshot the full analysis state for -resume")
+		ckptEvery    = flag.Int64("checkpoint-interval", 500000, "packets between periodic checkpoints")
+		resume       = flag.Bool("resume", false, "continue from the -checkpoint file instead of starting over")
+		deadline     = flag.Duration("deadline", 0, "hard wall-clock cap on the run; exceeded runs drain and exit 5 (0 = none)")
+		stallTimeout = flag.Duration("stall-timeout", time.Minute, "abort when a stage makes no progress for this long, naming the wedged stage (0 = off)")
+		restartBug   = flag.Int("restart-budget", 2, "restarts allowed per panicked shard before it stays dead")
+		failDegraded = flag.Float64("fail-degraded", -1, "exit 3 when the degraded fraction (shed work / all work) exceeds this (-1 = off)")
+		crashAfter   = flag.Int("crash-after-checkpoints", 0, "testing: stop dead after N periodic checkpoints, exit 6")
 	)
 	flag.Parse()
 	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *resume && *ckptPath == "" {
+		log.Print("-resume requires -checkpoint")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -90,10 +132,67 @@ func main() {
 			MaxPending: *maxPending,
 		}
 	}
-	res, err := pipeline.Analyze(r, pipeline.Options{Workers: *workers, Limits: lim})
-	if err != nil {
+
+	// First SIGINT/SIGTERM drains: shards flush, a final checkpoint is
+	// written, partial results print with the interrupted marker. A second
+	// signal exits immediately.
+	stopCh := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v: draining and checkpointing (signal again to exit immediately)", s)
+		close(stopCh)
+		<-sig
+		log.Print("second signal: exiting without drain")
+		os.Exit(1)
+	}()
+
+	ropt := runz.Options{
+		Workers:               *workers,
+		Limits:                lim,
+		CheckpointPath:        *ckptPath,
+		CheckpointEvery:       *ckptEvery,
+		TraceID:               traceID(*in),
+		Stop:                  stopCh,
+		StallTimeout:          *stallTimeout,
+		Deadline:              *deadline,
+		RestartBudget:         *restartBug,
+		CrashAfterCheckpoints: *crashAfter,
+		OnEvent:               func(msg string) { log.Print(msg) },
+	}
+	if *resume {
+		ck, err := runz.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			log.Fatalf("loading checkpoint: %v", err)
+		}
+		ropt.Resume = ck
+	}
+	res, err := runz.Run(r, ropt)
+	if res == nil {
 		log.Fatalf("analyzing: %v", err)
 	}
+	if res.Outcome == runz.OutcomeCrashed {
+		log.Printf("simulated crash after %d checkpoints at packet %d", res.Checkpoints, res.PacketsRouted)
+		os.Exit(6)
+	}
+	if err != nil && !errors.Is(err, runz.ErrStalled) && !errors.Is(err, runz.ErrDeadlineExceeded) {
+		log.Printf("analysis degraded: %v", err)
+	}
+
+	if res.Outcome != runz.OutcomeCompleted {
+		fmt.Printf("RESULT: INTERRUPTED (%s)\n", res.Outcome)
+		if res.Cause != "" {
+			fmt.Printf("  cause: %s\n", res.Cause)
+		}
+		for _, s := range res.Stalled {
+			fmt.Printf("  stalled: %s\n", s)
+		}
+		if *ckptPath != "" && res.Checkpoints > 0 {
+			fmt.Printf("  resume with: adtrace -i %s -checkpoint %s -resume ...\n", *in, *ckptPath)
+		}
+	}
+
 	stats := res.Stats
 	fmt.Printf("packets:            %d\n", stats.Packets)
 	fmt.Printf("http transactions:  %d\n", stats.HTTPTransactions)
@@ -117,8 +216,47 @@ func main() {
 		}
 	}
 	if *users {
-		printUsers(world, res, cls, *threshold)
+		printUsers(world, res.TLSFlows, cls, *threshold)
 	}
+
+	os.Exit(exitCode(res, r.Stats(), *failDegraded))
+}
+
+// exitCode maps the run outcome onto the documented exit-code contract.
+func exitCode(res *runz.Result, rs wire.ReaderStats, failDegraded float64) int {
+	switch res.Outcome {
+	case runz.OutcomeStopped:
+		return 4
+	case runz.OutcomeStalled, runz.OutcomeDeadline:
+		return 5
+	case runz.OutcomeReadError:
+		return 1
+	}
+	if failDegraded >= 0 {
+		if frac := degradedFraction(rs, res); frac > failDegraded {
+			log.Printf("degraded fraction %.4f exceeds -fail-degraded %.4f", frac, failDegraded)
+			return 3
+		}
+	}
+	return 0
+}
+
+// degradedFraction estimates how much of the trace's work the bounded path
+// shed: units of shed work (skipped records, evicted flows, parse errors,
+// dropped pending requests, flows lost to shard restarts) over shed plus
+// successfully extracted records. A heuristic, documented in the README: the
+// units are not commensurable, but a run that sheds nothing scores 0 and the
+// score grows monotonically with every kind of damage.
+func degradedFraction(rs wire.ReaderStats, res *runz.Result) float64 {
+	shed := float64(rs.Resyncs) +
+		float64(res.Table.EvictedIdle+res.Table.EvictedCap) +
+		float64(res.Stats.ParseErrors+res.Stats.PendingEvicted) +
+		float64(res.LostFlows)
+	if shed == 0 {
+		return 0
+	}
+	good := float64(res.Stats.HTTPTransactions) + float64(res.Stats.TLSFlows)
+	return shed / (good + shed)
 }
 
 // printDegradation reports every piece of work the bounded ingest path shed:
@@ -127,7 +265,7 @@ func main() {
 // The merged counters are the per-shard sums; the per-shard breakdown shows
 // where the pressure landed (a single hot shard means a skewed flow hash or
 // an elephant household, not a trace-wide problem).
-func printDegradation(rs wire.ReaderStats, res *pipeline.Result) {
+func printDegradation(rs wire.ReaderStats, res *runz.Result) {
 	fmt.Printf("degradation (merged over %d shards):\n", res.Workers)
 	fmt.Printf("  reader resyncs:    %d (%d bytes skipped, truncated tail: %v)\n",
 		rs.Resyncs, rs.SkippedBytes, rs.TruncatedTail)
@@ -135,6 +273,7 @@ func printDegradation(rs wire.ReaderStats, res *pipeline.Result) {
 	fmt.Printf("  reassembly:        %d gaps, %d trimmed retransmissions\n", res.Table.Gaps, res.Table.TrimmedSegments)
 	fmt.Printf("  parse errors:      %d\n", res.Stats.ParseErrors)
 	fmt.Printf("  pending evicted:   %d\n", res.Stats.PendingEvicted)
+	fmt.Printf("  restarted shards:  %d (%d flows lost)\n", res.Restarts, res.LostFlows)
 	if res.Workers > 1 {
 		for _, s := range res.Shards {
 			fmt.Printf("  shard %2d: packets=%d txs=%d evicted=%d/%d gaps=%d parse-errors=%d pending-evicted=%d\n",
@@ -143,6 +282,23 @@ func printDegradation(rs wire.ReaderStats, res *pipeline.Result) {
 				s.Stats.ParseErrors, s.Stats.PendingEvicted)
 		}
 	}
+}
+
+// traceID fingerprints the input (size plus a checksum of the first 64 KiB)
+// so a checkpoint refuses to resume against a different trace.
+func traceID(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return ""
+	}
+	buf := make([]byte, 64<<10)
+	n, _ := io.ReadFull(f, buf)
+	return fmt.Sprintf("%d:%08x", st.Size(), crc32.ChecksumIEEE(buf[:n]))
 }
 
 func dumpWeblog(path string, results []*core.Result) error {
@@ -167,12 +323,12 @@ func dumpWeblog(path string, results []*core.Result) error {
 	return w.Flush()
 }
 
-func printUsers(world *webgen.World, res *pipeline.Result, cls *pipeline.ClassifyResult, threshold int) {
+func printUsers(world *webgen.World, tlsFlows []*weblog.TLSFlow, cls *pipeline.ClassifyResult, threshold int) {
 	usersMap := cls.Users
 	// Discover the Adblock Plus servers the way §3.2 does: union the
 	// answers of multiple DNS resolver vantage points.
 	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
-	inference.MarkListDownloads(usersMap, res.TLSFlows, abpIPs)
+	inference.MarkListDownloads(usersMap, tlsFlows, abpIPs)
 	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: threshold}
 	active := inference.ActiveBrowsers(usersMap, opt)
 	rows := inference.Table3(active, opt)

@@ -1,0 +1,90 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// Snapshot is an Analyzer's complete mutable state: the running aggregates,
+// the flow table (flows, reassembly buffers, eviction clock), and the
+// per-connection HTTP parser state. Restoring a snapshot and feeding the
+// remaining packets produces exactly the output the original analyzer would
+// have produced uninterrupted — the invariant checkpoint/resume depends on.
+// All fields are exported plain data so encoding/gob can serialize it.
+type Snapshot struct {
+	Stats Stats
+	Table *wire.TableSnapshot
+	// Conns holds the per-connection parser states; Flow indexes into
+	// Table.Flows.
+	Conns []ConnSnapshot
+}
+
+// ConnSnapshot is one connection's HTTP parser state.
+type ConnSnapshot struct {
+	// Flow is the index of the owning flow in the table snapshot.
+	Flow int
+	// Buf holds the partially accumulated header block per direction.
+	Buf [2][]byte
+	// ReqTime is the timestamp of the first buffered byte per direction.
+	ReqTime [2]int64
+	// Pending are the requests awaiting their responses, FIFO.
+	Pending []*weblog.Transaction
+	// TLS marks an opaque HTTPS connection.
+	TLS bool
+}
+
+// Snapshot captures the analyzer's state. Pending transactions and buffered
+// bytes are deep-copied: the analyzer mutates pending requests when their
+// responses arrive, and the snapshot must stay frozen at capture time.
+func (a *Analyzer) Snapshot() *Snapshot {
+	tsnap, flows := a.table.Snapshot()
+	snap := &Snapshot{Stats: a.stats, Table: tsnap}
+	for i, f := range flows {
+		cs := a.conns[f]
+		if cs == nil {
+			continue
+		}
+		c := ConnSnapshot{
+			Flow: i,
+			Buf: [2][]byte{
+				append([]byte(nil), cs.buf[0].Bytes()...),
+				append([]byte(nil), cs.buf[1].Bytes()...),
+			},
+			ReqTime: cs.reqTime,
+			TLS:     cs.tls,
+		}
+		for _, tx := range cs.pending {
+			cp := *tx
+			c.Pending = append(c.Pending, &cp)
+		}
+		snap.Conns = append(snap.Conns, c)
+	}
+	return snap
+}
+
+// Restore rebuilds an Analyzer from a snapshot, bounded by lim and feeding
+// sink. No sink or handler callbacks fire during restore; the first packet
+// fed afterwards continues exactly where the snapshot was taken. lim must
+// match the limits the snapshotted analyzer ran under, or eviction decisions
+// diverge from the uninterrupted run.
+func Restore(sink Sink, lim Limits, snap *Snapshot) (*Analyzer, error) {
+	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState), limits: lim, stats: snap.Stats}
+	table, flows := wire.RestoreFlowTable(a, lim.Table, snap.Table)
+	a.table = table
+	for _, c := range snap.Conns {
+		if c.Flow < 0 || c.Flow >= len(flows) {
+			return nil, fmt.Errorf("analyzer: snapshot conn references flow %d of %d", c.Flow, len(flows))
+		}
+		cs := &connState{reqTime: c.ReqTime, tls: c.TLS}
+		cs.buf[0].Write(c.Buf[0])
+		cs.buf[1].Write(c.Buf[1])
+		for _, tx := range c.Pending {
+			cp := *tx
+			cs.pending = append(cs.pending, &cp)
+		}
+		a.conns[flows[c.Flow]] = cs
+	}
+	return a, nil
+}

@@ -1,0 +1,176 @@
+package analyzer
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"adscape/internal/wire"
+)
+
+// snapFixture emits several interleaved HTTP and TLS connections whose
+// lifetimes straddle any mid-stream split: open connections, buffered partial
+// headers, and requests awaiting responses all exist at the split point.
+func snapFixture(t *testing.T) []*wire.Packet {
+	t.Helper()
+	var pkts []*wire.Packet
+	out := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	for c := 0; c < 8; c++ {
+		em := wire.NewConnEmitter(out, 0x0A000001+uint32(c%3), uint16(7000+c), 0x0B000001+uint32(c%4), 80, 25e6, uint32(500*c+11))
+		start := int64(c+1) * 1e9
+		est, err := em.Open(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c%4 == 3 {
+			if err := em.OpaquePayload(est, 800, 9000); err != nil {
+				t.Fatal(err)
+			}
+			if err := em.Close(est + 6e9); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		for q := 0; q < 2+c%2; q++ {
+			reqT := est + int64(q)*150e6
+			req := httpReq("GET", fmt.Sprintf("h%d.example", c%5), fmt.Sprintf("/r%d-%d", c, q), "http://h0.example/", "UA/1.0")
+			if err := em.Request(reqT, req); err != nil {
+				t.Fatal(err)
+			}
+			// Responses lag far behind, so requests are pending at splits.
+			if err := em.Response(reqT+500e6, httpResp(200, "text/html", 256, ""), 256); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := em.Close(start + int64(5+c%4)*1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+	return pkts
+}
+
+// TestAnalyzerSnapshotRestoreContinuity is checkpointing's core invariant at
+// the analyzer layer: restore a mid-stream snapshot and the continuation
+// emits exactly the records the uninterrupted analyzer emits, at every split
+// point.
+func TestAnalyzerSnapshotRestoreContinuity(t *testing.T) {
+	pkts := snapFixture(t)
+	ref := &Collector{}
+	a := New(ref)
+	for _, p := range pkts {
+		a.Add(p)
+	}
+	a.Finish()
+	refStats := a.Stats()
+	refTable := a.TableStats()
+
+	for _, split := range []int{1, len(pkts) / 4, len(pkts) / 2, 3 * len(pkts) / 4, len(pkts) - 1} {
+		col1 := &Collector{}
+		a1 := New(col1)
+		for _, p := range pkts[:split] {
+			a1.Add(p)
+		}
+		snap := a1.Snapshot()
+		col2 := &Collector{}
+		a2, err := Restore(col2, Limits{}, snap)
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		// Pre-split emissions carry over via the snapshot's collector in a
+		// real checkpoint; here we compare only the continuation.
+		emitted := len(col1.Transactions)
+		emittedTLS := len(col1.Flows)
+		for _, p := range pkts[split:] {
+			a1.Add(p)
+			a2.Add(p)
+		}
+		a1.Finish()
+		a2.Finish()
+
+		if got, want := len(col2.Transactions), len(col1.Transactions)-emitted; got != want {
+			t.Fatalf("split %d: restored emitted %d transactions, original %d", split, got, want)
+		}
+		for i, tx := range col2.Transactions {
+			if !reflect.DeepEqual(*tx, *col1.Transactions[emitted+i]) {
+				t.Errorf("split %d: transaction %d differs:\n got %+v\nwant %+v", split, i, *tx, *col1.Transactions[emitted+i])
+			}
+		}
+		if got, want := len(col2.Flows), len(col1.Flows)-emittedTLS; got != want {
+			t.Fatalf("split %d: restored emitted %d TLS flows, original %d", split, got, want)
+		}
+		for i, f := range col2.Flows {
+			if !reflect.DeepEqual(*f, *col1.Flows[emittedTLS+i]) {
+				t.Errorf("split %d: TLS flow %d differs", split, i)
+			}
+		}
+		if a1.Stats() != a2.Stats() {
+			t.Errorf("split %d: stats diverged: original %+v restored %+v", split, a1.Stats(), a2.Stats())
+		}
+		if a1.Stats() != refStats || a1.TableStats() != refTable {
+			t.Errorf("split %d: split run diverged from uninterrupted reference", split)
+		}
+	}
+}
+
+// TestAnalyzerSnapshotIsFrozen guards the deep copy: mutating the analyzer
+// after Snapshot must not leak into the snapshot (pending transactions are
+// mutated in place when their responses arrive).
+func TestAnalyzerSnapshotIsFrozen(t *testing.T) {
+	pkts := snapFixture(t)
+	// Find a split with requests still awaiting their responses.
+	var (
+		snap    *Snapshot
+		split   int
+		pending int
+	)
+	a := New(&Collector{})
+	for i, p := range pkts {
+		a.Add(p)
+		s := a.Snapshot()
+		n := 0
+		for _, c := range s.Conns {
+			n += len(c.Pending)
+		}
+		if n > pending {
+			snap, split, pending = s, i+1, n
+		}
+	}
+	if pending == 0 {
+		t.Fatal("bad fixture: no split has pending requests")
+	}
+	a = New(&Collector{})
+	for _, p := range pkts[:split] {
+		a.Add(p)
+	}
+	snap = a.Snapshot()
+	before := make([]int64, 0, pending)
+	for _, c := range snap.Conns {
+		for _, tx := range c.Pending {
+			before = append(before, tx.RespTime)
+		}
+	}
+	for _, p := range pkts[split:] {
+		a.Add(p)
+	}
+	a.Finish()
+	i := 0
+	for _, c := range snap.Conns {
+		for _, tx := range c.Pending {
+			if tx.RespTime != before[i] {
+				t.Fatal("continuing the analyzer mutated the snapshot's pending transactions")
+			}
+			i++
+		}
+	}
+}
+
+func TestAnalyzerRestoreRejectsBadFlowIndex(t *testing.T) {
+	a := New(&Collector{})
+	snap := a.Snapshot()
+	snap.Conns = append(snap.Conns, ConnSnapshot{Flow: 3})
+	if _, err := Restore(&Collector{}, Limits{}, snap); err == nil {
+		t.Error("out-of-range flow index must fail")
+	}
+}

@@ -1,0 +1,152 @@
+// Kill-and-resume end to end: simulate a trace to disk, run the supervised
+// engine over the real on-disk reader (exercising the byte-offset fast-skip
+// resume path), crash it at a checkpoint boundary, resume, and require
+// byte-identical merged records, stats, and downstream classification
+// against an uninterrupted run at the same worker count.
+package integration
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"adscape/internal/core"
+	"adscape/internal/inference"
+	"adscape/internal/rbn"
+	"adscape/internal/runz"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+func TestKillAndResumeOnDiskTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test simulates a trace")
+	}
+	dir := t.TempDir()
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = 120
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath := filepath.Join(dir, "rbn.trace")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wire.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := rbn.Options{
+		World: world, Name: "resume", Households: 12,
+		Start:    time.Date(2015, 8, 11, 15, 30, 0, 0, time.UTC),
+		Duration: 90 * time.Minute, Seed: 47,
+		AnonKey: []byte("resume"), PagesPerHour: 5, Parallelism: 4,
+	}
+	if _, err := rbn.Simulate(opt, w.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sortedPath := filepath.Join(dir, "rbn.sorted.trace")
+	sortTrace(t, tracePath, sortedPath)
+
+	openReader := func() (*os.File, *wire.Reader) {
+		fin, err := os.Open(sortedPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := wire.NewReaderOptions(fin, wire.ReaderOptions{Lenient: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fin, r
+	}
+
+	const workers = 4
+	fin, r := openReader()
+	ref, err := runz.Run(r, runz.Options{Workers: workers})
+	fin.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Outcome != runz.OutcomeCompleted || len(ref.Transactions) == 0 {
+		t.Fatalf("reference run: outcome=%v txs=%d", ref.Outcome, len(ref.Transactions))
+	}
+
+	ckPath := filepath.Join(dir, "run.ckpt")
+	interval := ref.PacketsRouted / 3
+	fin, r = openReader()
+	crashed, err := runz.Run(r, runz.Options{
+		Workers: workers, CheckpointPath: ckPath, CheckpointEvery: interval,
+		CrashAfterCheckpoints: 1, TraceID: "sorted-47",
+	})
+	fin.Close()
+	if !errors.Is(err, runz.ErrSimulatedCrash) {
+		t.Fatalf("crash run error = %v", err)
+	}
+	if crashed.PacketsRouted != interval {
+		t.Fatalf("crashed at packet %d, want %d", crashed.PacketsRouted, interval)
+	}
+
+	ck, err := runz.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Reader == nil {
+		t.Fatal("checkpoint over an on-disk trace must carry the reader fast-skip state")
+	}
+	fin, r = openReader()
+	res, err := runz.Run(r, runz.Options{
+		Workers: workers, CheckpointPath: ckPath, CheckpointEvery: interval,
+		Resume: ck, TraceID: "sorted-47",
+	})
+	fin.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != runz.OutcomeCompleted || res.ResumedPackets != interval {
+		t.Fatalf("resumed run: outcome=%v resumed=%d", res.Outcome, res.ResumedPackets)
+	}
+
+	// Byte-identical merged output.
+	if res.Stats != ref.Stats || res.Table != ref.Table {
+		t.Fatalf("stats diverged:\n resumed %+v %+v\n full    %+v %+v", res.Stats, res.Table, ref.Stats, ref.Table)
+	}
+	if len(res.Transactions) != len(ref.Transactions) || len(res.TLSFlows) != len(ref.TLSFlows) {
+		t.Fatalf("record counts diverged: %d/%d vs %d/%d",
+			len(res.Transactions), len(res.TLSFlows), len(ref.Transactions), len(ref.TLSFlows))
+	}
+	for i := range res.Transactions {
+		if !reflect.DeepEqual(*res.Transactions[i], *ref.Transactions[i]) {
+			t.Fatalf("transaction %d differs after resume", i)
+		}
+	}
+	for i := range res.TLSFlows {
+		if !reflect.DeepEqual(*res.TLSFlows[i], *ref.TLSFlows[i]) {
+			t.Fatalf("TLS flow %d differs after resume", i)
+		}
+	}
+
+	// Downstream classification and inference agree too.
+	pl := core.NewPipeline(world.Bundle.ClassifierEngine())
+	aggRef := core.Aggregate(pl.ClassifyAll(ref.Transactions))
+	aggRes := core.Aggregate(pl.ClassifyAll(res.Transactions))
+	if !reflect.DeepEqual(aggRef, aggRes) {
+		t.Fatalf("classification diverged: %+v vs %+v", aggRef, aggRes)
+	}
+	usersRef := inference.Aggregate(pl.ClassifyAll(ref.Transactions))
+	usersRes := inference.Aggregate(pl.ClassifyAll(res.Transactions))
+	if !reflect.DeepEqual(usersRef, usersRes) {
+		t.Fatal("per-user inference diverged after resume")
+	}
+}

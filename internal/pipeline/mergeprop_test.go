@@ -1,0 +1,242 @@
+package pipeline
+
+// Property tests for the merge algebra the sharded engine and the supervised
+// checkpoint/resume path both rest on: every per-shard accumulator must be a
+// commutative monoid under Merge (associative, commutative, zero identity),
+// and folding a randomly partitioned result set per-partition then merging
+// in any order must equal the one-shot fold. A violation here silently
+// corrupts merged results at some worker count or resume boundary, so these
+// run on randomized values rather than fixtures.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adscape/internal/abp"
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/inference"
+	"adscape/internal/pagemodel"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+func randAnalyzerStats(rng *rand.Rand) analyzer.Stats {
+	return analyzer.Stats{
+		Packets:          rng.Intn(1000),
+		HTTPTransactions: rng.Intn(500),
+		TLSFlows:         rng.Intn(100),
+		HTTPWireBytes:    uint64(rng.Intn(1 << 20)),
+		ParseErrors:      rng.Intn(20),
+		PendingEvicted:   rng.Intn(20),
+	}
+}
+
+func randTableStats(rng *rand.Rand) wire.TableStats {
+	return wire.TableStats{
+		EvictedIdle:     rng.Intn(50),
+		EvictedCap:      rng.Intn(50),
+		Gaps:            rng.Intn(50),
+		TrimmedSegments: rng.Intn(50),
+		ClockResyncs:    rng.Intn(5),
+	}
+}
+
+func randReaderStats(rng *rand.Rand) wire.ReaderStats {
+	return wire.ReaderStats{
+		Records:       rng.Intn(10000),
+		Resyncs:       rng.Intn(30),
+		SkippedBytes:  int64(rng.Intn(1 << 16)),
+		TruncatedTail: rng.Intn(2) == 0,
+	}
+}
+
+func randUserStats(rng *rand.Rand) *inference.UserStats {
+	return &inference.UserStats{
+		Requests:     rng.Intn(2000),
+		AdRequests:   rng.Intn(400),
+		ELHits:       rng.Intn(300),
+		EPHits:       rng.Intn(300),
+		AAHits:       rng.Intn(100),
+		Bytes:        int64(rng.Intn(1 << 24)),
+		ListDownload: rng.Intn(2) == 0,
+	}
+}
+
+// TestAnalyzerStatsMergeProperties: associativity and commutativity over
+// randomized values — (a⊕b)⊕c == a⊕(b⊕c) and a⊕b == b⊕a — plus the zero
+// value as identity.
+func TestAnalyzerStatsMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	merge := func(a, b analyzer.Stats) analyzer.Stats { a.Merge(b); return a }
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randAnalyzerStats(rng), randAnalyzerStats(rng), randAnalyzerStats(rng)
+		if merge(merge(a, b), c) != merge(a, merge(b, c)) {
+			t.Fatalf("not associative: %+v %+v %+v", a, b, c)
+		}
+		if merge(a, b) != merge(b, a) {
+			t.Fatalf("not commutative: %+v %+v", a, b)
+		}
+		if merge(a, analyzer.Stats{}) != a {
+			t.Fatalf("zero not identity: %+v", a)
+		}
+	}
+}
+
+func TestTableStatsMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	merge := func(a, b wire.TableStats) wire.TableStats { a.Merge(b); return a }
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randTableStats(rng), randTableStats(rng), randTableStats(rng)
+		if merge(merge(a, b), c) != merge(a, merge(b, c)) {
+			t.Fatalf("not associative: %+v %+v %+v", a, b, c)
+		}
+		if merge(a, b) != merge(b, a) {
+			t.Fatalf("not commutative: %+v %+v", a, b)
+		}
+		if merge(a, wire.TableStats{}) != a {
+			t.Fatalf("zero not identity: %+v", a)
+		}
+	}
+}
+
+// TestReaderStatsMergeProperties includes the one non-sum field: the
+// TruncatedTail bool must OR, which is also associative and commutative.
+func TestReaderStatsMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	merge := func(a, b wire.ReaderStats) wire.ReaderStats { a.Merge(b); return a }
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randReaderStats(rng), randReaderStats(rng), randReaderStats(rng)
+		if merge(merge(a, b), c) != merge(a, merge(b, c)) {
+			t.Fatalf("not associative: %+v %+v %+v", a, b, c)
+		}
+		if merge(a, b) != merge(b, a) {
+			t.Fatalf("not commutative: %+v %+v", a, b)
+		}
+	}
+}
+
+func TestUserStatsMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	merge := func(a, b *inference.UserStats) *inference.UserStats {
+		cp := *a
+		cp.Merge(b)
+		return &cp
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randUserStats(rng), randUserStats(rng), randUserStats(rng)
+		if *merge(merge(a, b), c) != *merge(a, merge(b, c)) {
+			t.Fatalf("not associative: %+v %+v %+v", a, b, c)
+		}
+		if *merge(a, b) != *merge(b, a) {
+			t.Fatalf("not commutative: %+v %+v", a, b)
+		}
+		if *merge(a, &inference.UserStats{}) != *a {
+			t.Fatalf("zero not identity: %+v", a)
+		}
+	}
+}
+
+// randResults builds a synthetic classified result set over a small pool of
+// users, covering every Verdict shape Observe and Accumulate branch on.
+func randResults(rng *rand.Rand, n int) []*core.Result {
+	users := make([]core.UserKey, 6)
+	for i := range users {
+		users[i] = core.UserKey{IP: 0x0A000001 + uint32(i/2), UserAgent: fmt.Sprintf("UA/%d", i%3)}
+	}
+	lists := []struct {
+		name string
+		kind abp.ListKind
+	}{{"easylist", abp.ListAds}, {"easyprivacy", abp.ListPrivacy}}
+	out := make([]*core.Result, n)
+	for i := range out {
+		var v abp.Verdict
+		switch rng.Intn(4) {
+		case 0: // unmatched
+		case 1: // blacklisted
+			l := lists[rng.Intn(len(lists))]
+			v = abp.Verdict{Matched: true, ListName: l.name, ListKind: l.kind}
+		case 2: // acceptable-ads whitelisted only
+			v = abp.Verdict{Whitelisted: true, WhitelistedBy: "acceptableads", WhitelistedKind: abp.ListWhitelist}
+		case 3: // blacklisted and whitelisted
+			l := lists[rng.Intn(len(lists))]
+			v = abp.Verdict{Matched: true, ListName: l.name, ListKind: l.kind,
+				Whitelisted: true, WhitelistedBy: "acceptableads", WhitelistedKind: abp.ListWhitelist}
+		}
+		out[i] = &core.Result{
+			User:    users[rng.Intn(len(users))],
+			Ann:     &pagemodel.Annotated{Tx: &weblog.Transaction{ContentLength: int64(rng.Intn(1 << 16))}},
+			Verdict: v,
+		}
+	}
+	return out
+}
+
+// TestCoreStatsSplitVsOneShot: observing a random partition of the results
+// per-part and merging the parts in a shuffled order must equal the one-shot
+// Aggregate — the property that makes user-sharded classification and
+// checkpoint-boundary splits invisible in the output.
+func TestCoreStatsSplitVsOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		results := randResults(rng, 200+rng.Intn(200))
+		want := core.Aggregate(results)
+
+		k := 1 + rng.Intn(7)
+		parts := make([][]*core.Result, k)
+		for _, r := range results {
+			i := rng.Intn(k)
+			parts[i] = append(parts[i], r)
+		}
+		partial := make([]*core.Stats, k)
+		for i, part := range parts {
+			partial[i] = core.Aggregate(part)
+		}
+		rng.Shuffle(k, func(i, j int) { partial[i], partial[j] = partial[j], partial[i] })
+		got := core.NewStats()
+		for _, p := range partial {
+			got.Merge(p)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (k=%d): split-merge %+v != one-shot %+v", trial, k, got, want)
+		}
+	}
+}
+
+// TestUserMapsSplitVsOneShot: the same property for the per-user inference
+// accumulators, including MergeUsers' adopt-by-reference path (each
+// partition owns a fresh map, as each shard and each resumed run does).
+func TestUserMapsSplitVsOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		results := randResults(rng, 200+rng.Intn(200))
+		want := map[core.UserKey]*inference.UserStats{}
+		for _, r := range results {
+			inference.Accumulate(want, r)
+		}
+
+		k := 1 + rng.Intn(7)
+		parts := make([][]*core.Result, k)
+		for _, r := range results {
+			i := rng.Intn(k)
+			parts[i] = append(parts[i], r)
+		}
+		partial := make([]map[core.UserKey]*inference.UserStats, k)
+		for i, part := range parts {
+			partial[i] = map[core.UserKey]*inference.UserStats{}
+			for _, r := range part {
+				inference.Accumulate(partial[i], r)
+			}
+		}
+		rng.Shuffle(k, func(i, j int) { partial[i], partial[j] = partial[j], partial[i] })
+		got := map[core.UserKey]*inference.UserStats{}
+		for _, p := range partial {
+			inference.MergeUsers(got, p)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (k=%d): split-merge user map differs from one-shot", trial, k)
+		}
+	}
+}

@@ -88,10 +88,12 @@ type Result struct {
 	Shards []ShardResult
 }
 
-// shardLimits derives one shard's bounds from the run-wide bounds: the
+// ShardLimits derives one shard's bounds from the run-wide bounds: the
 // global flow cap splits across shards (so the summed live-flow count keeps
-// PR 1's bound), everything per-flow or per-connection stays as-is.
-func shardLimits(global analyzer.Limits, workers int) analyzer.Limits {
+// the run-wide bound), everything per-flow or per-connection stays as-is.
+// The supervised engine (internal/runz) applies the same split so a
+// supervised run is bounded identically to an unsupervised one.
+func ShardLimits(global analyzer.Limits, workers int) analyzer.Limits {
 	lim := global
 	if lim.Table.MaxFlows > 0 && workers > 1 {
 		lim.Table.MaxFlows /= workers
@@ -166,7 +168,7 @@ func Analyze(src wire.PacketSource, opt Options) (*Result, error) {
 	if queueDepth <= 0 {
 		queueDepth = 8
 	}
-	lim := shardLimits(opt.Limits, workers)
+	lim := ShardLimits(opt.Limits, workers)
 
 	shards := make([]*shard, workers)
 	var wg sync.WaitGroup

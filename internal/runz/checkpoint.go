@@ -1,0 +1,168 @@
+package runz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// Checkpoint file layout: an 8-byte header ("ADCKPT" + zero + version byte),
+// a uint32 CRC-32 (IEEE) of the payload, a uint64 payload length, then the
+// gob-encoded Checkpoint. Writes are atomic (temp file + fsync + rename), so
+// a crash mid-write leaves the previous checkpoint intact, and loads verify
+// magic, version, length, and checksum before decoding — a torn or corrupted
+// file is an error, never silently wrong state.
+
+var ckptMagic = [8]byte{'A', 'D', 'C', 'K', 'P', 'T', 0, 1}
+
+// ErrCheckpointCorrupt is returned by LoadCheckpoint when the file fails
+// structural validation (bad magic/version, short file, checksum mismatch).
+var ErrCheckpointCorrupt = errors.New("runz: checkpoint corrupt")
+
+// Checkpoint is a supervised run's durable state at a quiesce barrier: every
+// shard's full analyzer snapshot plus its emitted records, the input
+// position, and enough configuration to validate resume preconditions.
+type Checkpoint struct {
+	// Version is the checkpoint format version (currently 1).
+	Version int
+	// Seq is the checkpoint ordinal within the run, counting resumed runs'
+	// checkpoints onward from their predecessor's.
+	Seq int
+	// Workers is the shard count; resume requires the same value, because
+	// the per-shard states are keyed by the flow-hash layout.
+	Workers int
+	// Limits are the run-wide analyzer bounds; resume requires the same
+	// value, because eviction decisions depend on them.
+	Limits analyzer.Limits
+	// TraceID fingerprints the input (opaque to runz); resume refuses a
+	// mismatching input when both sides carry one.
+	TraceID string
+	// PacketsRouted counts packets consumed from the source and delivered
+	// to shards; resume skips exactly this many packets.
+	PacketsRouted int64
+	// Reader is the wire.Reader fast-skip state when the source is a raw
+	// trace reader; nil for other sources (resume then skips by re-reading).
+	Reader *wire.ReaderState
+	// Interrupted marks a final checkpoint written on an abnormal exit
+	// (signal drain, watchdog abort, read error) rather than a periodic one
+	// or a completed run; Cause says why.
+	Interrupted bool
+	Cause       string
+	// Complete marks the checkpoint of a run that reached end of input.
+	Complete bool
+	// Shards holds the per-shard state, indexed by shard.
+	Shards []ShardCheckpoint
+}
+
+// ShardCheckpoint is one shard's durable state.
+type ShardCheckpoint struct {
+	// Packets is the number of packets this shard has processed.
+	Packets int64
+	// Analyzer is the shard's full streaming state.
+	Analyzer *analyzer.Snapshot
+	// Restarts/LostFlows carry the shard's panic-restart history;
+	// RetiredStats/RetiredTable are the counters of analyzer instances
+	// retired by restarts.
+	Restarts     int
+	LostFlows    int
+	RetiredStats analyzer.Stats
+	RetiredTable wire.TableStats
+	// Transactions and TLSFlows are the records the shard emitted so far;
+	// HighWaterTx/HighWaterTLS are their counts (the emitted-record
+	// high-water marks), validated on load.
+	Transactions []*weblog.Transaction
+	TLSFlows     []*weblog.TLSFlow
+	HighWaterTx  int
+	HighWaterTLS int
+}
+
+// SaveCheckpoint atomically writes ck to path: the payload goes to a
+// temporary file in the same directory, is synced, and renamed over path.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return fmt.Errorf("runz: encoding checkpoint: %w", err)
+	}
+	var hdr [20]byte
+	copy(hdr[:8], ckptMagic[:])
+	binary.BigEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.BigEndian.PutUint64(hdr[12:], uint64(payload.Len()))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runz: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload.Bytes())
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("runz: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runz: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runz: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("runz: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [20]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCheckpointCorrupt, err)
+	}
+	if [8]byte(hdr[:8]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic or version", ErrCheckpointCorrupt)
+	}
+	wantCRC := binary.BigEndian.Uint32(hdr[8:])
+	wantLen := binary.BigEndian.Uint64(hdr[12:])
+	const maxCheckpoint = 16 << 30
+	if wantLen > maxCheckpoint {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCheckpointCorrupt, wantLen)
+	}
+	payload, err := io.ReadAll(io.LimitReader(f, int64(wantLen)+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrCheckpointCorrupt, err)
+	}
+	if uint64(len(payload)) != wantLen {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrCheckpointCorrupt, len(payload), wantLen)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCheckpointCorrupt)
+	}
+	ck := &Checkpoint{}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(ck); err != nil {
+		return nil, fmt.Errorf("%w: decoding: %v", ErrCheckpointCorrupt, err)
+	}
+	for i, s := range ck.Shards {
+		if len(s.Transactions) != s.HighWaterTx || len(s.TLSFlows) != s.HighWaterTLS {
+			return nil, fmt.Errorf("%w: shard %d records %d/%d below high-water marks %d/%d",
+				ErrCheckpointCorrupt, i, len(s.Transactions), len(s.TLSFlows), s.HighWaterTx, s.HighWaterTLS)
+		}
+	}
+	return ck, nil
+}

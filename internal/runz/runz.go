@@ -1,0 +1,868 @@
+// Package runz supervises long sharded analysis runs so they survive the
+// failure modes of multi-day traces: it wraps the flow-sharded engine of
+// internal/pipeline with periodic checkpoint/resume (full per-shard analyzer
+// state, atomic versioned snapshot files), graceful drain on a stop signal,
+// a stall watchdog that names the wedged stage instead of hanging forever,
+// an optional hard deadline that aborts through the drain path, and
+// panic-restart of individual shards under a bounded budget.
+//
+// On the deterministic path (capture-time-ordered input, non-binding flow
+// cap — DESIGN.md §8) the durability guarantee is exact: crashing at or
+// after any checkpoint and resuming from it yields byte-identical records
+// and stats to an uninterrupted run at the same worker count, because a
+// checkpoint captures the complete streaming state (flow tables, reassembly
+// buffers, HTTP parser state, pending transactions, reader position) at a
+// quiesce barrier where every routed packet has been processed.
+package runz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/pipeline"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// ErrSimulatedCrash is returned when Options.CrashAfterCheckpoints fires:
+// the run stopped dead after publishing a checkpoint, exactly as a kill -9
+// at a checkpoint boundary would, so kill-and-resume tests are deterministic.
+var ErrSimulatedCrash = errors.New("runz: simulated crash after checkpoint")
+
+// ErrStalled and ErrDeadlineExceeded mark watchdog aborts in the joined
+// error Run returns; Result.Outcome carries the same information.
+var (
+	ErrStalled           = errors.New("runz: run stalled")
+	ErrDeadlineExceeded  = errors.New("runz: deadline exceeded")
+	errShardUnrecovered  = errors.New("runz: wedged shard state unrecovered")
+	errResumePreconditon = errors.New("runz: resume precondition failed")
+)
+
+// Options configures a supervised run. The zero value of every supervision
+// knob disables it, leaving plain sharded analysis semantically equivalent
+// to pipeline.Analyze.
+type Options struct {
+	// Workers is the number of analyzer shards; <=0 means GOMAXPROCS.
+	Workers int
+	// Limits bounds the whole run; the flow cap splits across shards
+	// exactly as in pipeline.Options.
+	Limits analyzer.Limits
+	// BatchSize (<=0: 128) and QueueDepth (<=0: 8) mirror pipeline.Options.
+	BatchSize  int
+	QueueDepth int
+	// NewSink optionally supplies per-shard sinks (tests); incompatible
+	// with checkpointing and resume, which need the default collectors.
+	NewSink func(shard int) analyzer.Sink
+
+	// CheckpointPath enables checkpointing: every CheckpointEvery packets
+	// the run quiesces at a barrier and atomically rewrites this file with
+	// the full resumable state; a final checkpoint is written on drain
+	// (graceful stop, read error, deadline) and on completion.
+	CheckpointPath string
+	// CheckpointEvery is the packet interval between periodic checkpoints;
+	// <=0 disables periodic checkpoints (a final one is still written).
+	CheckpointEvery int64
+	// Resume is a previously loaded checkpoint to continue from. The worker
+	// count, limits, and trace identity must match the checkpoint's.
+	Resume *Checkpoint
+	// TraceID is an opaque fingerprint of the input recorded in checkpoints
+	// and verified on resume when both sides carry one.
+	TraceID string
+
+	// Stop requests a graceful shutdown when closed: the router stops,
+	// shards drain and flush in-flight flows through the normal close path,
+	// a final checkpoint is written (marked interrupted), and Run returns
+	// partial results with OutcomeStopped.
+	Stop <-chan struct{}
+
+	// StallTimeout arms the watchdog: if a stage (source read, shard) makes
+	// no progress for this long while holding work, the run aborts through
+	// the drain path and Result.Stalled names the wedged stage. 0 disables.
+	StallTimeout time.Duration
+	// Deadline is a hard wall-clock cap on the whole run; exceeding it
+	// aborts through the drain path. 0 disables.
+	Deadline time.Duration
+	// DrainTimeout bounds every wait on the drain path (final barrier,
+	// shard shutdown), so wedged shards are abandoned and reported rather
+	// than waited on forever. <=0 means 10s.
+	DrainTimeout time.Duration
+
+	// RestartBudget is the number of panicked-shard restarts allowed per
+	// shard; a panicked shard within budget is relaunched with fresh state
+	// (its live flows counted lost), past it the shard stays dead and
+	// drains, as the unsupervised engine does. 0 disables restarts.
+	RestartBudget int
+
+	// CrashAfterCheckpoints, when >0, makes the run stop dead (no drain, no
+	// final checkpoint) immediately after publishing that many periodic
+	// checkpoints — a deterministic kill -9 for kill-and-resume tests.
+	CrashAfterCheckpoints int
+
+	// OnEvent, when set, receives one-line progress events (checkpoints
+	// written, restarts, stalls). Must be safe for concurrent use.
+	OnEvent func(string)
+}
+
+// Outcome classifies how a supervised run ended.
+type Outcome int
+
+// Outcomes, from best to worst.
+const (
+	// OutcomeCompleted: the source reached EOF and all shards flushed.
+	OutcomeCompleted Outcome = iota
+	// OutcomeStopped: graceful stop; state checkpointed, partial results.
+	OutcomeStopped
+	// OutcomeStalled: the watchdog aborted a wedged run.
+	OutcomeStalled
+	// OutcomeDeadline: the hard deadline aborted the run.
+	OutcomeDeadline
+	// OutcomeReadError: the source failed mid-run; state checkpointed.
+	OutcomeReadError
+	// OutcomeCrashed: the simulated-crash test hook fired.
+	OutcomeCrashed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeStopped:
+		return "stopped"
+	case OutcomeStalled:
+		return "stalled"
+	case OutcomeDeadline:
+		return "deadline exceeded"
+	case OutcomeReadError:
+		return "read error"
+	case OutcomeCrashed:
+		return "simulated crash"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// ShardStatus is one shard's contribution to a supervised run.
+type ShardStatus struct {
+	Shard     int
+	Packets   int64
+	Restarts  int
+	LostFlows int
+	Stats     analyzer.Stats
+	Table     wire.TableStats
+	Err       error
+	// Wedged marks a shard that never exited within the drain timeout; its
+	// analyzer state is unrecovered and excluded from the merge.
+	Wedged bool
+}
+
+// Result is the merged output of a supervised run. On any outcome other than
+// OutcomeCrashed it carries whatever was analyzed, so partial runs still
+// report their records and degradation counters.
+type Result struct {
+	Workers int
+	Outcome Outcome
+	// Cause is a one-line reason for a non-completed outcome.
+	Cause string
+	// Transactions and TLSFlows are the merged record sets in canonical
+	// weblog order.
+	Transactions []*weblog.Transaction
+	TLSFlows     []*weblog.TLSFlow
+	// Stats and Table are the per-shard counters summed, including retired
+	// (panic-restarted) analyzer instances.
+	Stats analyzer.Stats
+	Table wire.TableStats
+	// PacketsRouted counts packets consumed from the source over the whole
+	// logical run (a resumed run continues its predecessor's count, of
+	// which ResumedPackets were restored from the checkpoint).
+	PacketsRouted  int64
+	ResumedPackets int64
+	// Checkpoints counts checkpoint files written by this run.
+	Checkpoints int
+	// Restarts and LostFlows total the panic-restart damage.
+	Restarts  int
+	LostFlows int
+	// Stalled describes the wedged stages the watchdog identified.
+	Stalled []string
+	Shards  []ShardStatus
+}
+
+const (
+	stateReading int32 = iota
+	stateSending
+	stateBarrier
+	stateIdle
+)
+
+// batch is the unit of work handed to a shard. A batch with a non-nil ack is
+// a barrier marker: the shard closes ack once every previously queued packet
+// has been processed, which both quiesces the shard and publishes its state
+// to the router (channel-close is a happens-before edge).
+type batch struct {
+	pkts []*wire.Packet
+	ack  chan struct{}
+}
+
+// supShard is one supervised worker.
+type supShard struct {
+	id     int
+	ch     chan batch
+	an     *analyzer.Analyzer
+	sink   analyzer.Sink
+	col    *analyzer.Collector
+	mk     func() *analyzer.Analyzer
+	budget int
+	notify func(string)
+
+	packets   atomic.Int64
+	beat      atomic.Int64
+	busy      atomic.Bool
+	restarts  atomic.Int64
+	lostFlows atomic.Int64
+	done      atomic.Bool
+
+	// err and the retired counters are owned by the shard goroutine; the
+	// router reads them only behind a barrier ack or after shard exit.
+	err          error
+	retiredStats analyzer.Stats
+	retiredTable wire.TableStats
+}
+
+func (s *supShard) run(wg *sync.WaitGroup, quit <-chan struct{}) {
+	defer wg.Done()
+	defer s.done.Store(true)
+	for {
+		select {
+		case b, ok := <-s.ch:
+			if !ok {
+				if s.err == nil {
+					s.finish()
+				}
+				return
+			}
+			if b.ack != nil {
+				close(b.ack)
+				continue
+			}
+			if s.err != nil {
+				continue // dead past budget: keep draining, never block the router
+			}
+			s.process(b.pkts)
+		case <-quit:
+			// Abandoned drain: exit without flushing so the caller can
+			// return instead of waiting on state it cannot trust.
+			return
+		}
+	}
+}
+
+func (s *supShard) process(pkts []*wire.Packet) {
+	s.busy.Store(true)
+	s.beat.Store(time.Now().UnixNano())
+	defer func() {
+		s.beat.Store(time.Now().UnixNano())
+		s.busy.Store(false)
+	}()
+	defer s.recoverRestart()
+	for _, p := range pkts {
+		s.an.Add(p)
+		s.packets.Add(1)
+	}
+}
+
+func (s *supShard) finish() {
+	s.busy.Store(true)
+	defer s.busy.Store(false)
+	defer s.recoverRestart()
+	s.an.Finish()
+}
+
+// recoverRestart implements the shard panic policy: salvage the dead
+// analyzer's counters, count its live flows as lost, and either relaunch the
+// shard with fresh state (within budget) or leave it dead and draining.
+func (s *supShard) recoverRestart() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	// The panicked analyzer may be mid-mutation; guard the salvage reads.
+	func() {
+		defer func() { recover() }()
+		s.retiredStats.Merge(s.an.Stats())
+		s.retiredTable.Merge(s.an.TableStats())
+		s.lostFlows.Add(int64(s.an.NumActive()))
+	}()
+	if int(s.restarts.Load()) >= s.budget {
+		s.err = fmt.Errorf("runz: shard %d: panic with restart budget %d exhausted: %v", s.id, s.budget, r)
+		if s.notify != nil {
+			s.notify(fmt.Sprintf("shard %d dead: %v (budget %d exhausted)", s.id, r, s.budget))
+		}
+		return
+	}
+	s.restarts.Add(1)
+	s.an = s.mk()
+	if s.notify != nil {
+		s.notify(fmt.Sprintf("shard %d panicked (%v); restarted with fresh state (%d/%d restarts)",
+			s.id, r, s.restarts.Load(), s.budget))
+	}
+}
+
+// supervisor owns one Run's coordination state.
+type supervisor struct {
+	opt        Options
+	workers    int
+	batchSize  int
+	queueDepth int
+	drainT     time.Duration
+	shards     []*supShard
+	wg         sync.WaitGroup
+	quit       chan struct{} // closed to abandon shards without flushing
+	abort      chan struct{} // closed to stop routing (watchdog/deadline)
+	stopWatch  chan struct{} // closed when the run ends; stops the watchdog
+
+	routed       atomic.Int64
+	routerBeat   atomic.Int64
+	routerState  atomic.Int32
+	routerTarget atomic.Int32
+
+	mu         sync.Mutex
+	outcomeSet bool
+	outcome    Outcome
+	cause      string
+	stalled    []string
+	readErr    error
+	ckptErr    error
+	ckpts      int // checkpoints written by this run
+	seq        int // checkpoint ordinal across resumed runs
+}
+
+func (sup *supervisor) event(msg string) {
+	if sup.opt.OnEvent != nil {
+		sup.opt.OnEvent(msg)
+	}
+}
+
+// setOutcome records how the run ended; the first writer wins, so a watchdog
+// abort racing a clean completion cannot rewrite history.
+func (sup *supervisor) setOutcome(o Outcome, cause string) bool {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	if sup.outcomeSet {
+		return false
+	}
+	sup.outcomeSet = true
+	sup.outcome, sup.cause = o, cause
+	return true
+}
+
+func (sup *supervisor) finalOutcome() (Outcome, string) {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	return sup.outcome, sup.cause
+}
+
+func (sup *supervisor) aborted() bool {
+	select {
+	case <-sup.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// send delivers a batch to shard i, giving up when the run is aborting so a
+// wedged shard's full queue can never deadlock the router.
+func (sup *supervisor) send(i int, b batch) bool {
+	select {
+	case <-sup.abort:
+		return false
+	default:
+	}
+	sup.routerTarget.Store(int32(i))
+	select {
+	case sup.shards[i].ch <- b:
+		sup.routerBeat.Store(time.Now().UnixNano())
+		return true
+	case <-sup.abort:
+		return false
+	}
+}
+
+// barrier quiesces every shard: after it returns true, every routed packet
+// has been processed and all shard state is safely readable by the caller.
+func (sup *supervisor) barrier() bool {
+	sup.routerState.Store(stateBarrier)
+	acks := make([]chan struct{}, len(sup.shards))
+	for i := range sup.shards {
+		acks[i] = make(chan struct{})
+		if !sup.send(i, batch{ack: acks[i]}) {
+			return false
+		}
+	}
+	for i, ack := range acks {
+		sup.routerTarget.Store(int32(i))
+		select {
+		case <-ack:
+			sup.routerBeat.Store(time.Now().UnixNano())
+		case <-sup.abort:
+			return false
+		}
+	}
+	sup.routerState.Store(stateIdle)
+	return true
+}
+
+// timedBarrier is the drain-path barrier: it bounds every wait so a wedged
+// shard costs at most the drain timeout instead of hanging the exit.
+func (sup *supervisor) timedBarrier() bool {
+	timer := time.NewTimer(sup.drainT)
+	defer timer.Stop()
+	acks := make([]chan struct{}, len(sup.shards))
+	for i, s := range sup.shards {
+		acks[i] = make(chan struct{})
+		select {
+		case s.ch <- batch{ack: acks[i]}:
+		case <-timer.C:
+			return false
+		}
+	}
+	for _, ack := range acks {
+		select {
+		case <-ack:
+		case <-timer.C:
+			return false
+		}
+	}
+	return true
+}
+
+func (sup *supervisor) waitShards() bool {
+	done := make(chan struct{})
+	go func() {
+		sup.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(sup.drainT):
+		return false
+	}
+}
+
+// writeCheckpoint serializes the full run state. It must only be called when
+// every shard is quiescent (behind a barrier ack or after shard exit).
+func (sup *supervisor) writeCheckpoint(src wire.PacketSource, interrupted bool, cause string, complete bool) error {
+	sup.seq++
+	ck := &Checkpoint{
+		Version:       1,
+		Seq:           sup.seq,
+		Workers:       sup.workers,
+		Limits:        sup.opt.Limits,
+		TraceID:       sup.opt.TraceID,
+		PacketsRouted: sup.routed.Load(),
+		Interrupted:   interrupted,
+		Cause:         cause,
+		Complete:      complete,
+	}
+	if r, ok := src.(*wire.Reader); ok {
+		st := r.State()
+		ck.Reader = &st
+	}
+	for _, s := range sup.shards {
+		sc := ShardCheckpoint{
+			Packets:      s.packets.Load(),
+			Restarts:     int(s.restarts.Load()),
+			LostFlows:    int(s.lostFlows.Load()),
+			RetiredStats: s.retiredStats,
+			RetiredTable: s.retiredTable,
+		}
+		if s.err == nil {
+			sc.Analyzer = snapshotGuarded(s.an)
+		}
+		if s.col != nil {
+			sc.Transactions = s.col.Transactions
+			sc.TLSFlows = s.col.Flows
+		}
+		sc.HighWaterTx = len(sc.Transactions)
+		sc.HighWaterTLS = len(sc.TLSFlows)
+		ck.Shards = append(ck.Shards, sc)
+	}
+	if err := SaveCheckpoint(sup.opt.CheckpointPath, ck); err != nil {
+		return err
+	}
+	sup.mu.Lock()
+	sup.ckpts++
+	n := sup.ckpts
+	sup.mu.Unlock()
+	sup.routerBeat.Store(time.Now().UnixNano())
+	sup.event(fmt.Sprintf("checkpoint %d (seq %d) written at packet %d", n, ck.Seq, ck.PacketsRouted))
+	return nil
+}
+
+// snapshotGuarded snapshots an analyzer, tolerating state a panic corrupted:
+// a shard that just burned a restart may hold an analyzer we cannot walk, and
+// losing its snapshot must not lose the checkpoint.
+func snapshotGuarded(an *analyzer.Analyzer) (snap *analyzer.Snapshot) {
+	defer func() {
+		if recover() != nil {
+			snap = nil
+		}
+	}()
+	return an.Snapshot()
+}
+
+// route is the reader/router loop. It runs in its own goroutine so that a
+// source wedged inside Read can be reported and abandoned instead of hanging
+// Run forever.
+func (sup *supervisor) route(src wire.PacketSource, done chan<- struct{}) {
+	defer close(done)
+	batches := make([][]*wire.Packet, sup.workers)
+	for i := range batches {
+		batches[i] = make([]*wire.Packet, 0, sup.batchSize)
+	}
+	flush := func() bool {
+		for i, b := range batches {
+			if len(b) == 0 {
+				continue
+			}
+			sup.routerState.Store(stateSending)
+			if !sup.send(i, batch{pkts: b}) {
+				return false
+			}
+			batches[i] = make([]*wire.Packet, 0, sup.batchSize)
+		}
+		return true
+	}
+	ckptRuns := 0
+loop:
+	for {
+		if sup.aborted() {
+			return
+		}
+		select {
+		case <-sup.opt.Stop:
+			sup.setOutcome(OutcomeStopped, "stop requested")
+			break loop
+		default:
+		}
+		sup.routerState.Store(stateReading)
+		p, err := src.Read()
+		sup.routerBeat.Store(time.Now().UnixNano())
+		if err == io.EOF {
+			sup.setOutcome(OutcomeCompleted, "")
+			break loop
+		}
+		if err != nil {
+			sup.mu.Lock()
+			sup.readErr = err
+			sup.mu.Unlock()
+			sup.setOutcome(OutcomeReadError, fmt.Sprintf("source failed: %v", err))
+			break loop
+		}
+		i := int(p.Tuple().ShardHash() % uint32(sup.workers))
+		batches[i] = append(batches[i], p)
+		n := sup.routed.Add(1)
+		if len(batches[i]) >= sup.batchSize {
+			sup.routerState.Store(stateSending)
+			if !sup.send(i, batch{pkts: batches[i]}) {
+				return
+			}
+			batches[i] = make([]*wire.Packet, 0, sup.batchSize)
+		}
+		if sup.opt.CheckpointEvery > 0 && sup.opt.CheckpointPath != "" && n%sup.opt.CheckpointEvery == 0 {
+			if !flush() || !sup.barrier() {
+				return
+			}
+			if err := sup.writeCheckpoint(src, false, "", false); err != nil {
+				sup.mu.Lock()
+				sup.ckptErr = err
+				sup.mu.Unlock()
+				sup.event(fmt.Sprintf("checkpoint failed: %v", err))
+			} else {
+				ckptRuns++
+				if sup.opt.CrashAfterCheckpoints > 0 && ckptRuns >= sup.opt.CrashAfterCheckpoints {
+					sup.setOutcome(OutcomeCrashed, "simulated crash after checkpoint")
+					return
+				}
+			}
+		}
+	}
+	// Clean exit (EOF, stop, read error): deliver what is still buffered so
+	// the drain path sees every routed packet.
+	flush()
+	sup.routerState.Store(stateIdle)
+}
+
+// Run analyzes src under supervision. The Result is non-nil for every
+// outcome except configuration errors; the joined error carries shard
+// failures, checkpoint write failures, the source error, and the watchdog
+// sentinels (ErrStalled, ErrDeadlineExceeded).
+func Run(src wire.PacketSource, opt Options) (*Result, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	batchSize := opt.BatchSize
+	if batchSize <= 0 {
+		batchSize = 128
+	}
+	queueDepth := opt.QueueDepth
+	if queueDepth <= 0 {
+		queueDepth = 8
+	}
+	drainT := opt.DrainTimeout
+	if drainT <= 0 {
+		drainT = 10 * time.Second
+	}
+	if opt.NewSink != nil && (opt.CheckpointPath != "" || opt.Resume != nil) {
+		return nil, errors.New("runz: checkpoint/resume requires the default collector sinks")
+	}
+	lim := pipeline.ShardLimits(opt.Limits, workers)
+
+	sup := &supervisor{
+		opt:        opt,
+		workers:    workers,
+		batchSize:  batchSize,
+		queueDepth: queueDepth,
+		drainT:     drainT,
+		quit:       make(chan struct{}),
+		abort:      make(chan struct{}),
+		stopWatch:  make(chan struct{}),
+	}
+	now := time.Now().UnixNano()
+	for i := 0; i < workers; i++ {
+		s := &supShard{
+			id:     i,
+			ch:     make(chan batch, queueDepth),
+			budget: opt.RestartBudget,
+			notify: sup.event,
+		}
+		if opt.NewSink != nil {
+			s.sink = opt.NewSink(i)
+		} else {
+			s.col = &analyzer.Collector{}
+			s.sink = s.col
+		}
+		sink := s.sink
+		s.mk = func() *analyzer.Analyzer { return analyzer.NewWithLimits(sink, lim) }
+		s.an = s.mk()
+		s.beat.Store(now)
+		sup.shards = append(sup.shards, s)
+	}
+
+	var resumed int64
+	if opt.Resume != nil {
+		n, err := sup.restore(src, opt.Resume, lim)
+		if err != nil {
+			return nil, err
+		}
+		resumed = n
+	}
+
+	sup.routerBeat.Store(time.Now().UnixNano())
+	for _, s := range sup.shards {
+		sup.wg.Add(1)
+		go s.run(&sup.wg, sup.quit)
+	}
+	if opt.StallTimeout > 0 || opt.Deadline > 0 {
+		go sup.watch()
+	}
+	routerDone := make(chan struct{})
+	go sup.route(src, routerDone)
+
+	// Wait for the router; if the watchdog aborted and the router is stuck
+	// inside a blocked source read, abandon it after the drain timeout.
+	routerExited := true
+	select {
+	case <-routerDone:
+	case <-sup.abort:
+		select {
+		case <-routerDone:
+		case <-time.After(drainT):
+			routerExited = false
+		}
+	}
+	close(sup.stopWatch)
+	sup.setOutcome(OutcomeCompleted, "") // no-op unless nothing set it earlier
+	outcome, cause := sup.finalOutcome()
+
+	if outcome == OutcomeCrashed {
+		// Simulated kill -9: no drain, no final checkpoint, no merge.
+		close(sup.quit)
+		sup.waitShards()
+		sup.mu.Lock()
+		ckpts := sup.ckpts
+		sup.mu.Unlock()
+		return &Result{
+			Workers:        workers,
+			Outcome:        outcome,
+			Cause:          cause,
+			PacketsRouted:  sup.routed.Load(),
+			ResumedPackets: resumed,
+			Checkpoints:    ckpts,
+		}, ErrSimulatedCrash
+	}
+
+	if routerExited {
+		// Final checkpoint first (pre-flush state, so resume continues with
+		// open flows exactly as the uninterrupted run would), then close the
+		// channels so shards flush in-flight flows through the normal close
+		// path and partial results are complete.
+		if opt.CheckpointPath != "" {
+			if sup.timedBarrier() {
+				if err := sup.writeCheckpoint(src, outcome != OutcomeCompleted, cause, outcome == OutcomeCompleted); err != nil {
+					sup.mu.Lock()
+					sup.ckptErr = err
+					sup.mu.Unlock()
+				}
+			} else {
+				sup.event("final checkpoint skipped: shards did not quiesce within the drain timeout")
+			}
+		}
+		for _, s := range sup.shards {
+			close(s.ch)
+		}
+		sup.waitShards()
+	} else {
+		// The router may still attempt sends once its blocked read returns,
+		// so the channels must stay open; release the shards directly.
+		sup.event("input source abandoned: blocked read never returned")
+		close(sup.quit)
+		sup.waitShards()
+	}
+
+	return sup.merge(outcome, cause, resumed)
+}
+
+// merge folds the shard states into the Result, exactly as the unsupervised
+// engine does, skipping shards whose goroutines never exited.
+func (sup *supervisor) merge(outcome Outcome, cause string, resumed int64) (*Result, error) {
+	sup.mu.Lock()
+	res := &Result{
+		Workers:        sup.workers,
+		Outcome:        outcome,
+		Cause:          cause,
+		PacketsRouted:  sup.routed.Load(),
+		ResumedPackets: resumed,
+		Checkpoints:    sup.ckpts,
+		Stalled:        append([]string(nil), sup.stalled...),
+	}
+	errs := []error{sup.readErr, sup.ckptErr}
+	sup.mu.Unlock()
+
+	for i, s := range sup.shards {
+		st := ShardStatus{
+			Shard:     i,
+			Packets:   s.packets.Load(),
+			Restarts:  int(s.restarts.Load()),
+			LostFlows: int(s.lostFlows.Load()),
+		}
+		if !s.done.Load() {
+			st.Wedged = true
+			res.Shards = append(res.Shards, st)
+			res.Restarts += st.Restarts
+			res.LostFlows += st.LostFlows
+			errs = append(errs, fmt.Errorf("%w: shard %d", errShardUnrecovered, i))
+			continue
+		}
+		st.Stats = s.retiredStats
+		st.Stats.Merge(s.an.Stats())
+		st.Table = s.retiredTable
+		st.Table.Merge(s.an.TableStats())
+		st.Err = s.err
+		if s.err != nil {
+			// A dead shard never flushed: whatever it still held is lost.
+			st.LostFlows += numActiveGuarded(s.an)
+		}
+		res.Stats.Merge(st.Stats)
+		res.Table.Merge(st.Table)
+		res.Restarts += st.Restarts
+		res.LostFlows += st.LostFlows
+		if s.col != nil {
+			res.Transactions = append(res.Transactions, s.col.Transactions...)
+			res.TLSFlows = append(res.TLSFlows, s.col.Flows...)
+		}
+		res.Shards = append(res.Shards, st)
+		errs = append(errs, s.err)
+	}
+	weblog.SortTransactions(res.Transactions)
+	weblog.SortTLSFlows(res.TLSFlows)
+	switch outcome {
+	case OutcomeStalled:
+		errs = append(errs, fmt.Errorf("%w: %s", ErrStalled, cause))
+	case OutcomeDeadline:
+		errs = append(errs, fmt.Errorf("%w: %s", ErrDeadlineExceeded, cause))
+	}
+	return res, errors.Join(errs...)
+}
+
+func numActiveGuarded(an *analyzer.Analyzer) (n int) {
+	defer func() { recover() }()
+	return an.NumActive()
+}
+
+// restore rebuilds the shards from a checkpoint and fast-forwards the source
+// past the already-consumed input.
+func (sup *supervisor) restore(src wire.PacketSource, ck *Checkpoint, lim analyzer.Limits) (int64, error) {
+	if ck.Version != 1 {
+		return 0, fmt.Errorf("%w: unsupported checkpoint version %d", errResumePreconditon, ck.Version)
+	}
+	if ck.Workers != sup.workers {
+		return 0, fmt.Errorf("%w: checkpoint written with %d workers, run configured with %d (the per-shard state is keyed by the flow-hash layout)",
+			errResumePreconditon, ck.Workers, sup.workers)
+	}
+	if len(ck.Shards) != ck.Workers {
+		return 0, fmt.Errorf("%w: checkpoint carries %d shard states for %d workers", ErrCheckpointCorrupt, len(ck.Shards), ck.Workers)
+	}
+	if ck.Limits != sup.opt.Limits {
+		return 0, fmt.Errorf("%w: checkpoint limits %+v differ from run limits %+v (eviction decisions would diverge)",
+			errResumePreconditon, ck.Limits, sup.opt.Limits)
+	}
+	if sup.opt.TraceID != "" && ck.TraceID != "" && sup.opt.TraceID != ck.TraceID {
+		return 0, fmt.Errorf("%w: input fingerprint %q does not match the checkpoint's %q",
+			errResumePreconditon, sup.opt.TraceID, ck.TraceID)
+	}
+	for i, s := range sup.shards {
+		sc := ck.Shards[i]
+		s.col.Transactions = sc.Transactions
+		s.col.Flows = sc.TLSFlows
+		if sc.Analyzer != nil {
+			an, err := analyzer.Restore(s.col, lim, sc.Analyzer)
+			if err != nil {
+				return 0, fmt.Errorf("%w: shard %d: %v", ErrCheckpointCorrupt, i, err)
+			}
+			s.an = an
+		}
+		s.packets.Store(sc.Packets)
+		s.restarts.Store(int64(sc.Restarts))
+		s.lostFlows.Store(int64(sc.LostFlows))
+		s.retiredStats = sc.RetiredStats
+		s.retiredTable = sc.RetiredTable
+	}
+	// Fast-forward the input. A raw trace reader repositions by byte offset
+	// and restores its decode state; any other deterministic source replays
+	// and discards the consumed prefix (identical by determinism).
+	if r, ok := src.(*wire.Reader); ok && ck.Reader != nil {
+		if err := r.Resume(*ck.Reader); err != nil {
+			return 0, fmt.Errorf("runz: resume: %w", err)
+		}
+	} else {
+		for i := int64(0); i < ck.PacketsRouted; i++ {
+			if _, err := src.Read(); err != nil {
+				return 0, fmt.Errorf("runz: resume: source ended after %d of %d skipped packets: %w", i, ck.PacketsRouted, err)
+			}
+		}
+	}
+	sup.routed.Store(ck.PacketsRouted)
+	sup.seq = ck.Seq
+	sup.event(fmt.Sprintf("resumed from checkpoint seq %d at packet %d", ck.Seq, ck.PacketsRouted))
+	return ck.PacketsRouted, nil
+}

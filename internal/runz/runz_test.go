@@ -1,0 +1,489 @@
+package runz_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/pipeline"
+	"adscape/internal/runz"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// genTrace synthesizes conns interleaved HTTP/TLS connections in capture-time
+// order; identical (conns, seed) always yields an identical packet stream.
+func genTrace(tb testing.TB, conns int, seed int64) []*wire.Packet {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pkts []*wire.Packet
+	out := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	for c := 0; c < conns; c++ {
+		clientIP := 0x0A000001 + uint32(rng.Intn(16))
+		serverIP := 0x0B000001 + uint32(rng.Intn(24))
+		em := wire.NewConnEmitter(out, clientIP, uint16(9000+c), serverIP, 80, int64(1+rng.Intn(50))*1e6, rng.Uint32())
+		start := int64(1+rng.Intn(600)) * 1e9
+		est, err := em.Open(start)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if rng.Float64() < 0.2 {
+			if err := em.OpaquePayload(est, int64(300+rng.Intn(1000)), int64(2000+rng.Intn(20000))); err != nil {
+				tb.Fatal(err)
+			}
+			if err := em.Close(est + 3e9); err != nil {
+				tb.Fatal(err)
+			}
+			continue
+		}
+		n := 1 + rng.Intn(4)
+		for q := 0; q < n; q++ {
+			reqT := est + int64(q)*80e6
+			hdr := fmt.Sprintf("GET /o%d-%d HTTP/1.1\r\nHost: h%d.example\r\nUser-Agent: UA/%d\r\n\r\n",
+				c, q, rng.Intn(20), int(clientIP)%4)
+			if err := em.Request(reqT, []byte(hdr)); err != nil {
+				tb.Fatal(err)
+			}
+			clen := 100 + rng.Intn(9000)
+			resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", clen)
+			if err := em.Response(reqT+30e6, []byte(resp), int64(clen)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if err := em.Close(est + int64(n)*80e6 + 2e9); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+	return pkts
+}
+
+// sameRunResults asserts two runs produced byte-identical merged output.
+func sameRunResults(t *testing.T, label string, got, want *runz.Result) {
+	t.Helper()
+	if got.Stats != want.Stats {
+		t.Errorf("%s: stats differ: got %+v want %+v", label, got.Stats, want.Stats)
+	}
+	if got.Table != want.Table {
+		t.Errorf("%s: table stats differ: got %+v want %+v", label, got.Table, want.Table)
+	}
+	if len(got.Transactions) != len(want.Transactions) {
+		t.Fatalf("%s: %d transactions, want %d", label, len(got.Transactions), len(want.Transactions))
+	}
+	for i := range got.Transactions {
+		if !reflect.DeepEqual(*got.Transactions[i], *want.Transactions[i]) {
+			t.Fatalf("%s: transaction %d differs:\n got %+v\nwant %+v", label, i, *got.Transactions[i], *want.Transactions[i])
+		}
+	}
+	if len(got.TLSFlows) != len(want.TLSFlows) {
+		t.Fatalf("%s: %d TLS flows, want %d", label, len(got.TLSFlows), len(want.TLSFlows))
+	}
+	for i := range got.TLSFlows {
+		if !reflect.DeepEqual(*got.TLSFlows[i], *want.TLSFlows[i]) {
+			t.Fatalf("%s: TLS flow %d differs", label, i)
+		}
+	}
+}
+
+// TestRunMatchesPipeline: without any supervision knobs, the supervised
+// engine is a drop-in for pipeline.Analyze — identical merged output.
+func TestRunMatchesPipeline(t *testing.T) {
+	pkts := genTrace(t, 50, 11)
+	pres, err := pipeline.Analyze(pipeline.NewSliceSource(pkts), pipeline.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != runz.OutcomeCompleted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	sameRunResults(t, "runz vs pipeline", res,
+		&runz.Result{Stats: pres.Stats, Table: pres.Table, Transactions: pres.Transactions, TLSFlows: pres.TLSFlows})
+}
+
+// TestCheckpointResumeAfterCrash is the tentpole acceptance test: kill a run
+// dead at a checkpoint boundary, resume from the file, and require
+// byte-identical merged records and stats to an uninterrupted run at the
+// same worker count.
+func TestCheckpointResumeAfterCrash(t *testing.T) {
+	pkts := genTrace(t, 60, 7)
+	ref, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "run.ckpt")
+
+	crashed, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 4, CheckpointPath: ckPath, CheckpointEvery: 150, CrashAfterCheckpoints: 2,
+	})
+	if !errors.Is(err, runz.ErrSimulatedCrash) {
+		t.Fatalf("crash run error = %v", err)
+	}
+	if crashed.Outcome != runz.OutcomeCrashed || crashed.Checkpoints != 2 {
+		t.Fatalf("crash run: outcome=%v checkpoints=%d", crashed.Outcome, crashed.Checkpoints)
+	}
+
+	ck, err := runz.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.PacketsRouted != 300 || ck.Interrupted || ck.Complete {
+		t.Fatalf("checkpoint: routed=%d interrupted=%v complete=%v", ck.PacketsRouted, ck.Interrupted, ck.Complete)
+	}
+	res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 4, CheckpointPath: ckPath, CheckpointEvery: 150, Resume: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != runz.OutcomeCompleted || res.ResumedPackets != 300 {
+		t.Fatalf("resumed run: outcome=%v resumed=%d", res.Outcome, res.ResumedPackets)
+	}
+	sameRunResults(t, "crash+resume vs uninterrupted", res, ref)
+
+	final, err := runz.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Complete || final.Interrupted {
+		t.Errorf("final checkpoint: complete=%v interrupted=%v", final.Complete, final.Interrupted)
+	}
+}
+
+// TestCheckpointResumeAfterReadError: a mid-stream hard truncation (crashed
+// capture) ends the run with a final checkpoint; resuming against the intact
+// input reproduces the uninterrupted run exactly, including across a
+// fault-injected (deterministically dropped) stream.
+func TestCheckpointResumeAfterReadError(t *testing.T) {
+	pkts := genTrace(t, 50, 23)
+	fopt := wire.FaultOptions{Seed: 3, DropRate: 0.05}
+	ref, err := runz.Run(wire.NewFaultReader(pipeline.NewSliceSource(pkts), fopt), runz.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "run.ckpt")
+
+	cutOpt := fopt
+	cutOpt.CutAfter = 400
+	cut, err := runz.Run(wire.NewFaultReader(pipeline.NewSliceSource(pkts), cutOpt), runz.Options{
+		Workers: 3, CheckpointPath: ckPath, CheckpointEvery: 100,
+	})
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("cut run error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if cut.Outcome != runz.OutcomeReadError {
+		t.Fatalf("cut run outcome = %v", cut.Outcome)
+	}
+
+	ck, err := runz.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Interrupted || ck.Complete || ck.PacketsRouted != 400 {
+		t.Fatalf("final checkpoint: interrupted=%v complete=%v routed=%d", ck.Interrupted, ck.Complete, ck.PacketsRouted)
+	}
+	// Resume against the intact stream: the fresh fault reader replays the
+	// same deterministic fault decisions, and runz skips the consumed prefix
+	// by re-reading (the source is not a raw trace reader).
+	res, err := runz.Run(wire.NewFaultReader(pipeline.NewSliceSource(pkts), fopt), runz.Options{
+		Workers: 3, Resume: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRunResults(t, "cut+resume vs uninterrupted", res, ref)
+}
+
+// stopAfter closes stop once n packets have been read, modelling a signal
+// arriving at a deterministic point mid-run.
+type stopAfter struct {
+	src   wire.PacketSource
+	n     int
+	count int
+	stop  chan struct{}
+	once  sync.Once
+}
+
+func (s *stopAfter) Read() (*wire.Packet, error) {
+	if s.count >= s.n {
+		s.once.Do(func() { close(s.stop) })
+	}
+	s.count++
+	return s.src.Read()
+}
+
+// TestGracefulStop: a stop signal drains in-flight flows, writes a final
+// interrupted checkpoint, and returns partial results; resuming from that
+// checkpoint completes to the uninterrupted run's exact output.
+func TestGracefulStop(t *testing.T) {
+	pkts := genTrace(t, 60, 41)
+	ref, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "run.ckpt")
+	stop := make(chan struct{})
+	src := &stopAfter{src: pipeline.NewSliceSource(pkts), n: len(pkts) / 2, stop: stop}
+	res, err := runz.Run(src, runz.Options{Workers: 3, CheckpointPath: ckPath, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != runz.OutcomeStopped {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.Stats.Packets == 0 || res.Stats.Packets >= ref.Stats.Packets {
+		t.Fatalf("partial run processed %d packets, reference %d", res.Stats.Packets, ref.Stats.Packets)
+	}
+	if len(res.Transactions) == 0 {
+		t.Error("graceful stop must still emit the partial records")
+	}
+
+	ck, err := runz.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Interrupted || ck.Complete || ck.Cause == "" {
+		t.Fatalf("stop checkpoint: interrupted=%v complete=%v cause=%q", ck.Interrupted, ck.Complete, ck.Cause)
+	}
+	resumed, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 3, Resume: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRunResults(t, "stop+resume vs uninterrupted", resumed, ref)
+}
+
+// blockSink wedges a shard: the first HTTP record blocks until the test
+// releases it.
+type blockSink struct{ gate chan struct{} }
+
+func (s *blockSink) HTTP(*weblog.Transaction) { <-s.gate }
+func (s *blockSink) TLS(*weblog.TLSFlow)      {}
+
+// TestWatchdogWedgedShard: a shard stuck mid-batch is detected within the
+// stall timeout, named in the result, and the run returns instead of
+// deadlocking.
+func TestWatchdogWedgedShard(t *testing.T) {
+	pkts := genTrace(t, 40, 5)
+	gate := make(chan struct{})
+	defer close(gate) // release the wedged goroutine after the test
+	start := time.Now()
+	res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 2,
+		// Small batches and a shallow queue so the router visibly blocks on
+		// the wedged shard instead of finishing the tiny trace first.
+		BatchSize:    4,
+		QueueDepth:   1,
+		NewSink:      func(int) analyzer.Sink { return &blockSink{gate: gate} },
+		StallTimeout: 100 * time.Millisecond,
+		DrainTimeout: 300 * time.Millisecond,
+	})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("watchdog took %v to abort", elapsed)
+	}
+	if res.Outcome != runz.OutcomeStalled {
+		t.Fatalf("outcome = %v, err = %v", res.Outcome, err)
+	}
+	if !errors.Is(err, runz.ErrStalled) {
+		t.Errorf("error %v does not wrap ErrStalled", err)
+	}
+	if len(res.Stalled) == 0 {
+		t.Fatal("no wedged stage reported")
+	}
+	wedged := false
+	for _, s := range res.Shards {
+		wedged = wedged || s.Wedged
+	}
+	if !wedged {
+		t.Errorf("no shard marked wedged: %+v", res.Shards)
+	}
+}
+
+// slowSource paces reads so a short deadline reliably fires mid-run.
+type slowSource struct {
+	src   wire.PacketSource
+	delay time.Duration
+}
+
+func (s *slowSource) Read() (*wire.Packet, error) {
+	time.Sleep(s.delay)
+	return s.src.Read()
+}
+
+// TestWatchdogDeadline: the hard wall-clock cap aborts through the drain
+// path, returning the partial results analyzed so far.
+func TestWatchdogDeadline(t *testing.T) {
+	pkts := genTrace(t, 40, 5)
+	res, err := runz.Run(&slowSource{src: pipeline.NewSliceSource(pkts), delay: 2 * time.Millisecond}, runz.Options{
+		Workers:      2,
+		Deadline:     100 * time.Millisecond,
+		DrainTimeout: 2 * time.Second,
+	})
+	if res.Outcome != runz.OutcomeDeadline {
+		t.Fatalf("outcome = %v, err = %v", res.Outcome, err)
+	}
+	if !errors.Is(err, runz.ErrDeadlineExceeded) {
+		t.Errorf("error %v does not wrap ErrDeadlineExceeded", err)
+	}
+	if res.PacketsRouted == 0 || res.PacketsRouted >= int64(len(pkts)) {
+		t.Errorf("routed %d of %d packets; deadline should land mid-run", res.PacketsRouted, len(pkts))
+	}
+}
+
+// panicSink panics on the nth HTTP record it sees, once.
+type panicSink struct {
+	n     int64
+	count atomic.Int64
+}
+
+func (s *panicSink) HTTP(*weblog.Transaction) {
+	if s.count.Add(1) == s.n {
+		panic("sink exploded")
+	}
+}
+func (s *panicSink) TLS(*weblog.TLSFlow) {}
+
+// TestShardPanicRestart: within budget, a panicked shard restarts with fresh
+// state and the run completes, counting the damage; past budget the shard
+// stays dead and the run reports its error without deadlocking.
+func TestShardPanicRestart(t *testing.T) {
+	pkts := genTrace(t, 50, 19)
+	sink := &panicSink{n: 5}
+	res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers:       2,
+		NewSink:       func(int) analyzer.Sink { return sink },
+		RestartBudget: 2,
+	})
+	if err != nil {
+		t.Fatalf("run with budget failed: %v", err)
+	}
+	if res.Outcome != runz.OutcomeCompleted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", res.Restarts)
+	}
+	if res.LostFlows == 0 {
+		t.Error("a restart mid-stream must count its live flows as lost")
+	}
+
+	sink = &panicSink{n: 5}
+	res, err = runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 2,
+		NewSink: func(int) analyzer.Sink { return sink },
+	})
+	if err == nil {
+		t.Fatal("budget 0: shard panic must surface as an error")
+	}
+	if res.Outcome != runz.OutcomeCompleted {
+		t.Fatalf("budget 0: outcome = %v (the run itself still drains)", res.Outcome)
+	}
+	dead := false
+	for _, s := range res.Shards {
+		dead = dead || s.Err != nil
+	}
+	if !dead {
+		t.Error("no shard reported dead")
+	}
+}
+
+// TestCheckpointCorruption: every structural violation of the checkpoint
+// file is detected, never decoded into silently wrong state.
+func TestCheckpointCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck")
+	ck := &runz.Checkpoint{Version: 1, Workers: 1, PacketsRouted: 42,
+		Shards: []runz.ShardCheckpoint{{Packets: 42}}}
+	if err := runz.SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	back, err := runz.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PacketsRouted != 42 || back.Workers != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"bit flip in payload": append(append([]byte{}, data[:len(data)-3]...), data[len(data)-3]^0x40, data[len(data)-2], data[len(data)-1]),
+		"truncated":           data[:len(data)-5],
+		"bad magic":           append([]byte("NOTACKPT"), data[8:]...),
+		"short header":        data[:10],
+	}
+	for name, corrupt := range cases {
+		p := filepath.Join(dir, "bad")
+		if err := os.WriteFile(p, corrupt, 0644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runz.LoadCheckpoint(p); !errors.Is(err, runz.ErrCheckpointCorrupt) {
+			t.Errorf("%s: error = %v, want ErrCheckpointCorrupt", name, err)
+		}
+	}
+}
+
+// TestResumePreconditions: resume refuses configurations that would silently
+// produce different results than the checkpointed run.
+func TestResumePreconditions(t *testing.T) {
+	pkts := genTrace(t, 5, 1)
+	mkCk := func() *runz.Checkpoint {
+		return &runz.Checkpoint{Version: 1, Workers: 2, TraceID: "a",
+			Shards: make([]runz.ShardCheckpoint, 2)}
+	}
+
+	if _, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 3, Resume: mkCk()}); err == nil {
+		t.Error("worker-count mismatch must fail")
+	}
+	lim := analyzer.Limits{MaxPending: 7}
+	if _, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 2, Limits: lim, Resume: mkCk()}); err == nil {
+		t.Error("limits mismatch must fail")
+	}
+	if _, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 2, TraceID: "b", Resume: mkCk()}); err == nil {
+		t.Error("trace fingerprint mismatch must fail")
+	}
+	ck := mkCk()
+	ck.Shards = ck.Shards[:1]
+	if _, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 2, Resume: ck}); err == nil {
+		t.Error("shard-count mismatch must fail")
+	}
+	if _, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 2, CheckpointPath: filepath.Join(t.TempDir(), "ck"),
+		NewSink: func(int) analyzer.Sink { return &analyzer.Collector{} },
+	}); err == nil {
+		t.Error("custom sinks with checkpointing must fail")
+	}
+}
+
+// TestRunWorkerCountInvariance: the supervised engine inherits the engine's
+// determinism — identical output at any worker count, with or without a
+// checkpoint cycle in the middle.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	pkts := genTrace(t, 40, 77)
+	ref, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 5} {
+		res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRunResults(t, fmt.Sprintf("workers=%d", w), res, ref)
+	}
+}

@@ -1,0 +1,107 @@
+package runz
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// watch is the stall watchdog and deadline enforcer. It samples the router's
+// and every shard's heartbeat atomics on a coarse tick; a stage that holds
+// work but has not beaten within StallTimeout is declared wedged, and the run
+// aborts through the drain path with the wedged stage named in
+// Result.Stalled — a supervised run reports where it died instead of hanging.
+func (sup *supervisor) watch() {
+	stall := sup.opt.StallTimeout
+	deadline := sup.opt.Deadline
+	start := time.Now()
+
+	tick := time.Second
+	clamp := func(d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		if d < tick {
+			tick = d
+		}
+	}
+	clamp(stall / 4)
+	clamp(deadline / 4)
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+
+	for {
+		select {
+		case <-sup.stopWatch:
+			return
+		case <-t.C:
+		}
+		if deadline > 0 && time.Since(start) > deadline {
+			sup.trigger(OutcomeDeadline, fmt.Sprintf("hard deadline %s exceeded", deadline))
+			return
+		}
+		if stall > 0 {
+			if msg := sup.detectStall(stall); msg != "" {
+				sup.trigger(OutcomeStalled, msg)
+				return
+			}
+		}
+	}
+}
+
+// detectStall attributes a stall to the stage that is actually wedged. A
+// shard is wedged when its heartbeat is stale while it holds work (mid-batch
+// or with batches queued); an idle shard with an empty queue is just idle.
+// The router is wedged when its heartbeat is stale while reading (the input
+// source stopped producing) or while handing a batch to a shard that is not
+// itself making progress.
+func (sup *supervisor) detectStall(d time.Duration) string {
+	now := time.Now().UnixNano()
+	limit := d.Nanoseconds()
+	var wedged []string
+	for _, s := range sup.shards {
+		if s.done.Load() {
+			continue
+		}
+		if now-s.beat.Load() > limit && (s.busy.Load() || len(s.ch) > 0) {
+			wedged = append(wedged, fmt.Sprintf(
+				"shard %d wedged: no progress in %s (mid-batch=%v, %d batches queued)",
+				s.id, d, s.busy.Load(), len(s.ch)))
+		}
+	}
+	if len(wedged) == 0 && now-sup.routerBeat.Load() > limit {
+		switch sup.routerState.Load() {
+		case stateReading:
+			wedged = append(wedged, fmt.Sprintf(
+				"input wedged: no packet from the source in %s", d))
+		case stateSending, stateBarrier:
+			// The router is blocked handing work to a shard whose own
+			// heartbeat looked fresh above — attribute to that shard anyway:
+			// it is accepting nothing.
+			wedged = append(wedged, fmt.Sprintf(
+				"shard %d wedged: router blocked handing it work for %s",
+				sup.routerTarget.Load(), d))
+		}
+	}
+	if len(wedged) == 0 {
+		return ""
+	}
+	sup.mu.Lock()
+	sup.stalled = append(sup.stalled, wedged...)
+	sup.mu.Unlock()
+	return strings.Join(wedged, "; ")
+}
+
+// trigger aborts the run with the given outcome; the first outcome recorded
+// (abort or clean exit) wins, so a late watchdog firing cannot relabel a run
+// that already completed.
+func (sup *supervisor) trigger(o Outcome, cause string) {
+	if !sup.setOutcome(o, cause) {
+		return
+	}
+	sup.event("aborting: " + cause)
+	close(sup.abort)
+}

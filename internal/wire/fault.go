@@ -33,6 +33,12 @@ type FaultOptions struct {
 	// SkipFirst discards this many packets before delivering anything,
 	// modelling a capture that starts mid-stream.
 	SkipFirst int
+	// CutAfter hard-truncates the stream mid-run: after exactly this many
+	// packets have been delivered, Read returns io.ErrUnexpectedEOF forever
+	// — a crash of the capture process, not a clean end of trace. 0 means
+	// no cut. Kill-and-resume tests use it to kill a run at a deterministic
+	// packet position.
+	CutAfter int
 }
 
 // FaultStats counts the faults a FaultReader actually injected.
@@ -43,7 +49,8 @@ type FaultStats struct {
 	Reordered  int
 	Corrupted  int
 	Truncated  int
-	Skipped    int // mid-stream start records discarded
+	Skipped    int  // mid-stream start records discarded
+	Cut        bool // the CutAfter hard truncation fired
 }
 
 // FaultReader wraps a packet source and deterministically injects capture
@@ -82,6 +89,10 @@ func (fr *FaultReader) Stats() FaultStats { return fr.stats }
 // and all held packets are exhausted.
 func (fr *FaultReader) Read() (*Packet, error) {
 	for {
+		if fr.opt.CutAfter > 0 && fr.stats.Delivered >= fr.opt.CutAfter {
+			fr.stats.Cut = true
+			return nil, io.ErrUnexpectedEOF
+		}
 		if len(fr.queue) > 0 {
 			p := fr.queue[0]
 			fr.queue = fr.queue[1:]

@@ -162,3 +162,43 @@ func TestFaultReaderRates(t *testing.T) {
 		}
 	})
 }
+
+// TestFaultReaderCutAfter pins the hard mid-stream truncation: exactly
+// CutAfter packets are delivered, then every Read fails with
+// io.ErrUnexpectedEOF (a crashed capture, not a clean end of trace), and the
+// delivered prefix is identical to the uncut stream — the property
+// kill-and-resume tests rely on to kill a run at a known packet position.
+func TestFaultReaderCutAfter(t *testing.T) {
+	src := faultFixture()
+	const cut = 17
+
+	uncut := NewFaultReader(&sliceSource{pkts: src}, FaultOptions{Seed: 9, DropRate: 0.1, ReorderRate: 0.1})
+	want := drainFaults(t, uncut)
+
+	fr := NewFaultReader(&sliceSource{pkts: src}, FaultOptions{Seed: 9, DropRate: 0.1, ReorderRate: 0.1, CutAfter: cut})
+	var got []*Packet
+	for {
+		p, err := fr.Read()
+		if err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	if len(got) != cut {
+		t.Fatalf("delivered %d packets before the cut, want %d", len(got), cut)
+	}
+	for i := range got {
+		if packetKey(got[i]) != packetKey(want[i]) {
+			t.Fatalf("packet %d differs from the uncut stream", i)
+		}
+	}
+	if !fr.Stats().Cut {
+		t.Error("Cut not recorded in stats")
+	}
+	if _, err := fr.Read(); err != io.ErrUnexpectedEOF {
+		t.Errorf("reads after the cut must keep failing, got %v", err)
+	}
+}

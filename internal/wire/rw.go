@@ -154,6 +154,11 @@ type Reader struct {
 	stats    ReaderStats
 	lastTime int64
 	haveTime bool
+	// off is the byte offset into the underlying stream of the next
+	// unconsumed byte (header included), maintained across strict reads,
+	// lenient reads, resync scans, and tail discards. Checkpoint/resume
+	// uses it to reposition a fresh Reader over the same file.
+	off int64
 }
 
 // NewReader validates the trace header and returns a strict (fail-fast)
@@ -179,11 +184,67 @@ func NewReaderOptions(r io.Reader, opt ReaderOptions) (*Reader, error) {
 	if opt.MaxSkipBytes == 0 {
 		opt.MaxSkipBytes = defaultMaxSkipBytes
 	}
-	return &Reader{r: br, opt: opt}, nil
+	return &Reader{r: br, opt: opt, off: int64(len(magic))}, nil
 }
 
 // Stats returns what the reader decoded and skipped so far.
 func (tr *Reader) Stats() ReaderStats { return tr.stats }
+
+// Offset returns the byte offset of the next unconsumed byte in the
+// underlying stream, counting the 8-byte header. It advances on every decoded
+// record, every resync discard, and the truncated tail.
+func (tr *Reader) Offset() int64 { return tr.off }
+
+// ReaderState is the resumable position of a Reader: the byte offset plus the
+// decode state that influences later reads (the lenient plausibility window
+// keys off the last good timestamp) and the accumulated stats. Capture it
+// with State at a quiescent point and hand it to a fresh Reader over the same
+// stream via Resume.
+type ReaderState struct {
+	// Offset is the byte position of the next unconsumed byte.
+	Offset int64
+	// LastTime/HaveTime restore the lenient plausibility window.
+	LastTime int64
+	HaveTime bool
+	// Stats restores the degradation counters, so a resumed run reports the
+	// same totals an uninterrupted one would.
+	Stats ReaderStats
+}
+
+// State captures the reader's resumable position.
+func (tr *Reader) State() ReaderState {
+	return ReaderState{Offset: tr.off, LastTime: tr.lastTime, HaveTime: tr.haveTime, Stats: tr.stats}
+}
+
+// Resume fast-forwards a freshly constructed Reader to a previously captured
+// State: bytes up to st.Offset are discarded and the decode state and stats
+// are restored, after which Read continues exactly as the original reader
+// would have. The reader must not have consumed any records yet, and the
+// underlying stream must be the same bytes the state was captured from.
+func (tr *Reader) Resume(st ReaderState) error {
+	if tr.n != 0 || tr.off != int64(len(magic)) {
+		return errors.New("wire: Resume on a reader that already consumed records")
+	}
+	if st.Offset < tr.off {
+		return fmt.Errorf("wire: resume offset %d precedes the trace header", st.Offset)
+	}
+	for skip := st.Offset - tr.off; skip > 0; {
+		chunk := skip
+		if chunk > 1<<30 {
+			chunk = 1 << 30
+		}
+		n, err := tr.r.Discard(int(chunk))
+		tr.off += int64(n)
+		if err != nil {
+			return fmt.Errorf("wire: resume seek to %d: %w", st.Offset, err)
+		}
+		skip -= int64(n)
+	}
+	tr.stats = st.Stats
+	tr.lastTime, tr.haveTime = st.LastTime, st.HaveTime
+	tr.n = st.Stats.Records
+	return nil
+}
 
 // Read returns the next packet, or io.EOF at end of trace. In lenient mode a
 // malformed record triggers a forward scan to the next plausible record
@@ -203,6 +264,7 @@ func (tr *Reader) readStrict() (*Packet, error) {
 		}
 		return nil, fmt.Errorf("wire: record %d: %w", tr.n, err)
 	}
+	tr.off += int64(recordFixed)
 	p := decodeFixed(buf[:])
 	capLen := binary.BigEndian.Uint16(buf[29:])
 	if capLen > SnapLen {
@@ -213,7 +275,9 @@ func (tr *Reader) readStrict() (*Packet, error) {
 	}
 	if capLen > 0 {
 		p.Payload = make([]byte, capLen)
-		if _, err := io.ReadFull(tr.r, p.Payload); err != nil {
+		n, err := io.ReadFull(tr.r, p.Payload)
+		tr.off += int64(n)
+		if err != nil {
 			return nil, fmt.Errorf("wire: record %d payload: %w", tr.n, err)
 		}
 	}
@@ -245,6 +309,7 @@ func (tr *Reader) readLenient() (*Packet, error) {
 			copy(p.Payload, full[recordFixed:])
 		}
 		tr.r.Discard(recordFixed + capLen)
+		tr.off += int64(recordFixed + capLen)
 		tr.n++
 		tr.stats.Records++
 		tr.lastTime, tr.haveTime = p.Time, true
@@ -260,6 +325,7 @@ func (tr *Reader) finishTail(avail int, err error) error {
 			tr.stats.SkippedBytes += int64(avail)
 			tr.stats.TruncatedTail = true
 			tr.r.Discard(avail)
+			tr.off += int64(avail)
 		}
 		return io.EOF
 	}
@@ -282,6 +348,7 @@ func (tr *Reader) resync() error {
 		if _, err := tr.r.Discard(1); err != nil {
 			return tr.finishTail(0, err)
 		}
+		tr.off++
 		tr.stats.SkippedBytes++
 		hdr, err := tr.r.Peek(recordFixed)
 		if err != nil {

@@ -1,0 +1,149 @@
+package wire
+
+// Snapshot support: a FlowTable's complete mutable state — live flows in
+// recency order, per-direction reassembly buffers, eviction clock, and
+// degradation counters — can be captured into plain exported structs and
+// rebuilt later into an equivalent table. A restored table continues exactly
+// where the snapshot was taken: feeding both the original and the restored
+// table the same remaining packets produces identical handler events and
+// stats. This is the substrate checkpoint/resume (internal/runz) builds on.
+//
+// All snapshot types hold only exported scalar/slice fields so encoding/gob
+// can serialize them without custom marshalers.
+
+// SegmentSnapshot is one pending (out-of-order) reassembly segment.
+type SegmentSnapshot struct {
+	Seq     uint32
+	Time    int64
+	Payload []byte
+	WireLen uint32
+}
+
+// ReassemblerSnapshot is one direction's reassembly state.
+type ReassemblerSnapshot struct {
+	Next    uint32
+	Started bool
+	Pending []SegmentSnapshot
+}
+
+// FlowSnapshot is one live flow's state, including whether FlowEstablished
+// has fired (so restore does not fire it again).
+type FlowSnapshot struct {
+	ClientIP, ServerIP     uint32
+	ClientPort, ServerPort uint16
+	SYNTime, SYNACKTime    int64
+	FirstTime, LastTime    int64
+	WireBytes              [2]uint64
+	Packets                [2]int
+	Established            bool
+	Reasm                  [2]ReassemblerSnapshot
+}
+
+// TableSnapshot is a FlowTable's complete mutable state. Flows are ordered by
+// recency (least recently active first), preserving LRU eviction order.
+type TableSnapshot struct {
+	Stats     TableStats
+	Clock     int64
+	StaleRun  int
+	StaleHigh int64
+	Flows     []FlowSnapshot
+}
+
+// Snapshot captures the table's state. The returned flow pointers parallel
+// Snapshot.Flows (same order), letting callers that key private state by
+// *Flow — the analyzer's per-connection parser does — translate pointers to
+// snapshot indices. The snapshot deep-copies all buffered payload, so the
+// table may keep running while the snapshot is serialized.
+func (ft *FlowTable) Snapshot() (*TableSnapshot, []*Flow) {
+	snap := &TableSnapshot{
+		Stats:     ft.stats,
+		Clock:     ft.clock,
+		StaleRun:  ft.staleRun,
+		StaleHigh: ft.staleHigh,
+	}
+	var flows []*Flow
+	for e := ft.recency.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*Flow)
+		fs := FlowSnapshot{
+			ClientIP: f.ClientIP, ServerIP: f.ServerIP,
+			ClientPort: f.ClientPort, ServerPort: f.ServerPort,
+			SYNTime: f.SYNTime, SYNACKTime: f.SYNACKTime,
+			FirstTime: f.FirstTime, LastTime: f.LastTime,
+			WireBytes:   f.WireBytes,
+			Packets:     f.Packets,
+			Established: ft.established[f],
+		}
+		for d := 0; d < 2; d++ {
+			fs.Reasm[d] = snapshotReassembler(f.reasm[d])
+		}
+		snap.Flows = append(snap.Flows, fs)
+		flows = append(flows, f)
+	}
+	return snap, flows
+}
+
+func snapshotReassembler(r *reassembler) ReassemblerSnapshot {
+	rs := ReassemblerSnapshot{Next: r.next, Started: r.started}
+	for _, s := range r.pending {
+		rs.Pending = append(rs.Pending, SegmentSnapshot{
+			Seq:     s.seq,
+			Time:    s.time,
+			Payload: append([]byte(nil), s.payload...),
+			WireLen: s.wireLen,
+		})
+	}
+	return rs
+}
+
+// RestoreFlowTable rebuilds a table from a snapshot, bounded by lim and
+// delivering future events to handler. No handler callbacks fire during
+// restore — flows marked Established in the snapshot already announced
+// themselves before the snapshot was taken; the caller is responsible for
+// restoring whatever per-flow state it keeps, using the returned flow
+// pointers, which parallel snap.Flows.
+func RestoreFlowTable(handler FlowHandler, lim Limits, snap *TableSnapshot) (*FlowTable, []*Flow) {
+	ft := NewFlowTableLimits(handler, lim)
+	ft.stats = snap.Stats
+	ft.clock = snap.Clock
+	ft.staleRun = snap.StaleRun
+	ft.staleHigh = snap.StaleHigh
+	flows := make([]*Flow, 0, len(snap.Flows))
+	for _, fs := range snap.Flows {
+		f := &Flow{
+			ClientIP: fs.ClientIP, ServerIP: fs.ServerIP,
+			ClientPort: fs.ClientPort, ServerPort: fs.ServerPort,
+			SYNTime: fs.SYNTime, SYNACKTime: fs.SYNACKTime,
+			FirstTime: fs.FirstTime, LastTime: fs.LastTime,
+			WireBytes: fs.WireBytes,
+			Packets:   fs.Packets,
+		}
+		for d := 0; d < 2; d++ {
+			f.reasm[d] = restoreReassembler(ft, fs.Reasm[d])
+		}
+		key := f.tuple()
+		ft.flows[key] = f
+		ft.flows[key.Reverse()] = f
+		f.elem = ft.recency.PushBack(f)
+		if fs.Established {
+			ft.established[f] = true
+		}
+		flows = append(flows, f)
+	}
+	return ft, flows
+}
+
+func restoreReassembler(ft *FlowTable, rs ReassemblerSnapshot) *reassembler {
+	r := ft.newReassembler()
+	r.next = rs.Next
+	r.started = rs.Started
+	for _, s := range rs.Pending {
+		r.pending = append(r.pending, segment{
+			seq:     s.Seq,
+			time:    s.Time,
+			payload: append([]byte(nil), s.Payload...),
+			wireLen: s.WireLen,
+		})
+		r.pendingBytes += len(s.Payload)
+	}
+	return r
+}

@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+)
+
+// genInterleaved emits n HTTP connections with staggered lifetimes and
+// returns the packets in capture-time order, so a mid-stream split leaves
+// several flows open with reassembly state in flight.
+func genInterleaved(t *testing.T, n int) []*Packet {
+	t.Helper()
+	var pkts []*Packet
+	out := func(p *Packet) error { pkts = append(pkts, p); return nil }
+	for c := 0; c < n; c++ {
+		em := NewConnEmitter(out, 0x0A000001+uint32(c%4), uint16(6000+c), 0x0B000001+uint32(c%3), 80, 20e6, uint32(1000*c+7))
+		start := int64(c+1) * 1e9
+		est, err := em.Open(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 1+c%3; q++ {
+			reqT := est + int64(q)*100e6
+			hdr := fmt.Sprintf("GET /x%d-%d HTTP/1.1\r\nHost: h%d.example\r\n\r\n", c, q, c%5)
+			if err := em.Request(reqT, []byte(hdr)); err != nil {
+				t.Fatal(err)
+			}
+			if err := em.Response(reqT+40e6, []byte("HTTP/1.1 200 OK\r\nContent-Length: 64\r\n\r\n"), 64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := em.Close(start + int64(4+c%5)*1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+	return pkts
+}
+
+// TestFlowTableSnapshotRestoreContinuity is the invariant checkpointing
+// rests on: snapshot a table mid-stream, restore it, feed both the original
+// and the restored table the remaining packets — every event delivered and
+// every counter incremented after the split must be identical.
+func TestFlowTableSnapshotRestoreContinuity(t *testing.T) {
+	pkts := genInterleaved(t, 9)
+	split := len(pkts) / 2
+
+	h1 := newCollectingHandler()
+	ft1 := NewFlowTable(h1)
+	for _, p := range pkts[:split] {
+		ft1.Add(p)
+	}
+
+	snap, _ := ft1.Snapshot()
+	if ft1.NumActive() == 0 {
+		t.Fatal("bad fixture: no flows open at the split")
+	}
+	h2 := newCollectingHandler()
+	ft2, flows := RestoreFlowTable(h2, Limits{}, snap)
+	if len(flows) != len(snap.Flows) {
+		t.Fatalf("restore returned %d flows for %d snapshots", len(flows), len(snap.Flows))
+	}
+	if ft2.NumActive() != ft1.NumActive() {
+		t.Fatalf("restored NumActive = %d, original %d", ft2.NumActive(), ft1.NumActive())
+	}
+	if h2.established != 0 || h2.closed != 0 || len(h2.data) != 0 {
+		t.Fatal("restore must not fire handler callbacks")
+	}
+
+	// Mark where the original handler stood at the split.
+	estAt, closedAt, gapsAt := h1.established, h1.closed, h1.gaps
+	dataAt := map[Dir]int{}
+	for d, b := range h1.data {
+		dataAt[d] = len(b)
+	}
+
+	for _, p := range pkts[split:] {
+		ft1.Add(p)
+		ft2.Add(p)
+	}
+	ft1.Flush()
+	ft2.Flush()
+
+	if got, want := h2.established, h1.established-estAt; got != want {
+		t.Errorf("established after split: restored %d, original %d", got, want)
+	}
+	if got, want := h2.closed, h1.closed-closedAt; got != want {
+		t.Errorf("closed after split: restored %d, original %d", got, want)
+	}
+	if got, want := h2.gaps, h1.gaps-gapsAt; got != want {
+		t.Errorf("gaps after split: restored %d, original %d", got, want)
+	}
+	for d := range h1.data {
+		if !bytes.Equal(h2.data[d], h1.data[d][dataAt[d]:]) {
+			t.Errorf("dir %d: restored table delivered different bytes after the split", d)
+		}
+	}
+	if ft1.Stats() != ft2.Stats() {
+		t.Errorf("final stats diverged: original %+v restored %+v", ft1.Stats(), ft2.Stats())
+	}
+}
+
+// TestFlowTableSnapshotPreservesLRU pins the eviction order across a
+// snapshot: under a binding flow cap, the restored table must evict the same
+// flows the original would, so bounded runs stay deterministic across resume.
+func TestFlowTableSnapshotPreservesLRU(t *testing.T) {
+	pkts := genInterleaved(t, 8)
+	split := len(pkts) / 2
+	lim := Limits{MaxFlows: 3}
+
+	h1 := newCollectingHandler()
+	ft1 := NewFlowTableLimits(h1, lim)
+	for _, p := range pkts[:split] {
+		ft1.Add(p)
+	}
+	snap, _ := ft1.Snapshot()
+	h2 := newCollectingHandler()
+	ft2, _ := RestoreFlowTable(h2, lim, snap)
+
+	for _, p := range pkts[split:] {
+		ft1.Add(p)
+		ft2.Add(p)
+	}
+	ft1.Flush()
+	ft2.Flush()
+	if ft1.Stats() != ft2.Stats() {
+		t.Errorf("bounded stats diverged: original %+v restored %+v", ft1.Stats(), ft2.Stats())
+	}
+	if ft1.Stats().EvictedCap == snap.Stats.EvictedCap {
+		t.Fatalf("bad fixture: no cap evictions after the split (cap=%d)", lim.MaxFlows)
+	}
+}
+
+// TestReaderStateResume checks the checkpoint fast-skip path: a fresh reader
+// resumed from a mid-trace State must deliver exactly the remaining records
+// and end with the same cumulative stats, including across lenient resyncs.
+func TestReaderStateResume(t *testing.T) {
+	data, offsets := buildTrace(t, 40)
+	// Corrupt one record before and one after the split point so both the
+	// saved stats and the post-resume decode exercise the resync path.
+	data[offsets[5]+3] ^= 0xFF
+	data[offsets[30]+3] ^= 0xFF
+	opt := ReaderOptions{Lenient: true}
+
+	full, err := NewReaderOptions(bytes.NewReader(data), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullPkts []*Packet
+	for {
+		p, err := full.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullPkts = append(fullPkts, p)
+	}
+
+	const half = 15
+	r1, err := NewReaderOptions(bytes.NewReader(data), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < half; i++ {
+		if _, err := r1.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r1.State()
+	if st.Offset <= int64(len(magic)) {
+		t.Fatalf("offset %d did not advance past the header", st.Offset)
+	}
+
+	r2, err := NewReaderOptions(bytes.NewReader(data), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Resume(st); err != nil {
+		t.Fatal(err)
+	}
+	var rest []*Packet
+	for {
+		p, err := r2.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, p)
+	}
+	if len(rest) != len(fullPkts)-half {
+		t.Fatalf("resumed reader delivered %d records, want %d", len(rest), len(fullPkts)-half)
+	}
+	for i, p := range rest {
+		want := fullPkts[half+i]
+		if p.Time != want.Time || p.Seq != want.Seq || !bytes.Equal(p.Payload, want.Payload) {
+			t.Fatalf("record %d after resume differs: got %+v want %+v", i, p, want)
+		}
+	}
+	if r2.Stats() != full.Stats() {
+		t.Errorf("final stats diverged: resumed %+v full %+v", r2.Stats(), full.Stats())
+	}
+}
+
+func TestReaderResumeRejectsConsumedReader(t *testing.T) {
+	data, _ := buildTrace(t, 5)
+	r1, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r1.State()
+	if _, err := r1.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Resume(st); err == nil {
+		t.Error("Resume on a consumed reader must fail")
+	}
+	r2, _ := NewReader(bytes.NewReader(data))
+	if err := r2.Resume(ReaderState{Offset: 1}); err == nil {
+		t.Error("Resume to an offset inside the file header must fail")
+	}
+	r3, _ := NewReader(bytes.NewReader(data))
+	if err := r3.Resume(ReaderState{Offset: int64(len(data)) + 100}); err == nil {
+		t.Error("Resume past end of input must fail")
+	}
+}
