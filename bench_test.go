@@ -168,6 +168,39 @@ func BenchmarkMatcherLinear(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineClassify measures the full engine verdict path (blocking +
+// exception + acceptable-ads resolution across all lists) over a realistic
+// request mix. The cached/uncached pair isolates what the verdict cache buys
+// on a working set that fits in it: "uncached" is the steady-state match
+// cost through the shared MatchContext, "cached" is the LRU hit path.
+func BenchmarkEngineClassify(b *testing.B) {
+	bn, err := filterlists.NewBundle(filterlists.DefaultGenOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchRequests(4096)
+	for _, cfg := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"uncached", 0},
+		{"cached", abp.DefaultVerdictCacheEntries},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			engine := bn.ClassifierEngine()
+			engine.SetVerdictCacheSize(cfg.cacheSize)
+			for _, r := range reqs { // warm cache and context pool
+				engine.Classify(r)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.Classify(reqs[i%len(reqs)])
+			}
+		})
+	}
+}
+
 // BenchmarkParseEasyList measures filter-list parsing throughput.
 func BenchmarkParseEasyList(b *testing.B) {
 	opt := filterlists.DefaultGenOptions()

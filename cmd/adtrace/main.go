@@ -9,7 +9,14 @@
 //	        [-workers N] [-strict] [-max-flows N] [-idle-timeout 10m]
 //	        [-max-pending N] [-checkpoint file [-checkpoint-interval N]]
 //	        [-resume] [-deadline 4h] [-stall-timeout 1m]
-//	        [-restart-budget N] [-fail-degraded F]
+//	        [-restart-budget N] [-fail-degraded F] [-verdict-cache N]
+//	        [-cpuprofile file] [-memprofile file]
+//
+// Classification memoizes engine verdicts in a bounded LRU (-verdict-cache
+// entries, 0 disables); the hit ratio and classification throughput are
+// reported on stderr so stdout stays byte-identical across repeat and
+// resumed runs. -cpuprofile/-memprofile write pprof profiles of the whole
+// run (see README "Profiling").
 //
 // By default the trace is read leniently: corrupt records are skipped by
 // resynchronizing on the next plausible record boundary, and the flow table
@@ -53,9 +60,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
+	"adscape/internal/abp"
 	"adscape/internal/analyzer"
 	"adscape/internal/core"
 	"adscape/internal/dnssim"
@@ -91,6 +100,10 @@ func main() {
 		restartBug   = flag.Int("restart-budget", 2, "restarts allowed per panicked shard before it stays dead")
 		failDegraded = flag.Float64("fail-degraded", -1, "exit 3 when the degraded fraction (shed work / all work) exceeds this (-1 = off)")
 		crashAfter   = flag.Int("crash-after-checkpoints", 0, "testing: stop dead after N periodic checkpoints, exit 6")
+
+		verdictCache = flag.Int("verdict-cache", abp.DefaultVerdictCacheEntries, "engine verdict-cache entries (0 = disable memoization)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -102,6 +115,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Profiling covers the whole run (ingest + classification + inference).
+	// main exits via os.Exit, so the profiles are flushed explicitly before
+	// every completed-run exit path rather than by defer.
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 
 	wopt := webgen.DefaultOptions()
 	wopt.NumSites = *sites
@@ -174,6 +192,7 @@ func main() {
 	}
 	if res.Outcome == runz.OutcomeCrashed {
 		log.Printf("simulated crash after %d checkpoints at packet %d", res.Checkpoints, res.PacketsRouted)
+		stopProfiles()
 		os.Exit(6)
 	}
 	if err != nil && !errors.Is(err, runz.ErrStalled) && !errors.Is(err, runz.ErrDeadlineExceeded) {
@@ -200,7 +219,9 @@ func main() {
 	fmt.Printf("http wire bytes:    %d\n", stats.HTTPWireBytes)
 	printDegradation(r.Stats(), res)
 
-	cls := pipeline.Classify(core.NewPipeline(world.Bundle.ClassifierEngine()), res.Transactions, *workers)
+	engine := world.Bundle.ClassifierEngine()
+	engine.SetVerdictCacheSize(*verdictCache)
+	cls := pipeline.Classify(core.NewPipeline(engine), res.Transactions, *workers)
 	agg := cls.Stats
 	fmt.Printf("ad requests:        %d (%.2f%%)\n", agg.AdRequests, agg.AdRatio()*100)
 	fmt.Printf("ad bytes:           %d (%.2f%%)\n", agg.AdBytes, 100*float64(agg.AdBytes)/float64(max64(agg.Bytes, 1)))
@@ -209,6 +230,7 @@ func main() {
 	}
 	fmt.Printf("whitelisted (non-intrusive): %d, of which blacklisted: %d\n",
 		agg.Whitelisted, agg.WhitelistedAndBlacklisted)
+	printPerf(engine, cls, *verdictCache)
 
 	if *weblogOut != "" {
 		if err := dumpWeblog(*weblogOut, cls.Results); err != nil {
@@ -219,7 +241,63 @@ func main() {
 		printUsers(world, res.TLSFlows, cls, *threshold)
 	}
 
+	stopProfiles()
 	os.Exit(exitCode(res, r.Stats(), *failDegraded))
+}
+
+// printPerf reports classification throughput and verdict-cache
+// effectiveness. It writes to stderr (the log writer), not stdout: hit/miss
+// attribution and timing vary run to run when shards interleave over the
+// shared cache, and stdout must stay byte-identical for the resume and
+// determinism gates.
+func printPerf(engine *abp.Engine, cls *pipeline.ClassifyResult, cacheCap int) {
+	secs := cls.Elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	log.Printf("classification: %d tx in %v (%.0f tx/s, %d workers)",
+		cls.Stats.Requests, cls.Elapsed.Round(time.Millisecond), float64(cls.Stats.Requests)/secs, cls.Workers)
+	if cacheCap <= 0 {
+		log.Print("verdict cache: disabled")
+		return
+	}
+	cs := engine.VerdictCacheStats()
+	log.Printf("verdict cache: hits=%d misses=%d (%.1f%% hit ratio, %d entries, cap %d)",
+		cls.Perf.CacheHits, cls.Perf.CacheMisses, 100*cls.Perf.HitRatio(), cs.Size, cs.Cap)
+}
+
+// startProfiles arms -cpuprofile/-memprofile and returns the flush function
+// to call before exiting. Fatal on unwritable paths, like other flag errors.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatalf("creating -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting CPU profile: %v", err)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Printf("creating -memprofile: %v", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("writing heap profile: %v", err)
+			}
+			f.Close()
+		}
+	}
 }
 
 // exitCode maps the run outcome onto the documented exit-code contract.

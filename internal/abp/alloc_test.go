@@ -1,0 +1,98 @@
+package abp
+
+import (
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+// The allocation gates pin the zero-allocation contract of the match path:
+// a warm verdict-cache hit performs at most one allocation (in practice
+// zero), and a matcher probe over a prepared MatchContext performs none.
+// Regressions here silently multiply GC pressure by the trace size, so they
+// fail the build rather than a benchmark eyeball.
+
+func allocEngine(t *testing.T) *Engine {
+	t.Helper()
+	el, ep, aa := testLists(t)
+	return NewEngine(el, ep, aa)
+}
+
+func TestEngineClassifyCachedAllocs(t *testing.T) {
+	e := allocEngine(t)
+	reqs := []*Request{
+		{URL: "http://adserver.example/banner/x.gif", Class: urlutil.ClassImage, PageHost: "news.example"},
+		{URL: "http://tracker.example/pixel.gif", Class: urlutil.ClassImage, PageHost: "news.example"},
+		{URL: "http://clean.example/index.html", Class: urlutil.ClassDocument, PageHost: "clean.example"},
+		{URL: "http://adserver.example/acceptable/a.gif", Class: urlutil.ClassImage, PageHost: "news.example"},
+	}
+	for _, r := range reqs { // warm the cache
+		e.Classify(r)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, r := range reqs {
+			e.Classify(r)
+		}
+	})
+	if perCall := avg / float64(len(reqs)); perCall > 1 {
+		t.Errorf("cached Classify allocates %.2f objects per call, want <= 1", perCall)
+	}
+}
+
+func TestEngineClassifyUncachedSteadyStateAllocs(t *testing.T) {
+	e := allocEngine(t)
+	e.SetVerdictCacheSize(0) // force the full match path every call
+	req := &Request{URL: "http://adserver.example/banner/x.gif", Class: urlutil.ClassImage, PageHost: "news.example"}
+	e.Classify(req) // warm the context pool and the page-exception memo
+	avg := testing.AllocsPerRun(200, func() { e.Classify(req) })
+	// The uncached path may still allocate for mixed-case URLs (lowering)
+	// or pool churn, but on an all-lower-case URL it must be allocation
+	// free in steady state.
+	if avg != 0 {
+		t.Errorf("uncached Classify allocates %.2f objects per call on a lower-case URL, want 0", avg)
+	}
+}
+
+func TestMatcherProbeAllocs(t *testing.T) {
+	m := NewMatcher()
+	for _, line := range []string{
+		"||adserver.example^",
+		"/banner/",
+		"&ad_slot=",
+		"||tracker.example^$third-party,image",
+		"@@||adserver.example/acceptable/$image",
+		"@@||trusted.example^",
+	} {
+		f, err := Parse(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Add(f)
+	}
+	c := GetContext()
+	defer ReleaseContext(c)
+	c.Reset("http://adserver.example/banner/x.gif?ad_slot=3", urlutil.ClassImage, "news.example")
+	m.MatchCtx(c) // warm: memoizes the third-party bit in the context
+	avg := testing.AllocsPerRun(200, func() {
+		m.MatchBlockingCtx(c)
+		m.MatchExceptionCtx(c)
+	})
+	if avg != 0 {
+		t.Errorf("matcher probe on a warm context allocates %.2f objects, want 0", avg)
+	}
+}
+
+// TestContextResetAllocs pins the context build itself: on an all-lower-case
+// URL, Reset reuses the token slice and allocates nothing once warm.
+func TestContextResetAllocs(t *testing.T) {
+	c := GetContext()
+	defer ReleaseContext(c)
+	url := "http://adserver.example/banner/creative_00123.gif?uid=42"
+	c.Reset(url, urlutil.ClassImage, "news.example")
+	avg := testing.AllocsPerRun(200, func() {
+		c.Reset(url, urlutil.ClassImage, "news.example")
+	})
+	if avg != 0 {
+		t.Errorf("warm MatchContext.Reset allocates %.2f objects, want 0", avg)
+	}
+}

@@ -1,0 +1,218 @@
+package abp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"adscape/internal/urlutil"
+)
+
+// verdictKey is the verdict cache key. Classify is a pure function of these
+// three request fields (DESIGN.md §10 argues the soundness), so equal keys
+// always map to equal verdicts and the cache can never change a result.
+type verdictKey struct {
+	url      string
+	class    urlutil.ContentClass
+	pageHost string
+}
+
+// verdictCache is a bounded, sharded LRU of Classify results. Trace traffic
+// is highly repetitive — the same beacons, creatives, and scripts recur
+// across users and pages — so the engine consults the cache before building
+// a MatchContext at all. Shards keep lock hold times short when several
+// classification workers share one engine; hit/miss counters are atomics so
+// a hit costs one map lookup, two pointer splices, and no allocation.
+type verdictCache struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	shards []vcShard
+}
+
+// vcShards is the shard count; a small power of two so the shard pick is a
+// mask. 16 shards keep contention negligible at the worker counts the
+// pipeline uses (GOMAXPROCS).
+const vcShards = 16
+
+type vcShard struct {
+	mu   sync.Mutex
+	m    map[verdictKey]*vcEntry
+	cap  int
+	head *vcEntry // most recently used
+	tail *vcEntry // least recently used, evicted first
+}
+
+type vcEntry struct {
+	key        verdictKey
+	v          Verdict
+	prev, next *vcEntry
+}
+
+// newVerdictCache returns a cache bounded to capacity entries in total,
+// spread over the shards. Capacities below vcShards are rounded up so every
+// shard holds at least one entry.
+func newVerdictCache(capacity int) *verdictCache {
+	perShard := (capacity + vcShards - 1) / vcShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &verdictCache{shards: make([]vcShard, vcShards)}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].m = make(map[verdictKey]*vcEntry, perShard/4+1)
+	}
+	return c
+}
+
+// shard picks the shard for a key by FNV-1a over the URL; the URL carries
+// almost all of the key's entropy.
+func (c *verdictCache) shard(k *verdictKey) *vcShard {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(k.url); i++ {
+		h = (h ^ uint64(k.url[i])) * fnvPrime64
+	}
+	return &c.shards[h&(vcShards-1)]
+}
+
+// get returns the cached verdict and bumps the entry to most-recent.
+func (c *verdictCache) get(k verdictKey) (Verdict, bool) {
+	s := c.shard(&k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return Verdict{}, false
+	}
+	s.moveToFront(e)
+	v := e.v
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// put inserts a verdict, evicting the least-recently-used entry when the
+// shard is full. Racing inserts of the same key keep the first entry: both
+// carry the identical verdict, so dropping the second is free.
+func (c *verdictCache) put(k verdictKey, v Verdict) {
+	s := c.shard(&k)
+	s.mu.Lock()
+	if _, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.cap {
+		if t := s.tail; t != nil {
+			s.unlink(t)
+			delete(s.m, t.key)
+		}
+	}
+	e := &vcEntry{key: k, v: v}
+	s.m[k] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+}
+
+func (s *vcShard) pushFront(e *vcEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *vcShard) unlink(e *vcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *vcShard) moveToFront(e *vcEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// len returns the current entry count across shards.
+func (c *verdictCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// capacity returns the total bound across shards.
+func (c *verdictCache) capacity() int {
+	return c.shards[0].cap * vcShards
+}
+
+// CacheStats is a snapshot of the engine's verdict-cache counters.
+type CacheStats struct {
+	// Hits and Misses count Classify calls answered from / past the cache
+	// since the cache was (re)configured. Both are zero when disabled.
+	Hits, Misses uint64
+	// Size is the current number of cached verdicts; Cap the bound.
+	Size, Cap int
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// pageExcCache memoizes the per-page $document exception probe (the
+// whole-property whitelisting of §7.3): its result depends only on the page
+// host and the engine's immutable lists, and pages repeat across thousands
+// of requests. Bounded by generation reset — the map is cleared when full,
+// which is cheaper than LRU bookkeeping for a key space this small (distinct
+// page hosts, not distinct URLs).
+type pageExcCache struct {
+	mu  sync.RWMutex
+	m   map[string]pageExc
+	cap int
+}
+
+type pageExc struct {
+	listIdx int // index into engine.lists; -1 when no $document exception
+	f       *Filter
+}
+
+func newPageExcCache(capacity int) *pageExcCache {
+	return &pageExcCache{m: make(map[string]pageExc), cap: capacity}
+}
+
+func (c *pageExcCache) get(host string) (pageExc, bool) {
+	c.mu.RLock()
+	e, ok := c.m[host]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+func (c *pageExcCache) put(host string, e pageExc) {
+	c.mu.Lock()
+	if len(c.m) >= c.cap {
+		clear(c.m)
+	}
+	c.m[host] = e
+	c.mu.Unlock()
+}

@@ -1,0 +1,157 @@
+package abp
+
+import (
+	"fmt"
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+// TestEngineCacheTransparent is the cache-soundness gate: with the verdict
+// cache disabled, enabled, and enabled-but-tiny (forcing constant eviction),
+// Classify must return byte-identical verdicts for every request — including
+// repeats, which exercise the hit path. DESIGN.md §10 argues why; this pins
+// it.
+func TestEngineCacheTransparent(t *testing.T) {
+	el, ep, aa := testLists(t)
+	reqs := cacheTestRequests()
+
+	reference := NewEngine(el, ep, aa)
+	reference.SetVerdictCacheSize(0)
+	want := make([]Verdict, len(reqs))
+	for i, r := range reqs {
+		want[i] = reference.Classify(r)
+	}
+
+	for _, size := range []int{DefaultVerdictCacheEntries, 1, 17} {
+		e := NewEngine(el, ep, aa)
+		e.SetVerdictCacheSize(size)
+		for pass := 0; pass < 2; pass++ { // second pass hits the cache
+			for i, r := range reqs {
+				if got := e.Classify(r); got != want[i] {
+					t.Fatalf("cache size %d pass %d: verdict for %q diverged:\n got  %+v\n want %+v",
+						size, pass, r.URL, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+func cacheTestRequests() []*Request {
+	var reqs []*Request
+	for i := 0; i < 50; i++ {
+		reqs = append(reqs,
+			&Request{URL: fmt.Sprintf("http://adserver.example/banner/%d.gif", i), Class: urlutil.ClassImage, PageHost: "news.example"},
+			&Request{URL: fmt.Sprintf("http://tracker.example/pixel.gif?uid=%d", i), Class: urlutil.ClassImage, PageHost: "news.example"},
+			&Request{URL: fmt.Sprintf("http://clean.example/page%d.html", i), Class: urlutil.ClassDocument, PageHost: "clean.example"},
+			&Request{URL: fmt.Sprintf("http://adserver.example/acceptable/%d.gif", i), Class: urlutil.ClassImage, PageHost: "news.example"},
+			// same URL, different class / page host: distinct cache keys
+			&Request{URL: "http://adserver.example/banner/0.gif", Class: urlutil.ClassScript, PageHost: "news.example"},
+			&Request{URL: "http://gstatic.example/app.js", Class: urlutil.ClassScript, PageHost: fmt.Sprintf("site%d.example", i)},
+		)
+	}
+	return reqs
+}
+
+// TestEngineCacheKeyDistinguishesFields guards the cache key itself: requests
+// that differ only in Class or only in PageHost must not share a verdict.
+func TestEngineCacheKeyDistinguishesFields(t *testing.T) {
+	el, ep, aa := testLists(t)
+	e := NewEngine(el, ep, aa)
+
+	// @@||adserver.example/acceptable/$image — whitelisted as image only.
+	img := e.Classify(&Request{URL: "http://adserver.example/acceptable/a.gif", Class: urlutil.ClassImage, PageHost: "news.example"})
+	scr := e.Classify(&Request{URL: "http://adserver.example/acceptable/a.gif", Class: urlutil.ClassScript, PageHost: "news.example"})
+	if !img.Whitelisted || scr.Whitelisted {
+		t.Errorf("class not distinguished: image %+v script %+v", img, scr)
+	}
+
+	// ||tracker.example^$third-party — first-party context must escape it.
+	tp := e.Classify(&Request{URL: "http://tracker.example/t.js", Class: urlutil.ClassScript, PageHost: "news.example"})
+	fp := e.Classify(&Request{URL: "http://tracker.example/t.js", Class: urlutil.ClassScript, PageHost: "tracker.example"})
+	if !tp.Matched || fp.Matched {
+		t.Errorf("page host not distinguished: third-party %+v first-party %+v", tp, fp)
+	}
+}
+
+func TestVerdictCacheLRUEviction(t *testing.T) {
+	c := newVerdictCache(vcShards) // one entry per shard
+	if c.capacity() != vcShards {
+		t.Fatalf("capacity = %d, want %d", c.capacity(), vcShards)
+	}
+	// Two keys landing in the same shard: the second insert evicts the first.
+	var a, b verdictKey
+	a = verdictKey{url: "http://a.example/x"}
+	s := c.shard(&a)
+	for i := 0; ; i++ {
+		b = verdictKey{url: fmt.Sprintf("http://b.example/%d", i)}
+		if c.shard(&b) == s {
+			break
+		}
+	}
+	c.put(a, Verdict{Matched: true})
+	c.put(b, Verdict{})
+	if _, ok := c.get(a); ok {
+		t.Error("evicted entry still present")
+	}
+	if v, ok := c.get(b); !ok || v.Matched {
+		t.Errorf("surviving entry wrong: %+v ok=%v", v, ok)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}
+
+func TestVerdictCacheLRUOrder(t *testing.T) {
+	c := newVerdictCache(vcShards * 2) // two entries per shard
+	a := verdictKey{url: "http://a.example/x"}
+	s := c.shard(&a)
+	sameShard := func(tag string) verdictKey {
+		for i := 0; ; i++ {
+			k := verdictKey{url: fmt.Sprintf("http://%s.example/%d", tag, i)}
+			if c.shard(&k) == s {
+				return k
+			}
+		}
+	}
+	b, d := sameShard("b"), sameShard("d")
+	c.put(a, Verdict{Matched: true})
+	c.put(b, Verdict{})
+	c.get(a)            // touch a: b becomes least-recently-used
+	c.put(d, Verdict{}) // evicts b, not a
+	if _, ok := c.get(a); !ok {
+		t.Error("recently-used entry evicted")
+	}
+	if _, ok := c.get(b); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+}
+
+func TestEngineCacheStats(t *testing.T) {
+	el, ep, aa := testLists(t)
+	e := NewEngine(el, ep, aa)
+	r := &Request{URL: "http://adserver.example/banner/s.gif", Class: urlutil.ClassImage, PageHost: "news.example"}
+	e.Classify(r)
+	e.Classify(r)
+	e.Classify(r)
+	st := e.VerdictCacheStats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 2 hits", st)
+	}
+	if st.Size != 1 || st.Cap != DefaultVerdictCacheEntries {
+		t.Errorf("size/cap = %d/%d, want 1/%d", st.Size, st.Cap, DefaultVerdictCacheEntries)
+	}
+	if got := st.HitRatio(); got < 0.66 || got > 0.67 {
+		t.Errorf("hit ratio = %v, want 2/3", got)
+	}
+
+	e.SetVerdictCacheSize(0)
+	e.Classify(r)
+	st = e.VerdictCacheStats()
+	if st.Hits != 0 || st.Misses != 0 || st.Size != 0 || st.Cap != 0 {
+		t.Errorf("disabled-cache stats not zero: %+v", st)
+	}
+	if st.HitRatio() != 0 {
+		t.Errorf("disabled-cache hit ratio = %v, want 0", st.HitRatio())
+	}
+}

@@ -1,0 +1,200 @@
+package abp
+
+import (
+	"strings"
+	"sync"
+
+	"adscape/internal/urlutil"
+)
+
+// MatchContext carries everything the matching hot path derives from one
+// request, computed exactly once: the lower-cased URL, the URL's token set as
+// FNV-1a hashes with positions, the host span, the content-type bit, and the
+// memoized third-party decision. Engine.Classify builds one context per
+// uncached request and threads it through every list, phase, and filter, so
+// no component re-lowercases or re-tokenizes the URL. Contexts are pooled
+// and reused; nothing derived from a context (in particular Lower and its
+// substrings) may be retained after the context is released.
+//
+// This mirrors how real blockers structure the inner loop: Adblock Plus
+// caches per-request match state, and adblock-rust keys its keyword index on
+// token hashes rather than strings.
+type MatchContext struct {
+	// URL is the original request URL; MatchCase and regex filters run
+	// against it directly.
+	URL string
+	// Lower is the lower-cased URL. It aliases URL when the URL contains no
+	// upper-case bytes (the common case in traces), otherwise it is built in
+	// the context's reusable buffer.
+	Lower string
+	// Class is the inferred content class of the request.
+	Class urlutil.ContentClass
+	// PageHost is the host of the page that originated the request.
+	PageHost string
+
+	typeBit TypeMask   // BitForClass(Class), computed once
+	tokens  []ctxToken // deduplicated token hashes of Lower, in URL order
+
+	hostStart, hostEnd int // urlutil.Host span in Lower (port stripped)
+	ahStart, ahEnd     int // "||"-anchor scan region in Lower (port kept)
+
+	tpKnown bool // thirdParty memoized?
+	tp      bool
+
+	buf []byte // reusable lowering buffer backing Lower when URL has upper-case
+}
+
+// ctxToken is one tokenized run of the lowered URL: its FNV-1a hash and its
+// byte span. Matching probes the keyword index by hash only; the positions
+// are kept for diagnostics and future position-aware indexes.
+type ctxToken struct {
+	hash       uint64
+	start, end int
+}
+
+// FNV-1a 64-bit parameters, shared by the URL tokenizer and the filter
+// keyword hasher so index probes and index keys agree.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashToken returns the FNV-1a hash of a (already lower-cased) token.
+func hashToken(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// Reset recomputes the context for a new request, reusing the token slice
+// and lowering buffer. It is the only allocation site of the steady-state
+// match path, and it allocates only for URLs containing upper-case or
+// non-ASCII bytes.
+func (c *MatchContext) Reset(url string, class urlutil.ContentClass, pageHost string) {
+	c.URL = url
+	c.Class = class
+	c.PageHost = pageHost
+	c.typeBit = BitForClass(class)
+	c.Lower = c.lowered(url)
+	c.tokens = appendTokens(c.tokens[:0], c.Lower)
+	c.hostStart, c.hostEnd = urlutil.HostSpan(c.Lower)
+	c.ahStart, c.ahEnd = hostAnchorSpan(c.Lower)
+	c.tpKnown = false
+	c.tp = false
+}
+
+// ResetRequest is Reset over a Request value.
+func (c *MatchContext) ResetRequest(req *Request) {
+	c.Reset(req.URL, req.Class, req.PageHost)
+}
+
+// lowered returns the lower-cased form of s without allocating in the common
+// cases: all-lower-case ASCII aliases s, mixed-case ASCII is lowered into the
+// reusable buffer. Non-ASCII input (rare in header traces) falls back to
+// strings.ToLower for exact stdlib semantics.
+func (c *MatchContext) lowered(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 0x80 {
+			return strings.ToLower(s)
+		}
+		if b >= 'A' && b <= 'Z' {
+			hasUpper = true
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	c.buf = c.buf[:0]
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 'A' && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		c.buf = append(c.buf, b)
+	}
+	return string(c.buf)
+}
+
+// appendTokens tokenizes s exactly like forEachToken (maximal [a-z0-9%] runs
+// of length >= 2) while hashing each run on the fly, and appends the distinct
+// hashes to dst. Duplicates are dropped so the matcher probes each index
+// bucket once per request even when a token repeats in the URL.
+func appendTokens(dst []ctxToken, s string) []ctxToken {
+	start := -1
+	var h uint64
+	for i := 0; i <= len(s); i++ {
+		var ok bool
+		if i < len(s) {
+			b := s[i]
+			ok = b >= 'a' && b <= 'z' || b >= '0' && b <= '9' || b == '%'
+		}
+		if ok {
+			if start < 0 {
+				start = i
+				h = fnvOffset64
+			}
+			h = (h ^ uint64(s[i])) * fnvPrime64
+			continue
+		}
+		if start >= 0 && i-start >= 2 {
+			dup := false
+			for j := range dst {
+				if dst[j].hash == h {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, ctxToken{hash: h, start: start, end: i})
+			}
+		}
+		start = -1
+	}
+	return dst
+}
+
+// hostAnchorSpan returns the region a "||" host-anchored pattern may start
+// in: from just past "://" (or the string start) to the first path or query
+// byte. Unlike urlutil.HostSpan it keeps the port, matching the historical
+// matchHostAnchored scan exactly.
+func hostAnchorSpan(url string) (start, end int) {
+	if i := strings.Index(url, "://"); i >= 0 {
+		start = i + 3
+	}
+	end = len(url)
+	if i := strings.IndexAny(url[start:], "/?"); i >= 0 {
+		end = start + i
+	}
+	return start, end
+}
+
+// host returns the request host as a substring of Lower: no allocation.
+func (c *MatchContext) host() string { return c.Lower[c.hostStart:c.hostEnd] }
+
+// thirdParty reports whether the request crosses a registered-domain
+// boundary relative to the page, memoized after the first filter asks.
+// Unknown page hosts count as third-party, the conservative choice for
+// passive traces.
+func (c *MatchContext) thirdParty() bool {
+	if !c.tpKnown {
+		c.tpKnown = true
+		c.tp = c.PageHost == "" ||
+			!urlutil.SameRegisteredDomain(c.host(), c.PageHost)
+	}
+	return c.tp
+}
+
+// ctxPool recycles contexts across requests; steady-state classification
+// performs zero per-request context allocation.
+var ctxPool = sync.Pool{New: func() any { return new(MatchContext) }}
+
+// GetContext returns a pooled MatchContext. Callers must ReleaseContext it
+// and must not retain Lower (or substrings of it) afterwards.
+func GetContext() *MatchContext { return ctxPool.Get().(*MatchContext) }
+
+// ReleaseContext returns a context to the pool.
+func ReleaseContext(c *MatchContext) { ctxPool.Put(c) }

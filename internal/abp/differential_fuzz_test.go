@@ -1,0 +1,57 @@
+package abp
+
+import (
+	"strings"
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+// FuzzMatcherDifferential is the matcher equivalence invariant under fuzzed
+// inputs: for arbitrary rule sets and requests, the token-hash-indexed
+// Matcher must return exactly the (block, blocking, exception) triple of the
+// exhaustive LinearMatcher — same booleans AND same winning filter objects —
+// through the shared MatchContext path. The generative tests sample the
+// grammar; this fuzzer also explores malformed rules, rules whose keywords
+// collide, $match-case rules, and regex rules. Seed corpus lives in
+// testdata/fuzz/FuzzMatcherDifferential.
+func FuzzMatcherDifferential(f *testing.F) {
+	f.Add("||ads.example.com^\n@@||ads.example.com/ok/\n/banner/", "http://ads.example.com/banner.gif", byte(1), "pub.example")
+	f.Add("/AdFrame/$match-case\n/adframe/", "http://x.example/AdFrame/x", byte(0), "")
+	f.Add(`/pix[0-9]+\.gif/`+"\n||pix.example^$image", "http://pix.example/pix77.gif", byte(1), "news.example")
+	f.Add("/zzkey/\n/aakey/", "http://x.example/aakey/zzkey/", byte(3), "x.example")
+	f.Add("||t.example^$third-party,script\n@@||t.example/lib/$~third-party", "http://t.example/lib/a.js", byte(2), "t.example")
+	f.Add("a$domain=d.example|~sub.d.example\n.swf|", "http://m.example/a.swf", byte(5), "sub.d.example")
+	f.Add("|http://exact.example/|\n^ad^", "http://exact.example/", byte(0), "")
+	f.Fuzz(func(t *testing.T, rules, url string, classSel byte, pageHost string) {
+		idx, lin := NewMatcher(), NewLinearMatcher()
+		n := 0
+		for _, line := range strings.Split(rules, "\n") {
+			flt, err := Parse(line)
+			if err != nil {
+				continue
+			}
+			idx.Add(flt)
+			lin.Add(flt)
+			if n++; n >= 64 {
+				break
+			}
+		}
+		classes := []urlutil.ContentClass{
+			urlutil.ClassUnknown, urlutil.ClassImage, urlutil.ClassScript,
+			urlutil.ClassDocument, urlutil.ClassStylesheet, urlutil.ClassMedia,
+			urlutil.ClassObject, urlutil.ClassXHR, urlutil.ClassOther,
+		}
+		r := &Request{
+			URL:      url,
+			Class:    classes[int(classSel)%len(classes)],
+			PageHost: pageHost,
+		}
+		gotBlock, gotB, gotE := idx.Match(r)
+		wantBlock, wantB, wantE := lin.Match(r)
+		if gotBlock != wantBlock || gotB != wantB || gotE != wantE {
+			t.Fatalf("matcher divergence on %+v over %d rules:\n indexed (%v, %v, %v)\n linear  (%v, %v, %v)",
+				r, n, gotBlock, gotB, gotE, wantBlock, wantB, wantE)
+		}
+	})
+}

@@ -40,31 +40,101 @@ func (v Verdict) Blocked() bool { return v.Matched && !v.Whitelisted }
 // whitelisted by the non-intrusive-ads list, regardless of final blocking.
 func (v Verdict) IsAd() bool { return v.Matched || v.Whitelisted }
 
+// DefaultVerdictCacheEntries bounds the engine's verdict cache unless
+// SetVerdictCacheSize overrides it.
+const DefaultVerdictCacheEntries = 1 << 16
+
+// defaultPageExcEntries bounds the per-page $document exception memo; page
+// hosts are few compared to URLs.
+const defaultPageExcEntries = 1 << 13
+
 // Engine evaluates requests against an ordered set of subscribed filter
 // lists, one Matcher per list, so every verdict carries list attribution the
 // way the paper's per-list breakdowns (EL vs EP vs non-intrusive) need.
+//
+// Classify is memoized: because a verdict is a pure function of
+// (URL, Class, PageHost) over the immutable list set, the engine answers
+// repeated requests from a bounded LRU verdict cache (DESIGN.md §10). The
+// uncached path builds one pooled MatchContext per request and threads it
+// through every list and phase, so the URL is lowered, tokenized, and
+// host-parsed exactly once. An Engine is safe for concurrent Classify use;
+// AddList must not race with classification.
 type Engine struct {
 	lists    []*FilterList
 	matchers []*Matcher
+	// excOrder visits lists for exception matching: whitelist-kind lists
+	// first so whitelist attribution prefers the acceptable-ads list.
+	// Precomputed at AddList time; Classify used to rebuild it per call.
+	excOrder []int
+
+	cacheCap int
+	cache    *verdictCache // nil when disabled
+	pageExcs *pageExcCache
 }
 
-// NewEngine builds an Engine over the given lists. List order sets match
-// priority for attribution; ABP semantics (any block + no exception) do not
-// depend on it.
+// NewEngine builds an Engine over the given lists, with the verdict cache
+// enabled at its default size. List order sets match priority for
+// attribution; ABP semantics (any block + no exception) do not depend on it.
 func NewEngine(lists ...*FilterList) *Engine {
-	e := &Engine{}
+	e := &Engine{cacheCap: DefaultVerdictCacheEntries}
 	for _, fl := range lists {
 		e.AddList(fl)
 	}
+	e.resetCaches()
 	return e
 }
 
-// AddList subscribes an additional list.
+// AddList subscribes an additional list and flushes the verdict cache:
+// cached verdicts were computed against the old list set.
 func (e *Engine) AddList(fl *FilterList) {
 	m := NewMatcher()
 	m.AddAll(fl.Filters)
 	e.lists = append(e.lists, fl)
 	e.matchers = append(e.matchers, m)
+
+	e.excOrder = e.excOrder[:0]
+	for i, l := range e.lists {
+		if l.Kind == ListWhitelist {
+			e.excOrder = append(e.excOrder, i)
+		}
+	}
+	for i, l := range e.lists {
+		if l.Kind != ListWhitelist {
+			e.excOrder = append(e.excOrder, i)
+		}
+	}
+	e.resetCaches()
+}
+
+// SetVerdictCacheSize bounds the verdict cache to n entries, resetting its
+// contents and counters; n <= 0 disables caching entirely.
+func (e *Engine) SetVerdictCacheSize(n int) {
+	e.cacheCap = n
+	e.resetCaches()
+}
+
+// resetCaches rebuilds both memo layers for the current list set.
+func (e *Engine) resetCaches() {
+	if e.cacheCap > 0 {
+		e.cache = newVerdictCache(e.cacheCap)
+	} else {
+		e.cache = nil
+	}
+	e.pageExcs = newPageExcCache(defaultPageExcEntries)
+}
+
+// VerdictCacheStats snapshots the verdict-cache counters; all zero when the
+// cache is disabled.
+func (e *Engine) VerdictCacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:   e.cache.hits.Load(),
+		Misses: e.cache.misses.Load(),
+		Size:   e.cache.len(),
+		Cap:    e.cache.capacity(),
+	}
 }
 
 // Lists returns the subscribed lists in priority order.
@@ -105,12 +175,41 @@ func (e *Engine) NumFilters() int {
 // ("non-intrusive ad") even without a blacklist hit, which the paper's
 // footnote-2 ad definition requires.
 func (e *Engine) Classify(req *Request) Verdict {
+	v, _ := e.ClassifyCached(req)
+	return v
+}
+
+// ClassifyCached is Classify plus a report of whether the verdict came from
+// the cache, for callers that account hit ratios per shard. With the cache
+// disabled it always reports false.
+func (e *Engine) ClassifyCached(req *Request) (Verdict, bool) {
+	if e.cache == nil {
+		return e.classifyUncached(req), false
+	}
+	k := verdictKey{url: req.URL, class: req.Class, pageHost: req.PageHost}
+	if v, ok := e.cache.get(k); ok {
+		return v, true
+	}
+	v := e.classifyUncached(req)
+	e.cache.put(k, v)
+	return v, false
+}
+
+func (e *Engine) classifyUncached(req *Request) Verdict {
+	c := GetContext()
+	c.ResetRequest(req)
+	v := e.classifyCtx(c)
+	ReleaseContext(c)
+	return v
+}
+
+func (e *Engine) classifyCtx(c *MatchContext) Verdict {
 	var v Verdict
 	for i, m := range e.matchers {
 		if e.lists[i].Kind == ListWhitelist {
 			continue
 		}
-		if f := m.MatchBlocking(req); f != nil {
+		if f := m.MatchBlockingCtx(c); f != nil {
 			v.Matched = true
 			v.ListName = e.lists[i].Name
 			v.ListKind = e.lists[i].Kind
@@ -120,19 +219,8 @@ func (e *Engine) Classify(req *Request) Verdict {
 	}
 	// Exceptions from every list can override; acceptable-ads first so
 	// whitelist attribution prefers it.
-	order := make([]int, 0, len(e.lists))
-	for i, fl := range e.lists {
-		if fl.Kind == ListWhitelist {
-			order = append(order, i)
-		}
-	}
-	for i, fl := range e.lists {
-		if fl.Kind != ListWhitelist {
-			order = append(order, i)
-		}
-	}
-	for _, i := range order {
-		if f := e.matchers[i].MatchException(req); f != nil {
+	for _, i := range e.excOrder {
+		if f := e.matchers[i].MatchExceptionCtx(c); f != nil {
 			v.Whitelisted = true
 			v.WhitelistedBy = e.lists[i].Name
 			v.WhitelistedKind = e.lists[i].Kind
@@ -143,17 +231,14 @@ func (e *Engine) Classify(req *Request) Verdict {
 	// ABP's $document semantics: an exception restricted to the document
 	// type that matches the *page* disables blocking for every request the
 	// page makes. This is how the over-broad acceptable-ads rules of §7.3
-	// whitelist whole properties.
-	if !v.Whitelisted && req.PageHost != "" {
-		pageReq := &Request{URL: "http://" + req.PageHost + "/", Class: urlutil.ClassDocument}
-		for _, i := range order {
-			if f := e.matchers[i].MatchException(pageReq); f != nil && f.Types == TypeDocument {
-				v.Whitelisted = true
-				v.WhitelistedBy = e.lists[i].Name
-				v.WhitelistedKind = e.lists[i].Kind
-				v.Exception = f
-				break
-			}
+	// whitelist whole properties. The probe depends only on the page host,
+	// so it is memoized per host rather than recomputed per request.
+	if !v.Whitelisted && c.PageHost != "" {
+		if pe := e.pageDocException(c.PageHost); pe.listIdx >= 0 {
+			v.Whitelisted = true
+			v.WhitelistedBy = e.lists[pe.listIdx].Name
+			v.WhitelistedKind = e.lists[pe.listIdx].Kind
+			v.Exception = pe.f
 		}
 	}
 	if !v.Matched && v.Whitelisted && v.WhitelistedKind != ListWhitelist {
@@ -165,6 +250,26 @@ func (e *Engine) Classify(req *Request) Verdict {
 		v.Exception = nil
 	}
 	return v
+}
+
+// pageDocException resolves (and memoizes) whether some list's exception
+// rules whitelist the page host's document itself.
+func (e *Engine) pageDocException(pageHost string) pageExc {
+	if pe, ok := e.pageExcs.get(pageHost); ok {
+		return pe
+	}
+	pc := GetContext()
+	pc.Reset("http://"+pageHost+"/", urlutil.ClassDocument, "")
+	pe := pageExc{listIdx: -1}
+	for _, i := range e.excOrder {
+		if f := e.matchers[i].MatchExceptionCtx(pc); f != nil && f.Types == TypeDocument {
+			pe = pageExc{listIdx: i, f: f}
+			break
+		}
+	}
+	ReleaseContext(pc)
+	e.pageExcs.put(pageHost, pe)
+	return pe
 }
 
 // NonIntrusive reports whether the non-intrusive-ads list whitelisted the

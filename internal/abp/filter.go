@@ -117,7 +117,7 @@ type Filter struct {
 
 // patToken is a literal run or a metacharacter in a compiled pattern.
 type patToken struct {
-	lit string // literal text; empty for metacharacters
+	lit string // literal text (pre-lowered unless $match-case); empty for metacharacters
 	sep bool   // "^" separator placeholder
 	any bool   // "*" wildcard
 }
@@ -313,7 +313,14 @@ func (f *Filter) compile() error {
 	var lit strings.Builder
 	flush := func() {
 		if lit.Len() > 0 {
-			f.tokens = append(f.tokens, patToken{lit: lit.String()})
+			s := lit.String()
+			if !f.MatchCase {
+				// Case-insensitive filters match against the context's
+				// lowered URL; lowering the literal here keeps the per-match
+				// path free of strings.ToLower calls (and their allocations).
+				s = strings.ToLower(s)
+			}
+			f.tokens = append(f.tokens, patToken{lit: s})
 			lit.Reset()
 		}
 	}
@@ -378,45 +385,43 @@ type Request struct {
 	PageHost string
 }
 
-// host returns the lower-cased request host.
-func (r *Request) host() string { return urlutil.Host(r.URL) }
-
-// thirdParty reports whether the request crosses a registered-domain
-// boundary. Unknown page hosts count as third-party, the conservative choice
-// for passive traces.
-func (r *Request) thirdParty() bool {
-	if r.PageHost == "" {
-		return true
-	}
-	return !urlutil.SameRegisteredDomain(r.host(), r.PageHost)
+// Match reports whether the filter matches the request. Element hiding rules
+// never match requests (they act on the DOM, not the network). This is the
+// convenience entry point; hot paths build a MatchContext once per request
+// and call MatchCtx so the URL is lowered and tokenized exactly once.
+func (f *Filter) Match(req *Request) bool {
+	c := GetContext()
+	c.ResetRequest(req)
+	ok := f.MatchCtx(c)
+	ReleaseContext(c)
+	return ok
 }
 
-// Match reports whether the filter matches the request. Element hiding rules
-// never match requests (they act on the DOM, not the network).
-func (f *Filter) Match(req *Request) bool {
+// MatchCtx reports whether the filter matches the request described by the
+// context. It performs no per-call allocation: every derived form of the URL
+// (lowered copy, host span, third-party bit, type bit) comes precomputed or
+// memoized from the context.
+func (f *Filter) MatchCtx(c *MatchContext) bool {
 	if f.Kind == KindElemHide {
 		return false
 	}
-	if f.Types != TypeAll {
-		bit := BitForClass(req.Class)
-		if bit != TypeAll && f.Types&bit == 0 {
-			return false
-		}
+	if f.Types != TypeAll && c.typeBit != TypeAll && f.Types&c.typeBit == 0 {
+		return false
 	}
 	switch f.Party {
 	case OnlyThird:
-		if !req.thirdParty() {
+		if !c.thirdParty() {
 			return false
 		}
 	case OnlyFirst:
-		if req.thirdParty() {
+		if c.thirdParty() {
 			return false
 		}
 	}
-	if !f.domainAllowed(req.PageHost) {
+	if !f.domainAllowed(c.PageHost) {
 		return false
 	}
-	return f.matchURL(req.URL)
+	return f.matchURLCtx(c)
 }
 
 // domainAllowed applies $domain= restrictions against the page host.
@@ -441,17 +446,23 @@ func (f *Filter) domainAllowed(pageHost string) bool {
 	return false
 }
 
-// matchURL runs the compiled pattern against the URL string.
-func (f *Filter) matchURL(url string) bool {
+// matchURLCtx runs the compiled pattern against the context's URL forms.
+func (f *Filter) matchURLCtx(c *MatchContext) bool {
 	if f.isRegex {
-		return f.re.MatchString(url)
+		return f.re.MatchString(c.URL)
 	}
-	hay := url
-	if !f.MatchCase {
-		hay = strings.ToLower(url)
+	hay := c.Lower
+	if f.MatchCase {
+		hay = c.URL
 	}
 	if f.anchHost {
-		return f.matchHostAnchored(hay)
+		start, end := c.ahStart, c.ahEnd
+		if len(hay) != len(c.Lower) {
+			// Only reachable for $match-case filters over non-ASCII URLs,
+			// where lowering changed byte offsets: recompute on the raw URL.
+			start, end = hostAnchorSpan(hay)
+		}
+		return f.matchHostAnchored(hay, start, end)
 	}
 	if f.anchStart {
 		return f.matchTokens(hay, 0, 0)
@@ -462,17 +473,9 @@ func (f *Filter) matchURL(url string) bool {
 }
 
 // matchHostAnchored implements "||": the pattern must start at the beginning
-// of the hostname or at a "."-separated label boundary within it.
-func (f *Filter) matchHostAnchored(url string) bool {
-	// Find the host region.
-	start := 0
-	if i := strings.Index(url, "://"); i >= 0 {
-		start = i + 3
-	}
-	hostEnd := len(url)
-	if i := strings.IndexAny(url[start:], "/?"); i >= 0 {
-		hostEnd = start + i
-	}
+// of the hostname or at a "."-separated label boundary within it. The host
+// region [start, hostEnd) comes precomputed from the MatchContext.
+func (f *Filter) matchHostAnchored(url string, start, hostEnd int) bool {
 	for pos := start; pos <= hostEnd; pos++ {
 		if pos == start || url[pos-1] == '.' {
 			if f.matchTokens(url, pos, 0) {
@@ -497,9 +500,6 @@ func (f *Filter) matchFloating(hay string, from int) bool {
 	first := f.tokens[0]
 	if first.lit != "" {
 		lit := first.lit
-		if !f.MatchCase {
-			lit = strings.ToLower(lit)
-		}
 		for i := from; ; {
 			j := strings.Index(hay[i:], lit)
 			if j < 0 {
@@ -525,14 +525,10 @@ func (f *Filter) matchTokens(hay string, pos, ti int) bool {
 		t := f.tokens[ti]
 		switch {
 		case t.lit != "":
-			lit := t.lit
-			if !f.MatchCase {
-				lit = strings.ToLower(lit)
-			}
-			if !strings.HasPrefix(hay[pos:], lit) {
+			if !strings.HasPrefix(hay[pos:], t.lit) {
 				return false
 			}
-			pos += len(lit)
+			pos += len(t.lit)
 		case t.sep:
 			// "^" matches one separator char, or end-of-string when last.
 			if pos == len(hay) {

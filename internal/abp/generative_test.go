@@ -111,11 +111,11 @@ func TestGenerativeMatcherEquivalence(t *testing.T) {
 			Class:    classes[rng.Intn(len(classes))],
 			PageHost: fmt.Sprintf("d%d.example", rng.Intn(60)),
 		}
-		gotB, gb, _ := idx.Match(req)
-		wantB, wb, _ := lin.Match(req)
-		if gotB != wantB || (gb == nil) != (wb == nil) {
+		gotB, gb, ge := idx.Match(req)
+		wantB, wb, we := lin.Match(req)
+		if gotB != wantB || gb != wb || ge != we {
 			divergences++
-			t.Errorf("divergence on %+v: indexed (%v,%v) vs linear (%v,%v)", req, gotB, gb, wantB, wb)
+			t.Errorf("divergence on %+v: indexed (%v,%v,%v) vs linear (%v,%v,%v)", req, gotB, gb, ge, wantB, wb, we)
 			if divergences > 5 {
 				t.FailNow()
 			}

@@ -7,22 +7,41 @@ import (
 // Matcher indexes blocking and exception filters by a keyword extracted from
 // each filter's pattern, the same strategy Adblock Plus uses internally: a
 // candidate URL is tokenized, and only filters whose keyword occurs among the
-// URL's tokens are tried. Filters without a usable keyword land in a small
-// catch-all bucket that is always tried.
+// URL's tokens are tried. The index is keyed by the 64-bit FNV-1a hash of
+// the keyword rather than the keyword string (the adblock-rust layout), so a
+// probe is one integer map lookup per URL token and shares the token hashes
+// the MatchContext computed once for the whole engine. A hash collision can
+// only add a spurious candidate, never hide one; every candidate is verified
+// by the full pattern match. Filters without a usable keyword land in a
+// small catch-all bucket that is always tried.
+//
+// Matching is deterministic in list order: among all matching filters, the
+// one added first wins, exactly as the exhaustive LinearMatcher scan
+// decides. Buckets hold filters in insertion order, so each bucket scan can
+// stop at the first match or as soon as remaining sequence numbers cannot
+// beat the current winner.
 type Matcher struct {
-	blockingIdx  map[string][]*Filter
-	exceptionIdx map[string][]*Filter
-	blockingAny  []*Filter // keyword-less blocking filters (regex, "*"-heavy)
-	exceptionAny []*Filter
+	blockingIdx  map[uint64][]seqFilter
+	exceptionIdx map[uint64][]seqFilter
+	blockingAny  []seqFilter // keyword-less blocking filters (regex, "*"-heavy)
+	exceptionAny []seqFilter
 	nBlocking    int
 	nException   int
+	seq          int
+}
+
+// seqFilter pairs a filter with its insertion sequence number, the
+// tie-breaker that keeps indexed matching identical to the linear scan.
+type seqFilter struct {
+	seq int
+	f   *Filter
 }
 
 // NewMatcher returns an empty Matcher.
 func NewMatcher() *Matcher {
 	return &Matcher{
-		blockingIdx:  make(map[string][]*Filter),
-		exceptionIdx: make(map[string][]*Filter),
+		blockingIdx:  make(map[uint64][]seqFilter),
+		exceptionIdx: make(map[uint64][]seqFilter),
 	}
 }
 
@@ -33,20 +52,24 @@ func (m *Matcher) Add(f *Filter) {
 		return
 	}
 	kw := filterKeyword(f)
+	sf := seqFilter{seq: m.seq, f: f}
+	m.seq++
 	switch f.Kind {
 	case KindBlocking:
 		m.nBlocking++
 		if kw == "" {
-			m.blockingAny = append(m.blockingAny, f)
+			m.blockingAny = append(m.blockingAny, sf)
 		} else {
-			m.blockingIdx[kw] = append(m.blockingIdx[kw], f)
+			h := hashToken(kw)
+			m.blockingIdx[h] = append(m.blockingIdx[h], sf)
 		}
 	case KindException:
 		m.nException++
 		if kw == "" {
-			m.exceptionAny = append(m.exceptionAny, f)
+			m.exceptionAny = append(m.exceptionAny, sf)
 		} else {
-			m.exceptionIdx[kw] = append(m.exceptionIdx[kw], f)
+			h := hashToken(kw)
+			m.exceptionIdx[h] = append(m.exceptionIdx[h], sf)
 		}
 	}
 }
@@ -61,52 +84,95 @@ func (m *Matcher) AddAll(fs []*Filter) {
 // Len returns the number of indexed request filters (blocking + exception).
 func (m *Matcher) Len() int { return m.nBlocking + m.nException }
 
-// MatchBlocking returns the first blocking filter matching the request, or
-// nil. Exception filters are not consulted; use Match for full semantics.
+// MatchBlocking returns the first blocking filter (in Add order) matching
+// the request, or nil. Exception filters are not consulted; use Match for
+// full semantics.
 func (m *Matcher) MatchBlocking(req *Request) *Filter {
-	return m.match(req, m.blockingIdx, m.blockingAny)
+	c := GetContext()
+	c.ResetRequest(req)
+	f := m.MatchBlockingCtx(c)
+	ReleaseContext(c)
+	return f
 }
 
-// MatchException returns the first exception filter matching the request.
+// MatchException returns the first exception filter (in Add order) matching
+// the request.
 func (m *Matcher) MatchException(req *Request) *Filter {
-	return m.match(req, m.exceptionIdx, m.exceptionAny)
+	c := GetContext()
+	c.ResetRequest(req)
+	f := m.MatchExceptionCtx(c)
+	ReleaseContext(c)
+	return f
+}
+
+// MatchBlockingCtx is MatchBlocking over a prepared context; it allocates
+// nothing.
+func (m *Matcher) MatchBlockingCtx(c *MatchContext) *Filter {
+	return matchIdx(c, m.blockingIdx, m.blockingAny)
+}
+
+// MatchExceptionCtx is MatchException over a prepared context; it allocates
+// nothing.
+func (m *Matcher) MatchExceptionCtx(c *MatchContext) *Filter {
+	return matchIdx(c, m.exceptionIdx, m.exceptionAny)
 }
 
 // Match applies full ABP semantics: a request is blocked when some blocking
 // filter matches and no exception filter matches. It returns the deciding
 // filters; block is false whenever exception != nil or blocking == nil.
 func (m *Matcher) Match(req *Request) (block bool, blocking, exception *Filter) {
-	blocking = m.MatchBlocking(req)
+	c := GetContext()
+	c.ResetRequest(req)
+	block, blocking, exception = m.MatchCtx(c)
+	ReleaseContext(c)
+	return block, blocking, exception
+}
+
+// MatchCtx is Match over a prepared context.
+func (m *Matcher) MatchCtx(c *MatchContext) (block bool, blocking, exception *Filter) {
+	blocking = m.MatchBlockingCtx(c)
 	if blocking == nil {
 		return false, nil, nil
 	}
-	exception = m.MatchException(req)
+	exception = m.MatchExceptionCtx(c)
 	return exception == nil, blocking, exception
 }
 
-func (m *Matcher) match(req *Request, idx map[string][]*Filter, any []*Filter) *Filter {
-	lower := strings.ToLower(req.URL)
-	for _, f := range any {
-		if f.Match(req) {
-			return f
+// matchIdx returns the matching filter with the lowest sequence number among
+// the catch-all bucket and the buckets of every URL token, or nil. Buckets
+// are in ascending sequence order, so each scan stops at its first match or
+// once sequence numbers can no longer beat the current best.
+func matchIdx(c *MatchContext, idx map[uint64][]seqFilter, any []seqFilter) *Filter {
+	var found *Filter
+	best := int(^uint(0) >> 1) // max int
+	for _, sf := range any {
+		if sf.seq >= best {
+			break
+		}
+		if sf.f.MatchCtx(c) {
+			found, best = sf.f, sf.seq
+			break
 		}
 	}
-	var found *Filter
-	forEachToken(lower, func(tok string) bool {
-		for _, f := range idx[tok] {
-			if f.Match(req) {
-				found = f
-				return false
+	for _, tok := range c.tokens {
+		for _, sf := range idx[tok.hash] {
+			if sf.seq >= best {
+				break
+			}
+			if sf.f.MatchCtx(c) {
+				found, best = sf.f, sf.seq
+				break
 			}
 		}
-		return true
-	})
+	}
 	return found
 }
 
 // forEachToken calls fn for every maximal run of [a-z0-9%] in s, stopping
 // early when fn returns false. Tokens shorter than 2 bytes are skipped: they
-// index too many filters to be selective.
+// index too many filters to be selective. The hot path uses the hashed
+// equivalent appendTokens via MatchContext; this string form remains for
+// tests and diagnostics.
 func forEachToken(s string, fn func(string) bool) {
 	start := -1
 	for i := 0; i <= len(s); i++ {
@@ -214,8 +280,19 @@ func (m *LinearMatcher) AddAll(fs []*Filter) {
 
 // Match mirrors Matcher.Match by exhaustive scan.
 func (m *LinearMatcher) Match(req *Request) (block bool, blocking, exception *Filter) {
+	c := GetContext()
+	c.ResetRequest(req)
+	block, blocking, exception = m.MatchCtx(c)
+	ReleaseContext(c)
+	return block, blocking, exception
+}
+
+// MatchCtx mirrors Matcher.MatchCtx by exhaustive scan over the same
+// per-request context, so differential tests exercise identical filter-level
+// semantics in both implementations.
+func (m *LinearMatcher) MatchCtx(c *MatchContext) (block bool, blocking, exception *Filter) {
 	for _, f := range m.blocking {
-		if f.Match(req) {
+		if f.MatchCtx(c) {
 			blocking = f
 			break
 		}
@@ -224,7 +301,7 @@ func (m *LinearMatcher) Match(req *Request) (block bool, blocking, exception *Fi
 		return false, nil, nil
 	}
 	for _, f := range m.exception {
-		if f.Match(req) {
+		if f.MatchCtx(c) {
 			exception = f
 			break
 		}

@@ -55,6 +55,39 @@ func TestMatcherLenAndCatchAll(t *testing.T) {
 	}
 }
 
+// TestMatcherAttributionOrder pins the multi-match tie-break: when several
+// filters match, the winner is the one added first, regardless of where each
+// filter's keyword occurs in the URL. (The pre-context matcher returned the
+// first hit in URL-token order, so Verdict.Filter could diverge from the
+// linear reference on multi-match requests.)
+func TestMatcherAttributionOrder(t *testing.T) {
+	first := mustParse(t, "/zzkey/")
+	second := mustParse(t, "/aakey/")
+	m := NewMatcher()
+	m.Add(first)
+	m.Add(second)
+	// URL token order (aakey before zzkey) is the opposite of add order.
+	r := req("http://x.example/aakey/zzkey/")
+	if _, b, _ := m.Match(r); b != first {
+		t.Errorf("winner = %v, want first-added filter %v", b, first)
+	}
+	lin := NewLinearMatcher()
+	lin.Add(first)
+	lin.Add(second)
+	if _, b, _ := lin.Match(r); b != first {
+		t.Errorf("linear winner = %v, want %v", b, first)
+	}
+
+	// Same tie-break between a catch-all (keyword-less) filter added late
+	// and an indexed filter added early.
+	m2 := NewMatcher()
+	m2.Add(first)
+	m2.Add(mustParse(t, `/zzkey[0-9]*/`)) // regex → catch-all bucket
+	if _, b, _ := m2.Match(r); b != first {
+		t.Errorf("winner with catch-all = %v, want %v", b, first)
+	}
+}
+
 // corpusFilters builds a deterministic pseudo-random rule corpus covering all
 // rule shapes, and corpusURLs builds URLs that hit and miss them.
 func corpusFilters(t *testing.T, n int, rng *rand.Rand) []*Filter {
@@ -118,14 +151,20 @@ func TestMatcherEquivalentToLinear(t *testing.T) {
 	lin.AddAll(fs)
 	hits := 0
 	for _, r := range corpusURLs(3000, rng) {
-		gotBlock, gotB, _ := idx.Match(r)
-		wantBlock, wantB, _ := lin.Match(r)
+		gotBlock, gotB, gotE := idx.Match(r)
+		wantBlock, wantB, wantE := lin.Match(r)
 		if gotBlock != wantBlock {
 			t.Fatalf("divergence on %+v: indexed=%v linear=%v (idx filter %v, lin filter %v)",
 				r, gotBlock, wantBlock, gotB, wantB)
 		}
-		if (gotB != nil) != (wantB != nil) {
-			t.Fatalf("blacklist-hit divergence on %+v: indexed=%v linear=%v", r, gotB, wantB)
+		// Attribution must be deterministic: the indexed matcher returns the
+		// exact same winning filter (first in Add order) as the linear scan,
+		// not merely some matching filter.
+		if gotB != wantB {
+			t.Fatalf("blocking-winner divergence on %+v: indexed=%v linear=%v", r, gotB, wantB)
+		}
+		if gotE != wantE {
+			t.Fatalf("exception-winner divergence on %+v: indexed=%v linear=%v", r, gotE, wantE)
 		}
 		if gotBlock {
 			hits++

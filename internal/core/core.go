@@ -8,6 +8,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"adscape/internal/abp"
 	"adscape/internal/pagemodel"
@@ -75,10 +76,51 @@ func NewPipeline(engine *abp.Engine, opts ...Option) *Pipeline {
 // Engine returns the underlying filter engine.
 func (p *Pipeline) Engine() *abp.Engine { return p.engine }
 
+// PerfStats are the non-deterministic performance counters of a
+// classification run: verdict-cache effectiveness and elapsed classification
+// time. They live outside Stats because Stats must be byte-identical across
+// worker counts and repeat runs (the determinism suite compares it), while
+// cache hit attribution depends on scheduling when shards share one engine.
+type PerfStats struct {
+	// CacheHits and CacheMisses count engine verdict-cache outcomes for the
+	// requests this accumulator observed.
+	CacheHits, CacheMisses uint64
+	// ClassifyNanos sums wall time spent inside ClassifyAll across shards;
+	// on a sharded run it approximates aggregate CPU time, not wall time.
+	ClassifyNanos int64
+}
+
+// Merge folds another accumulator into p; all fields are sums, so per-shard
+// accumulators merge associatively like Stats does.
+func (p *PerfStats) Merge(o PerfStats) {
+	p.CacheHits += o.CacheHits
+	p.CacheMisses += o.CacheMisses
+	p.ClassifyNanos += o.ClassifyNanos
+}
+
+// HitRatio returns the cache hit fraction, 0 before any classification.
+func (p PerfStats) HitRatio() float64 {
+	if p.CacheHits+p.CacheMisses == 0 {
+		return 0
+	}
+	return float64(p.CacheHits) / float64(p.CacheHits+p.CacheMisses)
+}
+
 // ClassifyAll runs the full pipeline over a transaction log. Transactions
 // are grouped per user; page reconstruction runs per user in arrival order;
 // results come back in the input's order.
 func (p *Pipeline) ClassifyAll(txs []*weblog.Transaction) []*Result {
+	var perf PerfStats
+	return p.ClassifyAllPerf(txs, &perf)
+}
+
+// ClassifyAllPerf is ClassifyAll with performance accounting folded into
+// perf. Results are slab-allocated (one backing array per call, not one
+// heap object per transaction) and the engine request is reused across the
+// loop, so classification itself performs no per-transaction allocation
+// beyond what the engine's uncached path needs.
+func (p *Pipeline) ClassifyAllPerf(txs []*weblog.Transaction, perf *PerfStats) []*Result {
+	start := time.Now()
 	type userStream struct {
 		builder *pagemodel.Builder
 		indices []int
@@ -96,14 +138,25 @@ func (p *Pipeline) ClassifyAll(txs []*weblog.Transaction) []*Result {
 		s.builder.Add(tx)
 		s.indices = append(s.indices, i)
 	}
+	slab := make([]Result, len(txs))
 	out := make([]*Result, len(txs))
+	req := abp.Request{}
 	for _, key := range order {
 		s := streams[key]
 		for j, ann := range s.builder.Resolve() {
-			req := &abp.Request{URL: ann.URL, Class: ann.Class, PageHost: ann.PageHost}
-			out[s.indices[j]] = &Result{User: key, Ann: ann, Verdict: p.engine.Classify(req)}
+			req.URL, req.Class, req.PageHost = ann.URL, ann.Class, ann.PageHost
+			v, hit := p.engine.ClassifyCached(&req)
+			if hit {
+				perf.CacheHits++
+			} else {
+				perf.CacheMisses++
+			}
+			r := &slab[s.indices[j]]
+			r.User, r.Ann, r.Verdict = key, ann, v
+			out[s.indices[j]] = r
 		}
 	}
+	perf.ClassifyNanos += time.Since(start).Nanoseconds()
 	return out
 }
 
@@ -114,10 +167,14 @@ func (p *Pipeline) ClassifyUser(key UserKey, txs []*weblog.Transaction) []*Resul
 		b.Add(tx)
 	}
 	anns := b.Resolve()
+	slab := make([]Result, len(anns))
 	out := make([]*Result, len(anns))
+	req := abp.Request{}
 	for i, ann := range anns {
-		req := &abp.Request{URL: ann.URL, Class: ann.Class, PageHost: ann.PageHost}
-		out[i] = &Result{User: key, Ann: ann, Verdict: p.engine.Classify(req)}
+		req.URL, req.Class, req.PageHost = ann.URL, ann.Class, ann.PageHost
+		r := &slab[i]
+		r.User, r.Ann, r.Verdict = key, ann, p.engine.Classify(&req)
+		out[i] = r
 	}
 	return out
 }

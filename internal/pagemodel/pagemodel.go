@@ -97,24 +97,30 @@ func NewBuilder(opt Options) *Builder {
 func (b *Builder) Add(tx *weblog.Transaction) { b.txs = append(b.txs, tx) }
 
 // Resolve runs the reconstruction and returns one annotation per added
-// transaction, in order.
+// transaction, in order. Annotations come from one slab and every
+// transaction's URL is materialized exactly once — this loop runs once per
+// transaction in the trace, so per-item allocations here dominate the whole
+// pipeline's garbage.
 func (b *Builder) Resolve() []*Annotated {
-	out := make([]*Annotated, 0, len(b.txs))
-	for _, tx := range b.txs {
-		out = append(out, b.annotate(tx))
+	anns := make([]Annotated, len(b.txs))
+	out := make([]*Annotated, len(b.txs))
+	raws := make([]string, len(b.txs))
+	for i, tx := range b.txs {
+		raws[i] = tx.URL()
+		b.annotate(&anns[i], tx, raws[i])
+		out[i] = &anns[i]
 	}
-	b.repairRedirectClasses(out)
+	b.repairRedirectClasses(out, raws)
 	return out
 }
 
-// annotate performs page attribution for one transaction.
-func (b *Builder) annotate(tx *weblog.Transaction) *Annotated {
-	rawURL := tx.URL()
-	a := &Annotated{Tx: tx, URL: rawURL}
+// annotate performs page attribution for one transaction, filling a.
+func (b *Builder) annotate(a *Annotated, tx *weblog.Transaction, rawURL string) {
+	a.Tx, a.URL = tx, rawURL
 	if b.opt.Normalizer != nil {
 		a.URL = b.opt.Normalizer.NormalizeURL(rawURL)
 	}
-	a.Class = b.inferClass(tx)
+	a.Class = b.inferClass(tx, rawURL)
 
 	page := b.attribute(tx, rawURL, a.Class)
 	a.PageURL = page
@@ -138,7 +144,6 @@ func (b *Builder) annotate(tx *weblog.Transaction) *Annotated {
 			}
 		}
 	}
-	return a
 }
 
 // attribute decides which page a request belongs to.
@@ -211,8 +216,8 @@ func (b *Builder) isNewPageHead(tx *weblog.Transaction, ref, refPage string) boo
 
 // inferClass applies the paper's content-type rule: extension first, header
 // as fallback (§3.1 "Content Type").
-func (b *Builder) inferClass(tx *weblog.Transaction) urlutil.ContentClass {
-	ext := urlutil.ClassFromExtension(urlutil.Path(tx.URL()))
+func (b *Builder) inferClass(tx *weblog.Transaction, rawURL string) urlutil.ContentClass {
+	ext := urlutil.ClassFromExtension(urlutil.Path(rawURL))
 	mime := urlutil.ClassFromMIME(tx.ContentType)
 	if b.opt.ExtensionFirst {
 		if ext != urlutil.ClassUnknown {
@@ -226,23 +231,23 @@ func (b *Builder) inferClass(tx *weblog.Transaction) urlutil.ContentClass {
 // repairRedirectClasses sets the class of 3xx transactions to the class of
 // the consequent request (§3.1: "the referrer map helps us to set the
 // appropriate content type for the URL that is being redirected").
-func (b *Builder) repairRedirectClasses(as []*Annotated) {
+func (b *Builder) repairRedirectClasses(as []*Annotated, raws []string) {
 	if b.opt.DisableRepair {
 		return
 	}
 	classOf := make(map[string]urlutil.ContentClass, len(as))
-	for _, a := range as {
-		if _, isRedirSource := b.redirectFrom[a.Tx.URL()]; !isRedirSource {
-			if _, ok := classOf[a.Tx.URL()]; !ok {
-				classOf[a.Tx.URL()] = a.Class
+	for i, a := range as {
+		if _, isRedirSource := b.redirectFrom[raws[i]]; !isRedirSource {
+			if _, ok := classOf[raws[i]]; !ok {
+				classOf[raws[i]] = a.Class
 			}
 		}
 	}
-	for _, a := range as {
+	for i, a := range as {
 		if a.Tx.Status < 300 || a.Tx.Status >= 400 {
 			continue
 		}
-		target, ok := b.redirectFrom[a.Tx.URL()]
+		target, ok := b.redirectFrom[raws[i]]
 		if !ok {
 			continue
 		}

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"adscape/internal/core"
 	"adscape/internal/inference"
@@ -31,6 +32,14 @@ type ClassifyResult struct {
 	// on, merged from the per-shard streaming accumulators. Each user's
 	// counters come from exactly one shard.
 	Users map[core.UserKey]*inference.UserStats
+	// Perf carries the verdict-cache and timing counters, merged across
+	// shards with core.PerfStats.Merge. Unlike Stats it is not
+	// deterministic: hit/miss attribution depends on shard interleaving
+	// over the shared engine cache.
+	Perf core.PerfStats
+	// Elapsed is the wall-clock time of the whole sharded classification,
+	// for tx/s reporting (Perf.ClassifyNanos sums per-shard time instead).
+	Elapsed time.Duration
 }
 
 // userShard hashes a user key onto one of n classify workers (FNV-1a over
@@ -71,9 +80,11 @@ func Classify(p *core.Pipeline, txs []*weblog.Transaction, workers int) *Classif
 		parts[j].txs = append(parts[j].txs, tx)
 	}
 
+	start := time.Now()
 	out := &ClassifyResult{Workers: workers, Results: make([]*core.Result, len(txs))}
 	shardStats := make([]*core.Stats, workers)
 	shardUsers := make([]map[core.UserKey]*inference.UserStats, workers)
+	shardPerf := make([]core.PerfStats, workers)
 	var wg sync.WaitGroup
 	for j := range parts {
 		if len(parts[j].txs) == 0 {
@@ -84,7 +95,7 @@ func Classify(p *core.Pipeline, txs []*weblog.Transaction, workers int) *Classif
 			defer wg.Done()
 			stats := core.NewStats()
 			users := make(map[core.UserKey]*inference.UserStats)
-			for k, r := range p.ClassifyAll(parts[j].txs) {
+			for k, r := range p.ClassifyAllPerf(parts[j].txs, &shardPerf[j]) {
 				out.Results[parts[j].indices[k]] = r
 				stats.Observe(r)
 				inference.Accumulate(users, r)
@@ -103,6 +114,8 @@ func Classify(p *core.Pipeline, txs []*weblog.Transaction, workers int) *Classif
 		}
 		out.Stats.Merge(shardStats[j])
 		inference.MergeUsers(out.Users, shardUsers[j])
+		out.Perf.Merge(shardPerf[j])
 	}
+	out.Elapsed = time.Since(start)
 	return out
 }

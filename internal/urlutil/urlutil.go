@@ -73,6 +73,36 @@ func Host(raw string) string {
 	return h
 }
 
+// HostSpan returns the byte range [start, end) of the host component inside
+// raw, with the port and a single trailing dot excluded, exactly as Split
+// delimits it. Callers that already hold a lower-cased copy of raw can slice
+// it with this span to obtain Host(raw) without allocating; abp.MatchContext
+// does this once per request.
+func HostSpan(raw string) (start, end int) {
+	if i := strings.Index(raw, "://"); i >= 0 {
+		start = i + 3
+	} else if strings.HasPrefix(raw, "//") {
+		start = 2
+	}
+	end = len(raw)
+	if i := strings.IndexByte(raw[start:], '#'); i >= 0 {
+		end = start + i
+	}
+	if i := strings.IndexAny(raw[start:end], "/?"); i >= 0 {
+		end = start + i
+	}
+	hostport := raw[start:end]
+	if i := strings.LastIndexByte(hostport, ':'); i >= 0 && !strings.Contains(hostport, "]") {
+		if isDigits(hostport[i+1:]) {
+			end = start + i
+		}
+	}
+	if end > start && raw[end-1] == '.' {
+		end--
+	}
+	return start, end
+}
+
 // Path returns the path component of a raw URL.
 func Path(raw string) string {
 	_, _, _, p, _ := Split(raw)
@@ -92,21 +122,28 @@ var multiLabelSuffixes = map[string]bool{
 
 // RegisteredDomain returns the registrable ("2LD") domain of host: the public
 // suffix plus one label. It returns host unchanged when host has too few
-// labels or is an IP literal.
+// labels or is an IP literal. The result is always a suffix of host, so the
+// call never allocates — it sits on the third-party test of the filter
+// matching hot path.
 func RegisteredDomain(host string) string {
 	if host == "" || isIPLiteral(host) {
 		return host
 	}
-	labels := strings.Split(host, ".")
-	if len(labels) <= 2 {
+	last := strings.LastIndexByte(host, '.')
+	if last < 0 {
 		return host
 	}
-	suffix2 := strings.Join(labels[len(labels)-2:], ".")
+	second := strings.LastIndexByte(host[:last], '.')
+	if second < 0 {
+		return host // two labels: already registrable
+	}
+	suffix2 := host[second+1:]
 	if multiLabelSuffixes[suffix2] {
-		if len(labels) < 3 {
+		third := strings.LastIndexByte(host[:second], '.')
+		if third < 0 {
 			return host
 		}
-		return strings.Join(labels[len(labels)-3:], ".")
+		return host[third+1:]
 	}
 	return suffix2
 }

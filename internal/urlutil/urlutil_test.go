@@ -33,6 +33,40 @@ func TestSplit(t *testing.T) {
 	}
 }
 
+// TestHostSpanAgreesWithHost pins HostSpan's contract: slicing the URL with
+// the span and lower-casing must reproduce Host(raw) exactly, over every
+// shape Split handles (schemes, scheme-relative, bare hosts, ports, IPv6
+// brackets, fragments, trailing dots, empty input).
+func TestHostSpanAgreesWithHost(t *testing.T) {
+	urls := []string{
+		"http://example.com/a/b?x=1",
+		"https://Ads.Example.COM:8443/p?q=2",
+		"//cdn.example.net/lib.js",
+		"example.com",
+		"http://example.com",
+		"http://example.com?x=1",
+		"http://example.com/a#frag",
+		"http://example.com./a",
+		"http://10.0.0.1:8080/t.gif",
+		"http://[2001:db8::1]:8080/x",
+		"",
+		"http://h/p?a=1&b=2#f",
+		"http://example.com#f",
+		"HTTP://MIXED.Example.com/Path",
+		"http://example.com:/empty-port",
+	}
+	for _, raw := range urls {
+		start, end := HostSpan(raw)
+		if start < 0 || end < start || end > len(raw) {
+			t.Errorf("HostSpan(%q) = [%d,%d): out of range", raw, start, end)
+			continue
+		}
+		if got, want := strings.ToLower(raw[start:end]), Host(raw); got != want {
+			t.Errorf("HostSpan(%q) slices %q, Host gives %q", raw, got, want)
+		}
+	}
+}
+
 func TestRegisteredDomain(t *testing.T) {
 	tests := []struct{ host, want string }{
 		{"www.example.com", "example.com"},
