@@ -11,12 +11,21 @@
 //	        [-resume] [-deadline 4h] [-stall-timeout 1m]
 //	        [-restart-budget N] [-fail-degraded F] [-verdict-cache N]
 //	        [-cpuprofile file] [-memprofile file]
+//	        [-debug-addr 127.0.0.1:6060] [-heartbeat 30s]
 //
 // Classification memoizes engine verdicts in a bounded LRU (-verdict-cache
 // entries, 0 disables); the hit ratio and classification throughput are
 // reported on stderr so stdout stays byte-identical across repeat and
 // resumed runs. -cpuprofile/-memprofile write pprof profiles of the whole
 // run (see README "Profiling").
+//
+// -debug-addr serves a live observability endpoint while the run is in
+// flight: /debug/metrics is a JSON snapshot of every stage's counters,
+// gauges, and latency/queue-depth histograms (wire decode, reassembly,
+// analyzer pairing, classification, supervision), /debug/pprof/ the standard
+// profiles. The endpoint exposes internals — bind it to localhost. -heartbeat
+// logs a one-line liveness summary at a fixed interval without any endpoint.
+// Neither affects stdout, which stays byte-identical across worker counts.
 //
 // By default the trace is read leniently: corrupt records are skipped by
 // resynchronizing on the next plausible record boundary, and the flow table
@@ -69,6 +78,7 @@ import (
 	"adscape/internal/core"
 	"adscape/internal/dnssim"
 	"adscape/internal/inference"
+	"adscape/internal/obs"
 	"adscape/internal/pipeline"
 	"adscape/internal/runz"
 	"adscape/internal/webgen"
@@ -104,6 +114,8 @@ func main() {
 		verdictCache = flag.Int("verdict-cache", abp.DefaultVerdictCacheEntries, "engine verdict-cache entries (0 = disable memoization)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		debugAddr    = flag.String("debug-addr", "", "serve live JSON metrics and pprof on this address (e.g. 127.0.0.1:6060); exposes internals, bind localhost only")
+		heartbeat    = flag.Duration("heartbeat", 0, "log a one-line progress heartbeat at this interval (0 = off)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -121,6 +133,21 @@ func main() {
 	// every completed-run exit path rather than by defer.
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 
+	// The debug endpoint and its registry exist only when requested; a nil
+	// registry threads through every stage as no-op handles, so the default
+	// run pays nothing (the obs zero-cost contract, DESIGN.md §11). All obs
+	// state stays off stdout — the endpoint serves diagnostics, the report
+	// stays byte-identical across worker counts.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoint on http://%s (/debug/metrics, /debug/pprof/)", srv.Addr())
+	}
+
 	wopt := webgen.DefaultOptions()
 	wopt.NumSites = *sites
 	wopt.Seed = *seed
@@ -137,6 +164,9 @@ func main() {
 	r, err := wire.NewReaderOptions(f, wire.ReaderOptions{Lenient: !*strict})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if reg != nil {
+		r.SetObs(wire.NewMetrics(reg))
 	}
 	lim := analyzer.Limits{}
 	if !*strict {
@@ -178,6 +208,8 @@ func main() {
 		RestartBudget:         *restartBug,
 		CrashAfterCheckpoints: *crashAfter,
 		OnEvent:               func(msg string) { log.Print(msg) },
+		Obs:                   reg,
+		Heartbeat:             *heartbeat,
 	}
 	if *resume {
 		ck, err := runz.LoadCheckpoint(*ckptPath)
@@ -221,10 +253,14 @@ func main() {
 
 	engine := world.Bundle.ClassifierEngine()
 	engine.SetVerdictCacheSize(*verdictCache)
-	cls := pipeline.Classify(core.NewPipeline(engine), res.Transactions, *workers)
+	if reg != nil {
+		engine.RegisterMetrics(reg)
+	}
+	cls := pipeline.ClassifyObs(core.NewPipeline(engine), res.Transactions, *workers, reg)
 	agg := cls.Stats
 	fmt.Printf("ad requests:        %d (%.2f%%)\n", agg.AdRequests, agg.AdRatio()*100)
 	fmt.Printf("ad bytes:           %d (%.2f%%)\n", agg.AdBytes, 100*float64(agg.AdBytes)/float64(max64(agg.Bytes, 1)))
+	fmt.Printf("bodiless content-length excluded: %d\n", agg.BodilessExcluded)
 	for _, name := range agg.ListNames() {
 		fmt.Printf("  list %-14s %d hits\n", name, agg.PerList[name])
 	}
@@ -351,6 +387,8 @@ func printDegradation(rs wire.ReaderStats, res *runz.Result) {
 	fmt.Printf("  reassembly:        %d gaps, %d trimmed retransmissions\n", res.Table.Gaps, res.Table.TrimmedSegments)
 	fmt.Printf("  parse errors:      %d\n", res.Stats.ParseErrors)
 	fmt.Printf("  pending evicted:   %d\n", res.Stats.PendingEvicted)
+	fmt.Printf("  interim responses: %d\n", res.Stats.InterimResponses)
+	fmt.Printf("  orphan responses:  %d\n", res.Stats.OrphanResponses)
 	fmt.Printf("  restarted shards:  %d (%d flows lost)\n", res.Restarts, res.LostFlows)
 	if res.Workers > 1 {
 		for _, s := range res.Shards {

@@ -1,0 +1,30 @@
+package abp
+
+import "adscape/internal/obs"
+
+// RegisterMetrics publishes the engine's verdict-cache counters into reg as
+// computed gauges, evaluated at snapshot time (the expvar pattern): the cache
+// already keeps its hit/miss counters in atomics and its size behind shard
+// locks, so the registry holds closures over the engine rather than copies.
+// The hit ratio is published in basis points (hits per 10000 lookups) since
+// computed gauges are integral. Nil-safe on a nil registry; call again after
+// SetVerdictCacheSize, which swaps the cache, only if the engine itself was
+// replaced (the closures read through the receiver, so a swap is picked up
+// automatically).
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	reg.Func("abp.verdict_cache_hits", func() int64 {
+		return int64(e.VerdictCacheStats().Hits)
+	})
+	reg.Func("abp.verdict_cache_misses", func() int64 {
+		return int64(e.VerdictCacheStats().Misses)
+	})
+	reg.Func("abp.verdict_cache_size", func() int64 {
+		return int64(e.VerdictCacheStats().Size)
+	})
+	reg.Func("abp.verdict_cache_cap", func() int64 {
+		return int64(e.VerdictCacheStats().Cap)
+	})
+	reg.Func("abp.verdict_cache_hit_ratio_bp", func() int64 {
+		return int64(e.VerdictCacheStats().HitRatio() * 10000)
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"adscape/internal/obs"
 	"adscape/internal/weblog"
 	"adscape/internal/wire"
 )
@@ -42,6 +43,16 @@ type Stats struct {
 	// requests. They still count as transactions — the request reached the
 	// wire — but their response fields are empty.
 	PendingEvicted int
+	// InterimResponses counts 1xx status lines (100 Continue, 103 Early
+	// Hints, ...). Interim responses are informational: the final response
+	// for the same request follows on the same connection (RFC 7231 §6.2),
+	// so they must not consume the pending request — doing so shifted the
+	// pairing of every later transaction on the connection.
+	InterimResponses int
+	// OrphanResponses counts final responses that arrived with no pending
+	// request on the connection (loss, or capture started mid-flow). They
+	// are emitted as response-only transactions.
+	OrphanResponses int
 }
 
 // Merge folds another analyzer's counters into s. Every field is a sum over
@@ -54,6 +65,48 @@ func (s *Stats) Merge(o Stats) {
 	s.HTTPWireBytes += o.HTTPWireBytes
 	s.ParseErrors += o.ParseErrors
 	s.PendingEvicted += o.PendingEvicted
+	s.InterimResponses += o.InterimResponses
+	s.OrphanResponses += o.OrphanResponses
+}
+
+// Metrics is the analyzer's live obs instrumentation: atomic mirrors of the
+// Stats counters (plus the pairing-anomaly breakdown) that a debug endpoint
+// can read mid-run, which the Stats struct — owned by the shard goroutine and
+// only published at barriers — cannot provide. All handles may be nil
+// (NewMetrics over a nil registry), in which case every update no-ops; the
+// deterministic Stats always count regardless.
+type Metrics struct {
+	Packets          *obs.Counter
+	Transactions     *obs.Counter
+	TLSFlows         *obs.Counter
+	ParseErrors      *obs.Counter
+	PendingEvicted   *obs.Counter
+	InterimResponses *obs.Counter
+	OrphanResponses  *obs.Counter
+	// PairLatency is the request→response header latency (§8.2's HTTP
+	// handshake) in nanoseconds, observed at pairing time.
+	PairLatency *obs.Histogram
+	// Wire carries the flow-table/reassembly handles; SetObs forwards it to
+	// the analyzer's table so one Metrics instruments the whole ingest stage.
+	Wire *wire.Metrics
+}
+
+// NewMetrics resolves the analyzer's metric handles in reg; reg may be nil,
+// yielding no-op handles. Shards may share one registry (the counters are
+// atomic) or hold private registries and merge snapshots — both yield the
+// same totals.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Packets:          reg.Counter("analyzer.packets"),
+		Transactions:     reg.Counter("analyzer.http_transactions"),
+		TLSFlows:         reg.Counter("analyzer.tls_flows"),
+		ParseErrors:      reg.Counter("analyzer.parse_errors"),
+		PendingEvicted:   reg.Counter("analyzer.pending_evicted"),
+		InterimResponses: reg.Counter("analyzer.interim_responses"),
+		OrphanResponses:  reg.Counter("analyzer.orphan_responses"),
+		PairLatency:      reg.Histogram("analyzer.pair_latency_ns", obs.ExpBuckets(1e6, 4, 12)),
+		Wire:             wire.NewMetrics(reg),
+	}
 }
 
 // Limits bounds the analyzer's memory. The zero value imposes no bounds
@@ -81,6 +134,7 @@ type Analyzer struct {
 	stats  Stats
 	conns  map[*wire.Flow]*connState
 	limits Limits
+	obs    *Metrics
 }
 
 // connState is the per-flow HTTP parser state.
@@ -101,9 +155,19 @@ func New(sink Sink) *Analyzer {
 
 // NewWithLimits creates an Analyzer bounded by lim.
 func NewWithLimits(sink Sink, lim Limits) *Analyzer {
-	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState), limits: lim}
+	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState), limits: lim, obs: NewMetrics(nil)}
 	a.table = wire.NewFlowTableLimits(a, lim.Table)
 	return a
+}
+
+// SetObs attaches live instrumentation; nil restores the no-op default.
+// Call before feeding packets.
+func (a *Analyzer) SetObs(m *Metrics) {
+	if m == nil {
+		m = NewMetrics(nil)
+	}
+	a.obs = m
+	a.table.SetObs(m.Wire)
 }
 
 // Stats returns the running aggregates.
@@ -119,6 +183,7 @@ func (a *Analyzer) NumActive() int { return a.table.NumActive() }
 // Add processes one packet.
 func (a *Analyzer) Add(p *wire.Packet) {
 	a.stats.Packets++
+	a.obs.Packets.Inc()
 	a.table.Add(p)
 }
 
@@ -224,6 +289,7 @@ func (a *Analyzer) onRequest(f *wire.Flow, cs *connState, block string, t int64)
 	parts := strings.SplitN(lines[0], " ", 3)
 	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
 		a.stats.ParseErrors++
+		a.obs.ParseErrors.Inc()
 		return
 	}
 	tx := &weblog.Transaction{
@@ -262,6 +328,8 @@ func (a *Analyzer) onRequest(f *wire.Flow, cs *connState, block string, t int64)
 		cs.pending = cs.pending[1:]
 		a.stats.PendingEvicted++
 		a.stats.HTTPTransactions++
+		a.obs.PendingEvicted.Inc()
+		a.obs.Transactions.Inc()
 		a.sink.HTTP(old)
 	}
 }
@@ -271,11 +339,24 @@ func (a *Analyzer) onResponse(f *wire.Flow, cs *connState, block string, t int64
 	parts := strings.SplitN(lines[0], " ", 3)
 	if len(parts) < 2 {
 		a.stats.ParseErrors++
+		a.obs.ParseErrors.Inc()
 		return
 	}
 	status, err := strconv.Atoi(parts[1])
 	if err != nil {
 		a.stats.ParseErrors++
+		a.obs.ParseErrors.Inc()
+		return
+	}
+	if status >= 100 && status < 200 {
+		// Interim response (100 Continue, 103 Early Hints): informational,
+		// the final response for the same request is still to come on this
+		// connection (RFC 7231 §6.2). Consuming the pending request here —
+		// the old behavior — paired the real final response with the *next*
+		// pipelined request and corrupted every later pairing on the
+		// connection. Keep the request queued; just count the sighting.
+		a.stats.InterimResponses++
+		a.obs.InterimResponses.Inc()
 		return
 	}
 	var tx *weblog.Transaction
@@ -284,6 +365,8 @@ func (a *Analyzer) onResponse(f *wire.Flow, cs *connState, block string, t int64
 		cs.pending = cs.pending[1:]
 	} else {
 		// Response without an observed request (loss or mid-stream flow).
+		a.stats.OrphanResponses++
+		a.obs.OrphanResponses.Inc()
 		tx = &weblog.Transaction{
 			ClientIP:      f.ClientIP,
 			ServerIP:      f.ServerIP,
@@ -311,6 +394,10 @@ func (a *Analyzer) onResponse(f *wire.Flow, cs *connState, block string, t int64
 		}
 	}
 	a.stats.HTTPTransactions++
+	a.obs.Transactions.Inc()
+	if ns, ok := tx.HTTPHandshake(); ok {
+		a.obs.PairLatency.Observe(ns)
+	}
 	a.sink.HTTP(tx)
 }
 
@@ -342,6 +429,7 @@ func (a *Analyzer) FlowClosed(f *wire.Flow) {
 			tf.TCPRTT = rtt
 		}
 		a.stats.TLSFlows++
+		a.obs.TLSFlows.Inc()
 		a.sink.TLS(tf)
 		return
 	}
@@ -352,6 +440,7 @@ func (a *Analyzer) FlowClosed(f *wire.Flow) {
 	// measurement counts (the request reached the wire).
 	for _, tx := range cs.pending {
 		a.stats.HTTPTransactions++
+		a.obs.Transactions.Inc()
 		a.sink.HTTP(tx)
 	}
 }

@@ -144,6 +144,134 @@ func TestAnalyzerRedirectLocation(t *testing.T) {
 	}
 }
 
+// interimResp renders a bare 1xx interim status block (no body follows;
+// RFC 7231 §6.2 interim responses are header-only).
+func interimResp(status int) []byte {
+	return []byte(fmt.Sprintf("HTTP/1.1 %d Interim\r\n\r\n", status))
+}
+
+func TestAnalyzer100ContinuePairing(t *testing.T) {
+	// POST with Expect: 100-continue: the server sends "100 Continue", then
+	// the final "201 Created". The 100 must not consume the pending request;
+	// the final response pairs with the POST.
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5010, 210, 80, 5e6, 1)
+	est, _ := c.Open(1e9)
+	c.Request(est, httpReq("POST", "api.example", "/upload", "", "UA"))
+	c.Response(est+5e6, interimResp(100), 0)
+	c.Response(est+40e6, httpResp(201, "application/json", 17, ""), 17)
+	c.Close(est + 60e6)
+	a.Finish()
+
+	if len(col.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(col.Transactions))
+	}
+	tx := col.Transactions[0]
+	if tx.Method != "POST" || tx.URI != "/upload" {
+		t.Errorf("request fields: %+v", tx)
+	}
+	if tx.Status != 201 || tx.ContentLength != 17 {
+		t.Errorf("final response must pair with the POST, got status=%d clen=%d", tx.Status, tx.ContentLength)
+	}
+	if got := a.Stats().InterimResponses; got != 1 {
+		t.Errorf("InterimResponses = %d, want 1", got)
+	}
+	if got := a.Stats().OrphanResponses; got != 0 {
+		t.Errorf("OrphanResponses = %d, want 0 (the 100 must not orphan the 201)", got)
+	}
+}
+
+func TestAnalyzerInterimOnPipelinedConnection(t *testing.T) {
+	// Three pipelined requests; the second is answered with a 103 Early
+	// Hints before its final 200. Before the fix the 103 consumed request 2,
+	// shifting every later pairing on the connection by one.
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5011, 211, 80, 5e6, 1)
+	est, _ := c.Open(1e9)
+	for i := 0; i < 3; i++ {
+		if err := c.Request(est+int64(i)*2e6, httpReq("GET", "pipelined.example", fmt.Sprintf("/obj%d", i), "", "UA")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Response(est+10e6, httpResp(200, "text/html", 1000, ""), 1000)
+	c.Response(est+12e6, interimResp(103), 0)
+	c.Response(est+20e6, httpResp(200, "text/css", 2000, ""), 2000)
+	c.Response(est+30e6, httpResp(200, "image/gif", 3000, ""), 3000)
+	c.Close(est + 50e6)
+	a.Finish()
+
+	if len(col.Transactions) != 3 {
+		t.Fatalf("transactions = %d, want 3", len(col.Transactions))
+	}
+	wantLen := []int64{1000, 2000, 3000}
+	for i, tx := range col.Transactions {
+		if tx.URI != fmt.Sprintf("/obj%d", i) || tx.ContentLength != wantLen[i] {
+			t.Errorf("tx %d: uri=%q clen=%d, want /obj%d clen=%d (pairing shifted by interim response)",
+				i, tx.URI, tx.ContentLength, i, wantLen[i])
+		}
+		if tx.Status != 200 {
+			t.Errorf("tx %d: status = %d, want 200", i, tx.Status)
+		}
+	}
+	if got := a.Stats().InterimResponses; got != 1 {
+		t.Errorf("InterimResponses = %d, want 1", got)
+	}
+	if got := a.Stats().HTTPTransactions; got != 3 {
+		t.Errorf("HTTPTransactions = %d, want 3 (interim responses are not transactions)", got)
+	}
+}
+
+func TestAnalyzerMultipleInterimResponses(t *testing.T) {
+	// 100 and 103 may both precede one final response; none of them may
+	// dequeue the request.
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5012, 212, 80, 5e6, 1)
+	est, _ := c.Open(1e9)
+	c.Request(est, httpReq("POST", "api.example", "/big", "", "UA"))
+	c.Response(est+2e6, interimResp(100), 0)
+	c.Response(est+4e6, interimResp(103), 0)
+	c.Response(est+50e6, httpResp(200, "text/plain", 2, ""), 2)
+	c.Close(est + 80e6)
+	a.Finish()
+	if len(col.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(col.Transactions))
+	}
+	if col.Transactions[0].Status != 200 {
+		t.Errorf("status = %d, want 200", col.Transactions[0].Status)
+	}
+	if got := a.Stats().InterimResponses; got != 2 {
+		t.Errorf("InterimResponses = %d, want 2", got)
+	}
+}
+
+func TestAnalyzerOrphanResponseCounted(t *testing.T) {
+	// A final response with no pending request (mid-stream capture) is
+	// emitted response-only and counted as an orphan.
+	col := &Collector{}
+	a := New(col)
+	emit := func(p *wire.Packet) error { a.Add(p); return nil }
+	c := wire.NewConnEmitter(emit, 101, 5013, 213, 80, 5e6, 1)
+	est, _ := c.Open(1e9)
+	c.Response(est+10e6, httpResp(200, "text/html", 500, ""), 500)
+	c.Close(est + 20e6)
+	a.Finish()
+	if len(col.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(col.Transactions))
+	}
+	if col.Transactions[0].Method != "" || col.Transactions[0].Status != 200 {
+		t.Errorf("orphan response fields: %+v", col.Transactions[0])
+	}
+	if got := a.Stats().OrphanResponses; got != 1 {
+		t.Errorf("OrphanResponses = %d, want 1", got)
+	}
+}
+
 func TestAnalyzerTLSFlowSummary(t *testing.T) {
 	col := &Collector{}
 	a := New(col)

@@ -70,7 +70,7 @@ func (a *Analyzer) Snapshot() *Snapshot {
 // match the limits the snapshotted analyzer ran under, or eviction decisions
 // diverge from the uninterrupted run.
 func Restore(sink Sink, lim Limits, snap *Snapshot) (*Analyzer, error) {
-	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState), limits: lim, stats: snap.Stats}
+	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState), limits: lim, stats: snap.Stats, obs: NewMetrics(nil)}
 	table, flows := wire.RestoreFlowTable(a, lim.Table, snap.Table)
 	a.table = table
 	for _, c := range snap.Conns {

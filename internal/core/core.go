@@ -38,11 +38,30 @@ func (r *Result) IsAd() bool { return r.Verdict.IsAd() }
 
 // Bytes returns the response size used for byte accounting: Content-Length
 // when present, otherwise 0 (header-only traces carry no other size signal).
+// Bodiless responses are excluded: a HEAD response, a 204, or a 304 carries
+// a Content-Length describing the representation it did NOT transfer
+// (RFC 7230 §3.3.2), so counting it would inflate the Fig. 4 size CDFs and
+// the ad-bytes ratios with bytes that never crossed the wire.
 func (r *Result) Bytes() int64 {
+	if r.BodilessLength() {
+		return 0
+	}
 	if r.Ann.Tx.ContentLength > 0 {
 		return r.Ann.Tx.ContentLength
 	}
 	return 0
+}
+
+// BodilessLength reports whether this transaction advertises a
+// Content-Length for a response that by definition has no body (HEAD
+// request, 204 No Content, 304 Not Modified) — the cases Bytes excludes
+// and Stats.BodilessExcluded counts.
+func (r *Result) BodilessLength() bool {
+	tx := r.Ann.Tx
+	if tx.ContentLength <= 0 {
+		return false
+	}
+	return tx.Method == "HEAD" || tx.Status == 204 || tx.Status == 304
 }
 
 // Pipeline is a reusable classifier over an engine and its rule set.
@@ -195,6 +214,10 @@ type Stats struct {
 	// WhitelistedAndBlacklisted counts whitelisted requests that some
 	// blacklist also matched ("match the blacklist", §7.3).
 	WhitelistedAndBlacklisted int
+	// BodilessExcluded counts responses whose advertised Content-Length was
+	// excluded from Bytes/AdBytes because the response carries no body
+	// (HEAD, 204, 304) — how much Fig. 4 skew the fix removed.
+	BodilessExcluded int
 }
 
 // NewStats returns an empty accumulator ready for Observe/Merge.
@@ -206,6 +229,9 @@ func NewStats() *Stats { return &Stats{PerList: make(map[string]int)} }
 func (s *Stats) Observe(r *Result) {
 	s.Requests++
 	s.Bytes += r.Bytes()
+	if r.BodilessLength() {
+		s.BodilessExcluded++
+	}
 	if !r.IsAd() {
 		return
 	}
@@ -238,6 +264,7 @@ func (s *Stats) Merge(o *Stats) {
 	}
 	s.Whitelisted += o.Whitelisted
 	s.WhitelistedAndBlacklisted += o.WhitelistedAndBlacklisted
+	s.BodilessExcluded += o.BodilessExcluded
 }
 
 // Aggregate folds results into Stats.

@@ -99,6 +99,50 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 }
 
+func TestBodilessContentLengthExcluded(t *testing.T) {
+	// HEAD, 204 and 304 responses may advertise a Content-Length for a body
+	// they do not transfer (RFC 7230 §3.3.2); the size accounting must not
+	// count those bytes.
+	p := NewPipeline(testEngine(t))
+	page := "http://www.news.example/index.html"
+	head := tx(2e9, 7, "UA-A", "www.news.example", "/probe.html", page, "text/html", 7777)
+	head.Method = "HEAD"
+	noContent := tx(3e9, 7, "UA-A", "www.news.example", "/beacon", page, "text/plain", 512)
+	noContent.Status = 204
+	notModified := tx(4e9, 7, "UA-A", "www.news.example", "/style.css", page, "text/css", 3000)
+	notModified.Status = 304
+	txs := []*weblog.Transaction{
+		tx(1e9, 7, "UA-A", "www.news.example", "/index.html", "", "text/html", 20000),
+		head,
+		noContent,
+		notModified,
+	}
+	res := p.ClassifyAll(txs)
+	for i := 1; i < 4; i++ {
+		if got := res[i].Bytes(); got != 0 {
+			t.Errorf("tx %d: Bytes() = %d, want 0 (bodiless)", i, got)
+		}
+		if !res[i].BodilessLength() {
+			t.Errorf("tx %d: BodilessLength() = false", i)
+		}
+	}
+	stats := Aggregate(res)
+	if stats.Bytes != 20000 {
+		t.Errorf("stats.Bytes = %d, want 20000 (bodiless Content-Lengths excluded)", stats.Bytes)
+	}
+	if stats.BodilessExcluded != 3 {
+		t.Errorf("BodilessExcluded = %d, want 3", stats.BodilessExcluded)
+	}
+	// A bodiless response with no Content-Length is not "excluded" — there
+	// was nothing to exclude.
+	bare := tx(5e9, 7, "UA-A", "www.news.example", "/empty", page, "", -1)
+	bare.Status = 304
+	res2 := p.ClassifyAll([]*weblog.Transaction{bare})
+	if res2[0].BodilessLength() {
+		t.Error("Content-Length-less 304 must not count as excluded")
+	}
+}
+
 func TestPipelinePerUserIsolation(t *testing.T) {
 	// Two users interleaved: referrer maps must not leak across users.
 	p := NewPipeline(testEngine(t))

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the debug endpoint's mux:
+//
+//	/debug/metrics  JSON snapshot of the registry (sorted keys, indented)
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//	/               a plain-text index of the above
+//
+// The endpoint exposes internal state and profiling (CPU seconds on demand,
+// heap contents); bind it to localhost or a private interface, never a
+// public address — see DESIGN.md §11 for the security contract.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := reg.Snapshot().MarshalIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "adscape debug endpoint\n\n/debug/metrics\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with a ":0" listen address).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down; in-flight scrapes are abandoned, which is
+// fine for a best-effort debug surface.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr and serves Handler(reg) in a background goroutine. It
+// returns once the listener is bound, so a caller that logs Addr() is
+// guaranteed the endpoint is scrapeable; serve-loop errors after that are
+// dropped (the endpoint is diagnostic, never load-bearing).
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: binding debug endpoint: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

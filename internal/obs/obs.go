@@ -1,0 +1,247 @@
+// Package obs is the pipeline's observability layer: a registry of named
+// atomic counters, gauges, and fixed-bucket histograms that every stage
+// (wire decode, reassembly, analyzer pairing, classification, inference,
+// supervision) increments on its hot path, plus JSON snapshots served over an
+// optional debug HTTP endpoint (see Serve).
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled. Every metric type no-ops on a nil receiver,
+//     and a nil *Registry hands out nil metrics, so an uninstrumented run
+//     pays one predictable nil-check branch per event and nothing else — no
+//     map lookups, no locks, no allocation.
+//  2. Allocation-free when enabled. Counter.Add, Gauge.Set and
+//     Histogram.Observe perform only atomic operations on preallocated
+//     memory; metric handles are resolved once at construction time, never
+//     per event.
+//  3. Mergeable across shards, like core.PerfStats and analyzer.Stats:
+//     Snapshot values of per-shard registries sum associatively, so the
+//     merged view of an N-shard run equals a single-shard run for every
+//     deterministic counter (the regression suite in internal/pipeline
+//     checks exactly this).
+//  4. Out of the determinism contract. Obs state never feeds core.Stats or
+//     anything printed to stdout; latency and queue-depth histograms are
+//     explicitly scheduling-dependent and live only here (DESIGN.md §11).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil Counter silently discards updates, which is how
+// uninstrumented pipelines run with zero overhead.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, live-flow count,
+// checkpoint age). A nil Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d to the gauge. No-op on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations (latencies
+// in nanoseconds, queue depths, byte sizes). Bucket bounds are fixed at
+// creation so per-shard histograms with identical bounds merge exactly,
+// bucket by bucket. Observe is allocation-free: a linear scan over the
+// (small, cache-resident) bounds slice and two atomic adds.
+type Histogram struct {
+	bounds []int64         // ascending upper bounds; bucket i counts v <= bounds[i]
+	counts []atomic.Uint64 // len(bounds)+1; the last bucket is the overflow
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a standalone histogram with the given ascending upper
+// bounds. Most callers want Registry.Histogram instead.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values; 0 on a nil receiver.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// ExpBuckets returns n ascending bucket bounds starting at first and growing
+// by factor — the standard shape for latency histograms (e.g.
+// ExpBuckets(1000, 4, 12) spans 1µs to ~4s in nanoseconds).
+func ExpBuckets(first int64, factor float64, n int) []int64 {
+	out := make([]int64, n)
+	v := float64(first)
+	for i := 0; i < n; i++ {
+		out[i] = int64(v)
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n ascending bounds first, first+step, ... — the
+// shape for bounded small-integer distributions like queue depths.
+func LinearBuckets(first, step int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = first + int64(i)*step
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Registration (Counter, Gauge,
+// Histogram, Func) takes a lock and may allocate; it happens once per stage
+// at construction time. The handles it returns are then used lock-free.
+//
+// A nil *Registry is valid everywhere and hands out nil handles, so callers
+// thread an optional registry through with no conditionals at use sites.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use. A later call with different bounds returns the existing
+// histogram unchanged: first registration wins, so per-shard stages that
+// race to register agree on the bucket layout. Nil-safe.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Func registers a computed gauge, evaluated at snapshot time — the expvar
+// pattern for values that already live behind their own synchronization
+// (verdict-cache hit counters, checkpoint age, goroutine count). fn must be
+// safe to call from any goroutine. Nil-safe; the last registration wins.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Everything must be callable through nil: a run without -debug-addr
+	// threads nil registries and nil handles through every stage.
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []int64{1, 2})
+	r.Func("f", func() int64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	g.Set(7)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram observed something")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestCounterGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tx")
+	c.Add(3)
+	c.Inc()
+	if got := r.Counter("tx").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(9)
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	r.Func("computed", func() int64 { return 42 })
+	snap := r.Snapshot()
+	if snap.Counters["tx"] != 4 || snap.Gauges["depth"] != 7 || snap.Gauges["computed"] != 42 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1+10+11+100+500+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	want := []uint64{2, 2, 1, 1} // <=10, <=100, <=1000, overflow
+	var got []uint64
+	for i := range h.counts {
+		got = append(got, h.counts[i].Load())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1000, 4, 3)
+	if !reflect.DeepEqual(exp, []int64{1000, 4000, 16000}) {
+		t.Fatalf("ExpBuckets = %v", exp)
+	}
+	lin := LinearBuckets(0, 2, 4)
+	if !reflect.DeepEqual(lin, []int64{0, 2, 4, 6}) {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+}
+
+func TestHistogramFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("lat", []int64{1, 2, 3})
+	b := r.Histogram("lat", []int64{100})
+	if a != b {
+		t.Fatal("second registration created a new histogram")
+	}
+	if len(b.bounds) != 3 {
+		t.Fatalf("bounds = %v, want the first registration's", b.bounds)
+	}
+}
+
+// TestSnapshotMergeAlgebra checks the shard-merge contract: per-shard
+// registries merged in any order equal one shared registry fed the union of
+// events — the same algebra the analyzer/core accumulators obey.
+func TestSnapshotMergeAlgebra(t *testing.T) {
+	bounds := []int64{10, 100}
+	shared := NewRegistry()
+	shards := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+	events := []struct {
+		shard int
+		v     int64
+	}{{0, 5}, {1, 50}, {2, 500}, {0, 7}, {1, 3}, {2, 99}}
+	for _, e := range events {
+		for _, reg := range []*Registry{shared, shards[e.shard]} {
+			reg.Counter("n").Inc()
+			reg.Gauge("g").Add(e.v)
+			reg.Histogram("h", bounds).Observe(e.v)
+		}
+	}
+
+	// Merge the shard snapshots in two different orders.
+	for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}} {
+		merged := NewRegistry().Snapshot()
+		for _, i := range order {
+			if err := merged.Merge(shards[i].Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := shared.Snapshot()
+		if !reflect.DeepEqual(merged, want) {
+			t.Fatalf("order %v: merged = %+v, want %+v", order, merged, want)
+		}
+	}
+}
+
+func TestSnapshotMergeBoundsMismatch(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("h", []int64{1, 2}).Observe(1)
+	b := NewRegistry()
+	b.Histogram("h", []int64{5}).Observe(1)
+	if err := a.Snapshot().Merge(b.Snapshot()); err == nil {
+		t.Fatal("merging mismatched bounds succeeded")
+	}
+}
+
+// TestHotPathAllocationFree pins the hot-path contract: once handles exist,
+// recording events allocates nothing (nil or live).
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBuckets(1, 4, 12))
+	var nilC *Counter
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(12345)
+		nilC.Inc()
+		nilH.Observe(1)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %.1f per op", n)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h", []int64{10}).Observe(int64(j))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestServeMetricsAndIndex(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(11)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["requests"] != 11 {
+		t.Fatalf("scraped snapshot = %+v", snap)
+	}
+
+	for path, want := range map[string]int{"/": 200, "/debug/pprof/": 200, "/nope": 404} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}

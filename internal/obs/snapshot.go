@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Snapshot is a point-in-time copy of a registry's metrics, safe to merge,
+// compare, and marshal. Reads are atomic per metric but not across metrics:
+// a snapshot taken mid-run can show counter A before and counter B after the
+// same event. The end-of-run snapshot of a quiesced pipeline is exact.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	// Bounds are the ascending bucket upper bounds; Counts has one extra
+	// trailing overflow bucket.
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Sum    int64    `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Snapshot captures every registered metric. Func gauges are evaluated now
+// and land in Gauges under their registered names. A nil registry yields an
+// empty (but non-nil-map) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	// Copy the handle sets under the lock, read the atomics outside it, and
+	// call Func gauges unlocked: a Func that touches the registry (or blocks)
+	// must not wedge every concurrent metric registration.
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for n, fn := range r.funcs {
+		funcs[n] = fn
+	}
+	r.mu.RUnlock()
+
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, fn := range funcs {
+		s.Gauges[n] = fn()
+	}
+	for n, h := range hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+			hs.Count += hs.Counts[i]
+		}
+		s.Histograms[n] = hs
+	}
+	return s
+}
+
+// Merge folds another snapshot into s: counters and gauges sum, histograms
+// add bucket-wise. Merging the per-shard snapshots of a partitioned run
+// reproduces what one shared registry would report, in any merge order —
+// the same algebra analyzer.Stats and core.PerfStats follow. Histograms
+// with the same name must share bucket bounds; a mismatch is an error and
+// s is left partially merged.
+func (s *Snapshot) Merge(o *Snapshot) error {
+	if o == nil {
+		return nil
+	}
+	for n, v := range o.Counters {
+		s.Counters[n] += v
+	}
+	for n, v := range o.Gauges {
+		s.Gauges[n] += v
+	}
+	for n, oh := range o.Histograms {
+		sh, ok := s.Histograms[n]
+		if !ok {
+			s.Histograms[n] = HistogramSnapshot{
+				Bounds: append([]int64(nil), oh.Bounds...),
+				Counts: append([]uint64(nil), oh.Counts...),
+				Sum:    oh.Sum,
+				Count:  oh.Count,
+			}
+			continue
+		}
+		if len(sh.Bounds) != len(oh.Bounds) {
+			return fmt.Errorf("obs: histogram %q: merging %d bounds into %d", n, len(oh.Bounds), len(sh.Bounds))
+		}
+		for i, b := range sh.Bounds {
+			if oh.Bounds[i] != b {
+				return fmt.Errorf("obs: histogram %q: bucket bound %d differs (%d vs %d)", n, i, b, oh.Bounds[i])
+			}
+		}
+		for i := range sh.Counts {
+			sh.Counts[i] += oh.Counts[i]
+		}
+		sh.Sum += oh.Sum
+		sh.Count += oh.Count
+		s.Histograms[n] = sh
+	}
+	return nil
+}
+
+// MarshalIndent renders the snapshot as indented JSON with sorted keys
+// (encoding/json sorts map keys), so two identical snapshots are
+// byte-identical on the wire — the debug endpoint's output can be diffed
+// directly against the regression suite's expectations.
+func (s *Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -132,10 +132,16 @@ func (b *Builder) annotate(a *Annotated, tx *weblog.Transaction, rawURL string) 
 	}
 	if !b.opt.DisableRepair {
 		// Redirect repair: the request following a Location redirect often
-		// carries no referer; remember where it belongs.
+		// carries no referer; remember where it belongs. The Location value
+		// may be relative (RFC 7231 §7.1.2) — resolve it against the
+		// redirecting request's URL first, or it can never match the
+		// absolute URL of the follow-up request and the repair silently
+		// fails for every relative redirect.
 		if tx.Location != "" && page != "" {
-			b.redirectTarget[tx.Location] = page
-			b.redirectFrom[rawURL] = tx.Location
+			if loc := urlutil.ResolveReference(rawURL, tx.Location); loc != "" {
+				b.redirectTarget[loc] = page
+				b.redirectFrom[rawURL] = loc
+			}
 		}
 		// Embedded-URL repair.
 		for _, u := range urlutil.ExtractEmbeddedURLs(rawURL) {

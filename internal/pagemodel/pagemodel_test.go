@@ -88,6 +88,61 @@ func TestRedirectRepairAttachesPage(t *testing.T) {
 	}
 }
 
+func TestRedirectRepairRelativeLocation(t *testing.T) {
+	// RFC 7231 allows relative Location values; the follow-up request's
+	// absolute URL must still match. Before the fix the raw relative value
+	// was used as the map key and the repair never fired.
+	page := "http://www.pub.example/index.html"
+	redirect := tx(2e9, "redir.adnet.example", "/ads/click?id=7", page, "text/html", 302)
+	redirect.Location = "creative.gif" // relative: resolves under /ads/
+	follow := tx(3e9, "redir.adnet.example", "/ads/creative.gif", "", "image/gif", 200)
+	as := resolve(t,
+		tx(1e9, "www.pub.example", "/index.html", "", "text/html", 200),
+		redirect,
+		follow,
+	)
+	if as[2].PageURL != page {
+		t.Errorf("relative-redirect target page = %q, want %q", as[2].PageURL, page)
+	}
+	// The content-type repair must follow the same resolved chain: the 302
+	// inherits the image class of its consequent request.
+	if as[1].Class != urlutil.ClassImage {
+		t.Errorf("redirect class = %q, want image (repaired through relative Location)", as[1].Class)
+	}
+}
+
+func TestRedirectRepairAbsolutePathLocation(t *testing.T) {
+	page := "http://www.pub.example/index.html"
+	redirect := tx(2e9, "redir.adnet.example", "/click?id=9", page, "text/html", 301)
+	redirect.Location = "/banners/top.png" // absolute-path: same host, new path
+	follow := tx(3e9, "redir.adnet.example", "/banners/top.png", "", "image/png", 200)
+	as := resolve(t,
+		tx(1e9, "www.pub.example", "/index.html", "", "text/html", 200),
+		redirect,
+		follow,
+	)
+	if as[2].PageURL != page {
+		t.Errorf("absolute-path-redirect target page = %q, want %q", as[2].PageURL, page)
+	}
+}
+
+func TestRedirectRepairCrossHostLocation(t *testing.T) {
+	// Absolute cross-host Location values must keep working exactly as
+	// before the resolver was introduced.
+	page := "http://www.pub.example/index.html"
+	redirect := tx(2e9, "redir.adnet.example", "/click?id=2", page, "text/html", 302)
+	redirect.Location = "http://ads.far.example/x/creative.gif"
+	follow := tx(3e9, "ads.far.example", "/x/creative.gif", "", "image/gif", 200)
+	as := resolve(t,
+		tx(1e9, "www.pub.example", "/index.html", "", "text/html", 200),
+		redirect,
+		follow,
+	)
+	if as[2].PageURL != page {
+		t.Errorf("cross-host-redirect target page = %q, want %q", as[2].PageURL, page)
+	}
+}
+
 func TestRedirectRepairDisabled(t *testing.T) {
 	opt := DefaultOptions(nil)
 	opt.DisableRepair = true

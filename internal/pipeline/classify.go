@@ -7,6 +7,7 @@ import (
 
 	"adscape/internal/core"
 	"adscape/internal/inference"
+	"adscape/internal/obs"
 	"adscape/internal/weblog"
 )
 
@@ -62,12 +63,41 @@ func fnv32aByte(h uint32, b byte) uint32 { return (h ^ uint32(b)) * 16777619 }
 // Each worker folds its results into streaming core.Stats and inference
 // accumulators as they are produced; the merge sums them.
 func Classify(p *core.Pipeline, txs []*weblog.Transaction, workers int) *ClassifyResult {
+	return ClassifyObs(p, txs, workers, nil)
+}
+
+// classifyMetrics are the classification stage's live handles; resolved once
+// per run, shared by the classify workers (all handles are atomic).
+type classifyMetrics struct {
+	requests, adRequests, cacheHits, cacheMisses *obs.Counter
+	shardLatency                                 *obs.Histogram
+}
+
+func newClassifyMetrics(reg *obs.Registry) *classifyMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &classifyMetrics{
+		requests:     reg.Counter("classify.requests"),
+		adRequests:   reg.Counter("classify.ad_requests"),
+		cacheHits:    reg.Counter("classify.cache_hits"),
+		cacheMisses:  reg.Counter("classify.cache_misses"),
+		shardLatency: reg.Histogram("classify.shard_latency_ns", obs.ExpBuckets(1<<16, 4, 12)),
+	}
+}
+
+// ClassifyObs is Classify with live instrumentation: each worker streams its
+// request/ad-request/cache counters into reg as it classifies, so a debug
+// endpoint watches classification progress mid-run. reg may be nil, which is
+// exactly Classify.
+func ClassifyObs(p *core.Pipeline, txs []*weblog.Transaction, workers int, reg *obs.Registry) *ClassifyResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	met := newClassifyMetrics(reg)
 
 	type partition struct {
 		indices []int
@@ -93,6 +123,10 @@ func Classify(p *core.Pipeline, txs []*weblog.Transaction, workers int) *Classif
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
+			var t0 time.Time
+			if met != nil {
+				t0 = time.Now()
+			}
 			stats := core.NewStats()
 			users := make(map[core.UserKey]*inference.UserStats)
 			for k, r := range p.ClassifyAllPerf(parts[j].txs, &shardPerf[j]) {
@@ -102,6 +136,13 @@ func Classify(p *core.Pipeline, txs []*weblog.Transaction, workers int) *Classif
 			}
 			shardStats[j] = stats
 			shardUsers[j] = users
+			if met != nil {
+				met.requests.Add(uint64(stats.Requests))
+				met.adRequests.Add(uint64(stats.AdRequests))
+				met.cacheHits.Add(shardPerf[j].CacheHits)
+				met.cacheMisses.Add(shardPerf[j].CacheMisses)
+				met.shardLatency.Observe(time.Since(t0).Nanoseconds())
+			}
 		}(j)
 	}
 	wg.Wait()

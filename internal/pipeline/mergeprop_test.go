@@ -31,6 +31,8 @@ func randAnalyzerStats(rng *rand.Rand) analyzer.Stats {
 		HTTPWireBytes:    uint64(rng.Intn(1 << 20)),
 		ParseErrors:      rng.Intn(20),
 		PendingEvicted:   rng.Intn(20),
+		InterimResponses: rng.Intn(20),
+		OrphanResponses:  rng.Intn(20),
 	}
 }
 
@@ -165,9 +167,20 @@ func randResults(rng *rand.Rand, n int) []*core.Result {
 			v = abp.Verdict{Matched: true, ListName: l.name, ListKind: l.kind,
 				Whitelisted: true, WhitelistedBy: "acceptableads", WhitelistedKind: abp.ListWhitelist}
 		}
+		tx := &weblog.Transaction{ContentLength: int64(rng.Intn(1 << 16)), Method: "GET", Status: 200}
+		// Sprinkle in bodiless responses so BodilessExcluded participates in
+		// the split-vs-one-shot property.
+		switch rng.Intn(8) {
+		case 0:
+			tx.Method = "HEAD"
+		case 1:
+			tx.Status = 204
+		case 2:
+			tx.Status = 304
+		}
 		out[i] = &core.Result{
 			User:    users[rng.Intn(len(users))],
-			Ann:     &pagemodel.Annotated{Tx: &weblog.Transaction{ContentLength: int64(rng.Intn(1 << 16))}},
+			Ann:     &pagemodel.Annotated{Tx: tx},
 			Verdict: v,
 		}
 	}

@@ -1,0 +1,229 @@
+package pipeline
+
+// Tests for the observability layer's shard-merge contract: the deterministic
+// obs counters of an N-shard run must equal a single-shard run, whether the
+// shards share one registry (what Options.Obs does) or hold private
+// registries merged via Snapshot.Merge. Scheduling-dependent metrics
+// (latency/queue-depth histograms, the live-flow gauge) are explicitly outside
+// this contract and excluded here, as DESIGN.md §11 documents.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/obs"
+)
+
+// deterministicCounters are the obs counters that must be identical at any
+// worker count on capture-time-ordered input with non-binding caps — the same
+// preconditions under which Stats is byte-identical (DESIGN.md §8).
+var deterministicCounters = []string{
+	"analyzer.packets",
+	"analyzer.http_transactions",
+	"analyzer.tls_flows",
+	"analyzer.parse_errors",
+	"analyzer.pending_evicted",
+	"analyzer.interim_responses",
+	"analyzer.orphan_responses",
+	"wire.gaps",
+	"wire.trimmed_segments",
+	"wire.evicted_idle",
+	"wire.evicted_cap",
+	"wire.clock_resyncs",
+}
+
+func pickDeterministic(t *testing.T, s *obs.Snapshot) map[string]uint64 {
+	t.Helper()
+	out := make(map[string]uint64, len(deterministicCounters))
+	for _, name := range deterministicCounters {
+		v, ok := s.Counters[name]
+		if !ok {
+			t.Fatalf("counter %q missing from snapshot", name)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// TestObsShardedMatchesSingleShard: the shared-registry path of Options.Obs.
+// Running the same trace at 1 and at 4 workers must yield identical
+// deterministic counters, and those counters must agree with the merged
+// Stats the run reports.
+func TestObsShardedMatchesSingleShard(t *testing.T) {
+	pkts := genPackets(t, 300, 77)
+
+	run := func(workers int) (*Result, *obs.Snapshot) {
+		reg := obs.NewRegistry()
+		res, err := Analyze(NewSliceSource(pkts), Options{Workers: workers, Obs: reg})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, reg.Snapshot()
+	}
+
+	res1, snap1 := run(1)
+	res4, snap4 := run(4)
+
+	got1 := pickDeterministic(t, snap1)
+	got4 := pickDeterministic(t, snap4)
+	for _, name := range deterministicCounters {
+		if got1[name] != got4[name] {
+			t.Errorf("%s: 1-shard %d != 4-shard %d", name, got1[name], got4[name])
+		}
+	}
+	// The obs mirrors must agree with the deterministic Stats they shadow.
+	if got := got4["analyzer.packets"]; got != uint64(res4.Stats.Packets) {
+		t.Errorf("obs packets %d != stats packets %d", got, res4.Stats.Packets)
+	}
+	if got := got4["analyzer.http_transactions"]; got != uint64(res4.Stats.HTTPTransactions) {
+		t.Errorf("obs transactions %d != stats transactions %d", got, res4.Stats.HTTPTransactions)
+	}
+	if res1.Stats != res4.Stats {
+		t.Errorf("stats diverge across worker counts: %+v vs %+v", res1.Stats, res4.Stats)
+	}
+}
+
+// TestObsPrivateRegistriesMergeToSingleShard: the merge-algebra path. Each
+// shard holds a private registry; merging their snapshots must equal the
+// snapshot of one analyzer over the whole trace. This is what makes obs
+// counters trustworthy on topologies that cannot share a registry (separate
+// processes, remote shards).
+func TestObsPrivateRegistriesMergeToSingleShard(t *testing.T) {
+	pkts := genPackets(t, 300, 78)
+	const workers = 4
+
+	// Reference: one analyzer, one registry, the whole trace.
+	refReg := obs.NewRegistry()
+	refAn := analyzer.NewWithLimits(&analyzer.Collector{}, analyzer.Limits{})
+	refAn.SetObs(analyzer.NewMetrics(refReg))
+	for _, p := range pkts {
+		refAn.Add(p)
+	}
+	refAn.Finish()
+
+	// Sharded: the pipeline's flow partitioning, one private registry each.
+	regs := make([]*obs.Registry, workers)
+	ans := make([]*analyzer.Analyzer, workers)
+	for i := range ans {
+		regs[i] = obs.NewRegistry()
+		ans[i] = analyzer.NewWithLimits(&analyzer.Collector{}, analyzer.Limits{})
+		ans[i].SetObs(analyzer.NewMetrics(regs[i]))
+	}
+	for _, p := range pkts {
+		i := int(p.Tuple().ShardHash() % uint32(workers))
+		ans[i].Add(p)
+	}
+	for _, an := range ans {
+		an.Finish()
+	}
+
+	merged := regs[0].Snapshot()
+	for _, reg := range regs[1:] {
+		if err := merged.Merge(reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := pickDeterministic(t, refReg.Snapshot())
+	got := pickDeterministic(t, merged)
+	for _, name := range deterministicCounters {
+		if got[name] != want[name] {
+			t.Errorf("%s: merged %d != single-shard %d", name, got[name], want[name])
+		}
+	}
+	if want["analyzer.packets"] != uint64(len(pkts)) {
+		t.Errorf("reference packets = %d, want %d", want["analyzer.packets"], len(pkts))
+	}
+}
+
+// TestDebugEndpointLiveScrape: the debug endpoint must be scrapeable while a
+// sharded run is mutating the registry — this is the race-detector smoke for
+// the whole obs surface (atomic counters, snapshot under RLock, histogram
+// merges). Run it with -race in CI.
+func TestDebugEndpointLiveScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pkts := genPackets(t, 400, 79)
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := Analyze(NewSliceSource(pkts), Options{Workers: 4, Obs: reg, BatchSize: 16})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+
+	scrape := func() *obs.Snapshot {
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", srv.Addr()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("metrics endpoint served invalid JSON: %v\n%s", err, body)
+		}
+		return &snap
+	}
+
+	// Scrape continuously while the run is live, then once after completion.
+	var res *Result
+	for res == nil {
+		scrape()
+		select {
+		case res = <-done:
+		case <-time.After(time.Millisecond):
+		}
+	}
+	final := scrape()
+	if got := final.Counters["analyzer.packets"]; got != uint64(res.Stats.Packets) {
+		t.Errorf("final scrape packets = %d, want %d", got, res.Stats.Packets)
+	}
+	if got := final.Counters["analyzer.http_transactions"]; got != uint64(res.Stats.HTTPTransactions) {
+		t.Errorf("final scrape transactions = %d, want %d", got, res.Stats.HTTPTransactions)
+	}
+}
+
+// TestObsDoesNotChangeResults: attaching a registry must not perturb the
+// deterministic outputs — same records, same stats, with and without Obs.
+func TestObsDoesNotChangeResults(t *testing.T) {
+	pkts := genPackets(t, 200, 80)
+	plain, err := Analyze(NewSliceSource(pkts), Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := Analyze(NewSliceSource(pkts), Options{Workers: 3, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats != instr.Stats {
+		t.Errorf("stats diverge with obs attached: %+v vs %+v", plain.Stats, instr.Stats)
+	}
+	if plain.Table != instr.Table {
+		t.Errorf("table stats diverge with obs attached: %+v vs %+v", plain.Table, instr.Table)
+	}
+	if len(plain.Transactions) != len(instr.Transactions) {
+		t.Fatalf("transaction counts diverge: %d vs %d", len(plain.Transactions), len(instr.Transactions))
+	}
+	for i := range plain.Transactions {
+		if *plain.Transactions[i] != *instr.Transactions[i] {
+			t.Fatalf("transaction %d diverges with obs attached", i)
+		}
+	}
+}

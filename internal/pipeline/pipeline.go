@@ -19,8 +19,10 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"adscape/internal/analyzer"
+	"adscape/internal/obs"
 	"adscape/internal/weblog"
 	"adscape/internal/wire"
 )
@@ -47,6 +49,12 @@ type Options struct {
 	// record slices are empty and the caller owns the per-shard outputs
 	// (ShardResult.Sink).
 	NewSink func(shard int) analyzer.Sink
+	// Obs, when non-nil, attaches live instrumentation: the analyzer and
+	// wire stage counters (shared across shards — they are atomic) plus
+	// pipeline.batch_latency_ns and pipeline.queue_depth histograms observed
+	// per routed batch. Nil, the default, keeps the hot path untouched
+	// beyond per-event nil checks (see internal/obs for the contract).
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns the production configuration: one shard per CPU,
@@ -111,6 +119,9 @@ type shard struct {
 	sink    analyzer.Sink
 	packets int
 	err     error
+	// lat, when instrumented, records per-batch processing latency; nil
+	// skips the time.Now calls entirely.
+	lat *obs.Histogram
 }
 
 // run consumes batches until the channel closes. After the first panic the
@@ -131,9 +142,16 @@ func (s *shard) run(wg *sync.WaitGroup) {
 
 func (s *shard) process(batch []*wire.Packet) {
 	defer s.recover()
+	var t0 time.Time
+	if s.lat != nil {
+		t0 = time.Now()
+	}
 	for _, p := range batch {
 		s.an.Add(p)
 		s.packets++
+	}
+	if s.lat != nil {
+		s.lat.Observe(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -170,6 +188,17 @@ func Analyze(src wire.PacketSource, opt Options) (*Result, error) {
 	}
 	lim := ShardLimits(opt.Limits, workers)
 
+	// Instrumentation handles resolve once here, never per packet. Shards
+	// share one analyzer.Metrics (atomic counters sum correctly); the
+	// histograms are scheduling-dependent by nature and documented as such.
+	var met *analyzer.Metrics
+	var batchLat, queueHist *obs.Histogram
+	if opt.Obs != nil {
+		met = analyzer.NewMetrics(opt.Obs)
+		batchLat = opt.Obs.Histogram("pipeline.batch_latency_ns", obs.ExpBuckets(1<<12, 4, 12))
+		queueHist = opt.Obs.Histogram("pipeline.queue_depth", obs.LinearBuckets(0, 1, queueDepth+1))
+	}
+
 	shards := make([]*shard, workers)
 	var wg sync.WaitGroup
 	for i := range shards {
@@ -179,10 +208,15 @@ func Analyze(src wire.PacketSource, opt Options) (*Result, error) {
 		} else {
 			sink = &analyzer.Collector{}
 		}
+		an := analyzer.NewWithLimits(sink, lim)
+		if met != nil {
+			an.SetObs(met)
+		}
 		shards[i] = &shard{
 			ch:   make(chan []*wire.Packet, queueDepth),
-			an:   analyzer.NewWithLimits(sink, lim),
+			an:   an,
 			sink: sink,
+			lat:  batchLat,
 		}
 		wg.Add(1)
 		go shards[i].run(&wg)
@@ -208,6 +242,9 @@ func Analyze(src wire.PacketSource, opt Options) (*Result, error) {
 		i := int(p.Tuple().ShardHash() % uint32(workers))
 		batches[i] = append(batches[i], p)
 		if len(batches[i]) >= batchSize {
+			if queueHist != nil {
+				queueHist.Observe(int64(len(shards[i].ch)))
+			}
 			shards[i].ch <- batches[i]
 			batches[i] = make([]*wire.Packet, 0, batchSize)
 		}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"adscape/internal/analyzer"
+	"adscape/internal/obs"
 	"adscape/internal/pipeline"
 	"adscape/internal/weblog"
 	"adscape/internal/wire"
@@ -107,6 +108,18 @@ type Options struct {
 	// OnEvent, when set, receives one-line progress events (checkpoints
 	// written, restarts, stalls). Must be safe for concurrent use.
 	OnEvent func(string)
+
+	// Obs, when non-nil, attaches live instrumentation to the whole run: the
+	// analyzer/wire stage counters (shared across shards), a queue-depth
+	// histogram at the router, and computed gauges for packets routed,
+	// checkpoint age, busy shards, restarts and lost flows. The gauges hold
+	// closures over this run's supervisor, so reusing one registry across
+	// sequential runs reports the most recent run (last registration wins).
+	Obs *obs.Registry
+	// Heartbeat emits a one-line progress event through OnEvent at this
+	// interval (packets routed, busy shards, checkpoints, restarts), so a
+	// multi-hour run is visibly alive without a debug endpoint. 0 disables.
+	Heartbeat time.Duration
 }
 
 // Outcome classifies how a supervised run ended.
@@ -329,6 +342,13 @@ type supervisor struct {
 	routerState  atomic.Int32
 	routerTarget atomic.Int32
 
+	// lastCkpt is the wall-clock ns of the last checkpoint written; the
+	// runz.checkpoint_age_ns gauge reads it. ckptC/qDepth are nil when
+	// uninstrumented (their methods no-op).
+	lastCkpt atomic.Int64
+	ckptC    *obs.Counter
+	qDepth   *obs.Histogram
+
 	mu         sync.Mutex
 	outcomeSet bool
 	outcome    Outcome
@@ -343,6 +363,71 @@ type supervisor struct {
 func (sup *supervisor) event(msg string) {
 	if sup.opt.OnEvent != nil {
 		sup.opt.OnEvent(msg)
+	}
+}
+
+// registerGauges publishes the supervisor's live state as computed gauges,
+// evaluated at snapshot time. Everything read here is an atomic owned by the
+// router or a shard, so a debug-endpoint scrape never touches shard-private
+// state (the determinism contract of DESIGN.md §11).
+func (sup *supervisor) registerGauges(reg *obs.Registry) {
+	reg.Func("runz.packets_routed", func() int64 { return sup.routed.Load() })
+	reg.Func("runz.checkpoint_age_ns", func() int64 {
+		t := sup.lastCkpt.Load()
+		if t == 0 {
+			return -1 // no checkpoint written yet
+		}
+		return time.Now().UnixNano() - t
+	})
+	reg.Func("runz.shards_busy", func() int64 {
+		var n int64
+		for _, s := range sup.shards {
+			if s.busy.Load() {
+				n++
+			}
+		}
+		return n
+	})
+	reg.Func("runz.restarts", func() int64 {
+		var n int64
+		for _, s := range sup.shards {
+			n += s.restarts.Load()
+		}
+		return n
+	})
+	reg.Func("runz.lost_flows", func() int64 {
+		var n int64
+		for _, s := range sup.shards {
+			n += s.lostFlows.Load()
+		}
+		return n
+	})
+}
+
+// heartbeat emits a periodic one-line liveness event until the run ends. It
+// reads only atomics, so it never perturbs or waits on the analysis.
+func (sup *supervisor) heartbeat(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sup.stopWatch:
+			return
+		case <-tick.C:
+		}
+		var busy int
+		var restarts int64
+		for _, s := range sup.shards {
+			if s.busy.Load() {
+				busy++
+			}
+			restarts += s.restarts.Load()
+		}
+		sup.mu.Lock()
+		ckpts := sup.ckpts
+		sup.mu.Unlock()
+		sup.event(fmt.Sprintf("heartbeat: packets=%d busy-shards=%d/%d checkpoints=%d restarts=%d",
+			sup.routed.Load(), busy, len(sup.shards), ckpts, restarts))
 	}
 }
 
@@ -383,6 +468,7 @@ func (sup *supervisor) send(i int, b batch) bool {
 	default:
 	}
 	sup.routerTarget.Store(int32(i))
+	sup.qDepth.Observe(int64(len(sup.shards[i].ch)))
 	select {
 	case sup.shards[i].ch <- b:
 		sup.routerBeat.Store(time.Now().UnixNano())
@@ -499,6 +585,8 @@ func (sup *supervisor) writeCheckpoint(src wire.PacketSource, interrupted bool, 
 	sup.ckpts++
 	n := sup.ckpts
 	sup.mu.Unlock()
+	sup.ckptC.Inc()
+	sup.lastCkpt.Store(time.Now().UnixNano())
 	sup.routerBeat.Store(time.Now().UnixNano())
 	sup.event(fmt.Sprintf("checkpoint %d (seq %d) written at packet %d", n, ck.Seq, ck.PacketsRouted))
 	return nil
@@ -637,6 +725,15 @@ func Run(src wire.PacketSource, opt Options) (*Result, error) {
 		abort:      make(chan struct{}),
 		stopWatch:  make(chan struct{}),
 	}
+	// One analyzer.Metrics shared by every shard (and every restarted
+	// analyzer): the handles are atomic, so the shared registry view is the
+	// run-wide sum, exactly like the merged Stats.
+	var met *analyzer.Metrics
+	if opt.Obs != nil {
+		met = analyzer.NewMetrics(opt.Obs)
+		sup.ckptC = opt.Obs.Counter("runz.checkpoints")
+		sup.qDepth = opt.Obs.Histogram("runz.queue_depth", obs.LinearBuckets(0, 1, queueDepth+1))
+	}
 	now := time.Now().UnixNano()
 	for i := 0; i < workers; i++ {
 		s := &supShard{
@@ -652,7 +749,13 @@ func Run(src wire.PacketSource, opt Options) (*Result, error) {
 			s.sink = s.col
 		}
 		sink := s.sink
-		s.mk = func() *analyzer.Analyzer { return analyzer.NewWithLimits(sink, lim) }
+		s.mk = func() *analyzer.Analyzer {
+			a := analyzer.NewWithLimits(sink, lim)
+			if met != nil {
+				a.SetObs(met)
+			}
+			return a
+		}
 		s.an = s.mk()
 		s.beat.Store(now)
 		sup.shards = append(sup.shards, s)
@@ -665,6 +768,16 @@ func Run(src wire.PacketSource, opt Options) (*Result, error) {
 			return nil, err
 		}
 		resumed = n
+		// Restored analyzers were rebuilt from the checkpoint; re-attach the
+		// live instrumentation (deterministic Stats are restored separately).
+		if met != nil {
+			for _, s := range sup.shards {
+				s.an.SetObs(met)
+			}
+		}
+	}
+	if opt.Obs != nil {
+		sup.registerGauges(opt.Obs)
 	}
 
 	sup.routerBeat.Store(time.Now().UnixNano())
@@ -674,6 +787,9 @@ func Run(src wire.PacketSource, opt Options) (*Result, error) {
 	}
 	if opt.StallTimeout > 0 || opt.Deadline > 0 {
 		go sup.watch()
+	}
+	if opt.Heartbeat > 0 && opt.OnEvent != nil {
+		go sup.heartbeat(opt.Heartbeat)
 	}
 	routerDone := make(chan struct{})
 	go sup.route(src, routerDone)

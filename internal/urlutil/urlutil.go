@@ -353,3 +353,117 @@ func TruncateToFQDN(raw string) string {
 	}
 	return scheme + "://" + host + "/"
 }
+
+// ResolveReference resolves a Location-style URI reference against the URL
+// of the request that carried it, per RFC 3986 §5. RFC 7231 §7.1.2 allows
+// relative Location values, and real servers use them, so redirect repair
+// must not key on the raw header: a relative reference never string-matches
+// the absolute URL of the follow-up request. Handled forms:
+//
+//	absolute            http://h/p   → unchanged
+//	scheme-relative     //h/p        → base scheme + reference
+//	absolute-path       /p           → base scheme://host[:port] + reference
+//	query-only          ?q           → base path with the reference's query
+//	relative-path       p, ../p      → merged with the base path's directory
+//
+// Fragments are stripped (they never reach the server), dot segments are
+// removed, and an empty reference resolves to "". Like Split, it never
+// fails: garbage input yields a best-effort absolute URL.
+func ResolveReference(base, ref string) string {
+	if i := strings.IndexByte(ref, '#'); i >= 0 {
+		ref = ref[:i]
+	}
+	if ref == "" {
+		return ""
+	}
+	if i := strings.Index(ref, "://"); i > 0 && isSchemeName(ref[:i]) {
+		return ref
+	}
+	scheme, host, port, path, _ := Split(base)
+	if scheme == "" {
+		scheme = "http"
+	}
+	hostport := host
+	if port != "" {
+		hostport += ":" + port
+	}
+	switch {
+	case strings.HasPrefix(ref, "//"):
+		return scheme + ":" + ref
+	case strings.HasPrefix(ref, "/"):
+		return scheme + "://" + hostport + resolvePath("", ref)
+	case strings.HasPrefix(ref, "?"):
+		return scheme + "://" + hostport + path + ref
+	default:
+		return scheme + "://" + hostport + resolvePath(path, ref)
+	}
+}
+
+// isSchemeName reports whether s is a plausible URI scheme (RFC 3986 §3.1),
+// distinguishing "https://x" from a relative path that merely contains "://".
+func isSchemeName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.'):
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// resolvePath merges a relative path reference into the directory of the
+// base path and removes dot segments (RFC 3986 §5.3 merge + §5.2.4). The
+// reference's query string rides along untouched.
+func resolvePath(basePath, ref string) string {
+	refPath, refQuery := ref, ""
+	if i := strings.IndexByte(ref, '?'); i >= 0 {
+		refPath, refQuery = ref[:i], ref[i:]
+	}
+	merged := refPath
+	if !strings.HasPrefix(refPath, "/") {
+		dir := "/"
+		if i := strings.LastIndexByte(basePath, '/'); i >= 0 {
+			dir = basePath[:i+1]
+		}
+		merged = dir + refPath
+	}
+	return removeDotSegments(merged) + refQuery
+}
+
+// removeDotSegments implements RFC 3986 §5.2.4 over an absolute path.
+// Interior empty segments are preserved (a path may legitimately contain
+// "//"); a resolved "." or ".." final segment leaves a trailing slash, as
+// the RFC's buffer algorithm does.
+func removeDotSegments(p string) string {
+	segs := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	out := make([]string, 0, len(segs))
+	trailing := false
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		switch seg {
+		case ".":
+			trailing = last
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+			trailing = last
+		case "":
+			if last {
+				trailing = true
+			} else {
+				out = append(out, "")
+			}
+		default:
+			out = append(out, seg)
+		}
+	}
+	res := "/" + strings.Join(out, "/")
+	if trailing && !strings.HasSuffix(res, "/") {
+		res += "/"
+	}
+	return res
+}

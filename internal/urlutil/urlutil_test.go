@@ -259,3 +259,42 @@ func TestNormalizeQueryKeepsOrder(t *testing.T) {
 		t.Errorf("NormalizeQuery = %q, want %q", got, want)
 	}
 }
+
+func TestResolveReference(t *testing.T) {
+	cases := []struct {
+		base, ref, want string
+	}{
+		// Absolute references pass through.
+		{"http://a.example/x/y", "http://b.example/z", "http://b.example/z"},
+		{"http://a.example/x", "https://b.example/", "https://b.example/"},
+		// Scheme-relative inherits the base scheme.
+		{"http://a.example/x", "//cdn.example/lib.js", "http://cdn.example/lib.js"},
+		// Absolute-path keeps scheme and host.
+		{"http://a.example/x/y?q=1", "/img/banner.gif", "http://a.example/img/banner.gif"},
+		// Relative path merges with the base directory.
+		{"http://a.example/ads/click?id=1", "banner.gif", "http://a.example/ads/banner.gif"},
+		{"http://a.example/ads/sub/click", "../creative.png", "http://a.example/ads/creative.png"},
+		{"http://a.example/click", "next", "http://a.example/next"},
+		// Dot segments are removed, queries ride along.
+		{"http://a.example/a/b/c", "./d?x=2", "http://a.example/a/b/d?x=2"},
+		{"http://a.example/a/", "../../up", "http://a.example/up"},
+		// Query-only replaces the query, keeps the path.
+		{"http://a.example/search?q=old", "?q=new", "http://a.example/search?q=new"},
+		// Fragments are stripped (they never reach the server).
+		{"http://a.example/x", "/y#frag", "http://a.example/y"},
+		{"http://a.example/x", "#frag", ""},
+		// Ports survive.
+		{"http://a.example:8080/x/y", "/z", "http://a.example:8080/z"},
+		{"http://a.example:8080/x/y", "w", "http://a.example:8080/x/w"},
+		// Empty reference resolves to nothing.
+		{"http://a.example/x", "", ""},
+		// "://" inside a path does not make the reference absolute when the
+		// prefix is not a scheme name (schemes must start with a letter).
+		{"http://a.example/d/", "1x://notscheme", "http://a.example/d/1x://notscheme"},
+	}
+	for _, c := range cases {
+		if got := ResolveReference(c.base, c.ref); got != c.want {
+			t.Errorf("ResolveReference(%q, %q) = %q, want %q", c.base, c.ref, got, c.want)
+		}
+	}
+}

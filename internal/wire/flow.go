@@ -65,6 +65,7 @@ type reassembler struct {
 	maxSegs      int
 	maxBytes     int
 	stats        *TableStats
+	obs          *Metrics
 }
 
 type segment struct {
@@ -110,6 +111,9 @@ func (r *reassembler) push(seq uint32, t int64, payload []byte, wireLen uint32) 
 		wireLen -= skip
 		if r.stats != nil {
 			r.stats.TrimmedSegments++
+		}
+		if r.obs != nil {
+			r.obs.TrimmedSegments.Inc()
 		}
 	}
 	r.pending = append(r.pending, segment{seq: seq, time: t, payload: payload, wireLen: wireLen})
@@ -165,6 +169,9 @@ func (r *reassembler) drain(out []chunk) []chunk {
 					if r.stats != nil {
 						r.stats.TrimmedSegments++
 					}
+					if r.obs != nil {
+						r.obs.TrimmedSegments.Inc()
+					}
 				}
 				r.pending = append(r.pending[:i], r.pending[i+1:]...)
 				progress = true
@@ -208,6 +215,7 @@ type FlowTable struct {
 	clock     int64
 	staleRun  int
 	staleHigh int64
+	obs       *Metrics
 }
 
 // clockResyncRun is the number of consecutive sub-deadline packets that
@@ -228,6 +236,22 @@ func NewFlowTableLimits(handler FlowHandler, lim Limits) *FlowTable {
 		established: make(map[*Flow]bool),
 		limits:      lim,
 		recency:     list.New(),
+		obs:         NewMetrics(nil),
+	}
+}
+
+// SetObs attaches live instrumentation; nil restores the no-op default.
+// Reassemblers capture the handle at flow creation, so the handles of flows
+// already live (e.g. restored from a snapshot) are rewritten here too.
+func (ft *FlowTable) SetObs(m *Metrics) {
+	if m == nil {
+		m = NewMetrics(nil)
+	}
+	ft.obs = m
+	for e := ft.recency.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*Flow)
+		f.reasm[0].obs = m
+		f.reasm[1].obs = m
 	}
 }
 
@@ -291,6 +315,7 @@ func (ft *FlowTable) Add(p *Packet) {
 			if len(c.payload) > 0 || c.gap {
 				if c.gap {
 					ft.stats.Gaps++
+					ft.obs.Gaps.Inc()
 				}
 				ft.handler.Data(f, dir, c.time, c.payload, c.gap)
 			}
@@ -301,6 +326,7 @@ func (ft *FlowTable) Add(p *Packet) {
 	if p.HasFlag(FlagFIN) || p.HasFlag(FlagRST) {
 		ft.close(key, f)
 	}
+	ft.obs.LiveFlows.Set(int64(ft.recency.Len()))
 }
 
 func (ft *FlowTable) newReassembler() *reassembler {
@@ -308,6 +334,7 @@ func (ft *FlowTable) newReassembler() *reassembler {
 		maxSegs:  ft.limits.MaxBufferedSegments,
 		maxBytes: ft.limits.MaxBufferedBytes,
 		stats:    &ft.stats,
+		obs:      ft.obs,
 	}
 }
 
@@ -333,6 +360,7 @@ func (ft *FlowTable) advanceClock(t int64) {
 	if ft.staleRun >= clockResyncRun {
 		ft.clock = ft.staleHigh
 		ft.stats.ClockResyncs++
+		ft.obs.ClockResyncs.Inc()
 		ft.staleRun, ft.staleHigh = 0, 0
 	}
 }
@@ -350,6 +378,7 @@ func (ft *FlowTable) evictIdle() {
 			return
 		}
 		ft.stats.EvictedIdle++
+		ft.obs.EvictedIdle.Inc()
 		ft.close(f.tuple(), f)
 	}
 }
@@ -366,6 +395,7 @@ func (ft *FlowTable) evictForCap() {
 		}
 		f := e.Value.(*Flow)
 		ft.stats.EvictedCap++
+		ft.obs.EvictedCap.Inc()
 		ft.close(f.tuple(), f)
 	}
 }

@@ -1,0 +1,36 @@
+package wire
+
+import "adscape/internal/obs"
+
+// Metrics is the wire stage's live obs instrumentation: atomic mirrors of the
+// ReaderStats/TableStats counters plus a live-flow gauge. The deterministic
+// stats structs stay the source of truth for end-of-run reporting; these
+// handles exist so a debug endpoint can watch decode and reassembly pressure
+// mid-run without touching shard-owned state. All handles may be nil
+// (NewMetrics over a nil registry), in which case every update no-ops.
+type Metrics struct {
+	// Reader-side: decoded records, corruption recoveries, discarded bytes.
+	Records, Resyncs, SkippedBytes *obs.Counter
+	// Table-side: the TableStats degradation counters.
+	EvictedIdle, EvictedCap, Gaps, TrimmedSegments, ClockResyncs *obs.Counter
+	// LiveFlows is the current tracked-flow count of one table; with shards
+	// sharing a registry it gauges the last shard to update, so per-shard
+	// registries (merged via snapshot) give the more useful per-table view.
+	LiveFlows *obs.Gauge
+}
+
+// NewMetrics resolves the wire metric handles in reg; reg may be nil,
+// yielding no-op handles.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Records:         reg.Counter("wire.records"),
+		Resyncs:         reg.Counter("wire.resyncs"),
+		SkippedBytes:    reg.Counter("wire.skipped_bytes"),
+		EvictedIdle:     reg.Counter("wire.evicted_idle"),
+		EvictedCap:      reg.Counter("wire.evicted_cap"),
+		Gaps:            reg.Counter("wire.gaps"),
+		TrimmedSegments: reg.Counter("wire.trimmed_segments"),
+		ClockResyncs:    reg.Counter("wire.clock_resyncs"),
+		LiveFlows:       reg.Gauge("wire.live_flows"),
+	}
+}

@@ -159,6 +159,15 @@ type Reader struct {
 	// lenient reads, resync scans, and tail discards. Checkpoint/resume
 	// uses it to reposition a fresh Reader over the same file.
 	off int64
+	obs *Metrics
+}
+
+// SetObs attaches live instrumentation; nil restores the no-op default.
+func (tr *Reader) SetObs(m *Metrics) {
+	if m == nil {
+		m = NewMetrics(nil)
+	}
+	tr.obs = m
 }
 
 // NewReader validates the trace header and returns a strict (fail-fast)
@@ -184,7 +193,7 @@ func NewReaderOptions(r io.Reader, opt ReaderOptions) (*Reader, error) {
 	if opt.MaxSkipBytes == 0 {
 		opt.MaxSkipBytes = defaultMaxSkipBytes
 	}
-	return &Reader{r: br, opt: opt, off: int64(len(magic))}, nil
+	return &Reader{r: br, opt: opt, off: int64(len(magic)), obs: NewMetrics(nil)}, nil
 }
 
 // Stats returns what the reader decoded and skipped so far.
@@ -283,6 +292,7 @@ func (tr *Reader) readStrict() (*Packet, error) {
 	}
 	tr.n++
 	tr.stats.Records++
+	tr.obs.Records.Inc()
 	return p, nil
 }
 
@@ -312,6 +322,7 @@ func (tr *Reader) readLenient() (*Packet, error) {
 		tr.off += int64(recordFixed + capLen)
 		tr.n++
 		tr.stats.Records++
+		tr.obs.Records.Inc()
 		tr.lastTime, tr.haveTime = p.Time, true
 		return p, nil
 	}
@@ -323,6 +334,7 @@ func (tr *Reader) finishTail(avail int, err error) error {
 	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
 		if avail > 0 {
 			tr.stats.SkippedBytes += int64(avail)
+			tr.obs.SkippedBytes.Add(uint64(avail))
 			tr.stats.TruncatedTail = true
 			tr.r.Discard(avail)
 			tr.off += int64(avail)
@@ -338,6 +350,7 @@ func (tr *Reader) finishTail(avail int, err error) error {
 // boundaries inside payload bytes rare.
 func (tr *Reader) resync() error {
 	tr.stats.Resyncs++
+	tr.obs.Resyncs.Inc()
 	if tr.opt.MaxResyncs >= 0 && tr.stats.Resyncs > tr.opt.MaxResyncs {
 		return fmt.Errorf("%w: %d resyncs", ErrCorruptionBudget, tr.stats.Resyncs)
 	}
@@ -350,6 +363,7 @@ func (tr *Reader) resync() error {
 		}
 		tr.off++
 		tr.stats.SkippedBytes++
+		tr.obs.SkippedBytes.Inc()
 		hdr, err := tr.r.Peek(recordFixed)
 		if err != nil {
 			return tr.finishTail(len(hdr), err)
