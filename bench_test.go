@@ -10,14 +10,18 @@ package adscape
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"adscape/internal/abp"
 	"adscape/internal/analyzer"
 	"adscape/internal/browser"
 	"adscape/internal/core"
+	"adscape/internal/daemon"
 	"adscape/internal/experiments"
 	"adscape/internal/filterlists"
 	"adscape/internal/pipeline"
@@ -301,6 +305,47 @@ func BenchmarkPipeline(b *testing.B) {
 			b.ReportMetric(float64(txs), "txs/op")
 		})
 	}
+}
+
+// BenchmarkDaemonWindows measures the continuous-service window path over
+// the same in-memory trace as BenchmarkPipeline: rolling window assembly,
+// per-window classification, crash-safe record emission to disk, and aged
+// inference folds. The trace is sorted into capture order first, as the
+// daemon's windowing requires (DESIGN.md §12).
+func BenchmarkDaemonWindows(b *testing.B) {
+	env := benchEnv(b)
+	pkts := benchPackets(b)
+	sorted := make([]*wire.Packet, len(pkts))
+	copy(sorted, pkts)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	engine := env.World.Bundle.ClassifierEngine()
+	var wireBytes int64
+	for _, p := range sorted {
+		wireBytes += int64(len(p.Payload)) + 31
+	}
+	b.SetBytes(wireBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *daemon.Result
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "benchdaemon")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err = daemon.Run(pipeline.NewSliceSource(sorted), daemon.Config{
+			Dir: dir, Window: 5 * time.Minute, Grace: 10 * time.Second,
+			IdleHorizon: 30 * time.Minute, Engine: engine, Workers: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(res.Run.WindowsEmitted), "windows/op")
 }
 
 // BenchmarkPipelineClassify measures the full per-request classification

@@ -13,6 +13,23 @@
 //	        [-cpuprofile file] [-memprofile file]
 //	        [-debug-addr 127.0.0.1:6060] [-heartbeat 30s]
 //
+//	adtrace -serve -state-dir dir {-i live.trace | -listen unix:/run/adtrace.sock}
+//	        [-window 1m] [-grace 5s] [-idle-horizon 1h] [-poll 200ms]
+//	        [supervision and observability flags as above]
+//
+// -serve turns the batch pipeline into a continuous service (DESIGN.md §12):
+// the input is followed forever (tailing across file rotations and SIGHUP
+// reopen requests, or accepting sequential trace streams on a -listen
+// socket), and instead of one final report the daemon emits a
+// checksummed JSON record per capture-time window to -state-dir/windows/ as
+// the watermark closes each window. Per-user inference state ages out after
+// -idle-horizon of capture-time inactivity, so memory stays bounded on
+// run-forever inputs. The run checkpoints into -state-dir and resumes from
+// it automatically on restart; re-emitted windows overwrite their files
+// byte-identically, so downstream consumers never see duplicates. SIGINT or
+// SIGTERM drains in-flight flows, flushes the final partial window (marked
+// "final"), checkpoints, and exits 0.
+//
 // Classification memoizes engine verdicts in a bounded LRU (-verdict-cache
 // entries, 0 disables); the hit ratio and classification throughput are
 // reported on stderr so stdout stays byte-identical across repeat and
@@ -50,11 +67,14 @@
 //
 // Exit codes:
 //
-//	0  completed
-//	1  fatal error (bad input, unreadable checkpoint, source failure)
-//	2  usage error
+//	0  completed — in -serve mode this includes graceful SIGINT/SIGTERM
+//	   shutdown (drained, final window flushed, checkpointed)
+//	1  fatal error (bad input, unreadable checkpoint, source failure,
+//	   window emit failure)
+//	2  usage error (including invalid flag values: non-positive -workers,
+//	   negative durations, bad -serve configuration)
 //	3  completed but degraded beyond the -fail-degraded threshold
-//	4  interrupted by signal; state drained and checkpointed
+//	4  interrupted by signal; state drained and checkpointed (batch mode)
 //	5  aborted by the stall watchdog or the -deadline cap
 //	6  simulated crash (-crash-after-checkpoints test hook)
 package main
@@ -111,6 +131,14 @@ func main() {
 		failDegraded = flag.Float64("fail-degraded", -1, "exit 3 when the degraded fraction (shed work / all work) exceeds this (-1 = off)")
 		crashAfter   = flag.Int("crash-after-checkpoints", 0, "testing: stop dead after N periodic checkpoints, exit 6")
 
+		serve       = flag.Bool("serve", false, "run as a continuous service: follow -i (or accept streams on -listen) forever, emitting per-window records to -state-dir")
+		stateDir    = flag.String("state-dir", "", "serve: state directory for window records and the resumable checkpoint (required)")
+		window      = flag.Duration("window", time.Minute, "serve: capture-time window width")
+		grace       = flag.Duration("grace", 5*time.Second, "serve: out-of-order allowance; a window closes when the watermark (max packet time - grace) passes its end")
+		idleHorizon = flag.Duration("idle-horizon", time.Hour, "serve: evict per-user inference state idle this long in capture time (0 = never, unbounded)")
+		listen      = flag.String("listen", "", "serve: accept trace streams on this socket instead of following -i (network:address, e.g. unix:/run/adtrace.sock or tcp:127.0.0.1:9099; unauthenticated, bind locally)")
+		pollEvery   = flag.Duration("poll", 200*time.Millisecond, "serve: idle polling interval for quiet live sources")
+
 		verdictCache = flag.Int("verdict-cache", abp.DefaultVerdictCacheEntries, "engine verdict-cache entries (0 = disable memoization)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
@@ -118,9 +146,52 @@ func main() {
 		heartbeat    = flag.Duration("heartbeat", 0, "log a one-line progress heartbeat at this interval (0 = off)")
 	)
 	flag.Parse()
-	if *in == "" {
+	usageError := func(format string, args ...any) {
+		log.Printf(format, args...)
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Flag validation: nonsensical values are usage errors (exit 2) up
+	// front, not runtime surprises hours into a run.
+	if *workers <= 0 {
+		usageError("-workers must be positive, got %d", *workers)
+	}
+	for _, d := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"-stall-timeout", *stallTimeout}, {"-heartbeat", *heartbeat},
+		{"-deadline", *deadline}, {"-idle-timeout", *idleTimeout},
+		{"-grace", *grace}, {"-idle-horizon", *idleHorizon},
+	} {
+		if d.val < 0 {
+			usageError("%s must be non-negative, got %v", d.name, d.val)
+		}
+	}
+	if *ckptEvery < 0 {
+		usageError("-checkpoint-interval must be non-negative, got %d", *ckptEvery)
+	}
+	if *serve {
+		if *stateDir == "" {
+			usageError("-serve requires -state-dir")
+		}
+		if (*in == "") == (*listen == "") {
+			usageError("-serve requires exactly one input: -i (follow a file) or -listen (accept streams)")
+		}
+		if *window <= 0 {
+			usageError("-window must be positive, got %v", *window)
+		}
+		if *pollEvery <= 0 {
+			usageError("-poll must be positive, got %v", *pollEvery)
+		}
+	} else {
+		if *in == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *listen != "" {
+			usageError("-listen requires -serve")
+		}
 	}
 	if *resume && *ckptPath == "" {
 		log.Print("-resume requires -checkpoint")
@@ -156,18 +227,6 @@ func main() {
 		log.Fatalf("building world (filter lists): %v", err)
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	r, err := wire.NewReaderOptions(f, wire.ReaderOptions{Lenient: !*strict})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if reg != nil {
-		r.SetObs(wire.NewMetrics(reg))
-	}
 	lim := analyzer.Limits{}
 	if !*strict {
 		lim = analyzer.Limits{
@@ -179,6 +238,42 @@ func main() {
 			},
 			MaxPending: *maxPending,
 		}
+	}
+
+	if *serve {
+		code := runServe(world, serveConfig{
+			in:              *in,
+			listen:          *listen,
+			stateDir:        *stateDir,
+			window:          *window,
+			grace:           *grace,
+			idleHorizon:     *idleHorizon,
+			poll:            *pollEvery,
+			workers:         *workers,
+			strict:          *strict,
+			limits:          lim,
+			checkpointEvery: *ckptEvery,
+			stallTimeout:    *stallTimeout,
+			deadline:        *deadline,
+			restartBudget:   *restartBug,
+			heartbeat:       *heartbeat,
+			obs:             reg,
+		})
+		stopProfiles()
+		os.Exit(code)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := wire.NewReaderOptions(f, wire.ReaderOptions{Lenient: !*strict})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if reg != nil {
+		r.SetObs(wire.NewMetrics(reg))
 	}
 
 	// First SIGINT/SIGTERM drains: shards flush, a final checkpoint is

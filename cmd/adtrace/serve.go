@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/daemon"
+	"adscape/internal/dnssim"
+	"adscape/internal/obs"
+	"adscape/internal/runz"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+// serveConfig carries the flag values serve mode consumes.
+type serveConfig struct {
+	in          string // followed trace file ("" with listen set)
+	listen      string // "network:address" socket listener ("" with in set)
+	stateDir    string
+	window      time.Duration
+	grace       time.Duration
+	idleHorizon time.Duration
+	poll        time.Duration
+
+	workers         int
+	strict          bool
+	limits          analyzer.Limits
+	checkpointEvery int64
+	stallTimeout    time.Duration
+	deadline        time.Duration
+	restartBudget   int
+	heartbeat       time.Duration
+	obs             *obs.Registry
+}
+
+// reopener is the SIGHUP capability: only file-backed sources have one.
+type reopener interface{ Reopen() }
+
+// runServe is the continuous-service entry point: it builds the live source,
+// wires signals (first SIGINT/SIGTERM drains and exits through the completed
+// path, a second exits immediately, SIGHUP reopens a followed file), and runs
+// the daemon until stopped. Returns the process exit code.
+//
+// Window records are the output; the summary printed at exit reports run
+// totals only, so serve mode keeps no unbounded state anywhere.
+func runServe(world *webgen.World, cfg serveConfig) int {
+	// Stop is routed to the SOURCE, not the supervisor: a stopped live
+	// source returns clean EOF, so a graceful shutdown drains in-flight
+	// flows, flushes the final partial window, checkpoints, and exits 0 as
+	// a *completed* run (DESIGN.md §12).
+	stopCh := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+
+	var src wire.PacketSource
+	var stats func() wire.ReaderStats
+	if cfg.listen != "" {
+		network, addr, ok := strings.Cut(cfg.listen, ":")
+		if !ok || addr == "" {
+			log.Printf("-listen %q: want network:address (e.g. unix:/run/adtrace.sock, tcp:127.0.0.1:9099)", cfg.listen)
+			return 2
+		}
+		s, err := daemon.NewSocketSource(network, addr, daemon.SocketOptions{
+			Lenient: !cfg.strict, Poll: cfg.poll, Stop: stopCh, Obs: cfg.obs,
+		})
+		if err != nil {
+			log.Printf("listening on %s: %v", cfg.listen, err)
+			return 1
+		}
+		defer s.Close()
+		log.Printf("serving: accepting trace streams on %s (state in %s)", s.Addr(), cfg.stateDir)
+		src, stats = s, s.Stats
+	} else {
+		s, err := daemon.NewFollowSource(cfg.in, daemon.FollowOptions{
+			Lenient: !cfg.strict, Poll: cfg.poll, Stop: stopCh, Obs: cfg.obs,
+		})
+		if err != nil {
+			log.Printf("following %s: %v", cfg.in, err)
+			return 1
+		}
+		defer s.Close()
+		log.Printf("serving: following %s (state in %s)", cfg.in, cfg.stateDir)
+		src, stats = s, s.Stats
+		go func() {
+			for range hup {
+				log.Print("SIGHUP: reopening followed file")
+				s.Reopen()
+			}
+		}()
+	}
+
+	go func() {
+		s := <-sig
+		log.Printf("received %v: draining, flushing final window, checkpointing (signal again to exit immediately)", s)
+		close(stopCh)
+		<-sig
+		log.Print("second signal: exiting without drain")
+		os.Exit(1)
+	}()
+
+	// §3.2 discovery: the filter-list server addresses windows test TLS
+	// flows against, resolved once up front from the world's DNS zone.
+	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
+
+	res, err := daemon.Run(src, daemon.Config{
+		Dir:             cfg.stateDir,
+		Window:          cfg.window,
+		Grace:           cfg.grace,
+		IdleHorizon:     cfg.idleHorizon,
+		Engine:          world.Bundle.ClassifierEngine(),
+		ABPServerIPs:    abpIPs,
+		Workers:         cfg.workers,
+		Limits:          cfg.limits,
+		CheckpointEvery: cfg.checkpointEvery,
+		Stop:            nil, // stop is the source's job; see above
+		StallTimeout:    cfg.stallTimeout,
+		Deadline:        cfg.deadline,
+		RestartBudget:   cfg.restartBudget,
+		OnEvent:         func(msg string) { log.Print(msg) },
+		Obs:             cfg.obs,
+		Heartbeat:       cfg.heartbeat,
+	})
+	if err != nil && res == nil {
+		log.Printf("serve: %v", err)
+		return 1
+	}
+	if err != nil {
+		log.Printf("serve degraded: %v", err)
+	}
+	printServeSummary(res, stats())
+	return serveExitCode(res.Run)
+}
+
+func printServeSummary(res *daemon.Result, rs wire.ReaderStats) {
+	r := res.Run
+	fmt.Printf("RESULT: %s\n", r.Outcome)
+	if r.Cause != "" {
+		fmt.Printf("  cause: %s\n", r.Cause)
+	}
+	for _, s := range r.Stalled {
+		fmt.Printf("  stalled: %s\n", s)
+	}
+	fmt.Printf("packets routed:     %d (resumed past %d)\n", r.PacketsRouted, r.ResumedPackets)
+	fmt.Printf("windows emitted:    %d (%d late records)\n", r.WindowsEmitted, r.LateWindowRecords)
+	fmt.Printf("checkpoints:        %d\n", r.Checkpoints)
+	fmt.Printf("reader degradation: %d resyncs, %d bytes skipped, %d follow retries\n",
+		rs.Resyncs, rs.SkippedBytes, rs.FollowRetries)
+	fmt.Printf("inference state:    %d users live (%d evicted), %d households live (%d evicted)\n",
+		res.LiveUsers, res.EvictedUsers, res.LiveHouseholds, res.EvictedHouseholds)
+}
+
+// serveExitCode maps a daemon run onto the exit-code contract. A graceful
+// signal shutdown surfaces as OutcomeCompleted (the stopped source returns
+// EOF), so serve mode exits 0 where batch mode would exit 4.
+func serveExitCode(r *runz.Result) int {
+	switch r.Outcome {
+	case runz.OutcomeCompleted:
+		return 0
+	case runz.OutcomeStopped:
+		return 4
+	case runz.OutcomeStalled, runz.OutcomeDeadline:
+		return 5
+	default: // read error, emit error, unexpected
+		return 1
+	}
+}

@@ -1,0 +1,185 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/inference"
+	"adscape/internal/obs"
+	"adscape/internal/runz"
+	"adscape/internal/wire"
+)
+
+// CheckpointFileName is the supervised-run checkpoint inside the state dir.
+const CheckpointFileName = "daemon.ckpt"
+
+// WindowsSubdir holds the per-window record files inside the state dir.
+const WindowsSubdir = "windows"
+
+// Config configures a continuous-service run. Zero values of supervision
+// knobs disable them, like runz.Options; Window and Dir are mandatory.
+type Config struct {
+	// Dir is the state directory: window records go to Dir/windows/, the
+	// resumable checkpoint to Dir/daemon.ckpt. Created if missing.
+	Dir string
+
+	// Window is the capture-time window width (required, > 0); Grace the
+	// out-of-order allowance subtracted from the watermark (>= 0). See
+	// runz.WindowPolicy.
+	Window time.Duration
+	Grace  time.Duration
+
+	// IdleHorizon evicts (IP, User-Agent) accumulators and household
+	// download marks idle longer than this in capture time, bounding daemon
+	// memory on run-forever inputs. <=0 keeps state forever (batch parity).
+	IdleHorizon time.Duration
+
+	// Engine classifies each window's transactions; ABPServerIPs are the
+	// filter-list server addresses used for download detection.
+	Engine       *abp.Engine
+	ABPServerIPs []uint32
+
+	// Workers, Limits, CheckpointEvery, TraceID, Stop, StallTimeout,
+	// Deadline, DrainTimeout, RestartBudget, OnEvent, Obs and Heartbeat are
+	// passed through to runz.Options (see there for semantics). The
+	// checkpoint path is always Dir/daemon.ckpt and resume is automatic.
+	Workers         int
+	Limits          analyzer.Limits
+	CheckpointEvery int64
+	TraceID         string
+	Stop            <-chan struct{}
+	StallTimeout    time.Duration
+	Deadline        time.Duration
+	DrainTimeout    time.Duration
+	RestartBudget   int
+	OnEvent         func(string)
+	Obs             *obs.Registry
+	Heartbeat       time.Duration
+}
+
+// Result is the outcome of a daemon run: the supervised-run result (whose
+// record slices are empty — the window files are the output) plus the final
+// bounded-state figures.
+type Result struct {
+	Run *runz.Result
+	// Resumed reports whether this run continued from a prior checkpoint.
+	Resumed bool
+	// LiveUsers/LiveHouseholds are the aged accumulator sizes at exit;
+	// EvictedUsers/EvictedHouseholds the idle evictions over the run.
+	LiveUsers         int
+	LiveHouseholds    int
+	EvictedUsers      int64
+	EvictedHouseholds int64
+}
+
+// Run drives a continuous-service ingest: src (typically a FollowSource or
+// SocketSource) feeds the supervised sharded engine, closed windows are
+// classified and written to cfg.Dir/windows/, and inference state ages per
+// cfg.IdleHorizon. If cfg.Dir holds a checkpoint from a previous run, the
+// run resumes from it automatically; an unreadable checkpoint is moved
+// aside and the run starts fresh (window emission is idempotent, so
+// re-emitted windows overwrite rather than duplicate).
+func Run(src wire.PacketSource, cfg Config) (*Result, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("daemon: Config.Dir is required")
+	}
+	if cfg.Window <= 0 {
+		return nil, errors.New("daemon: Config.Window must be positive")
+	}
+	if cfg.Grace < 0 {
+		return nil, errors.New("daemon: Config.Grace must be non-negative")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("daemon: Config.Engine is required")
+	}
+	winDir := filepath.Join(cfg.Dir, WindowsSubdir)
+	if err := os.MkdirAll(winDir, 0o755); err != nil {
+		return nil, fmt.Errorf("daemon: state dir: %w", err)
+	}
+	sweepTempFiles(winDir)
+	ckptPath := filepath.Join(cfg.Dir, CheckpointFileName)
+
+	resume, err := loadResume(ckptPath, cfg.OnEvent)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	aged := inference.NewAgedUsers(cfg.IdleHorizon)
+	em := newEmitter(winDir, core.NewPipeline(cfg.Engine), workers, cfg.ABPServerIPs, aged, cfg.Obs)
+
+	res, err := runz.Run(src, runz.Options{
+		Workers:         workers,
+		Limits:          cfg.Limits,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Resume:          resume,
+		TraceID:         cfg.TraceID,
+		Stop:            cfg.Stop,
+		StallTimeout:    cfg.StallTimeout,
+		Deadline:        cfg.Deadline,
+		DrainTimeout:    cfg.DrainTimeout,
+		RestartBudget:   cfg.RestartBudget,
+		OnEvent:         cfg.OnEvent,
+		Obs:             cfg.Obs,
+		Heartbeat:       cfg.Heartbeat,
+		Windows: runz.WindowPolicy{
+			Width: cfg.Window,
+			Grace: cfg.Grace,
+			Emit:  em.emit,
+		},
+	})
+	out := &Result{
+		Run:               res,
+		Resumed:           resume != nil,
+		LiveUsers:         aged.Len(),
+		LiveHouseholds:    aged.Households(),
+		EvictedUsers:      aged.EvictedUsers(),
+		EvictedHouseholds: aged.EvictedHouseholds(),
+	}
+	return out, err
+}
+
+// sweepTempFiles removes window temp files orphaned by a crash between
+// CreateTemp and the atomic rename. The record they carried is re-emitted
+// from the checkpoint on resume, so the orphans are pure garbage.
+func sweepTempFiles(winDir string) {
+	tmps, _ := filepath.Glob(filepath.Join(winDir, "window-*.json.tmp*"))
+	for _, p := range tmps {
+		os.Remove(p)
+	}
+}
+
+// loadResume loads the state-dir checkpoint if present. A missing file means
+// a fresh start; a corrupt or unreadable one is moved aside (never silently
+// deleted — it is evidence) and reported through onEvent.
+func loadResume(path string, onEvent func(string)) (*runz.Checkpoint, error) {
+	ck, err := runz.LoadCheckpoint(path)
+	switch {
+	case err == nil:
+		return ck, nil
+	case errors.Is(err, os.ErrNotExist):
+		return nil, nil
+	case errors.Is(err, runz.ErrCheckpointCorrupt):
+		aside := path + ".corrupt"
+		if mvErr := os.Rename(path, aside); mvErr != nil {
+			return nil, fmt.Errorf("daemon: quarantining corrupt checkpoint: %w", mvErr)
+		}
+		if onEvent != nil {
+			onEvent(fmt.Sprintf("daemon: checkpoint corrupt (%v); moved to %s, starting fresh", err, aside))
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("daemon: loading checkpoint: %w", err)
+	}
+}

@@ -1,0 +1,522 @@
+package daemon_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/daemon"
+	"adscape/internal/pipeline"
+	"adscape/internal/wire"
+)
+
+func testEngine(t *testing.T) *abp.Engine {
+	t.Helper()
+	el, err := abp.ParseList("easylist", abp.ListAds, strings.NewReader(`
+||adserver.example^
+/banner/*
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abp.NewEngine(el)
+}
+
+// genTrace builds a capture-time-ordered synthetic trace mixing plain pages,
+// ad requests, and opaque (TLS-like) flows, spread over ~10 minutes.
+func genTrace(tb testing.TB, conns int, seed int64) []*wire.Packet {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pkts []*wire.Packet
+	out := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	for c := 0; c < conns; c++ {
+		clientIP := 0x0A000001 + uint32(rng.Intn(8))
+		serverIP := 0x0B000001 + uint32(rng.Intn(16))
+		em := wire.NewConnEmitter(out, clientIP, uint16(9000+c), serverIP, 80, int64(1+rng.Intn(50))*1e6, rng.Uint32())
+		start := int64(1+rng.Intn(600)) * 1e9
+		est, err := em.Open(start)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if rng.Float64() < 0.2 {
+			if err := em.OpaquePayload(est, int64(300+rng.Intn(1000)), int64(2000+rng.Intn(20000))); err != nil {
+				tb.Fatal(err)
+			}
+			if err := em.Close(est + 3e9); err != nil {
+				tb.Fatal(err)
+			}
+			continue
+		}
+		n := 1 + rng.Intn(4)
+		for q := 0; q < n; q++ {
+			reqT := est + int64(q)*80e6
+			host := fmt.Sprintf("h%d.example", rng.Intn(20))
+			uri := fmt.Sprintf("/o%d-%d", c, q)
+			if rng.Float64() < 0.3 {
+				host, uri = "adserver.example", fmt.Sprintf("/banner/%d-%d", c, q)
+			}
+			hdr := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: UA/%d\r\n\r\n",
+				uri, host, int(clientIP)%4)
+			if err := em.Request(reqT, []byte(hdr)); err != nil {
+				tb.Fatal(err)
+			}
+			clen := 100 + rng.Intn(9000)
+			resp := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", clen)
+			if err := em.Response(reqT+30e6, []byte(resp), int64(clen)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if err := em.Close(est + int64(n)*80e6 + 2e9); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+	return pkts
+}
+
+func writeTraceFile(tb testing.TB, path string, pkts []*wire.Packet) {
+	tb.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer f.Close()
+	w, err := wire.NewWriter(f)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// drainSource reads every packet a live source yields until io.EOF,
+// reporting them on a channel so the test can drive the source's file.
+func drainSource(t *testing.T, src wire.PacketSource) (<-chan *wire.Packet, <-chan error) {
+	t.Helper()
+	pkts := make(chan *wire.Packet, 1024)
+	done := make(chan error, 1)
+	go func() {
+		defer close(pkts)
+		for {
+			p, err := src.Read()
+			if err != nil {
+				done <- err
+				return
+			}
+			pkts <- p
+		}
+	}()
+	return pkts, done
+}
+
+func recvPackets(t *testing.T, ch <-chan *wire.Packet, n int) []*wire.Packet {
+	t.Helper()
+	out := make([]*wire.Packet, 0, n)
+	for len(out) < n {
+		select {
+		case p := <-ch:
+			out = append(out, p)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out after %d/%d packets", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestFollowSourceTailRotation: the source keeps reading across file growth
+// and a moved-aside rotation, losing no packets, and ends cleanly on Stop.
+func TestFollowSourceTailRotation(t *testing.T) {
+	pkts := genTrace(t, 12, 7)
+	third := len(pkts) / 3
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.trace")
+	writeTraceFile(t, path, pkts[:third])
+
+	stop := make(chan struct{})
+	src, err := daemon.NewFollowSource(path, daemon.FollowOptions{Poll: 5 * time.Millisecond, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ch, done := drainSource(t, src)
+
+	got := recvPackets(t, ch, third)
+
+	// Growth: append the second third to the same file (header already
+	// written, so re-emit records only).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := wire.NewAppender(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts[third : 2*third] {
+		if err := bw.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got = append(got, recvPackets(t, ch, third)...)
+
+	// Rotation: move the file aside and write a fresh trace at the path.
+	if err := os.Rename(path, path+".1"); err != nil {
+		t.Fatal(err)
+	}
+	writeTraceFile(t, path, pkts[2*third:])
+	got = append(got, recvPackets(t, ch, len(pkts)-2*third)...)
+
+	close(stop)
+	if err := <-done; err == nil || err.Error() != "EOF" {
+		t.Fatalf("after stop: err = %v, want EOF", err)
+	}
+	if src.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1", src.Rotations())
+	}
+	for i, p := range got {
+		if !reflect.DeepEqual(*p, *pkts[i]) {
+			t.Fatalf("packet %d differs after tail+rotation", i)
+		}
+	}
+}
+
+// TestFollowSourceReopen: an explicit Reopen (the SIGHUP hook) retires the
+// current file and re-reads the path from the start, even when the inode
+// heuristics see nothing — the operator's word that the file was replaced.
+func TestFollowSourceReopen(t *testing.T) {
+	pkts := genTrace(t, 6, 9)
+	path := filepath.Join(t.TempDir(), "live.trace")
+	writeTraceFile(t, path, pkts)
+
+	stop := make(chan struct{})
+	src, err := daemon.NewFollowSource(path, daemon.FollowOptions{Poll: 5 * time.Millisecond, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ch, done := drainSource(t, src)
+
+	recvPackets(t, ch, len(pkts))
+	src.Reopen()
+	again := recvPackets(t, ch, len(pkts))
+
+	close(stop)
+	<-done
+	if src.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1 after Reopen", src.Rotations())
+	}
+	for i, p := range again {
+		if !reflect.DeepEqual(*p, *pkts[i]) {
+			t.Fatalf("re-read packet %d differs", i)
+		}
+	}
+}
+
+// TestSocketSource: sequential client connections each carrying a complete
+// trace stream are replayed as one packet sequence.
+func TestSocketSource(t *testing.T) {
+	pkts := genTrace(t, 10, 13)
+	half := len(pkts) / 2
+
+	stop := make(chan struct{})
+	src, err := daemon.NewSocketSource("tcp", "127.0.0.1:0", daemon.SocketOptions{
+		Poll: 5 * time.Millisecond, Stop: stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ch, done := drainSource(t, src)
+
+	send := func(batch []*wire.Packet) {
+		conn, err := net.Dial("tcp", src.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := wire.NewWriter(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range batch {
+			if err := w.Write(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	send(pkts[:half])
+	got := recvPackets(t, ch, half)
+	send(pkts[half:])
+	got = append(got, recvPackets(t, ch, len(pkts)-half)...)
+
+	close(stop)
+	<-done
+	if src.Streams() != 2 {
+		t.Fatalf("streams = %d, want 2", src.Streams())
+	}
+	for i, p := range got {
+		if !reflect.DeepEqual(*p, *pkts[i]) {
+			t.Fatalf("packet %d differs across streams", i)
+		}
+	}
+}
+
+func runDaemon(t *testing.T, src wire.PacketSource, dir string, workers int, stop <-chan struct{}) *daemon.Result {
+	t.Helper()
+	res, err := daemon.Run(src, daemon.Config{
+		Dir:     dir,
+		Window:  60 * time.Second,
+		Grace:   5 * time.Second,
+		Workers: workers,
+		Engine:  testEngine(t),
+		Stop:    stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func readWindowFiles(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, daemon.WindowsSubdir, "window-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = string(data)
+	}
+	return out
+}
+
+// TestDaemonWindowsDeterministic: identical window record files at any
+// worker count, and their totals match a one-shot batch classification.
+func TestDaemonWindowsDeterministic(t *testing.T) {
+	pkts := genTrace(t, 60, 21)
+	dirs := map[int]string{}
+	for _, workers := range []int{1, 2, 4, 8} {
+		dir := t.TempDir()
+		dirs[workers] = dir
+		res := runDaemon(t, pipeline.NewSliceSource(pkts), dir, workers, nil)
+		if res.Run.WindowsEmitted == 0 {
+			t.Fatalf("workers=%d: no windows emitted", workers)
+		}
+	}
+	ref := readWindowFiles(t, dirs[1])
+	if len(ref) == 0 {
+		t.Fatal("no window files written")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := readWindowFiles(t, dirs[workers])
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: window files differ from workers=1", workers)
+		}
+	}
+
+	// Window totals sum to the batch run over the same trace.
+	batch, err := pipeline.Analyze(pipeline.NewSliceSource(pkts), pipeline.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := daemon.ReadWindowRecords(filepath.Join(dirs[1], daemon.WindowsSubdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txs, flows int
+	for i, r := range recs {
+		txs += r.Transactions
+		flows += r.TLSFlows
+		if r.Index != recs[0].Index+int64(i) {
+			t.Fatalf("window index gap at %d: got %d", i, r.Index)
+		}
+	}
+	if txs != len(batch.Transactions) || flows != len(batch.TLSFlows) {
+		t.Fatalf("window totals tx=%d flows=%d, batch tx=%d flows=%d",
+			txs, flows, len(batch.Transactions), len(batch.TLSFlows))
+	}
+}
+
+// stopAfter closes stop once n packets have been read, modelling a signal
+// arriving at a deterministic point mid-run.
+type stopAfter struct {
+	src   wire.PacketSource
+	n     int
+	count int
+	stop  chan struct{}
+	once  sync.Once
+}
+
+func (s *stopAfter) Read() (*wire.Packet, error) {
+	if s.count >= s.n {
+		s.once.Do(func() { close(s.stop) })
+	}
+	s.count++
+	return s.src.Read()
+}
+
+// TestDaemonStopResume: a drained (SIGTERM-style) daemon run leaves a
+// checkpoint; a second run over the same state dir resumes automatically and
+// the final window files equal an uninterrupted run's.
+func TestDaemonStopResume(t *testing.T) {
+	pkts := genTrace(t, 60, 31)
+	refDir := t.TempDir()
+	runDaemon(t, pipeline.NewSliceSource(pkts), refDir, 3, nil)
+	ref := readWindowFiles(t, refDir)
+
+	dir := t.TempDir()
+	stop := make(chan struct{})
+	res1 := runDaemon(t, &stopAfter{src: pipeline.NewSliceSource(pkts), n: len(pkts) / 2, stop: stop}, dir, 3, stop)
+	if got := res1.Run.Outcome.String(); got != "stopped" {
+		t.Fatalf("first run outcome = %q, want stopped", got)
+	}
+	if res1.Resumed {
+		t.Fatal("first run claims to have resumed")
+	}
+
+	// A crash between CreateTemp and rename orphans a temp file; the
+	// restart must sweep it rather than let garbage accumulate.
+	orphan := filepath.Join(dir, daemon.WindowsSubdir, daemon.WindowFileName(99)+".tmp12345")
+	if err := os.WriteFile(orphan, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res2 := runDaemon(t, pipeline.NewSliceSource(pkts), dir, 3, nil)
+	if !res2.Resumed {
+		t.Fatal("second run did not resume from the state-dir checkpoint")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned window temp file survived restart: stat err = %v", err)
+	}
+	if got := res2.Run.Outcome.String(); got != "completed" {
+		t.Fatalf("second run outcome = %q, want completed", got)
+	}
+	if got := readWindowFiles(t, dir); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("resumed window files differ from uninterrupted run (%d vs %d files)", len(got), len(ref))
+	}
+}
+
+// TestDaemonCorruptCheckpointQuarantine: an unreadable checkpoint is moved
+// aside, reported, and the run starts fresh instead of failing.
+func TestDaemonCorruptCheckpointQuarantine(t *testing.T) {
+	pkts := genTrace(t, 20, 41)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, daemon.CheckpointFileName)
+	if err := os.WriteFile(ckpt, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	res, err := daemon.Run(pipeline.NewSliceSource(pkts), daemon.Config{
+		Dir: dir, Window: 60 * time.Second, Workers: 2, Engine: testEngine(t),
+		OnEvent: func(s string) { events = append(events, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed {
+		t.Fatal("resumed from a corrupt checkpoint")
+	}
+	if _, err := os.Stat(ckpt + ".corrupt"); err != nil {
+		t.Fatalf("corrupt checkpoint not quarantined: %v", err)
+	}
+	found := false
+	for _, e := range events {
+		if strings.Contains(e, "corrupt") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no corrupt-checkpoint event reported")
+	}
+}
+
+// TestDaemonBoundedState: with a short idle horizon, accumulators are
+// evicted as capture time advances and the live gauges stay bounded.
+func TestDaemonBoundedState(t *testing.T) {
+	pkts := genTrace(t, 80, 51)
+	res, err := daemon.Run(pipeline.NewSliceSource(pkts), daemon.Config{
+		Dir:         t.TempDir(),
+		Window:      60 * time.Second,
+		IdleHorizon: 2 * time.Minute,
+		Workers:     2,
+		Engine:      testEngine(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvictedUsers == 0 {
+		t.Fatal("no user evictions over a 10-minute trace with a 2-minute horizon")
+	}
+	unbounded, err := daemon.Run(pipeline.NewSliceSource(pkts), daemon.Config{
+		Dir:     t.TempDir(),
+		Window:  60 * time.Second,
+		Workers: 2,
+		Engine:  testEngine(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveUsers >= unbounded.LiveUsers {
+		t.Fatalf("aged live users (%d) not below unbounded (%d)", res.LiveUsers, unbounded.LiveUsers)
+	}
+	if unbounded.EvictedUsers != 0 {
+		t.Fatalf("unbounded run evicted %d users", unbounded.EvictedUsers)
+	}
+}
+
+// TestDaemonEndToEndFollow: the full composition — follow a growing file,
+// stop after it is fully consumed, and get the same window files a slice
+// replay produces.
+func TestDaemonEndToEndFollow(t *testing.T) {
+	pkts := genTrace(t, 40, 61)
+	refDir := t.TempDir()
+	runDaemon(t, pipeline.NewSliceSource(pkts), refDir, 4, nil)
+	ref := readWindowFiles(t, refDir)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.trace")
+	writeTraceFile(t, path, pkts)
+	stop := make(chan struct{})
+	src, err := daemon.NewFollowSource(path, daemon.FollowOptions{Poll: 5 * time.Millisecond, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	// Stop once every packet has been consumed; the drain then flushes the
+	// remaining windows.
+	counted := &stopAfter{src: src, n: len(pkts), stop: stop}
+	res := runDaemon(t, counted, dir, 4, stop)
+	if got := res.Run.Outcome.String(); got != "completed" && got != "stopped" {
+		t.Fatalf("outcome = %q", got)
+	}
+	if got := readWindowFiles(t, dir); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("follow-mode window files differ from slice replay (%d vs %d files)", len(got), len(ref))
+	}
+}

@@ -1,0 +1,235 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"adscape/internal/core"
+	"adscape/internal/inference"
+	"adscape/internal/obs"
+	"adscape/internal/pipeline"
+	"adscape/internal/runz"
+)
+
+// ErrRecordCorrupt is returned by ReadWindowRecord for files failing
+// structural validation (bad JSON envelope, checksum mismatch).
+var ErrRecordCorrupt = errors.New("daemon: window record corrupt")
+
+// WindowRecord is the durable per-window output: record counts, watermark
+// bookkeeping, and the Table-1-style classification aggregate of the
+// window's transactions. Every field is a pure function of the window's
+// deterministic record set, so a record file is byte-identical at any
+// worker count and across crash-resume rewrites (DESIGN.md §12). Live-state
+// figures that are NOT replay-deterministic (aged accumulator sizes,
+// eviction totals) are deliberately kept out — they go to /debug/metrics.
+type WindowRecord struct {
+	Index     int64 `json:"index"`
+	StartNs   int64 `json:"start_ns"`
+	EndNs     int64 `json:"end_ns"`
+	Watermark int64 `json:"watermark_ns"`
+	// Final marks a window the drain path closed early (partial); a resumed
+	// run rewrites it complete.
+	Final bool `json:"final,omitempty"`
+
+	Transactions     int `json:"transactions"`
+	TLSFlows         int `json:"tls_flows"`
+	LateTransactions int `json:"late_transactions,omitempty"`
+	LateTLSFlows     int `json:"late_tls_flows,omitempty"`
+
+	// Classification aggregate over the window's transactions.
+	Requests    int            `json:"requests"`
+	AdRequests  int            `json:"ad_requests"`
+	Bytes       int64          `json:"bytes"`
+	AdBytes     int64          `json:"ad_bytes"`
+	Whitelisted int            `json:"whitelisted"`
+	PerList     map[string]int `json:"per_list,omitempty"`
+
+	// UsersSeen/HouseholdsSeen count distinct (IP, User-Agent) pairs and
+	// client IPs active in the window; ABPDownloadHouseholds the households
+	// contacting a filter-list server during the window.
+	UsersSeen             int `json:"users_seen"`
+	HouseholdsSeen        int `json:"households_seen"`
+	ABPDownloadHouseholds int `json:"abp_download_households"`
+}
+
+// envelope is the on-disk frame: the CRC-32 (IEEE) of the raw record JSON,
+// then the record itself. Atomic tmp+rename writes plus the checksum give
+// the same torn/corrupt-write detection as runz checkpoints.
+type envelope struct {
+	CRC    uint32          `json:"crc32"`
+	Record json.RawMessage `json:"record"`
+}
+
+// WindowFileName is the record file name for a window index, zero-padded so
+// lexical directory order is window order.
+func WindowFileName(index int64) string {
+	return fmt.Sprintf("window-%012d.json", index)
+}
+
+// WriteWindowRecord atomically writes rec to dir (tmp + fsync + rename);
+// rewriting an existing index replaces the file in one step, which is what
+// makes drain-partial windows and crash-resume re-emission idempotent.
+func WriteWindowRecord(dir string, rec *WindowRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("daemon: encoding window record: %w", err)
+	}
+	data, err := json.Marshal(envelope{CRC: crc32.ChecksumIEEE(raw), Record: raw})
+	if err != nil {
+		return fmt.Errorf("daemon: encoding window envelope: %w", err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, WindowFileName(rec.Index))
+	tmp, err := os.CreateTemp(dir, WindowFileName(rec.Index)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("daemon: window temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("daemon: writing window record: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("daemon: syncing window record: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("daemon: closing window record: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("daemon: publishing window record: %w", err)
+	}
+	return nil
+}
+
+// ReadWindowRecord loads and checksum-verifies one window record file.
+func ReadWindowRecord(path string) (*WindowRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRecordCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(env.Record) != env.CRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrRecordCorrupt)
+	}
+	rec := &WindowRecord{}
+	if err := json.Unmarshal(env.Record, rec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRecordCorrupt, err)
+	}
+	return rec, nil
+}
+
+// ReadWindowRecords loads every window record in dir, sorted by index.
+func ReadWindowRecords(dir string) ([]*WindowRecord, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "window-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*WindowRecord, 0, len(paths))
+	for _, p := range paths {
+		rec, err := ReadWindowRecord(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// emitter is the runz window-emission callback: classify the window's
+// transactions, write the durable record, then fold the window into the
+// aged inference state and refresh the live gauges. It runs in the router
+// goroutine at a quiesce barrier, so no synchronization is needed.
+type emitter struct {
+	dir     string
+	pipe    *core.Pipeline
+	workers int
+	abpIPs  map[uint32]bool
+	aged    *inference.AgedUsers
+
+	windowsG, usersG, householdsG     *obs.Gauge
+	evictedUsersG, evictedHouseholdsG *obs.Gauge
+}
+
+func newEmitter(dir string, pipe *core.Pipeline, workers int, abpIPs []uint32, aged *inference.AgedUsers, reg *obs.Registry) *emitter {
+	e := &emitter{
+		dir:                dir,
+		pipe:               pipe,
+		workers:            workers,
+		abpIPs:             make(map[uint32]bool, len(abpIPs)),
+		aged:               aged,
+		windowsG:           reg.Gauge("daemon.windows_written"),
+		usersG:             reg.Gauge("daemon.users_live"),
+		householdsG:        reg.Gauge("daemon.households_live"),
+		evictedUsersG:      reg.Gauge("daemon.users_evicted"),
+		evictedHouseholdsG: reg.Gauge("daemon.households_evicted"),
+	}
+	for _, ip := range abpIPs {
+		e.abpIPs[ip] = true
+	}
+	return e
+}
+
+func (e *emitter) emit(w *runz.Window) error {
+	cls := pipeline.Classify(e.pipe, w.Transactions, e.workers)
+	rec := &WindowRecord{
+		Index:            w.Index,
+		StartNs:          w.Start,
+		EndNs:            w.End,
+		Watermark:        w.Watermark,
+		Final:            w.Final,
+		Transactions:     len(w.Transactions),
+		TLSFlows:         len(w.TLSFlows),
+		LateTransactions: w.LateTransactions,
+		LateTLSFlows:     w.LateTLSFlows,
+		Requests:         cls.Stats.Requests,
+		AdRequests:       cls.Stats.AdRequests,
+		Bytes:            cls.Stats.Bytes,
+		AdBytes:          cls.Stats.AdBytes,
+		Whitelisted:      cls.Stats.Whitelisted,
+		UsersSeen:        len(cls.Users),
+	}
+	if len(cls.Stats.PerList) > 0 {
+		rec.PerList = cls.Stats.PerList
+	}
+	households := make(map[uint32]bool)
+	for k := range cls.Users {
+		households[k.IP] = true
+	}
+	downloads := make(map[uint32]bool)
+	for _, f := range w.TLSFlows {
+		households[f.ClientIP] = true
+		if e.abpIPs[f.ServerIP] {
+			downloads[f.ClientIP] = true
+		}
+	}
+	rec.HouseholdsSeen = len(households)
+	rec.ABPDownloadHouseholds = len(downloads)
+
+	if err := WriteWindowRecord(e.dir, rec); err != nil {
+		return err
+	}
+	// Durable record first, soft state second: a crash between the two
+	// re-folds the window after restart, which only rebuilds the (already
+	// soft) aged state.
+	dlIPs := make([]uint32, 0, len(downloads))
+	for ip := range downloads {
+		dlIPs = append(dlIPs, ip)
+	}
+	e.aged.Fold(cls.Users, dlIPs, w.End)
+	e.windowsG.Add(1)
+	e.usersG.Set(int64(e.aged.Len()))
+	e.householdsG.Set(int64(e.aged.Households()))
+	e.evictedUsersG.Set(e.aged.EvictedUsers())
+	e.evictedHouseholdsG.Set(e.aged.EvictedHouseholds())
+	return nil
+}

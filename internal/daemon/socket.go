@@ -1,0 +1,198 @@
+package daemon
+
+import (
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"adscape/internal/obs"
+	"adscape/internal/wire"
+)
+
+// errStreamDone marks a cleanly closed connection. The wire reader runs in
+// follow mode (deadline-expired reads retry), so a raw io.EOF from the
+// socket would poll forever; the wrapper below renames it into a terminal
+// error the source recognizes as "this stream is finished".
+var errStreamDone = errors.New("daemon: stream closed by peer")
+
+type connReader struct{ c net.Conn }
+
+func (cr connReader) Read(p []byte) (int, error) {
+	n, err := cr.c.Read(p)
+	if err == io.EOF {
+		err = errStreamDone
+	}
+	return n, err
+}
+
+// SocketOptions configures a SocketSource.
+type SocketOptions struct {
+	// Lenient enables corrupt-record resynchronization per stream.
+	Lenient bool
+	// Poll bounds every blocking accept/read (<=0: 200ms), so Stop and the
+	// heartbeat are serviced even while a peer is quiet.
+	Poll time.Duration
+	// HeaderTimeout bounds how long a freshly accepted connection may take
+	// to send the trace header before being dropped (<=0: 5s).
+	HeaderTimeout time.Duration
+	// Stop, when closed, makes Read return io.EOF (graceful shutdown).
+	Stop <-chan struct{}
+	// Obs, when non-nil, attaches wire reader counters plus daemon.streams.
+	Obs *obs.Registry
+}
+
+// SocketSource accepts trace streams on a local listener and replays them as
+// one logical packet sequence: connections are served one at a time, each a
+// complete trace (header + records), and the source moves to the next accept
+// when a stream closes. Quiet peers are polled with read deadlines, so a
+// silent connection neither wedges shutdown nor trips the stall watchdog
+// (the source beats while polling). Packet order across sequential streams
+// is their arrival order — for the windowed determinism contract the
+// concatenated streams must be capture-time ordered, exactly like a single
+// trace file.
+type SocketSource struct {
+	ln   net.Listener
+	opt  SocketOptions
+	poll time.Duration
+
+	conn net.Conn
+	r    *wire.Reader
+
+	beat    func()
+	retired wire.ReaderStats
+	streams int64
+	met     *wire.Metrics
+	strC    *obs.Counter
+}
+
+// NewSocketSource listens on network/addr (e.g. "unix", "/run/adtrace.sock",
+// or "tcp", "127.0.0.1:9099" — the stream is unauthenticated, so bind
+// localhost or a mode-0700 socket directory only).
+func NewSocketSource(network, addr string, opt SocketOptions) (*SocketSource, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &SocketSource{
+		ln:   ln,
+		opt:  opt,
+		poll: opt.Poll,
+		met:  wire.NewMetrics(opt.Obs),
+		strC: opt.Obs.Counter("daemon.streams"),
+	}
+	if s.poll <= 0 {
+		s.poll = defaultPoll
+	}
+	return s, nil
+}
+
+// SetBeat implements runz.HeartbeatSource.
+func (s *SocketSource) SetBeat(beat func()) { s.beat = beat }
+
+// Addr returns the listener address (useful with ":0" tcp listeners).
+func (s *SocketSource) Addr() net.Addr { return s.ln.Addr() }
+
+// Streams counts completed (fully read) connections.
+func (s *SocketSource) Streams() int64 { return s.streams }
+
+// Stats returns reader degradation counters summed over all streams.
+func (s *SocketSource) Stats() wire.ReaderStats {
+	st := s.retired
+	if s.r != nil {
+		st.Merge(s.r.Stats())
+	}
+	return st
+}
+
+// Close shuts the listener and any open connection.
+func (s *SocketSource) Close() error {
+	err := s.ln.Close()
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.r = nil, nil
+	}
+	return err
+}
+
+// Read returns the next packet across the sequence of accepted streams,
+// io.EOF once Stop is closed.
+func (s *SocketSource) Read() (*wire.Packet, error) {
+	for {
+		if s.stopped() {
+			s.Close()
+			return nil, io.EOF
+		}
+		if s.beat != nil {
+			s.beat()
+		}
+		if s.conn == nil {
+			if !s.accept() {
+				continue
+			}
+		}
+		s.conn.SetReadDeadline(time.Now().Add(s.poll))
+		p, err := s.r.Read()
+		switch {
+		case err == nil:
+			return p, nil
+		case errors.Is(err, wire.ErrAgain):
+			// Deadline expired on a quiet peer; loop to service Stop/beat.
+		case errors.Is(err, errStreamDone):
+			s.finishStream()
+		default:
+			// Unrecoverable stream damage (strict-mode corruption, lenient
+			// budget exhausted, transport error): drop this stream, keep
+			// serving — one bad client must not kill the daemon.
+			s.retired.Merge(s.r.Stats())
+			s.conn.Close()
+			s.conn, s.r = nil, nil
+		}
+	}
+}
+
+// accept waits up to one poll interval for a connection and reads its trace
+// header; false means "nothing usable yet, poll again".
+func (s *SocketSource) accept() bool {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := s.ln.(deadliner); ok {
+		d.SetDeadline(time.Now().Add(s.poll))
+	}
+	conn, err := s.ln.Accept()
+	if err != nil {
+		return false
+	}
+	ht := s.opt.HeaderTimeout
+	if ht <= 0 {
+		ht = 5 * time.Second
+	}
+	conn.SetReadDeadline(time.Now().Add(ht))
+	r, err := wire.NewReaderOptions(connReader{conn}, wire.ReaderOptions{Lenient: s.opt.Lenient, Follow: true})
+	if err != nil {
+		conn.Close()
+		return false
+	}
+	r.SetObs(s.met)
+	s.conn, s.r = conn, r
+	return true
+}
+
+func (s *SocketSource) finishStream() {
+	s.retired.Merge(s.r.Stats())
+	s.conn.Close()
+	s.conn, s.r = nil, nil
+	s.streams++
+	s.strC.Inc()
+}
+
+func (s *SocketSource) stopped() bool {
+	if s.opt.Stop == nil {
+		return false
+	}
+	select {
+	case <-s.opt.Stop:
+		return true
+	default:
+		return false
+	}
+}

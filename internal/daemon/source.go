@@ -1,0 +1,258 @@
+// Package daemon turns the batch analysis pipeline into a continuous
+// service: live packet sources (followed trace files, local sockets) feed
+// the supervised sharded engine, and rolling capture-time windows of
+// stats/inference records are flushed atomically as the watermark closes
+// them (DESIGN.md §12). The package composes the existing layers — wire
+// follow reading, runz window emission, pipeline classification, inference
+// aging — rather than duplicating them.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"adscape/internal/obs"
+	"adscape/internal/wire"
+)
+
+// defaultPoll is the idle polling interval for live sources.
+const defaultPoll = 200 * time.Millisecond
+
+// FollowOptions configures a FollowSource.
+type FollowOptions struct {
+	// Lenient enables corrupt-record resynchronization, as a live capture
+	// warrants; strict mode fails the run on the first corrupt record.
+	Lenient bool
+	// Poll is the idle polling interval (<=0: 200ms): how often the source
+	// re-checks a quiet file for growth, rotation, or a reopen request.
+	Poll time.Duration
+	// Stop, when closed, ends the stream: Read returns io.EOF, which drives
+	// the supervised run through its normal completion path (final window
+	// flush, final checkpoint, OutcomeCompleted) — a graceful daemon
+	// shutdown is a *completed* run, not an aborted one.
+	Stop <-chan struct{}
+	// Obs, when non-nil, attaches the wire reader counters plus
+	// daemon.rotations to the registry.
+	Obs *obs.Registry
+}
+
+// FollowSource tails a trace file a live capture keeps appending to. A clean
+// end-of-file is never terminal: the reader polls for growth (wire Follow
+// mode), detects rotation (the path pointing at a new inode, the file
+// shrinking under the reader, or the path vanishing) and reopens, and honors
+// SIGHUP-style reopen requests via Reopen. It implements wire.PacketSource
+// and runz.HeartbeatSource, so idle polling does not trip the stall
+// watchdog.
+//
+// Checkpoint/resume caveat: a FollowSource is not a *wire.Reader, so a
+// resumed run fast-forwards by re-reading and discarding the routed-packet
+// count. That is exact while the packets live in the current file, i.e. as
+// long as no rotation happened since the checkpointed run started; after a
+// rotation, restart the window sequence fresh (window emission is idempotent
+// for re-closed windows, so downstream consumers see rewrites, never
+// duplicates).
+type FollowSource struct {
+	path string
+	opt  FollowOptions
+	poll time.Duration
+
+	f *os.File
+	r *wire.Reader
+
+	beat     func()
+	reopenCh chan struct{}
+	// draining marks a detected rotation/reopen: the current file gets one
+	// more read pass for records flushed just before the writer moved on,
+	// then retires at the next quiet poll.
+	draining bool
+
+	retired   wire.ReaderStats
+	rotations int64
+	met       *wire.Metrics
+	rotC      *obs.Counter
+}
+
+// NewFollowSource opens path for following. The file must exist with a valid
+// trace header; files appearing later (post-rotation) are picked up by the
+// polling loop.
+func NewFollowSource(path string, opt FollowOptions) (*FollowSource, error) {
+	s := &FollowSource{
+		path:     path,
+		opt:      opt,
+		poll:     opt.Poll,
+		reopenCh: make(chan struct{}, 1),
+		met:      wire.NewMetrics(opt.Obs),
+		rotC:     opt.Obs.Counter("daemon.rotations"),
+	}
+	if s.poll <= 0 {
+		s.poll = defaultPoll
+	}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetBeat implements runz.HeartbeatSource: beat is invoked on every idle
+// poll, marking the input alive while no traffic arrives.
+func (s *FollowSource) SetBeat(beat func()) { s.beat = beat }
+
+// Reopen requests a reopen of the followed path — the SIGHUP hook for
+// log-rotation schemes the inode heuristics cannot see (e.g. a file replaced
+// by one of identical size). Safe from any goroutine; coalesces.
+func (s *FollowSource) Reopen() {
+	select {
+	case s.reopenCh <- struct{}{}:
+	default:
+	}
+}
+
+// Stats returns the reader degradation counters summed over every file
+// generation followed so far, including the currently open one.
+func (s *FollowSource) Stats() wire.ReaderStats {
+	st := s.retired
+	if s.r != nil {
+		st.Merge(s.r.Stats())
+	}
+	return st
+}
+
+// Rotations counts file generations retired (rotation or reopen request).
+func (s *FollowSource) Rotations() int64 { return s.rotations }
+
+// Close releases the currently open file. Read must not be called after.
+func (s *FollowSource) Close() error {
+	if s.f != nil {
+		err := s.f.Close()
+		s.f, s.r = nil, nil
+		return err
+	}
+	return nil
+}
+
+// Read returns the next packet, polling across quiet stretches, rotations,
+// and reopen requests. It returns io.EOF only when Stop is closed, and any
+// other error only for unrecoverable input damage (strict-mode corruption,
+// exhausted lenient budgets, I/O errors).
+func (s *FollowSource) Read() (*wire.Packet, error) {
+	for {
+		if s.stopped() {
+			return nil, io.EOF
+		}
+		if s.r != nil {
+			p, err := s.r.Read()
+			switch {
+			case err == nil:
+				return p, nil
+			case errors.Is(err, wire.ErrAgain):
+				if s.draining {
+					// The writer moved on and the retired file has no
+					// complete record left; its torn tail (if any) is gone
+					// for good, which rotation makes inevitable.
+					s.retire()
+					continue
+				}
+			default:
+				return nil, err
+			}
+		}
+		if s.beat != nil {
+			s.beat()
+		}
+		if s.r == nil {
+			// Waiting for the post-rotation file to appear with a complete
+			// header; every failed attempt just polls again.
+			if err := s.open(); err == nil {
+				continue
+			}
+		} else if s.reopenRequested() || s.rotated() {
+			s.draining = true
+			continue
+		}
+		if !s.sleep() {
+			return nil, io.EOF
+		}
+	}
+}
+
+func (s *FollowSource) open() error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	r, err := wire.NewReaderOptions(f, wire.ReaderOptions{Lenient: s.opt.Lenient, Follow: true})
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("daemon: opening %s: %w", s.path, err)
+	}
+	r.SetObs(s.met)
+	s.f, s.r = f, r
+	return nil
+}
+
+func (s *FollowSource) retire() {
+	s.retired.Merge(s.r.Stats())
+	s.f.Close()
+	s.f, s.r = nil, nil
+	s.draining = false
+	s.rotations++
+	s.rotC.Inc()
+}
+
+// rotated reports whether the followed path no longer refers to the open
+// file: a new inode (moved-aside rotation), a vanished path, or a file
+// shrunk below the read offset (copy-truncate rotation).
+func (s *FollowSource) rotated() bool {
+	st, err := os.Stat(s.path)
+	if err != nil {
+		return true
+	}
+	cur, err := s.f.Stat()
+	if err != nil {
+		return true
+	}
+	if !os.SameFile(st, cur) {
+		return true
+	}
+	return st.Size() < s.r.Offset()
+}
+
+func (s *FollowSource) reopenRequested() bool {
+	select {
+	case <-s.reopenCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *FollowSource) stopped() bool {
+	if s.opt.Stop == nil {
+		return false
+	}
+	select {
+	case <-s.opt.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits one poll interval; false means Stop closed mid-wait.
+func (s *FollowSource) sleep() bool {
+	if s.opt.Stop == nil {
+		time.Sleep(s.poll)
+		return true
+	}
+	t := time.NewTimer(s.poll)
+	defer t.Stop()
+	select {
+	case <-s.opt.Stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,118 @@
+package inference
+
+import (
+	"time"
+
+	"adscape/internal/core"
+)
+
+// AgedUsers is the bounded continuous-ingest variant of the per-user
+// accumulator map: the daemon folds each emitted window's UserStats into it
+// and evicts (IP, User-Agent) pairs idle longer than the configured
+// capture-time horizon, so household churn over days cannot grow resident
+// state without bound (DESIGN.md §12).
+//
+// The aged map is soft state: it feeds the rolling report and the bounded-RSS
+// guarantee, while the durable output of a daemon run is the window records
+// themselves. An evicted pair that reappears restarts from zero — by
+// construction it had been idle a full horizon, so under the paper's
+// active-user cut (≥1000 requests) the truncation only sheds long-dead
+// devices. After a crash-restart the map rebuilds from subsequent windows;
+// it is deliberately NOT checkpointed, which keeps window records the single
+// deterministic artifact (§12's exactly-once contract).
+type AgedUsers struct {
+	idle  int64 // capture-time idle horizon in ns; <=0 disables eviction
+	users map[core.UserKey]*agedUser
+	// households maps a client IP with an observed ABP list download to the
+	// capture time it was last seen downloading; it ages on the same horizon
+	// so the household indicator also stays bounded.
+	households map[uint32]int64
+
+	evictedUsers      int64
+	evictedHouseholds int64
+}
+
+type agedUser struct {
+	stats    *UserStats
+	lastSeen int64
+}
+
+// NewAgedUsers returns an empty aged accumulator evicting pairs idle longer
+// than idle in capture time; idle <= 0 disables eviction (unbounded, batch
+// semantics).
+func NewAgedUsers(idle time.Duration) *AgedUsers {
+	return &AgedUsers{
+		idle:       idle.Nanoseconds(),
+		users:      make(map[core.UserKey]*agedUser),
+		households: make(map[uint32]int64),
+	}
+}
+
+// Fold merges one window's per-user statistics into the aged map and then
+// evicts everything idle past the horizon. win is adopted entry-by-entry
+// (like MergeUsers) and must be discarded by the caller; downloadIPs are the
+// client IPs observed downloading ABP lists during the window; now is the
+// window end in capture-time ns — capture time, never wall clock, so replays
+// age identically.
+func (a *AgedUsers) Fold(win map[core.UserKey]*UserStats, downloadIPs []uint32, now int64) {
+	for _, ip := range downloadIPs {
+		a.households[ip] = now
+	}
+	for k, v := range win {
+		e, ok := a.users[k]
+		if !ok {
+			e = &agedUser{stats: v}
+			a.users[k] = e
+		} else {
+			e.stats.Merge(v)
+		}
+		e.lastSeen = now
+	}
+	// The household indicator is retroactive within the live horizon: a
+	// download marks every live device behind the IP, and a device arriving
+	// later is marked at fold time by the lookup below.
+	for _, e := range a.users {
+		if !e.stats.ListDownload {
+			if _, ok := a.households[e.stats.Key.IP]; ok {
+				e.stats.ListDownload = true
+			}
+		}
+	}
+	if a.idle <= 0 {
+		return
+	}
+	cut := now - a.idle
+	for k, e := range a.users {
+		if e.lastSeen <= cut {
+			delete(a.users, k)
+			a.evictedUsers++
+		}
+	}
+	for ip, seen := range a.households {
+		if seen <= cut {
+			delete(a.households, ip)
+			a.evictedHouseholds++
+		}
+	}
+}
+
+// Users materializes the live per-user map in the shape the batch report
+// functions (ActiveBrowsers, Table3, HouseholdsWithDownload) consume. The
+// *UserStats values are shared with the aged map, not copied.
+func (a *AgedUsers) Users() map[core.UserKey]*UserStats {
+	out := make(map[core.UserKey]*UserStats, len(a.users))
+	for k, e := range a.users {
+		out[k] = e.stats
+	}
+	return out
+}
+
+// Len is the live (IP, User-Agent) pair count; Households the live
+// download-marked household count.
+func (a *AgedUsers) Len() int        { return len(a.users) }
+func (a *AgedUsers) Households() int { return len(a.households) }
+
+// EvictedUsers and EvictedHouseholds are the cumulative eviction degradation
+// counters.
+func (a *AgedUsers) EvictedUsers() int64      { return a.evictedUsers }
+func (a *AgedUsers) EvictedHouseholds() int64 { return a.evictedHouseholds }

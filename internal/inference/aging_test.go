@@ -1,0 +1,88 @@
+package inference
+
+import (
+	"testing"
+	"time"
+
+	"adscape/internal/core"
+)
+
+func winUsers(entries ...*UserStats) map[core.UserKey]*UserStats {
+	m := make(map[core.UserKey]*UserStats)
+	for _, u := range entries {
+		m[u.Key] = u
+	}
+	return m
+}
+
+func user(ip uint32, ua string, reqs int) *UserStats {
+	return &UserStats{Key: core.UserKey{IP: ip, UserAgent: ua}, Requests: reqs}
+}
+
+func TestAgedUsersFoldAndEvict(t *testing.T) {
+	a := NewAgedUsers(2 * time.Minute)
+	k1 := core.UserKey{IP: 1, UserAgent: "A"}
+	k2 := core.UserKey{IP: 2, UserAgent: "B"}
+
+	a.Fold(winUsers(user(1, "A", 10), user(2, "B", 5)), nil, 1*60e9)
+	a.Fold(winUsers(user(1, "A", 7)), nil, 2*60e9)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+	if got := a.Users()[k1].Requests; got != 17 {
+		t.Fatalf("user 1 requests = %d, want 17 (folded across windows)", got)
+	}
+
+	// Window at t=4min: user 2 last seen at 1min is past the 2min horizon.
+	a.Fold(winUsers(user(1, "A", 1)), nil, 4*60e9)
+	if a.Len() != 1 || a.EvictedUsers() != 1 {
+		t.Fatalf("Len=%d evicted=%d, want 1/1", a.Len(), a.EvictedUsers())
+	}
+	if _, ok := a.Users()[k2]; ok {
+		t.Fatal("idle user 2 still live")
+	}
+
+	// A reappearing evicted pair restarts from zero.
+	a.Fold(winUsers(user(2, "B", 3)), nil, 5*60e9)
+	if got := a.Users()[k2].Requests; got != 3 {
+		t.Fatalf("reappeared user 2 requests = %d, want 3 (fresh state)", got)
+	}
+}
+
+func TestAgedUsersHouseholdIndicator(t *testing.T) {
+	a := NewAgedUsers(2 * time.Minute)
+	// Download observed at window 1 marks the already-live device...
+	a.Fold(winUsers(user(9, "A", 1)), nil, 1*60e9)
+	a.Fold(nil, []uint32{9}, 2*60e9)
+	if !a.Users()[core.UserKey{IP: 9, UserAgent: "A"}].ListDownload {
+		t.Fatal("live device behind downloading household not marked")
+	}
+	// ...and a device arriving later, while the household is live.
+	a.Fold(winUsers(user(9, "B", 1)), nil, 3*60e9)
+	if !a.Users()[core.UserKey{IP: 9, UserAgent: "B"}].ListDownload {
+		t.Fatal("new device behind downloading household not marked")
+	}
+	if a.Households() != 1 {
+		t.Fatalf("Households = %d, want 1", a.Households())
+	}
+	// The household ages out on the same horizon; a device arriving after
+	// that carries no download mark.
+	a.Fold(nil, nil, 5*60e9)
+	if a.Households() != 0 || a.EvictedHouseholds() != 1 {
+		t.Fatalf("households=%d evicted=%d, want 0/1", a.Households(), a.EvictedHouseholds())
+	}
+	a.Fold(winUsers(user(9, "C", 1)), nil, 6*60e9)
+	if a.Users()[core.UserKey{IP: 9, UserAgent: "C"}].ListDownload {
+		t.Fatal("device marked by an evicted household")
+	}
+}
+
+func TestAgedUsersNoHorizonNeverEvicts(t *testing.T) {
+	a := NewAgedUsers(0)
+	a.Fold(winUsers(user(1, "A", 1)), []uint32{1}, 60e9)
+	a.Fold(nil, nil, 365*24*3600e9)
+	if a.Len() != 1 || a.Households() != 1 || a.EvictedUsers() != 0 {
+		t.Fatalf("unbounded mode evicted: len=%d households=%d evicted=%d",
+			a.Len(), a.Households(), a.EvictedUsers())
+	}
+}

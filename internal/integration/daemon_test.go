@@ -1,0 +1,263 @@
+// Daemon lifecycle end to end: simulate a realistic trace to disk, serve it
+// through the continuous-service composition (follow source over a growing
+// file, rolling window emission, automatic state-dir resume), interrupt
+// mid-stream, and require the final window record files to be byte-identical
+// to an uninterrupted daemon run — and their totals to match the one-shot
+// batch pipeline over the same trace.
+package integration
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"adscape/internal/daemon"
+	"adscape/internal/pipeline"
+	"adscape/internal/rbn"
+	"adscape/internal/runz"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+// readTracePackets loads a whole on-disk trace into memory.
+func readTracePackets(t *testing.T, path string) []*wire.Packet {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := wire.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []*wire.Packet
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	return pkts
+}
+
+func writeTracePackets(t *testing.T, path string, pkts []*wire.Packet) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := wire.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stopAfterReads closes stop once n packets have been read, so the daemon
+// drains at a deterministic point mid-stream.
+type stopAfterReads struct {
+	src   wire.PacketSource
+	n     int
+	count int
+	stop  chan struct{}
+	once  sync.Once
+}
+
+func (s *stopAfterReads) Read() (*wire.Packet, error) {
+	if s.count >= s.n {
+		s.once.Do(func() { close(s.stop) })
+	}
+	s.count++
+	return s.src.Read()
+}
+
+func windowFileBytes(t *testing.T, stateDir string) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(stateDir, daemon.WindowsSubdir, "window-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = string(data)
+	}
+	return out
+}
+
+func TestDaemonLifecycleOnDiskTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test simulates a trace")
+	}
+	dir := t.TempDir()
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = 120
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rawPath := filepath.Join(dir, "rbn.trace")
+	f, err := os.Create(rawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wire.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := rbn.Options{
+		World: world, Name: "daemon", Households: 10,
+		Start:    time.Date(2015, 8, 11, 19, 0, 0, 0, time.UTC),
+		Duration: 60 * time.Minute, Seed: 53,
+		AnonKey: []byte("daemon"), PagesPerHour: 5, Parallelism: 4,
+	}
+	if _, err := rbn.Simulate(opt, w.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sortedPath := filepath.Join(dir, "rbn.sorted.trace")
+	sortTrace(t, rawPath, sortedPath)
+	pkts := readTracePackets(t, sortedPath)
+	if len(pkts) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	const workers = 4
+	engine := world.Bundle.ClassifierEngine()
+	baseCfg := func(stateDir string) daemon.Config {
+		return daemon.Config{
+			Dir:             stateDir,
+			Window:          5 * time.Minute,
+			Grace:           10 * time.Second,
+			IdleHorizon:     20 * time.Minute,
+			Workers:         workers,
+			Engine:          engine,
+			CheckpointEvery: int64(len(pkts)) / 5,
+		}
+	}
+
+	// Uninterrupted reference: the whole trace through the daemon in one run.
+	refDir := t.TempDir()
+	refRes, err := daemon.Run(pipeline.NewSliceSource(pkts), baseCfg(refDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Run.Outcome != runz.OutcomeCompleted || refRes.Run.WindowsEmitted == 0 {
+		t.Fatalf("reference run: outcome=%v windows=%d", refRes.Run.Outcome, refRes.Run.WindowsEmitted)
+	}
+	refWindows := windowFileBytes(t, refDir)
+
+	// Interrupted service: follow a file holding only the first two thirds,
+	// drain mid-stream with a window pending (graceful SIGTERM equivalent).
+	liveDir := t.TempDir()
+	livePath := filepath.Join(liveDir, "live.trace")
+	cut := 2 * len(pkts) / 3
+	writeTracePackets(t, livePath, pkts[:cut])
+	stateDir := filepath.Join(liveDir, "state")
+
+	// The stop channel goes to the supervisor only, so this drain models a
+	// signal arriving mid-stream: OutcomeStopped with windows pending.
+	stop := make(chan struct{})
+	src1, err := daemon.NewFollowSource(livePath, daemon.FollowOptions{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := baseCfg(stateDir)
+	cfg1.Stop = stop
+	res1, err := daemon.Run(&stopAfterReads{src: src1, n: cut / 2, stop: stop}, cfg1)
+	src1.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Run.Outcome != runz.OutcomeStopped {
+		t.Fatalf("interrupted run outcome = %v, want stopped", res1.Run.Outcome)
+	}
+	if res1.Run.Checkpoints == 0 {
+		t.Fatal("interrupted run wrote no checkpoint")
+	}
+
+	// Restart over the grown file (the capture kept appending while the
+	// daemon was down); the run must resume from the state-dir checkpoint,
+	// not re-ingest from scratch.
+	// This time stop goes to the SOURCE (the daemon shutdown shape): once
+	// every packet has been read — resume fast-forward reads included — the
+	// source returns EOF and the run completes through the normal path.
+	writeTracePackets(t, livePath, pkts)
+	stop2 := make(chan struct{})
+	src2, err := daemon.NewFollowSource(livePath, daemon.FollowOptions{Poll: 5 * time.Millisecond, Stop: stop2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := daemon.Run(&stopAfterReads{src: src2, n: len(pkts), stop: stop2}, baseCfg(stateDir))
+	src2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Resumed {
+		t.Fatal("restart did not resume from the state-dir checkpoint")
+	}
+	if res2.Run.Outcome != runz.OutcomeCompleted {
+		t.Fatalf("resumed run outcome = %v, want completed", res2.Run.Outcome)
+	}
+	if res2.Run.ResumedPackets == 0 {
+		t.Fatal("resumed run replayed nothing from the checkpoint")
+	}
+
+	// The stitched-together service produced exactly the reference's files.
+	gotWindows := windowFileBytes(t, stateDir)
+	if len(gotWindows) != len(refWindows) {
+		t.Fatalf("window file count: got %d, want %d", len(gotWindows), len(refWindows))
+	}
+	if !reflect.DeepEqual(gotWindows, refWindows) {
+		for name, body := range refWindows {
+			if gotWindows[name] != body {
+				t.Fatalf("window file %s differs after interrupted lifecycle", name)
+			}
+		}
+	}
+
+	// And the window totals agree with the one-shot batch pipeline.
+	batch, err := pipeline.Analyze(pipeline.NewSliceSource(pkts), pipeline.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := daemon.ReadWindowRecords(filepath.Join(stateDir, daemon.WindowsSubdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txs, flows int
+	for _, r := range recs {
+		txs += r.Transactions
+		flows += r.TLSFlows
+	}
+	if txs != len(batch.Transactions) || flows != len(batch.TLSFlows) {
+		t.Fatalf("window totals tx=%d flows=%d, batch tx=%d flows=%d",
+			txs, flows, len(batch.Transactions), len(batch.TLSFlows))
+	}
+}

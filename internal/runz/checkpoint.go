@@ -60,8 +60,26 @@ type Checkpoint struct {
 	Cause       string
 	// Complete marks the checkpoint of a run that reached end of input.
 	Complete bool
+	// Windows is the rolling-window progress when window emission is enabled;
+	// nil otherwise. Resume requires the windowing configuration to match.
+	Windows *WindowCheckpointState
 	// Shards holds the per-shard state, indexed by shard.
 	Shards []ShardCheckpoint
+}
+
+// WindowCheckpointState is the window sequence position saved at a quiesce
+// barrier: enough for a resumed run to continue emitting from the next
+// unemitted window without consulting the emitted files. Records still
+// buffered for open windows ride in the shard collectors.
+type WindowCheckpointState struct {
+	// Width and Grace are the policy in ns; resume requires the same values,
+	// because window boundaries and closure points depend on them.
+	Width, Grace int64
+	// NextEnd is the end of the oldest open window; MaxTime the maximum
+	// routed capture timestamp.
+	NextEnd, MaxTime int64
+	// Emitted, LateTx and LateTLS carry the cumulative emission counters.
+	Emitted, LateTx, LateTLS int64
 }
 
 // ShardCheckpoint is one shard's durable state.

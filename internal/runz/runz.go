@@ -109,6 +109,13 @@ type Options struct {
 	// written, restarts, stalls). Must be safe for concurrent use.
 	OnEvent func(string)
 
+	// Windows enables rolling window emission: records are grouped by
+	// capture-time window and handed to Windows.Emit at quiesce barriers as
+	// the watermark closes each window, then dropped from the in-memory
+	// collectors (window.go). Incompatible with NewSink, which replaces the
+	// collectors windowing drains.
+	Windows WindowPolicy
+
 	// Obs, when non-nil, attaches live instrumentation to the whole run: the
 	// analyzer/wire stage counters (shared across shards), a queue-depth
 	// histogram at the router, and computed gauges for packets routed,
@@ -139,6 +146,9 @@ const (
 	OutcomeReadError
 	// OutcomeCrashed: the simulated-crash test hook fired.
 	OutcomeCrashed
+	// OutcomeEmitError: the window emit callback failed; state checkpointed,
+	// the failed window is re-emitted on resume.
+	OutcomeEmitError
 )
 
 func (o Outcome) String() string {
@@ -155,6 +165,8 @@ func (o Outcome) String() string {
 		return "read error"
 	case OutcomeCrashed:
 		return "simulated crash"
+	case OutcomeEmitError:
+		return "window emit error"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -202,6 +214,13 @@ type Result struct {
 	// Stalled describes the wedged stages the watchdog identified.
 	Stalled []string
 	Shards  []ShardStatus
+	// WindowsEmitted counts windows delivered to Options.Windows.Emit, and
+	// LateWindowRecords the records emitted into a later window because their
+	// own had already closed. Both zero unless windowing is enabled — and with
+	// windowing enabled, Transactions/TLSFlows hold only the records windowing
+	// never drained (normally none): the windows are the output.
+	WindowsEmitted    int64
+	LateWindowRecords int64
 }
 
 const (
@@ -209,7 +228,17 @@ const (
 	stateSending
 	stateBarrier
 	stateIdle
+	stateEmitting
 )
+
+// HeartbeatSource is implemented by packet sources that legitimately block or
+// poll for long stretches without returning a packet (live file tails, idle
+// sockets). Run hands such a source a beat callback; calling it during a poll
+// marks the input alive so the stall watchdog does not mistake "no traffic
+// yet" for "input wedged".
+type HeartbeatSource interface {
+	SetBeat(func())
+}
 
 // batch is the unit of work handed to a shard. A batch with a non-nil ack is
 // a barrier marker: the shard closes ack once every previously queued packet
@@ -349,6 +378,9 @@ type supervisor struct {
 	ckptC    *obs.Counter
 	qDepth   *obs.Histogram
 
+	// win is the rolling-window state; nil unless Options.Windows is enabled.
+	win *windowState
+
 	mu         sync.Mutex
 	outcomeSet bool
 	outcome    Outcome
@@ -356,6 +388,7 @@ type supervisor struct {
 	stalled    []string
 	readErr    error
 	ckptErr    error
+	emitErr    error
 	ckpts      int // checkpoints written by this run
 	seq        int // checkpoint ordinal across resumed runs
 }
@@ -402,6 +435,12 @@ func (sup *supervisor) registerGauges(reg *obs.Registry) {
 		}
 		return n
 	})
+	if sup.win != nil {
+		reg.Func("runz.windows_emitted", func() int64 { return sup.win.emitted.Load() })
+		reg.Func("runz.window_watermark_ns", func() int64 { return sup.win.maxTime.Load() - sup.win.grace })
+		reg.Func("runz.window_pending_records", func() int64 { return sup.win.pending.Load() })
+		reg.Func("runz.window_late_records", func() int64 { return sup.win.lateTx.Load() + sup.win.lateTLS.Load() })
+	}
 }
 
 // heartbeat emits a periodic one-line liveness event until the run ends. It
@@ -559,6 +598,17 @@ func (sup *supervisor) writeCheckpoint(src wire.PacketSource, interrupted bool, 
 		st := r.State()
 		ck.Reader = &st
 	}
+	if w := sup.win; w != nil {
+		ck.Windows = &WindowCheckpointState{
+			Width:   w.width,
+			Grace:   w.grace,
+			NextEnd: w.nextEnd,
+			MaxTime: w.maxTime.Load(),
+			Emitted: w.emitted.Load(),
+			LateTx:  w.lateTx.Load(),
+			LateTLS: w.lateTLS.Load(),
+		}
+	}
 	for _, s := range sup.shards {
 		sc := ShardCheckpoint{
 			Packets:      s.packets.Load(),
@@ -662,6 +712,25 @@ loop:
 			}
 			batches[i] = make([]*wire.Packet, 0, sup.batchSize)
 		}
+		if sup.win != nil {
+			sup.win.observe(p.Time)
+			if sup.win.due() {
+				// The watermark crossed a window boundary: quiesce and emit
+				// every due window. The crossing is a pure function of the
+				// routed packet sequence, so this barrier point — and the
+				// window contents — are identical at any worker count.
+				if !flush() || !sup.barrier() {
+					return
+				}
+				if err := sup.emitWindows(false); err != nil {
+					sup.mu.Lock()
+					sup.emitErr = err
+					sup.mu.Unlock()
+					sup.setOutcome(OutcomeEmitError, err.Error())
+					break loop
+				}
+			}
+		}
 		if sup.opt.CheckpointEvery > 0 && sup.opt.CheckpointPath != "" && n%sup.opt.CheckpointEvery == 0 {
 			if !flush() || !sup.barrier() {
 				return
@@ -713,6 +782,17 @@ func Run(src wire.PacketSource, opt Options) (*Result, error) {
 	if opt.NewSink != nil && (opt.CheckpointPath != "" || opt.Resume != nil) {
 		return nil, errors.New("runz: checkpoint/resume requires the default collector sinks")
 	}
+	if opt.Windows.enabled() {
+		if opt.NewSink != nil {
+			return nil, errors.New("runz: window emission requires the default collector sinks")
+		}
+		if opt.Windows.Emit == nil {
+			return nil, errors.New("runz: window emission enabled without an Emit callback")
+		}
+		if opt.Windows.Grace < 0 {
+			return nil, errors.New("runz: negative window grace")
+		}
+	}
 	lim := pipeline.ShardLimits(opt.Limits, workers)
 
 	sup := &supervisor{
@@ -724,6 +804,9 @@ func Run(src wire.PacketSource, opt Options) (*Result, error) {
 		quit:       make(chan struct{}),
 		abort:      make(chan struct{}),
 		stopWatch:  make(chan struct{}),
+	}
+	if opt.Windows.enabled() {
+		sup.win = newWindowState(opt.Windows)
 	}
 	// One analyzer.Metrics shared by every shard (and every restarted
 	// analyzer): the handles are atomic, so the shared registry view is the
@@ -780,6 +863,9 @@ func Run(src wire.PacketSource, opt Options) (*Result, error) {
 		sup.registerGauges(opt.Obs)
 	}
 
+	if hb, ok := src.(HeartbeatSource); ok {
+		hb.SetBeat(func() { sup.routerBeat.Store(time.Now().UnixNano()) })
+	}
 	sup.routerBeat.Store(time.Now().UnixNano())
 	for _, s := range sup.shards {
 		sup.wg.Add(1)
@@ -846,7 +932,21 @@ func Run(src wire.PacketSource, opt Options) (*Result, error) {
 		for _, s := range sup.shards {
 			close(s.ch)
 		}
-		sup.waitShards()
+		flushed := sup.waitShards()
+		// Final window flush: the shards have exited and flushed their
+		// in-flight flows into the collectors, so every record of the run is
+		// present; close the remaining windows through the last timestamp.
+		// Skipped when the emitter already failed or a shard never exited
+		// (its collector is not safely readable).
+		if flushed && sup.win != nil && outcome != OutcomeEmitError {
+			if err := sup.emitWindows(true); err != nil {
+				sup.mu.Lock()
+				sup.emitErr = err
+				sup.outcome, sup.cause = OutcomeEmitError, err.Error()
+				sup.mu.Unlock()
+				outcome, cause = OutcomeEmitError, err.Error()
+			}
+		}
 	} else {
 		// The router may still attempt sends once its blocked read returns,
 		// so the channels must stay open; release the shards directly.
@@ -871,8 +971,12 @@ func (sup *supervisor) merge(outcome Outcome, cause string, resumed int64) (*Res
 		Checkpoints:    sup.ckpts,
 		Stalled:        append([]string(nil), sup.stalled...),
 	}
-	errs := []error{sup.readErr, sup.ckptErr}
+	errs := []error{sup.readErr, sup.ckptErr, sup.emitErr}
 	sup.mu.Unlock()
+	if sup.win != nil {
+		res.WindowsEmitted = sup.win.emitted.Load()
+		res.LateWindowRecords = sup.win.lateTx.Load() + sup.win.lateTLS.Load()
+	}
 
 	for i, s := range sup.shards {
 		st := ShardStatus{
@@ -945,6 +1049,21 @@ func (sup *supervisor) restore(src wire.PacketSource, ck *Checkpoint, lim analyz
 	if sup.opt.TraceID != "" && ck.TraceID != "" && sup.opt.TraceID != ck.TraceID {
 		return 0, fmt.Errorf("%w: input fingerprint %q does not match the checkpoint's %q",
 			errResumePreconditon, sup.opt.TraceID, ck.TraceID)
+	}
+	if (ck.Windows != nil) != (sup.win != nil) {
+		return 0, fmt.Errorf("%w: checkpoint windowing (%v) does not match the run's (%v)",
+			errResumePreconditon, ck.Windows != nil, sup.win != nil)
+	}
+	if cw := ck.Windows; cw != nil {
+		if cw.Width != sup.win.width || cw.Grace != sup.win.grace {
+			return 0, fmt.Errorf("%w: checkpoint window policy %dns/%dns differs from the run's %dns/%dns (window boundaries would diverge)",
+				errResumePreconditon, cw.Width, cw.Grace, sup.win.width, sup.win.grace)
+		}
+		sup.win.nextEnd = cw.NextEnd
+		sup.win.maxTime.Store(cw.MaxTime)
+		sup.win.emitted.Store(cw.Emitted)
+		sup.win.lateTx.Store(cw.LateTx)
+		sup.win.lateTLS.Store(cw.LateTLS)
 	}
 	for i, s := range sup.shards {
 		sc := ck.Shards[i]

@@ -77,6 +77,9 @@ func (sup *supervisor) detectStall(d time.Duration) string {
 		case stateReading:
 			wedged = append(wedged, fmt.Sprintf(
 				"input wedged: no packet from the source in %s", d))
+		case stateEmitting:
+			wedged = append(wedged, fmt.Sprintf(
+				"window emitter wedged: emit callback made no progress in %s", d))
 		case stateSending, stateBarrier:
 			// The router is blocked handing work to a shard whose own
 			// heartbeat looked fresh above — attribute to that shard anyway:

@@ -1,0 +1,245 @@
+package runz
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"adscape/internal/weblog"
+)
+
+// Rolling window emission turns the supervised run from "collect everything,
+// report at EOF" into a continuous service: records are grouped by
+// capture-time window and handed to an emit callback as soon as the watermark
+// says the window cannot grow anymore, then dropped from the in-memory
+// collectors. The daemon mode (internal/daemon, adtrace -serve) builds on
+// this to run forever with bounded state.
+//
+// Semantics (DESIGN.md §12):
+//
+//   - Windows are aligned to absolute capture-time boundaries: window k spans
+//     [k*Width, (k+1)*Width). Alignment is a pure function of the timestamp,
+//     so independent runs, resumed runs, and replays agree on the boundaries.
+//   - The watermark is the maximum routed capture timestamp minus Grace. A
+//     window closes at the first packet that pushes the watermark to or past
+//     its end; closing quiesces the shards at a barrier (every routed packet
+//     processed) and collects the window's records.
+//   - A record is assigned to the window of its start timestamp. A record
+//     whose window already closed (its flow outlived the grace allowance) is
+//     emitted in the currently closing window and counted late — late data is
+//     never dropped and never rewrites an emitted window.
+//   - Determinism: the router is single-threaded, so watermark crossings — and
+//     therefore barrier points and window contents — are a pure function of
+//     the input packet sequence. At a barrier the union of shard collectors is
+//     the same at any worker count, and records are sorted into the canonical
+//     weblog order before emission, so window records are byte-identical at
+//     any -workers value.
+type WindowPolicy struct {
+	// Width is the capture-time window width; 0 disables windowing.
+	Width time.Duration
+	// Grace is the watermark lateness allowance: window [s, e) closes when
+	// the maximum routed capture time reaches e+Grace. Larger values trade
+	// emission latency for fewer late records.
+	Grace time.Duration
+	// Emit receives each closed window, in order, from the router goroutine
+	// at a quiesce barrier. A non-nil error aborts the run with
+	// OutcomeEmitError. Emit must not retain the record slices past the
+	// call if it mutates them.
+	Emit func(*Window) error
+}
+
+// enabled reports whether windowing is configured.
+func (w WindowPolicy) enabled() bool { return w.Width > 0 }
+
+// Window is one closed capture-time window's records.
+type Window struct {
+	// Index is Start/Width — the absolute window ordinal.
+	Index int64
+	// Start and End bound the window in capture-time ns: [Start, End).
+	Start, End int64
+	// Watermark is the maximum routed capture timestamp at emission.
+	Watermark int64
+	// Final marks windows emitted on the drain path (EOF or graceful stop):
+	// the capture ended before the watermark could close them, so the last
+	// Final window may be partial. A resumed run that continues past this
+	// point re-emits the window complete; emission is idempotent because
+	// window records are deterministic.
+	Final bool
+	// Transactions and TLSFlows are the window's records in canonical
+	// weblog order: every record whose start time falls in the window, plus
+	// late records from earlier windows (counted below).
+	Transactions []*weblog.Transaction
+	TLSFlows     []*weblog.TLSFlow
+	// LateTransactions/LateTLSFlows count records in this window whose own
+	// timestamp precedes Start — their window closed before their flow
+	// completed within the grace allowance.
+	LateTransactions int
+	LateTLSFlows     int
+}
+
+// windowState is the supervisor's windowing bookkeeping. The router goroutine
+// owns nextEnd; the atomics are shared with obs gauges.
+type windowState struct {
+	policy  WindowPolicy
+	width   int64
+	grace   int64
+	nextEnd int64 // end of the oldest open window; 0 until the first packet
+
+	maxTime atomic.Int64 // max routed capture timestamp
+	emitted atomic.Int64 // windows emitted
+	lateTx  atomic.Int64 // cumulative late transactions
+	lateTLS atomic.Int64 // cumulative late TLS flows
+	pending atomic.Int64 // records still buffered in collectors after the last emit
+}
+
+func newWindowState(p WindowPolicy) *windowState {
+	return &windowState{policy: p, width: p.Width.Nanoseconds(), grace: p.Grace.Nanoseconds()}
+}
+
+// observe folds one routed packet's timestamp into the watermark state,
+// opening the first window on the first packet.
+func (w *windowState) observe(t int64) {
+	if t > w.maxTime.Load() {
+		w.maxTime.Store(t)
+	}
+	if w.nextEnd == 0 {
+		w.nextEnd = (t/w.width)*w.width + w.width
+	}
+}
+
+// due reports whether the oldest open window is closeable: the watermark
+// (max routed time minus grace) has reached its end.
+func (w *windowState) due() bool {
+	return w.nextEnd != 0 && w.maxTime.Load()-w.grace >= w.nextEnd
+}
+
+// emitWindows closes every due window. It must run in the router goroutine
+// with all shards quiescent behind a barrier (or exited). When final is set
+// (the drain path: EOF or graceful stop), every remaining record is flushed:
+// windows are closed through the one containing the last routed timestamp,
+// the grace allowance notwithstanding, and windows the watermark had not
+// naturally closed are marked Final.
+func (sup *supervisor) emitWindows(final bool) error {
+	w := sup.win
+	if w == nil || w.nextEnd == 0 {
+		return nil
+	}
+	sup.routerState.Store(stateEmitting)
+	defer sup.routerState.Store(stateIdle)
+	for {
+		more := w.due()
+		if !more && final {
+			// Drain: keep closing while records are buffered or the open
+			// window starts at or before the last routed timestamp.
+			more = sup.collectorsHoldRecords() || w.nextEnd-w.width <= w.maxTime.Load()
+		}
+		if !more {
+			break
+		}
+		end := w.nextEnd
+		win := &Window{
+			Index:     end/w.width - 1,
+			Start:     end - w.width,
+			End:       end,
+			Watermark: w.maxTime.Load(),
+			// Final: the drain forced this window closed before the
+			// watermark (end + grace) was reached, so it may be partial.
+			Final: final && w.maxTime.Load()-w.grace < end,
+		}
+		var pending int64
+		for _, s := range sup.shards {
+			if s.col == nil {
+				continue
+			}
+			var takeTx []*weblog.Transaction
+			takeTx, s.col.Transactions = partitionTx(s.col.Transactions, end)
+			var takeTLS []*weblog.TLSFlow
+			takeTLS, s.col.Flows = partitionTLS(s.col.Flows, end)
+			win.Transactions = append(win.Transactions, takeTx...)
+			win.TLSFlows = append(win.TLSFlows, takeTLS...)
+			pending += int64(len(s.col.Transactions) + len(s.col.Flows))
+		}
+		weblog.SortTransactions(win.Transactions)
+		weblog.SortTLSFlows(win.TLSFlows)
+		for _, tx := range win.Transactions {
+			if tx.ReqTime < win.Start {
+				win.LateTransactions++
+			}
+		}
+		for _, f := range win.TLSFlows {
+			if f.Time < win.Start {
+				win.LateTLSFlows++
+			}
+		}
+		sup.routerBeat.Store(time.Now().UnixNano())
+		if err := w.policy.Emit(win); err != nil {
+			return fmt.Errorf("runz: window [%d, %d) emit: %w", win.Start, win.End, err)
+		}
+		sup.routerBeat.Store(time.Now().UnixNano())
+		w.emitted.Add(1)
+		w.lateTx.Add(int64(win.LateTransactions))
+		w.lateTLS.Add(int64(win.LateTLSFlows))
+		w.pending.Store(pending)
+		w.nextEnd += w.width
+	}
+	return nil
+}
+
+// collectorsHoldRecords reports whether any shard collector still buffers
+// records. Router-goroutine only, shards quiescent.
+func (sup *supervisor) collectorsHoldRecords() bool {
+	for _, s := range sup.shards {
+		if s.col != nil && (len(s.col.Transactions) > 0 || len(s.col.Flows) > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// partitionTx splits txs into records starting before end (taken, emission
+// order preserved) and the rest (kept, in a fresh slice so the emitted
+// records' backing memory is released).
+func partitionTx(txs []*weblog.Transaction, end int64) (taken, kept []*weblog.Transaction) {
+	n := 0
+	for _, tx := range txs {
+		if tx.ReqTime < end {
+			n++
+		}
+	}
+	if n == len(txs) {
+		return txs, nil
+	}
+	taken = make([]*weblog.Transaction, 0, n)
+	kept = make([]*weblog.Transaction, 0, len(txs)-n)
+	for _, tx := range txs {
+		if tx.ReqTime < end {
+			taken = append(taken, tx)
+		} else {
+			kept = append(kept, tx)
+		}
+	}
+	return taken, kept
+}
+
+// partitionTLS is partitionTx for TLS flows, keyed on the flow start time.
+func partitionTLS(flows []*weblog.TLSFlow, end int64) (taken, kept []*weblog.TLSFlow) {
+	n := 0
+	for _, f := range flows {
+		if f.Time < end {
+			n++
+		}
+	}
+	if n == len(flows) {
+		return flows, nil
+	}
+	taken = make([]*weblog.TLSFlow, 0, n)
+	kept = make([]*weblog.TLSFlow, 0, len(flows)-n)
+	for _, f := range flows {
+		if f.Time < end {
+			taken = append(taken, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	return taken, kept
+}

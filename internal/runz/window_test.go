@@ -1,0 +1,381 @@
+package runz_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/pipeline"
+	"adscape/internal/runz"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// collectWindows returns an Emit callback appending a shallow copy of every
+// window (fresh record slices, shared record pointers) to dst.
+func collectWindows(dst *[]*runz.Window) func(*runz.Window) error {
+	return func(w *runz.Window) error {
+		cp := *w
+		cp.Transactions = append([]*weblog.Transaction(nil), w.Transactions...)
+		cp.TLSFlows = append([]*weblog.TLSFlow(nil), w.TLSFlows...)
+		*dst = append(*dst, &cp)
+		return nil
+	}
+}
+
+// sameWindows asserts two window sequences are byte-identical.
+func sameWindows(t *testing.T, label string, got, want []*runz.Window) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d windows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Index != w.Index || g.Start != w.Start || g.End != w.End ||
+			g.Watermark != w.Watermark || g.Final != w.Final ||
+			g.LateTransactions != w.LateTransactions || g.LateTLSFlows != w.LateTLSFlows {
+			t.Fatalf("%s: window %d header differs:\n got %+v\nwant %+v", label, i, header(g), header(w))
+		}
+		if len(g.Transactions) != len(w.Transactions) {
+			t.Fatalf("%s: window %d: %d transactions, want %d", label, i, len(g.Transactions), len(w.Transactions))
+		}
+		for j := range g.Transactions {
+			if !reflect.DeepEqual(*g.Transactions[j], *w.Transactions[j]) {
+				t.Fatalf("%s: window %d transaction %d differs", label, i, j)
+			}
+		}
+		if len(g.TLSFlows) != len(w.TLSFlows) {
+			t.Fatalf("%s: window %d: %d TLS flows, want %d", label, i, len(g.TLSFlows), len(w.TLSFlows))
+		}
+		for j := range g.TLSFlows {
+			if !reflect.DeepEqual(*g.TLSFlows[j], *w.TLSFlows[j]) {
+				t.Fatalf("%s: window %d TLS flow %d differs", label, i, j)
+			}
+		}
+	}
+}
+
+func header(w *runz.Window) string {
+	return fmt.Sprintf("idx=%d [%d,%d) wm=%d final=%v late=%d/%d tx=%d tls=%d",
+		w.Index, w.Start, w.End, w.Watermark, w.Final,
+		w.LateTransactions, w.LateTLSFlows, len(w.Transactions), len(w.TLSFlows))
+}
+
+// TestWindowDeterminism is the tentpole acceptance test: a windowed run over
+// a finite trace emits byte-identical window records at any worker count, and
+// the concatenation of window records equals the one-shot batch output.
+func TestWindowDeterminism(t *testing.T) {
+	pkts := genTrace(t, 80, 42)
+	ref, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var base []*runz.Window
+	for _, workers := range []int{1, 2, 4, 8} {
+		var wins []*runz.Window
+		res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+			Workers: workers,
+			Windows: runz.WindowPolicy{Width: time.Minute, Grace: 5 * time.Second, Emit: collectWindows(&wins)},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Outcome != runz.OutcomeCompleted {
+			t.Fatalf("workers=%d: outcome = %v", workers, res.Outcome)
+		}
+		if res.WindowsEmitted != int64(len(wins)) || len(wins) == 0 {
+			t.Fatalf("workers=%d: WindowsEmitted=%d, emitted %d", workers, res.WindowsEmitted, len(wins))
+		}
+		// Windowing drains the collectors: the windows ARE the output.
+		if len(res.Transactions) != 0 || len(res.TLSFlows) != 0 {
+			t.Fatalf("workers=%d: %d/%d records left in the merged result", workers, len(res.Transactions), len(res.TLSFlows))
+		}
+		// Window sequence invariants: contiguous indices, aligned bounds,
+		// non-late records inside their window.
+		for i, w := range wins {
+			if w.Start != w.Index*time.Minute.Nanoseconds() || w.End != w.Start+time.Minute.Nanoseconds() {
+				t.Fatalf("workers=%d: window %d misaligned: %s", workers, i, header(w))
+			}
+			if i > 0 && w.Index != wins[i-1].Index+1 {
+				t.Fatalf("workers=%d: window gap between %d and %d", workers, wins[i-1].Index, w.Index)
+			}
+			late := 0
+			for _, tx := range w.Transactions {
+				if tx.ReqTime < w.Start {
+					late++
+				} else if tx.ReqTime >= w.End {
+					t.Fatalf("workers=%d: window %d holds future transaction at %d", workers, i, tx.ReqTime)
+				}
+			}
+			if late != w.LateTransactions {
+				t.Fatalf("workers=%d: window %d counts %d late transactions, holds %d", workers, i, w.LateTransactions, late)
+			}
+		}
+		if workers == 1 {
+			base = wins
+			// Concatenated windows re-sorted canonically == batch output.
+			var cat []*weblog.Transaction
+			var catTLS []*weblog.TLSFlow
+			for _, w := range wins {
+				cat = append(cat, w.Transactions...)
+				catTLS = append(catTLS, w.TLSFlows...)
+			}
+			weblog.SortTransactions(cat)
+			weblog.SortTLSFlows(catTLS)
+			got := &runz.Result{Stats: ref.Stats, Table: ref.Table, Transactions: cat, TLSFlows: catTLS}
+			sameRunResults(t, "windowed concat vs batch", got, ref)
+			continue
+		}
+		sameWindows(t, fmt.Sprintf("workers=%d vs 1", workers), wins, base)
+	}
+}
+
+// TestWindowLateRecord: a response that arrives after its request's window
+// has already closed is emitted in the closing window and counted late —
+// never dropped, never rewriting the emitted window.
+func TestWindowLateRecord(t *testing.T) {
+	var pkts []*wire.Packet
+	out := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	conn := func(id int, open, reqT, respT, closeT int64) {
+		em := wire.NewConnEmitter(out, 0x0A000001+uint32(id), uint16(9000+id), 0x0B000001, 80, 5e6, uint32(id+1))
+		est, err := em.Open(open)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = est
+		hdr := fmt.Sprintf("GET /c%d HTTP/1.1\r\nHost: late.example\r\n\r\n", id)
+		if err := em.Request(reqT, []byte(hdr)); err != nil {
+			t.Fatal(err)
+		}
+		if err := em.Response(respT, []byte("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n"), 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := em.Close(closeT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Window width 60s, grace 5s. Conn 0's request sits in window [0,60) but
+	// its response lands at 70s — after conn 1's 66s traffic pushed the
+	// watermark past 65s and closed that window. Conn 2 closes window
+	// [60,120) so the late emission happens pre-drain.
+	conn(0, 55e9, 58e9, 70e9, 71e9)
+	conn(1, 63e9, 66e9, 66_200e6, 67e9)
+	conn(2, 128e9, 130e9, 130_200e6, 131e9)
+	sortPackets(pkts)
+
+	var wins []*runz.Window
+	res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 2,
+		Windows: runz.WindowPolicy{Width: time.Minute, Grace: 5 * time.Second, Emit: collectWindows(&wins)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LateWindowRecords != 1 {
+		t.Fatalf("LateWindowRecords = %d, want 1", res.LateWindowRecords)
+	}
+	var lateWin *runz.Window
+	seen := 0
+	for _, w := range wins {
+		for _, tx := range w.Transactions {
+			if tx.ReqTime == 58e9 {
+				seen++
+				lateWin = w
+			}
+		}
+	}
+	if seen != 1 || lateWin == nil {
+		t.Fatalf("late transaction appeared %d times, want exactly once", seen)
+	}
+	if lateWin.Start <= 58e9 || lateWin.LateTransactions != 1 {
+		t.Fatalf("late transaction landed in %s, want a later window counting it late", header(lateWin))
+	}
+}
+
+func sortPackets(pkts []*wire.Packet) {
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+}
+
+// TestWindowStopDrainAndResume: a graceful stop drains the pipeline, emits
+// every remaining window marked Final, and checkpoints; resuming re-emits
+// those windows complete, converging on the uninterrupted run's exact window
+// sequence (exactly-once by idempotent rewrite).
+func TestWindowStopDrainAndResume(t *testing.T) {
+	pkts := genTrace(t, 60, 9)
+	policy := func(dst *[]*runz.Window) runz.WindowPolicy {
+		return runz.WindowPolicy{Width: time.Minute, Grace: 5 * time.Second, Emit: collectWindows(dst)}
+	}
+	var refWins []*runz.Window
+	if _, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 2, Windows: policy(&refWins)}); err != nil {
+		t.Fatal(err)
+	}
+
+	ckPath := filepath.Join(t.TempDir(), "win.ckpt")
+	stop := make(chan struct{})
+	src := &stopAfter{src: pipeline.NewSliceSource(pkts), n: len(pkts) / 2, stop: stop}
+	var wins1 []*runz.Window
+	res1, err := runz.Run(src, runz.Options{
+		Workers: 2, Windows: policy(&wins1), CheckpointPath: ckPath, Stop: stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Outcome != runz.OutcomeStopped {
+		t.Fatalf("stopped run outcome = %v", res1.Outcome)
+	}
+	if len(wins1) == 0 || !wins1[len(wins1)-1].Final {
+		t.Fatalf("stopped run: %d windows, last must be Final", len(wins1))
+	}
+	// Drain emitted everything buffered: nothing left in the merged result.
+	if len(res1.Transactions) != 0 || len(res1.TLSFlows) != 0 {
+		t.Fatalf("stopped run left %d/%d records unemitted", len(res1.Transactions), len(res1.TLSFlows))
+	}
+
+	ck, err := runz.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Windows == nil || !ck.Interrupted {
+		t.Fatalf("checkpoint: windows=%v interrupted=%v", ck.Windows, ck.Interrupted)
+	}
+	var wins2 []*runz.Window
+	res2, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 2, Windows: policy(&wins2), CheckpointPath: ckPath, Resume: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcome != runz.OutcomeCompleted {
+		t.Fatalf("resumed run outcome = %v", res2.Outcome)
+	}
+
+	// Later emissions rewrite earlier ones: fold both runs by window index
+	// and require the survivors to be byte-identical to the reference.
+	merged := map[int64]*runz.Window{}
+	for _, w := range append(append([]*runz.Window(nil), wins1...), wins2...) {
+		merged[w.Index] = w
+	}
+	var got []*runz.Window
+	for _, w := range refWins {
+		m, ok := merged[w.Index]
+		if !ok {
+			t.Fatalf("window %d never emitted", w.Index)
+		}
+		got = append(got, m)
+	}
+	if len(merged) != len(refWins) {
+		t.Fatalf("emitted %d distinct windows, reference has %d", len(merged), len(refWins))
+	}
+	sameWindows(t, "stop+resume vs uninterrupted", got, refWins)
+}
+
+// TestWindowCrashResume: kill -9 at a checkpoint boundary between window
+// flushes; the resumed run continues the window sequence with no gap, no
+// duplicate, and byte-identical records.
+func TestWindowCrashResume(t *testing.T) {
+	pkts := genTrace(t, 60, 7)
+	policy := func(dst *[]*runz.Window) runz.WindowPolicy {
+		return runz.WindowPolicy{Width: time.Minute, Grace: 5 * time.Second, Emit: collectWindows(dst)}
+	}
+	var refWins []*runz.Window
+	if _, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{Workers: 4, Windows: policy(&refWins)}); err != nil {
+		t.Fatal(err)
+	}
+
+	ckPath := filepath.Join(t.TempDir(), "win.ckpt")
+	var wins1 []*runz.Window
+	_, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 4, Windows: policy(&wins1),
+		CheckpointPath: ckPath, CheckpointEvery: 150, CrashAfterCheckpoints: 2,
+	})
+	if !errors.Is(err, runz.ErrSimulatedCrash) {
+		t.Fatalf("crash run error = %v", err)
+	}
+
+	ck, err := runz.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Windows == nil || ck.Windows.Emitted != int64(len(wins1)) {
+		t.Fatalf("checkpoint windows = %+v, crashed run emitted %d", ck.Windows, len(wins1))
+	}
+	var wins2 []*runz.Window
+	res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 4, Windows: policy(&wins2), CheckpointPath: ckPath, CheckpointEvery: 150, Resume: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != runz.OutcomeCompleted {
+		t.Fatalf("resumed run outcome = %v", res.Outcome)
+	}
+	merged := map[int64]*runz.Window{}
+	for _, w := range append(append([]*runz.Window(nil), wins1...), wins2...) {
+		merged[w.Index] = w
+	}
+	var got []*runz.Window
+	for _, w := range refWins {
+		m, ok := merged[w.Index]
+		if !ok {
+			t.Fatalf("window %d never emitted", w.Index)
+		}
+		got = append(got, m)
+	}
+	if len(merged) != len(refWins) {
+		t.Fatalf("emitted %d distinct windows, reference has %d", len(merged), len(refWins))
+	}
+	sameWindows(t, "crash+resume vs uninterrupted", got, refWins)
+}
+
+// TestWindowEmitError: a failing emit callback aborts the run with
+// OutcomeEmitError through the drain path, surfacing the callback's error.
+func TestWindowEmitError(t *testing.T) {
+	pkts := genTrace(t, 60, 5)
+	boom := errors.New("disk full")
+	n := 0
+	res, err := runz.Run(pipeline.NewSliceSource(pkts), runz.Options{
+		Workers: 2,
+		Windows: runz.WindowPolicy{Width: time.Minute, Grace: 5 * time.Second, Emit: func(*runz.Window) error {
+			n++
+			if n >= 2 {
+				return boom
+			}
+			return nil
+		}},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped %v", err, boom)
+	}
+	if res.Outcome != runz.OutcomeEmitError {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.WindowsEmitted != 1 {
+		t.Fatalf("WindowsEmitted = %d, want 1 (the success before the failure)", res.WindowsEmitted)
+	}
+}
+
+// TestWindowOptionValidation: misconfigured windowing is a configuration
+// error up front, not undefined behavior mid-run.
+func TestWindowOptionValidation(t *testing.T) {
+	pkts := genTrace(t, 5, 1)
+	emit := func(*runz.Window) error { return nil }
+	cases := map[string]runz.Options{
+		"nil emit":       {Windows: runz.WindowPolicy{Width: time.Minute}},
+		"negative grace": {Windows: runz.WindowPolicy{Width: time.Minute, Grace: -time.Second, Emit: emit}},
+		"custom sink": {
+			Windows: runz.WindowPolicy{Width: time.Minute, Emit: emit},
+			NewSink: func(int) analyzer.Sink { return &blockSink{} },
+		},
+	}
+	for name, opt := range cases {
+		if _, err := runz.Run(pipeline.NewSliceSource(pkts), opt); err == nil {
+			t.Errorf("%s: Run accepted invalid windowing options", name)
+		}
+	}
+}

@@ -9,8 +9,9 @@ import "adscape/internal/obs"
 // mid-run without touching shard-owned state. All handles may be nil
 // (NewMetrics over a nil registry), in which case every update no-ops.
 type Metrics struct {
-	// Reader-side: decoded records, corruption recoveries, discarded bytes.
-	Records, Resyncs, SkippedBytes *obs.Counter
+	// Reader-side: decoded records, corruption recoveries, discarded bytes,
+	// and follow-mode end-of-file polls.
+	Records, Resyncs, SkippedBytes, FollowRetries *obs.Counter
 	// Table-side: the TableStats degradation counters.
 	EvictedIdle, EvictedCap, Gaps, TrimmedSegments, ClockResyncs *obs.Counter
 	// LiveFlows is the current tracked-flow count of one table; with shards
@@ -26,6 +27,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Records:         reg.Counter("wire.records"),
 		Resyncs:         reg.Counter("wire.resyncs"),
 		SkippedBytes:    reg.Counter("wire.skipped_bytes"),
+		FollowRetries:   reg.Counter("wire.follow_retries"),
 		EvictedIdle:     reg.Counter("wire.evicted_idle"),
 		EvictedCap:      reg.Counter("wire.evicted_cap"),
 		Gaps:            reg.Counter("wire.gaps"),

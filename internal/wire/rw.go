@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 )
 
 // Trace file layout: an 8-byte header ("ADTRACE" + version byte), then one
@@ -42,6 +43,12 @@ func NewWriter(w io.Writer) (*Writer, error) {
 		return nil, fmt.Errorf("wire: writing header: %w", err)
 	}
 	return &Writer{w: bw}, nil
+}
+
+// NewAppender returns a Writer that emits records without a header, for
+// appending to a trace whose header is already on disk (live-capture growth).
+func NewAppender(w io.Writer) (*Writer, error) {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}, nil
 }
 
 // Write appends one packet record.
@@ -103,6 +110,14 @@ type ReaderOptions struct {
 	// MaxSkipBytes bounds the total bytes skipped while resynchronizing.
 	// 0 means the default of 16 MiB; negative means unlimited.
 	MaxSkipBytes int64
+	// Follow changes the EOF semantics for files that are still being
+	// written (tail mode): a clean end of stream — including a partial
+	// record whose remaining bytes have not been flushed yet — returns
+	// ErrAgain instead of io.EOF, without consuming the partial bytes, and
+	// counts a retry in ReaderStats.FollowRetries. The caller polls and
+	// calls Read again once the file may have grown; rotation detection is
+	// the caller's job (the reader only ever sees one stream).
+	Follow bool
 }
 
 const (
@@ -131,6 +146,10 @@ type ReaderStats struct {
 	SkippedBytes int64
 	// TruncatedTail reports that the trace ended mid-record.
 	TruncatedTail bool
+	// FollowRetries counts ErrAgain returns in follow mode — every time the
+	// reader hit the current end of a still-growing file and handed control
+	// back to the caller to poll. Zero outside follow mode.
+	FollowRetries int64
 }
 
 // Merge folds another reader's counters into s (sums; TruncatedTail ORs),
@@ -140,11 +159,18 @@ func (s *ReaderStats) Merge(o ReaderStats) {
 	s.Resyncs += o.Resyncs
 	s.SkippedBytes += o.SkippedBytes
 	s.TruncatedTail = s.TruncatedTail || o.TruncatedTail
+	s.FollowRetries += o.FollowRetries
 }
 
 // ErrCorruptionBudget is returned when a lenient Reader exceeds its
 // configured error budget (MaxResyncs or MaxSkipBytes).
 var ErrCorruptionBudget = errors.New("wire: corruption budget exceeded")
+
+// ErrAgain is returned by Read in follow mode when no complete record is
+// available yet: the stream ended cleanly (possibly mid-record) but the file
+// may still be growing. The partial bytes stay buffered; the caller should
+// poll and retry. Never returned outside follow mode.
+var ErrAgain = errors.New("wire: no complete record available yet")
 
 // Reader streams packets from a trace file.
 type Reader struct {
@@ -159,7 +185,11 @@ type Reader struct {
 	// lenient reads, resync scans, and tail discards. Checkpoint/resume
 	// uses it to reposition a fresh Reader over the same file.
 	off int64
-	obs *Metrics
+	// resyncing marks an in-progress lenient resync scan, so a follow-mode
+	// ErrAgain mid-scan resumes the same resync event on the next Read
+	// instead of counting a fresh one per poll.
+	resyncing bool
+	obs       *Metrics
 }
 
 // SetObs attaches live instrumentation; nil restores the no-op default.
@@ -266,6 +296,9 @@ func (tr *Reader) Read() (*Packet, error) {
 }
 
 func (tr *Reader) readStrict() (*Packet, error) {
+	if tr.opt.Follow {
+		return tr.readStrictFollow()
+	}
 	var buf [recordFixed]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
 		if err == io.EOF {
@@ -294,6 +327,58 @@ func (tr *Reader) readStrict() (*Packet, error) {
 	tr.stats.Records++
 	tr.obs.Records.Inc()
 	return p, nil
+}
+
+// readStrictFollow is the strict read path in follow mode. Unlike the plain
+// strict path it peeks before consuming, so a record whose tail has not been
+// flushed yet stays buffered intact and the next Read retries it; validation
+// stays fail-fast (a corrupt record is still an error, never a retry).
+func (tr *Reader) readStrictFollow() (*Packet, error) {
+	hdr, err := tr.r.Peek(recordFixed)
+	if err != nil {
+		if followRetryable(err) {
+			return nil, tr.again()
+		}
+		return nil, fmt.Errorf("wire: record %d: %w", tr.n, err)
+	}
+	capLen := int(binary.BigEndian.Uint16(hdr[29:]))
+	if capLen > SnapLen {
+		return nil, fmt.Errorf("wire: record %d: capture length %d exceeds snaplen %d", tr.n, capLen, SnapLen)
+	}
+	full, err := tr.r.Peek(recordFixed + capLen)
+	if err != nil {
+		if followRetryable(err) {
+			return nil, tr.again()
+		}
+		return nil, fmt.Errorf("wire: record %d payload: %w", tr.n, err)
+	}
+	p := decodeFixed(full[:recordFixed])
+	if capLen > 0 {
+		p.Payload = make([]byte, capLen)
+		copy(p.Payload, full[recordFixed:])
+	}
+	tr.r.Discard(recordFixed + capLen)
+	tr.off += int64(recordFixed + capLen)
+	tr.n++
+	tr.stats.Records++
+	tr.obs.Records.Inc()
+	return p, nil
+}
+
+// followRetryable classifies errors that mean "no more bytes available right
+// now" on a still-growing input: end-of-file on a file being appended to, or
+// an expired read deadline on a socket the caller polls with deadlines.
+// bufio.Reader returns such errors once and then retries the underlying
+// stream, so the partial record stays buffered across polls.
+func followRetryable(err error) bool {
+	return err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// again records one follow-mode retry and returns ErrAgain.
+func (tr *Reader) again() error {
+	tr.stats.FollowRetries++
+	tr.obs.FollowRetries.Inc()
+	return ErrAgain
 }
 
 func (tr *Reader) readLenient() (*Packet, error) {
@@ -329,8 +414,13 @@ func (tr *Reader) readLenient() (*Packet, error) {
 }
 
 // finishTail handles a read that came up short of a full record: a truncated
-// tail becomes a clean, counted EOF; real I/O errors propagate.
+// tail becomes a clean, counted EOF; real I/O errors propagate. In follow
+// mode a short read means the writer has not flushed the rest yet, so the
+// partial bytes stay buffered and the caller gets ErrAgain to poll on.
 func (tr *Reader) finishTail(avail int, err error) error {
+	if tr.opt.Follow && followRetryable(err) {
+		return tr.again()
+	}
 	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
 		if avail > 0 {
 			tr.stats.SkippedBytes += int64(avail)
@@ -349,10 +439,13 @@ func (tr *Reader) finishTail(avail int, err error) error {
 // followed by another plausible header (or clean EOF), to keep false
 // boundaries inside payload bytes rare.
 func (tr *Reader) resync() error {
-	tr.stats.Resyncs++
-	tr.obs.Resyncs.Inc()
-	if tr.opt.MaxResyncs >= 0 && tr.stats.Resyncs > tr.opt.MaxResyncs {
-		return fmt.Errorf("%w: %d resyncs", ErrCorruptionBudget, tr.stats.Resyncs)
+	if !tr.resyncing {
+		tr.resyncing = true
+		tr.stats.Resyncs++
+		tr.obs.Resyncs.Inc()
+		if tr.opt.MaxResyncs >= 0 && tr.stats.Resyncs > tr.opt.MaxResyncs {
+			return fmt.Errorf("%w: %d resyncs", ErrCorruptionBudget, tr.stats.Resyncs)
+		}
 	}
 	for {
 		if tr.opt.MaxSkipBytes >= 0 && tr.stats.SkippedBytes >= tr.opt.MaxSkipBytes {
@@ -369,6 +462,7 @@ func (tr *Reader) resync() error {
 			return tr.finishTail(len(hdr), err)
 		}
 		if tr.plausibleRecord(hdr) && tr.nextAlsoPlausible(hdr) {
+			tr.resyncing = false
 			return nil
 		}
 	}
