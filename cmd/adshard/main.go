@@ -1,0 +1,449 @@
+// Command adshard coordinates a distributed adtrace run: it partitions a
+// trace set across N adtrace worker subprocesses, supervises them with
+// per-worker failure/retry accounting, reduces their partial-results files
+// with the merge algebra, and prints the combined report — byte-identical to
+// a single-process `adtrace -workers` run over the same input (DESIGN.md
+// §13).
+//
+// Usage:
+//
+//	adshard [-n 3] [-workers N] [-adtrace path] [-split auto|time|files]
+//	        [-retries 1] [-work dir] [-keep]
+//	        [-seed 2015] [-sites 1000] [-strict] [-max-flows N]
+//	        [-idle-timeout 10m] [-max-pending N] [-verdict-cache N]
+//	        [-users] [-threshold 300] [-weblog out.log] [-fail-degraded F]
+//	        trace [trace ...]
+//
+// With a single trace, -split time cuts it into -n flow-complete partitions
+// by capture-time span (every connection stays whole in the partition where
+// it opened, so each worker's analysis is exact). With multiple traces,
+// -split files assigns one worker per file. -split auto (the default) picks
+// time for one input and files for several.
+//
+// Every worker runs `adtrace -emit-partial` with the same analysis
+// configuration (seed, sites, -workers shard count, ingest limits), so the
+// partials carry identical fingerprints and per-shard accumulators that sum
+// index-by-index into exactly the single-process shard state. A worker that
+// exits non-zero is retried up to -retries times; the per-worker attempt
+// ledger is reported on stderr. The reduce validates the set (format
+// version, fingerprints, disjoint complete coverage) before merging.
+//
+// Exit codes:
+//
+//	0  completed
+//	1  fatal error (a worker failed after its retry budget, unreadable
+//	   input, report failure)
+//	2  usage error
+//	3  completed but degraded beyond the -fail-degraded threshold
+//	7  partial-results rejection (corrupt, foreign version, overlapping,
+//	   incompatible fingerprint, or incomplete partials); the message names
+//	   the offending file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/analyzer"
+	"adscape/internal/partial"
+	"adscape/internal/report"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+const exitPartialRejected = 7
+
+type config struct {
+	n        int
+	workers  int
+	adtrace  string
+	split    string
+	retries  int
+	workDir  string
+	keep     bool
+	killIdx  int // -test-kill-worker: kill this worker's first attempt
+	seed     int64
+	sites    int
+	strict   bool
+	maxFlows int
+	idleTO   time.Duration
+	maxPend  int
+	vcache   int
+
+	users        bool
+	threshold    int
+	weblogOut    string
+	failDegraded float64
+}
+
+// job is one worker subprocess's assignment: analyze one trace partition
+// into one partial file.
+type job struct {
+	index int
+	trace string
+	out   string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adshard: ")
+	var cfg config
+	flag.IntVar(&cfg.n, "n", 3, "worker subprocesses (and, with -split time, partitions)")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "per-worker analyzer shard count (forwarded to every adtrace)")
+	flag.StringVar(&cfg.adtrace, "adtrace", "", "adtrace binary to exec (default: next to this binary, else $PATH)")
+	flag.StringVar(&cfg.split, "split", "auto", "partitioning: time (capture-time spans of one trace), files (one worker per trace), auto")
+	flag.IntVar(&cfg.retries, "retries", 1, "retries per failed worker before the run fails")
+	flag.StringVar(&cfg.workDir, "work", "", "working directory for split traces and partials (default: a temp dir, removed on exit)")
+	flag.BoolVar(&cfg.keep, "keep", false, "keep the working directory (for debugging the partials)")
+	flag.IntVar(&cfg.killIdx, "test-kill-worker", -1, "testing: SIGKILL this worker's first attempt mid-run to exercise retry")
+	flag.Int64Var(&cfg.seed, "seed", 2015, "world seed (must match the generator's)")
+	flag.IntVar(&cfg.sites, "sites", 1000, "world site catalog size (must match)")
+	flag.BoolVar(&cfg.strict, "strict", false, "fail fast on corrupt records and disable memory bounds")
+	flag.IntVar(&cfg.maxFlows, "max-flows", wire.DefaultLimits().MaxFlows, "live-flow cap per worker (0 = unlimited)")
+	flag.DurationVar(&cfg.idleTO, "idle-timeout", wire.DefaultLimits().IdleTimeout, "evict flows idle this long on the packet clock (0 = never)")
+	flag.IntVar(&cfg.maxPend, "max-pending", analyzer.DefaultLimits().MaxPending, "per-connection unanswered-request cap (0 = unlimited)")
+	flag.IntVar(&cfg.vcache, "verdict-cache", abp.DefaultVerdictCacheEntries, "engine verdict-cache entries (0 = disable memoization)")
+	flag.BoolVar(&cfg.users, "users", false, "print per-user ad-blocker inference")
+	flag.IntVar(&cfg.threshold, "threshold", 300, "active-user request threshold")
+	flag.StringVar(&cfg.weblogOut, "weblog", "", "optionally dump the merged HTTP transaction log")
+	flag.Float64Var(&cfg.failDegraded, "fail-degraded", -1, "exit 3 when the merged degraded fraction exceeds this (-1 = off)")
+	flag.Parse()
+	os.Exit(run(cfg, flag.Args()))
+}
+
+func run(cfg config, traces []string) int {
+	usageError := func(format string, args ...any) int {
+		log.Printf(format, args...)
+		flag.Usage()
+		return 2
+	}
+	if len(traces) == 0 {
+		return usageError("at least one trace argument is required")
+	}
+	if cfg.n <= 0 {
+		return usageError("-n must be positive, got %d", cfg.n)
+	}
+	if cfg.workers <= 0 {
+		return usageError("-workers must be positive, got %d", cfg.workers)
+	}
+	if cfg.retries < 0 {
+		return usageError("-retries must be non-negative, got %d", cfg.retries)
+	}
+	mode := cfg.split
+	if mode == "auto" {
+		if len(traces) == 1 {
+			mode = "time"
+		} else {
+			mode = "files"
+		}
+	}
+	switch mode {
+	case "time":
+		if len(traces) != 1 {
+			return usageError("-split time partitions exactly one trace, got %d", len(traces))
+		}
+	case "files":
+	default:
+		return usageError("-split must be auto, time, or files, got %q", cfg.split)
+	}
+	adtrace, err := findAdtrace(cfg.adtrace)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	workDir := cfg.workDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "adshard-*")
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		workDir = dir
+		if !cfg.keep {
+			defer os.RemoveAll(dir)
+		}
+	} else if err := os.MkdirAll(workDir, 0o755); err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	jobs, err := buildJobs(mode, traces, cfg.n, workDir)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	setID := splitSetID(jobs)
+	log.Printf("split job %s: %d partitions, %s mode, up to %d concurrent workers", setID, len(jobs), mode, cfg.n)
+
+	if code := runJobs(cfg, adtrace, setID, jobs); code != 0 {
+		return code
+	}
+
+	paths := make([]string, len(jobs))
+	for i, j := range jobs {
+		paths[i] = j.out
+	}
+	return reduceAndReport(cfg, paths)
+}
+
+// findAdtrace resolves the worker binary: an explicit -adtrace path, the
+// directory this coordinator was launched from, or $PATH.
+func findAdtrace(explicit string) (string, error) {
+	if explicit != "" {
+		if _, err := os.Stat(explicit); err != nil {
+			return "", fmt.Errorf("-adtrace %s: %w", explicit, err)
+		}
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "adtrace")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	path, err := exec.LookPath("adtrace")
+	if err != nil {
+		return "", fmt.Errorf("adtrace binary not found (use -adtrace): %w", err)
+	}
+	return path, nil
+}
+
+// buildJobs materializes the partition plan. Time mode cuts one trace into
+// flow-complete capture-time spans; a span that would come out empty (every
+// packet in its rank range belongs to a flow opened earlier) shrinks the
+// partition count instead, so every worker has real input and every partial
+// a distinct trace fingerprint.
+func buildJobs(mode string, traces []string, n int, workDir string) ([]job, error) {
+	if mode == "files" {
+		jobs := make([]job, len(traces))
+		for i, t := range traces {
+			jobs[i] = job{index: i, trace: t, out: filepath.Join(workDir, fmt.Sprintf("part-%03d.bin", i))}
+		}
+		return jobs, nil
+	}
+	total, err := partial.CountPackets(traces[0])
+	if err != nil {
+		return nil, err
+	}
+	k := n
+	if total < int64(k) {
+		k = int(total)
+	}
+	if k < 1 {
+		k = 1
+	}
+	for ; k > 1; k-- {
+		parts, err := partial.SplitTrace(traces[0], partial.EqualRankBounds(total, k), workDir, "part")
+		if err != nil {
+			return nil, err
+		}
+		if empty := emptyParts(parts); empty > 0 {
+			log.Printf("split into %d spans left %d empty (long flows); retrying with %d", k, empty, k-1)
+			continue
+		}
+		return partJobs(parts, workDir), nil
+	}
+	parts, err := partial.SplitTrace(traces[0], partial.EqualRankBounds(total, 1), workDir, "part")
+	if err != nil {
+		return nil, err
+	}
+	return partJobs(parts, workDir), nil
+}
+
+func emptyParts(parts []partial.Part) int {
+	n := 0
+	for _, p := range parts {
+		if p.Packets == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func partJobs(parts []partial.Part, workDir string) []job {
+	jobs := make([]job, len(parts))
+	for i, p := range parts {
+		jobs[i] = job{index: i, trace: p.Path, out: filepath.Join(workDir, fmt.Sprintf("part-%03d.bin", i))}
+	}
+	return jobs
+}
+
+// splitSetID derives the partition-set identifier from the partition
+// contents, so retries (and reruns over the same split) stamp identical
+// descriptors.
+func splitSetID(jobs []job) string {
+	h := fnv.New64a()
+	for _, j := range jobs {
+		io.WriteString(h, partial.FingerprintFile(j.trace))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("set-%016x-%d", h.Sum64(), len(jobs))
+}
+
+// runJobs supervises the worker pool: up to cfg.n concurrent adtrace
+// subprocesses, each retried on failure up to cfg.retries times, with a
+// per-worker attempt ledger reported at the end.
+func runJobs(cfg config, adtrace, setID string, jobs []job) int {
+	type ledger struct {
+		attempts int
+		err      error
+	}
+	results := make([]ledger, len(jobs))
+	sem := make(chan struct{}, cfg.n)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var err error
+			for attempt := 0; attempt <= cfg.retries; attempt++ {
+				results[j.index].attempts = attempt + 1
+				kill := cfg.killIdx == j.index && attempt == 0
+				err = runWorker(cfg, adtrace, setID, j, len(jobs), kill)
+				if err == nil {
+					results[j.index].err = nil
+					return
+				}
+				log.Printf("worker %d attempt %d failed: %v", j.index, attempt+1, err)
+				results[j.index].err = err
+			}
+		}(jobs[i])
+	}
+	wg.Wait()
+
+	failed := 0
+	for i, r := range results {
+		status := "ok"
+		if r.err != nil {
+			failed++
+			status = r.err.Error()
+		}
+		log.Printf("worker %d: %d attempt(s), %s", i, r.attempts, status)
+	}
+	if failed > 0 {
+		log.Printf("%d of %d workers failed after %d retries", failed, len(jobs), cfg.retries)
+		return 1
+	}
+	return 0
+}
+
+// runWorker execs one `adtrace -emit-partial` over one partition. When kill
+// is set (the -test-kill-worker hook) the process is SIGKILLed shortly after
+// launch to simulate a mid-run crash.
+func runWorker(cfg config, adtrace, setID string, j job, count int, kill bool) error {
+	args := []string{
+		"-i", j.trace,
+		"-emit-partial", j.out,
+		"-partial-set", setID,
+		"-partial-index", strconv.Itoa(j.index),
+		"-partial-count", strconv.Itoa(count),
+		"-workers", strconv.Itoa(cfg.workers),
+		"-seed", strconv.FormatInt(cfg.seed, 10),
+		"-sites", strconv.Itoa(cfg.sites),
+		"-max-flows", strconv.Itoa(cfg.maxFlows),
+		"-idle-timeout", cfg.idleTO.String(),
+		"-max-pending", strconv.Itoa(cfg.maxPend),
+		"-verdict-cache", strconv.Itoa(cfg.vcache),
+	}
+	if cfg.strict {
+		args = append(args, "-strict")
+	}
+	cmd := exec.Command(adtrace, args...)
+	cmd.Stdout = os.Stderr // emit mode prints nothing; route surprises off our report
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", adtrace, err)
+	}
+	if kill {
+		go func(p *os.Process) {
+			time.Sleep(150 * time.Millisecond)
+			p.Kill()
+		}(cmd.Process)
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("adtrace on %s: %w", filepath.Base(j.trace), err)
+	}
+	if _, err := os.Stat(j.out); err != nil {
+		return fmt.Errorf("adtrace on %s exited 0 but wrote no partial: %w", filepath.Base(j.trace), err)
+	}
+	return nil
+}
+
+// reduceAndReport loads, validates, and folds the partials, then renders the
+// combined report through the shared report path — the same code a
+// single-process run prints with.
+func reduceAndReport(cfg config, paths []string) int {
+	files, err := partial.LoadAll(paths)
+	if err != nil {
+		log.Print(err)
+		return exitPartialRejected
+	}
+	m, err := partial.Reduce(files)
+	if err != nil {
+		log.Print(err)
+		return exitPartialRejected
+	}
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = m.Config.Sites
+	wopt.Seed = m.Config.Seed
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		log.Printf("building world (filter lists): %v", err)
+		return 1
+	}
+	if got := partial.EngineHash(world.Bundle.ClassifierEngine()); got != m.Config.EngineHash {
+		log.Printf("%v: this build compiles filter lists to %s, partials carry %s",
+			partial.ErrFingerprint, got, m.Config.EngineHash)
+		return exitPartialRejected
+	}
+
+	d := report.Data{
+		Workers:      m.Workers,
+		Stats:        m.Stats,
+		Reader:       m.Reader,
+		Table:        m.Table,
+		Restarts:     m.Restarts,
+		LostFlows:    m.LostFlows,
+		Transactions: m.Transactions,
+		TLSFlows:     m.TLSFlows,
+	}
+	for _, s := range m.Shards {
+		d.Shards = append(d.Shards, report.Shard{
+			Shard: s.Shard, Packets: s.Packets, Stats: s.Stats, Table: s.Table,
+		})
+	}
+	log.Printf("reduced %d partials (%d transactions, %d tls flows)",
+		len(m.Parts), len(m.Transactions), len(m.TLSFlows))
+
+	if err := report.Print(os.Stdout, world, d, report.Options{
+		Workers:      cfg.workers,
+		Users:        cfg.users,
+		Threshold:    cfg.threshold,
+		WeblogPath:   cfg.weblogOut,
+		VerdictCache: cfg.vcache,
+	}); err != nil {
+		log.Print(err)
+		return 1
+	}
+	if cfg.failDegraded >= 0 {
+		if frac := report.DegradedFraction(d); frac > cfg.failDegraded {
+			log.Printf("degraded fraction %.4f exceeds -fail-degraded %.4f", frac, cfg.failDegraded)
+			return 3
+		}
+	}
+	return 0
+}

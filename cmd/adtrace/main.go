@@ -17,6 +17,24 @@
 //	        [-window 1m] [-grace 5s] [-idle-horizon 1h] [-poll 200ms]
 //	        [supervision and observability flags as above]
 //
+//	adtrace -i part.trace -emit-partial part.bin
+//	        [-partial-set ID -partial-index K -partial-count N]
+//	        [analysis and supervision flags as above]
+//
+//	adtrace -merge part1.bin part2.bin ...
+//	        [-users] [-threshold 300] [-weblog out.log] [-fail-degraded F]
+//
+// -emit-partial runs the normal sharded pipeline but serializes the
+// pre-report state into a versioned, CRC-checked partial-results file
+// instead of printing; -merge validates a set of partials (format version,
+// worker-configuration fingerprint, disjoint partitions), reduces them with
+// the merge algebra, and runs the unchanged report path — byte-identical to
+// a single-process run over the whole input (DESIGN.md §13). -emit-partial
+// composes with -checkpoint/-resume: a drained emit run keeps its checkpoint
+// and writes no partial; resuming it to completion writes the identical
+// partial file a one-shot run would have. cmd/adshard automates
+// split/emit/merge across worker subprocesses.
+//
 // -serve turns the batch pipeline into a continuous service (DESIGN.md §12):
 // the input is followed forever (tailing across file rotations and SIGHUP
 // reopen requests, or accepting sequential trace streams on a -listen
@@ -77,17 +95,20 @@
 //	4  interrupted by signal; state drained and checkpointed (batch mode)
 //	5  aborted by the stall watchdog or the -deadline cap
 //	6  simulated crash (-crash-after-checkpoints test hook)
+//	7  partial-results rejection: a -merge input is corrupt, carries a
+//	   foreign format version, overlaps another partial, was produced by an
+//	   incompatible worker configuration or filter-list build, or is
+//	   incomplete — the message names the offending file
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"syscall"
@@ -96,13 +117,12 @@ import (
 	"adscape/internal/abp"
 	"adscape/internal/analyzer"
 	"adscape/internal/core"
-	"adscape/internal/dnssim"
-	"adscape/internal/inference"
 	"adscape/internal/obs"
+	"adscape/internal/partial"
 	"adscape/internal/pipeline"
+	"adscape/internal/report"
 	"adscape/internal/runz"
 	"adscape/internal/webgen"
-	"adscape/internal/weblog"
 	"adscape/internal/wire"
 )
 
@@ -130,6 +150,12 @@ func main() {
 		restartBug   = flag.Int("restart-budget", 2, "restarts allowed per panicked shard before it stays dead")
 		failDegraded = flag.Float64("fail-degraded", -1, "exit 3 when the degraded fraction (shed work / all work) exceeds this (-1 = off)")
 		crashAfter   = flag.Int("crash-after-checkpoints", 0, "testing: stop dead after N periodic checkpoints, exit 6")
+
+		emitPartial = flag.String("emit-partial", "", "run the pipeline but write the pre-report state to this partial-results file instead of printing (merge with -merge or adshard)")
+		merge       = flag.Bool("merge", false, "merge the partial-results files given as arguments and print the combined report")
+		partialSet  = flag.String("partial-set", "", "emit-partial: split-job identifier stamped into the partition descriptor (adshard sets this)")
+		partialIdx  = flag.Int("partial-index", 0, "emit-partial: this partition's index within -partial-set")
+		partialCnt  = flag.Int("partial-count", 0, "emit-partial: total partitions in -partial-set")
 
 		serve       = flag.Bool("serve", false, "run as a continuous service: follow -i (or accept streams on -listen) forever, emitting per-window records to -state-dir")
 		stateDir    = flag.String("state-dir", "", "serve: state directory for window records and the resumable checkpoint (required)")
@@ -171,6 +197,43 @@ func main() {
 	if *ckptEvery < 0 {
 		usageError("-checkpoint-interval must be non-negative, got %d", *ckptEvery)
 	}
+	// seedSet/sitesSet: whether the user pinned the world explicitly. -merge
+	// takes the world from the partials and refuses a contradicting flag.
+	seedSet, sitesSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			seedSet = true
+		case "sites":
+			sitesSet = true
+		}
+	})
+	if *merge {
+		if *serve || *in != "" || *listen != "" || *emitPartial != "" || *ckptPath != "" || *resume {
+			usageError("-merge reads only partial files; it is incompatible with -i, -serve, -listen, -emit-partial, -checkpoint, and -resume")
+		}
+		if flag.NArg() == 0 {
+			usageError("-merge requires at least one partial file argument")
+		}
+	} else if flag.NArg() > 0 {
+		usageError("unexpected arguments: %v (partial files are only accepted with -merge)", flag.Args())
+	}
+	if *emitPartial != "" {
+		if *serve {
+			usageError("-emit-partial is incompatible with -serve (partials snapshot a completed batch run)")
+		}
+		if *users || *weblogOut != "" {
+			usageError("-emit-partial defers reporting to the merge step; -users and -weblog belong on the -merge invocation")
+		}
+		if *partialSet != "" && (*partialIdx < 0 || *partialCnt <= *partialIdx) {
+			usageError("-partial-set requires 0 <= -partial-index < -partial-count, got index %d count %d", *partialIdx, *partialCnt)
+		}
+		if *partialSet == "" && (*partialIdx != 0 || *partialCnt != 0) {
+			usageError("-partial-index/-partial-count require -partial-set")
+		}
+	} else if *partialSet != "" || *partialIdx != 0 || *partialCnt != 0 {
+		usageError("-partial-set/-partial-index/-partial-count require -emit-partial")
+	}
 	if *serve {
 		if *stateDir == "" {
 			usageError("-serve requires -state-dir")
@@ -184,7 +247,7 @@ func main() {
 		if *pollEvery <= 0 {
 			usageError("-poll must be positive, got %v", *pollEvery)
 		}
-	} else {
+	} else if !*merge {
 		if *in == "" {
 			flag.Usage()
 			os.Exit(2)
@@ -217,6 +280,22 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("debug endpoint on http://%s (/debug/metrics, /debug/pprof/)", srv.Addr())
+	}
+
+	if *merge {
+		code := runMerge(flag.Args(), mergeConfig{
+			seed: *seed, seedSet: seedSet,
+			sites: *sites, sitesSet: sitesSet,
+			workers:      *workers,
+			users:        *users,
+			threshold:    *threshold,
+			weblogOut:    *weblogOut,
+			verdictCache: *verdictCache,
+			failDegraded: *failDegraded,
+			obs:          reg,
+		})
+		stopProfiles()
+		os.Exit(code)
 	}
 
 	wopt := webgen.DefaultOptions()
@@ -296,7 +375,7 @@ func main() {
 		Limits:                lim,
 		CheckpointPath:        *ckptPath,
 		CheckpointEvery:       *ckptEvery,
-		TraceID:               traceID(*in),
+		TraceID:               partial.FingerprintFile(*in),
 		Stop:                  stopCh,
 		StallTimeout:          *stallTimeout,
 		Deadline:              *deadline,
@@ -326,6 +405,60 @@ func main() {
 		log.Printf("analysis degraded: %v", err)
 	}
 
+	d := reportData(res, r.Stats())
+
+	if *emitPartial != "" {
+		// Map phase: serialize the pre-report state instead of printing. A
+		// run that did not reach end of input keeps its checkpoint (when
+		// configured) and writes no partial — merging it would under-count
+		// its partition. Resume it to completion for the identical partial a
+		// one-shot run would have produced.
+		if res.Outcome != runz.OutcomeCompleted {
+			log.Printf("run %s before end of input: no partial written", res.Outcome)
+			if *ckptPath != "" && res.Checkpoints > 0 {
+				log.Printf("resume with: adtrace -i %s -checkpoint %s -resume -emit-partial %s ...", *in, *ckptPath, *emitPartial)
+			}
+			stopProfiles()
+			os.Exit(exitCode(res, d, *failDegraded))
+		}
+		engine := world.Bundle.ClassifierEngine()
+		engine.SetVerdictCacheSize(*verdictCache)
+		cfg := partial.Config{
+			Seed:       *seed,
+			Sites:      *sites,
+			Workers:    *workers,
+			Strict:     *strict,
+			Limits:     lim,
+			EngineHash: partial.EngineHash(engine),
+		}
+		part := partial.Partition{
+			TraceID:   ropt.TraceID,
+			TraceName: filepath.Base(*in),
+			SetID:     *partialSet,
+			Index:     *partialIdx,
+			Count:     *partialCnt,
+		}
+		// Classification for the envelope runs single-threaded: the cache
+		// hit/miss split depends on which worker sees a URL first, and the
+		// file must be byte-stable across repeat and resumed runs.
+		cls := pipeline.Classify(core.NewPipeline(engine), res.Transactions, 1)
+		var snap *obs.Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		p, err := partial.Build(res, r.Stats(), cfg, part, cls, snap)
+		if err != nil {
+			log.Fatalf("building partial: %v", err)
+		}
+		if err := partial.Save(*emitPartial, p); err != nil {
+			log.Fatalf("writing partial: %v", err)
+		}
+		log.Printf("wrote partial %s (%d transactions, %d tls flows, partition %q %d/%d)",
+			*emitPartial, len(p.Transactions), len(p.TLSFlows), part.SetID, part.Index, part.Count)
+		stopProfiles()
+		os.Exit(exitCode(res, d, *failDegraded))
+	}
+
 	if res.Outcome != runz.OutcomeCompleted {
 		fmt.Printf("RESULT: INTERRUPTED (%s)\n", res.Outcome)
 		if res.Cause != "" {
@@ -339,62 +472,39 @@ func main() {
 		}
 	}
 
-	stats := res.Stats
-	fmt.Printf("packets:            %d\n", stats.Packets)
-	fmt.Printf("http transactions:  %d\n", stats.HTTPTransactions)
-	fmt.Printf("https flows:        %d\n", stats.TLSFlows)
-	fmt.Printf("http wire bytes:    %d\n", stats.HTTPWireBytes)
-	printDegradation(r.Stats(), res)
-
-	engine := world.Bundle.ClassifierEngine()
-	engine.SetVerdictCacheSize(*verdictCache)
-	if reg != nil {
-		engine.RegisterMetrics(reg)
-	}
-	cls := pipeline.ClassifyObs(core.NewPipeline(engine), res.Transactions, *workers, reg)
-	agg := cls.Stats
-	fmt.Printf("ad requests:        %d (%.2f%%)\n", agg.AdRequests, agg.AdRatio()*100)
-	fmt.Printf("ad bytes:           %d (%.2f%%)\n", agg.AdBytes, 100*float64(agg.AdBytes)/float64(max64(agg.Bytes, 1)))
-	fmt.Printf("bodiless content-length excluded: %d\n", agg.BodilessExcluded)
-	for _, name := range agg.ListNames() {
-		fmt.Printf("  list %-14s %d hits\n", name, agg.PerList[name])
-	}
-	fmt.Printf("whitelisted (non-intrusive): %d, of which blacklisted: %d\n",
-		agg.Whitelisted, agg.WhitelistedAndBlacklisted)
-	printPerf(engine, cls, *verdictCache)
-
-	if *weblogOut != "" {
-		if err := dumpWeblog(*weblogOut, cls.Results); err != nil {
-			log.Fatalf("writing weblog: %v", err)
-		}
-	}
-	if *users {
-		printUsers(world, res.TLSFlows, cls, *threshold)
+	if err := report.Print(os.Stdout, world, d, report.Options{
+		Workers:      *workers,
+		Users:        *users,
+		Threshold:    *threshold,
+		WeblogPath:   *weblogOut,
+		VerdictCache: *verdictCache,
+		Obs:          reg,
+	}); err != nil {
+		log.Fatal(err)
 	}
 
 	stopProfiles()
-	os.Exit(exitCode(res, r.Stats(), *failDegraded))
+	os.Exit(exitCode(res, d, *failDegraded))
 }
 
-// printPerf reports classification throughput and verdict-cache
-// effectiveness. It writes to stderr (the log writer), not stdout: hit/miss
-// attribution and timing vary run to run when shards interleave over the
-// shared cache, and stdout must stay byte-identical for the resume and
-// determinism gates.
-func printPerf(engine *abp.Engine, cls *pipeline.ClassifyResult, cacheCap int) {
-	secs := cls.Elapsed.Seconds()
-	if secs <= 0 {
-		secs = 1e-9
+// reportData shapes a supervised run's output for the shared report path.
+func reportData(res *runz.Result, rs wire.ReaderStats) report.Data {
+	d := report.Data{
+		Workers:      res.Workers,
+		Stats:        res.Stats,
+		Reader:       rs,
+		Table:        res.Table,
+		Restarts:     res.Restarts,
+		LostFlows:    res.LostFlows,
+		Transactions: res.Transactions,
+		TLSFlows:     res.TLSFlows,
 	}
-	log.Printf("classification: %d tx in %v (%.0f tx/s, %d workers)",
-		cls.Stats.Requests, cls.Elapsed.Round(time.Millisecond), float64(cls.Stats.Requests)/secs, cls.Workers)
-	if cacheCap <= 0 {
-		log.Print("verdict cache: disabled")
-		return
+	for _, s := range res.Shards {
+		d.Shards = append(d.Shards, report.Shard{
+			Shard: s.Shard, Packets: s.Packets, Stats: s.Stats, Table: s.Table,
+		})
 	}
-	cs := engine.VerdictCacheStats()
-	log.Printf("verdict cache: hits=%d misses=%d (%.1f%% hit ratio, %d entries, cap %d)",
-		cls.Perf.CacheHits, cls.Perf.CacheMisses, 100*cls.Perf.HitRatio(), cs.Size, cs.Cap)
+	return d
 }
 
 // startProfiles arms -cpuprofile/-memprofile and returns the flush function
@@ -432,7 +542,7 @@ func startProfiles(cpuPath, memPath string) func() {
 }
 
 // exitCode maps the run outcome onto the documented exit-code contract.
-func exitCode(res *runz.Result, rs wire.ReaderStats, failDegraded float64) int {
+func exitCode(res *runz.Result, d report.Data, failDegraded float64) int {
 	switch res.Outcome {
 	case runz.OutcomeStopped:
 		return 4
@@ -442,127 +552,10 @@ func exitCode(res *runz.Result, rs wire.ReaderStats, failDegraded float64) int {
 		return 1
 	}
 	if failDegraded >= 0 {
-		if frac := degradedFraction(rs, res); frac > failDegraded {
+		if frac := report.DegradedFraction(d); frac > failDegraded {
 			log.Printf("degraded fraction %.4f exceeds -fail-degraded %.4f", frac, failDegraded)
 			return 3
 		}
 	}
 	return 0
-}
-
-// degradedFraction estimates how much of the trace's work the bounded path
-// shed: units of shed work (skipped records, evicted flows, parse errors,
-// dropped pending requests, flows lost to shard restarts) over shed plus
-// successfully extracted records. A heuristic, documented in the README: the
-// units are not commensurable, but a run that sheds nothing scores 0 and the
-// score grows monotonically with every kind of damage.
-func degradedFraction(rs wire.ReaderStats, res *runz.Result) float64 {
-	shed := float64(rs.Resyncs) +
-		float64(res.Table.EvictedIdle+res.Table.EvictedCap) +
-		float64(res.Stats.ParseErrors+res.Stats.PendingEvicted) +
-		float64(res.LostFlows)
-	if shed == 0 {
-		return 0
-	}
-	good := float64(res.Stats.HTTPTransactions) + float64(res.Stats.TLSFlows)
-	return shed / (good + shed)
-}
-
-// printDegradation reports every piece of work the bounded ingest path shed:
-// nothing is silently dropped, so downstream aggregates can be qualified
-// against these counters (Table-2-style numbers degrade proportionally).
-// The merged counters are the per-shard sums; the per-shard breakdown shows
-// where the pressure landed (a single hot shard means a skewed flow hash or
-// an elephant household, not a trace-wide problem).
-func printDegradation(rs wire.ReaderStats, res *runz.Result) {
-	fmt.Printf("degradation (merged over %d shards):\n", res.Workers)
-	fmt.Printf("  reader resyncs:    %d (%d bytes skipped, truncated tail: %v)\n",
-		rs.Resyncs, rs.SkippedBytes, rs.TruncatedTail)
-	fmt.Printf("  evicted flows:     %d idle, %d over cap\n", res.Table.EvictedIdle, res.Table.EvictedCap)
-	fmt.Printf("  reassembly:        %d gaps, %d trimmed retransmissions\n", res.Table.Gaps, res.Table.TrimmedSegments)
-	fmt.Printf("  parse errors:      %d\n", res.Stats.ParseErrors)
-	fmt.Printf("  pending evicted:   %d\n", res.Stats.PendingEvicted)
-	fmt.Printf("  interim responses: %d\n", res.Stats.InterimResponses)
-	fmt.Printf("  orphan responses:  %d\n", res.Stats.OrphanResponses)
-	fmt.Printf("  restarted shards:  %d (%d flows lost)\n", res.Restarts, res.LostFlows)
-	if res.Workers > 1 {
-		for _, s := range res.Shards {
-			fmt.Printf("  shard %2d: packets=%d txs=%d evicted=%d/%d gaps=%d parse-errors=%d pending-evicted=%d\n",
-				s.Shard, s.Packets, s.Stats.HTTPTransactions,
-				s.Table.EvictedIdle, s.Table.EvictedCap, s.Table.Gaps,
-				s.Stats.ParseErrors, s.Stats.PendingEvicted)
-		}
-	}
-}
-
-// traceID fingerprints the input (size plus a checksum of the first 64 KiB)
-// so a checkpoint refuses to resume against a different trace.
-func traceID(path string) string {
-	f, err := os.Open(path)
-	if err != nil {
-		return ""
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return ""
-	}
-	buf := make([]byte, 64<<10)
-	n, _ := io.ReadFull(f, buf)
-	return fmt.Sprintf("%d:%08x", st.Size(), crc32.ChecksumIEEE(buf[:n]))
-}
-
-func dumpWeblog(path string, results []*core.Result) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w, err := weblog.NewWriter(f)
-	if err != nil {
-		return err
-	}
-	for _, r := range results {
-		// The privacy step (§5): truncate URLs to FQDNs after
-		// classification completes.
-		tx := *r.Ann.Tx
-		tx.Truncate()
-		if err := w.Write(&tx); err != nil {
-			return err
-		}
-	}
-	return w.Flush()
-}
-
-func printUsers(world *webgen.World, tlsFlows []*weblog.TLSFlow, cls *pipeline.ClassifyResult, threshold int) {
-	usersMap := cls.Users
-	// Discover the Adblock Plus servers the way §3.2 does: union the
-	// answers of multiple DNS resolver vantage points.
-	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
-	inference.MarkListDownloads(usersMap, tlsFlows, abpIPs)
-	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: threshold}
-	active := inference.ActiveBrowsers(usersMap, opt)
-	rows := inference.Table3(active, opt)
-	fmt.Printf("\nactive browsers (≥%d requests): %d\n", threshold, len(active))
-	for _, row := range rows {
-		fmt.Printf("  class %s: %5.1f%% (%d instances)\n", row.Class, row.InstanceShare*100, row.Instances)
-	}
-	fmt.Printf("likely Adblock Plus users: %.1f%%\n", inference.ABPShare(active, opt)*100)
-	with, total := inference.HouseholdsWithDownload(usersMap)
-	fmt.Printf("households with ABP list downloads: %d/%d (%.1f%%)\n",
-		with, total, 100*float64(with)/float64(max(total, 1)))
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"log"
+	"os"
+
+	"adscape/internal/obs"
+	"adscape/internal/partial"
+	"adscape/internal/report"
+	"adscape/internal/webgen"
+)
+
+// exitPartialRejected is the documented exit code (7) for every class of
+// partial-results rejection: corrupt files, foreign format versions,
+// overlapping partitions, incompatible worker configurations, and
+// incomplete (drained) partials. The log message names the offending file.
+const exitPartialRejected = 7
+
+type mergeConfig struct {
+	seed     int64
+	seedSet  bool
+	sites    int
+	sitesSet bool
+
+	workers      int
+	users        bool
+	threshold    int
+	weblogOut    string
+	verdictCache int
+	failDegraded float64
+	obs          *obs.Registry
+}
+
+// runMerge is the reduce phase: load and validate the partial set, fold it
+// with the merge algebra, and render the combined report through the same
+// path a single-process run uses — so the output is byte-identical to
+// analyzing the whole input in one process (DESIGN.md §13).
+func runMerge(paths []string, cfg mergeConfig) int {
+	files, err := partial.LoadAll(paths)
+	if err != nil {
+		log.Print(err)
+		return exitPartialRejected
+	}
+	m, err := partial.Reduce(files)
+	if err != nil {
+		log.Print(err)
+		return exitPartialRejected
+	}
+
+	// The partials pin the world (seed, site catalog): the merge
+	// reclassifies against the filter lists they were produced with. An
+	// explicit contradicting flag is a usage error, not something to
+	// silently override.
+	if cfg.seedSet && cfg.seed != m.Config.Seed {
+		log.Printf("-seed %d contradicts the partials (produced with seed %d)", cfg.seed, m.Config.Seed)
+		return 2
+	}
+	if cfg.sitesSet && cfg.sites != m.Config.Sites {
+		log.Printf("-sites %d contradicts the partials (produced with sites %d)", cfg.sites, m.Config.Sites)
+		return 2
+	}
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = m.Config.Sites
+	wopt.Seed = m.Config.Seed
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		log.Printf("building world (filter lists): %v", err)
+		return 1
+	}
+	// Cross-check this build's compiled lists against the fingerprint the
+	// workers classified with: a drifted rule set would merge cleanly and
+	// report subtly wrong ad counts.
+	if got := partial.EngineHash(world.Bundle.ClassifierEngine()); got != m.Config.EngineHash {
+		log.Printf("%v: this build compiles filter lists to %s, partials carry %s (%s)",
+			partial.ErrFingerprint, got, m.Config.EngineHash, paths[0])
+		return exitPartialRejected
+	}
+
+	d := report.Data{
+		Workers:      m.Workers,
+		Stats:        m.Stats,
+		Reader:       m.Reader,
+		Table:        m.Table,
+		Restarts:     m.Restarts,
+		LostFlows:    m.LostFlows,
+		Transactions: m.Transactions,
+		TLSFlows:     m.TLSFlows,
+	}
+	for _, s := range m.Shards {
+		d.Shards = append(d.Shards, report.Shard{
+			Shard: s.Shard, Packets: s.Packets, Stats: s.Stats, Table: s.Table,
+		})
+	}
+	log.Printf("merged %d partials (%d transactions, %d tls flows)",
+		len(m.Parts), len(m.Transactions), len(m.TLSFlows))
+
+	if err := report.Print(os.Stdout, world, d, report.Options{
+		Workers:      cfg.workers,
+		Users:        cfg.users,
+		Threshold:    cfg.threshold,
+		WeblogPath:   cfg.weblogOut,
+		VerdictCache: cfg.verdictCache,
+		Obs:          cfg.obs,
+	}); err != nil {
+		log.Print(err)
+		return 1
+	}
+	if cfg.failDegraded >= 0 {
+		if frac := report.DegradedFraction(d); frac > cfg.failDegraded {
+			log.Printf("degraded fraction %.4f exceeds -fail-degraded %.4f", frac, cfg.failDegraded)
+			return 3
+		}
+	}
+	return 0
+}

@@ -1,0 +1,409 @@
+// Distributed map-reduce end to end: the merge of partials over any
+// flow-complete partitioning of a trace must reproduce the single-process
+// report byte for byte, for randomized uneven splits and shuffled merge
+// orders — including a partition whose worker was drained mid-stream and
+// resumed to completion before emitting its partial.
+package integration
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/partial"
+	"adscape/internal/pipeline"
+	"adscape/internal/rbn"
+	"adscape/internal/report"
+	"adscape/internal/runz"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+const distWorkers = 4
+
+// distWorld and distTrace lazily build the shared world and sorted trace for
+// the distributed tests.
+var distOnce struct {
+	sync.Once
+	world *webgen.World
+	trace string
+	total int64
+	err   error
+}
+
+func distFixture(t *testing.T) (*webgen.World, string, int64) {
+	t.Helper()
+	distOnce.Do(func() {
+		wopt := webgen.DefaultOptions()
+		wopt.NumSites = 120
+		world, err := webgen.NewWorld(wopt)
+		if err != nil {
+			distOnce.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "dist-fixture-*")
+		if err != nil {
+			distOnce.err = err
+			return
+		}
+		raw := filepath.Join(dir, "raw.trace")
+		f, err := os.Create(raw)
+		if err != nil {
+			distOnce.err = err
+			return
+		}
+		w, err := wire.NewWriter(f)
+		if err != nil {
+			distOnce.err = err
+			return
+		}
+		opt := rbn.Options{
+			World: world, Name: "dist", Households: 10,
+			Start:    time.Date(2015, 8, 12, 9, 0, 0, 0, time.UTC),
+			Duration: 60 * time.Minute, Seed: 53,
+			AnonKey: []byte("dist"), PagesPerHour: 5, Parallelism: 4,
+		}
+		if _, err := rbn.Simulate(opt, w.Write); err != nil {
+			distOnce.err = err
+			return
+		}
+		if err := w.Flush(); err != nil {
+			distOnce.err = err
+			return
+		}
+		if err := f.Close(); err != nil {
+			distOnce.err = err
+			return
+		}
+		sorted := filepath.Join(dir, "rbn.trace")
+		sortTraceErr := func() error {
+			fin, err := os.Open(raw)
+			if err != nil {
+				return err
+			}
+			defer fin.Close()
+			r, err := wire.NewReader(fin)
+			if err != nil {
+				return err
+			}
+			fout, err := os.Create(sorted)
+			if err != nil {
+				return err
+			}
+			defer fout.Close()
+			sw, err := wire.NewWriter(fout)
+			if err != nil {
+				return err
+			}
+			if err := wire.SortTrace(r, sw, wire.SortOptions{MaxInMemory: 1 << 16, TempDir: dir}); err != nil {
+				return err
+			}
+			return sw.Flush()
+		}()
+		if sortTraceErr != nil {
+			distOnce.err = sortTraceErr
+			return
+		}
+		total, err := partial.CountPackets(sorted)
+		if err != nil {
+			distOnce.err = err
+			return
+		}
+		distOnce.world = world
+		distOnce.trace = sorted
+		distOnce.total = total
+	})
+	if distOnce.err != nil {
+		t.Fatal(distOnce.err)
+	}
+	return distOnce.world, distOnce.trace, distOnce.total
+}
+
+func distConfig(world *webgen.World) partial.Config {
+	return partial.Config{
+		Seed:       webgen.DefaultOptions().Seed,
+		Sites:      120,
+		Workers:    distWorkers,
+		Strict:     false,
+		Limits:     analyzer.Limits{},
+		EngineHash: partial.EngineHash(world.Bundle.ClassifierEngine()),
+	}
+}
+
+func distReportOptions() report.Options {
+	return report.Options{
+		Workers:      distWorkers,
+		Users:        true,
+		Threshold:    300,
+		VerdictCache: abp.DefaultVerdictCacheEntries,
+	}
+}
+
+// runTracePart runs the supervised engine over one trace file and returns
+// the result plus the reader's stats.
+func runTracePart(t *testing.T, path string, opt runz.Options) (*runz.Result, wire.ReaderStats) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := wire.NewReaderOptions(f, wire.ReaderOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runz.Run(r, opt)
+	if res == nil {
+		t.Fatal(err)
+	}
+	return res, r.Stats()
+}
+
+// emitPartial analyzes one part file to completion and saves its partial.
+func emitPartial(t *testing.T, world *webgen.World, partPath, outPath, setID string, idx, cnt int) {
+	t.Helper()
+	res, rs := runTracePart(t, partPath, runz.Options{Workers: distWorkers})
+	if res.Outcome != runz.OutcomeCompleted {
+		t.Fatalf("part %d: outcome %v", idx, res.Outcome)
+	}
+	engine := world.Bundle.ClassifierEngine()
+	cls := pipeline.Classify(core.NewPipeline(engine), res.Transactions, 1)
+	p, err := partial.Build(res, rs, distConfig(world), partial.Partition{
+		TraceID:   partial.FingerprintFile(partPath),
+		TraceName: filepath.Base(partPath),
+		SetID:     setID, Index: idx, Count: cnt,
+	}, cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partial.Save(outPath, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func renderMerged(t *testing.T, world *webgen.World, paths []string) []byte {
+	t.Helper()
+	files, err := partial.LoadAll(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := partial.Reduce(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := report.Data{
+		Workers: m.Workers, Stats: m.Stats, Reader: m.Reader, Table: m.Table,
+		Restarts: m.Restarts, LostFlows: m.LostFlows,
+		Transactions: m.Transactions, TLSFlows: m.TLSFlows,
+	}
+	for _, s := range m.Shards {
+		d.Shards = append(d.Shards, report.Shard{Shard: s.Shard, Packets: s.Packets, Stats: s.Stats, Table: s.Table})
+	}
+	var buf bytes.Buffer
+	if err := report.Print(&buf, world, d, distReportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDistributedMergeProperty: merge-of-partials ≡ one-shot, across
+// randomized partition splits (uneven cut points, 1..8 parts) and shuffled
+// merge order.
+func TestDistributedMergeProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test simulates a trace")
+	}
+	world, trace, total := distFixture(t)
+
+	// Single-process reference report.
+	res, rs := runTracePart(t, trace, runz.Options{Workers: distWorkers})
+	if res.Outcome != runz.OutcomeCompleted || len(res.Transactions) == 0 {
+		t.Fatalf("reference run: outcome=%v txs=%d", res.Outcome, len(res.Transactions))
+	}
+	d := report.Data{
+		Workers: res.Workers, Stats: res.Stats, Reader: rs, Table: res.Table,
+		Restarts: res.Restarts, LostFlows: res.LostFlows,
+		Transactions: res.Transactions, TLSFlows: res.TLSFlows,
+	}
+	for _, s := range res.Shards {
+		d.Shards = append(d.Shards, report.Shard{Shard: s.Shard, Packets: s.Packets, Stats: s.Stats, Table: s.Table})
+	}
+	var refBuf bytes.Buffer
+	if err := report.Print(&refBuf, world, d, distReportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	ref := refBuf.Bytes()
+	if !strings.Contains(string(ref), "active browsers") {
+		t.Fatal("reference report missing the inference section")
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		n := 1 + rng.Intn(8)
+		// Uneven split: n-1 random distinct interior cut ranks.
+		cuts := map[int64]bool{}
+		for len(cuts) < n-1 {
+			cuts[1+rng.Int63n(total-1)] = true
+		}
+		bounds := make([]int64, 0, n)
+		for c := range cuts {
+			bounds = append(bounds, c)
+		}
+		bounds = append(bounds, total)
+		for i := 0; i < len(bounds); i++ {
+			for j := i + 1; j < len(bounds); j++ {
+				if bounds[j] < bounds[i] {
+					bounds[i], bounds[j] = bounds[j], bounds[i]
+				}
+			}
+		}
+
+		dir := t.TempDir()
+		allParts, err := partial.SplitTrace(trace, bounds, dir, "part")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random cuts can leave a span with no flow openings; an empty part
+		// carries no packets, so drop it and renumber (adshard instead
+		// re-splits until every worker has input).
+		parts := allParts[:0]
+		for _, part := range allParts {
+			if part.Packets > 0 {
+				parts = append(parts, part)
+			}
+		}
+		setID := "trial"
+		paths := make([]string, len(parts))
+		for i, part := range parts {
+			paths[i] = filepath.Join(dir, "part.bin."+filepath.Base(part.Path))
+			emitPartial(t, world, part.Path, paths[i], setID, i, len(parts))
+		}
+		rng.Shuffle(len(paths), func(i, j int) { paths[i], paths[j] = paths[j], paths[i] })
+
+		got := renderMerged(t, world, paths)
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("trial %d (n=%d, bounds=%v): merged report differs from single-process reference:\n--- merged\n%s\n--- reference\n%s",
+				trial, n, bounds, got, ref)
+		}
+	}
+}
+
+// TestDrainedPartialResume: a worker drained mid-stream must refuse to emit
+// a partial; resumed to completion it must emit a byte-identical partial to
+// an undisturbed run, and the merge including it must match the reference.
+func TestDrainedPartialResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test simulates a trace")
+	}
+	world, trace, total := distFixture(t)
+	dir := t.TempDir()
+
+	// Two flow-complete halves; worker 0 is the one we drain.
+	parts, err := partial.SplitTrace(trace, partial.EqualRankBounds(total, 2), dir, "part")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Undisturbed partial of half 0.
+	oneshot := filepath.Join(dir, "oneshot.bin")
+	emitPartial(t, world, parts[0].Path, oneshot, "drainjob", 0, 2)
+
+	// Drained run over half 0: stop as soon as the first periodic
+	// checkpoint lands, so the drain is mid-stream by construction.
+	ckPath := filepath.Join(dir, "half0.ckpt")
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	res, rs := runTracePart(t, parts[0].Path, runz.Options{
+		Workers:        distWorkers,
+		CheckpointPath: ckPath, CheckpointEvery: parts[0].Packets / 4,
+		TraceID: partial.FingerprintFile(parts[0].Path),
+		Stop:    stop,
+		OnEvent: func(msg string) {
+			if strings.HasPrefix(msg, "checkpoint ") {
+				stopOnce.Do(func() { close(stop) })
+			}
+		},
+	})
+	if res.Outcome != runz.OutcomeStopped {
+		t.Fatalf("drained run outcome = %v, want stopped", res.Outcome)
+	}
+	// The emit path must refuse to serialize the incomplete state.
+	cls := pipeline.Classify(core.NewPipeline(world.Bundle.ClassifierEngine()), res.Transactions, 1)
+	if _, err := partial.Build(res, rs, distConfig(world), partial.Partition{
+		TraceID: partial.FingerprintFile(parts[0].Path), SetID: "drainjob", Index: 0, Count: 2,
+	}, cls, nil); err == nil {
+		t.Fatal("Build accepted a drained (incomplete) run")
+	}
+
+	// Resume to completion and emit.
+	ck, err := runz.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rs = runTracePart(t, parts[0].Path, runz.Options{
+		Workers:        distWorkers,
+		CheckpointPath: ckPath, CheckpointEvery: parts[0].Packets / 4,
+		TraceID: partial.FingerprintFile(parts[0].Path),
+		Resume:  ck,
+	})
+	if res.Outcome != runz.OutcomeCompleted || res.ResumedPackets == 0 {
+		t.Fatalf("resumed run: outcome=%v resumed=%d", res.Outcome, res.ResumedPackets)
+	}
+	engine := world.Bundle.ClassifierEngine()
+	cls = pipeline.Classify(core.NewPipeline(engine), res.Transactions, 1)
+	p, err := partial.Build(res, rs, distConfig(world), partial.Partition{
+		TraceID:   partial.FingerprintFile(parts[0].Path),
+		TraceName: filepath.Base(parts[0].Path),
+		SetID:     "drainjob", Index: 0, Count: 2,
+	}, cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := filepath.Join(dir, "resumed.bin")
+	if err := partial.Save(resumed, p); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(oneshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed partial differs byte-for-byte from the one-shot partial")
+	}
+
+	// The merge including the drained-and-resumed half matches the
+	// single-process reference.
+	other := filepath.Join(dir, "half1.bin")
+	emitPartial(t, world, parts[1].Path, other, "drainjob", 1, 2)
+	got := renderMerged(t, world, []string{resumed, other})
+
+	res, rs = runTracePart(t, trace, runz.Options{Workers: distWorkers})
+	d := report.Data{
+		Workers: res.Workers, Stats: res.Stats, Reader: rs, Table: res.Table,
+		Restarts: res.Restarts, LostFlows: res.LostFlows,
+		Transactions: res.Transactions, TLSFlows: res.TLSFlows,
+	}
+	for _, s := range res.Shards {
+		d.Shards = append(d.Shards, report.Shard{Shard: s.Shard, Packets: s.Packets, Stats: s.Stats, Table: s.Table})
+	}
+	var refBuf bytes.Buffer
+	if err := report.Print(&refBuf, world, d, distReportOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refBuf.Bytes()) {
+		t.Fatal("merge including the resumed partial differs from the single-process reference")
+	}
+}

@@ -1,0 +1,68 @@
+package partial
+
+import (
+	"fmt"
+
+	"adscape/internal/obs"
+	"adscape/internal/pipeline"
+	"adscape/internal/runz"
+	"adscape/internal/wire"
+)
+
+// Build converts a completed supervised run into the envelope form. It is
+// the single conversion point cmd/adtrace and the tests share, so emit-time
+// invariants live here: only completed runs with every shard recovered may
+// become partials (anything else would under-count its partition silently),
+// maps become sorted slices, and wall-clock measurements are stripped.
+//
+// cls must come from a single-threaded classify (pipeline workers = 1): the
+// cache hit/miss split depends on which goroutine sees a URL first, and the
+// envelope must be byte-stable. Its ClassifyNanos is zeroed here regardless.
+func Build(res *runz.Result, reader wire.ReaderStats, cfg Config, part Partition, cls *pipeline.ClassifyResult, snap *obs.Snapshot) (*Partial, error) {
+	if res.Outcome != runz.OutcomeCompleted {
+		return nil, fmt.Errorf("partial: run did not complete (%s): refusing to emit an incomplete partial", res.Outcome)
+	}
+	for _, s := range res.Shards {
+		if s.Wedged {
+			return nil, fmt.Errorf("partial: shard %d wedged, its state is unrecovered: refusing to emit", s.Shard)
+		}
+	}
+	if len(res.Shards) != cfg.Workers {
+		return nil, fmt.Errorf("partial: run has %d shards, config says %d workers", len(res.Shards), cfg.Workers)
+	}
+	part.Complete = true
+
+	p := &Partial{
+		Version:   FormatVersion,
+		Partition: part,
+		Config:    cfg,
+
+		PacketsRouted: res.PacketsRouted,
+		Stats:         res.Stats,
+		Table:         res.Table,
+		Reader:        reader,
+		Restarts:      res.Restarts,
+		LostFlows:     res.LostFlows,
+
+		Transactions: res.Transactions,
+		TLSFlows:     res.TLSFlows,
+	}
+	for _, s := range res.Shards {
+		p.Shards = append(p.Shards, Shard{
+			Shard:     s.Shard,
+			Packets:   s.Packets,
+			Restarts:  s.Restarts,
+			LostFlows: s.LostFlows,
+			Stats:     s.Stats,
+			Table:     s.Table,
+		})
+	}
+	if cls != nil {
+		p.Class = classFromStats(cls.Stats)
+		p.Users = SortUsers(cls.Users)
+		p.Perf = cls.Perf
+		p.Perf.ClassifyNanos = 0
+	}
+	p.Obs = obsFromSnapshot(snap)
+	return p, nil
+}

@@ -1,0 +1,132 @@
+package partial
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Partial file layout, mirroring the checkpoint envelope (runz): an 8-byte
+// header ("ADPART" + zero + format-version byte), a uint32 CRC-32 (IEEE) of
+// the payload, a uint64 payload length, then the gob-encoded Partial.
+// Writes are atomic (temp file + fsync + rename); loads verify magic,
+// version, length, and checksum before decoding, so a torn or bit-flipped
+// file is a typed error, never silently wrong accumulators.
+
+var partMagic = [8]byte{'A', 'D', 'P', 'A', 'R', 'T', 0, FormatVersion}
+
+// gob assigns type IDs from a process-global sequence, so a stream's bytes
+// depend on which gob types the process happened to encode first — a run
+// that wrote a checkpoint before its partial would emit shifted IDs and a
+// different (if equivalent) file. Encoding the envelope's type tree at init
+// pins its IDs ahead of any runtime gob use, making Save a pure function of
+// the Partial's value.
+func init() {
+	gob.NewEncoder(io.Discard).Encode(&Partial{})
+}
+
+// maxPartial bounds the payload a load will buffer; matches the checkpoint
+// cap (a partial is strictly smaller than a checkpoint of the same slice).
+const maxPartial = 16 << 30
+
+// Save atomically writes p to path.
+func Save(path string, p *Partial) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(p); err != nil {
+		return fmt.Errorf("partial: encoding %s: %w", path, err)
+	}
+	var hdr [20]byte
+	copy(hdr[:8], partMagic[:])
+	binary.BigEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.BigEndian.PutUint64(hdr[12:], uint64(payload.Len()))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("partial: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload.Bytes())
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("partial: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("partial: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("partial: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("partial: publishing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads and validates one partial file. Structural damage maps to
+// ErrCorrupt; a valid envelope of a foreign version maps to ErrVersion.
+func Load(path string) (*Partial, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [20]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %s: short header: %v", ErrCorrupt, path, err)
+	}
+	if [6]byte(hdr[:6]) != [6]byte(partMagic[:6]) || hdr[6] != 0 {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	if hdr[7] != FormatVersion {
+		return nil, fmt.Errorf("%w: %s carries version %d, this build speaks %d",
+			ErrVersion, path, hdr[7], FormatVersion)
+	}
+	wantCRC := binary.BigEndian.Uint32(hdr[8:])
+	wantLen := binary.BigEndian.Uint64(hdr[12:])
+	if wantLen > maxPartial {
+		return nil, fmt.Errorf("%w: %s: implausible payload length %d", ErrCorrupt, path, wantLen)
+	}
+	payload, err := io.ReadAll(io.LimitReader(f, int64(wantLen)+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: reading payload: %v", ErrCorrupt, path, err)
+	}
+	if uint64(len(payload)) != wantLen {
+		return nil, fmt.Errorf("%w: %s: payload is %d bytes, header says %d",
+			ErrCorrupt, path, len(payload), wantLen)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	p := &Partial{}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(p); err != nil {
+		return nil, fmt.Errorf("%w: %s: decoding: %v", ErrCorrupt, path, err)
+	}
+	if p.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: %s carries version %d, this build speaks %d",
+			ErrVersion, path, p.Version, FormatVersion)
+	}
+	return p, nil
+}
+
+// LoadAll loads a merge set, preserving the argument order (Reduce imposes
+// its own deterministic order).
+func LoadAll(paths []string) ([]File, error) {
+	files := make([]File, 0, len(paths))
+	for _, path := range paths {
+		p, err := Load(path)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, File{Path: path, P: p})
+	}
+	return files, nil
+}

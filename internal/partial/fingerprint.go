@@ -1,0 +1,42 @@
+package partial
+
+import (
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"adscape/internal/abp"
+)
+
+// FingerprintFile fingerprints a trace input the same way runz checkpoints
+// do: file size plus a CRC-32 of the first 64 KiB. Cheap enough to compute
+// on every run, strong enough to catch "merged the wrong file".
+func FingerprintFile(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return ""
+	}
+	buf := make([]byte, 64<<10)
+	n, _ := io.ReadFull(f, buf)
+	return fmt.Sprintf("%d:%08x", st.Size(), crc32.ChecksumIEEE(buf[:n]))
+}
+
+// EngineHash fingerprints a compiled classification engine by hashing its
+// rule texts in list order (FNV-64a, rules separated by newlines). Partials
+// classified against different rules carry different hashes and refuse to
+// merge, independently of how the lists were obtained.
+func EngineHash(e *abp.Engine) string {
+	h := fnv.New64a()
+	for _, rule := range e.RuleTexts() {
+		io.WriteString(h, rule)
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}

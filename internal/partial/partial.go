@@ -1,0 +1,505 @@
+// Package partial defines the serialized partial-results interchange format
+// for distributed map-reduce runs: a versioned, CRC-checked gob envelope
+// carrying every mergeable accumulator of one worker's analysis over one
+// trace partition, plus the sorted weblog records a deterministic reduce
+// needs. The merge algebra is the one internal/pipeline and internal/runz
+// already property-test (associative, commutative, zero-identity), so
+// reducing the partials of a flow-complete partition reproduces exactly what
+// a single process over the whole trace set would report — byte-identically,
+// once the shared report path renders the merged state (DESIGN.md §13).
+//
+// A partial is only as trustworthy as its provenance, so loads and merges
+// validate strictly: the format version must match, the worker-configuration
+// fingerprints (seed, site catalog, shard count, ingest limits, compiled
+// filter lists) must be identical across every partial, and the partition
+// descriptors must be pairwise disjoint and individually complete. Any
+// violation is a typed error naming the offending file; the CLI maps the
+// whole class onto one documented exit code.
+package partial
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"sort"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/inference"
+	"adscape/internal/obs"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// FormatVersion is the interchange format version this build reads and
+// writes. Bump it whenever the envelope's semantics change incompatibly;
+// loads of any other version fail with ErrVersion.
+const FormatVersion = 1
+
+// Typed validation failures. Save/Load/Reduce wrap these with the offending
+// file's path, so errors.Is works and the message names the file.
+var (
+	// ErrCorrupt marks a file that failed structural validation: bad magic,
+	// short file, checksum mismatch, or an undecodable payload.
+	ErrCorrupt = errors.New("partial: file corrupt")
+	// ErrVersion marks a structurally valid envelope whose format version
+	// this build does not speak.
+	ErrVersion = errors.New("partial: unsupported format version")
+	// ErrFingerprint marks a merge set whose worker configurations differ:
+	// the partials were produced by incompatible engines, worlds, shard
+	// counts, or ingest limits, and their accumulators must not be summed.
+	ErrFingerprint = errors.New("partial: incompatible worker configuration")
+	// ErrOverlap marks a merge set in which two partials claim the same
+	// input (same trace fingerprint, or the same partition slot of the same
+	// split job): summing them would double-count.
+	ErrOverlap = errors.New("partial: overlapping partitions")
+	// ErrIncomplete marks a partial whose producing run did not reach end of
+	// input (it was drained by a signal or aborted); resume the worker to
+	// completion before merging.
+	ErrIncomplete = errors.New("partial: incomplete partial")
+)
+
+// Config is the worker-configuration fingerprint stamped into every partial.
+// Two partials are mergeable only when their Configs are identical: every
+// field below changes the analysis output, so a mismatch means the
+// accumulators describe different experiments.
+type Config struct {
+	// Seed and Sites identify the generated world (and with it the filter
+	// lists the classifier compiles).
+	Seed  int64
+	Sites int
+	// Workers is the per-process analyzer shard count. The per-shard
+	// accumulators are keyed by the flow-hash layout, so shard i of every
+	// partial must mean the same flow subset.
+	Workers int
+	// Strict and Limits pin the ingest bounds; eviction and resync
+	// decisions depend on them.
+	Strict bool
+	Limits analyzer.Limits
+	// EngineHash fingerprints the compiled filter lists (FNV-1a over the
+	// rule texts in list order) — a direct check that both sides classified
+	// against the same rules, independent of how the world was derived.
+	EngineHash string
+}
+
+// diff returns a human-readable description of the first differing field,
+// or "" when the configs are identical.
+func (c Config) diff(o Config) string {
+	switch {
+	case c.Seed != o.Seed:
+		return fmt.Sprintf("seed %d vs %d", c.Seed, o.Seed)
+	case c.Sites != o.Sites:
+		return fmt.Sprintf("sites %d vs %d", c.Sites, o.Sites)
+	case c.Workers != o.Workers:
+		return fmt.Sprintf("workers %d vs %d", c.Workers, o.Workers)
+	case c.Strict != o.Strict:
+		return fmt.Sprintf("strict %v vs %v", c.Strict, o.Strict)
+	case c.Limits != o.Limits:
+		return fmt.Sprintf("limits %+v vs %+v", c.Limits, o.Limits)
+	case c.EngineHash != o.EngineHash:
+		return fmt.Sprintf("engine/filter-list hash %s vs %s", c.EngineHash, o.EngineHash)
+	}
+	return ""
+}
+
+// Partition describes which slice of the input a partial covers. Reduce uses
+// it to reject double-counting and to order the fold deterministically.
+type Partition struct {
+	// TraceID fingerprints the trace file this worker analyzed
+	// (size:crc32-of-first-64KiB, the same fingerprint checkpoints use).
+	TraceID string
+	// TraceName is the input's base name, for error messages only.
+	TraceName string
+	// SetID identifies the split job that produced this partition ("" for a
+	// standalone emit). Partials of one job share the SetID; Index/Count
+	// locate the slice within it.
+	SetID string
+	Index int
+	Count int
+	// Complete records that the producing run consumed its whole slice.
+	// Reduce refuses incomplete partials: a drained worker must be resumed
+	// to completion first.
+	Complete bool
+}
+
+// Shard is one analyzer shard's accumulator slice. Shard i of every partial
+// in a merge set covers the same flow-hash residue class, so the per-shard
+// sums reproduce what shard i of a single-process run would hold.
+type Shard struct {
+	Shard     int
+	Packets   int64
+	Restarts  int
+	LostFlows int
+	Stats     analyzer.Stats
+	Table     wire.TableStats
+}
+
+// ListCount is one filter list's hit count; Class stores the per-list map as
+// a name-sorted slice so the gob encoding of a partial is byte-stable (map
+// iteration order would otherwise leak into the file).
+type ListCount struct {
+	Name string
+	Hits int
+}
+
+// Class is core.Stats flattened for stable serialization.
+type Class struct {
+	Requests                  int
+	Bytes                     int64
+	AdRequests                int
+	AdBytes                   int64
+	Whitelisted               int
+	WhitelistedAndBlacklisted int
+	BodilessExcluded          int
+	PerList                   []ListCount
+}
+
+func classFromStats(s *core.Stats) Class {
+	if s == nil {
+		return Class{}
+	}
+	c := Class{
+		Requests:                  s.Requests,
+		Bytes:                     s.Bytes,
+		AdRequests:                s.AdRequests,
+		AdBytes:                   s.AdBytes,
+		Whitelisted:               s.Whitelisted,
+		WhitelistedAndBlacklisted: s.WhitelistedAndBlacklisted,
+		BodilessExcluded:          s.BodilessExcluded,
+	}
+	for name, hits := range s.PerList {
+		c.PerList = append(c.PerList, ListCount{Name: name, Hits: hits})
+	}
+	sort.Slice(c.PerList, func(i, j int) bool { return c.PerList[i].Name < c.PerList[j].Name })
+	return c
+}
+
+// Stats rebuilds the core accumulator.
+func (c Class) Stats() *core.Stats {
+	s := core.NewStats()
+	s.Requests = c.Requests
+	s.Bytes = c.Bytes
+	s.AdRequests = c.AdRequests
+	s.AdBytes = c.AdBytes
+	s.Whitelisted = c.Whitelisted
+	s.WhitelistedAndBlacklisted = c.WhitelistedAndBlacklisted
+	s.BodilessExcluded = c.BodilessExcluded
+	for _, lc := range c.PerList {
+		s.PerList[lc.Name] = lc.Hits
+	}
+	return s
+}
+
+// Obs metric entries, name-sorted for the same byte-stability reason.
+type ObsCounter struct {
+	Name  string
+	Value uint64
+}
+type ObsGauge struct {
+	Name  string
+	Value int64
+}
+type ObsHistogram struct {
+	Name   string
+	Bounds []int64
+	Counts []uint64
+	Sum    int64
+}
+
+// ObsMetrics is an obs.Snapshot flattened for stable serialization. It is a
+// diagnostic payload: the reduce merges it with the snapshot algebra, but
+// nothing deterministic is derived from it (gauges include evaluated-now
+// values like checkpoint age).
+type ObsMetrics struct {
+	Counters   []ObsCounter
+	Gauges     []ObsGauge
+	Histograms []ObsHistogram
+}
+
+func obsFromSnapshot(s *obs.Snapshot) ObsMetrics {
+	var m ObsMetrics
+	if s == nil {
+		return m
+	}
+	for n, v := range s.Counters {
+		m.Counters = append(m.Counters, ObsCounter{Name: n, Value: v})
+	}
+	for n, v := range s.Gauges {
+		m.Gauges = append(m.Gauges, ObsGauge{Name: n, Value: v})
+	}
+	for n, h := range s.Histograms {
+		m.Histograms = append(m.Histograms, ObsHistogram{Name: n, Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum})
+	}
+	sort.Slice(m.Counters, func(i, j int) bool { return m.Counters[i].Name < m.Counters[j].Name })
+	sort.Slice(m.Gauges, func(i, j int) bool { return m.Gauges[i].Name < m.Gauges[j].Name })
+	sort.Slice(m.Histograms, func(i, j int) bool { return m.Histograms[i].Name < m.Histograms[j].Name })
+	return m
+}
+
+// Snapshot rebuilds the obs form.
+func (m ObsMetrics) Snapshot() *obs.Snapshot {
+	s := &obs.Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]obs.HistogramSnapshot),
+	}
+	for _, c := range m.Counters {
+		s.Counters[c.Name] = c.Value
+	}
+	for _, g := range m.Gauges {
+		s.Gauges[g.Name] = g.Value
+	}
+	for _, h := range m.Histograms {
+		hs := obs.HistogramSnapshot{Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum}
+		for _, c := range h.Counts {
+			hs.Count += c
+		}
+		s.Histograms[h.Name] = hs
+	}
+	return s
+}
+
+// Partial is one worker's serialized pre-report state: the complete
+// mergeable output of analyzing one partition of the trace set.
+//
+// Everything in the envelope is deterministic for a given (partition,
+// config) pair — maps are stored as sorted slices and wall-clock
+// measurements are excluded — so emitting the same partition twice, or
+// resuming a drained worker to completion, yields byte-identical files.
+type Partial struct {
+	Version   int
+	Partition Partition
+	Config    Config
+
+	// Ingest accumulators (the wire/analyzer layer).
+	PacketsRouted int64
+	Stats         analyzer.Stats
+	Table         wire.TableStats
+	Reader        wire.ReaderStats
+	Restarts      int
+	LostFlows     int
+	Shards        []Shard
+
+	// The partition's records in canonical weblog order — the input of the
+	// deterministic reduce (concatenate, re-sort, reclassify).
+	Transactions []*weblog.Transaction
+	TLSFlows     []*weblog.TLSFlow
+
+	// Classification accumulators for this partition in isolation, computed
+	// single-threaded at emit time so they are byte-stable. They are exact
+	// when the partition is user-complete (e.g. household-hash splits) and
+	// approximate otherwise — page-reconstruction context resets at
+	// partition boundaries — which is why the reduce reclassifies the merged
+	// records instead of summing these (DESIGN.md §13). Perf.ClassifyNanos
+	// is zeroed: wall-clock time is measurement, not state.
+	Class Class
+	Users []inference.UserStats
+	Perf  core.PerfStats
+
+	// Obs is the worker's end-of-run metrics snapshot, when live
+	// instrumentation was attached. Diagnostic only.
+	Obs ObsMetrics
+}
+
+// UsersMap rebuilds the per-user accumulator map from the sorted slice.
+func (p *Partial) UsersMap() map[core.UserKey]*inference.UserStats {
+	out := make(map[core.UserKey]*inference.UserStats, len(p.Users))
+	for i := range p.Users {
+		u := p.Users[i]
+		out[u.Key] = &u
+	}
+	return out
+}
+
+// SortUsers flattens a per-user accumulator map into the canonical
+// (IP, User-Agent)-sorted slice the envelope stores.
+func SortUsers(users map[core.UserKey]*inference.UserStats) []inference.UserStats {
+	out := make([]inference.UserStats, 0, len(users))
+	for _, u := range users {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.IP != out[j].Key.IP {
+			return out[i].Key.IP < out[j].Key.IP
+		}
+		return out[i].Key.UserAgent < out[j].Key.UserAgent
+	})
+	return out
+}
+
+// File pairs a loaded partial with the path it came from, for error
+// attribution during reduce.
+type File struct {
+	Path string
+	P    *Partial
+}
+
+// Merged is the reduced state of a validated partial set, shaped for the
+// shared report path.
+type Merged struct {
+	Workers       int
+	PacketsRouted int64
+	Stats         analyzer.Stats
+	Table         wire.TableStats
+	Reader        wire.ReaderStats
+	Restarts      int
+	LostFlows     int
+	Shards        []Shard
+	Transactions  []*weblog.Transaction
+	TLSFlows      []*weblog.TLSFlow
+	// Class/Users/Perf are the summed per-partition classification
+	// accumulators — diagnostic (see Partial.Class); the report path
+	// reclassifies the merged records for the authoritative numbers.
+	Class *core.Stats
+	Users map[core.UserKey]*inference.UserStats
+	Perf  core.PerfStats
+	Obs   *obs.Snapshot
+	// Config is the (identical) worker configuration of every input.
+	Config Config
+	// Parts lists the partition descriptors in reduce order.
+	Parts []Partition
+}
+
+// Validate checks a merge set without reducing it: every partial must carry
+// the current format version, identical configs, completed partitions, and
+// pairwise-disjoint coverage. The returned error wraps the typed sentinel
+// and names the offending file.
+func Validate(files []File) error {
+	if len(files) == 0 {
+		return errors.New("partial: empty merge set")
+	}
+	ref := files[0]
+	for _, f := range files {
+		if f.P.Version != FormatVersion {
+			return fmt.Errorf("%w: %s carries version %d, this build speaks %d",
+				ErrVersion, f.Path, f.P.Version, FormatVersion)
+		}
+		if !f.P.Partition.Complete {
+			return fmt.Errorf("%w: %s was written by a run that did not reach end of input (resume it to completion before merging)",
+				ErrIncomplete, f.Path)
+		}
+		if d := ref.P.Config.diff(f.P.Config); d != "" {
+			return fmt.Errorf("%w: %s differs from %s: %s", ErrFingerprint, f.Path, ref.Path, d)
+		}
+		if len(f.P.Shards) != f.P.Config.Workers {
+			return fmt.Errorf("%w: %s carries %d shard slices for %d workers",
+				ErrCorrupt, f.Path, len(f.P.Shards), f.P.Config.Workers)
+		}
+	}
+	byTrace := make(map[string]string, len(files))
+	bySlot := make(map[string]string, len(files))
+	setCount := make(map[string]int)
+	setFile := make(map[string]string)
+	for _, f := range files {
+		pt := f.P.Partition
+		if prev, ok := byTrace[pt.TraceID]; ok {
+			return fmt.Errorf("%w: %s and %s both cover trace %s (%s)",
+				ErrOverlap, f.Path, prev, pt.TraceName, pt.TraceID)
+		}
+		byTrace[pt.TraceID] = f.Path
+		if pt.SetID == "" {
+			continue
+		}
+		slot := fmt.Sprintf("%s#%d", pt.SetID, pt.Index)
+		if prev, ok := bySlot[slot]; ok {
+			return fmt.Errorf("%w: %s and %s both claim partition %d of split job %s",
+				ErrOverlap, f.Path, prev, pt.Index, pt.SetID)
+		}
+		bySlot[slot] = f.Path
+		if n, ok := setCount[pt.SetID]; ok && n != pt.Count {
+			return fmt.Errorf("%w: %s says split job %s has %d partitions, %s says %d",
+				ErrOverlap, f.Path, pt.SetID, pt.Count, setFile[pt.SetID], n)
+		}
+		setCount[pt.SetID] = pt.Count
+		setFile[pt.SetID] = f.Path
+		if pt.Index < 0 || pt.Index >= pt.Count {
+			return fmt.Errorf("%w: %s claims partition %d of %d", ErrCorrupt, f.Path, pt.Index, pt.Count)
+		}
+	}
+	// Coverage: a split job must be merged whole. A missing slice would not
+	// double-count anything, but the report would silently describe less
+	// input than it claims to.
+	for setID, count := range setCount {
+		for i := 0; i < count; i++ {
+			if _, ok := bySlot[fmt.Sprintf("%s#%d", setID, i)]; !ok {
+				return fmt.Errorf("%w: split job %s is missing partition %d of %d (first seen in %s)",
+					ErrIncomplete, setID, i, count, setFile[setID])
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce validates the set and folds it with the merge algebra, in
+// deterministic order (sorted by partition descriptor, so any load order —
+// and any shuffled command line — yields the same result). The sums are
+// order-independent anyway (the algebra is commutative); sorting makes the
+// fold, and anything derived from slice order, a pure function of the set.
+func Reduce(files []File) (*Merged, error) {
+	if err := Validate(files); err != nil {
+		return nil, err
+	}
+	ordered := append([]File(nil), files...)
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i].P.Partition, ordered[j].P.Partition
+		if c := cmp.Compare(a.SetID, b.SetID); c != 0 {
+			return c < 0
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.TraceID < b.TraceID
+	})
+
+	cfg := ordered[0].P.Config
+	m := &Merged{
+		Workers: cfg.Workers,
+		Config:  cfg,
+		Shards:  make([]Shard, cfg.Workers),
+		Class:   core.NewStats(),
+		Users:   make(map[core.UserKey]*inference.UserStats),
+		Obs: &obs.Snapshot{
+			Counters:   make(map[string]uint64),
+			Gauges:     make(map[string]int64),
+			Histograms: make(map[string]obs.HistogramSnapshot),
+		},
+	}
+	for i := range m.Shards {
+		m.Shards[i].Shard = i
+	}
+	for _, f := range ordered {
+		p := f.P
+		m.Parts = append(m.Parts, p.Partition)
+		m.PacketsRouted += p.PacketsRouted
+		m.Stats.Merge(p.Stats)
+		m.Table.Merge(p.Table)
+		m.Reader.Merge(p.Reader)
+		m.Restarts += p.Restarts
+		m.LostFlows += p.LostFlows
+		for _, s := range p.Shards {
+			if s.Shard < 0 || s.Shard >= len(m.Shards) {
+				return nil, fmt.Errorf("%w: %s carries shard index %d of %d", ErrCorrupt, f.Path, s.Shard, len(m.Shards))
+			}
+			d := &m.Shards[s.Shard]
+			d.Packets += s.Packets
+			d.Restarts += s.Restarts
+			d.LostFlows += s.LostFlows
+			d.Stats.Merge(s.Stats)
+			d.Table.Merge(s.Table)
+		}
+		m.Transactions = append(m.Transactions, p.Transactions...)
+		m.TLSFlows = append(m.TLSFlows, p.TLSFlows...)
+		m.Class.Merge(p.Class.Stats())
+		inference.MergeUsers(m.Users, p.UsersMap())
+		m.Perf.Merge(p.Perf)
+		if err := m.Obs.Merge(p.Obs.Snapshot()); err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, f.Path, err)
+		}
+	}
+	// The canonical total order makes the merged record sequence a pure
+	// function of the record multiset — the same step the in-process
+	// pipeline relies on for worker-count independence.
+	weblog.SortTransactions(m.Transactions)
+	weblog.SortTLSFlows(m.TLSFlows)
+	return m, nil
+}

@@ -1,0 +1,311 @@
+package partial
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/inference"
+	"adscape/internal/weblog"
+)
+
+func testConfig() Config {
+	return Config{Seed: 2015, Sites: 200, Workers: 2, EngineHash: "fnv64a:00000000deadbeef"}
+}
+
+// testPartial builds a minimal valid partial: current version, complete
+// partition, one shard slice per configured worker.
+func testPartial(traceID, setID string, idx, cnt int) *Partial {
+	return &Partial{
+		Version: FormatVersion,
+		Partition: Partition{
+			TraceID: traceID, TraceName: traceID + ".trace",
+			SetID: setID, Index: idx, Count: cnt, Complete: true,
+		},
+		Config: testConfig(),
+		Shards: []Shard{{Shard: 0}, {Shard: 1}},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := testPartial("t1", "job", 0, 1)
+	p.PacketsRouted = 1234
+	p.Stats = analyzer.Stats{Packets: 1234, HTTPTransactions: 56, TLSFlows: 7}
+	p.Shards[1].Packets = 700
+	p.Transactions = []*weblog.Transaction{{Host: "example.test", URI: "/a"}}
+	p.TLSFlows = []*weblog.TLSFlow{{}}
+	p.Class = Class{Requests: 56, AdRequests: 8, PerList: []ListCount{{Name: "easylist", Hits: 8}}}
+	p.Users = []inference.UserStats{{Key: core.UserKey{IP: 42, UserAgent: "ua"}, Requests: 56}}
+
+	path := filepath.Join(t.TempDir(), "p.bin")
+	if err := Save(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip diverged:\n save %+v\n load %+v", p, got)
+	}
+}
+
+// TestSaveByteStable: the envelope must be a pure function of the value —
+// including when unrelated gob encoding (a checkpoint) has already consumed
+// process-global gob type IDs.
+func TestSaveByteStable(t *testing.T) {
+	dir := t.TempDir()
+	p := testPartial("t1", "job", 0, 1)
+	p.Transactions = []*weblog.Transaction{{Host: "h", URI: "/u"}}
+	a := filepath.Join(dir, "a.bin")
+	if err := Save(a, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consume gob type IDs the way an interleaved checkpoint would.
+	type unrelated struct{ A, B int }
+	if err := gob.NewEncoder(io.Discard).Encode(unrelated{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := filepath.Join(dir, "b.bin")
+	if err := Save(b, p); err != nil {
+		t.Fatal(err)
+	}
+	ba, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("saving the same partial twice produced different bytes")
+	}
+}
+
+func saveTo(t *testing.T, dir, name string, p *Partial) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := Save(path, p); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := saveTo(t, dir, "p.bin", testPartial("t1", "", 0, 0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-3] ^= 0xff
+			return c
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"short header", func(b []byte) []byte { return b[:10] }},
+	}
+	for _, tc := range cases {
+		bad := filepath.Join(dir, "bad.bin")
+		if err := os.WriteFile(bad, tc.mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(bad)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", tc.name, err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "bad.bin") {
+			t.Errorf("%s: error does not name the file: %v", tc.name, err)
+		}
+	}
+}
+
+func TestLoadForeignVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := saveTo(t, dir, "p.bin", testPartial("t1", "", 0, 0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[7] = FormatVersion + 1 // header version byte; CRC covers only the payload
+	future := filepath.Join(dir, "future.bin")
+	if err := os.WriteFile(future, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(future)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+	if !strings.Contains(err.Error(), "future.bin") {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+}
+
+func TestValidateVersionField(t *testing.T) {
+	p := testPartial("t1", "", 0, 0)
+	p.Version = FormatVersion + 1
+	err := Validate([]File{{Path: "x.bin", P: p}})
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestValidateFingerprintMismatch(t *testing.T) {
+	a := testPartial("t1", "", 0, 0)
+	b := testPartial("t2", "", 0, 0)
+	b.Config.EngineHash = "fnv64a:0000000000000bad"
+	err := Validate([]File{{Path: "a.bin", P: a}, {Path: "b.bin", P: b}})
+	if !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("err = %v, want ErrFingerprint", err)
+	}
+	if !strings.Contains(err.Error(), "b.bin") {
+		t.Fatalf("error does not name the offending file: %v", err)
+	}
+
+	b = testPartial("t2", "", 0, 0)
+	b.Config.Workers = 7
+	b.Shards = nil // would also be inconsistent, but the config check fires first
+	err = Validate([]File{{Path: "a.bin", P: a}, {Path: "b.bin", P: b}})
+	if !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("workers mismatch: err = %v, want ErrFingerprint", err)
+	}
+}
+
+func TestValidateOverlap(t *testing.T) {
+	t.Run("same trace", func(t *testing.T) {
+		err := Validate([]File{
+			{Path: "a.bin", P: testPartial("t1", "", 0, 0)},
+			{Path: "b.bin", P: testPartial("t1", "", 0, 0)},
+		})
+		if !errors.Is(err, ErrOverlap) {
+			t.Fatalf("err = %v, want ErrOverlap", err)
+		}
+		if !strings.Contains(err.Error(), "a.bin") || !strings.Contains(err.Error(), "b.bin") {
+			t.Fatalf("error does not name both files: %v", err)
+		}
+	})
+	t.Run("same slot", func(t *testing.T) {
+		err := Validate([]File{
+			{Path: "a.bin", P: testPartial("t1", "job", 0, 2)},
+			{Path: "b.bin", P: testPartial("t2", "job", 0, 2)},
+		})
+		if !errors.Is(err, ErrOverlap) {
+			t.Fatalf("err = %v, want ErrOverlap", err)
+		}
+	})
+	t.Run("conflicting count", func(t *testing.T) {
+		err := Validate([]File{
+			{Path: "a.bin", P: testPartial("t1", "job", 0, 2)},
+			{Path: "b.bin", P: testPartial("t2", "job", 1, 3)},
+		})
+		if !errors.Is(err, ErrOverlap) {
+			t.Fatalf("err = %v, want ErrOverlap", err)
+		}
+	})
+}
+
+func TestValidateIncomplete(t *testing.T) {
+	t.Run("drained partial", func(t *testing.T) {
+		p := testPartial("t1", "", 0, 0)
+		p.Partition.Complete = false
+		err := Validate([]File{{Path: "a.bin", P: p}})
+		if !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("err = %v, want ErrIncomplete", err)
+		}
+	})
+	t.Run("missing slice", func(t *testing.T) {
+		err := Validate([]File{
+			{Path: "a.bin", P: testPartial("t1", "job", 0, 3)},
+			{Path: "b.bin", P: testPartial("t2", "job", 2, 3)},
+		})
+		if !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("err = %v, want ErrIncomplete", err)
+		}
+		if !strings.Contains(err.Error(), "missing partition 1") {
+			t.Fatalf("error does not name the missing slice: %v", err)
+		}
+	})
+}
+
+func TestReduceSums(t *testing.T) {
+	a := testPartial("t1", "job", 0, 2)
+	a.PacketsRouted = 100
+	a.Stats = analyzer.Stats{Packets: 100, HTTPTransactions: 10}
+	a.Shards[0].Packets = 60
+	a.Shards[1].Packets = 40
+	a.Transactions = []*weblog.Transaction{{Host: "b.test", URI: "/x", ReqTime: 20}}
+	a.Class = Class{Requests: 10, AdRequests: 2, PerList: []ListCount{{Name: "easylist", Hits: 2}}}
+	a.Users = []inference.UserStats{{Key: core.UserKey{IP: 1, UserAgent: "ua"}, Requests: 10}}
+
+	b := testPartial("t2", "job", 1, 2)
+	b.PacketsRouted = 50
+	b.Stats = analyzer.Stats{Packets: 50, HTTPTransactions: 5}
+	b.Shards[0].Packets = 20
+	b.Shards[1].Packets = 30
+	b.Transactions = []*weblog.Transaction{{Host: "a.test", URI: "/y", ReqTime: 10}}
+	b.Class = Class{Requests: 5, AdRequests: 1, PerList: []ListCount{{Name: "easylist", Hits: 1}}}
+	b.Users = []inference.UserStats{{Key: core.UserKey{IP: 1, UserAgent: "ua"}, Requests: 5}}
+
+	// Shuffled input order: the fold is sorted by partition descriptor.
+	m, err := Reduce([]File{{Path: "b.bin", P: b}, {Path: "a.bin", P: a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PacketsRouted != 150 || m.Stats.Packets != 150 || m.Stats.HTTPTransactions != 15 {
+		t.Fatalf("totals wrong: %+v", m)
+	}
+	if m.Shards[0].Packets != 80 || m.Shards[1].Packets != 70 {
+		t.Fatalf("per-shard sums wrong: %+v", m.Shards)
+	}
+	if len(m.Transactions) != 2 || m.Transactions[0].Host != "a.test" {
+		t.Fatalf("merged records not in canonical order: %+v", m.Transactions)
+	}
+	if m.Class.AdRequests != 3 || m.Class.PerList["easylist"] != 3 {
+		t.Fatalf("class sums wrong: %+v", m.Class)
+	}
+	u := m.Users[core.UserKey{IP: 1, UserAgent: "ua"}]
+	if u == nil || u.Requests != 15 {
+		t.Fatalf("user merge wrong: %+v", u)
+	}
+	if len(m.Parts) != 2 || m.Parts[0].Index != 0 {
+		t.Fatalf("parts not in reduce order: %+v", m.Parts)
+	}
+}
+
+func TestLoadAllNamesOffendingFile(t *testing.T) {
+	dir := t.TempDir()
+	good := saveTo(t, dir, "good.bin", testPartial("t1", "", 0, 0))
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a partial at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadAll([]string{good, bad})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "bad.bin") {
+		t.Fatalf("error does not name the offending file: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package partial
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"adscape/internal/wire"
+)
+
+// Flow-complete trace splitting. A distributed run is only exact when no
+// flow's packets straddle two workers: the analyzer's streaming state
+// (reassembly buffers, HTTP pairing, handshake timing) is per-flow, so a
+// flow cut at a partition boundary would be flushed half-parsed on one side
+// and resynced mid-stream on the other. The splitter therefore partitions by
+// capture-time span *of the flow's first packet*: part boundaries are packet
+// ranks in the time-sorted trace, each connection is assigned to the part
+// where its SYN (first packet) falls, and every later packet of that
+// connection — however much later — follows it. Within a part, packets keep
+// the input's capture-time order, so each sub-trace satisfies the §8
+// determinism preconditions on its own.
+//
+// Long-lived flows make parts uneven by a few packets; the balance target is
+// the assignment rank, not the written count. Port-reuse collisions (the
+// same four-tuple reincarnated later in the trace) stay in the first
+// connection's part, which keeps them on one analyzer exactly like the
+// in-process flow-hash fan-out does.
+
+// Part describes one written sub-trace.
+type Part struct {
+	Path string
+	// Packets is the number of records written to this part.
+	Packets int64
+	// FirstTime/LastTime are the capture timestamps (ns) of the part's
+	// first and last records; zero when the part is empty.
+	FirstTime, LastTime int64
+}
+
+// CountPackets counts the records of a trace (strict read; a split input
+// must be structurally sound).
+func CountPackets(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r, err := wire.NewReader(f)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		if _, err := r.Read(); err == io.EOF {
+			return n, nil
+		} else if err != nil {
+			return 0, fmt.Errorf("partial: counting %s: %w", path, err)
+		}
+		n++
+	}
+}
+
+// EqualRankBounds returns n ascending upper rank bounds splitting total
+// packets as evenly as possible (the last bound is total).
+func EqualRankBounds(total int64, n int) []int64 {
+	bounds := make([]int64, n)
+	for i := 0; i < n; i++ {
+		bounds[i] = total * int64(i+1) / int64(n)
+	}
+	return bounds
+}
+
+// canonTuple puts a directional four-tuple into the same canonical order
+// ShardHash uses, so both directions of a connection share one key.
+func canonTuple(t wire.FourTuple) wire.FourTuple {
+	if t.DstIP < t.SrcIP || (t.DstIP == t.SrcIP && t.DstPort < t.SrcPort) {
+		return t.Reverse()
+	}
+	return t
+}
+
+// SplitTrace writes len(bounds) flow-complete sub-traces of in under outDir,
+// named prefix-000.trace, prefix-001.trace, ... Part k receives every
+// connection whose first packet's rank r satisfies bounds[k-1] <= r <
+// bounds[k] (bounds are ascending upper rank bounds; the last must equal the
+// trace's record count). The split is deterministic: the same input and
+// bounds always produce byte-identical sub-traces.
+func SplitTrace(in string, bounds []int64, outDir, prefix string) ([]Part, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("partial: no split bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return nil, fmt.Errorf("partial: split bounds not ascending: %v", bounds)
+		}
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := wire.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+
+	parts := make([]Part, len(bounds))
+	writers := make([]*wire.Writer, len(bounds))
+	outs := make([]*os.File, len(bounds))
+	defer func() {
+		for _, of := range outs {
+			if of != nil {
+				of.Close()
+			}
+		}
+	}()
+	for i := range bounds {
+		path := filepath.Join(outDir, fmt.Sprintf("%s-%03d.trace", prefix, i))
+		of, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = of
+		w, err := wire.NewWriter(of)
+		if err != nil {
+			return nil, err
+		}
+		writers[i] = w
+		parts[i].Path = path
+	}
+
+	assigned := make(map[wire.FourTuple]int)
+	var rank int64
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("partial: splitting %s: %w", in, err)
+		}
+		key := canonTuple(p.Tuple())
+		part, ok := assigned[key]
+		if !ok {
+			part = sort.Search(len(bounds), func(i int) bool { return rank < bounds[i] })
+			if part == len(bounds) {
+				return nil, fmt.Errorf("partial: record rank %d beyond final bound %d (bounds stale for %s?)",
+					rank, bounds[len(bounds)-1], in)
+			}
+			assigned[key] = part
+		}
+		if err := writers[part].Write(p); err != nil {
+			return nil, err
+		}
+		if parts[part].Packets == 0 {
+			parts[part].FirstTime = p.Time
+		}
+		parts[part].LastTime = p.Time
+		parts[part].Packets++
+		rank++
+	}
+	for i, w := range writers {
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		if err := outs[i].Close(); err != nil {
+			return nil, err
+		}
+		outs[i] = nil
+	}
+	return parts, nil
+}

@@ -1,0 +1,178 @@
+package partial
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"adscape/internal/wire"
+)
+
+// writeTestTrace synthesizes a time-ordered trace of n interleaved
+// connections — many spanning long time ranges, so naive rank cuts would
+// split them — and returns its path plus the packet count.
+func writeTestTrace(t *testing.T, dir string, n int, seed int64) (string, int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pkts []*wire.Packet
+	out := func(p *wire.Packet) error { pkts = append(pkts, p); return nil }
+	for c := 0; c < n; c++ {
+		em := wire.NewConnEmitter(out,
+			0x0A000000+uint32(rng.Intn(16)), uint16(20000+c),
+			0x0B000000+uint32(rng.Intn(8)), 80,
+			int64(1+rng.Intn(50))*1e6, rng.Uint32())
+		start := int64(rng.Intn(600)) * 1e9
+		est, err := em.Open(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A few exchanges spread over up to ~5 minutes: long-lived flows
+		// that overlap many rank boundaries.
+		for x := 0; x < 1+rng.Intn(4); x++ {
+			est += int64(1+rng.Intn(100)) * 1e9
+			if err := em.OpaquePayload(est, int64(100+rng.Intn(400)), int64(1000+rng.Intn(5000))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := em.Close(est + 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+
+	path := filepath.Join(dir, "in.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wire.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, int64(len(pkts))
+}
+
+func readAll(t *testing.T, path string) []*wire.Packet {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := wire.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []*wire.Packet
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			return pkts
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+}
+
+func TestSplitTraceFlowComplete(t *testing.T) {
+	dir := t.TempDir()
+	in, total := writeTestTrace(t, dir, 120, 7)
+	if got, err := CountPackets(in); err != nil || got != total {
+		t.Fatalf("CountPackets = %d, %v; want %d", got, err, total)
+	}
+
+	for _, n := range []int{2, 3, 5} {
+		parts, err := SplitTrace(in, EqualRankBounds(total, n), dir, "p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != n {
+			t.Fatalf("got %d parts, want %d", len(parts), n)
+		}
+
+		flowPart := make(map[wire.FourTuple]int)
+		var sum int64
+		for i, part := range parts {
+			pkts := readAll(t, part.Path)
+			if int64(len(pkts)) != part.Packets {
+				t.Fatalf("part %d: %d packets on disk, descriptor says %d", i, len(pkts), part.Packets)
+			}
+			sum += part.Packets
+			last := int64(-1)
+			for _, p := range pkts {
+				if p.Time < last {
+					t.Fatalf("part %d not time-ordered", i)
+				}
+				last = p.Time
+				key := canonTuple(p.Tuple())
+				if prev, ok := flowPart[key]; ok && prev != i {
+					t.Fatalf("n=%d: flow %v split across parts %d and %d", n, key, prev, i)
+				}
+				flowPart[key] = i
+			}
+		}
+		if sum != total {
+			t.Fatalf("n=%d: parts hold %d packets, input has %d", n, sum, total)
+		}
+	}
+}
+
+// TestSplitTraceDeterministic: same input and bounds, byte-identical parts.
+func TestSplitTraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	in, total := writeTestTrace(t, dir, 40, 11)
+	bounds := EqualRankBounds(total, 3)
+	d1, d2 := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	for _, d := range []string{d1, d2} {
+		if err := os.Mkdir(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := SplitTrace(in, bounds, d, "p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		name := filepath.Join("p-00"+string(rune('0'+i))+".trace", "")
+		a, err := os.ReadFile(filepath.Join(d1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(d2, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("part %d differs between identical splits", i)
+		}
+	}
+}
+
+func TestEqualRankBounds(t *testing.T) {
+	b := EqualRankBounds(10, 3)
+	want := []int64{3, 6, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("EqualRankBounds(10,3) = %v, want %v", b, want)
+		}
+	}
+	if got := EqualRankBounds(2, 2); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("EqualRankBounds(2,2) = %v", got)
+	}
+}

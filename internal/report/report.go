@@ -1,0 +1,232 @@
+// Package report renders the analysis summary every adscape front end
+// prints: the batch CLI, the partial-merge path, and the adshard coordinator
+// all feed their pre-report state through Print, so a distributed run's
+// stdout is byte-identical to the single-process run's by construction —
+// same code, same merged state (DESIGN.md §13).
+package report
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/analyzer"
+	"adscape/internal/core"
+	"adscape/internal/dnssim"
+	"adscape/internal/inference"
+	"adscape/internal/obs"
+	"adscape/internal/pipeline"
+	"adscape/internal/webgen"
+	"adscape/internal/weblog"
+	"adscape/internal/wire"
+)
+
+// Shard is one analyzer shard's counters, for the per-shard degradation
+// breakdown.
+type Shard struct {
+	Shard   int
+	Packets int64
+	Stats   analyzer.Stats
+	Table   wire.TableStats
+}
+
+// Data is the pre-report state: everything the summary derives from. The
+// batch CLI fills it from a runz.Result plus its reader's stats; the merge
+// path from a reduced partial set.
+type Data struct {
+	// Workers is the analyzer shard count the state was produced with (the
+	// "merged over N shards" header and per-shard breakdown).
+	Workers int
+	Stats   analyzer.Stats
+	Reader  wire.ReaderStats
+	Table   wire.TableStats
+	// Restarts and LostFlows total the panic-restart damage.
+	Restarts  int
+	LostFlows int
+	Shards    []Shard
+	// Transactions and TLSFlows are the record sets in canonical weblog
+	// order; classification and inference run on them inside Print.
+	Transactions []*weblog.Transaction
+	TLSFlows     []*weblog.TLSFlow
+}
+
+// Options selects the optional report sections and the classification knobs.
+type Options struct {
+	// Workers is the classification fan-out. stdout does not depend on it
+	// (the classify stage is worker-count independent); only wall-clock and
+	// the stderr perf lines vary.
+	Workers int
+	// Users enables the §6 per-user inference section; Threshold is its
+	// active-user request floor.
+	Users     bool
+	Threshold int
+	// WeblogPath optionally dumps the privacy-truncated transaction log.
+	WeblogPath string
+	// VerdictCache sizes the engine's verdict memoization (0 disables).
+	VerdictCache int
+	// Obs attaches live instrumentation to the classify stage when non-nil.
+	Obs *obs.Registry
+}
+
+// Print classifies d's records against world's filter lists and renders the
+// summary to w. Perf diagnostics go to the log writer (stderr), never to w:
+// w must stay byte-identical across worker counts, repeat runs, and the
+// single-process/distributed divide.
+func Print(w io.Writer, world *webgen.World, d Data, opt Options) error {
+	fmt.Fprintf(w, "packets:            %d\n", d.Stats.Packets)
+	fmt.Fprintf(w, "http transactions:  %d\n", d.Stats.HTTPTransactions)
+	fmt.Fprintf(w, "https flows:        %d\n", d.Stats.TLSFlows)
+	fmt.Fprintf(w, "http wire bytes:    %d\n", d.Stats.HTTPWireBytes)
+	printDegradation(w, d)
+
+	engine := world.Bundle.ClassifierEngine()
+	engine.SetVerdictCacheSize(opt.VerdictCache)
+	if opt.Obs != nil {
+		engine.RegisterMetrics(opt.Obs)
+	}
+	cls := pipeline.ClassifyObs(core.NewPipeline(engine), d.Transactions, opt.Workers, opt.Obs)
+	agg := cls.Stats
+	fmt.Fprintf(w, "ad requests:        %d (%.2f%%)\n", agg.AdRequests, agg.AdRatio()*100)
+	fmt.Fprintf(w, "ad bytes:           %d (%.2f%%)\n", agg.AdBytes, 100*float64(agg.AdBytes)/float64(max64(agg.Bytes, 1)))
+	fmt.Fprintf(w, "bodiless content-length excluded: %d\n", agg.BodilessExcluded)
+	for _, name := range agg.ListNames() {
+		fmt.Fprintf(w, "  list %-14s %d hits\n", name, agg.PerList[name])
+	}
+	fmt.Fprintf(w, "whitelisted (non-intrusive): %d, of which blacklisted: %d\n",
+		agg.Whitelisted, agg.WhitelistedAndBlacklisted)
+	printPerf(engine, cls, opt.VerdictCache)
+
+	if opt.WeblogPath != "" {
+		if err := dumpWeblog(opt.WeblogPath, cls.Results); err != nil {
+			return fmt.Errorf("writing weblog: %w", err)
+		}
+	}
+	if opt.Users {
+		printUsers(w, world, d.TLSFlows, cls, opt.Threshold)
+	}
+	return nil
+}
+
+// printPerf reports classification throughput and verdict-cache
+// effectiveness. It writes to stderr (the log writer), not stdout: hit/miss
+// attribution and timing vary run to run when shards interleave over the
+// shared cache, and stdout must stay byte-identical for the resume and
+// determinism gates.
+func printPerf(engine *abp.Engine, cls *pipeline.ClassifyResult, cacheCap int) {
+	secs := cls.Elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	log.Printf("classification: %d tx in %v (%.0f tx/s, %d workers)",
+		cls.Stats.Requests, cls.Elapsed.Round(time.Millisecond), float64(cls.Stats.Requests)/secs, cls.Workers)
+	if cacheCap <= 0 {
+		log.Print("verdict cache: disabled")
+		return
+	}
+	cs := engine.VerdictCacheStats()
+	log.Printf("verdict cache: hits=%d misses=%d (%.1f%% hit ratio, %d entries, cap %d)",
+		cls.Perf.CacheHits, cls.Perf.CacheMisses, 100*cls.Perf.HitRatio(), cs.Size, cs.Cap)
+}
+
+// printDegradation reports every piece of work the bounded ingest path shed:
+// nothing is silently dropped, so downstream aggregates can be qualified
+// against these counters (Table-2-style numbers degrade proportionally).
+// The merged counters are the per-shard sums; the per-shard breakdown shows
+// where the pressure landed (a single hot shard means a skewed flow hash or
+// an elephant household, not a trace-wide problem).
+func printDegradation(w io.Writer, d Data) {
+	fmt.Fprintf(w, "degradation (merged over %d shards):\n", d.Workers)
+	fmt.Fprintf(w, "  reader resyncs:    %d (%d bytes skipped, truncated tail: %v)\n",
+		d.Reader.Resyncs, d.Reader.SkippedBytes, d.Reader.TruncatedTail)
+	fmt.Fprintf(w, "  evicted flows:     %d idle, %d over cap\n", d.Table.EvictedIdle, d.Table.EvictedCap)
+	fmt.Fprintf(w, "  reassembly:        %d gaps, %d trimmed retransmissions\n", d.Table.Gaps, d.Table.TrimmedSegments)
+	fmt.Fprintf(w, "  parse errors:      %d\n", d.Stats.ParseErrors)
+	fmt.Fprintf(w, "  pending evicted:   %d\n", d.Stats.PendingEvicted)
+	fmt.Fprintf(w, "  interim responses: %d\n", d.Stats.InterimResponses)
+	fmt.Fprintf(w, "  orphan responses:  %d\n", d.Stats.OrphanResponses)
+	fmt.Fprintf(w, "  restarted shards:  %d (%d flows lost)\n", d.Restarts, d.LostFlows)
+	if d.Workers > 1 {
+		for _, s := range d.Shards {
+			fmt.Fprintf(w, "  shard %2d: packets=%d txs=%d evicted=%d/%d gaps=%d parse-errors=%d pending-evicted=%d\n",
+				s.Shard, s.Packets, s.Stats.HTTPTransactions,
+				s.Table.EvictedIdle, s.Table.EvictedCap, s.Table.Gaps,
+				s.Stats.ParseErrors, s.Stats.PendingEvicted)
+		}
+	}
+}
+
+// DegradedFraction estimates how much of the trace's work the bounded path
+// shed: units of shed work (skipped records, evicted flows, parse errors,
+// dropped pending requests, flows lost to shard restarts) over shed plus
+// successfully extracted records. A heuristic, documented in the README: the
+// units are not commensurable, but a run that sheds nothing scores 0 and the
+// score grows monotonically with every kind of damage.
+func DegradedFraction(d Data) float64 {
+	shed := float64(d.Reader.Resyncs) +
+		float64(d.Table.EvictedIdle+d.Table.EvictedCap) +
+		float64(d.Stats.ParseErrors+d.Stats.PendingEvicted) +
+		float64(d.LostFlows)
+	if shed == 0 {
+		return 0
+	}
+	good := float64(d.Stats.HTTPTransactions) + float64(d.Stats.TLSFlows)
+	return shed / (good + shed)
+}
+
+func dumpWeblog(path string, results []*core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := weblog.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		// The privacy step (§5): truncate URLs to FQDNs after
+		// classification completes.
+		tx := *r.Ann.Tx
+		tx.Truncate()
+		if err := w.Write(&tx); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func printUsers(w io.Writer, world *webgen.World, tlsFlows []*weblog.TLSFlow, cls *pipeline.ClassifyResult, threshold int) {
+	usersMap := cls.Users
+	// Discover the Adblock Plus servers the way §3.2 does: union the
+	// answers of multiple DNS resolver vantage points.
+	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
+	inference.MarkListDownloads(usersMap, tlsFlows, abpIPs)
+	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: threshold}
+	active := inference.ActiveBrowsers(usersMap, opt)
+	rows := inference.Table3(active, opt)
+	fmt.Fprintf(w, "\nactive browsers (≥%d requests): %d\n", threshold, len(active))
+	for _, row := range rows {
+		fmt.Fprintf(w, "  class %s: %5.1f%% (%d instances)\n", row.Class, row.InstanceShare*100, row.Instances)
+	}
+	fmt.Fprintf(w, "likely Adblock Plus users: %.1f%%\n", inference.ABPShare(active, opt)*100)
+	with, total := inference.HouseholdsWithDownload(usersMap)
+	fmt.Fprintf(w, "households with ABP list downloads: %d/%d (%.1f%%)\n",
+		with, total, 100*float64(with)/float64(maxInt(total, 1)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
