@@ -205,6 +205,39 @@ func BenchmarkEngineClassify(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineClassifyEasyListScale is the same verdict-path measurement
+// at real-EasyList rule counts (~50K rules per list): the keyword index must
+// keep per-request cost flat as the list grows, so this should track the
+// default-size numbers closely — a gap here means probe fan-out is scaling
+// with list size.
+func BenchmarkEngineClassifyEasyListScale(b *testing.B) {
+	bn, err := filterlists.NewBundle(filterlists.EasyListScaleOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchRequests(4096)
+	for _, cfg := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"uncached", 0},
+		{"cached", abp.DefaultVerdictCacheEntries},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			engine := bn.ClassifierEngine()
+			engine.SetVerdictCacheSize(cfg.cacheSize)
+			for _, r := range reqs { // warm cache and context pool
+				engine.Classify(r)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.Classify(reqs[i%len(reqs)])
+			}
+		})
+	}
+}
+
 // BenchmarkParseEasyList measures filter-list parsing throughput.
 func BenchmarkParseEasyList(b *testing.B) {
 	opt := filterlists.DefaultGenOptions()

@@ -15,7 +15,10 @@
 //
 //	adtrace -serve -state-dir dir {-i live.trace | -listen unix:/run/adtrace.sock}
 //	        [-window 1m] [-grace 5s] [-idle-horizon 1h] [-poll 200ms]
+//	        [-lists-dir dir [-list-poll 2s]]
 //	        [supervision and observability flags as above]
+//
+//	adtrace -dump-lists dir [-seed N] [-sites N]
 //
 //	adtrace -i part.trace -emit-partial part.bin
 //	        [-partial-set ID -partial-index K -partial-count N]
@@ -34,6 +37,19 @@
 // and writes no partial; resuming it to completion writes the identical
 // partial file a one-shot run would have. cmd/adshard automates
 // split/emit/merge across worker subprocesses.
+//
+// -lists-dir replaces the built-in filter-list bundle with the *.txt files in
+// a directory, under lifecycle supervision (DESIGN.md §14): files are
+// compiled in the background on change (polled every -list-poll; 0 polls
+// never and reloads only on SIGHUP), validated against a parse-error budget,
+// a rule floor, and a classification probe set, and the new rule set is
+// swapped in atomically at a window boundary — a failed candidate is
+// quarantined to <file>.rejected with a diagnostic while the previous rules
+// keep serving. At startup validation is strict: a daemon refuses to boot on
+// an invalid or empty list directory (exit 8). -dump-lists writes the
+// built-in bundle in this directory layout as a starting point; a daemon
+// started on an unmodified dump classifies byte-identically to the built-in
+// engine.
 //
 // -serve turns the batch pipeline into a continuous service (DESIGN.md §12):
 // the input is followed forever (tailing across file rotations and SIGHUP
@@ -99,6 +115,11 @@
 //	   foreign format version, overlaps another partial, was produced by an
 //	   incompatible worker configuration or filter-list build, or is
 //	   incomplete — the message names the offending file
+//	8  invalid filter lists at startup: the -lists-dir is empty or a list
+//	   failed strict startup validation (unparseable, over the parse-error
+//	   budget, under the rule floor, or failing the probe set) — the message
+//	   names the offending file. Runtime reloads never exit: a bad candidate
+//	   is quarantined and the previous generation keeps serving
 package main
 
 import (
@@ -117,6 +138,8 @@ import (
 	"adscape/internal/abp"
 	"adscape/internal/analyzer"
 	"adscape/internal/core"
+	"adscape/internal/filterlists"
+	"adscape/internal/listmgr"
 	"adscape/internal/obs"
 	"adscape/internal/partial"
 	"adscape/internal/pipeline"
@@ -159,6 +182,9 @@ func main() {
 
 		serve       = flag.Bool("serve", false, "run as a continuous service: follow -i (or accept streams on -listen) forever, emitting per-window records to -state-dir")
 		stateDir    = flag.String("state-dir", "", "serve: state directory for window records and the resumable checkpoint (required)")
+		listsDir    = flag.String("lists-dir", "", "serve: load filter lists from the *.txt files in this directory instead of the built-in bundle, hot-reloading on change and SIGHUP")
+		listPoll    = flag.Duration("list-poll", listmgr.DefaultPoll, "serve: how often to poll -lists-dir for changed files (0 = reload only on SIGHUP)")
+		dumpLists   = flag.String("dump-lists", "", "write the built-in filter-list bundle as ABP text files into this directory and exit (a starting point for -lists-dir)")
 		window      = flag.Duration("window", time.Minute, "serve: capture-time window width")
 		grace       = flag.Duration("grace", 5*time.Second, "serve: out-of-order allowance; a window closes when the watermark (max packet time - grace) passes its end")
 		idleHorizon = flag.Duration("idle-horizon", time.Hour, "serve: evict per-user inference state idle this long in capture time (0 = never, unbounded)")
@@ -234,6 +260,12 @@ func main() {
 	} else if *partialSet != "" || *partialIdx != 0 || *partialCnt != 0 {
 		usageError("-partial-set/-partial-index/-partial-count require -emit-partial")
 	}
+	if *dumpLists != "" && (*serve || *merge || *emitPartial != "" || *in != "") {
+		usageError("-dump-lists only writes the built-in bundle and exits; it is incompatible with -i, -serve, -merge, and -emit-partial")
+	}
+	if *listPoll < 0 {
+		usageError("-list-poll must be non-negative, got %v", *listPoll)
+	}
 	if *serve {
 		if *stateDir == "" {
 			usageError("-serve requires -state-dir")
@@ -247,7 +279,7 @@ func main() {
 		if *pollEvery <= 0 {
 			usageError("-poll must be positive, got %v", *pollEvery)
 		}
-	} else if !*merge {
+	} else if !*merge && *dumpLists == "" {
 		if *in == "" {
 			flag.Usage()
 			os.Exit(2)
@@ -255,6 +287,9 @@ func main() {
 		if *listen != "" {
 			usageError("-listen requires -serve")
 		}
+	}
+	if *listsDir != "" && !*serve {
+		usageError("-lists-dir requires -serve (batch runs classify with the built-in bundle)")
 	}
 	if *resume && *ckptPath == "" {
 		log.Print("-resume requires -checkpoint")
@@ -306,6 +341,15 @@ func main() {
 		log.Fatalf("building world (filter lists): %v", err)
 	}
 
+	if *dumpLists != "" {
+		if err := filterlists.WriteListFiles(*dumpLists, world.Bundle); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote filter lists to %s (serve them with -serve -lists-dir %s)", *dumpLists, *dumpLists)
+		stopProfiles()
+		os.Exit(0)
+	}
+
 	lim := analyzer.Limits{}
 	if !*strict {
 		lim = analyzer.Limits{
@@ -320,6 +364,13 @@ func main() {
 	}
 
 	if *serve {
+		// -list-poll 0 means "SIGHUP only" at the flag surface; listmgr
+		// expresses disabled polling as a negative interval (its zero value
+		// selects the default).
+		lp := *listPoll
+		if lp == 0 {
+			lp = -1
+		}
 		code := runServe(world, serveConfig{
 			in:              *in,
 			listen:          *listen,
@@ -328,6 +379,8 @@ func main() {
 			grace:           *grace,
 			idleHorizon:     *idleHorizon,
 			poll:            *pollEvery,
+			listsDir:        *listsDir,
+			listPoll:        lp,
 			workers:         *workers,
 			strict:          *strict,
 			limits:          lim,

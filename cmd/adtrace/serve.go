@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -9,9 +10,11 @@ import (
 	"syscall"
 	"time"
 
+	"adscape/internal/abp"
 	"adscape/internal/analyzer"
 	"adscape/internal/daemon"
 	"adscape/internal/dnssim"
+	"adscape/internal/listmgr"
 	"adscape/internal/obs"
 	"adscape/internal/runz"
 	"adscape/internal/webgen"
@@ -27,6 +30,8 @@ type serveConfig struct {
 	grace       time.Duration
 	idleHorizon time.Duration
 	poll        time.Duration
+	listsDir    string        // filter-list directory ("" = built-in bundle)
+	listPoll    time.Duration // list-change polling (listmgr.Config.Poll semantics)
 
 	workers         int
 	strict          bool
@@ -62,6 +67,7 @@ func runServe(world *webgen.World, cfg serveConfig) int {
 
 	var src wire.PacketSource
 	var stats func() wire.ReaderStats
+	var reopen func() // SIGHUP capability: only file-backed sources have one
 	if cfg.listen != "" {
 		network, addr, ok := strings.Cut(cfg.listen, ":")
 		if !ok || addr == "" {
@@ -89,13 +95,52 @@ func runServe(world *webgen.World, cfg serveConfig) int {
 		defer s.Close()
 		log.Printf("serving: following %s (state in %s)", cfg.in, cfg.stateDir)
 		src, stats = s, s.Stats
-		go func() {
-			for range hup {
-				log.Print("SIGHUP: reopening followed file")
-				s.Reopen()
-			}
-		}()
+		reopen = s.Reopen
 	}
+
+	// Filter lists: -lists-dir puts the rule set under listmgr supervision
+	// (hot reload on change and SIGHUP, quarantine of bad lists); otherwise
+	// the built-in bundle serves a single fixed generation. Startup is
+	// strict — a daemon must not boot serving rules it could not read — so
+	// an invalid or empty directory is exit 8, naming the offending file.
+	var mgr *listmgr.Manager
+	var engine *abp.Engine
+	if cfg.listsDir != "" {
+		m, err := listmgr.Open(listmgr.Config{
+			Dir:     cfg.listsDir,
+			Poll:    cfg.listPoll,
+			OnEvent: func(msg string) { log.Print(msg) },
+			Obs:     cfg.obs,
+		})
+		if err != nil {
+			log.Printf("filter lists: %v", err)
+			if errors.Is(err, listmgr.ErrInvalid) || errors.Is(err, listmgr.ErrNoLists) {
+				return 8
+			}
+			return 1
+		}
+		mgr = m
+		mgr.Start()
+		defer mgr.Stop()
+		log.Printf("filter lists: %s under supervision (poll %v)", cfg.listsDir, cfg.listPoll)
+	} else {
+		engine = world.Bundle.ClassifierEngine()
+	}
+
+	// SIGHUP means "re-read your inputs": reopen a followed file (rotation)
+	// and rescan the list directory, whichever apply.
+	go func() {
+		for range hup {
+			if reopen != nil {
+				log.Print("SIGHUP: reopening followed file")
+				reopen()
+			}
+			if mgr != nil {
+				log.Print("SIGHUP: re-reading filter lists")
+				mgr.Reload()
+			}
+		}
+	}()
 
 	go func() {
 		s := <-sig
@@ -110,12 +155,17 @@ func runServe(world *webgen.World, cfg serveConfig) int {
 	// flows against, resolved once up front from the world's DNS zone.
 	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
 
+	var handle *abp.EngineHandle
+	if mgr != nil {
+		handle = mgr.Handle()
+	}
 	res, err := daemon.Run(src, daemon.Config{
 		Dir:             cfg.stateDir,
 		Window:          cfg.window,
 		Grace:           cfg.grace,
 		IdleHorizon:     cfg.idleHorizon,
-		Engine:          world.Bundle.ClassifierEngine(),
+		Engine:          engine,
+		Engines:         handle,
 		ABPServerIPs:    abpIPs,
 		Workers:         cfg.workers,
 		Limits:          cfg.limits,
@@ -136,6 +186,9 @@ func runServe(world *webgen.World, cfg serveConfig) int {
 		log.Printf("serve degraded: %v", err)
 	}
 	printServeSummary(res, stats())
+	if mgr != nil {
+		fmt.Printf("filter lists:       generation %d live at exit\n", mgr.Handle().Generation())
+	}
 	return serveExitCode(res.Run)
 }
 

@@ -14,8 +14,19 @@ import (
 
 func allocEngine(t *testing.T) *Engine {
 	t.Helper()
+	skipUnderRace(t)
 	el, ep, aa := testLists(t)
 	return NewEngine(el, ep, aa)
+}
+
+// skipUnderRace guards the allocation gates: the race detector's own
+// bookkeeping allocates, so AllocsPerRun numbers are meaningless under -race
+// (and were failing there). The non-race CI lane still enforces the gates.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation gates are not meaningful under the race detector")
+	}
 }
 
 func TestEngineClassifyCachedAllocs(t *testing.T) {
@@ -54,6 +65,7 @@ func TestEngineClassifyUncachedSteadyStateAllocs(t *testing.T) {
 }
 
 func TestMatcherProbeAllocs(t *testing.T) {
+	skipUnderRace(t)
 	m := NewMatcher()
 	for _, line := range []string{
 		"||adserver.example^",
@@ -85,6 +97,7 @@ func TestMatcherProbeAllocs(t *testing.T) {
 // TestContextResetAllocs pins the context build itself: on an all-lower-case
 // URL, Reset reuses the token slice and allocates nothing once warm.
 func TestContextResetAllocs(t *testing.T) {
+	skipUnderRace(t)
 	c := GetContext()
 	defer ReleaseContext(c)
 	url := "http://adserver.example/banner/creative_00123.gif?uid=42"

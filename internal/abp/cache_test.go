@@ -145,13 +145,43 @@ func TestEngineCacheStats(t *testing.T) {
 		t.Errorf("hit ratio = %v, want 2/3", got)
 	}
 
+	// Resizing (here: disabling) retires the cache but must not lose its
+	// counters — obs gauges built on VerdictCacheStats are monotonic.
 	e.SetVerdictCacheSize(0)
 	e.Classify(r)
 	st = e.VerdictCacheStats()
-	if st.Hits != 0 || st.Misses != 0 || st.Size != 0 || st.Cap != 0 {
-		t.Errorf("disabled-cache stats not zero: %+v", st)
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("post-resize stats lost history: %+v, want 2 hits / 1 miss", st)
 	}
-	if st.HitRatio() != 0 {
-		t.Errorf("disabled-cache hit ratio = %v, want 0", st.HitRatio())
+	if st.Size != 0 || st.Cap != 0 {
+		t.Errorf("disabled-cache size/cap = %d/%d, want 0/0", st.Size, st.Cap)
+	}
+
+	// Re-enabling resumes counting on top of the retired totals.
+	e.SetVerdictCacheSize(64)
+	e.Classify(r) // miss: fresh cache
+	e.Classify(r) // hit
+	st = e.VerdictCacheStats()
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Errorf("re-enabled stats = %+v, want 3 hits / 2 misses", st)
+	}
+}
+
+// TestEngineCacheStatsMonotonic sweeps several resizes and checks the
+// lifetime counters never step backwards.
+func TestEngineCacheStatsMonotonic(t *testing.T) {
+	el, ep, aa := testLists(t)
+	e := NewEngine(el, ep, aa)
+	r := &Request{URL: "http://tracker.example/pixel.gif", Class: urlutil.ClassImage, PageHost: "news.example"}
+	var prev CacheStats
+	for _, size := range []int{DefaultVerdictCacheEntries, 17, 0, 1, 0, 256} {
+		e.SetVerdictCacheSize(size)
+		e.Classify(r)
+		e.Classify(r)
+		st := e.VerdictCacheStats()
+		if st.Hits < prev.Hits || st.Misses < prev.Misses {
+			t.Fatalf("counters regressed after resize to %d: %+v -> %+v", size, prev, st)
+		}
+		prev = st
 	}
 }

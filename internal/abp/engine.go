@@ -2,6 +2,9 @@ package abp
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
+	"sync/atomic"
 
 	"adscape/internal/urlutil"
 )
@@ -70,6 +73,15 @@ type Engine struct {
 	cacheCap int
 	cache    *verdictCache // nil when disabled
 	pageExcs *pageExcCache
+
+	// ltHits/ltMisses accumulate the counters of caches retired by
+	// SetVerdictCacheSize, so VerdictCacheStats is monotonic over the
+	// engine's lifetime instead of resetting on every resize.
+	ltHits   atomic.Uint64
+	ltMisses atomic.Uint64
+
+	// fp memoizes Fingerprint; AddList clears it.
+	fp atomic.Pointer[string]
 }
 
 // NewEngine builds an Engine over the given lists, with the verdict cache
@@ -103,18 +115,26 @@ func (e *Engine) AddList(fl *FilterList) {
 			e.excOrder = append(e.excOrder, i)
 		}
 	}
+	e.fp.Store(nil)
 	e.resetCaches()
 }
 
 // SetVerdictCacheSize bounds the verdict cache to n entries, resetting its
-// contents and counters; n <= 0 disables caching entirely.
+// contents; n <= 0 disables caching entirely. The retired cache's hit/miss
+// totals fold into the engine's lifetime counters, so VerdictCacheStats stays
+// monotonic across resizes.
 func (e *Engine) SetVerdictCacheSize(n int) {
 	e.cacheCap = n
 	e.resetCaches()
 }
 
-// resetCaches rebuilds both memo layers for the current list set.
+// resetCaches rebuilds both memo layers for the current list set, retiring
+// the old verdict cache's counters into the lifetime totals first.
 func (e *Engine) resetCaches() {
+	if e.cache != nil {
+		e.ltHits.Add(e.cache.hits.Load())
+		e.ltMisses.Add(e.cache.misses.Load())
+	}
 	if e.cacheCap > 0 {
 		e.cache = newVerdictCache(e.cacheCap)
 	} else {
@@ -123,18 +143,43 @@ func (e *Engine) resetCaches() {
 	e.pageExcs = newPageExcCache(defaultPageExcEntries)
 }
 
-// VerdictCacheStats snapshots the verdict-cache counters; all zero when the
-// cache is disabled.
+// VerdictCacheStats snapshots the verdict-cache counters. Hits and Misses are
+// lifetime totals: they survive SetVerdictCacheSize, so obs gauges built on
+// them never step backwards when a resize (or an engine cache reset) retires
+// the live cache. Size and Cap describe the current cache only, both zero
+// when caching is disabled.
 func (e *Engine) VerdictCacheStats() CacheStats {
-	if e.cache == nil {
-		return CacheStats{}
+	st := CacheStats{
+		Hits:   e.ltHits.Load(),
+		Misses: e.ltMisses.Load(),
 	}
-	return CacheStats{
-		Hits:   e.cache.hits.Load(),
-		Misses: e.cache.misses.Load(),
-		Size:   e.cache.len(),
-		Cap:    e.cache.capacity(),
+	if e.cache != nil {
+		st.Hits += e.cache.hits.Load()
+		st.Misses += e.cache.misses.Load()
+		st.Size = e.cache.len()
+		st.Cap = e.cache.capacity()
 	}
+	return st
+}
+
+// Fingerprint identifies the engine's compiled rule set: an FNV-64a hash over
+// every subscribed list's rule texts in priority order. Two engines with the
+// same fingerprint produce identical verdicts, which is what checkpoint
+// resume, partial-results merging, and the filter-list lifecycle
+// (internal/listmgr) compare. The format matches partial.EngineHash, which
+// delegates here. Memoized; AddList invalidates.
+func (e *Engine) Fingerprint() string {
+	if p := e.fp.Load(); p != nil {
+		return *p
+	}
+	h := fnv.New64a()
+	for _, rule := range e.RuleTexts() {
+		io.WriteString(h, rule)
+		h.Write([]byte{'\n'})
+	}
+	s := fmt.Sprintf("fnv64a:%016x", h.Sum64())
+	e.fp.Store(&s)
+	return s
 }
 
 // Lists returns the subscribed lists in priority order.

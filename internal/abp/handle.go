@@ -1,0 +1,75 @@
+package abp
+
+import "sync/atomic"
+
+// EngineHandle is an atomically swappable, generation-tagged reference to a
+// compiled Engine. Long-running consumers (the daemon's window classifier)
+// hold the handle instead of an Engine and resolve it at their own barrier
+// points, so a filter-list reload (internal/listmgr) publishes a complete new
+// engine in one atomic step: readers see either the old generation or the new
+// one, never a half-updated list set.
+//
+// Verdict-cache invalidation on swap is structural: each Engine owns its own
+// verdict cache and page-exception memo, so no verdict computed under
+// generation N can be served under generation N+1 — the new engine starts
+// with an empty cache keyed only by its own lists.
+type EngineHandle struct {
+	cur atomic.Pointer[engineGen]
+}
+
+type engineGen struct {
+	engine *Engine
+	gen    int64
+}
+
+// NewEngineHandle returns a handle serving e as generation 1.
+func NewEngineHandle(e *Engine) *EngineHandle {
+	h := &EngineHandle{}
+	h.cur.Store(&engineGen{engine: e, gen: 1})
+	return h
+}
+
+// Load returns the current engine and its generation tag.
+func (h *EngineHandle) Load() (*Engine, int64) {
+	c := h.cur.Load()
+	return c.engine, c.gen
+}
+
+// Engine returns the current engine.
+func (h *EngineHandle) Engine() *Engine {
+	return h.cur.Load().engine
+}
+
+// Generation returns the current generation number. Generations start at 1
+// and advance by one per swap (or past an Advance target).
+func (h *EngineHandle) Generation() int64 {
+	return h.cur.Load().gen
+}
+
+// Swap publishes e as the new current engine and returns its generation
+// (previous generation + 1). The previous engine remains valid for readers
+// that already resolved it; it is garbage-collected once they let go.
+func (h *EngineHandle) Swap(e *Engine) int64 {
+	for {
+		old := h.cur.Load()
+		next := &engineGen{engine: e, gen: old.gen + 1}
+		if h.cur.CompareAndSwap(old, next) {
+			return next.gen
+		}
+	}
+}
+
+// Advance raises the generation number to at least gen without changing the
+// engine. A resumed daemon uses it to continue its predecessor's generation
+// numbering (recorded in the checkpoint) instead of restarting at 1.
+func (h *EngineHandle) Advance(gen int64) {
+	for {
+		old := h.cur.Load()
+		if old.gen >= gen {
+			return
+		}
+		if h.cur.CompareAndSwap(old, &engineGen{engine: old.engine, gen: gen}) {
+			return
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package abp
+
+import (
+	"sync"
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+func TestEngineHandleSwap(t *testing.T) {
+	el, ep, aa := testLists(t)
+	old := NewEngine(el, ep, aa)
+	h := NewEngineHandle(old)
+	if g := h.Generation(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+	if e, g := h.Load(); e != old || g != 1 {
+		t.Fatalf("Load = (%p, %d), want (%p, 1)", e, g, old)
+	}
+
+	// The new generation drops EasyPrivacy: the tracker verdict must flip
+	// for readers resolving after the swap, while a reader that already
+	// resolved the old engine keeps its old verdicts (and cache).
+	next := NewEngine(el, aa)
+	if g := h.Swap(next); g != 2 {
+		t.Fatalf("Swap generation = %d, want 2", g)
+	}
+	if h.Engine() != next {
+		t.Fatal("Engine() did not observe swapped engine")
+	}
+	r := &Request{URL: "http://tracker.example/pixel.gif", Class: urlutil.ClassImage, PageHost: "news.example"}
+	if v := old.Classify(r); !v.Matched {
+		t.Errorf("old generation verdict changed under swap: %+v", v)
+	}
+	if v := h.Engine().Classify(r); v.Matched {
+		t.Errorf("new generation still matches dropped list: %+v", v)
+	}
+}
+
+// TestEngineHandleSwapInvalidatesVerdicts pins the structural cache
+// invalidation argument: a verdict cached hot under generation N must not
+// leak into generation N+1, because each engine owns its own cache.
+func TestEngineHandleSwapInvalidatesVerdicts(t *testing.T) {
+	el, ep, aa := testLists(t)
+	h := NewEngineHandle(NewEngine(el, ep, aa))
+	r := &Request{URL: "http://tracker.example/pixel.gif", Class: urlutil.ClassImage, PageHost: "news.example"}
+	for i := 0; i < 3; i++ {
+		if v := h.Engine().Classify(r); !v.Matched {
+			t.Fatalf("gen 1 verdict = %+v, want matched", v)
+		}
+	}
+	h.Swap(NewEngine(el, aa))
+	if v, cached := h.Engine().ClassifyCached(r); cached || v.Matched {
+		t.Fatalf("gen 2 verdict = %+v cached=%v, want fresh non-match", v, cached)
+	}
+}
+
+func TestEngineHandleAdvance(t *testing.T) {
+	el, _, _ := testLists(t)
+	h := NewEngineHandle(NewEngine(el))
+	e := h.Engine()
+	h.Advance(7)
+	if g := h.Generation(); g != 7 {
+		t.Fatalf("generation after Advance(7) = %d, want 7", g)
+	}
+	if h.Engine() != e {
+		t.Fatal("Advance changed the engine")
+	}
+	h.Advance(3) // never moves backwards
+	if g := h.Generation(); g != 7 {
+		t.Fatalf("generation after Advance(3) = %d, want 7", g)
+	}
+	if g := h.Swap(NewEngine(el)); g != 8 {
+		t.Fatalf("Swap after Advance = %d, want 8", g)
+	}
+}
+
+// TestEngineHandleConcurrent hammers Load/Swap under the race detector: the
+// pair (engine, generation) must always be observed consistently.
+func TestEngineHandleConcurrent(t *testing.T) {
+	el, ep, aa := testLists(t)
+	engines := []*Engine{NewEngine(el), NewEngine(el, ep), NewEngine(el, ep, aa)}
+	byEngine := map[*Engine]bool{}
+	for _, e := range engines {
+		byEngine[e] = true
+	}
+	h := NewEngineHandle(engines[0])
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &Request{URL: "http://adserver.example/banner/1.gif", Class: urlutil.ClassImage, PageHost: "news.example"}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e, g := h.Load()
+				if !byEngine[e] || g < 1 {
+					t.Errorf("inconsistent handle state: %p gen %d", e, g)
+					return
+				}
+				e.Classify(r)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		h.Swap(engines[i%len(engines)])
+	}
+	close(stop)
+	wg.Wait()
+	if g := h.Generation(); g != 201 {
+		t.Fatalf("final generation = %d, want 201", g)
+	}
+}
+
+func TestEngineFingerprint(t *testing.T) {
+	el, ep, aa := testLists(t)
+	a := NewEngine(el, ep, aa)
+	b := NewEngine(el, ep, aa)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("same lists, different fingerprints: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if fp := a.Fingerprint(); len(fp) != len("fnv64a:")+16 || fp[:7] != "fnv64a:" {
+		t.Errorf("fingerprint format %q", fp)
+	}
+	c := NewEngine(el, ep)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different list sets share a fingerprint")
+	}
+	// AddList invalidates the memo.
+	before := c.Fingerprint()
+	c.AddList(aa)
+	if c.Fingerprint() == before {
+		t.Error("fingerprint unchanged after AddList")
+	}
+	if c.Fingerprint() != a.Fingerprint() {
+		t.Error("equal final list sets disagree")
+	}
+}

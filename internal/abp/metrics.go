@@ -28,3 +28,28 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 		return int64(e.VerdictCacheStats().HitRatio() * 10000)
 	})
 }
+
+// RegisterMetrics publishes the verdict-cache gauges of whatever engine the
+// handle currently serves, plus the handle generation. Hot-swapping daemons
+// register the handle instead of an engine so the gauges follow swaps; note
+// that cache hit/miss gauges then reset with each new generation (each
+// engine owns its cache and lifetime counters), while abp.engine_generation
+// says why.
+func (h *EngineHandle) RegisterMetrics(reg *obs.Registry) {
+	reg.Func("abp.engine_generation", h.Generation)
+	reg.Func("abp.verdict_cache_hits", func() int64 {
+		return int64(h.Engine().VerdictCacheStats().Hits)
+	})
+	reg.Func("abp.verdict_cache_misses", func() int64 {
+		return int64(h.Engine().VerdictCacheStats().Misses)
+	})
+	reg.Func("abp.verdict_cache_size", func() int64 {
+		return int64(h.Engine().VerdictCacheStats().Size)
+	})
+	reg.Func("abp.verdict_cache_cap", func() int64 {
+		return int64(h.Engine().VerdictCacheStats().Cap)
+	})
+	reg.Func("abp.verdict_cache_hit_ratio_bp", func() int64 {
+		return int64(h.Engine().VerdictCacheStats().HitRatio() * 10000)
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package abp
+
+const raceEnabled = false

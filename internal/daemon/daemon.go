@@ -10,7 +10,6 @@ import (
 
 	"adscape/internal/abp"
 	"adscape/internal/analyzer"
-	"adscape/internal/core"
 	"adscape/internal/inference"
 	"adscape/internal/obs"
 	"adscape/internal/runz"
@@ -45,6 +44,16 @@ type Config struct {
 	// filter-list server addresses used for download detection.
 	Engine       *abp.Engine
 	ABPServerIPs []uint32
+
+	// Engines, when set, replaces Engine with a hot-swappable generation-
+	// tagged handle (typically owned by a listmgr.Manager): each window is
+	// classified by whatever generation the handle serves when the window
+	// emits, so a reload cuts over at a window boundary — never inside one —
+	// at any worker count (DESIGN.md §14). Exactly one of Engine and
+	// Engines must be set. The handle's generation and fingerprint are
+	// recorded in the checkpoint; a resumed run continues the generation
+	// numbering from there.
+	Engines *abp.EngineHandle
 
 	// Workers, Limits, CheckpointEvery, TraceID, Stop, StallTimeout,
 	// Deadline, DrainTimeout, RestartBudget, OnEvent, Obs and Heartbeat are
@@ -96,8 +105,12 @@ func Run(src wire.PacketSource, cfg Config) (*Result, error) {
 	if cfg.Grace < 0 {
 		return nil, errors.New("daemon: Config.Grace must be non-negative")
 	}
-	if cfg.Engine == nil {
-		return nil, errors.New("daemon: Config.Engine is required")
+	if (cfg.Engine == nil) == (cfg.Engines == nil) {
+		return nil, errors.New("daemon: exactly one of Config.Engine and Config.Engines is required")
+	}
+	handle := cfg.Engines
+	if handle == nil {
+		handle = abp.NewEngineHandle(cfg.Engine)
 	}
 	winDir := filepath.Join(cfg.Dir, WindowsSubdir)
 	if err := os.MkdirAll(winDir, 0o755); err != nil {
@@ -110,13 +123,23 @@ func Run(src wire.PacketSource, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if resume != nil && resume.EngineGeneration > 0 {
+		// Continue the predecessor's generation numbering: the gauge and
+		// future checkpoints count on from where the daemon left off instead
+		// of restarting at 1.
+		handle.Advance(resume.EngineGeneration)
+	}
+
+	if cfg.Obs != nil {
+		handle.RegisterMetrics(cfg.Obs)
+	}
 
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	aged := inference.NewAgedUsers(cfg.IdleHorizon)
-	em := newEmitter(winDir, core.NewPipeline(cfg.Engine), workers, cfg.ABPServerIPs, aged, cfg.Obs)
+	em := newEmitter(winDir, handle, workers, cfg.ABPServerIPs, aged, cfg.Obs)
 
 	res, err := runz.Run(src, runz.Options{
 		Workers:         workers,
@@ -133,6 +156,10 @@ func Run(src wire.PacketSource, cfg Config) (*Result, error) {
 		OnEvent:         cfg.OnEvent,
 		Obs:             cfg.Obs,
 		Heartbeat:       cfg.Heartbeat,
+		EngineState: func() (int64, string) {
+			e, gen := handle.Load()
+			return gen, e.Fingerprint()
+		},
 		Windows: runz.WindowPolicy{
 			Width: cfg.Window,
 			Grace: cfg.Grace,

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"adscape/internal/abp"
 	"adscape/internal/core"
 	"adscape/internal/inference"
 	"adscape/internal/obs"
@@ -55,6 +56,12 @@ type WindowRecord struct {
 	UsersSeen             int `json:"users_seen"`
 	HouseholdsSeen        int `json:"households_seen"`
 	ABPDownloadHouseholds int `json:"abp_download_households"`
+
+	// EngineFingerprint identifies the rule set that classified this window
+	// (abp.Engine.Fingerprint): content-derived, so it stays byte-identical
+	// across worker counts and kill-and-resume, unlike the process-local
+	// generation number, which deliberately is NOT recorded here.
+	EngineFingerprint string `json:"engine_fingerprint,omitempty"`
 }
 
 // envelope is the on-disk frame: the CRC-32 (IEEE) of the raw record JSON,
@@ -148,10 +155,16 @@ func ReadWindowRecords(dir string) ([]*WindowRecord, error) {
 // emitter is the runz window-emission callback: classify the window's
 // transactions, write the durable record, then fold the window into the
 // aged inference state and refresh the live gauges. It runs in the router
-// goroutine at a quiesce barrier, so no synchronization is needed.
+// goroutine at a quiesce barrier, so no synchronization is needed — which
+// also makes window emission the engine hot-swap barrier: the handle is
+// resolved once per window, so every record in a window is classified by
+// exactly one generation regardless of when the swap landed or how many
+// workers classify.
 type emitter struct {
 	dir     string
-	pipe    *core.Pipeline
+	handle  *abp.EngineHandle
+	engine  *abp.Engine    // engine pipe was built for
+	pipe    *core.Pipeline // rebuilt when the handle serves a new engine
 	workers int
 	abpIPs  map[uint32]bool
 	aged    *inference.AgedUsers
@@ -160,10 +173,10 @@ type emitter struct {
 	evictedUsersG, evictedHouseholdsG *obs.Gauge
 }
 
-func newEmitter(dir string, pipe *core.Pipeline, workers int, abpIPs []uint32, aged *inference.AgedUsers, reg *obs.Registry) *emitter {
+func newEmitter(dir string, handle *abp.EngineHandle, workers int, abpIPs []uint32, aged *inference.AgedUsers, reg *obs.Registry) *emitter {
 	e := &emitter{
 		dir:                dir,
-		pipe:               pipe,
+		handle:             handle,
 		workers:            workers,
 		abpIPs:             make(map[uint32]bool, len(abpIPs)),
 		aged:               aged,
@@ -179,8 +192,20 @@ func newEmitter(dir string, pipe *core.Pipeline, workers int, abpIPs []uint32, a
 	return e
 }
 
+// pipeline returns the classification pipeline for the engine the handle
+// currently serves, rebuilding it only when a swap published a new engine.
+// Only called from emit (router goroutine), so the memo needs no lock.
+func (e *emitter) pipeline() *core.Pipeline {
+	if eng := e.handle.Engine(); eng != e.engine {
+		e.engine = eng
+		e.pipe = core.NewPipeline(eng)
+	}
+	return e.pipe
+}
+
 func (e *emitter) emit(w *runz.Window) error {
-	cls := pipeline.Classify(e.pipe, w.Transactions, e.workers)
+	pipe := e.pipeline()
+	cls := pipeline.Classify(pipe, w.Transactions, e.workers)
 	rec := &WindowRecord{
 		Index:            w.Index,
 		StartNs:          w.Start,
@@ -197,6 +222,8 @@ func (e *emitter) emit(w *runz.Window) error {
 		AdBytes:          cls.Stats.AdBytes,
 		Whitelisted:      cls.Stats.Whitelisted,
 		UsersSeen:        len(cls.Users),
+
+		EngineFingerprint: e.engine.Fingerprint(),
 	}
 	if len(cls.Stats.PerList) > 0 {
 		rec.PerList = cls.Stats.PerList

@@ -1,0 +1,182 @@
+package daemon_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/daemon"
+	"adscape/internal/pipeline"
+	"adscape/internal/runz"
+	"adscape/internal/wire"
+)
+
+func parseTestList(t *testing.T, rules string) *abp.FilterList {
+	t.Helper()
+	fl, err := abp.ParseList("easylist", abp.ListAds, strings.NewReader(rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fl
+}
+
+// swapAfter swaps a new engine into the handle once n packets have been
+// read. Because the router consumes the source sequentially, the swap lands
+// at a deterministic point in the routed packet sequence — and the emitter
+// resolves the handle once per window, so the cutover window index is
+// identical at any worker count.
+type swapAfter struct {
+	src    wire.PacketSource
+	n      int
+	count  int
+	handle *abp.EngineHandle
+	next   *abp.Engine
+	once   sync.Once
+}
+
+func (s *swapAfter) Read() (*wire.Packet, error) {
+	if s.count >= s.n {
+		s.once.Do(func() { s.handle.Swap(s.next) })
+	}
+	s.count++
+	return s.src.Read()
+}
+
+func runDaemonHandle(t *testing.T, src wire.PacketSource, dir string, workers int, h *abp.EngineHandle, stop <-chan struct{}) *daemon.Result {
+	t.Helper()
+	res, err := daemon.Run(src, daemon.Config{
+		Dir:     dir,
+		Window:  60 * time.Second,
+		Grace:   5 * time.Second,
+		Workers: workers,
+		Engines: h,
+		Stop:    stop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDaemonHotSwapDeterministic: a mid-run engine swap cuts over at a
+// window boundary, the records carry the fingerprint of the generation that
+// classified them, and for a fixed swap schedule the window files are
+// byte-identical at any worker count.
+func TestDaemonHotSwapDeterministic(t *testing.T) {
+	pkts := genTrace(t, 60, 57)
+	blockAds := parseTestList(t, "||adserver.example^\n/banner/*\n")
+	blockNone := parseTestList(t, "||nothing-here.invalid^\n")
+	swapAt := len(pkts) / 2
+
+	dirs := map[int]string{}
+	for _, workers := range []int{1, 2, 4} {
+		dir := t.TempDir()
+		dirs[workers] = dir
+		h := abp.NewEngineHandle(abp.NewEngine(blockAds))
+		src := &swapAfter{src: pipeline.NewSliceSource(pkts), n: swapAt, handle: h, next: abp.NewEngine(blockNone)}
+		res := runDaemonHandle(t, src, dir, workers, h, nil)
+		if res.Run.WindowsEmitted == 0 {
+			t.Fatalf("workers=%d: no windows emitted", workers)
+		}
+		if g := h.Generation(); g != 2 {
+			t.Fatalf("workers=%d: generation = %d, want 2", workers, g)
+		}
+	}
+	ref := readWindowFiles(t, dirs[1])
+	if len(ref) == 0 {
+		t.Fatal("no window files written")
+	}
+	for _, workers := range []int{2, 4} {
+		if got := readWindowFiles(t, dirs[workers]); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: window files differ from workers=1 under the same swap schedule", workers)
+		}
+	}
+
+	// Both generations must have classified some windows, each window by
+	// exactly one generation, old before new.
+	fpAds := abp.NewEngine(blockAds).Fingerprint()
+	fpNone := abp.NewEngine(blockNone).Fingerprint()
+	recs, err := daemon.ReadWindowRecords(filepath.Join(dirs[1], daemon.WindowsSubdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nAds, nNone int
+	for _, r := range recs {
+		switch r.EngineFingerprint {
+		case fpAds:
+			nAds++
+			if nNone > 0 {
+				t.Fatalf("window %d classified by the old generation after the swap", r.Index)
+			}
+		case fpNone:
+			nNone++
+			if r.AdRequests != 0 {
+				t.Errorf("window %d: %d ad requests under the block-nothing generation", r.Index, r.AdRequests)
+			}
+		default:
+			t.Fatalf("window %d: unexpected fingerprint %q", r.Index, r.EngineFingerprint)
+		}
+	}
+	if nAds == 0 || nNone == 0 {
+		t.Fatalf("swap did not split the run: %d windows on gen 1, %d on gen 2", nAds, nNone)
+	}
+}
+
+// TestDaemonCheckpointCarriesEngineState: the state-dir checkpoint records
+// the handle's generation and fingerprint, and a resumed run continues the
+// generation numbering instead of restarting at 1.
+func TestDaemonCheckpointCarriesEngineState(t *testing.T) {
+	pkts := genTrace(t, 60, 63)
+	blockAds := parseTestList(t, "||adserver.example^\n/banner/*\n")
+	blockNone := parseTestList(t, "||nothing-here.invalid^\n")
+	dir := t.TempDir()
+
+	h1 := abp.NewEngineHandle(abp.NewEngine(blockAds))
+	stop := make(chan struct{})
+	src := &swapAfter{src: pipeline.NewSliceSource(pkts), n: len(pkts) / 4, handle: h1, next: abp.NewEngine(blockNone)}
+	res := runDaemonHandle(t, &stopAfter{src: src, n: len(pkts) / 2, stop: stop}, dir, 2, h1, stop)
+	if got := res.Run.Outcome.String(); got != "stopped" {
+		t.Fatalf("first run outcome = %q, want stopped", got)
+	}
+	ck, err := runz.LoadCheckpoint(filepath.Join(dir, daemon.CheckpointFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.EngineGeneration != 2 {
+		t.Fatalf("checkpoint EngineGeneration = %d, want 2", ck.EngineGeneration)
+	}
+	wantFP := abp.NewEngine(blockNone).Fingerprint()
+	if ck.EngineFingerprint != wantFP {
+		t.Fatalf("checkpoint EngineFingerprint = %q, want %q", ck.EngineFingerprint, wantFP)
+	}
+
+	// Resume with a fresh handle (a restarted daemon recompiles its lists):
+	// generation numbering continues past the checkpoint's.
+	h2 := abp.NewEngineHandle(abp.NewEngine(blockNone))
+	res2 := runDaemonHandle(t, pipeline.NewSliceSource(pkts), dir, 2, h2, nil)
+	if !res2.Resumed {
+		t.Fatal("second run did not resume")
+	}
+	if g := h2.Generation(); g != 2 {
+		t.Fatalf("resumed handle generation = %d, want 2 (continued from checkpoint)", g)
+	}
+}
+
+// TestDaemonConfigEngineValidation: exactly one of Engine/Engines.
+func TestDaemonConfigEngineValidation(t *testing.T) {
+	e := abp.NewEngine(parseTestList(t, "||adserver.example^\n"))
+	base := daemon.Config{Dir: t.TempDir(), Window: time.Minute}
+	if _, err := daemon.Run(pipeline.NewSliceSource(nil), base); err == nil {
+		t.Error("no engine accepted")
+	}
+	both := base
+	both.Engine = e
+	both.Engines = abp.NewEngineHandle(e)
+	if _, err := daemon.Run(pipeline.NewSliceSource(nil), both); err == nil {
+		t.Error("both Engine and Engines accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package filterlists
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"adscape/internal/abp"
+)
+
+// WriteListFiles exports the bundle's lists as ABP text files into dir,
+// creating it if needed, in the layout internal/listmgr consumes: numeric
+// filename prefixes pin the subscription order to ClassifierEngine's
+// (EasyList, language derivative, EasyPrivacy, acceptable ads), the stem
+// after the prefix is the list name, and the stem's vocabulary selects the
+// list kind (see listmgr.ListName / listmgr.KindFor). Re-parsing the dumped
+// directory yields an engine with the same abp fingerprint as
+// Bundle.ClassifierEngine — the property that lets a -lists-dir daemon start
+// byte-identical to a built-in-bundle one and diverge only through reloads.
+//
+// Files are published atomically (temp + rename) so a daemon already
+// watching dir never reads a half-written list.
+func WriteListFiles(dir string, b *Bundle) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("filterlists: export dir: %w", err)
+	}
+	lists := []struct {
+		file string
+		fl   *abp.FilterList
+	}{
+		{"10-easylist.txt", b.EasyList},
+		{"20-easylist-de.txt", b.LangEasyList},
+		{"30-easyprivacy.txt", b.EasyPrivacy},
+		{"40-acceptableads.txt", b.Acceptable},
+	}
+	for _, l := range lists {
+		path := filepath.Join(dir, l.file)
+		tmp, err := os.CreateTemp(dir, l.file+".tmp*")
+		if err != nil {
+			return fmt.Errorf("filterlists: exporting %s: %w", l.file, err)
+		}
+		_, werr := tmp.WriteString(listText(l.fl))
+		if werr == nil {
+			// CreateTemp defaults to 0600; the dump is meant to be edited.
+			werr = tmp.Chmod(0o644)
+		}
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), path)
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("filterlists: exporting %s: %w", l.file, werr)
+		}
+	}
+	return nil
+}
+
+// listText renders a parsed list back to ABP text: metadata headers, then
+// every request filter, then the element-hiding rules. ParseList splits the
+// two families into separate slices, so emitting them grouped reproduces the
+// parsed form (and the rule-text fingerprint) exactly.
+func listText(fl *abp.FilterList) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "! Title: %s\n", fl.Name)
+	if fl.Version != "" {
+		fmt.Fprintf(&b, "! Version: %s\n", fl.Version)
+	}
+	if fl.SoftExpiry > 0 {
+		if fl.SoftExpiry%(24*time.Hour) == 0 {
+			fmt.Fprintf(&b, "! Expires: %d days\n", fl.SoftExpiry/(24*time.Hour))
+		} else {
+			fmt.Fprintf(&b, "! Expires: %d hours\n", fl.SoftExpiry/time.Hour)
+		}
+	}
+	for _, f := range fl.Filters {
+		b.WriteString(f.Text)
+		b.WriteByte('\n')
+	}
+	for _, f := range fl.ElemHide {
+		b.WriteString(f.Text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

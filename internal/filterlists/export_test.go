@@ -1,0 +1,50 @@
+package filterlists
+
+import (
+	"testing"
+
+	"adscape/internal/abp"
+	"adscape/internal/listmgr"
+	"adscape/internal/urlutil"
+)
+
+// TestWriteListFilesRoundTrip pins the -dump-lists contract: a listmgr
+// opened over the exported directory serves an engine with the same rule
+// fingerprint as the built-in ClassifierEngine — same lists, same names,
+// same kinds, same order — so a daemon started on the dump is byte-identical
+// to one on the embedded bundle until a reload diverges them.
+func TestWriteListFilesRoundTrip(t *testing.T) {
+	bn := testBundle(t)
+	dir := t.TempDir()
+	if err := WriteListFiles(dir, bn); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := listmgr.Open(listmgr.Config{Dir: dir, Poll: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	ref := bn.ClassifierEngine()
+	got := m.Engine()
+	if gf, rf := got.Fingerprint(), ref.Fingerprint(); gf != rf {
+		t.Fatalf("reloaded fingerprint %s != bundle fingerprint %s", gf, rf)
+	}
+
+	// Fingerprint covers rule text only; spot-check that names and kinds
+	// survived too — verdict attribution and whitelist semantics depend on
+	// them.
+	for _, url := range []string{
+		"http://ad.dblclick.example/pagead/x.gif",
+		"http://tracker001.example/collect/p.gif",
+		"http://clean.example/index.html",
+	} {
+		req := &abp.Request{URL: url, Class: urlutil.ClassImage, PageHost: "www.news001.example"}
+		rv, gv := ref.Classify(req), got.Classify(req)
+		if rv.Blocked() != gv.Blocked() || rv.ListName != gv.ListName || rv.ListKind != gv.ListKind ||
+			rv.Whitelisted != gv.Whitelisted || rv.WhitelistedKind != gv.WhitelistedKind {
+			t.Errorf("%s: bundle verdict %+v != dumped-list verdict %+v", url, rv, gv)
+		}
+	}
+}

@@ -24,6 +24,18 @@ func DefaultGenOptions() GenOptions {
 	return GenOptions{Seed: 2015, ExtraGenericRules: 1500, Version: "201504110830"}
 }
 
+// EasyListScaleOptions sizes the synthetic lists at real-EasyList scale:
+// the April-2015 EasyList carried roughly 50K filters, so each generated
+// list gets 50K padding rules on top of its live vocabulary. Use this for
+// performance gates and benchmarks — the matcher index and the engine's
+// zero-allocation contract must hold at this size, not just at the small
+// default the correctness tests use.
+func EasyListScaleOptions() GenOptions {
+	o := DefaultGenOptions()
+	o.ExtraGenericRules = 50000
+	return o
+}
+
 // EasyListText renders the synthetic EasyList: host-anchored rules for every
 // ad-network/exchange/hybrid company, generic path-idiom rules, a handful of
 // exception rules, element-hiding rules, and inert padding.

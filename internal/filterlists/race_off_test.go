@@ -1,0 +1,5 @@
+//go:build !race
+
+package filterlists
+
+const raceEnabled = false

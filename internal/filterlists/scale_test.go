@@ -1,0 +1,91 @@
+package filterlists
+
+import (
+	"sync"
+	"testing"
+
+	"adscape/internal/abp"
+	"adscape/internal/urlutil"
+)
+
+// The EasyList-scale bundle (~50K rules per list) is expensive to generate
+// and index, so every scale gate shares one build.
+var (
+	scaleOnce sync.Once
+	scaleBn   *Bundle
+	scaleErr  error
+)
+
+func scaleBundle(tb testing.TB) *Bundle {
+	tb.Helper()
+	scaleOnce.Do(func() {
+		scaleBn, scaleErr = NewBundle(EasyListScaleOptions())
+	})
+	if scaleErr != nil {
+		tb.Fatal(scaleErr)
+	}
+	return scaleBn
+}
+
+func TestEasyListScaleSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale bundle build in -short mode")
+	}
+	bn := scaleBundle(t)
+	for _, l := range []*abp.FilterList{bn.EasyList, bn.EasyPrivacy} {
+		if n := len(l.Filters); n < 50000 || n > 100000 {
+			t.Errorf("%s: %d rules, want real-EasyList scale (50K-100K)", l.Name, n)
+		}
+		if l.Skipped != 0 {
+			t.Errorf("%s: generator produced %d unparseable rules", l.Name, l.Skipped)
+		}
+	}
+}
+
+// The zero-allocation gates from internal/abp, re-pinned at EasyList scale:
+// a bigger keyword index must not push the match path into allocating (the
+// failure mode would be index buckets spilling into per-probe slices).
+func TestEngineClassifyScaleAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale bundle build in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("allocation gates are not meaningful under the race detector")
+	}
+	bn := scaleBundle(t)
+	reqs := []*abp.Request{
+		{URL: "http://dblclick.example/banner/creative_00123.gif", Class: urlutil.ClassImage, PageHost: "www.news001.example"},
+		{URL: "http://static.news001.example/img/00042.jpg", Class: urlutil.ClassImage, PageHost: "www.news001.example"},
+		{URL: "http://www.shop003.example/api/suggest?q=term7", Class: urlutil.ClassUnknown, PageHost: "www.shop003.example"},
+	}
+
+	t.Run("cached", func(t *testing.T) {
+		e := bn.ClassifierEngine()
+		for _, r := range reqs {
+			e.Classify(r)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			for _, r := range reqs {
+				e.Classify(r)
+			}
+		})
+		if perCall := avg / float64(len(reqs)); perCall > 1 {
+			t.Errorf("cached Classify at scale allocates %.2f objects per call, want <= 1", perCall)
+		}
+	})
+
+	t.Run("uncached", func(t *testing.T) {
+		e := bn.ClassifierEngine()
+		e.SetVerdictCacheSize(0) // force the full match path every call
+		for _, r := range reqs {
+			e.Classify(r) // warm the context pool and page-exception memo
+		}
+		for _, r := range reqs {
+			r := r
+			avg := testing.AllocsPerRun(200, func() { e.Classify(r) })
+			if avg != 0 {
+				t.Errorf("uncached Classify at scale allocates %.2f objects per call on %s, want 0", avg, r.URL)
+			}
+		}
+	})
+}

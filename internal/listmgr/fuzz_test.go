@@ -1,0 +1,51 @@
+package listmgr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adscape/internal/abp"
+)
+
+// FuzzListParse hammers the filter-list parser with the inputs a -lists-dir
+// daemon is exposed to: hand-edited lists, half-written drops, wrong files
+// entirely. The contract the lifecycle depends on:
+//
+//   - ParseList never panics — a hard error or a Skipped count, nothing else
+//     (runtime reloads turn errors into quarantine, never into a crash);
+//   - parsing is deterministic, so compile-retry after backoff sees the same
+//     outcome for the same bytes;
+//   - accepted lists always pass CheckList bookkeeping without panicking —
+//     the exact budget the lifecycle enforces at reload time.
+func FuzzListParse(f *testing.F) {
+	f.Add([]byte("[Adblock Plus 2.0]\n! Title: seed\n! Expires: 4 days\n||ads.example^$third-party\n##.ad-banner\n@@||ok.example^\n"))
+	f.Add([]byte("/unclosed[/\n"))
+	f.Add([]byte("example.com#@#.ad\n"))
+	f.Add([]byte("||ads.example^$third-party,imag"))
+	f.Add([]byte("||ads.example^\n\xff\xfe||tr\xc3\xa4cker.example^\n\x00\x01\x02\n"))
+	f.Add([]byte("\xef\xbb\xbf||ads.example^\r\n! comment\r\n"))
+	f.Add([]byte("! Expires: -3 days\n! Version:\n!\n"))
+	f.Add([]byte("||" + strings.Repeat("a", 70000) + ".example^\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := abp.ParseList("fuzz", abp.ListAds, bytes.NewReader(data))
+		fl2, err2 := abp.ParseList("fuzz", abp.ListAds, bytes.NewReader(data))
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("parse not deterministic: err=%v then err=%v", err, err2)
+		}
+		if err != nil {
+			return // hard reject is a valid outcome; only a panic is a bug
+		}
+		if len(fl.Filters) != len(fl2.Filters) || len(fl.ElemHide) != len(fl2.ElemHide) || fl.Skipped != fl2.Skipped {
+			t.Fatalf("parse not deterministic: %d/%d/%d filters/elemhide/skipped, then %d/%d/%d",
+				len(fl.Filters), len(fl.ElemHide), fl.Skipped,
+				len(fl2.Filters), len(fl2.ElemHide), fl2.Skipped)
+		}
+		// The lifecycle's reload-time budget must be computable on anything
+		// the parser accepts (its verdict — pass or reject — may go either
+		// way; both feed the quarantine state machine fine).
+		_ = CheckList(fl, countRuleLines(data), Validation{}.withDefaults())
+	})
+}

@@ -1,0 +1,528 @@
+// Package listmgr supervises the filter-list source of a long-running
+// daemon: it watches a directory of ABP list files, compiles and validates
+// changed lists in the background, and atomically publishes each accepted
+// rule set as a new engine generation behind an abp.EngineHandle
+// (DESIGN.md §14).
+//
+// The lifecycle is deliberately asymmetric between startup and runtime.
+// At startup (Open) every list file must be valid — a daemon silently
+// starting without the rules the operator dropped in place would classify
+// wrong for its whole life, so Open fails with ErrInvalid and the CLI maps
+// that to its own exit code. At runtime a bad list can never take the
+// service down: a file that fails to parse or validate is retried with
+// exponential backoff (partially-written drops finish being written), and
+// if it stays bad it is quarantined — renamed to <file>.rejected with the
+// diagnostic in <file>.rejected.reason — while the previous generation
+// keeps serving.
+//
+// Swaps are atomic and generation-tagged. Consumers resolve the handle at
+// their own barrier points (the daemon does so once per window emission),
+// so a reload never splits one window across two rule sets, and verdict
+// caches cannot leak stale verdicts across generations because each engine
+// owns its cache.
+package listmgr
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/obs"
+)
+
+// Defaults for the zero-value knobs of Config.
+const (
+	DefaultPoll         = 2 * time.Second
+	DefaultMaxAttempts  = 3
+	DefaultRetryBackoff = 250 * time.Millisecond
+	maxBackoff          = 30 * time.Second
+)
+
+// ErrInvalid marks a list rejected by compilation or validation. Open wraps
+// it for startup failures so the CLI can map "the operator gave me bad
+// rules" to a distinct exit code; runtime rejections never surface as
+// errors, they quarantine.
+var ErrInvalid = errors.New("listmgr: invalid filter list")
+
+// ErrNoLists is returned by Open when the directory contains no list files:
+// an empty rule source is almost always a deployment mistake, not a request
+// to classify nothing.
+var ErrNoLists = errors.New("listmgr: no list files")
+
+// Config configures a Manager. Dir is required; zero values of everything
+// else pick the documented defaults.
+type Config struct {
+	// Dir is the watched directory. Files matching *.txt are list files,
+	// loaded in sorted filename order (which sets engine priority order —
+	// use numeric prefixes like 10-easylist.txt to pin it). The list kind
+	// is inferred from the name: "privacy" → privacy list,
+	// "acceptable"/"allow"/"whitelist" → whitelist, anything else → ads.
+	Dir string
+
+	// Poll is the interval between directory scans (mtime+size polling).
+	// 0 picks DefaultPoll; negative disables polling so only Reload calls
+	// (the daemon's SIGHUP path) trigger scans.
+	Poll time.Duration
+
+	// Validation gates every candidate list and engine; zero values pick
+	// the documented defaults.
+	Validation Validation
+
+	// MaxAttempts bounds how often a changed-but-invalid file is re-read
+	// (with exponential backoff from RetryBackoff) before it is
+	// quarantined. 0 picks DefaultMaxAttempts; 1 quarantines immediately.
+	MaxAttempts  int
+	RetryBackoff time.Duration
+
+	// OnEvent receives one-line lifecycle reports (reloads, rejections,
+	// quarantines); nil discards them.
+	OnEvent func(string)
+
+	// Obs receives the lifecycle metrics (listmgr.generation,
+	// listmgr.reloads_*, listmgr.lists_*); nil disables them.
+	Obs *obs.Registry
+
+	// Now is the clock, for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Manager owns the engine handle and the supervision state machine. All
+// scanning and swapping is serialized on mu; the handle itself is lock-free
+// for readers.
+type Manager struct {
+	cfg    Config
+	handle *abp.EngineHandle
+
+	mu     sync.Mutex
+	states map[string]*fileState
+	liveFP string // fingerprint of the generation the handle serves
+
+	kick    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+
+	attemptsC *obs.Counter // candidate engine builds attempted
+	appliedC  *obs.Counter // generations swapped in
+	rejectsC  *obs.Counter // files quarantined
+	retriesC  *obs.Counter // failed per-file reads awaiting backoff
+	listsG    *obs.Gauge   // lists in the live generation
+	rulesG    *obs.Gauge   // request filters in the live generation
+}
+
+// fileState tracks one list file across scans.
+type fileState struct {
+	sig      fileSig         // signature of the last successfully compiled content
+	list     *abp.FilterList // last good compiled version ("lastGood")
+	attempts int             // consecutive failures on failSig content
+	failSig  fileSig         // signature the failures were observed on
+	nextTry  time.Time       // backoff deadline for the next attempt
+	// quarantined records that the manager itself renamed the file away,
+	// so its absence from the next scan is not a user deletion and
+	// lastGood keeps serving until a replacement file appears.
+	quarantined bool
+}
+
+type fileSig struct {
+	size    int64
+	mtimeNs int64
+}
+
+var zeroSig fileSig
+
+// Open scans cfg.Dir, compiles and validates every list file, builds the
+// generation-1 engine, and returns the manager with its poll loop NOT yet
+// running (call Start). Any invalid file at startup is an error wrapping
+// ErrInvalid that names the file; an empty directory is ErrNoLists.
+func Open(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("listmgr: Config.Dir is required")
+	}
+	if cfg.Poll == 0 {
+		cfg.Poll = DefaultPoll
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	cfg.Validation = cfg.Validation.withDefaults()
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	m := &Manager{
+		cfg:       cfg,
+		states:    make(map[string]*fileState),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		attemptsC: cfg.Obs.Counter("listmgr.reloads_attempted"),
+		appliedC:  cfg.Obs.Counter("listmgr.reloads_applied"),
+		rejectsC:  cfg.Obs.Counter("listmgr.lists_rejected"),
+		retriesC:  cfg.Obs.Counter("listmgr.read_retries"),
+		listsG:    cfg.Obs.Gauge("listmgr.lists_live"),
+		rulesG:    cfg.Obs.Gauge("listmgr.rules_live"),
+	}
+
+	names, sigs, err := m.scanDir()
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w in %s (want *.txt)", ErrNoLists, cfg.Dir)
+	}
+	for _, name := range names {
+		fl, err := compileFile(filepath.Join(cfg.Dir, name), name, cfg.Validation)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrInvalid, name, err)
+		}
+		m.states[name] = &fileState{sig: sigs[name], list: fl}
+	}
+	engine := abp.NewEngine(m.liveLists()...)
+	if err := smokeTest(engine, cfg.Validation.Probes); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrInvalid, cfg.Dir, err)
+	}
+	m.handle = abp.NewEngineHandle(engine)
+	m.liveFP = engine.Fingerprint()
+	m.setLiveGauges(engine)
+	if cfg.Obs != nil {
+		cfg.Obs.Func("listmgr.generation", m.handle.Generation)
+	}
+	m.eventf("listmgr: generation 1: %d lists, %d rules from %s (%s)",
+		len(engine.Lists()), engine.NumFilters(), cfg.Dir, m.liveFP)
+	return m, nil
+}
+
+// Handle returns the generation-tagged engine handle consumers resolve at
+// their barrier points.
+func (m *Manager) Handle() *abp.EngineHandle { return m.handle }
+
+// Engine returns the currently serving engine.
+func (m *Manager) Engine() *abp.Engine { return m.handle.Engine() }
+
+// Start launches the supervision goroutine: periodic directory scans (per
+// Config.Poll) plus on-demand scans from Reload. Call Stop to end it.
+func (m *Manager) Start() {
+	if m.started.Swap(true) {
+		return
+	}
+	go m.loop()
+}
+
+// Stop ends the supervision goroutine and waits for it to exit. The handle
+// keeps serving its last generation. Safe to call whether or not Start ran,
+// and more than once.
+func (m *Manager) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	if m.started.Load() {
+		<-m.done
+	}
+}
+
+// Reload requests an immediate scan (the daemon wires SIGHUP here).
+// Non-blocking; coalesces with an already-pending request.
+func (m *Manager) Reload() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) loop() {
+	defer close(m.done)
+	var tick <-chan time.Time
+	if m.cfg.Poll > 0 {
+		t := time.NewTicker(m.cfg.Poll)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.kick:
+		case <-tick:
+		}
+		m.CheckNow()
+	}
+}
+
+// CheckNow runs one scan-compile-validate-swap cycle synchronously and
+// reports whether a new generation was published. Safe to call concurrently
+// with the poll loop; cycles are serialized.
+func (m *Manager) CheckNow() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+
+	names, sigs, err := m.scanDir()
+	if err != nil {
+		m.eventf("listmgr: scanning %s: %v", m.cfg.Dir, err)
+		return false
+	}
+	present := make(map[string]bool, len(names))
+	for _, n := range names {
+		present[n] = true
+	}
+
+	// User deletions: a file that vanished without the manager renaming it
+	// away drops its list. A quarantined file keeps serving lastGood.
+	changed := false
+	for name, st := range m.states {
+		if present[name] || st.quarantined {
+			continue
+		}
+		delete(m.states, name)
+		changed = true
+		m.eventf("listmgr: %s removed; dropping its list", name)
+	}
+
+	// Candidate reads: new files and files whose signature moved. A
+	// proposal is staged, not committed — engine-level validation can still
+	// send the whole batch back.
+	type proposal struct {
+		name string
+		st   *fileState
+		sig  fileSig
+		list *abp.FilterList
+	}
+	var proposals []proposal
+	for _, name := range names {
+		st := m.states[name]
+		if st == nil {
+			st = &fileState{}
+			m.states[name] = st
+		}
+		sig := sigs[name]
+		if sig == st.sig && !st.quarantined {
+			continue // unchanged since last good compile
+		}
+		if st.quarantined {
+			// A replacement appeared where we quarantined: fresh start.
+			st.quarantined = false
+			st.attempts, st.failSig = 0, zeroSig
+		}
+		if sig != st.failSig {
+			// Content moved since the last failure: the backoff clock and
+			// attempt budget belong to the old bytes.
+			st.attempts, st.failSig, st.nextTry = 0, zeroSig, time.Time{}
+		}
+		if now.Before(st.nextTry) {
+			continue // backing off on this exact content
+		}
+		fl, err := compileFile(filepath.Join(m.cfg.Dir, name), name, m.cfg.Validation)
+		if err != nil {
+			m.fileFailed(st, name, sig, now, err)
+			continue
+		}
+		proposals = append(proposals, proposal{name: name, st: st, sig: sig, list: fl})
+	}
+
+	if len(proposals) == 0 && !changed {
+		return false
+	}
+
+	// Build the candidate engine: committed lists plus staged proposals.
+	m.attemptsC.Inc()
+	staged := make(map[string]*abp.FilterList, len(proposals))
+	for _, p := range proposals {
+		staged[p.name] = p.list
+	}
+	var lists []*abp.FilterList
+	for _, name := range m.sortedStateNames() {
+		if fl, ok := staged[name]; ok {
+			lists = append(lists, fl)
+		} else if fl := m.states[name].list; fl != nil {
+			lists = append(lists, fl)
+		}
+	}
+	if len(lists) == 0 {
+		m.eventf("listmgr: refusing empty list set; generation %d keeps serving", m.handle.Generation())
+		return false
+	}
+	candidate := abp.NewEngine(lists...)
+	if err := smokeTest(candidate, m.cfg.Validation.Probes); err != nil {
+		// Engine-level failure can only attribute to what changed this
+		// cycle: every staged file takes a strike, lastGood keeps serving.
+		for _, p := range proposals {
+			m.fileFailed(p.st, p.name, p.sig, now, err)
+		}
+		if len(proposals) == 0 {
+			m.eventf("listmgr: candidate engine rejected after deletions: %v; generation %d keeps serving",
+				err, m.handle.Generation())
+		}
+		return false
+	}
+
+	for _, p := range proposals {
+		p.st.sig, p.st.list = p.sig, p.list
+		p.st.attempts, p.st.failSig, p.st.nextTry = 0, zeroSig, time.Time{}
+	}
+	fp := candidate.Fingerprint()
+	if fp == m.liveFP {
+		// Touch without content change (or a rewrite to identical rules):
+		// commit the signatures, keep the generation — swapping would only
+		// throw away a warm verdict cache.
+		return false
+	}
+	gen := m.handle.Swap(candidate)
+	m.liveFP = fp
+	m.appliedC.Inc()
+	m.setLiveGauges(candidate)
+	m.eventf("listmgr: generation %d: %d lists, %d rules (%s)",
+		gen, len(candidate.Lists()), candidate.NumFilters(), fp)
+	return true
+}
+
+// fileFailed records one failed read of a file's current content and
+// quarantines it once the attempt budget is spent.
+func (m *Manager) fileFailed(st *fileState, name string, sig fileSig, now time.Time, cause error) {
+	if sig != st.failSig {
+		st.attempts, st.failSig = 0, sig
+	}
+	st.attempts++
+	if st.attempts < m.cfg.MaxAttempts {
+		backoff := m.cfg.RetryBackoff << (st.attempts - 1)
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		st.nextTry = now.Add(backoff)
+		m.retriesC.Inc()
+		m.eventf("listmgr: %s invalid (attempt %d/%d, retry in %v): %v",
+			name, st.attempts, m.cfg.MaxAttempts, backoff, cause)
+		return
+	}
+	m.quarantine(st, name, cause)
+}
+
+// quarantine renames the offending file to <file>.rejected, writes the
+// diagnostic next to it, and keeps the file's last good version (if any)
+// serving until a replacement appears.
+func (m *Manager) quarantine(st *fileState, name string, cause error) {
+	src := filepath.Join(m.cfg.Dir, name)
+	dst := src + ".rejected"
+	if err := os.Rename(src, dst); err != nil {
+		// Renaming can fail (permissions, the file vanished mid-cycle);
+		// leave the state armed so the next scan re-evaluates.
+		m.eventf("listmgr: quarantining %s: %v", name, err)
+		st.attempts = 0
+		return
+	}
+	reason := fmt.Sprintf("rejected by listmgr validation after %d attempts\nfile: %s\nreason: %v\n",
+		st.attempts, name, cause)
+	if err := os.WriteFile(dst+".reason", []byte(reason), 0o644); err != nil {
+		m.eventf("listmgr: writing %s.reason: %v", dst, err)
+	}
+	st.quarantined = true
+	st.attempts, st.failSig, st.nextTry = 0, zeroSig, time.Time{}
+	m.rejectsC.Inc()
+	if st.list != nil {
+		m.eventf("listmgr: quarantined %s to %s (%v); its previous good version keeps serving", name, dst, cause)
+	} else {
+		m.eventf("listmgr: quarantined %s to %s (%v)", name, dst, cause)
+	}
+}
+
+// scanDir lists the *.txt files of the watched directory with their
+// signatures, sorted by name (= engine priority order).
+func (m *Manager) scanDir() ([]string, map[string]fileSig, error) {
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	sigs := make(map[string]fileSig)
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".txt") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue // raced with a delete; next scan settles it
+		}
+		names = append(names, name)
+		sigs[name] = fileSig{size: info.Size(), mtimeNs: info.ModTime().UnixNano()}
+	}
+	sort.Strings(names)
+	return names, sigs, nil
+}
+
+func (m *Manager) sortedStateNames() []string {
+	names := make([]string, 0, len(m.states))
+	for name := range m.states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// liveLists returns the committed lists in priority (filename) order.
+func (m *Manager) liveLists() []*abp.FilterList {
+	var lists []*abp.FilterList
+	for _, name := range m.sortedStateNames() {
+		if fl := m.states[name].list; fl != nil {
+			lists = append(lists, fl)
+		}
+	}
+	return lists
+}
+
+func (m *Manager) setLiveGauges(e *abp.Engine) {
+	m.listsG.Set(int64(len(e.Lists())))
+	m.rulesG.Set(int64(e.NumFilters()))
+}
+
+func (m *Manager) eventf(format string, args ...any) {
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(fmt.Sprintf(format, args...))
+	}
+}
+
+// ListName maps a list file name to the engine-visible list identity: the
+// base name without the .txt extension and without a numeric ordering
+// prefix, so "10-easylist.txt" and "easylist.txt" both subscribe
+// "easylist" — matching the built-in bundle names and keeping engine
+// fingerprints stable under reordering prefixes.
+func ListName(file string) string {
+	name := strings.TrimSuffix(filepath.Base(file), ".txt")
+	if i := strings.IndexByte(name, '-'); i > 0 {
+		digits := true
+		for _, r := range name[:i] {
+			if r < '0' || r > '9' {
+				digits = false
+				break
+			}
+		}
+		if digits && i+1 < len(name) {
+			name = name[i+1:]
+		}
+	}
+	return name
+}
+
+// KindFor infers the list's role from its file name, mirroring how operators
+// name real subscriptions: "privacy" → tracker blocking, "acceptable" /
+// "allow" / "whitelist" → non-intrusive-ads whitelist, anything else → ads.
+func KindFor(file string) abp.ListKind {
+	n := strings.ToLower(filepath.Base(file))
+	switch {
+	case strings.Contains(n, "privacy"):
+		return abp.ListPrivacy
+	case strings.Contains(n, "acceptable"), strings.Contains(n, "allow"), strings.Contains(n, "whitelist"):
+		return abp.ListWhitelist
+	}
+	return abp.ListAds
+}

@@ -1,0 +1,406 @@
+package listmgr
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adscape/internal/abp"
+	"adscape/internal/obs"
+	"adscape/internal/urlutil"
+)
+
+// corruptList is a hard ParseList error (bad regex), not a skipped rule.
+const corruptList = "||ok.example^\n/unclosed[/\n"
+
+func writeList(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// testManager opens a manager over dir with a fake clock and no poll loop.
+func testManager(t *testing.T, dir string, reg *obs.Registry) (*Manager, *time.Time) {
+	t.Helper()
+	now := time.Unix(1000, 0)
+	m, err := Open(Config{
+		Dir:          dir,
+		Poll:         -1,
+		MaxAttempts:  2,
+		RetryBackoff: time.Second,
+		Obs:          reg,
+		Now:          func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, &now
+}
+
+func classify(e *abp.Engine, url string) abp.Verdict {
+	return e.Classify(&abp.Request{URL: url, Class: urlutil.ClassImage, PageHost: "news.example"})
+}
+
+func TestOpenServesSortedLists(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "20-easyprivacy.txt", "||tracker.example^\n")
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	writeList(t, dir, "notes.md", "not a list")
+	m, _ := testManager(t, dir, nil)
+	e := m.Engine()
+	lists := e.Lists()
+	if len(lists) != 2 || lists[0].Name != "easylist" || lists[1].Name != "easyprivacy" {
+		t.Fatalf("lists = %+v, want [easylist easyprivacy]", lists)
+	}
+	if lists[1].Kind != abp.ListPrivacy {
+		t.Errorf("easyprivacy kind = %v, want privacy", lists[1].Kind)
+	}
+	if g := m.Handle().Generation(); g != 1 {
+		t.Errorf("generation = %d, want 1", g)
+	}
+	if v := classify(e, "http://adserver.example/a.gif"); !v.Blocked() {
+		t.Errorf("easylist rule not serving: %+v", v)
+	}
+	if v := classify(e, "http://tracker.example/p.gif"); !v.Blocked() {
+		t.Errorf("easyprivacy rule not serving: %+v", v)
+	}
+}
+
+func TestOpenRejectsInvalidAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	writeList(t, dir, "20-bad.txt", corruptList)
+	_, err := Open(Config{Dir: dir})
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+	if !strings.Contains(err.Error(), "20-bad.txt") {
+		t.Errorf("error does not name the file: %v", err)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(Config{Dir: t.TempDir()}); !errors.Is(err, ErrNoLists) {
+		t.Fatalf("err = %v, want ErrNoLists", err)
+	}
+}
+
+func TestReloadSwapsGeneration(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	reg := obs.NewRegistry()
+	m, _ := testManager(t, dir, reg)
+	old := m.Engine()
+
+	if m.CheckNow() {
+		t.Fatal("CheckNow swapped with nothing changed")
+	}
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n||newads.example^\n")
+	if !m.CheckNow() {
+		t.Fatal("CheckNow did not swap after a list change")
+	}
+	if g := m.Handle().Generation(); g != 2 {
+		t.Errorf("generation = %d, want 2", g)
+	}
+	if v := classify(m.Engine(), "http://newads.example/a.gif"); !v.Blocked() {
+		t.Errorf("new rule not live: %+v", v)
+	}
+	if v := classify(old, "http://newads.example/a.gif"); v.Blocked() {
+		t.Errorf("old generation mutated: %+v", v)
+	}
+	snap := metricValue(t, reg, "listmgr.reloads_applied")
+	if snap != 1 {
+		t.Errorf("reloads_applied = %d, want 1", snap)
+	}
+	if g := metricValue(t, reg, "listmgr.generation"); g != 2 {
+		t.Errorf("generation gauge = %d, want 2", g)
+	}
+}
+
+func TestNewFileJoinsEngine(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	m, _ := testManager(t, dir, nil)
+	writeList(t, dir, "30-acceptable.txt", "@@||adserver.example/acceptable/\n")
+	if !m.CheckNow() {
+		t.Fatal("new file did not trigger a swap")
+	}
+	e := m.Engine()
+	if len(e.Lists()) != 2 || e.Lists()[1].Kind != abp.ListWhitelist {
+		t.Fatalf("lists after join = %+v", e.Lists())
+	}
+	v := classify(e, "http://adserver.example/acceptable/a.gif")
+	if !v.Whitelisted {
+		t.Errorf("whitelist rule not live: %+v", v)
+	}
+}
+
+func TestTouchWithoutContentChangeKeepsGeneration(t *testing.T) {
+	dir := t.TempDir()
+	p := writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	m, _ := testManager(t, dir, nil)
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(p, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if m.CheckNow() {
+		t.Fatal("identical content swapped a new generation")
+	}
+	if g := m.Handle().Generation(); g != 1 {
+		t.Errorf("generation = %d, want 1", g)
+	}
+	// The signature was committed: the next scan is quiet too.
+	if m.CheckNow() {
+		t.Fatal("second scan of committed signature swapped")
+	}
+}
+
+func TestBackoffThenQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	reg := obs.NewRegistry()
+	var events []string
+	now := time.Unix(1000, 0)
+	m, err := Open(Config{
+		Dir: dir, Poll: -1, MaxAttempts: 2, RetryBackoff: time.Second,
+		Obs: reg, Now: func() time.Time { return now },
+		OnEvent: func(s string) { events = append(events, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupt replacement of a good list: first attempt backs off,
+	// second (same content, past the deadline) quarantines.
+	writeList(t, dir, "10-easylist.txt", corruptList)
+	if m.CheckNow() {
+		t.Fatal("corrupt list swapped in")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "10-easylist.txt")); err != nil {
+		t.Fatalf("file quarantined on first attempt: %v", err)
+	}
+	if m.CheckNow() {
+		t.Fatal("swap during backoff window")
+	}
+	now = now.Add(2 * time.Second)
+	if m.CheckNow() {
+		t.Fatal("corrupt list swapped in after backoff")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "10-easylist.txt")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("file not quarantined after attempt budget")
+	}
+	rej := filepath.Join(dir, "10-easylist.txt.rejected")
+	if _, err := os.Stat(rej); err != nil {
+		t.Fatalf("no .rejected file: %v", err)
+	}
+	reason, err := os.ReadFile(rej + ".reason")
+	if err != nil {
+		t.Fatalf("no .reason diagnostic: %v", err)
+	}
+	if !strings.Contains(string(reason), "bad regex") {
+		t.Errorf("reason does not carry the parse error: %q", reason)
+	}
+
+	// The previous good version keeps serving.
+	if g := m.Handle().Generation(); g != 1 {
+		t.Errorf("generation = %d, want 1", g)
+	}
+	if v := classify(m.Engine(), "http://adserver.example/a.gif"); !v.Blocked() {
+		t.Errorf("lastGood stopped serving: %+v", v)
+	}
+	if n := metricValue(t, reg, "listmgr.lists_rejected"); n != 1 {
+		t.Errorf("lists_rejected = %d, want 1", n)
+	}
+
+	// Quiet after quarantine: the absence of the renamed file is not a
+	// user deletion.
+	if m.CheckNow() {
+		t.Fatal("post-quarantine scan swapped")
+	}
+
+	// A valid replacement with the same name is picked up fresh.
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n||fresh.example^\n")
+	if !m.CheckNow() {
+		t.Fatal("replacement after quarantine not accepted")
+	}
+	if v := classify(m.Engine(), "http://fresh.example/a.gif"); !v.Blocked() {
+		t.Errorf("replacement rules not live: %+v", v)
+	}
+}
+
+func TestChangedContentResetsBackoff(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	m, _ := testManager(t, dir, nil)
+	writeList(t, dir, "10-easylist.txt", corruptList)
+	if m.CheckNow() {
+		t.Fatal("corrupt list swapped in")
+	}
+	// Fixed before the backoff deadline: the new content must be read
+	// immediately — the attempt budget belonged to the old bytes.
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n||fixed.example^\n")
+	if !m.CheckNow() {
+		t.Fatal("fixed list not accepted during the old content's backoff")
+	}
+	if v := classify(m.Engine(), "http://fixed.example/a.gif"); !v.Blocked() {
+		t.Errorf("fixed rules not live: %+v", v)
+	}
+}
+
+func TestUserDeletionDropsList(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	writeList(t, dir, "20-easyprivacy.txt", "||tracker.example^\n")
+	m, _ := testManager(t, dir, nil)
+	if err := os.Remove(filepath.Join(dir, "20-easyprivacy.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CheckNow() {
+		t.Fatal("deletion did not swap")
+	}
+	if g := m.Handle().Generation(); g != 2 {
+		t.Errorf("generation = %d, want 2", g)
+	}
+	if v := classify(m.Engine(), "http://tracker.example/p.gif"); v.Blocked() {
+		t.Errorf("deleted list still matching: %+v", v)
+	}
+	if v := classify(m.Engine(), "http://adserver.example/a.gif"); !v.Blocked() {
+		t.Errorf("surviving list broken: %+v", v)
+	}
+}
+
+func TestEmptyRuleSetRefused(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	m, _ := testManager(t, dir, nil)
+	if err := os.Remove(filepath.Join(dir, "10-easylist.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if m.CheckNow() {
+		t.Fatal("swapped to an empty rule set")
+	}
+	if v := classify(m.Engine(), "http://adserver.example/a.gif"); !v.Blocked() {
+		t.Errorf("last generation stopped serving: %+v", v)
+	}
+}
+
+func TestParseErrorBudget(t *testing.T) {
+	dir := t.TempDir()
+	// 1 supported rule, 3 unsupported: 75% skipped > 50% budget.
+	writeList(t, dir, "10-easylist.txt", "||ok.example^\na#@#x\nb#@#y\nc#@#z\n")
+	_, err := Open(Config{Dir: dir})
+	if !errors.Is(err, ErrInvalid) || !strings.Contains(err.Error(), "parse-error budget") {
+		t.Fatalf("err = %v, want parse-error budget rejection", err)
+	}
+	// Within budget: 2 supported, 1 unsupported.
+	writeList(t, dir, "10-easylist.txt", "||ok.example^\n||ok2.example^\na#@#x\n")
+	if _, err := Open(Config{Dir: dir}); err != nil {
+		t.Fatalf("within-budget list rejected: %v", err)
+	}
+}
+
+func TestRuleFloor(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "! just a comment\n")
+	_, err := Open(Config{Dir: dir})
+	if !errors.Is(err, ErrInvalid) || !strings.Contains(err.Error(), "rule floor") {
+		t.Fatalf("err = %v, want rule-floor rejection", err)
+	}
+}
+
+func TestProbeAssertionGatesSwap(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	yes := true
+	now := time.Unix(1000, 0)
+	m, err := Open(Config{
+		Dir: dir, Poll: -1, MaxAttempts: 1,
+		Now: func() time.Time { return now },
+		Validation: Validation{Probes: []Probe{{
+			URL: "http://adserver.example/a.gif", Class: urlutil.ClassImage,
+			PageHost: "news.example", WantBlocked: &yes,
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A replacement list that stops blocking the pinned probe fails
+	// engine-level validation and (MaxAttempts 1) quarantines immediately.
+	writeList(t, dir, "10-easylist.txt", "||elsewhere.example^\n")
+	if m.CheckNow() {
+		t.Fatal("swap passed despite failed probe assertion")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "10-easylist.txt.rejected")); err != nil {
+		t.Fatalf("probe-failing list not quarantined: %v", err)
+	}
+	if v := classify(m.Engine(), "http://adserver.example/a.gif"); !v.Blocked() {
+		t.Errorf("previous generation stopped serving: %+v", v)
+	}
+}
+
+func TestStartStopAndReloadKick(t *testing.T) {
+	dir := t.TempDir()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n")
+	m, err := Open(Config{Dir: dir, Poll: time.Hour}) // poll effectively off
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+	writeList(t, dir, "10-easylist.txt", "||adserver.example^\n||kicked.example^\n")
+	m.Reload()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Handle().Generation() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("Reload kick did not trigger a swap")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := classify(m.Engine(), "http://kicked.example/a.gif"); !v.Blocked() {
+		t.Errorf("kicked rules not live: %+v", v)
+	}
+}
+
+func TestListNameAndKindFor(t *testing.T) {
+	cases := []struct {
+		file string
+		name string
+		kind abp.ListKind
+	}{
+		{"10-easylist.txt", "easylist", abp.ListAds},
+		{"easylist.txt", "easylist", abp.ListAds},
+		{"20-easyprivacy.txt", "easyprivacy", abp.ListPrivacy},
+		{"40-acceptableads.txt", "acceptableads", abp.ListWhitelist},
+		{"allowlist.txt", "allowlist", abp.ListWhitelist},
+		{"99-whitelist-extra.txt", "whitelist-extra", abp.ListWhitelist},
+		{"easylist-de.txt", "easylist-de", abp.ListAds},
+		{"-weird.txt", "-weird", abp.ListAds},
+	}
+	for _, c := range cases {
+		if got := ListName(c.file); got != c.name {
+			t.Errorf("ListName(%q) = %q, want %q", c.file, got, c.name)
+		}
+		if got := KindFor(c.file); got != c.kind {
+			t.Errorf("KindFor(%q) = %v, want %v", c.file, got, c.kind)
+		}
+	}
+}
+
+func metricValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	snap := reg.Snapshot()
+	if v, ok := snap.Counters[name]; ok {
+		return int64(v)
+	}
+	if v, ok := snap.Gauges[name]; ok {
+		return v
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}

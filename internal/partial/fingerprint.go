@@ -3,7 +3,6 @@ package partial
 import (
 	"fmt"
 	"hash/crc32"
-	"hash/fnv"
 	"io"
 	"os"
 
@@ -31,12 +30,9 @@ func FingerprintFile(path string) string {
 // EngineHash fingerprints a compiled classification engine by hashing its
 // rule texts in list order (FNV-64a, rules separated by newlines). Partials
 // classified against different rules carry different hashes and refuse to
-// merge, independently of how the lists were obtained.
+// merge, independently of how the lists were obtained. It is the same
+// fingerprint the filter-list lifecycle stamps into checkpoints and window
+// records (abp.Engine.Fingerprint).
 func EngineHash(e *abp.Engine) string {
-	h := fnv.New64a()
-	for _, rule := range e.RuleTexts() {
-		io.WriteString(h, rule)
-		h.Write([]byte{'\n'})
-	}
-	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+	return e.Fingerprint()
 }

@@ -63,6 +63,14 @@ type Checkpoint struct {
 	// Windows is the rolling-window progress when window emission is enabled;
 	// nil otherwise. Resume requires the windowing configuration to match.
 	Windows *WindowCheckpointState
+	// EngineGeneration and EngineFingerprint record the hot-swappable
+	// classification engine state at the barrier (Options.EngineState); zero
+	// when the run has no engine. A resumed daemon continues the generation
+	// numbering from here and warns (without refusing) when the fingerprint
+	// moved while it was down. Gob tolerates these fields being absent from
+	// older checkpoints, so the format version stays 1.
+	EngineGeneration  int64
+	EngineFingerprint string
 	// Shards holds the per-shard state, indexed by shard.
 	Shards []ShardCheckpoint
 }

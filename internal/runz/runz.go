@@ -116,6 +116,15 @@ type Options struct {
 	// collectors windowing drains.
 	Windows WindowPolicy
 
+	// EngineState, when set, reports the classification engine backing this
+	// run's window emission — its hot-swap generation and content
+	// fingerprint (see abp.EngineHandle and internal/listmgr). Checkpoints
+	// record both; on resume a fingerprint mismatch is reported through
+	// OnEvent (lists legitimately change while a daemon is down — affected
+	// windows are simply re-emitted under the current rules) but never
+	// refuses the resume. Called only at quiesce barriers.
+	EngineState func() (generation int64, fingerprint string)
+
 	// Obs, when non-nil, attaches live instrumentation to the whole run: the
 	// analyzer/wire stage counters (shared across shards), a queue-depth
 	// histogram at the router, and computed gauges for packets routed,
@@ -598,6 +607,9 @@ func (sup *supervisor) writeCheckpoint(src wire.PacketSource, interrupted bool, 
 		st := r.State()
 		ck.Reader = &st
 	}
+	if sup.opt.EngineState != nil {
+		ck.EngineGeneration, ck.EngineFingerprint = sup.opt.EngineState()
+	}
 	if w := sup.win; w != nil {
 		ck.Windows = &WindowCheckpointState{
 			Width:   w.width,
@@ -1049,6 +1061,15 @@ func (sup *supervisor) restore(src wire.PacketSource, ck *Checkpoint, lim analyz
 	if sup.opt.TraceID != "" && ck.TraceID != "" && sup.opt.TraceID != ck.TraceID {
 		return 0, fmt.Errorf("%w: input fingerprint %q does not match the checkpoint's %q",
 			errResumePreconditon, sup.opt.TraceID, ck.TraceID)
+	}
+	if ck.EngineFingerprint != "" && sup.opt.EngineState != nil {
+		if _, fp := sup.opt.EngineState(); fp != ck.EngineFingerprint {
+			// Soft warning only: filter lists legitimately update while the
+			// daemon is down, and re-emitted windows are idempotently
+			// rewritten under the current rules.
+			sup.event(fmt.Sprintf("resume: filter-list fingerprint moved from %s to %s while down; re-emitted windows use the current rules",
+				ck.EngineFingerprint, fp))
+		}
 	}
 	if (ck.Windows != nil) != (sup.win != nil) {
 		return 0, fmt.Errorf("%w: checkpoint windowing (%v) does not match the run's (%v)",
