@@ -234,6 +234,10 @@ func BenchmarkEngineClassifyEasyListScale(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				engine.Classify(reqs[i%len(reqs)])
 			}
+			b.StopTimer()
+			if st := engine.BloomStats(); st.Checked > 0 {
+				b.ReportMetric(st.RejectRate()*100, "bloom_reject_pct/op")
+			}
 		})
 	}
 }

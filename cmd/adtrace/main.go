@@ -164,6 +164,7 @@ func main() {
 		maxFlows    = flag.Int("max-flows", wire.DefaultLimits().MaxFlows, "live-flow cap across all shards, oldest evicted first (0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", wire.DefaultLimits().IdleTimeout, "evict flows idle this long on the packet clock (0 = never)")
 		maxPending  = flag.Int("max-pending", analyzer.DefaultLimits().MaxPending, "per-connection unanswered-request cap (0 = unlimited)")
+		internFlag  = flag.Bool("intern", true, "dedup repeated header strings at ingest (identical output, lower memory); -intern=false is the A/B memory baseline")
 
 		ckptPath     = flag.String("checkpoint", "", "checkpoint file: periodically snapshot the full analysis state for -resume")
 		ckptEvery    = flag.Int64("checkpoint-interval", 500000, "packets between periodic checkpoints")
@@ -362,6 +363,7 @@ func main() {
 			MaxPending: *maxPending,
 		}
 	}
+	lim.DisableIntern = !*internFlag
 
 	if *serve {
 		// -list-poll 0 means "SIGHUP only" at the flag surface; listmgr

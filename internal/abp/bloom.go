@@ -1,0 +1,79 @@
+package abp
+
+// tokenBloom is a bloom filter over the keyword index's FNV-1a token hashes,
+// standing in front of the per-token bucket probes: on real lists the large
+// majority of URL tokens key no filter at all, and a bloom miss rejects them
+// with two bit tests instead of a map lookup. The filter is compiled
+// alongside blockingIdx/exceptionIdx (Matcher.Add keeps it current, growing
+// it as the index grows) and travels with the matcher through EngineHandle
+// hot-swaps like the rest of the compiled state.
+//
+// Two probe positions are derived from the one 64-bit token hash (its low
+// and high words), the double-hashing shortcut adblock-rust and production
+// bloom libraries use — no second hash pass over the token. A false
+// positive costs one redundant bucket probe that finds no bucket; a false
+// negative is impossible because every indexed key is inserted, so the
+// pre-filter can never change a verdict.
+type tokenBloom struct {
+	bits []uint64
+	mask uint64 // bit-index mask; len(bits)*64 is a power of two
+}
+
+// bloomBitsPerKey sizes the filter at ~8 bits per indexed keyword; with two
+// probes that yields a ~5% false-positive rate, far below the token hit
+// rate that would make the pre-filter a net loss.
+const bloomBitsPerKey = 8
+
+// newTokenBloom returns an empty filter sized for at least keys entries.
+func newTokenBloom(keys int) *tokenBloom {
+	bits := uint64(256)
+	for bits < uint64(keys)*bloomBitsPerKey {
+		bits <<= 1
+	}
+	return &tokenBloom{bits: make([]uint64, bits/64), mask: bits - 1}
+}
+
+// add inserts one token hash.
+func (b *tokenBloom) add(h uint64) {
+	i1 := h & b.mask
+	i2 := (h >> 32) & b.mask
+	b.bits[i1>>6] |= 1 << (i1 & 63)
+	b.bits[i2>>6] |= 1 << (i2 & 63)
+}
+
+// mayContain reports whether h could be an indexed key; false means
+// definitely not indexed.
+func (b *tokenBloom) mayContain(h uint64) bool {
+	i1 := h & b.mask
+	i2 := (h >> 32) & b.mask
+	return b.bits[i1>>6]&(1<<(i1&63)) != 0 && b.bits[i2>>6]&(1<<(i2&63)) != 0
+}
+
+// grown returns b, or a rebuilt filter when the index has outgrown the
+// current sizing. Rebuilding re-inserts every key of idx, so the invariant
+// "every indexed key is present" survives growth.
+func (b *tokenBloom) grown(idx map[uint64][]seqFilter) *tokenBloom {
+	if uint64(len(idx))*bloomBitsPerKey <= uint64(len(b.bits))*64 {
+		return b
+	}
+	nb := newTokenBloom(len(idx) * 2)
+	for k := range idx {
+		nb.add(k)
+	}
+	return nb
+}
+
+// BloomStats snapshots the pre-filter counters of one engine: how many
+// token probes the blooms saw and how many they rejected before any bucket
+// lookup. Counters accumulate over the engine's lifetime.
+type BloomStats struct {
+	Checked, Rejected uint64
+}
+
+// RejectRate returns Rejected / Checked, 0 before any probe.
+func (s BloomStats) RejectRate() float64 {
+	if s.Checked == 0 {
+		return 0
+	}
+	return float64(s.Rejected) / float64(s.Checked)
+}

@@ -1,0 +1,142 @@
+package abp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adscape/internal/urlutil"
+)
+
+// TestTokenBloomNoFalseNegatives is the soundness property the pre-filter
+// rests on: every inserted hash must report present, across growth rebuilds.
+func TestTokenBloomNoFalseNegatives(t *testing.T) {
+	idx := make(map[uint64][]seqFilter)
+	bl := newTokenBloom(0)
+	rng := rand.New(rand.NewSource(9))
+	var keys []uint64
+	for i := 0; i < 5000; i++ {
+		h := rng.Uint64()
+		idx[h] = nil
+		bl = bl.grown(idx)
+		bl.add(h)
+		keys = append(keys, h)
+	}
+	for _, h := range keys {
+		if !bl.mayContain(h) {
+			t.Fatalf("false negative for %#x after %d inserts", h, len(keys))
+		}
+	}
+}
+
+// TestTokenBloomFalsePositiveRate checks the sizing delivers a usable reject
+// rate: at ~8 bits/key with two probes the false-positive rate should stay
+// in the low percent range, nowhere near a pass-through filter.
+func TestTokenBloomFalsePositiveRate(t *testing.T) {
+	idx := make(map[uint64][]seqFilter)
+	bl := newTokenBloom(0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h := rng.Uint64()
+		idx[h] = nil
+		bl = bl.grown(idx)
+		bl.add(h)
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if bl.mayContain(rng.Uint64()) { // fresh randoms: almost surely absent
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.20 {
+		t.Errorf("false-positive rate %.3f, want < 0.20", rate)
+	}
+}
+
+// TestTokenBloomGrowth pins the sizing rule: the filter starts at the
+// 256-bit floor and growth keeps capacity ahead of len(idx)*bloomBitsPerKey.
+func TestTokenBloomGrowth(t *testing.T) {
+	bl := newTokenBloom(0)
+	if got := uint64(len(bl.bits)) * 64; got != 256 {
+		t.Fatalf("empty filter has %d bits, want 256", got)
+	}
+	idx := make(map[uint64][]seqFilter)
+	for i := uint64(1); i <= 1000; i++ {
+		h := i * 0x9e3779b97f4a7c15
+		idx[h] = nil
+		bl = bl.grown(idx)
+		bl.add(h)
+		if bits := uint64(len(bl.bits)) * 64; bits < uint64(len(idx))*bloomBitsPerKey {
+			t.Fatalf("after %d keys: %d bits < %d budget", len(idx), bits, len(idx)*bloomBitsPerKey)
+		}
+	}
+}
+
+// TestEngineBloomStats checks the counters flow from matchIdx through the
+// context batch into the engine atomics, and that uncacheable-token URLs are
+// rejected rather than probed.
+func TestEngineBloomStats(t *testing.T) {
+	el, ep, aa := testLists(t)
+	e := NewEngine(el, ep, aa)
+	e.SetVerdictCacheSize(0) // every Classify walks the matcher
+
+	if st := e.BloomStats(); st.Checked != 0 || st.Rejected != 0 {
+		t.Fatalf("fresh engine stats = %+v, want zero", st)
+	}
+	reqs := []*Request{
+		{URL: "http://adserver.example/banner/1.gif", Class: urlutil.ClassImage, PageHost: "news.example"},
+		{URL: "http://unrelated.example/totally/clean/path.html", Class: urlutil.ClassDocument, PageHost: "unrelated.example"},
+	}
+	for _, r := range reqs {
+		e.Classify(r)
+	}
+	st := e.BloomStats()
+	if st.Checked == 0 {
+		t.Fatal("no bloom probes recorded across classifications")
+	}
+	if st.Rejected > st.Checked {
+		t.Fatalf("rejected %d > checked %d", st.Rejected, st.Checked)
+	}
+	if r := st.RejectRate(); r < 0 || r > 1 {
+		t.Fatalf("reject rate %v out of range", r)
+	}
+}
+
+// TestMatcherBloomTransparent is the behavioural gate: with and without the
+// bloom pre-filter the matcher must pick identical filters. The no-bloom run
+// calls matchIdx with a nil filter, the exact code path the pre-filter
+// short-circuits.
+func TestMatcherBloomTransparent(t *testing.T) {
+	el, ep, _ := testLists(t)
+	m := NewMatcher()
+	m.AddAll(el.Filters)
+	m.AddAll(ep.Filters)
+
+	var reqs []*Request
+	for i := 0; i < 200; i++ {
+		reqs = append(reqs,
+			&Request{URL: fmt.Sprintf("http://adserver.example/banner/%d.gif", i), Class: urlutil.ClassImage, PageHost: "news.example"},
+			&Request{URL: fmt.Sprintf("http://site%d.example/page/%d", i, i), Class: urlutil.ClassDocument, PageHost: fmt.Sprintf("site%d.example", i)},
+			&Request{URL: fmt.Sprintf("http://tracker.example/pixel.gif?uid=%d", i), Class: urlutil.ClassImage, PageHost: "news.example"},
+		)
+	}
+	c := GetContext()
+	defer ReleaseContext(c)
+	for _, r := range reqs {
+		c.ResetRequest(r)
+		withBloom := matchIdx(c, m.blockingIdx, m.blockingAny, m.blockingBloom)
+		c.ResetRequest(r)
+		without := matchIdx(c, m.blockingIdx, m.blockingAny, nil)
+		if withBloom != without {
+			t.Fatalf("bloom changed blocking match for %q: %v vs %v", r.URL, withBloom, without)
+		}
+		c.ResetRequest(r)
+		exWith := matchIdx(c, m.exceptionIdx, m.exceptionAny, m.exceptionBloom)
+		c.ResetRequest(r)
+		exWithout := matchIdx(c, m.exceptionIdx, m.exceptionAny, nil)
+		if exWith != exWithout {
+			t.Fatalf("bloom changed exception match for %q", r.URL)
+		}
+	}
+}

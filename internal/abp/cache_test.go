@@ -81,10 +81,10 @@ func TestVerdictCacheLRUEviction(t *testing.T) {
 	}
 	// Two keys landing in the same shard: the second insert evicts the first.
 	var a, b verdictKey
-	a = verdictKey{url: "http://a.example/x"}
+	a = makeVerdictKey("http://a.example/x", urlutil.ClassImage, "")
 	s := c.shard(&a)
 	for i := 0; ; i++ {
-		b = verdictKey{url: fmt.Sprintf("http://b.example/%d", i)}
+		b = makeVerdictKey(fmt.Sprintf("http://b.example/%d", i), urlutil.ClassImage, "")
 		if c.shard(&b) == s {
 			break
 		}
@@ -104,11 +104,11 @@ func TestVerdictCacheLRUEviction(t *testing.T) {
 
 func TestVerdictCacheLRUOrder(t *testing.T) {
 	c := newVerdictCache(vcShards * 2) // two entries per shard
-	a := verdictKey{url: "http://a.example/x"}
+	a := makeVerdictKey("http://a.example/x", urlutil.ClassImage, "")
 	s := c.shard(&a)
 	sameShard := func(tag string) verdictKey {
 		for i := 0; ; i++ {
-			k := verdictKey{url: fmt.Sprintf("http://%s.example/%d", tag, i)}
+			k := makeVerdictKey(fmt.Sprintf("http://%s.example/%d", tag, i), urlutil.ClassImage, "")
 			if c.shard(&k) == s {
 				return k
 			}

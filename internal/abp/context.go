@@ -41,6 +41,12 @@ type MatchContext struct {
 	tpKnown bool // thirdParty memoized?
 	tp      bool
 
+	// bloomChecked/bloomRejected batch the bloom pre-filter counters for
+	// this request; matchIdx increments them non-atomically (the context is
+	// single-goroutine) and the engine folds them into its atomics once per
+	// request, so counting costs the hot loop no contended operations.
+	bloomChecked, bloomRejected uint32
+
 	buf []byte // reusable lowering buffer backing Lower when URL has upper-case
 }
 
@@ -83,6 +89,8 @@ func (c *MatchContext) Reset(url string, class urlutil.ContentClass, pageHost st
 	c.ahStart, c.ahEnd = hostAnchorSpan(c.Lower)
 	c.tpKnown = false
 	c.tp = false
+	c.bloomChecked = 0
+	c.bloomRejected = 0
 }
 
 // ResetRequest is Reset over a Request value.

@@ -80,6 +80,12 @@ type Engine struct {
 	ltHits   atomic.Uint64
 	ltMisses atomic.Uint64
 
+	// bloomChecked/bloomRejected aggregate the matchers' bloom pre-filter
+	// counters, folded in once per uncached request from the context's
+	// batched counts.
+	bloomChecked  atomic.Uint64
+	bloomRejected atomic.Uint64
+
 	// fp memoizes Fingerprint; AddList clears it.
 	fp atomic.Pointer[string]
 }
@@ -231,7 +237,7 @@ func (e *Engine) ClassifyCached(req *Request) (Verdict, bool) {
 	if e.cache == nil {
 		return e.classifyUncached(req), false
 	}
-	k := verdictKey{url: req.URL, class: req.Class, pageHost: req.PageHost}
+	k := makeVerdictKey(req.URL, req.Class, req.PageHost)
 	if v, ok := e.cache.get(k); ok {
 		return v, true
 	}
@@ -244,8 +250,30 @@ func (e *Engine) classifyUncached(req *Request) Verdict {
 	c := GetContext()
 	c.ResetRequest(req)
 	v := e.classifyCtx(c)
+	e.foldBloomCounters(c)
 	ReleaseContext(c)
 	return v
+}
+
+// foldBloomCounters moves the context's batched pre-filter counts into the
+// engine's lifetime atomics: at most two atomic adds per request instead of
+// two per token probe.
+func (e *Engine) foldBloomCounters(c *MatchContext) {
+	if c.bloomChecked != 0 {
+		e.bloomChecked.Add(uint64(c.bloomChecked))
+		e.bloomRejected.Add(uint64(c.bloomRejected))
+		c.bloomChecked, c.bloomRejected = 0, 0
+	}
+}
+
+// BloomStats snapshots the bloom pre-filter counters: token probes checked
+// and probes rejected before any keyword-index bucket lookup. Lifetime
+// totals, monotonic like VerdictCacheStats.
+func (e *Engine) BloomStats() BloomStats {
+	return BloomStats{
+		Checked:  e.bloomChecked.Load(),
+		Rejected: e.bloomRejected.Load(),
+	}
 }
 
 func (e *Engine) classifyCtx(c *MatchContext) Verdict {
@@ -312,6 +340,7 @@ func (e *Engine) pageDocException(pageHost string) pageExc {
 			break
 		}
 	}
+	e.foldBloomCounters(pc)
 	ReleaseContext(pc)
 	e.pageExcs.put(pageHost, pe)
 	return pe

@@ -28,6 +28,13 @@ type Matcher struct {
 	nBlocking    int
 	nException   int
 	seq          int
+
+	// blockingBloom/exceptionBloom pre-filter the token probes into the
+	// corresponding index: most URL tokens key no filter, and the bloom
+	// rejects them before the map lookup. Maintained by Add, so they are
+	// always consistent with the index (see tokenBloom).
+	blockingBloom  *tokenBloom
+	exceptionBloom *tokenBloom
 }
 
 // seqFilter pairs a filter with its insertion sequence number, the
@@ -40,8 +47,10 @@ type seqFilter struct {
 // NewMatcher returns an empty Matcher.
 func NewMatcher() *Matcher {
 	return &Matcher{
-		blockingIdx:  make(map[uint64][]seqFilter),
-		exceptionIdx: make(map[uint64][]seqFilter),
+		blockingIdx:    make(map[uint64][]seqFilter),
+		exceptionIdx:   make(map[uint64][]seqFilter),
+		blockingBloom:  newTokenBloom(0),
+		exceptionBloom: newTokenBloom(0),
 	}
 }
 
@@ -62,6 +71,8 @@ func (m *Matcher) Add(f *Filter) {
 		} else {
 			h := hashToken(kw)
 			m.blockingIdx[h] = append(m.blockingIdx[h], sf)
+			m.blockingBloom = m.blockingBloom.grown(m.blockingIdx)
+			m.blockingBloom.add(h)
 		}
 	case KindException:
 		m.nException++
@@ -70,6 +81,8 @@ func (m *Matcher) Add(f *Filter) {
 		} else {
 			h := hashToken(kw)
 			m.exceptionIdx[h] = append(m.exceptionIdx[h], sf)
+			m.exceptionBloom = m.exceptionBloom.grown(m.exceptionIdx)
+			m.exceptionBloom.add(h)
 		}
 	}
 }
@@ -108,13 +121,13 @@ func (m *Matcher) MatchException(req *Request) *Filter {
 // MatchBlockingCtx is MatchBlocking over a prepared context; it allocates
 // nothing.
 func (m *Matcher) MatchBlockingCtx(c *MatchContext) *Filter {
-	return matchIdx(c, m.blockingIdx, m.blockingAny)
+	return matchIdx(c, m.blockingIdx, m.blockingAny, m.blockingBloom)
 }
 
 // MatchExceptionCtx is MatchException over a prepared context; it allocates
 // nothing.
 func (m *Matcher) MatchExceptionCtx(c *MatchContext) *Filter {
-	return matchIdx(c, m.exceptionIdx, m.exceptionAny)
+	return matchIdx(c, m.exceptionIdx, m.exceptionAny, m.exceptionBloom)
 }
 
 // Match applies full ABP semantics: a request is blocked when some blocking
@@ -141,8 +154,11 @@ func (m *Matcher) MatchCtx(c *MatchContext) (block bool, blocking, exception *Fi
 // matchIdx returns the matching filter with the lowest sequence number among
 // the catch-all bucket and the buckets of every URL token, or nil. Buckets
 // are in ascending sequence order, so each scan stops at its first match or
-// once sequence numbers can no longer beat the current best.
-func matchIdx(c *MatchContext, idx map[uint64][]seqFilter, any []seqFilter) *Filter {
+// once sequence numbers can no longer beat the current best. The bloom
+// pre-filter (when present) rejects tokens that key no filter before the
+// bucket lookup; probe counters batch into the context once per call, and
+// the engine folds them into its atomics once per request.
+func matchIdx(c *MatchContext, idx map[uint64][]seqFilter, any []seqFilter, bl *tokenBloom) *Filter {
 	var found *Filter
 	best := int(^uint(0) >> 1) // max int
 	for _, sf := range any {
@@ -154,7 +170,15 @@ func matchIdx(c *MatchContext, idx map[uint64][]seqFilter, any []seqFilter) *Fil
 			break
 		}
 	}
+	var checked, rejected uint32
 	for _, tok := range c.tokens {
+		if bl != nil {
+			checked++
+			if !bl.mayContain(tok.hash) {
+				rejected++
+				continue
+			}
+		}
 		for _, sf := range idx[tok.hash] {
 			if sf.seq >= best {
 				break
@@ -165,6 +189,8 @@ func matchIdx(c *MatchContext, idx map[uint64][]seqFilter, any []seqFilter) *Fil
 			}
 		}
 	}
+	c.bloomChecked += checked
+	c.bloomRejected += rejected
 	return found
 }
 

@@ -27,6 +27,23 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 	reg.Func("abp.verdict_cache_hit_ratio_bp", func() int64 {
 		return int64(e.VerdictCacheStats().HitRatio() * 10000)
 	})
+	registerBloomMetrics(reg, func() *Engine { return e })
+}
+
+// registerBloomMetrics publishes the bloom pre-filter counters for whatever
+// engine eng currently yields; the indirection lets the handle variant follow
+// hot swaps with the same three gauges. The reject rate is in basis points
+// like the cache hit ratio.
+func registerBloomMetrics(reg *obs.Registry, eng func() *Engine) {
+	reg.Func("abp.bloom_checked", func() int64 {
+		return int64(eng().BloomStats().Checked)
+	})
+	reg.Func("abp.bloom_rejected", func() int64 {
+		return int64(eng().BloomStats().Rejected)
+	})
+	reg.Func("abp.bloom_reject_ratio_bp", func() int64 {
+		return int64(eng().BloomStats().RejectRate() * 10000)
+	})
 }
 
 // RegisterMetrics publishes the verdict-cache gauges of whatever engine the
@@ -52,4 +69,5 @@ func (h *EngineHandle) RegisterMetrics(reg *obs.Registry) {
 	reg.Func("abp.verdict_cache_hit_ratio_bp", func() int64 {
 		return int64(h.Engine().VerdictCacheStats().HitRatio() * 10000)
 	})
+	registerBloomMetrics(reg, h.Engine)
 }

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"adscape/internal/intern"
 	"adscape/internal/obs"
 	"adscape/internal/weblog"
 	"adscape/internal/wire"
@@ -117,6 +118,11 @@ type Limits struct {
 	// MaxPending caps the unanswered pipelined requests buffered per
 	// connection; the oldest is force-flushed past the cap. 0 = unlimited.
 	MaxPending int
+	// DisableIntern turns off the header-string dedup pool applied to every
+	// emitted transaction. Dedup never changes a value — it only collapses
+	// duplicates and un-pins header-block backing buffers — so this exists
+	// for A/B memory measurement (the bench baseline), not correctness.
+	DisableIntern bool
 }
 
 // DefaultLimits returns production defaults for the analyzer: the flow-table
@@ -135,6 +141,12 @@ type Analyzer struct {
 	conns  map[*wire.Flow]*connState
 	limits Limits
 	obs    *Metrics
+	// pool dedups header strings on every emitted transaction. Each parsed
+	// field aliases its whole header block (strings.Split keeps the backing
+	// array alive), so without dedup one retained Referer pins the full
+	// block; the pool's copies cost len(s) bytes once per distinct value.
+	// Nil when Limits.DisableIntern is set.
+	pool *intern.Table
 }
 
 // connState is the per-flow HTTP parser state.
@@ -156,8 +168,24 @@ func New(sink Sink) *Analyzer {
 // NewWithLimits creates an Analyzer bounded by lim.
 func NewWithLimits(sink Sink, lim Limits) *Analyzer {
 	a := &Analyzer{sink: sink, conns: make(map[*wire.Flow]*connState), limits: lim, obs: NewMetrics(nil)}
+	if !lim.DisableIntern {
+		a.pool = intern.NewTable(0)
+	}
 	a.table = wire.NewFlowTableLimits(a, lim.Table)
 	return a
+}
+
+// emit dedups the transaction's strings and hands it to the sink; every
+// transaction leaves the analyzer through here.
+func (a *Analyzer) emit(tx *weblog.Transaction) {
+	weblog.DedupStrings(a.pool, tx)
+	a.sink.HTTP(tx)
+}
+
+// InternStats reports the header-dedup pool counters (hits, misses, resident
+// pooled bytes); zeros when interning is disabled.
+func (a *Analyzer) InternStats() (hits, misses, bytes int64) {
+	return a.pool.Stats()
 }
 
 // SetObs attaches live instrumentation; nil restores the no-op default.
@@ -330,7 +358,7 @@ func (a *Analyzer) onRequest(f *wire.Flow, cs *connState, block string, t int64)
 		a.stats.HTTPTransactions++
 		a.obs.PendingEvicted.Inc()
 		a.obs.Transactions.Inc()
-		a.sink.HTTP(old)
+		a.emit(old)
 	}
 }
 
@@ -398,7 +426,7 @@ func (a *Analyzer) onResponse(f *wire.Flow, cs *connState, block string, t int64
 	if ns, ok := tx.HTTPHandshake(); ok {
 		a.obs.PairLatency.Observe(ns)
 	}
-	a.sink.HTTP(tx)
+	a.emit(tx)
 }
 
 func splitHeader(line string) (key, val string, ok bool) {
@@ -441,7 +469,7 @@ func (a *Analyzer) FlowClosed(f *wire.Flow) {
 	for _, tx := range cs.pending {
 		a.stats.HTTPTransactions++
 		a.obs.Transactions.Inc()
-		a.sink.HTTP(tx)
+		a.emit(tx)
 	}
 }
 

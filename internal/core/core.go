@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"adscape/internal/abp"
+	"adscape/internal/intern"
 	"adscape/internal/pagemodel"
 	"adscape/internal/urlutil"
 	"adscape/internal/weblog"
@@ -107,6 +108,17 @@ type PerfStats struct {
 	// ClassifyNanos sums wall time spent inside ClassifyAll across shards;
 	// on a sharded run it approximates aggregate CPU time, not wall time.
 	ClassifyNanos int64
+	// DistinctURLs and InternedBytes describe the URL interner's final
+	// state: how many distinct strings the run materialized and their byte
+	// payload. Summed across shards (each shard pools independently), so a
+	// string landing on two shards counts twice — exactly its resident cost.
+	DistinctURLs  uint64
+	InternedBytes uint64
+	// Pages counts reconstructed page retrievals with referrer state;
+	// PagesEvicted the subset retired early by the streaming watermark
+	// (zero in batch mode).
+	Pages        uint64
+	PagesEvicted uint64
 }
 
 // Merge folds another accumulator into p; all fields are sums, so per-shard
@@ -115,6 +127,10 @@ func (p *PerfStats) Merge(o PerfStats) {
 	p.CacheHits += o.CacheHits
 	p.CacheMisses += o.CacheMisses
 	p.ClassifyNanos += o.ClassifyNanos
+	p.DistinctURLs += o.DistinctURLs
+	p.InternedBytes += o.InternedBytes
+	p.Pages += o.Pages
+	p.PagesEvicted += o.PagesEvicted
 }
 
 // HitRatio returns the cache hit fraction, 0 before any classification.
@@ -138,43 +154,72 @@ func (p *Pipeline) ClassifyAll(txs []*weblog.Transaction) []*Result {
 // heap object per transaction) and the engine request is reused across the
 // loop, so classification itself performs no per-transaction allocation
 // beyond what the engine's uncached path needs.
+//
+// Memory discipline: one URL interner is shared by every page builder of
+// the call, so a URL crossing users is materialized once; builders are
+// created, drained, and released one user at a time, so peak referrer state
+// is one user's pages, not every user's at once. Engine-call order is
+// unchanged from the historical build-all-then-resolve loop (user
+// first-seen order, Add order within a user), keeping results and stats
+// byte-identical.
 func (p *Pipeline) ClassifyAllPerf(txs []*weblog.Transaction, perf *PerfStats) []*Result {
 	start := time.Now()
-	type userStream struct {
-		builder *pagemodel.Builder
-		indices []int
-	}
-	streams := make(map[UserKey]*userStream)
+	streams := make(map[UserKey][]int)
 	order := make([]UserKey, 0)
 	for i, tx := range txs {
 		key := UserKey{IP: tx.ClientIP, UserAgent: tx.UserAgent}
-		s, ok := streams[key]
-		if !ok {
-			s = &userStream{builder: pagemodel.NewBuilder(p.opt)}
-			streams[key] = s
+		if _, ok := streams[key]; !ok {
 			order = append(order, key)
 		}
-		s.builder.Add(tx)
-		s.indices = append(s.indices, i)
+		streams[key] = append(streams[key], i)
 	}
+	opt := p.opt
+	if opt.Intern == nil {
+		opt.Intern = intern.New()
+	}
+	horizon := opt.EvictHorizon.Nanoseconds()
 	slab := make([]Result, len(txs))
 	out := make([]*Result, len(txs))
 	req := abp.Request{}
 	for _, key := range order {
-		s := streams[key]
-		for j, ann := range s.builder.Resolve() {
-			req.URL, req.Class, req.PageHost = ann.URL, ann.Class, ann.PageHost
-			v, hit := p.engine.ClassifyCached(&req)
-			if hit {
-				perf.CacheHits++
-			} else {
-				perf.CacheMisses++
+		indices := streams[key]
+		b := pagemodel.NewBuilder(opt)
+		done := 0
+		classify := func(anns []*pagemodel.Annotated) {
+			for _, ann := range anns {
+				req.URL, req.Class, req.PageHost = ann.URL, ann.Class, ann.PageHost
+				v, hit := p.engine.ClassifyCached(&req)
+				if hit {
+					perf.CacheHits++
+				} else {
+					perf.CacheMisses++
+				}
+				i := indices[done]
+				done++
+				r := &slab[i]
+				r.User, r.Ann, r.Verdict = key, ann, v
+				out[i] = r
 			}
-			r := &slab[s.indices[j]]
-			r.User, r.Ann, r.Verdict = key, ann, v
-			out[s.indices[j]] = r
 		}
+		var lastFlush int64
+		for _, i := range indices {
+			tx := txs[i]
+			b.Add(tx)
+			if horizon > 0 {
+				if lastFlush == 0 {
+					lastFlush = tx.ReqTime
+				} else if tx.ReqTime-lastFlush >= horizon {
+					classify(b.Flush(b.Watermark()))
+					lastFlush = tx.ReqTime
+				}
+			}
+		}
+		classify(b.Resolve())
+		perf.Pages += uint64(b.LivePages()) + uint64(b.EvictedPages())
+		perf.PagesEvicted += uint64(b.EvictedPages())
 	}
+	perf.DistinctURLs += uint64(opt.Intern.Len())
+	perf.InternedBytes += uint64(opt.Intern.Bytes())
 	perf.ClassifyNanos += time.Since(start).Nanoseconds()
 	return out
 }

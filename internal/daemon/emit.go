@@ -171,6 +171,13 @@ type emitter struct {
 
 	windowsG, usersG, householdsG     *obs.Gauge
 	evictedUsersG, evictedHouseholdsG *obs.Gauge
+	// Memory-scale gauges (DESIGN.md §15): cumulative page-reconstruction
+	// and interner footprint across emitted windows. Per-window builders are
+	// discarded at the barrier, so the daemon-lifetime totals live here.
+	pagesLiveG, pagesEvictedG     *obs.Gauge
+	internedURLsG, internedBytesG *obs.Gauge
+	pagesLive, pagesEvicted       uint64
+	internedURLs, internedBytes   uint64
 }
 
 func newEmitter(dir string, handle *abp.EngineHandle, workers int, abpIPs []uint32, aged *inference.AgedUsers, reg *obs.Registry) *emitter {
@@ -185,6 +192,10 @@ func newEmitter(dir string, handle *abp.EngineHandle, workers int, abpIPs []uint
 		householdsG:        reg.Gauge("daemon.households_live"),
 		evictedUsersG:      reg.Gauge("daemon.users_evicted"),
 		evictedHouseholdsG: reg.Gauge("daemon.households_evicted"),
+		pagesLiveG:         reg.Gauge("daemon.pages_live"),
+		pagesEvictedG:      reg.Gauge("daemon.pages_evicted"),
+		internedURLsG:      reg.Gauge("daemon.interned_urls"),
+		internedBytesG:     reg.Gauge("daemon.interned_bytes"),
 	}
 	for _, ip := range abpIPs {
 		e.abpIPs[ip] = true
@@ -258,5 +269,13 @@ func (e *emitter) emit(w *runz.Window) error {
 	e.householdsG.Set(int64(e.aged.Households()))
 	e.evictedUsersG.Set(e.aged.EvictedUsers())
 	e.evictedHouseholdsG.Set(e.aged.EvictedHouseholds())
+	e.pagesLive += cls.Perf.Pages - cls.Perf.PagesEvicted
+	e.pagesEvicted += cls.Perf.PagesEvicted
+	e.internedURLs += cls.Perf.DistinctURLs
+	e.internedBytes += cls.Perf.InternedBytes
+	e.pagesLiveG.Set(int64(e.pagesLive))
+	e.pagesEvictedG.Set(int64(e.pagesEvicted))
+	e.internedURLsG.Set(int64(e.internedURLs))
+	e.internedBytesG.Set(int64(e.internedBytes))
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"adscape/internal/core"
+	"adscape/internal/intern"
 )
 
 // AgedUsers is the bounded continuous-ingest variant of the per-user
@@ -22,7 +23,14 @@ import (
 // deterministic artifact (§12's exactly-once contract).
 type AgedUsers struct {
 	idle  int64 // capture-time idle horizon in ns; <=0 disables eviction
-	users map[core.UserKey]*agedUser
+	users map[agedKey]*agedUser
+	// ua interns every User-Agent the map has ever keyed: folding a window
+	// re-keys its UserStats onto the interner's canonical copies, so a
+	// retained entry stops pinning the window-lifetime strings its key
+	// arrived aliasing. The interner is append-only over the daemon's
+	// lifetime — bounded by distinct User-Agents, which the trace population
+	// bounds far below distinct URLs.
+	ua *intern.Interner
 	// households maps a client IP with an observed ABP list download to the
 	// capture time it was last seen downloading; it ages on the same horizon
 	// so the household indicator also stays bounded.
@@ -30,6 +38,13 @@ type AgedUsers struct {
 
 	evictedUsers      int64
 	evictedHouseholds int64
+}
+
+// agedKey is core.UserKey with the User-Agent replaced by its interned
+// handle: 8 bytes instead of a retained string header per live pair.
+type agedKey struct {
+	ip uint32
+	ua intern.Handle
 }
 
 type agedUser struct {
@@ -43,7 +58,8 @@ type agedUser struct {
 func NewAgedUsers(idle time.Duration) *AgedUsers {
 	return &AgedUsers{
 		idle:       idle.Nanoseconds(),
-		users:      make(map[core.UserKey]*agedUser),
+		users:      make(map[agedKey]*agedUser),
+		ua:         intern.New(),
 		households: make(map[uint32]int64),
 	}
 }
@@ -59,10 +75,16 @@ func (a *AgedUsers) Fold(win map[core.UserKey]*UserStats, downloadIPs []uint32, 
 		a.households[ip] = now
 	}
 	for k, v := range win {
-		e, ok := a.users[k]
+		h := a.ua.Intern(k.UserAgent)
+		ak := agedKey{ip: k.IP, ua: h}
+		e, ok := a.users[ak]
 		if !ok {
+			// Adopt the window's stats, but re-point the key's User-Agent at
+			// the interner's copy so the entry does not pin the window's
+			// backing buffers past the fold.
+			v.Key.UserAgent = a.ua.Str(h)
 			e = &agedUser{stats: v}
-			a.users[k] = e
+			a.users[ak] = e
 		} else {
 			e.stats.Merge(v)
 		}
@@ -98,11 +120,12 @@ func (a *AgedUsers) Fold(win map[core.UserKey]*UserStats, downloadIPs []uint32, 
 
 // Users materializes the live per-user map in the shape the batch report
 // functions (ActiveBrowsers, Table3, HouseholdsWithDownload) consume. The
-// *UserStats values are shared with the aged map, not copied.
+// *UserStats values are shared with the aged map, not copied; the string
+// keys come from each entry's (interned) UserStats.Key.
 func (a *AgedUsers) Users() map[core.UserKey]*UserStats {
 	out := make(map[core.UserKey]*UserStats, len(a.users))
-	for k, e := range a.users {
-		out[k] = e.stats
+	for _, e := range a.users {
+		out[e.stats.Key] = e.stats
 	}
 	return out
 }
@@ -111,6 +134,10 @@ func (a *AgedUsers) Users() map[core.UserKey]*UserStats {
 // download-marked household count.
 func (a *AgedUsers) Len() int        { return len(a.users) }
 func (a *AgedUsers) Households() int { return len(a.households) }
+
+// DistinctUserAgents is the lifetime count of distinct User-Agent strings
+// the accumulator has interned (live plus evicted).
+func (a *AgedUsers) DistinctUserAgents() int { return a.ua.Len() }
 
 // EvictedUsers and EvictedHouseholds are the cumulative eviction degradation
 // counters.

@@ -1,0 +1,138 @@
+// Package intern provides the shared string-interning layer of the
+// memory-scale hot path (DESIGN.md §15): at the paper's traffic volumes the
+// dominant resident cost is millions of near-duplicate URL and header
+// strings held simultaneously by the page reconstruction, the per-user
+// accumulators, and the verdict cache. The package offers two tools:
+//
+//   - Interner maps strings to stable uint32 handles, append-only, so
+//     handle-keyed maps replace string-keyed maps (8 bytes per key instead of
+//     a 16-byte header plus a retained allocation) and every distinct string
+//     is materialized exactly once. Per-shard interners reconcile
+//     deterministically at the pipeline merge barrier via MergeFrom.
+//
+//   - Table deduplicates string *instances* without handles: ingest-side
+//     parsers exchange freshly parsed header fields for pooled copies, which
+//     both collapses duplicates and un-pins the large backing buffers the
+//     substrings would otherwise keep alive.
+//
+// Neither tool changes any string value, so interning is invisible to
+// output: stdout stays byte-identical with interning on or off.
+package intern
+
+// Handle is a stable identifier for one interned string. The zero Handle
+// (None) is reserved for the empty string, so handle-keyed maps can treat
+// "no URL" and "empty URL" uniformly, exactly like string-keyed maps did.
+type Handle uint32
+
+// None is the handle of the empty string.
+const None Handle = 0
+
+// Interner is an append-only string pool: strings go in, stable handles come
+// out, and Str resolves a handle back to its string in O(1). It is not safe
+// for concurrent use; the pipeline gives each classification shard its own
+// Interner and merges them at the barrier (MergeFrom), the same discipline
+// as every other per-shard accumulator.
+type Interner struct {
+	idx  map[string]Handle
+	strs []string
+	size int64
+}
+
+// New returns an empty Interner holding only the empty string at None.
+func New() *Interner {
+	return &Interner{idx: make(map[string]Handle), strs: []string{""}}
+}
+
+// Intern returns the handle for s, adding s on first sight. The empty string
+// always maps to None.
+func (in *Interner) Intern(s string) Handle {
+	if s == "" {
+		return None
+	}
+	if h, ok := in.idx[s]; ok {
+		return h
+	}
+	return in.add(s)
+}
+
+// InternBytes is Intern over a byte slice. On a hit it performs no
+// allocation (the map lookup uses the compiler's no-copy []byte→string
+// conversion); only a first sighting materializes the string. This is the
+// hot entry point for callers that assemble candidate strings in a reusable
+// scratch buffer, e.g. the page reconstruction building "http://"+host+uri.
+func (in *Interner) InternBytes(b []byte) Handle {
+	if len(b) == 0 {
+		return None
+	}
+	if h, ok := in.idx[string(b)]; ok {
+		return h
+	}
+	return in.add(string(b))
+}
+
+func (in *Interner) add(s string) Handle {
+	h := Handle(len(in.strs))
+	in.strs = append(in.strs, s)
+	in.idx[s] = h
+	in.size += int64(len(s))
+	return h
+}
+
+// Lookup returns the handle for s without adding it.
+func (in *Interner) Lookup(s string) (Handle, bool) {
+	if s == "" {
+		return None, true
+	}
+	h, ok := in.idx[s]
+	return h, ok
+}
+
+// Str resolves a handle to its string. Handles from a different Interner
+// produce undefined results; out-of-range handles return "".
+func (in *Interner) Str(h Handle) string {
+	if int(h) >= len(in.strs) {
+		return ""
+	}
+	return in.strs[h]
+}
+
+// Len is the number of distinct non-empty strings interned.
+func (in *Interner) Len() int { return len(in.strs) - 1 }
+
+// Bytes is the total length of all interned strings — the pool's resident
+// string payload, the quantity the stderr memory report and the
+// intern.bytes gauge expose.
+func (in *Interner) Bytes() int64 { return in.size }
+
+// Snapshot returns the interned strings in handle order (excluding the
+// None sentinel), the serializable form checkpoint and partial writers use.
+// The returned slice shares backing strings with the pool; do not mutate.
+func (in *Interner) Snapshot() []string { return in.strs[1:] }
+
+// Restore rebuilds an Interner from a Snapshot, reassigning the identical
+// handles: Restore(x.Snapshot()) is equivalent to x for every Intern/Str
+// call, which is what makes interner state round-trip through checkpoints.
+func Restore(snap []string) *Interner {
+	in := &Interner{
+		idx:  make(map[string]Handle, len(snap)),
+		strs: make([]string, 1, len(snap)+1),
+	}
+	for _, s := range snap {
+		in.add(s)
+	}
+	return in
+}
+
+// MergeFrom folds src into in and returns the remap table: remap[h] is the
+// handle in in of the string src knows as Handle(h). Index 0 is always None.
+// Merging is deterministic: strings are visited in src's insertion order, so
+// merging the per-shard interners in shard order yields the same merged pool
+// on every run — the merge-barrier discipline the sharded pipeline relies
+// on (and the property the -race merge test pins).
+func (in *Interner) MergeFrom(src *Interner) []Handle {
+	remap := make([]Handle, len(src.strs))
+	for i := 1; i < len(src.strs); i++ {
+		remap[i] = in.Intern(src.strs[i])
+	}
+	return remap
+}

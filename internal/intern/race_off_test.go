@@ -1,0 +1,5 @@
+//go:build !race
+
+package intern
+
+const raceEnabled = false

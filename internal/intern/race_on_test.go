@@ -1,0 +1,7 @@
+//go:build race
+
+package intern
+
+// raceEnabled mirrors the race-detector build tag: allocation gates skip
+// under instrumentation, which adds bookkeeping allocations of its own.
+const raceEnabled = true

@@ -1,0 +1,69 @@
+package intern
+
+import "strings"
+
+// Table is a bounded string-deduplication pool for the ingest side. Parsed
+// header fields are substrings of the whole request/response block the
+// analyzer captured; keeping any one of them alive pins the entire block's
+// backing array. Dedup exchanges such a substring for a pooled standalone
+// copy — the first sighting pays one strings.Clone, every later sighting is
+// a map hit returning the already-detached copy — so duplicate fields
+// collapse to one allocation and no block stays pinned.
+//
+// Unlike Interner, Table hands out no handles and may forget: when the
+// pooled payload exceeds the byte budget the pool is cleared (the same
+// clear-on-full policy as the page-exception memo in abp), which only costs
+// re-cloning, never correctness. A nil *Table is valid and disables
+// dedup: Dedup returns its argument unchanged.
+type Table struct {
+	m      map[string]string
+	bytes  int64
+	budget int64
+
+	hits, misses int64
+}
+
+// DefaultTableBudget bounds a Table's pooled payload. Header-field
+// cardinality in real traces (hosts, UAs, content types, URI paths) is far
+// below this; the budget exists to keep adversarial high-cardinality input
+// from turning the dedup pool itself into the leak it prevents.
+const DefaultTableBudget = 64 << 20
+
+// NewTable returns a Table holding at most budget bytes of pooled strings;
+// budget <= 0 selects DefaultTableBudget.
+func NewTable(budget int64) *Table {
+	if budget <= 0 {
+		budget = DefaultTableBudget
+	}
+	return &Table{m: make(map[string]string), budget: budget}
+}
+
+// Dedup returns a pooled copy of s that shares no backing storage with s.
+// On a nil Table (dedup disabled) it returns s unchanged.
+func (t *Table) Dedup(s string) string {
+	if t == nil || s == "" {
+		return s
+	}
+	if p, ok := t.m[s]; ok {
+		t.hits++
+		return p
+	}
+	t.misses++
+	if t.bytes+int64(len(s)) > t.budget {
+		t.m = make(map[string]string)
+		t.bytes = 0
+	}
+	p := strings.Clone(s)
+	t.m[p] = p
+	t.bytes += int64(len(p))
+	return p
+}
+
+// Stats reports lifetime hits and misses and the currently pooled byte
+// payload. Nil-safe.
+func (t *Table) Stats() (hits, misses, bytes int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.hits, t.misses, t.bytes
+}

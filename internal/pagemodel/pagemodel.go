@@ -5,11 +5,24 @@
 // chains; file extensions (before Content-Type headers) infer the content
 // class each request carries; and redirected requests inherit the class of
 // their consequent request.
+//
+// Reconstruction is incremental: each transaction is attributed as it is
+// added, against the referrer state accumulated so far — the same order the
+// batch path always processed them in, so Add-then-Resolve reproduces the
+// historical whole-trace output byte for byte. All referrer state is keyed
+// by interner handles (intern.Handle) rather than URL strings, so each
+// distinct URL is materialized exactly once per builder (or once per shard
+// when builders share an interner) instead of once per map it appears in.
+// With EvictHorizon set, Flush additionally retires referrer state for pages
+// idle past a capture-time watermark, bounding resident state by in-flight
+// pages instead of trace length (DESIGN.md §15).
 package pagemodel
 
 import (
+	"strings"
 	"time"
 
+	"adscape/internal/intern"
 	"adscape/internal/urlutil"
 	"adscape/internal/weblog"
 )
@@ -31,6 +44,11 @@ type Annotated struct {
 	// Repaired marks requests attributed via redirect/embedded-URL repair
 	// rather than a direct referer edge.
 	Repaired bool
+
+	// rawH and pageH are the builder-interner handles of the raw request URL
+	// and of PageURL; zero (intern.None) on hand-constructed annotations,
+	// which keeps SummarizePages on its string-keyed fallback there.
+	rawH, pageH intern.Handle
 }
 
 // Options tunes the reconstruction.
@@ -48,6 +66,18 @@ type Options struct {
 	// extension wins over the Content-Type header. Off means header-only
 	// (the ablation baseline).
 	ExtensionFirst bool
+	// Intern, when non-nil, is the shared string pool the builder keys its
+	// referrer state by; nil gives the builder a private pool. Sharding
+	// callers hand every builder of one shard the shard's interner so each
+	// distinct URL is materialized once per shard.
+	Intern *intern.Interner
+	// EvictHorizon bounds resident referrer state in streaming use: Flush
+	// retires pages (and their repair edges) idle longer than this much
+	// capture time behind the watermark. Zero keeps the exact whole-trace
+	// semantics of the batch path. Retiring a page only forgets referrer
+	// edges into it — a later request naming it starts a fresh page, the
+	// same degradation the trace-start boundary already causes.
+	EvictHorizon time.Duration
 }
 
 // DefaultOptions returns the configuration the paper's methodology uses.
@@ -61,142 +91,293 @@ func DefaultOptions(norm *urlutil.Normalizer) Options {
 
 // Builder consumes one user's transactions in time order and reconstructs
 // page attribution. Build one Builder per (client IP, User-Agent) pair; the
-// referrer graph of different users must never mix.
+// referrer graph of different users must never mix. Builders of one shard
+// may share an interner (Options.Intern); the Builder itself is
+// single-goroutine like every other per-shard accumulator.
 type Builder struct {
 	opt Options
-	txs []*weblog.Transaction
+	in  *intern.Interner
 
 	// pageOf maps a URL (as requested) to the page URL it belongs to.
-	pageOf map[string]string
+	pageOf map[intern.Handle]intern.Handle
 	// pageStart records when each page retrieval began (ns).
-	pageStart map[string]int64
-	// redirectTo maps a Location target to the page of the redirecting
+	pageStart map[intern.Handle]int64
+	// redirectTarget maps a Location target to the page of the redirecting
 	// request, repairing the broken chain of §3.1.
-	redirectTarget map[string]string
+	redirectTarget map[intern.Handle]intern.Handle
 	// redirectFrom maps the redirecting URL to its Location target, for the
 	// content-type repair (class of the consequent request).
-	redirectFrom map[string]string
+	redirectFrom map[intern.Handle]intern.Handle
 	// embedded maps URLs found inside other URLs' query strings to the
 	// page of the embedding request.
-	embedded map[string]string
+	embedded map[intern.Handle]intern.Handle
+	// classOf records the first-seen (pre-repair) class per raw URL, the
+	// incremental form of the per-Resolve map the redirect-class repair used
+	// to rebuild from scratch on every call. Redirect sources are excluded
+	// at lookup time instead of build time — the same predicate, so repair
+	// results are identical.
+	classOf map[intern.Handle]urlutil.ContentClass
+	// hostOf memoizes urlutil.Host per page, and normOf the normalizer
+	// output per raw URL, so repeated requests pay neither again.
+	hostOf map[intern.Handle]string
+	normOf map[intern.Handle]string
+	// seenAt records the last capture time each handle was used as referrer
+	// state, driving EvictBefore's single sweep over all maps.
+	seenAt map[intern.Handle]int64
+
+	pending []*Annotated
+	slab    []Annotated
+	buf     []byte
+
+	maxTime int64
+	evicted int64
 }
 
 // NewBuilder creates a Builder.
 func NewBuilder(opt Options) *Builder {
+	in := opt.Intern
+	if in == nil {
+		in = intern.New()
+	}
 	return &Builder{
 		opt:            opt,
-		pageOf:         make(map[string]string),
-		pageStart:      make(map[string]int64),
-		redirectTarget: make(map[string]string),
-		redirectFrom:   make(map[string]string),
-		embedded:       make(map[string]string),
+		in:             in,
+		pageOf:         make(map[intern.Handle]intern.Handle),
+		pageStart:      make(map[intern.Handle]int64),
+		redirectTarget: make(map[intern.Handle]intern.Handle),
+		redirectFrom:   make(map[intern.Handle]intern.Handle),
+		embedded:       make(map[intern.Handle]intern.Handle),
+		classOf:        make(map[intern.Handle]urlutil.ContentClass),
+		hostOf:         make(map[intern.Handle]string),
+		normOf:         make(map[intern.Handle]string),
+		seenAt:         make(map[intern.Handle]int64),
 	}
 }
 
-// Add appends a transaction; call in capture order.
-func (b *Builder) Add(tx *weblog.Transaction) { b.txs = append(b.txs, tx) }
+// Interner exposes the builder's string pool (shared or private).
+func (b *Builder) Interner() *intern.Interner { return b.in }
 
-// Resolve runs the reconstruction and returns one annotation per added
-// transaction, in order. Annotations come from one slab and every
-// transaction's URL is materialized exactly once — this loop runs once per
-// transaction in the trace, so per-item allocations here dominate the whole
-// pipeline's garbage.
-func (b *Builder) Resolve() []*Annotated {
-	anns := make([]Annotated, len(b.txs))
-	out := make([]*Annotated, len(b.txs))
-	raws := make([]string, len(b.txs))
-	for i, tx := range b.txs {
-		raws[i] = tx.URL()
-		b.annotate(&anns[i], tx, raws[i])
-		out[i] = &anns[i]
-	}
-	b.repairRedirectClasses(out, raws)
-	return out
-}
+// Add attributes one transaction against the referrer state built so far and
+// queues its annotation; call in capture order. Attribution at Add time is
+// identical to the historical resolve-time loop because that loop also ran
+// in Add order against only-earlier state.
+func (b *Builder) Add(tx *weblog.Transaction) {
+	rawH := b.internURL(tx)
+	raw := b.in.Str(rawH)
 
-// annotate performs page attribution for one transaction, filling a.
-func (b *Builder) annotate(a *Annotated, tx *weblog.Transaction, rawURL string) {
-	a.Tx, a.URL = tx, rawURL
+	a := b.newAnn()
+	a.Tx, a.URL, a.rawH = tx, raw, rawH
 	if b.opt.Normalizer != nil {
-		a.URL = b.opt.Normalizer.NormalizeURL(rawURL)
+		a.URL = b.normalized(rawH, raw)
 	}
-	a.Class = b.inferClass(tx, rawURL)
+	a.Class = b.inferClass(tx, raw)
 
-	page := b.attribute(tx, rawURL, a.Class)
-	a.PageURL = page
-	a.PageHost = urlutil.Host(page)
-
-	// Register this URL's page for referrer lookups by later requests.
-	if page != "" {
-		b.pageOf[rawURL] = page
+	pageH := b.attribute(tx, rawH, a.Class)
+	a.pageH = pageH
+	if pageH != intern.None {
+		a.PageURL = b.in.Str(pageH)
+		a.PageHost = b.pageHost(pageH)
+		// Register this URL's page for referrer lookups by later requests.
+		b.pageOf[rawH] = pageH
+		b.touch(pageH, tx.ReqTime)
 	}
+	b.touch(rawH, tx.ReqTime)
+
 	if !b.opt.DisableRepair {
+		if _, ok := b.classOf[rawH]; !ok {
+			b.classOf[rawH] = a.Class
+		}
 		// Redirect repair: the request following a Location redirect often
 		// carries no referer; remember where it belongs. The Location value
 		// may be relative (RFC 7231 §7.1.2) — resolve it against the
 		// redirecting request's URL first, or it can never match the
 		// absolute URL of the follow-up request and the repair silently
 		// fails for every relative redirect.
-		if tx.Location != "" && page != "" {
-			if loc := urlutil.ResolveReference(rawURL, tx.Location); loc != "" {
-				b.redirectTarget[loc] = page
-				b.redirectFrom[rawURL] = loc
+		if tx.Location != "" && pageH != intern.None {
+			if loc := urlutil.ResolveReference(raw, tx.Location); loc != "" {
+				locH := b.in.Intern(loc)
+				b.redirectTarget[locH] = pageH
+				b.redirectFrom[rawH] = locH
+				b.touch(locH, tx.ReqTime)
 			}
 		}
 		// Embedded-URL repair.
-		for _, u := range urlutil.ExtractEmbeddedURLs(rawURL) {
-			if page != "" {
-				b.embedded[u] = page
+		if pageH != intern.None {
+			for _, u := range urlutil.ExtractEmbeddedURLs(raw) {
+				uH := b.in.Intern(u)
+				b.embedded[uH] = pageH
+				b.touch(uH, tx.ReqTime)
 			}
 		}
 	}
+	if tx.ReqTime > b.maxTime {
+		b.maxTime = tx.ReqTime
+	}
+	b.pending = append(b.pending, a)
 }
 
-// attribute decides which page a request belongs to.
-func (b *Builder) attribute(tx *weblog.Transaction, rawURL string, class urlutil.ContentClass) string {
+// internURL interns the transaction's absolute URL, assembling
+// "http://"+host+uri in a reusable scratch buffer so a repeated URL costs a
+// map probe and zero allocations instead of a fresh string per transaction.
+func (b *Builder) internURL(tx *weblog.Transaction) intern.Handle {
+	uri := tx.URI
+	if uri == "" {
+		uri = "/"
+	}
+	if strings.HasPrefix(uri, "http://") || strings.HasPrefix(uri, "https://") {
+		return b.in.Intern(uri) // absolute-form request target
+	}
+	b.buf = append(b.buf[:0], "http://"...)
+	b.buf = append(b.buf, tx.Host...)
+	b.buf = append(b.buf, uri...)
+	return b.in.InternBytes(b.buf)
+}
+
+// newAnn allocates annotations from fixed-size slabs; chunks never move, so
+// pointers stay valid as pending grows (unlike one growing backing array).
+func (b *Builder) newAnn() *Annotated {
+	if len(b.slab) == cap(b.slab) {
+		b.slab = make([]Annotated, 0, 512)
+	}
+	b.slab = append(b.slab, Annotated{})
+	return &b.slab[len(b.slab)-1]
+}
+
+func (b *Builder) normalized(rawH intern.Handle, raw string) string {
+	if s, ok := b.normOf[rawH]; ok {
+		return s
+	}
+	s := b.opt.Normalizer.NormalizeURL(raw)
+	b.normOf[rawH] = s
+	return s
+}
+
+func (b *Builder) pageHost(pageH intern.Handle) string {
+	if h, ok := b.hostOf[pageH]; ok {
+		return h
+	}
+	h := urlutil.Host(b.in.Str(pageH))
+	b.hostOf[pageH] = h
+	return h
+}
+
+func (b *Builder) touch(h intern.Handle, t int64) { b.seenAt[h] = t }
+
+// Resolve repairs redirect classes for the annotations queued since the last
+// Resolve/Flush and returns them in Add order.
+func (b *Builder) Resolve() []*Annotated {
+	b.repairRedirectClasses(b.pending)
+	out := b.pending
+	b.pending = nil
+	return out
+}
+
+// Flush is Resolve for streaming use: it drains the queued annotations and,
+// when EvictHorizon is set, retires referrer state idle past
+// watermark − horizon. Callers pass the routing watermark (max routed
+// capture time); Watermark() is the builder's own high-water mark for
+// single-stream callers.
+func (b *Builder) Flush(watermark int64) []*Annotated {
+	out := b.Resolve()
+	if h := b.opt.EvictHorizon; h > 0 {
+		b.EvictBefore(watermark - h.Nanoseconds())
+	}
+	return out
+}
+
+// Watermark is the largest capture timestamp added so far.
+func (b *Builder) Watermark() int64 { return b.maxTime }
+
+// EvictBefore retires all referrer state last used before cut (capture ns):
+// one sweep over the last-use index deletes the handle from every map. A
+// retired page's URL survives in the interner (append-only); only the
+// attribution edges are forgotten.
+func (b *Builder) EvictBefore(cut int64) {
+	for h, t := range b.seenAt {
+		if t >= cut {
+			continue
+		}
+		if _, isPage := b.pageStart[h]; isPage {
+			b.evicted++
+		}
+		delete(b.pageOf, h)
+		delete(b.pageStart, h)
+		delete(b.redirectTarget, h)
+		delete(b.redirectFrom, h)
+		delete(b.embedded, h)
+		delete(b.classOf, h)
+		delete(b.hostOf, h)
+		delete(b.normOf, h)
+		delete(b.seenAt, h)
+	}
+}
+
+// LivePages is the number of pages with live referrer state; EvictedPages
+// the cumulative count retired by EvictBefore. Both feed the heartbeat
+// gauges.
+func (b *Builder) LivePages() int      { return len(b.pageStart) }
+func (b *Builder) EvictedPages() int64 { return b.evicted }
+
+// Rekey reassigns the annotation's page handle by interning PageURL into in,
+// and clears the raw-URL handle, which has no meaning outside its builder.
+// Sharded pipelines call this at the merge barrier, walking results in input
+// order with one fresh interner: every page gets the handle of its first
+// appearance in the input, so handles — like everything else in the merged
+// output — are identical at any worker count.
+func (a *Annotated) Rekey(in *intern.Interner) {
+	a.rawH = intern.None
+	a.pageH = in.Intern(a.PageURL)
+}
+
+// attribute decides which page a request belongs to, returning its handle
+// (intern.None when attribution failed).
+func (b *Builder) attribute(tx *weblog.Transaction, rawH intern.Handle, class urlutil.ContentClass) intern.Handle {
 	ref := tx.Referer
-	refPage, refKnown := "", false
+	refPageH := intern.None
+	refKnown := false
 	if ref != "" {
-		if p, ok := b.pageOf[ref]; ok {
-			refPage, refKnown = p, true
+		refH := b.in.Intern(ref)
+		if p, ok := b.pageOf[refH]; ok {
+			refPageH, refKnown = p, true
 		} else {
 			// The referer names a page we never saw loaded (cache hit,
 			// trace start): treat the referer itself as the page.
-			refPage, refKnown = ref, true
-			b.pageOf[ref] = ref
-			if _, ok := b.pageStart[ref]; !ok {
-				b.pageStart[ref] = tx.ReqTime
+			refPageH, refKnown = refH, true
+			b.pageOf[refH] = refH
+			if _, ok := b.pageStart[refH]; !ok {
+				b.pageStart[refH] = tx.ReqTime
 			}
+			b.touch(refH, tx.ReqTime)
 		}
 	}
 
 	if class == urlutil.ClassDocument {
-		if b.isNewPageHead(tx, ref, refPage) {
-			b.pageStart[rawURL] = tx.ReqTime
-			return rawURL
+		if b.isNewPageHead(tx, ref, refPageH) {
+			b.pageStart[rawH] = tx.ReqTime
+			return rawH
 		}
 		if refKnown {
-			return refPage // embedded document (iframe)
+			return refPageH // embedded document (iframe)
 		}
 	}
 
 	if refKnown {
-		return refPage
+		return refPageH
 	}
 	if !b.opt.DisableRepair {
-		if p, ok := b.redirectTarget[rawURL]; ok {
+		if p, ok := b.redirectTarget[rawH]; ok {
 			return p
 		}
-		if p, ok := b.embedded[rawURL]; ok {
+		if p, ok := b.embedded[rawH]; ok {
 			return p
 		}
 	}
 	if class == urlutil.ClassDocument || class == urlutil.ClassUnknown {
 		// Referer-less document-ish request: its own page.
-		b.pageStart[rawURL] = tx.ReqTime
-		return rawURL
+		b.pageStart[rawH] = tx.ReqTime
+		return rawH
 	}
-	return ""
+	return intern.None
 }
 
 // isNewPageHead applies the StreamStructure-style heuristics: a document
@@ -205,14 +386,14 @@ func (b *Builder) attribute(tx *weblog.Transaction, rawURL string, class urlutil
 // follow-up document is an embedded frame (ad iframes are documents on a
 // foreign domain, requested while the page is still loading). Redirect
 // responses never head a page — they are hops, not pages.
-func (b *Builder) isNewPageHead(tx *weblog.Transaction, ref, refPage string) bool {
+func (b *Builder) isNewPageHead(tx *weblog.Transaction, ref string, refPageH intern.Handle) bool {
 	if tx.Status >= 300 && tx.Status < 400 {
 		return false
 	}
 	if ref == "" {
 		return true
 	}
-	if start, ok := b.pageStart[refPage]; ok {
+	if start, ok := b.pageStart[refPageH]; ok {
 		if tx.ReqTime-start > b.opt.NavigationGap.Nanoseconds() {
 			return true
 		}
@@ -236,24 +417,21 @@ func (b *Builder) inferClass(tx *weblog.Transaction, rawURL string) urlutil.Cont
 
 // repairRedirectClasses sets the class of 3xx transactions to the class of
 // the consequent request (§3.1: "the referrer map helps us to set the
-// appropriate content type for the URL that is being redirected").
-func (b *Builder) repairRedirectClasses(as []*Annotated, raws []string) {
+// appropriate content type for the URL that is being redirected"). The
+// historical implementation rebuilt a class map per call, skipping redirect
+// sources; classOf is the same map maintained incrementally, with the
+// redirect-source exclusion applied at lookup — the redirectFrom membership
+// test is evaluated against the same post-batch state either way, so
+// repaired output is unchanged.
+func (b *Builder) repairRedirectClasses(as []*Annotated) {
 	if b.opt.DisableRepair {
 		return
 	}
-	classOf := make(map[string]urlutil.ContentClass, len(as))
-	for i, a := range as {
-		if _, isRedirSource := b.redirectFrom[raws[i]]; !isRedirSource {
-			if _, ok := classOf[raws[i]]; !ok {
-				classOf[raws[i]] = a.Class
-			}
-		}
-	}
-	for i, a := range as {
+	for _, a := range as {
 		if a.Tx.Status < 300 || a.Tx.Status >= 400 {
 			continue
 		}
-		target, ok := b.redirectFrom[raws[i]]
+		target, ok := b.redirectFrom[a.rawH]
 		if !ok {
 			continue
 		}
@@ -265,7 +443,10 @@ func (b *Builder) repairRedirectClasses(as []*Annotated, raws []string) {
 			}
 			break
 		}
-		if c, ok := classOf[target]; ok && c != urlutil.ClassUnknown {
+		if _, isRedirSource := b.redirectFrom[target]; isRedirSource {
+			continue // chain still unterminated at the hop limit
+		}
+		if c, ok := b.classOf[target]; ok && c != urlutil.ClassUnknown {
 			a.Class = c
 			a.Repaired = true
 		}

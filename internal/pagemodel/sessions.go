@@ -3,6 +3,8 @@ package pagemodel
 import (
 	"sort"
 	"time"
+
+	"adscape/internal/intern"
 )
 
 // PageRetrieval summarizes one reconstructed page load: the unit the
@@ -37,17 +39,22 @@ type Session struct {
 // SummarizePages folds annotated transactions into per-page retrievals,
 // ordered by start time. isAd may be nil; when set, it marks the requests
 // counted in AdCandidates.
+//
+// Builder-produced annotations group by their page's interner handle — a
+// uint32 key instead of re-materializing one string key per attributed
+// request (the per-call map rebuild this signature historically paid).
+// Hand-constructed annotations (no handles) take a string-keyed fallback
+// with identical results; within one builder's output the two groupings are
+// the same partition, because distinct handles name distinct strings.
 func SummarizePages(anns []*Annotated, isAd func(*Annotated) bool) []*PageRetrieval {
-	byPage := make(map[string]*PageRetrieval)
+	handled := true
 	for _, a := range anns {
-		if a.PageURL == "" {
-			continue
+		if a.PageURL != "" && a.pageH == intern.None {
+			handled = false
+			break
 		}
-		p, ok := byPage[a.PageURL]
-		if !ok {
-			p = &PageRetrieval{URL: a.PageURL, Start: a.Tx.ReqTime, End: a.Tx.ReqTime}
-			byPage[a.PageURL] = p
-		}
+	}
+	fold := func(p *PageRetrieval, a *Annotated) {
 		if a.Tx.ReqTime < p.Start {
 			p.Start = a.Tx.ReqTime
 		}
@@ -59,9 +66,41 @@ func SummarizePages(anns []*Annotated, isAd func(*Annotated) bool) []*PageRetrie
 			p.AdCandidates++
 		}
 	}
-	out := make([]*PageRetrieval, 0, len(byPage))
-	for _, p := range byPage {
-		out = append(out, p)
+	var out []*PageRetrieval
+	if handled {
+		byPage := make(map[intern.Handle]*PageRetrieval)
+		for _, a := range anns {
+			if a.PageURL == "" {
+				continue
+			}
+			p, ok := byPage[a.pageH]
+			if !ok {
+				p = &PageRetrieval{URL: a.PageURL, Start: a.Tx.ReqTime, End: a.Tx.ReqTime}
+				byPage[a.pageH] = p
+			}
+			fold(p, a)
+		}
+		out = make([]*PageRetrieval, 0, len(byPage))
+		for _, p := range byPage {
+			out = append(out, p)
+		}
+	} else {
+		byPage := make(map[string]*PageRetrieval)
+		for _, a := range anns {
+			if a.PageURL == "" {
+				continue
+			}
+			p, ok := byPage[a.PageURL]
+			if !ok {
+				p = &PageRetrieval{URL: a.PageURL, Start: a.Tx.ReqTime, End: a.Tx.ReqTime}
+				byPage[a.PageURL] = p
+			}
+			fold(p, a)
+		}
+		out = make([]*PageRetrieval, 0, len(byPage))
+		for _, p := range byPage {
+			out = append(out, p)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {

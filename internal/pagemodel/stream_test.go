@@ -1,0 +1,166 @@
+package pagemodel
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"adscape/internal/intern"
+	"adscape/internal/weblog"
+)
+
+// streamTxs builds many single-page bursts spread over capture time: page i
+// loads at second 10*i with three objects a second apart. Pages never refer
+// back, so eviction past a burst cannot change any later attribution.
+func streamTxs(pages int) []*weblog.Transaction {
+	var txs []*weblog.Transaction
+	for i := 0; i < pages; i++ {
+		base := int64(i) * 10e9
+		host := fmt.Sprintf("site%d.example", i)
+		page := fmt.Sprintf("http://site%d.example/index.html", i)
+		txs = append(txs,
+			tx(base+1e9, host, "/index.html", "", "text/html", 200),
+			tx(base+2e9, host, "/style.css", page, "text/css", 200),
+			tx(base+3e9, "cdn.example", fmt.Sprintf("/lib/%d/app.js", i), page, "application/javascript", 200),
+			tx(base+4e9, "ads.adnet.example", fmt.Sprintf("/banner/%d.gif", i), page, "image/gif", 200),
+		)
+	}
+	return txs
+}
+
+// public projects the exported fields so comparisons ignore the unexported
+// interner handles (which legitimately differ between builders).
+type publicAnn struct {
+	URL, PageURL, PageHost string
+	Class                  string
+	Repaired               bool
+	ReqTime                int64
+}
+
+func public(as []*Annotated) []publicAnn {
+	out := make([]publicAnn, len(as))
+	for i, a := range as {
+		out[i] = publicAnn{
+			URL: a.URL, PageURL: a.PageURL, PageHost: a.PageHost,
+			Class: string(a.Class), Repaired: a.Repaired, ReqTime: a.Tx.ReqTime,
+		}
+	}
+	return out
+}
+
+// TestStreamingMatchesBatch is the incremental-reconstruction gate: draining
+// the builder in windows with eviction between them must annotate every
+// transaction exactly as one batch Resolve does, as long as the horizon
+// exceeds the referrer lookback the trace actually uses.
+func TestStreamingMatchesBatch(t *testing.T) {
+	txs := streamTxs(50)
+
+	batch := NewBuilder(DefaultOptions(nil))
+	for _, x := range txs {
+		batch.Add(x)
+	}
+	want := public(batch.Resolve())
+
+	opt := DefaultOptions(nil)
+	opt.EvictHorizon = 20 * time.Second // bursts span 4s, pages 10s apart
+	stream := NewBuilder(opt)
+	var got []publicAnn
+	for i, x := range txs {
+		stream.Add(x)
+		if i%7 == 6 {
+			got = append(got, public(stream.Flush(stream.Watermark()))...)
+		}
+	}
+	got = append(got, public(stream.Resolve())...)
+
+	if len(got) != len(want) {
+		t.Fatalf("streaming emitted %d annotations, batch %d", len(got), len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("annotation %d diverged:\n got  %+v\n want %+v", i, got[i], want[i])
+			}
+		}
+	}
+	if stream.EvictedPages() == 0 {
+		t.Error("streaming run evicted no pages; the bound was never exercised")
+	}
+}
+
+// TestEvictionBoundsLivePages pins the RSS mechanism itself: with a horizon
+// much shorter than the trace span, the live page-state watermark sweep must
+// keep LivePages near the per-window page count instead of the whole-trace
+// total.
+func TestEvictionBoundsLivePages(t *testing.T) {
+	const pages = 200
+	txs := streamTxs(pages)
+	opt := DefaultOptions(nil)
+	opt.EvictHorizon = 15 * time.Second
+	b := NewBuilder(opt)
+	maxLive := 0
+	for i, x := range txs {
+		b.Add(x)
+		if i%4 == 3 { // after each burst
+			b.Flush(b.Watermark())
+			if l := b.LivePages(); l > maxLive {
+				maxLive = l
+			}
+		}
+	}
+	b.Resolve()
+	if maxLive >= pages/2 {
+		t.Errorf("live pages peaked at %d of %d total; eviction is not bounding state", maxLive, pages)
+	}
+	if got := int(b.EvictedPages()) + b.LivePages(); got != pages {
+		t.Errorf("evicted+live = %d, want %d (every page accounted once)", got, pages)
+	}
+}
+
+// TestEvictBeforeDropsAllState verifies the sweep removes a page's entries
+// from every map, not just the start index: after evicting everything, the
+// builder reports zero live pages and the interner-backed maps are empty.
+func TestEvictBeforeDropsAllState(t *testing.T) {
+	b := NewBuilder(DefaultOptions(nil))
+	for _, x := range streamTxs(5) {
+		b.Add(x)
+	}
+	b.Resolve()
+	if b.LivePages() != 5 {
+		t.Fatalf("live pages = %d, want 5", b.LivePages())
+	}
+	b.EvictBefore(int64(1000e9))
+	if b.LivePages() != 0 {
+		t.Errorf("live pages after full eviction = %d, want 0", b.LivePages())
+	}
+	if b.EvictedPages() != 5 {
+		t.Errorf("evicted pages = %d, want 5", b.EvictedPages())
+	}
+	if len(b.pageOf) != 0 || len(b.classOf) != 0 || len(b.seenAt) != 0 ||
+		len(b.redirectTarget) != 0 || len(b.redirectFrom) != 0 || len(b.embedded) != 0 {
+		t.Errorf("residual map state after full eviction: pageOf=%d classOf=%d seenAt=%d redirTgt=%d redirFrom=%d embedded=%d",
+			len(b.pageOf), len(b.classOf), len(b.seenAt),
+			len(b.redirectTarget), len(b.redirectFrom), len(b.embedded))
+	}
+}
+
+// TestSharedInternerAcrossBuilders checks the Options.Intern plumbing: two
+// builders handed one interner agree on handles for the same URL, which is
+// what lets per-user builders share one per-shard intern table.
+func TestSharedInternerAcrossBuilders(t *testing.T) {
+	opt := DefaultOptions(nil)
+	opt.Intern = intern.New()
+	b1 := NewBuilder(opt)
+	b2 := NewBuilder(opt)
+	x := tx(1e9, "www.news.example", "/story.html", "", "text/html", 200)
+	b1.Add(x)
+	b2.Add(tx(1e9, "www.news.example", "/story.html", "", "text/html", 200))
+	a1, a2 := b1.Resolve()[0], b2.Resolve()[0]
+	if a1.rawH != a2.rawH || a1.rawH == 0 {
+		t.Errorf("shared interner produced handles %d vs %d", a1.rawH, a2.rawH)
+	}
+	if b1.Interner() != b2.Interner() {
+		t.Error("builders did not share the provided interner")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"adscape/internal/analyzer"
 	"adscape/internal/core"
 	"adscape/internal/inference"
+	"adscape/internal/intern"
 	"adscape/internal/obs"
 	"adscape/internal/weblog"
 	"adscape/internal/wire"
@@ -501,5 +502,11 @@ func Reduce(files []File) (*Merged, error) {
 	// pipeline relies on for worker-count independence.
 	weblog.SortTransactions(m.Transactions)
 	weblog.SortTLSFlows(m.TLSFlows)
+	// Every partial file decoded its strings independently, so the merged
+	// slice holds one allocation per field per file even when values repeat
+	// across partitions (methods, hosts, user agents almost always do).
+	// One shared table collapses them; values are unchanged, so the merged
+	// output is byte-identical.
+	weblog.DedupAll(intern.NewTable(0), m.Transactions)
 	return m, nil
 }

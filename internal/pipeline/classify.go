@@ -7,6 +7,7 @@ import (
 
 	"adscape/internal/core"
 	"adscape/internal/inference"
+	"adscape/internal/intern"
 	"adscape/internal/obs"
 	"adscape/internal/weblog"
 )
@@ -146,6 +147,15 @@ func ClassifyObs(p *core.Pipeline, txs []*weblog.Transaction, workers int, reg *
 		}(j)
 	}
 	wg.Wait()
+
+	// Merge barrier, interner leg: per-shard interners assign page handles
+	// in shard-local order, which depends on the partition. Re-keying the
+	// merged results in input order gives every page the handle of its
+	// first appearance in the input — deterministic at any worker count.
+	merged := intern.New()
+	for _, r := range out.Results {
+		r.Ann.Rekey(merged)
+	}
 
 	out.Stats = core.NewStats()
 	out.Users = make(map[core.UserKey]*inference.UserStats)

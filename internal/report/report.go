@@ -122,6 +122,13 @@ func printPerf(engine *abp.Engine, cls *pipeline.ClassifyResult, cacheCap int) {
 	}
 	log.Printf("classification: %d tx in %v (%.0f tx/s, %d workers)",
 		cls.Stats.Requests, cls.Elapsed.Round(time.Millisecond), float64(cls.Stats.Requests)/secs, cls.Workers)
+	log.Printf("memory: %d distinct URLs interned (%.1f MB), %d pages reconstructed (%d evicted)",
+		cls.Perf.DistinctURLs, float64(cls.Perf.InternedBytes)/(1<<20),
+		cls.Perf.Pages, cls.Perf.PagesEvicted)
+	if bs := engine.BloomStats(); bs.Checked > 0 {
+		log.Printf("bloom pre-filter: %d token probes, %d rejected (%.1f%%)",
+			bs.Checked, bs.Rejected, 100*bs.RejectRate())
+	}
 	if cacheCap <= 0 {
 		log.Print("verdict cache: disabled")
 		return

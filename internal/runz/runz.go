@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"adscape/internal/analyzer"
+	"adscape/internal/intern"
 	"adscape/internal/obs"
 	"adscape/internal/pipeline"
 	"adscape/internal/weblog"
@@ -276,6 +278,15 @@ type supShard struct {
 	lostFlows atomic.Int64
 	done      atomic.Bool
 
+	// internHits/internMisses/internBytes mirror the analyzer's header-dedup
+	// pool counters. The pool itself is shard-goroutine state (and the an
+	// pointer is swapped on panic restart), so the shard copies the counters
+	// into these atomics after each batch and the gauges read only the
+	// mirrors — the same no-shard-private-reads rule as the other gauges.
+	internHits   atomic.Int64
+	internMisses atomic.Int64
+	internBytes  atomic.Int64
+
 	// err and the retired counters are owned by the shard goroutine; the
 	// router reads them only behind a barrier ack or after shard exit.
 	err          error
@@ -323,6 +334,7 @@ func (s *supShard) process(pkts []*wire.Packet) {
 		s.an.Add(p)
 		s.packets.Add(1)
 	}
+	s.mirrorInternStats()
 }
 
 func (s *supShard) finish() {
@@ -330,6 +342,16 @@ func (s *supShard) finish() {
 	defer s.busy.Store(false)
 	defer s.recoverRestart()
 	s.an.Finish()
+	s.mirrorInternStats()
+}
+
+// mirrorInternStats publishes the analyzer's dedup-pool counters into the
+// shard's atomic mirrors; called only from the shard goroutine.
+func (s *supShard) mirrorInternStats() {
+	hits, misses, bytes := s.an.InternStats()
+	s.internHits.Store(hits)
+	s.internMisses.Store(misses)
+	s.internBytes.Store(bytes)
 }
 
 // recoverRestart implements the shard panic policy: salvage the dead
@@ -444,6 +466,27 @@ func (sup *supervisor) registerGauges(reg *obs.Registry) {
 		}
 		return n
 	})
+	reg.Func("runz.intern_pool_hits", func() int64 {
+		var n int64
+		for _, s := range sup.shards {
+			n += s.internHits.Load()
+		}
+		return n
+	})
+	reg.Func("runz.intern_pool_misses", func() int64 {
+		var n int64
+		for _, s := range sup.shards {
+			n += s.internMisses.Load()
+		}
+		return n
+	})
+	reg.Func("runz.intern_pool_bytes", func() int64 {
+		var n int64
+		for _, s := range sup.shards {
+			n += s.internBytes.Load()
+		}
+		return n
+	})
 	if sup.win != nil {
 		reg.Func("runz.windows_emitted", func() int64 { return sup.win.emitted.Load() })
 		reg.Func("runz.window_watermark_ns", func() int64 { return sup.win.maxTime.Load() - sup.win.grace })
@@ -474,9 +517,32 @@ func (sup *supervisor) heartbeat(every time.Duration) {
 		sup.mu.Lock()
 		ckpts := sup.ckpts
 		sup.mu.Unlock()
-		sup.event(fmt.Sprintf("heartbeat: packets=%d busy-shards=%d/%d checkpoints=%d restarts=%d",
-			sup.routed.Load(), busy, len(sup.shards), ckpts, restarts))
+		sup.event(fmt.Sprintf("heartbeat: packets=%d busy-shards=%d/%d checkpoints=%d restarts=%d%s",
+			sup.routed.Load(), busy, len(sup.shards), ckpts, restarts, sup.memDigest()))
 	}
+}
+
+// memDigest renders the memory-scale gauges for the heartbeat line: interner
+// pool footprint, live/evicted reconstructed pages, and the bloom pre-filter
+// reject rate. Gauges that are absent from the registry (batch runs without
+// a daemon, or no Obs at all) are simply omitted, so the heartbeat shape
+// degrades gracefully rather than printing zeros for stages not running.
+func (sup *supervisor) memDigest() string {
+	if sup.opt.Obs == nil {
+		return ""
+	}
+	g := sup.opt.Obs.Snapshot().Gauges
+	var b strings.Builder
+	if v, ok := g["runz.intern_pool_bytes"]; ok && v > 0 {
+		fmt.Fprintf(&b, " intern-pool=%dKB", v/1024)
+	}
+	if live, ok := g["daemon.pages_live"]; ok {
+		fmt.Fprintf(&b, " pages=%d/evicted=%d", live, g["daemon.pages_evicted"])
+	}
+	if checked, ok := g["abp.bloom_checked"]; ok && checked > 0 {
+		fmt.Fprintf(&b, " bloom-reject-bp=%d", g["abp.bloom_reject_ratio_bp"])
+	}
+	return b.String()
 }
 
 // setOutcome records how the run ended; the first writer wins, so a watchdog
@@ -1090,6 +1156,14 @@ func (sup *supervisor) restore(src wire.PacketSource, ck *Checkpoint, lim analyz
 		sc := ck.Shards[i]
 		s.col.Transactions = sc.Transactions
 		s.col.Flows = sc.TLSFlows
+		// gob decoded every string field as its own allocation; collapse
+		// duplicates so a resumed run's footprint matches a fresh run's
+		// (values unchanged — output stays byte-identical). The throwaway
+		// table is released here; the surviving strings are the deduped ones
+		// the transactions now reference.
+		if !lim.DisableIntern {
+			weblog.DedupAll(intern.NewTable(0), sc.Transactions)
+		}
 		if sc.Analyzer != nil {
 			an, err := analyzer.Restore(s.col, lim, sc.Analyzer)
 			if err != nil {

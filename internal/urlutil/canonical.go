@@ -1,0 +1,150 @@
+package urlutil
+
+import "strings"
+
+// CanonicalURL reduces a raw URL to one canonical spelling so that trivially
+// different encodings of the same resource collapse to the same string — and
+// therefore to the same interner handle in the memory diagnostics. The
+// canonical form:
+//
+//   - lower-cases the scheme and host (including a single trailing dot strip,
+//     mirroring Split);
+//   - drops the default port for the scheme (:80 for http, :443 for https);
+//   - percent-decodes unreserved characters (ALPHA / DIGIT / "-" / "." / "_"
+//     / "~") in path and query, and upper-cases the hex digits of the escapes
+//     that remain;
+//   - leaves everything else — path case, query order, fragment-free tail —
+//     untouched, because those distinctions are real.
+//
+// CanonicalURL is a diagnostic/dedup canonicalization, not an identity
+// rewrite: page attribution and all stdout-visible output key on the exact
+// spelling from the trace so that output stays byte-identical; only memory
+// accounting ("how many distinct resources is this trace really naming?")
+// and the canonicalization tests use this form.
+func CanonicalURL(raw string) string {
+	scheme, host, port, path, query := Split(raw)
+	if scheme == "" {
+		scheme = "http"
+	}
+	if (scheme == "http" && port == "80") || (scheme == "https" && port == "443") {
+		port = ""
+	}
+	var b strings.Builder
+	b.Grow(len(raw) + 8)
+	b.WriteString(scheme)
+	b.WriteString("://")
+	b.WriteString(host)
+	if port != "" {
+		b.WriteByte(':')
+		b.WriteString(port)
+	}
+	canonicalEscapes(&b, path)
+	if query != "" {
+		b.WriteByte('?')
+		canonicalEscapes(&b, query)
+	}
+	return b.String()
+}
+
+// canonicalEscapes copies s into b, decoding %XX escapes of unreserved
+// characters and upper-casing the hex of the escapes it keeps. Malformed
+// escapes are copied verbatim (the trace is dirty; canonicalization must
+// never reject).
+func canonicalEscapes(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '%' || i+2 >= len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		hi, ok1 := hexVal(s[i+1])
+		lo, ok2 := hexVal(s[i+2])
+		if !ok1 || !ok2 {
+			b.WriteByte(c)
+			continue
+		}
+		if dec := hi<<4 | lo; isUnreserved(dec) {
+			b.WriteByte(dec)
+		} else {
+			b.WriteByte('%')
+			b.WriteByte(upperHex[hi])
+			b.WriteByte(upperHex[lo])
+		}
+		i += 2
+	}
+}
+
+const upperHex = "0123456789ABCDEF"
+
+// isUnreserved reports whether c is in RFC 3986's unreserved set, the only
+// octets whose escaped and literal spellings are interchangeable.
+func isUnreserved(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '-' || c == '.' || c == '_' || c == '~':
+		return true
+	}
+	return false
+}
+
+// PathTemplate rewrites the dynamic segments of a URL path to placeholders,
+// producing the structural form ("/api/users/{id}") that groups per-entity
+// URLs into one template. A segment is dynamic when it is all digits, a long
+// hex run, or a UUID-shaped token — the id spellings that dominate
+// high-cardinality paths in proxy traces. Static segments pass through
+// unchanged, so templates stay human-readable in the memory report.
+func PathTemplate(path string) string {
+	if path == "" || path == "/" {
+		return path
+	}
+	var b strings.Builder
+	b.Grow(len(path))
+	for len(path) > 0 {
+		if path[0] == '/' {
+			b.WriteByte('/')
+			path = path[1:]
+			continue
+		}
+		seg := path
+		if i := strings.IndexByte(path, '/'); i >= 0 {
+			seg, path = path[:i], path[i:]
+		} else {
+			path = ""
+		}
+		if isDynamicSegment(seg) {
+			b.WriteString("{id}")
+		} else {
+			b.WriteString(seg)
+		}
+	}
+	return b.String()
+}
+
+// isDynamicSegment reports whether a path segment looks like an opaque
+// identifier rather than a route word: all digits, hex of at least 8 chars,
+// or a dashed UUID.
+func isDynamicSegment(seg string) bool {
+	if seg == "" {
+		return false
+	}
+	if isDigits(seg) {
+		return true
+	}
+	hexish, dashes := 0, 0
+	for i := 0; i < len(seg); i++ {
+		c := seg[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+			hexish++
+		case c == '-':
+			dashes++
+		default:
+			return false
+		}
+	}
+	if dashes == 4 && len(seg) == 36 { // UUID shape
+		return true
+	}
+	return dashes == 0 && hexish >= 8
+}

@@ -1,0 +1,112 @@
+package urlutil
+
+import (
+	"strings"
+	"testing"
+
+	"adscape/internal/intern"
+)
+
+func TestCanonicalURL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Mixed-case scheme and host collapse.
+		{"HTTP://News.Example/Index.html", "http://news.example/Index.html"},
+		// Default ports drop; non-default ports survive.
+		{"http://news.example:80/a", "http://news.example/a"},
+		{"https://news.example:443/a", "https://news.example/a"},
+		{"http://news.example:8080/a", "http://news.example:8080/a"},
+		{"https://news.example:80/a", "https://news.example:80/a"},
+		// Percent-decoding of unreserved characters only; kept escapes get
+		// upper-case hex.
+		{"http://h.example/%7Euser/%41sset", "http://h.example/~user/Asset"},
+		{"http://h.example/a%2fb", "http://h.example/a%2Fb"},
+		{"http://h.example/p?q=%61%20b", "http://h.example/p?q=a%20b"},
+		// Malformed escapes pass through verbatim.
+		{"http://h.example/a%zzb", "http://h.example/a%zzb"},
+		{"http://h.example/a%2", "http://h.example/a%2"},
+		// IDN punycode host: case collapses to one spelling.
+		{"http://XN--MNCHEN-3YA.example/a", "http://xn--mnchen-3ya.example/a"},
+		// Trailing host dot strips (via Split); schemeless input defaults to
+		// http.
+		{"news.example./a", "http://news.example/a"},
+		// Query order and path case are identity-bearing and survive.
+		{"http://h.example/A?b=2&a=1", "http://h.example/A?b=2&a=1"},
+	}
+	for _, c := range cases {
+		if got := CanonicalURL(c.in); got != c.want {
+			t.Errorf("CanonicalURL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCanonicalSpellingsOneHandle pins the satellite contract: two spellings
+// of one URL — percent-encoding, default-port, IDN/mixed-case host — intern
+// to a single handle once canonicalized.
+func TestCanonicalSpellingsOneHandle(t *testing.T) {
+	pairs := [][2]string{
+		{"http://News.Example:80/%7Eads/a.gif", "http://news.example/~ads/a.gif"},
+		{"HTTPS://CDN.Example:443/x", "https://cdn.example/x"},
+		{"http://XN--MNCHEN-3YA.de/banner?id=%31", "http://xn--mnchen-3ya.de/banner?id=1"},
+		{"//host.example/p%61th", "host.example/path"},
+	}
+	in := intern.New()
+	for _, p := range pairs {
+		a := in.Intern(CanonicalURL(p[0]))
+		b := in.Intern(CanonicalURL(p[1]))
+		if a != b {
+			t.Errorf("spellings %q and %q interned to distinct handles (%q vs %q)",
+				p[0], p[1], CanonicalURL(p[0]), CanonicalURL(p[1]))
+		}
+	}
+}
+
+func TestPathTemplate(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/api/users/12345/profile", "/api/users/{id}/profile"},
+		{"/creative/deadbeefcafe42", "/creative/{id}"},
+		// A dot keeps the segment static: "deadbeefcafe.gif" is a filename.
+		{"/img/deadbeefcafe.gif", "/img/deadbeefcafe.gif"},
+		{"/a/b", "/a/b"},
+		{"/", "/"},
+		{"", ""},
+		{"/v2/550e8400-e29b-41d4-a716-446655440000", "/v2/{id}"},
+		{"/2024/article", "/{id}/article"},
+		{"/cafe", "/cafe"}, // hexish but short: route word, not an id
+	}
+	for _, c := range cases {
+		if got := PathTemplate(c.in); got != c.want {
+			t.Errorf("PathTemplate(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// FuzzCanonicalURL: canonicalization must never panic and must be
+// idempotent — the canonical form of a canonical form is itself.
+func FuzzCanonicalURL(f *testing.F) {
+	for _, s := range []string{
+		"http://example.com/a/b?x=1",
+		"HTTP://News.Example:80/%7Euser/%41sset",
+		"https://h.example:443/a%2fb?q=%61%20b",
+		"http://XN--MNCHEN-3YA.example./a",
+		"//cdn.example/x", ":::", "http://", "?", "#",
+		"http://[::1]:80/x", "http://h:99999/x",
+		"news.example./a%2", "a%zz",
+		strings.Repeat("%41", 100),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		once := CanonicalURL(raw)
+		twice := CanonicalURL(once)
+		if once != twice {
+			t.Fatalf("canonicalization not idempotent: %q -> %q -> %q", raw, once, twice)
+		}
+		// Templating the canonical path must not panic and must be
+		// idempotent as well.
+		_, _, _, path, _ := Split(once)
+		tpl := PathTemplate(path)
+		if PathTemplate(tpl) != tpl {
+			t.Fatalf("PathTemplate not idempotent on %q", path)
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package weblog
+
+import "adscape/internal/intern"
+
+// DedupStrings routes every string field of tx through the dedup table:
+// header values repeat massively across a trace (a handful of methods,
+// user agents per client, content types, hosts), and parsed fields often
+// alias a larger backing buffer — the whole header block for analyzer
+// output, the whole line for reader output — which the duplicate-collapsing
+// copy un-pins. Values are unchanged, so output is byte-identical; only
+// resident bytes drop. A nil table makes this a no-op (intern.Table
+// semantics), which is the -intern=false escape hatch.
+func DedupStrings(t *intern.Table, tx *Transaction) {
+	if t == nil || tx == nil {
+		return
+	}
+	tx.Method = t.Dedup(tx.Method)
+	tx.Host = t.Dedup(tx.Host)
+	tx.URI = t.Dedup(tx.URI)
+	tx.Referer = t.Dedup(tx.Referer)
+	tx.UserAgent = t.Dedup(tx.UserAgent)
+	tx.ContentType = t.Dedup(tx.ContentType)
+	tx.Location = t.Dedup(tx.Location)
+}
+
+// DedupAll applies DedupStrings to every transaction, sharing one table.
+// Use after bulk loads (checkpoint restore, partial-results merge) where
+// the decoder allocated every string separately.
+func DedupAll(t *intern.Table, txs []*Transaction) {
+	if t == nil {
+		return
+	}
+	for _, tx := range txs {
+		DedupStrings(t, tx)
+	}
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Memory-regression gate: run the whole adtrace pipeline over the standard
+# rbn2-preset fixture and fail when peak RSS exceeds the pinned budget.
+#
+#   ./scripts/memcheck.sh                # default budget
+#   MAX_RSS_BYTES=400000000 ./scripts/memcheck.sh
+#
+# The budget is deliberately generous over the measured value (BENCH_pr9.json:
+# ~219 MB at 4 workers on the same fixture) to absorb runner variance, while
+# sitting well below the pre-interning baseline (~378 MB with -intern=false),
+# so losing the interning/eviction machinery trips the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUDGET="${MAX_RSS_BYTES:-330000000}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "building binaries..." >&2
+go build -o "$WORK" ./cmd/adtrace ./cmd/rbnsim ./cmd/tracesort
+
+"$WORK/rbnsim" -preset rbn2 -scale 0.002 -sites 200 -o "$WORK/raw.trace"
+"$WORK/tracesort" -i "$WORK/raw.trace" -o "$WORK/rbn.trace"
+rm "$WORK/raw.trace"
+
+WORK="$WORK" BUDGET="$BUDGET" python3 - << 'PY'
+import os, subprocess, sys
+
+work, budget = os.environ["WORK"], int(os.environ["BUDGET"])
+argv = [f"{work}/adtrace", "-i", f"{work}/rbn.trace",
+        "-workers", "4", "-sites", "200", "-users"]
+print("running:", " ".join(argv), file=sys.stderr)
+with open(os.devnull, "wb") as null:
+    p = subprocess.Popen(argv, stdout=null)
+    _, status, ru = os.wait4(p.pid, 0)
+if status != 0:
+    raise SystemExit(f"adtrace failed with status {status}")
+rss = ru.ru_maxrss * 1024  # KiB on Linux
+print(f"max RSS: {rss} bytes ({rss / (1 << 20):.1f} MB), "
+      f"budget {budget} bytes ({budget / (1 << 20):.1f} MB)")
+if rss > budget:
+    raise SystemExit(
+        f"memory regression: max RSS {rss} exceeds budget {budget}")
+print("within budget")
+PY
