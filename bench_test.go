@@ -242,6 +242,61 @@ func BenchmarkEngineClassifyEasyListScale(b *testing.B) {
 	}
 }
 
+// benchSNIs builds a realistic SNI mix: mostly content hosts, some ad-tech
+// servers, and a slice of denormalized wire shapes (upper case, rooted,
+// explicit port) that the domain-key normalization must absorb.
+func benchSNIs(n int) []string {
+	rng := rand.New(rand.NewSource(77))
+	tmpls := []string{
+		"www.news%03d.example",
+		"static.news%03d.example",
+		"media.video%03d.example",
+		"dblclick.example",
+		"trk%02d.example",
+		"adnet%02d.example",
+		"WWW.News%03d.Example",
+		"www.shop%03d.example.",
+		"www.tech%03d.example:443",
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf(tmpls[rng.Intn(len(tmpls))], rng.Intn(100))
+	}
+	return out
+}
+
+// BenchmarkClassifyDomain measures the encrypted-era verdict path: one SNI
+// hostname in, one domain verdict out (DESIGN.md §16). The cached mode is the
+// steady state of a TLS-dominant trace — repeat hostnames vastly outnumber
+// distinct ones — and must stay allocation-free per verdict.
+func BenchmarkClassifyDomain(b *testing.B) {
+	bn, err := filterlists.NewBundle(filterlists.EasyListScaleOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snis := benchSNIs(4096)
+	for _, cfg := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"uncached", 0},
+		{"cached", abp.DefaultVerdictCacheEntries},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			engine := bn.ClassifierEngine()
+			engine.SetVerdictCacheSize(cfg.cacheSize)
+			for _, s := range snis { // warm cache and context pool
+				engine.ClassifyDomain(s)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.ClassifyDomain(snis[i%len(snis)])
+			}
+		})
+	}
+}
+
 // BenchmarkParseEasyList measures filter-list parsing throughput.
 func BenchmarkParseEasyList(b *testing.B) {
 	opt := filterlists.DefaultGenOptions()

@@ -156,6 +156,7 @@ func main() {
 		in          = flag.String("i", "", "input trace file (required)")
 		seed        = flag.Int64("seed", 2015, "world seed (must match the generator's)")
 		sites       = flag.Int("sites", 1000, "world site catalog size (must match)")
+		httpsShare  = flag.Float64("https-share", 0, "world encrypted-era knob (must match the generator's; does not change filter lists or server addressing)")
 		users       = flag.Bool("users", false, "print per-user ad-blocker inference")
 		threshold   = flag.Int("threshold", 300, "active-user request threshold")
 		weblogOut   = flag.String("weblog", "", "optionally dump the HTTP transaction log")
@@ -334,9 +335,14 @@ func main() {
 		os.Exit(code)
 	}
 
+	if *httpsShare < 0 || *httpsShare > 1 {
+		usageError("-https-share must be in [0,1], got %g", *httpsShare)
+	}
+
 	wopt := webgen.DefaultOptions()
 	wopt.NumSites = *sites
 	wopt.Seed = *seed
+	wopt.HTTPSShare = *httpsShare
 	world, err := webgen.NewWorld(wopt)
 	if err != nil {
 		log.Fatalf("building world (filter lists): %v", err)

@@ -29,6 +29,7 @@ func main() {
 		gtOut  = flag.String("gt", "", "optional ground-truth TSV (device configurations)")
 		sites  = flag.Int("sites", 1000, "synthetic site catalog size")
 		seed   = flag.Int64("seed", 2015, "world generation seed")
+		https  = flag.Float64("https-share", 0, "encrypted-era knob: per-object HTTPS probability override (0 keeps 2015-era defaults; 0.95 models a modern TLS-dominant trace)")
 		par    = flag.Int("parallel", runtime.GOMAXPROCS(0), "device-generation workers (output is identical for any value)")
 	)
 	flag.Parse()
@@ -40,6 +41,10 @@ func main() {
 	wopt := webgen.DefaultOptions()
 	wopt.NumSites = *sites
 	wopt.Seed = *seed
+	if *https < 0 || *https > 1 {
+		log.Fatalf("-https-share must be in [0,1], got %g", *https)
+	}
+	wopt.HTTPSShare = *https
 	world, err := webgen.NewWorld(wopt)
 	if err != nil {
 		log.Fatalf("building world: %v", err)

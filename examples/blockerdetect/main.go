@@ -47,7 +47,7 @@ func main() {
 	pipeline := core.NewPipeline(world.Bundle.ClassifierEngine())
 	results := pipeline.ClassifyAll(col.Transactions)
 	users := inference.Aggregate(results)
-	inference.MarkListDownloads(users, col.Flows, world.AdblockServerIPs)
+	inference.MarkListDownloads(users, col.Flows, webgen.ABPListHost, world.AdblockServerIPs)
 
 	iopt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: 150}
 	active := inference.ActiveBrowsers(users, iopt)

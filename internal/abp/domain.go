@@ -1,0 +1,142 @@
+package abp
+
+import (
+	"strings"
+
+	"adscape/internal/urlutil"
+)
+
+// Domain-level classification for the encrypted era (DESIGN.md §16): a TLS
+// flow exposes no URL, only the SNI hostname, so the engine answers the
+// coarser question "is this *server* ad-related?" by probing a synthetic
+// https://<host>/ request with an unknown content class. Host-anchored rules
+// (||adserver.example^) and plain substring rules whose pattern lives in the
+// hostname fire exactly as they would for any URL on that server; path- and
+// query-scoped rules cannot, so a domain verdict under-approximates the URL
+// verdicts of the flows behind it — the right bias for the paper's ad-ratio
+// indicator, which only needs servers that are unambiguously ad-tech.
+//
+// Two semantic deviations from Classify, both deliberate:
+//   - PageHost is empty: there is no cleartext Referer in an encrypted flow.
+//     $third-party rules treat the request as third-party (conservative for
+//     ad-tech, which is almost always cross-site), and $domain=-restricted
+//     rules cannot fire.
+//   - Class is ClassUnknown, which matches any type bit, so typed rules are
+//     judged on their pattern alone.
+
+// defaultDomainCacheEntries bounds the domain verdict cache: distinct SNI
+// hostnames number in the thousands where distinct URLs number in the
+// millions, so a much smaller LRU reaches ~100% steady-state hit rate.
+const defaultDomainCacheEntries = 1 << 14
+
+// ClassifyDomain evaluates one hostname, as sent in a TLS ClientHello's SNI.
+// The input is wire data and is normalized before matching: lowercased, one
+// trailing dot stripped, an unambiguous :port suffix stripped. Cache hits are
+// allocation-free for any input shape because normalization happens inside
+// the key hash, not on the string.
+func (e *Engine) ClassifyDomain(host string) Verdict {
+	v, _ := e.ClassifyDomainCached(host)
+	return v
+}
+
+// ClassifyDomainCached is ClassifyDomain plus a cache-hit report, mirroring
+// ClassifyCached.
+func (e *Engine) ClassifyDomainCached(host string) (Verdict, bool) {
+	if e.domains == nil {
+		return e.classifyDomainUncached(host), false
+	}
+	k := makeDomainKey(host)
+	if v, ok := e.domains.get(k); ok {
+		return v, true
+	}
+	v := e.classifyDomainUncached(host)
+	e.domains.put(k, v)
+	return v, false
+}
+
+func (e *Engine) classifyDomainUncached(host string) Verdict {
+	h := normalizeDomain(host)
+	if h == "" {
+		return Verdict{}
+	}
+	c := GetContext()
+	c.Reset("https://"+h+"/", urlutil.ClassUnknown, "")
+	v := e.classifyCtx(c)
+	e.foldBloomCounters(c)
+	ReleaseContext(c)
+	return v
+}
+
+// domainSpan returns the length of host's meaningful prefix: an unambiguous
+// numeric :port suffix is dropped (":443" after a name or a bracketed IPv6
+// literal, but never the tail of a bare IPv6 address), then one trailing dot
+// (the DNS root label). Pure index arithmetic so key hashing stays
+// allocation-free.
+func domainSpan(host string) int {
+	end := len(host)
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		allDigits := i+1 < end
+		for j := i + 1; j < end; j++ {
+			if host[j] < '0' || host[j] > '9' {
+				allDigits = false
+				break
+			}
+		}
+		if allDigits && ((i > 0 && host[i-1] == ']') || strings.IndexByte(host[:i], ':') < 0) {
+			end = i
+		}
+	}
+	if end > 0 && host[end-1] == '.' {
+		end--
+	}
+	return end
+}
+
+// makeDomainKey hashes the *normalized* hostname — lowercased bytes over the
+// domainSpan prefix — with the same decorrelated dual-FNV construction as
+// makeVerdictKey, so "CDN.Example.:443" and "cdn.example" share one cache
+// entry without either being materialized.
+func makeDomainKey(host string) verdictKey {
+	end := domainSpan(host)
+	lo, hi := uint64(fnvOffset64), uint64(fnvOffsetAlt64)
+	for i := 0; i < end; i++ {
+		b := host[i]
+		if b >= 'A' && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		lo = (lo ^ uint64(b)) * fnvPrime64
+		hi = (hi ^ uint64(b)) * fnvPrime64
+	}
+	n := uint64(end)
+	lo = (lo ^ n) * fnvPrime64
+	hi = (hi ^ n) * fnvPrime64
+	return verdictKey{lo: lo, hi: hi}
+}
+
+// normalizeDomain materializes the normalized form makeDomainKey hashes.
+// Only the uncached path pays for it, and only uppercase inputs allocate.
+func normalizeDomain(host string) string {
+	h := host[:domainSpan(host)]
+	for i := 0; i < len(h); i++ {
+		if h[i] >= 'A' && h[i] <= 'Z' {
+			return strings.ToLower(h)
+		}
+	}
+	return h
+}
+
+// DomainCacheStats snapshots the domain verdict cache counters; lifetime
+// hit/miss totals survive cache resets like VerdictCacheStats' do.
+func (e *Engine) DomainCacheStats() CacheStats {
+	st := CacheStats{
+		Hits:   e.ltDomHits.Load(),
+		Misses: e.ltDomMisses.Load(),
+	}
+	if e.domains != nil {
+		st.Hits += e.domains.hits.Load()
+		st.Misses += e.domains.misses.Load()
+		st.Size = e.domains.len()
+		st.Cap = e.domains.capacity()
+	}
+	return st
+}

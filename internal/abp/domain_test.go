@@ -1,0 +1,140 @@
+package abp
+
+import (
+	"testing"
+)
+
+func domainEngine(t *testing.T) *Engine {
+	t.Helper()
+	el, ep, aa := testLists(t)
+	return NewEngine(el, ep, aa)
+}
+
+func TestClassifyDomain(t *testing.T) {
+	e := domainEngine(t)
+	cases := []struct {
+		host    string
+		matched bool
+		list    string
+	}{
+		// Host-anchored rules fire on the bare hostname and any subdomain.
+		{"adserver.example", true, "easylist"},
+		{"cdn.adserver.example", true, "easylist"},
+		{"tracker.example", true, "easyprivacy"}, // $third-party: no page host ⇒ third-party
+		// Clean servers stay clean; path-scoped rules (/banner/, /pixel.gif)
+		// cannot fire on a bare https://host/ probe.
+		{"www.news001.example", false, ""},
+		{"static.news001.example", false, ""},
+	}
+	for _, c := range cases {
+		v := e.ClassifyDomain(c.host)
+		if v.Matched != c.matched {
+			t.Errorf("ClassifyDomain(%q).Matched = %v, want %v", c.host, v.Matched, c.matched)
+		}
+		if v.ListName != c.list {
+			t.Errorf("ClassifyDomain(%q).ListName = %q, want %q", c.host, v.ListName, c.list)
+		}
+	}
+}
+
+// TestClassifyDomainSNIShapes feeds the raw hostname shapes a ClientHello can
+// carry: uppercase, rooted (trailing dot), port-suffixed, punycode, and
+// address literals. All name forms must normalize to the same verdict, and
+// every normalized twin must share one cache entry.
+func TestClassifyDomainSNIShapes(t *testing.T) {
+	e := domainEngine(t)
+	want := e.ClassifyDomain("adserver.example")
+	if !want.Matched {
+		t.Fatal("baseline hostname did not match")
+	}
+	for _, shape := range []string{
+		"ADSERVER.EXAMPLE",
+		"AdServer.Example",
+		"adserver.example.",
+		"adserver.example:443",
+		"ADSERVER.EXAMPLE.:8443",
+	} {
+		v, hit := e.ClassifyDomainCached(shape)
+		if v != want {
+			t.Errorf("ClassifyDomain(%q) = %+v, want the baseline verdict", shape, v)
+		}
+		if !hit {
+			t.Errorf("ClassifyDomain(%q) missed the cache; normalized shapes must share one entry", shape)
+		}
+	}
+	// Punycode is matched verbatim (rules are authored in punycode too).
+	if v := e.ClassifyDomain("xn--bcher-kva.example"); v.Matched {
+		t.Errorf("punycode host unexpectedly matched: %+v", v)
+	}
+	// Address literals: a bare IPv6 address must not lose its tail group to
+	// port stripping, and IP hosts classify without panicking.
+	for _, h := range []string{"203.0.113.7", "203.0.113.7:443", "2001:db8::1", "[2001:db8::1]:8443", ""} {
+		if v := e.ClassifyDomain(h); v.Matched {
+			t.Errorf("ClassifyDomain(%q) unexpectedly matched: %+v", h, v)
+		}
+	}
+	if got, want := normalizeDomain("2001:db8::1"), "2001:db8::1"; got != want {
+		t.Errorf("normalizeDomain(%q) = %q, want %q (bare IPv6 must keep its tail)", "2001:db8::1", got, want)
+	}
+	if got, want := normalizeDomain("[2001:db8::1]:8443"), "[2001:db8::1]"; got != want {
+		t.Errorf("normalizeDomain bracketed = %q, want %q", got, want)
+	}
+}
+
+func TestDomainCacheStats(t *testing.T) {
+	e := domainEngine(t)
+	e.ClassifyDomain("adserver.example")
+	e.ClassifyDomain("adserver.example")
+	e.ClassifyDomain("clean.example")
+	st := e.DomainCacheStats()
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("DomainCacheStats = %+v, want 2 misses / 1 hit", st)
+	}
+	if st.Size != 2 {
+		t.Errorf("DomainCacheStats.Size = %d, want 2", st.Size)
+	}
+	// Cache resets retire counters into lifetime totals, never backwards.
+	e.SetVerdictCacheSize(DefaultVerdictCacheEntries)
+	st2 := e.DomainCacheStats()
+	if st2.Hits != st.Hits || st2.Misses != st.Misses {
+		t.Errorf("lifetime counters stepped on reset: %+v -> %+v", st, st2)
+	}
+	if st2.Size != 0 {
+		t.Errorf("reset cache reports Size = %d, want 0", st2.Size)
+	}
+	// Disabling the verdict cache disables the domain cache too; the verdict
+	// must still be computed.
+	e.SetVerdictCacheSize(0)
+	if v := e.ClassifyDomain("adserver.example"); !v.Matched {
+		t.Error("ClassifyDomain wrong with caching disabled")
+	}
+	if st3 := e.DomainCacheStats(); st3.Cap != 0 {
+		t.Errorf("disabled cache reports Cap = %d, want 0", st3.Cap)
+	}
+}
+
+// TestClassifyDomainAllocs pins the steady-state contract the analyzer hot
+// path relies on: a warm domain-cache hit performs zero allocations even for
+// denormalized inputs (uppercase, ports, trailing dots), because the
+// normalization happens inside the key hash.
+func TestClassifyDomainAllocs(t *testing.T) {
+	e := allocEngine(t)
+	hosts := []string{
+		"adserver.example",
+		"ADSERVER.EXAMPLE",
+		"tracker.example.",
+		"cdn.adserver.example:443",
+		"www.news001.example",
+	}
+	for _, h := range hosts { // warm the cache
+		e.ClassifyDomain(h)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, h := range hosts {
+			e.ClassifyDomain(h)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("cached ClassifyDomain allocates %.2f objects per batch, want 0", avg)
+	}
+}

@@ -72,13 +72,17 @@ type Engine struct {
 
 	cacheCap int
 	cache    *verdictCache // nil when disabled
+	domains  *verdictCache // SNI-hostname verdicts (domain.go); nil when disabled
 	pageExcs *pageExcCache
 
 	// ltHits/ltMisses accumulate the counters of caches retired by
 	// SetVerdictCacheSize, so VerdictCacheStats is monotonic over the
-	// engine's lifetime instead of resetting on every resize.
-	ltHits   atomic.Uint64
-	ltMisses atomic.Uint64
+	// engine's lifetime instead of resetting on every resize. The ltDom pair
+	// does the same for the domain cache.
+	ltHits      atomic.Uint64
+	ltMisses    atomic.Uint64
+	ltDomHits   atomic.Uint64
+	ltDomMisses atomic.Uint64
 
 	// bloomChecked/bloomRejected aggregate the matchers' bloom pre-filter
 	// counters, folded in once per uncached request from the context's
@@ -141,10 +145,20 @@ func (e *Engine) resetCaches() {
 		e.ltHits.Add(e.cache.hits.Load())
 		e.ltMisses.Add(e.cache.misses.Load())
 	}
+	if e.domains != nil {
+		e.ltDomHits.Add(e.domains.hits.Load())
+		e.ltDomMisses.Add(e.domains.misses.Load())
+	}
 	if e.cacheCap > 0 {
 		e.cache = newVerdictCache(e.cacheCap)
+		domCap := e.cacheCap
+		if domCap > defaultDomainCacheEntries {
+			domCap = defaultDomainCacheEntries
+		}
+		e.domains = newVerdictCache(domCap)
 	} else {
 		e.cache = nil
+		e.domains = nil
 	}
 	e.pageExcs = newPageExcCache(defaultPageExcEntries)
 }

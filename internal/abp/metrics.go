@@ -27,7 +27,25 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 	reg.Func("abp.verdict_cache_hit_ratio_bp", func() int64 {
 		return int64(e.VerdictCacheStats().HitRatio() * 10000)
 	})
+	registerDomainMetrics(reg, func() *Engine { return e })
 	registerBloomMetrics(reg, func() *Engine { return e })
+}
+
+// registerDomainMetrics publishes the SNI-domain verdict cache counters for
+// whatever engine eng currently yields, same indirection as the bloom gauges.
+func registerDomainMetrics(reg *obs.Registry, eng func() *Engine) {
+	reg.Func("abp.domain_cache_hits", func() int64 {
+		return int64(eng().DomainCacheStats().Hits)
+	})
+	reg.Func("abp.domain_cache_misses", func() int64 {
+		return int64(eng().DomainCacheStats().Misses)
+	})
+	reg.Func("abp.domain_cache_size", func() int64 {
+		return int64(eng().DomainCacheStats().Size)
+	})
+	reg.Func("abp.domain_cache_hit_ratio_bp", func() int64 {
+		return int64(eng().DomainCacheStats().HitRatio() * 10000)
+	})
 }
 
 // registerBloomMetrics publishes the bloom pre-filter counters for whatever
@@ -69,5 +87,6 @@ func (h *EngineHandle) RegisterMetrics(reg *obs.Registry) {
 	reg.Func("abp.verdict_cache_hit_ratio_bp", func() int64 {
 		return int64(h.Engine().VerdictCacheStats().HitRatio() * 10000)
 	})
+	registerDomainMetrics(reg, h.Engine)
 	registerBloomMetrics(reg, h.Engine)
 }

@@ -34,6 +34,9 @@ type Stats struct {
 	HTTPTransactions int
 	// TLSFlows counts summarized HTTPS flows.
 	TLSFlows int
+	// SNIFlows counts TLS flows whose summary carries a parsed SNI hostname
+	// — the denominator-vs-numerator gap is the trace's SNI coverage.
+	SNIFlows int
 	// HTTPWireBytes sums wire payload volume on port-80 flows (Table 2's
 	// "HTTPbytes").
 	HTTPWireBytes uint64
@@ -63,6 +66,7 @@ func (s *Stats) Merge(o Stats) {
 	s.Packets += o.Packets
 	s.HTTPTransactions += o.HTTPTransactions
 	s.TLSFlows += o.TLSFlows
+	s.SNIFlows += o.SNIFlows
 	s.HTTPWireBytes += o.HTTPWireBytes
 	s.ParseErrors += o.ParseErrors
 	s.PendingEvicted += o.PendingEvicted
@@ -77,9 +81,12 @@ func (s *Stats) Merge(o Stats) {
 // (NewMetrics over a nil registry), in which case every update no-ops; the
 // deterministic Stats always count regardless.
 type Metrics struct {
-	Packets          *obs.Counter
-	Transactions     *obs.Counter
-	TLSFlows         *obs.Counter
+	Packets      *obs.Counter
+	Transactions *obs.Counter
+	TLSFlows     *obs.Counter
+	// SNIFlows mirrors Stats.SNIFlows: TLS flows summarized with a parsed
+	// SNI hostname.
+	SNIFlows         *obs.Counter
 	ParseErrors      *obs.Counter
 	PendingEvicted   *obs.Counter
 	InterimResponses *obs.Counter
@@ -101,6 +108,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Packets:          reg.Counter("analyzer.packets"),
 		Transactions:     reg.Counter("analyzer.http_transactions"),
 		TLSFlows:         reg.Counter("analyzer.tls_flows"),
+		SNIFlows:         reg.Counter("analyzer.sni_flows"),
 		ParseErrors:      reg.Counter("analyzer.parse_errors"),
 		PendingEvicted:   reg.Counter("analyzer.pending_evicted"),
 		InterimResponses: reg.Counter("analyzer.interim_responses"),
@@ -157,6 +165,11 @@ type connState struct {
 	// pipelining and persistent connections).
 	pending []*weblog.Transaction
 	tls     bool
+	// sni is the server_name parsed from the flow's ClientHello; sniDone
+	// latches once the verdict (found, absent, or unparseable) is final, so
+	// the opaque bulk of the flow costs nothing.
+	sni     string
+	sniDone bool
 }
 
 // New creates an unbounded Analyzer feeding sink (legacy behavior,
@@ -226,8 +239,15 @@ func (a *Analyzer) FlowEstablished(f *wire.Flow) {
 // Data implements wire.FlowHandler.
 func (a *Analyzer) Data(f *wire.Flow, dir wire.Dir, t int64, payload []byte, gap bool) {
 	cs := a.conns[f]
-	if cs == nil || cs.tls {
-		return // TLS payload is opaque; flow summary happens at close
+	if cs == nil {
+		return
+	}
+	if cs.tls {
+		// TLS payload is opaque except for the cleartext ClientHello at the
+		// head of the client stream, which carries the SNI hostname — the
+		// only per-flow domain signal an encrypted-era trace offers.
+		a.sniffSNI(cs, dir, payload, gap)
+		return // flow summary happens at close
 	}
 	b := &cs.buf[dir]
 	if gap {
@@ -241,6 +261,31 @@ func (a *Analyzer) Data(f *wire.Flow, dir wire.Dir, t int64, payload []byte, gap
 	}
 	b.Write(payload)
 	a.drain(f, cs, dir)
+}
+
+// sniffSNI accumulates the client-direction head of a TLS flow until the
+// ClientHello parser reaches a final verdict (server name, SNI absent, or
+// unparseable). The reassembly buffer is bounded by the parser's give-up
+// threshold and released the moment the verdict latches, so the opaque bulk
+// of the flow — and every server-direction byte — costs nothing.
+func (a *Analyzer) sniffSNI(cs *connState, dir wire.Dir, payload []byte, gap bool) {
+	if cs.sniDone || dir != wire.ClientToServer {
+		return
+	}
+	b := &cs.buf[wire.ClientToServer]
+	if gap {
+		// Head bytes were lost; the hello cannot be reassembled anymore.
+		cs.sniDone = true
+		b.Reset()
+		return
+	}
+	b.Write(payload)
+	sni, done := wire.ParseClientHelloSNI(b.Bytes())
+	if done {
+		cs.sni = sni
+		cs.sniDone = true
+		b.Reset()
+	}
 }
 
 // drain parses as many complete header blocks as the buffer holds.
@@ -452,12 +497,18 @@ func (a *Analyzer) FlowClosed(f *wire.Flow) {
 			ServerPort: f.ServerPort,
 			Bytes:      f.WireBytes[0] + f.WireBytes[1],
 			TCPRTT:     -1,
+			SNI:        cs.sni,
 		}
 		if rtt, ok := f.HandshakeRTT(); ok {
 			tf.TCPRTT = rtt
 		}
+		weblog.DedupTLS(a.pool, tf)
 		a.stats.TLSFlows++
 		a.obs.TLSFlows.Inc()
+		if tf.SNI != "" {
+			a.stats.SNIFlows++
+			a.obs.SNIFlows.Inc()
+		}
 		a.sink.TLS(tf)
 		return
 	}

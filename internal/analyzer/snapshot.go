@@ -33,6 +33,11 @@ type ConnSnapshot struct {
 	Pending []*weblog.Transaction
 	// TLS marks an opaque HTTPS connection.
 	TLS bool
+	// SNI and SNIDone carry the ClientHello sniff state: the parsed server
+	// name and whether the verdict has latched. Without them a flow whose
+	// hello was consumed before the snapshot would lose its SNI on resume.
+	SNI     string
+	SNIDone bool
 }
 
 // Snapshot captures the analyzer's state. Pending transactions and buffered
@@ -54,6 +59,8 @@ func (a *Analyzer) Snapshot() *Snapshot {
 			},
 			ReqTime: cs.reqTime,
 			TLS:     cs.tls,
+			SNI:     cs.sni,
+			SNIDone: cs.sniDone,
 		}
 		for _, tx := range cs.pending {
 			cp := *tx
@@ -77,7 +84,7 @@ func Restore(sink Sink, lim Limits, snap *Snapshot) (*Analyzer, error) {
 		if c.Flow < 0 || c.Flow >= len(flows) {
 			return nil, fmt.Errorf("analyzer: snapshot conn references flow %d of %d", c.Flow, len(flows))
 		}
-		cs := &connState{reqTime: c.ReqTime, tls: c.TLS}
+		cs := &connState{reqTime: c.ReqTime, tls: c.TLS, sni: c.SNI, sniDone: c.SNIDone}
 		cs.buf[0].Write(c.Buf[0])
 		cs.buf[1].Write(c.Buf[1])
 		for _, tx := range c.Pending {

@@ -214,6 +214,14 @@ func (b *Browser) fetch(t int64, o *webgen.Object) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
+		if o.HTTPS {
+			// The TLS handshake leads with a ClientHello naming the server —
+			// SNI predates the study period, so every era emits it. The hello
+			// consumes no rng draws; legacy traces stay draw-identical.
+			if err := em.ClientHello(est, host); err != nil {
+				return 0, err
+			}
+		}
 		c = &conn{em: em, busy: est}
 		b.conns[key] = c
 		t = est
@@ -350,6 +358,9 @@ func (b *Browser) abpFlow(now int64, salt int, downBytes int64) error {
 	em := wire.NewConnEmitter(b.emit, b.ClientIP, b.allocPort(), ip, 443, b.World.RTTFor(ip), uint32(b.rng.Int63()))
 	est, err := em.Open(now)
 	if err != nil {
+		return err
+	}
+	if err := em.ClientHello(est, webgen.ABPListHost); err != nil {
 		return err
 	}
 	if err := em.OpaquePayload(est, 1200, downBytes); err != nil {

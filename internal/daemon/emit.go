@@ -15,6 +15,7 @@ import (
 	"adscape/internal/obs"
 	"adscape/internal/pipeline"
 	"adscape/internal/runz"
+	"adscape/internal/webgen"
 )
 
 // ErrRecordCorrupt is returned by ReadWindowRecord for files failing
@@ -246,7 +247,9 @@ func (e *emitter) emit(w *runz.Window) error {
 	downloads := make(map[uint32]bool)
 	for _, f := range w.TLSFlows {
 		households[f.ClientIP] = true
-		if e.abpIPs[f.ServerIP] {
+		// Same gates as the batch path (inference.IsListDownload): HTTPS
+		// port, SNI match first, IP fallback only for SNI-less flows.
+		if inference.IsListDownload(f, webgen.ABPListHost, e.abpIPs) {
 			downloads[f.ClientIP] = true
 		}
 	}

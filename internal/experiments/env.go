@@ -123,7 +123,7 @@ func runTrace(world *webgen.World, opt rbn.Options) (*TraceData, error) {
 	// Discover the Adblock Plus server addresses the way §3.2 does: union
 	// the answers of multiple DNS resolver vantage points.
 	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
-	inference.MarkListDownloads(users, col.Flows, abpIPs)
+	inference.MarkListDownloads(users, col.Flows, webgen.ABPListHost, abpIPs)
 	return &TraceData{
 		Name:          opt.Name,
 		Sim:           sim,

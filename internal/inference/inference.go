@@ -7,9 +7,11 @@ package inference
 
 import (
 	"sort"
+	"strings"
 
 	"adscape/internal/abp"
 	"adscape/internal/core"
+	"adscape/internal/urlutil"
 	"adscape/internal/useragent"
 	"adscape/internal/weblog"
 )
@@ -151,16 +153,24 @@ func Aggregate(results []*core.Result) map[core.UserKey]*UserStats {
 	return out
 }
 
-// MarkListDownloads applies the second indicator: any HTTPS flow to an
-// Adblock Plus server marks every user behind that client IP.
-func MarkListDownloads(users map[core.UserKey]*UserStats, flows []*weblog.TLSFlow, abpServerIPs []uint32) {
+// MarkListDownloads applies the second indicator: an HTTPS (port 443) flow to
+// an Adblock Plus list server marks every user behind that client IP. A flow
+// counts when its SNI names abpHost (or a subdomain); flows without an SNI —
+// truncated captures, legacy traces — fall back to the server-IP set, which
+// is how the paper's §3.2 methodology identified the servers in the first
+// place. Gating on the port matters because the list servers sit on shared
+// infrastructure: a flow to the same address on another port is not a list
+// download (§6.2 watches HTTPS specifically), and an SNI naming a *different*
+// site on a shared IP must not mark the household either — which is why a
+// present-but-foreign SNI never falls through to the IP match.
+func MarkListDownloads(users map[core.UserKey]*UserStats, flows []*weblog.TLSFlow, abpHost string, abpServerIPs []uint32) {
 	abpIPs := make(map[uint32]bool, len(abpServerIPs))
 	for _, ip := range abpServerIPs {
 		abpIPs[ip] = true
 	}
 	households := make(map[uint32]bool)
 	for _, f := range flows {
-		if abpIPs[f.ServerIP] {
+		if IsListDownload(f, abpHost, abpIPs) {
 			households[f.ClientIP] = true
 		}
 	}
@@ -169,6 +179,24 @@ func MarkListDownloads(users map[core.UserKey]*UserStats, flows []*weblog.TLSFlo
 			u.ListDownload = true
 		}
 	}
+}
+
+// IsListDownload reports whether one TLS flow is an Adblock Plus list-server
+// contact under MarkListDownloads' rules. Shared with the daemon's windowed
+// fold so both paths apply identical gates.
+func IsListDownload(f *weblog.TLSFlow, abpHost string, abpIPs map[uint32]bool) bool {
+	if f.ServerPort != 443 {
+		return false
+	}
+	if f.SNI != "" {
+		if abpHost == "" {
+			return false
+		}
+		// SNI is wire data: tolerate upper case and the rooted form.
+		sni := strings.ToLower(strings.TrimSuffix(f.SNI, "."))
+		return urlutil.IsSubdomainOf(sni, abpHost)
+	}
+	return abpIPs[f.ServerIP]
 }
 
 // HouseholdsWithDownload counts distinct client IPs with ABP downloads and

@@ -73,7 +73,7 @@ func TestMarkListDownloads(t *testing.T) {
 		{ClientIP: 1, ServerIP: 999, ServerPort: 443},
 		{ClientIP: 3, ServerIP: 999, ServerPort: 443},
 	}
-	MarkListDownloads(users, flows, []uint32{999})
+	MarkListDownloads(users, flows, "", []uint32{999})
 	// Both devices behind IP 1 inherit the household indicator.
 	if !users[core.UserKey{IP: 1, UserAgent: ffUA}].ListDownload {
 		t.Error("device 1/ff must be marked")
@@ -92,9 +92,59 @@ func TestMarkListDownloads(t *testing.T) {
 
 func TestMarkListDownloadsIgnoresOtherServers(t *testing.T) {
 	users := Aggregate(synthUser(1, ffUA, 10, 1, 0, 0))
-	MarkListDownloads(users, []*weblog.TLSFlow{{ClientIP: 1, ServerIP: 555}}, []uint32{999})
+	MarkListDownloads(users, []*weblog.TLSFlow{{ClientIP: 1, ServerIP: 555, ServerPort: 443}}, "", []uint32{999})
 	if users[core.UserKey{IP: 1, UserAgent: ffUA}].ListDownload {
 		t.Error("non-ABP TLS flow must not mark the household")
+	}
+}
+
+// TestMarkListDownloadsPortGate pins the §6.2 bugfix: a TLS flow to an ABP
+// server IP on a non-HTTPS port is not a list download — the list servers
+// share infrastructure, and the indicator watches HTTPS specifically.
+func TestMarkListDownloadsPortGate(t *testing.T) {
+	users := Aggregate(synthUser(1, ffUA, 10, 1, 0, 0))
+	flows := []*weblog.TLSFlow{
+		{ClientIP: 1, ServerIP: 999, ServerPort: 8443},
+		{ClientIP: 1, ServerIP: 999, ServerPort: 993},
+	}
+	MarkListDownloads(users, flows, "", []uint32{999})
+	if users[core.UserKey{IP: 1, UserAgent: ffUA}].ListDownload {
+		t.Error("non-443 flow to an ABP IP must not mark the household")
+	}
+	flows[0].ServerPort = 443
+	MarkListDownloads(users, flows, "", []uint32{999})
+	if !users[core.UserKey{IP: 1, UserAgent: ffUA}].ListDownload {
+		t.Error("443 flow to an ABP IP must mark the household")
+	}
+}
+
+// TestMarkListDownloadsSNI covers the encrypted-era matching rules: an SNI
+// naming the list host (any case, rooted or not, any subdomain) marks the
+// household regardless of server IP; a foreign SNI on a shared ABP IP does
+// not; SNI-less flows fall back to the IP set.
+func TestMarkListDownloadsSNI(t *testing.T) {
+	const abpHost = "easylist-downloads.adblockplus.example"
+	cases := []struct {
+		name string
+		flow weblog.TLSFlow
+		want bool
+	}{
+		{"sni exact", weblog.TLSFlow{ClientIP: 1, ServerIP: 555, ServerPort: 443, SNI: abpHost}, true},
+		{"sni subdomain", weblog.TLSFlow{ClientIP: 1, ServerIP: 555, ServerPort: 443, SNI: "cdn." + abpHost}, true},
+		{"sni uppercase rooted", weblog.TLSFlow{ClientIP: 1, ServerIP: 555, ServerPort: 443, SNI: "EASYLIST-DOWNLOADS.ADBLOCKPLUS.EXAMPLE."}, true},
+		{"sni suffix not subdomain", weblog.TLSFlow{ClientIP: 1, ServerIP: 555, ServerPort: 443, SNI: "notadblockplus.example"}, false},
+		{"foreign sni on abp ip", weblog.TLSFlow{ClientIP: 1, ServerIP: 999, ServerPort: 443, SNI: "www.news001.example"}, false},
+		{"no sni, abp ip fallback", weblog.TLSFlow{ClientIP: 1, ServerIP: 999, ServerPort: 443}, true},
+		{"no sni, other ip", weblog.TLSFlow{ClientIP: 1, ServerIP: 555, ServerPort: 443}, false},
+		{"sni match on wrong port", weblog.TLSFlow{ClientIP: 1, ServerIP: 555, ServerPort: 444, SNI: abpHost}, false},
+	}
+	for _, c := range cases {
+		users := Aggregate(synthUser(1, ffUA, 10, 1, 0, 0))
+		f := c.flow
+		MarkListDownloads(users, []*weblog.TLSFlow{&f}, abpHost, []uint32{999})
+		if got := users[core.UserKey{IP: 1, UserAgent: ffUA}].ListDownload; got != c.want {
+			t.Errorf("%s: ListDownload = %v, want %v", c.name, got, c.want)
+		}
 	}
 }
 
@@ -152,9 +202,9 @@ func TestTable3AndABPShare(t *testing.T) {
 	results = append(results, synthUser(30, ffUA, 100, 0, 0, 0)...)
 	users := Aggregate(results)
 	flows := []*weblog.TLSFlow{
-		{ClientIP: 20, ServerIP: 999}, {ClientIP: 21, ServerIP: 999},
+		{ClientIP: 20, ServerIP: 999, ServerPort: 443}, {ClientIP: 21, ServerIP: 999, ServerPort: 443},
 	}
-	MarkListDownloads(users, flows, []uint32{999})
+	MarkListDownloads(users, flows, "", []uint32{999})
 	active := ActiveBrowsers(users, opt)
 	if len(active) != 8 {
 		t.Fatalf("active = %d", len(active))
@@ -197,11 +247,11 @@ func TestEstimateSubscriptions(t *testing.T) {
 	users := Aggregate(results)
 	var flows []*weblog.TLSFlow
 	for i := 0; i < 8; i++ {
-		flows = append(flows, &weblog.TLSFlow{ClientIP: uint32(200 + i), ServerIP: 999})
+		flows = append(flows, &weblog.TLSFlow{ClientIP: uint32(200 + i), ServerIP: 999, ServerPort: 443})
 	}
-	flows = append(flows, &weblog.TLSFlow{ClientIP: 220, ServerIP: 999},
-		&weblog.TLSFlow{ClientIP: 221, ServerIP: 999})
-	MarkListDownloads(users, flows, []uint32{999})
+	flows = append(flows, &weblog.TLSFlow{ClientIP: 220, ServerIP: 999, ServerPort: 443},
+		&weblog.TLSFlow{ClientIP: 221, ServerIP: 999, ServerPort: 443})
+	MarkListDownloads(users, flows, "", []uint32{999})
 	active := ActiveBrowsers(users, opt)
 	est := EstimateSubscriptions(active, opt, 10)
 	if est.ABPUsers != 10 || est.NonABPUsers != 10 {

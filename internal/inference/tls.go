@@ -1,0 +1,115 @@
+package inference
+
+import (
+	"adscape/internal/abp"
+	"adscape/internal/weblog"
+)
+
+// The encrypted-era counterpart of UserStats (DESIGN.md §16): TLS flows carry
+// no User-Agent, so aggregation can only be per household (client IP), and no
+// URL, so the ad signal is the SNI hostname judged by abp.ClassifyDomain.
+// The ratio this yields is an under-approximation of the HTTP ad-ratio — a
+// domain verdict only fires on servers that are unambiguously ad-tech — which
+// keeps the indicator's false-positive direction the same as the paper's.
+
+// HouseholdTLS aggregates one client IP's encrypted traffic.
+type HouseholdTLS struct {
+	// IP is the household's (anonymized) client address.
+	IP uint32
+	// Flows counts all TLS flows; SNIFlows those carrying a server name.
+	Flows    int
+	SNIFlows int
+	// AdFlows counts flows whose SNI the engine marks ad-related under the
+	// paper's footnote-2 definition (blacklisted or AA-whitelisted server).
+	AdFlows int
+	// ELFlows counts flows to servers an ads-kind list blocks outright — the
+	// numerator of the encrypted-era ad-ratio, mirroring UserStats.ELHits.
+	ELFlows int
+	// EPFlows counts flows to servers a privacy-kind list blocks outright.
+	EPFlows int
+	// Bytes and AdBytes sum flow volumes, total and ad-related.
+	Bytes   int64
+	AdBytes int64
+	// ListDownload marks an observed Adblock Plus list-server contact.
+	ListDownload bool
+}
+
+// AdRatio is the encrypted-era ad-flow ratio over flows with an SNI (flows
+// without one carry no classifiable signal either way).
+func (h *HouseholdTLS) AdRatio() float64 {
+	if h.SNIFlows == 0 {
+		return 0
+	}
+	return float64(h.ELFlows) / float64(h.SNIFlows)
+}
+
+// AccumulateTLS folds one classified TLS flow into the per-household map,
+// streaming-style like Accumulate. v must be the engine's domain verdict for
+// f.SNI; it is ignored for SNI-less flows.
+func AccumulateTLS(out map[uint32]*HouseholdTLS, f *weblog.TLSFlow, v abp.Verdict) {
+	h, ok := out[f.ClientIP]
+	if !ok {
+		h = &HouseholdTLS{IP: f.ClientIP}
+		out[f.ClientIP] = h
+	}
+	h.Flows++
+	h.Bytes += int64(f.Bytes)
+	if f.SNI == "" {
+		return
+	}
+	h.SNIFlows++
+	if v.IsAd() {
+		h.AdFlows++
+		h.AdBytes += int64(f.Bytes)
+	}
+	if v.Matched && !v.Whitelisted {
+		switch v.ListKind {
+		case abp.ListAds:
+			h.ELFlows++
+		case abp.ListPrivacy:
+			h.EPFlows++
+		}
+	}
+}
+
+// Merge folds another accumulator for the same household into h: counters
+// sum, the download flag ORs — commutative like UserStats.Merge.
+func (h *HouseholdTLS) Merge(o *HouseholdTLS) {
+	h.Flows += o.Flows
+	h.SNIFlows += o.SNIFlows
+	h.AdFlows += o.AdFlows
+	h.ELFlows += o.ELFlows
+	h.EPFlows += o.EPFlows
+	h.Bytes += o.Bytes
+	h.AdBytes += o.AdBytes
+	h.ListDownload = h.ListDownload || o.ListDownload
+}
+
+// MergeTLSHouseholds folds src into dst, adopting src-only entries by
+// reference like MergeUsers.
+func MergeTLSHouseholds(dst, src map[uint32]*HouseholdTLS) {
+	for k, v := range src {
+		if d, ok := dst[k]; ok {
+			d.Merge(v)
+		} else {
+			dst[k] = v
+		}
+	}
+}
+
+// MarkTLSListDownloads sets the per-household download flag under the same
+// gates as MarkListDownloads (port 443, SNI-first, IP fallback).
+func MarkTLSListDownloads(households map[uint32]*HouseholdTLS, flows []*weblog.TLSFlow, abpHost string, abpServerIPs []uint32) {
+	abpIPs := make(map[uint32]bool, len(abpServerIPs))
+	for _, ip := range abpServerIPs {
+		abpIPs[ip] = true
+	}
+	for _, f := range flows {
+		if !IsListDownload(f, abpHost, abpIPs) {
+			continue
+		}
+		if h, ok := households[f.ClientIP]; ok {
+			h.ListDownload = true
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"adscape/internal/analyzer"
+	"adscape/internal/inference"
+	"adscape/internal/pipeline"
+	"adscape/internal/rbn"
+	"adscape/internal/webgen"
+	"adscape/internal/wire"
+)
+
+// TestEncryptedEraSNIInference runs the full pipeline on a modern-era trace
+// (HTTPSShare 0.95: ≥90% of traffic is TLS and the URL is invisible) and
+// checks that the SNI-based indicators — the §6.2 list-download match by
+// server name and the domain-verdict ad-flow ratio — still identify ad-block
+// households against rbn ground truth (DESIGN.md §16).
+func TestEncryptedEraSNIInference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test simulates a trace")
+	}
+	wopt := webgen.DefaultOptions()
+	wopt.NumSites = 120
+	wopt.HTTPSShare = 0.95
+	wopt.ListOptions.ExtraGenericRules = 30
+	world, err := webgen.NewWorld(wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := &analyzer.Collector{}
+	an := analyzer.New(col)
+	// A full day: the list-download indicator needs the daily ABP contact
+	// cycle to come around (§3.2), which a short window structurally misses.
+	opt := rbn.Options{
+		World: world, Name: "enc", Households: 25,
+		Start:    time.Date(2026, 8, 11, 0, 0, 0, 0, time.UTC),
+		Duration: 24 * time.Hour, Seed: 41,
+		AnonKey: []byte("enc"), PagesPerHour: 4, Parallelism: 4,
+	}
+	sim, err := rbn.Simulate(opt, func(p *wire.Packet) error { an.Add(p); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.Finish()
+	stats := an.Stats()
+
+	// The era knob must actually produce a TLS-dominant trace: ≥90% of the
+	// application bytes are opaque, and nearly every TLS flow led with a
+	// parseable SNI (the generator emits a ClientHello on every HTTPS conn).
+	var tlsBytes uint64
+	for _, f := range col.Flows {
+		tlsBytes += f.Bytes
+	}
+	total := tlsBytes + stats.HTTPWireBytes
+	if total == 0 {
+		t.Fatal("empty trace")
+	}
+	if share := float64(tlsBytes) / float64(total); share < 0.9 {
+		t.Fatalf("TLS byte share %.3f < 0.9 — era knob ineffective (tls=%d http=%d)", share, tlsBytes, stats.HTTPWireBytes)
+	}
+	if stats.TLSFlows == 0 {
+		t.Fatal("no TLS flows")
+	}
+	if cov := float64(stats.SNIFlows) / float64(stats.TLSFlows); cov < 0.95 {
+		t.Fatalf("SNI coverage %.3f < 0.95 (%d/%d)", cov, stats.SNIFlows, stats.TLSFlows)
+	}
+
+	// Encrypted-era classification + the SNI-hostname list-download indicator.
+	engine := world.Bundle.ClassifierEngine()
+	tls := pipeline.ClassifyTLS(engine, col.Flows, 4)
+	inference.MarkTLSListDownloads(tls.Households, col.Flows, webgen.ABPListHost, world.AdblockServerIPs)
+	if tls.AdFlows == 0 {
+		t.Fatal("no ad-classified SNI flows in a modern-era trace")
+	}
+
+	// Ground truth per household IP: any device running Adblock Plus.
+	truth := map[uint32]bool{}
+	for _, d := range sim.Devices {
+		if d.Setup.UsesAdblockPlus() {
+			truth[d.ClientIP] = true
+		}
+	}
+	if len(truth) == 0 {
+		t.Skip("no ABP households at this scale")
+	}
+
+	tp, fp, fn := 0, 0, 0
+	for ip, h := range tls.Households {
+		inferred := h.ListDownload
+		switch {
+		case inferred && truth[ip]:
+			tp++
+		case inferred && !truth[ip]:
+			fp++
+		case !inferred && truth[ip]:
+			fn++
+		}
+	}
+	t.Logf("SNI list-download detection: tp=%d fp=%d fn=%d over %d households (%d ABP)",
+		tp, fp, fn, len(tls.Households), len(truth))
+	if tp == 0 {
+		t.Fatal("no ABP household detected via SNI list downloads")
+	}
+	// The SNI match is exact (subdomain-of on the server name), so a false
+	// positive would mean a non-ABP household was marked — precision must be
+	// perfect on synthetic ground truth.
+	if fp != 0 {
+		t.Errorf("false positives in SNI list-download detection: %d", fp)
+	}
+	// Recall: ABP clients refresh their lists well within the trace window
+	// in the simulator, so most blocking households should be caught.
+	if recall := float64(tp) / float64(tp+fn); recall < 0.5 {
+		t.Errorf("SNI list-download recall %.2f < 0.5", recall)
+	}
+
+	// The ratio indicator must point the right way: ad-blocking households
+	// see a lower share of ad-server flows than vanilla ones on average.
+	var blockSum, blockN, vanillaSum, vanillaN float64
+	for ip, h := range tls.Households {
+		if h.SNIFlows < 20 {
+			continue
+		}
+		if truth[ip] {
+			blockSum += h.AdRatio()
+			blockN++
+		} else {
+			vanillaSum += h.AdRatio()
+			vanillaN++
+		}
+	}
+	if blockN > 0 && vanillaN > 0 {
+		bm, vm := blockSum/blockN, vanillaSum/vanillaN
+		t.Logf("mean TLS ad-ratio: blocking=%.4f vanilla=%.4f", bm, vm)
+		if bm >= vm {
+			t.Errorf("blocking households' mean TLS ad-ratio %.4f not below vanilla %.4f", bm, vm)
+		}
+	}
+}

@@ -112,7 +112,7 @@ func TestFullPipelineThroughFiles(t *testing.T) {
 	if len(abpIPs) != len(world.AdblockServerIPs) {
 		t.Errorf("DNS discovery found %d ABP servers, world has %d", len(abpIPs), len(world.AdblockServerIPs))
 	}
-	inference.MarkListDownloads(users, col.Flows, abpIPs)
+	inference.MarkListDownloads(users, col.Flows, webgen.ABPListHost, abpIPs)
 
 	iopt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: 120}
 	active := inference.ActiveBrowsers(users, iopt)

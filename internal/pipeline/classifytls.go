@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+
+	"adscape/internal/abp"
+	"adscape/internal/inference"
+	"adscape/internal/weblog"
+)
+
+// The encrypted-flow classification stage (DESIGN.md §16). TLS flows carry a
+// single classifiable token — the SNI hostname — so the stage is a thin
+// sharded map over abp.ClassifyDomain: flows shard by client IP (the
+// household is the aggregation unit), each worker folds its shard into a
+// private inference accumulator, and the merge sums. Every quantity is a sum
+// over per-flow pure functions of the immutable engine, so the result is
+// byte-identical at any worker count, same as the HTTP classify stage.
+
+// TLSClassifyResult is the merged output of a sharded TLS classification.
+type TLSClassifyResult struct {
+	// Workers is the shard count actually used.
+	Workers int
+	// Households is the per-client-IP aggregation the encrypted-era
+	// inference runs on.
+	Households map[uint32]*inference.HouseholdTLS
+	// Flows/SNIFlows/AdFlows/ELFlows and the byte sums are trace-wide totals
+	// (the per-household counters summed).
+	Flows    int
+	SNIFlows int
+	AdFlows  int
+	ELFlows  int
+	Bytes    int64
+	AdBytes  int64
+}
+
+// AdFlowRatio is the trace-wide share of SNI-bearing flows to ad-related
+// servers.
+func (r *TLSClassifyResult) AdFlowRatio() float64 {
+	if r.SNIFlows == 0 {
+		return 0
+	}
+	return float64(r.AdFlows) / float64(r.SNIFlows)
+}
+
+// ClassifyTLS classifies every flow's SNI against the engine's domain
+// verdicts with the given worker count (<=0 means GOMAXPROCS). The engine is
+// shared: ClassifyDomain is safe for concurrent use and its verdict cache
+// makes repeat hostnames (the common case by far) allocation-free.
+func ClassifyTLS(e *abp.Engine, flows []*weblog.TLSFlow, workers int) *TLSClassifyResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([][]*weblog.TLSFlow, workers)
+	for _, f := range flows {
+		j := userShard(f.ClientIP, "", workers)
+		parts[j] = append(parts[j], f)
+	}
+
+	shardHH := make([]map[uint32]*inference.HouseholdTLS, workers)
+	var wg sync.WaitGroup
+	for j := range parts {
+		if len(parts[j]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			hh := make(map[uint32]*inference.HouseholdTLS)
+			for _, f := range parts[j] {
+				var v abp.Verdict
+				if f.SNI != "" {
+					v = e.ClassifyDomain(f.SNI)
+				}
+				inference.AccumulateTLS(hh, f, v)
+			}
+			shardHH[j] = hh
+		}(j)
+	}
+	wg.Wait()
+
+	out := &TLSClassifyResult{Workers: workers, Households: make(map[uint32]*inference.HouseholdTLS)}
+	for j := range shardHH {
+		if shardHH[j] == nil {
+			continue
+		}
+		inference.MergeTLSHouseholds(out.Households, shardHH[j])
+	}
+	for _, h := range out.Households {
+		out.Flows += h.Flows
+		out.SNIFlows += h.SNIFlows
+		out.AdFlows += h.AdFlows
+		out.ELFlows += h.ELFlows
+		out.Bytes += h.Bytes
+		out.AdBytes += h.AdBytes
+	}
+	return out
+}

@@ -22,6 +22,7 @@ var determinismWorkerCounts = []int{1, 2, 4, 8}
 type fullRun struct {
 	res    *Result
 	cls    *ClassifyResult
+	tls    *TLSClassifyResult
 	table3 [4]inference.ClassBreakdown
 	abp    float64
 	dlWith int
@@ -46,11 +47,12 @@ func TestPipelineDeterminismAcrossWorkerCounts(t *testing.T) {
 					t.Fatalf("workers=%d: %v", w, err)
 				}
 				cls := Classify(core.NewPipeline(engine), res.Transactions, w)
-				inference.MarkListDownloads(cls.Users, res.TLSFlows, []uint32{genABPIP})
+				inference.MarkListDownloads(cls.Users, res.TLSFlows, genABPHost, []uint32{genABPIP})
 				active := inference.ActiveBrowsers(cls.Users, opt)
 				run := &fullRun{
 					res:    res,
 					cls:    cls,
+					tls:    ClassifyTLS(engine, res.TLSFlows, w),
 					table3: inference.Table3(active, opt),
 					abp:    inference.ABPShare(active, opt),
 				}
@@ -94,6 +96,17 @@ func TestPipelineDeterminismAcrossWorkerCounts(t *testing.T) {
 				}
 				if !reflect.DeepEqual(run.cls.Users, base.cls.Users) {
 					t.Fatalf("workers=%d: per-user inference groups differ", w)
+				}
+				// Encrypted-era classification: per-household SNI verdict
+				// aggregates and the trace-wide totals. The Workers field is
+				// the knob under test, so compare everything but it.
+				if !reflect.DeepEqual(run.tls.Households, base.tls.Households) {
+					t.Fatalf("workers=%d: TLS household groups differ", w)
+				}
+				if run.tls.Flows != base.tls.Flows || run.tls.SNIFlows != base.tls.SNIFlows ||
+					run.tls.AdFlows != base.tls.AdFlows || run.tls.ELFlows != base.tls.ELFlows ||
+					run.tls.Bytes != base.tls.Bytes || run.tls.AdBytes != base.tls.AdBytes {
+					t.Fatalf("workers=%d: TLS classify totals differ: %+v vs %+v", w, run.tls, base.tls)
 				}
 				// Inference verdicts: Table 3 rows, the headline ABP share,
 				// and the household download counts.

@@ -23,6 +23,7 @@ const (
 	genAdServerIP  uint32 = 0x0C000001
 	genTrackerIP   uint32 = 0x0C000002
 	genABPIP       uint32 = 0xC0A80101
+	genABPHost            = "easylist-downloads.adblockplus.example"
 	genContentBase uint32 = 0x0B000000
 	genClientBase  uint32 = 0x0A000000
 )
@@ -54,15 +55,28 @@ func genPackets(tb testing.TB, conns int, seed int64) []*wire.Packet {
 		isn := rng.Uint32()
 
 		if rng.Float64() < 0.15 {
-			// TLS flow; a third of them hit the ABP list server.
-			serverIP := genContentBase + uint32(rng.Intn(30))
+			// TLS flow; a third of them hit the ABP list server. The hello
+			// leads with an SNI naming the server, like real TLS traffic —
+			// one in five flows omits it (legacy clients / truncated hellos).
+			site := rng.Intn(30)
+			serverIP := genContentBase + uint32(site)
+			sni := fmt.Sprintf("www.site%02d.example", site)
 			if rng.Intn(3) == 0 {
 				serverIP = genABPIP
+				sni = genABPHost
+			}
+			if rng.Intn(5) == 0 {
+				sni = ""
 			}
 			em := wire.NewConnEmitter(out, clientIP, clientPort, serverIP, 443, rtt, isn)
 			est, err := em.Open(start)
 			if err != nil {
 				tb.Fatal(err)
+			}
+			if sni != "" {
+				if err := em.ClientHello(est, sni); err != nil {
+					tb.Fatal(err)
+				}
 			}
 			if err := em.OpaquePayload(est, int64(500+rng.Intn(2000)), int64(5000+rng.Intn(40000))); err != nil {
 				tb.Fatal(err)

@@ -607,6 +607,16 @@ func nonBrowserBurst(opt Options, d *device, t int64, rng *rand.Rand) (int64, er
 			})
 		}
 	}
+	// Encrypted-era worlds move device chatter onto TLS the same way the page
+	// generator does: one draw per object against the override. The branch is
+	// gated on the era knob, so legacy traces keep their draw sequence.
+	if share := w.HTTPSShare(); share > 0 {
+		for _, o := range objs {
+			if !o.HTTPS {
+				o.HTTPS = rng.Float64() < share
+			}
+		}
+	}
 	end := t
 	for _, o := range objs {
 		e, err := d.br.FetchObject(t, o)

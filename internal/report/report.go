@@ -97,6 +97,15 @@ func Print(w io.Writer, world *webgen.World, d Data, opt Options) error {
 	}
 	fmt.Fprintf(w, "whitelisted (non-intrusive): %d, of which blacklisted: %d\n",
 		agg.Whitelisted, agg.WhitelistedAndBlacklisted)
+
+	// Encrypted-era section (DESIGN.md §16): TLS flows classified by SNI.
+	// Deterministic like the HTTP section — every line is a sum of per-flow
+	// pure functions of the engine, independent of the worker count.
+	tls := pipeline.ClassifyTLS(engine, d.TLSFlows, opt.Workers)
+	fmt.Fprintf(w, "sni coverage:       %d/%d tls flows (%.2f%%)\n",
+		tls.SNIFlows, tls.Flows, 100*float64(tls.SNIFlows)/float64(maxInt(tls.Flows, 1)))
+	fmt.Fprintf(w, "tls ad flows:       %d (%.2f%% of sni flows)\n", tls.AdFlows, tls.AdFlowRatio()*100)
+	fmt.Fprintf(w, "tls ad bytes:       %d (%.2f%%)\n", tls.AdBytes, 100*float64(tls.AdBytes)/float64(max64(tls.Bytes, 1)))
 	printPerf(engine, cls, opt.VerdictCache)
 
 	if opt.WeblogPath != "" {
@@ -105,7 +114,7 @@ func Print(w io.Writer, world *webgen.World, d Data, opt Options) error {
 		}
 	}
 	if opt.Users {
-		printUsers(w, world, d.TLSFlows, cls, opt.Threshold)
+		printUsers(w, world, d.TLSFlows, cls, tls, opt.Threshold)
 	}
 	return nil
 }
@@ -205,12 +214,14 @@ func dumpWeblog(path string, results []*core.Result) error {
 	return w.Flush()
 }
 
-func printUsers(w io.Writer, world *webgen.World, tlsFlows []*weblog.TLSFlow, cls *pipeline.ClassifyResult, threshold int) {
+func printUsers(w io.Writer, world *webgen.World, tlsFlows []*weblog.TLSFlow, cls *pipeline.ClassifyResult, tls *pipeline.TLSClassifyResult, threshold int) {
 	usersMap := cls.Users
 	// Discover the Adblock Plus servers the way §3.2 does: union the
-	// answers of multiple DNS resolver vantage points.
+	// answers of multiple DNS resolver vantage points. The IP set is only
+	// the fallback for SNI-less flows; SNI matching identifies the list
+	// servers directly on shared infrastructure.
 	abpIPs := dnssim.DiscoverAll(world.DNSZone(), webgen.ABPListHost, 3, 4)
-	inference.MarkListDownloads(usersMap, tlsFlows, abpIPs)
+	inference.MarkListDownloads(usersMap, tlsFlows, webgen.ABPListHost, abpIPs)
 	opt := inference.Options{RatioThreshold: 0.05, ActiveThreshold: threshold}
 	active := inference.ActiveBrowsers(usersMap, opt)
 	rows := inference.Table3(active, opt)
@@ -222,6 +233,21 @@ func printUsers(w io.Writer, world *webgen.World, tlsFlows []*weblog.TLSFlow, cl
 	with, total := inference.HouseholdsWithDownload(usersMap)
 	fmt.Fprintf(w, "households with ABP list downloads: %d/%d (%.1f%%)\n",
 		with, total, 100*float64(with)/float64(maxInt(total, 1)))
+
+	// Encrypted-era household view: the same two indicators built from TLS
+	// flows alone — the degradation path once HTTP goes dark (DESIGN.md §16).
+	inference.MarkTLSListDownloads(tls.Households, tlsFlows, webgen.ABPListHost, abpIPs)
+	adHH, dlHH := 0, 0
+	for _, h := range tls.Households {
+		if h.AdFlows > 0 {
+			adHH++
+		}
+		if h.ListDownload {
+			dlHH++
+		}
+	}
+	fmt.Fprintf(w, "tls households: %d, with sni ad flows: %d, with list downloads: %d\n",
+		len(tls.Households), adHH, dlHH)
 }
 
 func maxInt(a, b int) int {

@@ -13,6 +13,15 @@ func FuzzSplit(f *testing.F) {
 		"//cdn.example/x", ":::", "http://", "?", "#", "a:b:c//",
 		"http://[::1]:80/x", "http://h:99999/x",
 		strings.Repeat("/", 200),
+		// SNI-shaped hosts: uppercase, rooted, punycode, port-suffixed,
+		// and IP-literal forms classification feeds through Split.
+		"https://WWW.Example.CO.UK./x",
+		"https://xn--bcher-kva.example/",
+		"https://cdn.shop.example:8443/a",
+		"https://203.0.113.7:443/",
+		"203.0.113.7.",
+		"https://[2001:db8::1]:8443/x",
+		"1.2.3.4.5",
 	} {
 		f.Add(s)
 	}
@@ -33,8 +42,20 @@ func FuzzSplit(f *testing.F) {
 			}
 		}
 		_ = query
-		// Derived helpers must not panic either.
-		RegisteredDomain(host)
+		// Derived helpers must not panic either, and RegisteredDomain must
+		// hold its contract on any host Split yields: the result is a suffix
+		// of the input, and address literals come back whole rather than
+		// label-sliced into fabricated registrable domains.
+		rd := RegisteredDomain(host)
+		if !strings.HasSuffix(host, rd) {
+			t.Fatalf("RegisteredDomain(%q) = %q is not a suffix", host, rd)
+		}
+		if isIPLiteral(host) && rd != host {
+			t.Fatalf("RegisteredDomain(%q) = %q sliced an IP literal", host, rd)
+		}
+		if RegisteredDomain(rd) != rd {
+			t.Fatalf("RegisteredDomain not idempotent: %q -> %q -> %q", host, rd, RegisteredDomain(rd))
+		}
 		ClassFromExtension(path)
 		ExtractEmbeddedURLs(raw)
 		TruncateToFQDN(raw)

@@ -148,26 +148,39 @@ func RegisteredDomain(host string) string {
 	return suffix2
 }
 
+// isIPLiteral reports whether host can only be an address literal (or an
+// unsplit host:port), never a registrable DNS name, so RegisteredDomain must
+// return it whole instead of slicing labels off it. It accepts:
+//
+//   - bracketed IPv6, with or without a port ("[::1]", "[::1]:443")
+//   - anything containing a colon — a bare IPv6 literal, or a host:port a
+//     caller failed to strip; slicing either at dots produced bogus
+//     "registrable domains" like "113.7:443"
+//   - purely numeric dotted hosts ("203.0.113.7", with or without the
+//     trailing dot of a rooted name, and malformed variants like
+//     "1.2.3.4.5") — TLDs are alphabetic, so no such host is registrable
 func isIPLiteral(host string) bool {
-	if strings.HasPrefix(host, "[") {
+	if strings.HasPrefix(host, "[") || strings.IndexByte(host, ':') >= 0 {
 		return true
 	}
-	dots := 0
+	host = strings.TrimSuffix(host, ".")
+	if host == "" {
+		return false
+	}
 	for i := 0; i < len(host); i++ {
 		c := host[i]
-		switch {
-		case c == '.':
-			dots++
-		case c >= '0' && c <= '9':
-		default:
+		if c != '.' && (c < '0' || c > '9') {
 			return false
 		}
 	}
-	return dots == 3
+	return true
 }
 
 // SameRegisteredDomain reports whether two hosts share a registrable domain.
-// It is the third-party test used by $third-party filter options.
+// It is the third-party test used by $third-party filter options. IP
+// literals carry the isIPLiteral guard through RegisteredDomain: two
+// addresses compare whole, so "203.0.113.7" and "198.51.113.7" never
+// pass as same-site via a fabricated "113.7" suffix.
 func SameRegisteredDomain(a, b string) bool {
 	if a == "" || b == "" {
 		return false

@@ -87,6 +87,33 @@ func TestRegisteredDomain(t *testing.T) {
 	}
 }
 
+// TestRegisteredDomainIPLiterals pins the IP-literal guard: no address shape
+// may ever be label-sliced into a fabricated "registrable domain" (the
+// pre-fix bug returned "113.7" for "203.0.113.7" variants the plain
+// dotted-quad check missed).
+func TestRegisteredDomainIPLiterals(t *testing.T) {
+	whole := []string{
+		"203.0.113.7",        // dotted quad
+		"203.0.113.7.",       // rooted (trailing dot, as SNI sometimes carries)
+		"203.0.113.7:443",    // unsplit host:port
+		"1.2.3.4.5",          // malformed all-numeric — still never registrable
+		"113.7",              // two numeric labels
+		"[2001:db8::1]",      // bracketed IPv6
+		"[2001:db8::1]:8443", // bracketed IPv6 with port
+		"2001:db8::1",        // bare IPv6
+		"::1",
+	}
+	for _, host := range whole {
+		if got := RegisteredDomain(host); got != host {
+			t.Errorf("RegisteredDomain(%q) = %q, want the literal whole", host, got)
+		}
+	}
+	// Hosts that merely contain digits are still sliced normally.
+	if got := RegisteredDomain("ads4.tracker.example"); got != "tracker.example" {
+		t.Errorf("RegisteredDomain(ads4.tracker.example) = %q", got)
+	}
+}
+
 func TestSameRegisteredDomain(t *testing.T) {
 	if !SameRegisteredDomain("www.example.com", "ads.example.com") {
 		t.Error("www/ads.example.com should share registered domain")
@@ -96,6 +123,33 @@ func TestSameRegisteredDomain(t *testing.T) {
 	}
 	if SameRegisteredDomain("", "example.com") {
 		t.Error("empty host never matches")
+	}
+	// The IP-literal guard: distinct addresses sharing trailing octets must
+	// not register as same-site.
+	if SameRegisteredDomain("203.0.113.7", "198.51.113.7") {
+		t.Error("distinct IPs must not share a fabricated registered domain")
+	}
+	if !SameRegisteredDomain("203.0.113.7", "203.0.113.7") {
+		t.Error("an IP shares a registered domain with itself")
+	}
+}
+
+// TestSplitSNIShapes runs the host shapes an SNI field takes through Split:
+// classification normalizes SNI hostnames with it, so each shape must reduce
+// to the clean lower-case host.
+func TestSplitSNIShapes(t *testing.T) {
+	tests := []struct{ raw, wantHost string }{
+		{"https://WWW.Example.COM/", "www.example.com"},              // uppercase
+		{"https://www.example.com./", "www.example.com"},             // trailing dot
+		{"https://xn--bcher-kva.example/x", "xn--bcher-kva.example"}, // punycode
+		{"https://cdn.example:8443/", "cdn.example"},                 // port-suffixed
+		{"https://203.0.113.7:443/", "203.0.113.7"},                  // IP + port
+		{"https://[2001:db8::1]:443/", "[2001:db8::1]:443"},          // bracketed IPv6 keeps its bracket form
+	}
+	for _, tt := range tests {
+		if got := Host(tt.raw); got != tt.wantHost {
+			t.Errorf("Host(%q) = %q, want %q", tt.raw, got, tt.wantHost)
+		}
 	}
 }
 

@@ -132,7 +132,7 @@ func (w *World) GenPage(site *Site, pageIdx int) *Page {
 	}
 
 	if site.NoAds {
-		return pg
+		return modernizeSchemes(pg, prof, rng)
 	}
 	// Ad slots.
 	nSlots := prof.adSlotsMin + rng.Intn(prof.adSlotsMax-prof.adSlotsMin+1)
@@ -143,6 +143,25 @@ func (w *World) GenPage(site *Site, pageIdx int) *Page {
 	nTrk := prof.trackersMin + rng.Intn(prof.trackersMax-prof.trackersMin+1)
 	for i := 0; i < nTrk; i++ {
 		pg.Objects = append(pg.Objects, w.trackerObject(pg.URL, rng))
+	}
+	return modernizeSchemes(pg, prof, rng)
+}
+
+// modernizeSchemes applies the encrypted-era override as a post-pass over the
+// finished object tree: every object the legacy draws left on cleartext gets
+// one extra draw against the (overridden) httpsShare. Running after the tree
+// is fully built keeps the legacy rng sequence byte-for-byte intact — a
+// modern-era page is its legacy twin with more TLS, not a different page —
+// and the union of two independent draws pushes the HTTPS fraction to at
+// least the configured share. No-op for legacy profiles.
+func modernizeSchemes(pg *Page, prof profile, rng *rand.Rand) *Page {
+	if !prof.modern {
+		return pg
+	}
+	for _, o := range pg.Objects {
+		if !o.HTTPS {
+			o.HTTPS = rng.Float64() < prof.httpsShare
+		}
 	}
 	return pg
 }

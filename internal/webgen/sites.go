@@ -44,6 +44,10 @@ type profile struct {
 	videoChunks     int     // video chunks per page (streaming)
 	httpsShare      float64 // fraction of objects served over HTTPS
 	weight          float64 // share of catalog
+	// modern marks an encrypted-era profile: after a page's object tree is
+	// built with the legacy draws (so legacy rng sequences are untouched),
+	// remaining cleartext objects are re-drawn against httpsShare.
+	modern bool
 }
 
 var profiles = map[Category]profile{
@@ -109,10 +113,16 @@ type World struct {
 	// (the EasyList-download indicator watches HTTPS flows to these).
 	AdblockServerIPs []uint32
 
-	hosting *hosting
-	seed    int64
-	zipfS   float64
+	hosting    *hosting
+	seed       int64
+	zipfS      float64
+	httpsShare float64 // encrypted-era override (Options.HTTPSShare), 0 = legacy
 }
+
+// HTTPSShare reports the encrypted-era override the world was built with
+// (0 in a legacy 2015-era world). Non-browser traffic generators use it to
+// modernize their schemes the same way the page generator does.
+func (w *World) HTTPSShare() float64 { return w.httpsShare }
 
 // Options configures world generation.
 type Options struct {
@@ -124,6 +134,14 @@ type Options struct {
 	ListOptions filterlists.GenOptions
 	// ZipfS is the popularity skew of site visits.
 	ZipfS float64
+	// HTTPSShare, when positive, overrides every category's per-object HTTPS
+	// probability to model an encrypted-era Web: at 0.95 a generated trace is
+	// ≥95% TLS by object and classification must lean on SNI (DESIGN.md §16).
+	// Zero keeps the 2015-era per-category defaults. The knob does not affect
+	// the site catalog, hosting map, DNS zone or filter lists — only which
+	// scheme each page object is fetched over — so engine fingerprints and
+	// merge/partial configs are unchanged.
+	HTTPSShare float64
 }
 
 // DefaultOptions returns laptop-scale defaults.
@@ -145,20 +163,24 @@ func NewWorld(opt Options) (*World, error) {
 		return nil, err
 	}
 	w := &World{
-		Companies: bundle.Companies,
-		Bundle:    bundle,
-		seed:      opt.Seed,
-		zipfS:     opt.ZipfS,
+		Companies:  bundle.Companies,
+		Bundle:     bundle,
+		seed:       opt.Seed,
+		zipfS:      opt.ZipfS,
+		httpsShare: opt.HTTPSShare,
 	}
-	w.generateSites(opt.NumSites)
+	w.generateSites(opt.NumSites, opt.HTTPSShare)
 	if err := w.buildHosting(); err != nil {
 		return nil, err
 	}
 	return w, nil
 }
 
-// generateSites fills the catalog deterministically.
-func (w *World) generateSites(n int) {
+// generateSites fills the catalog deterministically. A positive httpsShare
+// switches every site's profile to encrypted-era mode without disturbing the
+// rng draw sequence, so a modern-era world differs from its legacy twin only
+// in object schemes.
+func (w *World) generateSites(n int, httpsShare float64) {
 	rng := rand.New(rand.NewSource(w.seed * 31))
 	cats := make([]Category, 0, len(profiles))
 	weights := make([]float64, 0, len(profiles))
@@ -188,6 +210,10 @@ func (w *World) generateSites(n int) {
 	for i := 0; i < n; i++ {
 		cat := pick()
 		prof := profiles[cat]
+		if httpsShare > 0 {
+			prof.httpsShare = httpsShare
+			prof.modern = true
+		}
 		s := &Site{
 			Rank:     i + 1,
 			Domain:   fmt.Sprintf("%s%03d.example", shortName(cat), i),

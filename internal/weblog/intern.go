@@ -23,6 +23,16 @@ func DedupStrings(t *intern.Table, tx *Transaction) {
 	tx.Location = t.Dedup(tx.Location)
 }
 
+// DedupTLS routes the TLS flow's SNI through the dedup table: a handful of
+// distinct server names recur across millions of flows, and the analyzer's
+// parse slices alias the reassembly buffer until this copy un-pins them.
+func DedupTLS(t *intern.Table, f *TLSFlow) {
+	if t == nil || f == nil {
+		return
+	}
+	f.SNI = t.Dedup(f.SNI)
+}
+
 // DedupAll applies DedupStrings to every transaction, sharing one table.
 // Use after bulk loads (checkpoint restore, partial-results merge) where
 // the decoder allocated every string separately.

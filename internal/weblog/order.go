@@ -73,6 +73,11 @@ func (f *TLSFlow) Compare(o *TLSFlow) int {
 	if c := cmp.Compare(f.ServerPort, o.ServerPort); c != 0 {
 		return c
 	}
+	// SNI sorts after the endpoint tuple so legacy flows (SNI always "")
+	// keep the exact pre-SNI canonical order.
+	if c := cmp.Compare(f.SNI, o.SNI); c != 0 {
+		return c
+	}
 	if c := cmp.Compare(f.Bytes, o.Bytes); c != 0 {
 		return c
 	}

@@ -8,17 +8,30 @@ import (
 	"strings"
 )
 
+// The TLS log comes in two versions, keyed off the #fields header line:
+//
+//	v1 (legacy): ts client server port bytes tcp_rtt
+//	v2:          ts client server port bytes tcp_rtt sni
+//
+// TLSWriter emits v2; TLSReader accepts both, selecting the field count from
+// the header (v1 files round-trip with SNI = ""). A headerless stream is read
+// as v1, the format every pre-SNI version of this repository produced.
+const (
+	tlsHeaderV1 = "#fields\tts\tclient\tserver\tport\tbytes\ttcp_rtt"
+	tlsHeaderV2 = "#fields\tts\tclient\tserver\tport\tbytes\ttcp_rtt\tsni"
+)
+
 // TLSWriter emits TLS flow summaries in a tab-separated log, the HTTPS
 // counterpart of the HTTP transaction log (§5: port-443 traffic is opaque
-// but its endpoints and volumes remain analyzable).
+// but its endpoints, volumes, and SNI hostnames remain analyzable).
 type TLSWriter struct {
 	w *bufio.Writer
 }
 
-// NewTLSWriter writes the header line and returns a writer.
+// NewTLSWriter writes the v2 header line and returns a writer.
 func NewTLSWriter(w io.Writer) (*TLSWriter, error) {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("#fields\tts\tclient\tserver\tport\tbytes\ttcp_rtt\n"); err != nil {
+	if _, err := bw.WriteString(tlsHeaderV2 + "\n"); err != nil {
 		return nil, err
 	}
 	return &TLSWriter{w: bw}, nil
@@ -26,17 +39,21 @@ func NewTLSWriter(w io.Writer) (*TLSWriter, error) {
 
 // Write appends one flow record.
 func (tw *TLSWriter) Write(f *TLSFlow) error {
-	_, err := fmt.Fprintf(tw.w, "%d\t%d\t%d\t%d\t%d\t%d\n",
-		f.Time, f.ClientIP, f.ServerIP, f.ServerPort, f.Bytes, f.TCPRTT)
+	_, err := fmt.Fprintf(tw.w, "%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+		f.Time, f.ClientIP, f.ServerIP, f.ServerPort, f.Bytes, f.TCPRTT, esc(f.SNI))
 	return err
 }
 
 // Flush flushes buffered records.
 func (tw *TLSWriter) Flush() error { return tw.w.Flush() }
 
-// TLSReader parses a log produced by TLSWriter.
+// TLSReader parses a log produced by TLSWriter (v2) or by the legacy 6-field
+// writer (v1).
 type TLSReader struct {
 	sc *bufio.Scanner
+	// fields is the expected per-line field count, fixed by the #fields
+	// header; 0 until a header or the first record line decides it.
+	fields int
 }
 
 // NewTLSReader wraps r.
@@ -51,11 +68,25 @@ func (tr *TLSReader) Read() (*TLSFlow, error) {
 	for tr.sc.Scan() {
 		line := tr.sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "#fields\t") {
+				switch line {
+				case tlsHeaderV1:
+					tr.fields = 6
+				case tlsHeaderV2:
+					tr.fields = 7
+				default:
+					return nil, fmt.Errorf("weblog: unrecognized tls log header %q", line)
+				}
+			}
 			continue
 		}
 		f := strings.Split(line, "\t")
-		if len(f) != 6 {
-			return nil, fmt.Errorf("weblog: malformed tls line with %d fields", len(f))
+		if tr.fields == 0 {
+			// Headerless stream: pre-SNI versions only ever wrote 6 fields.
+			tr.fields = 6
+		}
+		if len(f) != tr.fields {
+			return nil, fmt.Errorf("weblog: malformed tls line with %d fields, header declares %d", len(f), tr.fields)
 		}
 		var out TLSFlow
 		var err error
@@ -79,6 +110,9 @@ func (tr *TLSReader) Read() (*TLSFlow, error) {
 		}
 		if out.TCPRTT, err = strconv.ParseInt(f[5], 10, 64); err != nil {
 			return nil, fmt.Errorf("weblog: tls rtt: %w", err)
+		}
+		if tr.fields == 7 {
+			out.SNI = unesc(f[6])
 		}
 		out.ClientIP, out.ServerIP, out.ServerPort = uint32(cip), uint32(sip), uint16(port)
 		return &out, nil

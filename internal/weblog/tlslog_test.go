@@ -1,0 +1,140 @@
+package weblog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleFlows() []*TLSFlow {
+	return []*TLSFlow{
+		{Time: 1000, ClientIP: 0x0a000001, ServerIP: 0xc0a80001, ServerPort: 443, Bytes: 123456, TCPRTT: 2_000_000, SNI: "cdn.news.example"},
+		{Time: 2000, ClientIP: 0x0a000002, ServerIP: 0xc0a80002, ServerPort: 443, Bytes: 789, TCPRTT: -1, SNI: ""},
+		{Time: 3000, ClientIP: 0x0a000003, ServerIP: 0xc0a80003, ServerPort: 8443, Bytes: 42, TCPRTT: 500, SNI: "easylist-downloads.adblockplus.example"},
+	}
+}
+
+func TestTLSLogRoundTripV2(t *testing.T) {
+	flows := sampleFlows()
+	var buf bytes.Buffer
+	w, err := NewTLSWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if err := w.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), tlsHeaderV2+"\n") {
+		t.Fatalf("v2 log must start with the v2 header, got %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := NewTLSReader(bytes.NewReader(buf.Bytes())).ReadAllTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flows) {
+		t.Fatalf("read %d flows, want %d", len(got), len(flows))
+	}
+	for i := range flows {
+		if *got[i] != *flows[i] {
+			t.Errorf("flow %d: got %+v, want %+v", i, got[i], flows[i])
+		}
+	}
+}
+
+// TestTLSLogLegacyV1 pins backward compatibility: a log written by the
+// pre-SNI 6-field writer still parses, byte for byte, with SNI left empty.
+func TestTLSLogLegacyV1(t *testing.T) {
+	legacy := tlsHeaderV1 + "\n" +
+		"1000\t167772161\t3232235521\t443\t123456\t2000000\n" +
+		"2000\t167772162\t3232235522\t443\t789\t-1\n"
+	got, err := NewTLSReader(strings.NewReader(legacy)).ReadAllTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*TLSFlow{
+		{Time: 1000, ClientIP: 167772161, ServerIP: 3232235521, ServerPort: 443, Bytes: 123456, TCPRTT: 2000000},
+		{Time: 2000, ClientIP: 167772162, ServerIP: 3232235522, ServerPort: 443, Bytes: 789, TCPRTT: -1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d flows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Errorf("flow %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTLSLogHeaderlessIsV1 pins the headerless fallback: streams with no
+// #fields line (concatenated logs with the header stripped) read as v1.
+func TestTLSLogHeaderlessIsV1(t *testing.T) {
+	got, err := NewTLSReader(strings.NewReader("1\t2\t3\t443\t4\t5\n")).ReadAllTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SNI != "" || got[0].Bytes != 4 {
+		t.Fatalf("headerless parse: got %+v", got)
+	}
+}
+
+func TestTLSLogFieldCountMismatch(t *testing.T) {
+	// A 7-field line under a v1 header is corruption, not a new format.
+	bad := tlsHeaderV1 + "\n1\t2\t3\t443\t4\t5\textra\n"
+	if _, err := NewTLSReader(strings.NewReader(bad)).ReadAllTLS(); err == nil {
+		t.Error("7 fields under a v1 header must error")
+	}
+	// A 6-field line under a v2 header likewise.
+	bad = tlsHeaderV2 + "\n1\t2\t3\t443\t4\t5\n"
+	if _, err := NewTLSReader(strings.NewReader(bad)).ReadAllTLS(); err == nil {
+		t.Error("6 fields under a v2 header must error")
+	}
+	// An unknown header is rejected up front rather than misparsed.
+	bad = "#fields\tts\tclient\n1\t2\t3\n"
+	if _, err := NewTLSReader(strings.NewReader(bad)).ReadAllTLS(); err == nil {
+		t.Error("unknown #fields header must error")
+	}
+}
+
+// TestTLSLogEscaping pins the SNI field escaping: tabs and newlines cannot
+// break the record framing, and "-" round-trips an empty SNI.
+func TestTLSLogEscaping(t *testing.T) {
+	f := &TLSFlow{Time: 1, ServerPort: 443, SNI: "evil\thost\n.example"}
+	var buf bytes.Buffer
+	w, err := NewTLSWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewTLSReader(bytes.NewReader(buf.Bytes())).ReadAllTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SNI != f.SNI {
+		t.Fatalf("escaped SNI round-trip: got %+v", got)
+	}
+}
+
+// TestTLSFlowCompareLegacyOrderPreserved pins that adding SNI to the total
+// order did not reorder legacy (SNI-less) flow sets.
+func TestTLSFlowCompareLegacyOrderPreserved(t *testing.T) {
+	a := &TLSFlow{Time: 1, ClientIP: 2, ServerIP: 3, ServerPort: 443, Bytes: 10, TCPRTT: 5}
+	b := &TLSFlow{Time: 1, ClientIP: 2, ServerIP: 3, ServerPort: 443, Bytes: 20, TCPRTT: 5}
+	if a.Compare(b) >= 0 {
+		t.Error("legacy flows must still order by Bytes")
+	}
+	c := &TLSFlow{Time: 1, ClientIP: 2, ServerIP: 3, ServerPort: 443, Bytes: 20, TCPRTT: 5, SNI: "a.example"}
+	d := &TLSFlow{Time: 1, ClientIP: 2, ServerIP: 3, ServerPort: 443, Bytes: 10, TCPRTT: 5, SNI: "b.example"}
+	if c.Compare(d) >= 0 {
+		t.Error("SNI must order before Bytes")
+	}
+}

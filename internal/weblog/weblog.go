@@ -80,8 +80,10 @@ func (t *Transaction) Truncate() {
 }
 
 // TLSFlow summarizes one HTTPS connection; payload is opaque, so only
-// endpoints, timing and volume are known. The paper uses these to count
-// HTTPS requests (Table 1) and to spot Adblock Plus list downloads (§3.2).
+// endpoints, timing, volume and the cleartext handshake metadata are known.
+// The paper uses these to count HTTPS requests (Table 1) and to spot Adblock
+// Plus list downloads (§3.2); the SNI hostname is what keeps domain-level
+// classification possible once ≥90% of traffic is TLS (DESIGN.md §16).
 type TLSFlow struct {
 	// Time is the flow start (first packet) in ns.
 	Time int64
@@ -93,6 +95,11 @@ type TLSFlow struct {
 	Bytes uint64
 	// TCPRTT is the handshake latency in ns, -1 when unobserved.
 	TCPRTT int64
+	// SNI is the server_name the client sent in its TLS ClientHello, empty
+	// when the hello was not observed (truncated capture, legacy traces) or
+	// carried no SNI extension. As wire data it is untrusted and unnormalized;
+	// consumers normalize through urlutil / abp.ClassifyDomain.
+	SNI string
 }
 
 // Writer emits transactions in a tab-separated Bro-style log.

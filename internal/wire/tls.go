@@ -1,0 +1,198 @@
+package wire
+
+// TLS ClientHello framing: just enough of RFC 5246 §7.4.1.2 + RFC 6066 §3 to
+// carry a server_name (SNI) extension across the synthetic wire. The emitter
+// side builds a minimal well-formed hello; the parser side extracts the SNI
+// from the client-direction byte stream of a port-443 flow, which is the only
+// cleartext hostname signal an encrypted-era trace still offers (§5 of the
+// paper covers volumes; DESIGN.md §16 the SNI-era classification built on it).
+
+const (
+	tlsRecordHandshake      = 0x16
+	tlsHandshakeClientHello = 0x01
+	tlsExtServerName        = 0x0000
+	tlsSNIHostName          = 0x00
+
+	// maxClientHelloLen bounds how much client-direction data the parser
+	// buffers before giving up: every real ClientHello (and certainly the
+	// synthetic one) fits well under it, and a stream that hasn't produced a
+	// complete hello by then never will.
+	maxClientHelloLen = 4096
+)
+
+// BuildClientHello renders one TLS record containing a minimal ClientHello
+// whose only extension is server_name carrying serverName. Deterministic: the
+// 32-byte random is derived from the name (FNV-1a chained), so identical
+// traces stay byte-identical run to run. An empty serverName yields a hello
+// with an empty extension block — the SNI-less clients of §5-era traffic.
+func BuildClientHello(serverName string) []byte {
+	// Body: version(2) random(32) session_id(1) ciphers(2+4) compression(1+1)
+	var body []byte
+	body = append(body, 0x03, 0x03) // TLS 1.2
+	body = append(body, helloRandom(serverName)...)
+	body = append(body, 0x00)                               // empty session id
+	body = append(body, 0x00, 0x04, 0xc0, 0x2f, 0x00, 0x9c) // two suites
+	body = append(body, 0x01, 0x00)                         // null compression
+
+	var exts []byte
+	if serverName != "" {
+		name := []byte(serverName)
+		// server_name extension: list length, entry type, name length, name.
+		sniData := make([]byte, 0, 5+len(name))
+		sniData = append(sniData, byte((len(name)+3)>>8), byte(len(name)+3)) // server_name_list length
+		sniData = append(sniData, tlsSNIHostName)
+		sniData = append(sniData, byte(len(name)>>8), byte(len(name)))
+		sniData = append(sniData, name...)
+		exts = append(exts, byte(tlsExtServerName>>8), byte(tlsExtServerName&0xff))
+		exts = append(exts, byte(len(sniData)>>8), byte(len(sniData)))
+		exts = append(exts, sniData...)
+	}
+	body = append(body, byte(len(exts)>>8), byte(len(exts)))
+	body = append(body, exts...)
+
+	// Handshake header: type + 24-bit length.
+	hs := make([]byte, 0, 4+len(body))
+	hs = append(hs, tlsHandshakeClientHello, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	hs = append(hs, body...)
+
+	// Record header: type + version + 16-bit length.
+	rec := make([]byte, 0, 5+len(hs))
+	rec = append(rec, tlsRecordHandshake, 0x03, 0x01, byte(len(hs)>>8), byte(len(hs)))
+	rec = append(rec, hs...)
+	return rec
+}
+
+// helloRandom fills the ClientHello random deterministically from the server
+// name (FNV-1a chained), so trace generation stays a pure function of its
+// seeds.
+func helloRandom(serverName string) []byte {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(serverName); i++ {
+		h = (h ^ uint64(serverName[i])) * 1099511628211
+	}
+	out := make([]byte, 32)
+	for i := 0; i < 32; i += 8 {
+		h = (h ^ uint64(i)) * 1099511628211
+		for j := 0; j < 8; j++ {
+			out[i+j] = byte(h >> (8 * j))
+		}
+	}
+	return out
+}
+
+// ParseClientHelloSNI scans the reassembled client-direction prefix of a TLS
+// flow for the ClientHello's server_name.
+//
+//	done=false           — data is a plausible but incomplete hello; feed more
+//	done=true, sni=""    — verdict is final: no SNI (absent extension, or the
+//	                       stream is not a parseable ClientHello at all)
+//	done=true, sni!=""   — the extracted server name, raw wire bytes
+//
+// The parser is deliberately forgiving about anything after the extensions it
+// needs and strict about bounds: header traces carry truncated and hostile
+// bytes, and a summarizer must degrade to "no SNI", never crash or misread.
+func ParseClientHelloSNI(data []byte) (sni string, done bool) {
+	if len(data) >= 1 && data[0] != tlsRecordHandshake {
+		return "", true // not a TLS handshake stream
+	}
+	if len(data) < 5 {
+		return "", false
+	}
+	recLen := int(data[3])<<8 | int(data[4])
+	if recLen > maxClientHelloLen {
+		return "", true
+	}
+	if len(data) < 5+recLen {
+		if len(data) >= maxClientHelloLen {
+			return "", true
+		}
+		return "", false // record still streaming in
+	}
+	hs := data[5 : 5+recLen]
+	if len(hs) < 4 || hs[0] != tlsHandshakeClientHello {
+		return "", true
+	}
+	hsLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	body := hs[4:]
+	if hsLen > len(body) {
+		// Hello split across records; the synthetic trace never does this,
+		// and a truncated capture cannot be completed. Give up cleanly.
+		return "", true
+	}
+	body = body[:hsLen]
+
+	// version(2) + random(32)
+	off := 2 + 32
+	if len(body) < off+1 {
+		return "", true
+	}
+	off += 1 + int(body[off]) // session id
+	if len(body) < off+2 {
+		return "", true
+	}
+	off += 2 + (int(body[off])<<8 | int(body[off+1])) // cipher suites
+	if len(body) < off+1 {
+		return "", true
+	}
+	off += 1 + int(body[off]) // compression methods
+	if len(body) < off+2 {
+		return "", true // no extensions block at all: legal, SNI-less
+	}
+	extLen := int(body[off])<<8 | int(body[off+1])
+	off += 2
+	if len(body) < off+extLen {
+		return "", true
+	}
+	exts := body[off : off+extLen]
+	for len(exts) >= 4 {
+		typ := int(exts[0])<<8 | int(exts[1])
+		l := int(exts[2])<<8 | int(exts[3])
+		exts = exts[4:]
+		if l > len(exts) {
+			return "", true
+		}
+		if typ == tlsExtServerName {
+			return parseSNIExtension(exts[:l]), true
+		}
+		exts = exts[l:]
+	}
+	return "", true
+}
+
+// parseSNIExtension walks a server_name extension body and returns the first
+// host_name entry, or "" when malformed.
+func parseSNIExtension(b []byte) string {
+	if len(b) < 2 {
+		return ""
+	}
+	listLen := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if listLen > len(b) {
+		return ""
+	}
+	b = b[:listLen]
+	for len(b) >= 3 {
+		typ := b[0]
+		l := int(b[1])<<8 | int(b[2])
+		b = b[3:]
+		if l > len(b) {
+			return ""
+		}
+		if typ == tlsSNIHostName {
+			return string(b[:l])
+		}
+		b = b[l:]
+	}
+	return ""
+}
+
+// ClientHello emits a captured ClientHello record carrying serverName as the
+// first client payload of the connection — the one cleartext hostname an
+// encrypted flow leaks. Call it right after Open on TLS connections; the
+// record fits one SnapLen segment by construction.
+func (c *ConnEmitter) ClientHello(t int64, serverName string) error {
+	if err := c.ensureOpen(t); err != nil {
+		return err
+	}
+	return c.segmented(t, true, BuildClientHello(serverName), 0)
+}
